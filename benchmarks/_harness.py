@@ -1,0 +1,69 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+and prints a ``paper vs measured`` comparison.  Absolute numbers differ
+(our substrate is a simulator, the authors' was a fabricated chip), but
+the *shape* assertions — who wins, by what factor, where the lines
+cross — are enforced with plain ``assert``.
+"""
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.dsp.peakdetect import PeakDetector, PeakReport
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import ElectrodeArray, standard_array
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles.sample import Particle
+from repro.particles.types import ParticleType
+from repro.physics.lockin import LockInAmplifier
+from repro.physics.noise import NoiseModel
+
+#: Carrier set used by the figure benches (includes the 500/2500 kHz
+#: feature carriers of Figures 15/16).
+BENCH_CARRIERS_HZ = (500e3, 1000e3, 2000e3, 2500e3, 3000e3)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a fixed-width comparison table to stdout."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+# single_key_plan and acquire_particle_events live in the library so the
+# SVG figure generators and notebooks run identical experiment
+# definitions; re-exported here for the bench modules.
+from repro.experiments import acquire_particle_events, single_key_plan  # noqa: E402
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / reference."""
+    return abs(measured - reference) / abs(reference)
+
+
+def summarize_report(report: PeakReport) -> dict:
+    """Peak-count / width / depth summary of a report."""
+    if not report.peaks:
+        return {"count": 0, "mean_width_ms": 0.0, "mean_depth": 0.0}
+    widths = [p.width_s for p in report.peaks]
+    depths = [p.depth for p in report.peaks]
+    return {
+        "count": report.count,
+        "mean_width_ms": 1e3 * float(np.mean(widths)),
+        "mean_depth": float(np.mean(depths)),
+    }

@@ -1,0 +1,138 @@
+"""§IV-A security evaluation: the attack suite against the cipher.
+
+Reproduces the paper's security argument as measurements: for each
+eavesdropper strategy, the count-recovery error against the full
+cipher, against the cipher with the defending component removed, and
+the Figure 11d consecutive-pattern ablation of §VII-A.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from repro.attacks import (
+    AmplitudeClusteringAttack,
+    DivideByExpectationAttack,
+    FeatureClusteringAttack,
+    NaivePeakCountAttack,
+    PeriodicTrainAttack,
+    WidthClusteringAttack,
+    score_count_attack,
+)
+from repro.attacks.scenarios import encrypted_capture
+
+SEEDS = (201, 202, 203)
+
+
+def mean_attack_error(attack, captures):
+    errors = []
+    for true_count, report, knowledge in captures:
+        errors.append(score_count_attack(attack.estimate_count(report, knowledge), true_count))
+    return float(np.mean(errors))
+
+
+def capture_set(**kwargs):
+    return [encrypted_capture(seed, **kwargs) for seed in SEEDS]
+
+
+def test_attack_suite_full_cipher(benchmark):
+    captures = benchmark.pedantic(capture_set, rounds=1, iterations=1)
+
+    attacks = [
+        NaivePeakCountAttack(),
+        DivideByExpectationAttack(assume_avoid_consecutive=True),
+        AmplitudeClusteringAttack(),
+        WidthClusteringAttack(),
+        PeriodicTrainAttack(),
+        FeatureClusteringAttack(),
+    ]
+    rows = []
+    errors = {}
+    for attack in attacks:
+        error = mean_attack_error(attack, captures)
+        errors[attack.name] = error
+        rows.append([attack.name, f"{error:.2f}"])
+    print_table(
+        "Attack suite vs full cipher — mean relative count error",
+        ["attack", "error (0 = full disclosure)"],
+        rows,
+    )
+
+    # Shape: the naive count is off by the average multiplication
+    # factor; no keyless attack pins the count exactly.  Note the
+    # honest caveat (recorded in EXPERIMENTS.md): over a long capture,
+    # dividing by the *expected* factor averages the per-epoch
+    # randomness down to ~10% error — the per-epoch counts an attacker
+    # would need for fine-grained inference remain far noisier.
+    assert errors["naive-peak-count"] > 1.0
+    for name, error in errors.items():
+        assert error > 0.05, f"{name} recovered true counts through the cipher"
+
+
+def test_component_ablation(benchmark):
+    """Remove one cipher component at a time; its attack must improve."""
+
+    def run_ablation():
+        full = capture_set()
+        no_gains = capture_set(constant_gains=True, constant_flow=True)
+        no_flow_gains = capture_set(constant_flow=True, constant_gains=True)
+        return full, no_gains, no_flow_gains
+
+    full, no_gains, no_flow_gains = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+
+    amplitude = AmplitudeClusteringAttack()
+    amp_full = mean_attack_error(amplitude, full)
+    amp_weak = mean_attack_error(amplitude, no_gains)
+
+    width = WidthClusteringAttack()
+    dispersion_full = float(
+        np.mean([width.width_dispersion(r, k) for _, r, k in full])
+    )
+    dispersion_weak = float(
+        np.mean([width.width_dispersion(r, k) for _, r, k in no_flow_gains])
+    )
+
+    print_table(
+        "Component ablation",
+        ["attack", "vs weakened cipher", "vs full cipher"],
+        [
+            ["amplitude-runs error", f"{amp_weak:.2f}", f"{amp_full:.2f}"],
+            ["width dispersion seen", f"{dispersion_weak:.2f}", f"{dispersion_full:.2f}"],
+        ],
+    )
+    assert amp_weak < amp_full, "random gains must hurt the amplitude attack"
+    assert dispersion_full > dispersion_weak, "flow masking must smear widths"
+
+
+def test_fig11d_consecutive_pattern_ablation(benchmark):
+    """§VII-A: consecutive-electrode keys leak periodic trains."""
+
+    def run():
+        leaky = [
+            encrypted_capture(seed, avoid_consecutive=False, constant_gains=True,
+                              constant_flow=True)
+            for seed in SEEDS
+        ]
+        mitigated = capture_set()
+        return leaky, mitigated
+
+    leaky, mitigated = benchmark.pedantic(run, rounds=1, iterations=1)
+    attack = PeriodicTrainAttack()
+
+    error_leaky = mean_attack_error(attack, leaky)
+    error_safe = mean_attack_error(attack, mitigated)
+    fraction_leaky = float(np.mean([attack.train_fraction(r) for _, r, _ in leaky]))
+    fraction_safe = float(np.mean([attack.train_fraction(r) for _, r, _ in mitigated]))
+
+    print_table(
+        "Figure 11d ablation — periodic-train attack",
+        ["key pattern", "train fraction", "attack error"],
+        [
+            ["consecutive allowed", f"{fraction_leaky:.2f}", f"{error_leaky:.2f}"],
+            ["non-consecutive (§VII-A)", f"{fraction_safe:.2f}", f"{error_safe:.2f}"],
+        ],
+    )
+    assert fraction_leaky > fraction_safe
+    assert error_leaky < error_safe

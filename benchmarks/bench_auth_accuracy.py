@@ -1,0 +1,116 @@
+"""Cyto-coded password accuracy (abstract / §VII-C).
+
+"Our results show that MedSen can reliably classify different users
+based on their cyto-coded passwords with high accuracy."
+
+The bench enrolls several users with distinct identifiers, runs a full
+diagnostic session for each, and measures the authentication success
+rate plus the password-space statistics.  A second experiment runs the
+§VII-C concentration ablation: identifiers built from low levels must
+quantise at least as reliably as identifiers from proportionally
+spaced high levels.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from repro import CytoIdentifier, MedSenSession, Sample
+from repro.auth.alphabet import BeadAlphabet
+from repro.auth.collision import (
+    identifier_error_probability,
+    password_space_entropy_bits,
+    password_space_size,
+)
+from repro.particles import BLOOD_CELL
+
+USERS = {
+    "alice": (2, 1),
+    "bob": (1, 3),
+    "carol": (3, 0),
+    "dave": (0, 2),
+}
+
+
+def run_user_matrix():
+    session = MedSenSession(rng=77)
+    alphabet = session.config.alphabet
+    for user, levels in USERS.items():
+        session.authenticator.register(user, CytoIdentifier(alphabet, levels))
+    outcomes = {}
+    for seed, user in enumerate(USERS):
+        blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+        identifier = session.authenticator.identifier_of(user)
+        result = session.run_diagnostic(blood, identifier, duration_s=60.0, rng=seed)
+        outcomes[user] = result
+    return session, outcomes
+
+
+def test_multi_user_authentication(benchmark):
+    session, outcomes = benchmark.pedantic(run_user_matrix, rounds=1, iterations=1)
+
+    rows = []
+    correct = 0
+    for user, result in outcomes.items():
+        expected = session.authenticator.identifier_of(user).as_string()
+        got = result.auth.user_id
+        correct += got == user
+        rows.append([user, expected, result.auth.recovered.as_string(), got])
+    print_table(
+        "Cyto-coded authentication (4 users, 1 session each)",
+        ["user", "registered", "recovered", "authenticated as"],
+        rows,
+    )
+    accuracy = correct / len(outcomes)
+    print(f"authentication accuracy: {accuracy:.2f} (paper: 'high accuracy')")
+    assert accuracy >= 0.75  # at most one identifier slip per matrix
+
+    alphabet = session.config.alphabet
+    print(
+        f"password space: {password_space_size(alphabet)} identifiers, "
+        f"{password_space_entropy_bits(alphabet):.1f} bits"
+    )
+
+
+def test_low_vs_high_concentration_ablation(benchmark):
+    """§VII-C: "lower bead concentrations allow MedSen to define
+    different concentration levels of the same bead types close to each
+    other.  This increases the password space size and entropy."
+
+    With Poisson counting, equal-margin levels are equally spaced in
+    sqrt space, so the *absolute* gap between adjacent levels grows
+    with concentration: levels pack densest at the low end.  The bench
+    builds the maximal equal-margin level ladder and checks both that
+    packing and the resulting entropy gain from admitting the low range.
+    """
+    from repro.auth.collision import min_distinguishable_levels
+
+    pumped_ul = 0.08
+
+    def build():
+        n_levels, levels = min_distinguishable_levels(
+            4000.0, pumped_ul, sigma_separation=4.0
+        )
+        return n_levels, levels
+
+    n_levels, levels = benchmark.pedantic(build, rounds=1, iterations=1)
+    gaps = [b - a for a, b in zip(levels, levels[1:])]
+
+    low_half = [g for g, level in zip(gaps, levels[1:]) if level <= 2000.0]
+    high_half = [g for g, level in zip(gaps, levels[1:]) if level > 2000.0]
+    print_table(
+        "§VII-C ablation — equal-margin level packing under 4000/µL",
+        ["quantity", "value"],
+        [
+            ["distinguishable levels", n_levels],
+            ["levels in low half (<= 2000/µL)", len(low_half) + 1],
+            ["levels in high half (> 2000/µL)", len(high_half)],
+            ["mean gap, low half (/µL)", f"{np.mean(low_half):.0f}"],
+            ["mean gap, high half (/µL)", f"{np.mean(high_half):.0f}"],
+        ],
+    )
+
+    # Levels sit closer together at low concentration...
+    assert np.mean(low_half) < np.mean(high_half)
+    # ...so the low half of the range contributes more levels (entropy).
+    assert len(low_half) > len(high_half)

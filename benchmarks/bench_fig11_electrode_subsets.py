@@ -1,0 +1,86 @@
+"""Figure 11: peak multiplication across electrode subsets.
+
+The paper drives a 9-output sensor with 7.8 µm beads and shows:
+
+* (a) one output selected -> a single (or double) dip per bead;
+* (b) lead electrode + electrode 1 -> 3 dips;
+* (c) lead + electrodes 1, 2 -> 5 dips;
+* (d) all nine -> "a relatively flat periodic train of 17 peaks";
+* peak response time ~20 ms, implying an in-channel flow rate of
+  ~0.081 µL/min (their §VII-A back-calculation).
+
+The bench reproduces all four panels and the flow-rate arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import (
+    acquire_particle_events,
+    print_table,
+    single_key_plan,
+)
+from repro.crypto.gains import GainTable
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.particles import BEAD_7P8
+
+UNIT_GAIN = GainTable().level_for_gain(1.0)
+NOMINAL_FLOW = FlowSpeedTable().level_for_rate(0.08)
+
+PANELS = [
+    ("a: lead only", {9}, 1),
+    ("b: lead + 1", {9, 1}, 3),
+    ("c: lead + 1 + 2", {9, 1, 2}, 5),
+    ("d: all nine", set(range(1, 10)), 17),
+]
+
+
+def run_all_panels():
+    results = []
+    for label, active, expected in PANELS:
+        plan = single_key_plan(active, gain_level=UNIT_GAIN, flow_level=NOMINAL_FLOW)
+        events, trace, report = acquire_particle_events(
+            plan, BEAD_7P8, [1.0], 4.0, rng=11
+        )
+        results.append((label, active, expected, report))
+    return results
+
+
+def test_fig11_peak_multiplication(benchmark):
+    results = benchmark(run_all_panels)
+
+    rows = []
+    for label, active, expected, report in results:
+        rows.append([label, expected, report.count])
+        assert report.count == expected, f"panel {label}"
+    print_table(
+        "Figure 11 — peaks per bead vs active subset",
+        ["panel", "paper peaks", "measured peaks"],
+        rows,
+    )
+
+    # Panel d: the all-on train is periodic (constant inter-peak gap).
+    all_on_report = results[-1][3]
+    gaps = np.diff(np.sort(all_on_report.times()))
+    assert np.std(gaps) / np.mean(gaps) < 0.25, "17-peak train should be near-periodic"
+
+
+def test_fig11_flow_rate_back_calculation(benchmark):
+    # Paper: 45 µm sensing length / ~20 ms response -> 0.081 µL/min.
+    array = benchmark(lambda: standard_array(9))
+    channel = MicrofluidicChannel()
+    response_time_s = 0.020
+    velocity = array.sensing_length_m / response_time_s
+    flow_rate = channel.flow_rate_for_velocity(velocity)
+    print_table(
+        "Figure 11 — flow-rate arithmetic",
+        ["quantity", "paper", "measured"],
+        [
+            ["sensing length (µm)", "45", f"{1e6 * array.sensing_length_m:.0f}"],
+            ["peak response (ms)", "20", f"{1e3 * response_time_s:.0f}"],
+            ["implied flow rate (µL/min)", "0.081", f"{flow_rate:.3f}"],
+        ],
+    )
+    assert flow_rate == pytest.approx(0.081, rel=0.02)

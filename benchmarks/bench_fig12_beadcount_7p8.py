@@ -1,0 +1,64 @@
+"""Figure 12: measured vs estimated counts for 7.8 µm bead dilutions.
+
+The paper dilutes 7.8 µm beads in PBS at several concentrations, runs
+each through the sensor, counts peaks, and plots empirical counts
+against the counts estimated from the manufacturer concentration.  The
+relationship is linear; the empirical counts fall slightly short
+because beads settle in the inlet well and adsorb to the channel walls.
+
+The bench replays the protocol (plaintext sensing, several dilutions,
+repeated runs) and asserts the shape: linear fit with R^2 >= 0.9 and a
+slope below 1 (losses) but above 0.7 (the sensor still counts the
+large majority).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from repro.analysis.calibration import fit_calibration
+from repro.core.device import MedSenDevice
+from repro.dsp.peakdetect import PeakDetector
+from repro.particles import BEAD_7P8, Sample
+
+CONCENTRATIONS_PER_UL = (250.0, 500.0, 1000.0, 1500.0, 2000.0)
+RUNS_PER_CONCENTRATION = 2
+DURATION_S = 120.0
+BEAD = BEAD_7P8
+
+
+def run_dilution_series(bead=BEAD, seed0=100):
+    from repro.experiments import run_bead_dilution_series
+
+    return run_bead_dilution_series(
+        bead,
+        concentrations_per_ul=CONCENTRATIONS_PER_UL,
+        runs_per_concentration=RUNS_PER_CONCENTRATION,
+        duration_s=DURATION_S,
+        seed0=seed0,
+    )
+
+
+def test_fig12_bead_calibration_7p8(benchmark):
+    estimated, measured = benchmark.pedantic(
+        run_dilution_series, rounds=1, iterations=1
+    )
+    curve = fit_calibration(estimated, measured)
+
+    rows = [
+        [f"{e:.0f}", f"{m}"] for e, m in sorted(zip(estimated, measured))
+    ]
+    print_table(
+        "Figure 12 — 7.8 µm beads: estimated vs empirical counts",
+        ["estimated", "measured"],
+        rows,
+    )
+    print(
+        f"fit: measured = {curve.slope:.3f} * estimated + {curve.intercept:.1f}, "
+        f"R^2 = {curve.r_squared:.3f}"
+    )
+
+    # Shape: linear, slope < 1 (settling/adsorption losses), losses bounded.
+    assert curve.is_linear, f"R^2 = {curve.r_squared}"
+    assert 0.7 < curve.slope < 1.0
+    assert abs(curve.intercept) < 0.25 * max(estimated)

@@ -1,0 +1,56 @@
+"""Figure 13: measured vs estimated counts for 3.58 µm bead dilutions.
+
+Same protocol as Figure 12 with the smaller bead.  Two shape facts are
+asserted: the calibration stays linear, and — because the smaller bead
+settles more slowly (Stokes: tau ∝ 1/d²) — its delivery efficiency
+(slope) is at least as good as the 7.8 µm bead's.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from benchmarks.bench_fig12_beadcount_7p8 import run_dilution_series
+from repro.analysis.calibration import fit_calibration
+from repro.particles import BEAD_3P58, BEAD_7P8
+
+
+def test_fig13_bead_calibration_3p58(benchmark):
+    estimated, measured = benchmark.pedantic(
+        lambda: run_dilution_series(bead=BEAD_3P58, seed0=300), rounds=1, iterations=1
+    )
+    curve = fit_calibration(estimated, measured)
+
+    rows = [[f"{e:.0f}", f"{m}"] for e, m in sorted(zip(estimated, measured))]
+    print_table(
+        "Figure 13 — 3.58 µm beads: estimated vs empirical counts",
+        ["estimated", "measured"],
+        rows,
+    )
+    print(
+        f"fit: measured = {curve.slope:.3f} * estimated + {curve.intercept:.1f}, "
+        f"R^2 = {curve.r_squared:.3f}"
+    )
+
+    assert curve.is_linear, f"R^2 = {curve.r_squared}"
+    assert 0.7 < curve.slope <= 1.05
+
+
+def test_fig12_vs_13_settling_ordering(benchmark):
+    """Smaller beads settle slower -> higher (or equal) slope."""
+    def run_both():
+        return (
+            run_dilution_series(bead=BEAD_3P58, seed0=400),
+            run_dilution_series(bead=BEAD_7P8, seed0=500),
+        )
+
+    (est_small, meas_small), (est_big, meas_big) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    slope_small = fit_calibration(est_small, meas_small).slope
+    slope_big = fit_calibration(est_big, meas_big).slope
+    print(
+        f"\ndelivery efficiency: 3.58 µm slope = {slope_small:.3f}, "
+        f"7.8 µm slope = {slope_big:.3f}"
+    )
+    assert slope_small >= slope_big - 0.05

@@ -1,0 +1,66 @@
+"""Figure 15: normalized impedance of cells and beads vs frequency.
+
+The paper plots the normalized dip of (a) a blood cell, (b) a 3.58 µm
+bead and (c) a 7.8 µm bead at carriers between 500 kHz and 3 MHz:
+
+* the 7.8 µm bead dips deepest (~1.5 %), the 3.58 µm bead least (~0.3 %);
+* bead dips are flat across frequency (polystyrene is insulating);
+* the blood cell sits between the beads at 500 kHz but its response
+  *falls* with frequency (membrane shorting), dropping below its own
+  low-frequency value at >= 2 MHz.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import BENCH_CARRIERS_HZ, print_table
+from repro.particles import BEAD_3P58, BEAD_7P8, BLOOD_CELL
+from repro.physics.electrical import ElectrodePairCircuit
+
+
+def measured_dips():
+    circuit = ElectrodePairCircuit()
+    frequencies = np.asarray(BENCH_CARRIERS_HZ)
+    dips = {}
+    for particle_type in (BLOOD_CELL, BEAD_3P58, BEAD_7P8):
+        drops = particle_type.relative_drop(frequencies)
+        dips[particle_type.name] = np.asarray(circuit.measured_drop(frequencies, drops))
+    return frequencies, dips
+
+
+def test_fig15_normalized_impedance(benchmark):
+    frequencies, dips = benchmark(measured_dips)
+
+    rows = []
+    for name, values in dips.items():
+        rows.append(
+            [name]
+            + [f"{1 - v:.4f}" for v in values]  # normalized minimum (1 - dip)
+        )
+    print_table(
+        "Figure 15 — normalized impedance minimum per carrier",
+        ["particle"] + [f"{f / 1e3:.0f} kHz" for f in frequencies],
+        rows,
+    )
+
+    cell = dips["blood_cell"]
+    small = dips["bead_3.58um"]
+    big = dips["bead_7.8um"]
+
+    # Paper dip depths at 500 kHz: cell ~0.006, 3.58 ~0.003, 7.8 ~0.015.
+    assert cell[0] == pytest.approx(0.006, rel=0.35)
+    assert small[0] == pytest.approx(0.003, rel=0.35)
+    assert big[0] == pytest.approx(0.015, rel=0.35)
+
+    # Ordering at low frequency: big bead > cell > small bead.
+    assert big[0] > cell[0] > small[0]
+
+    # Beads flat in frequency; cell rolls off.
+    assert small[-1] / small[0] > 0.9
+    assert big[-1] / big[0] > 0.9
+    assert cell[-1] / cell[0] < 0.6
+
+    # Figure 15a's headline: at >= 2 MHz the cell's *relative* response
+    # has fallen below the beads' (flat) relative response.
+    index_2mhz = list(BENCH_CARRIERS_HZ).index(2000e3)
+    assert cell[index_2mhz] / cell[0] < small[index_2mhz] / small[0]

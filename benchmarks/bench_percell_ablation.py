@@ -1,0 +1,148 @@
+"""Eq. 1 (per-cell keys) vs the deployed per-epoch scheme.
+
+§IV-A rejects the ideal per-cell one-time-pad construction for three
+measurable reasons; this bench quantifies all three:
+
+1. **Key size** — per-cell key material grows with every particle
+   (Eq. 2), per-epoch material only with time.
+2. **Deployability** — the per-cell encryptor must know the particle
+   count in advance (it raises when the sample overruns its keys).
+3. **Overlap fragility** — when particles appear simultaneously among
+   the electrodes, per-cell key alignment slips and clean feature
+   recovery collapses, while the per-epoch decryptor (one key for all
+   concurrent particles) keeps working.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.crypto.decryptor import SignalDecryptor
+from repro.crypto.percell import (
+    PerCellDecryptor,
+    PerCellEncryptor,
+    generate_percell_plan,
+)
+from repro.dsp.peakdetect import PeakDetector
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles import BEAD_7P8
+from repro.particles.sample import Particle
+from repro.physics.lockin import LockInAmplifier
+
+CARRIERS = (500e3, 2500e3)
+VELOCITY = MicrofluidicChannel().velocity_for_flow_rate(0.08)
+NOMINAL_FLOW_LEVEL = FlowSpeedTable().level_for_rate(0.08)
+
+
+def arrival_times(n, mean_gap_s, seed):
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap_s, size=n)
+    return np.cumsum(gaps) + 1.0
+
+
+def run_percell(times, seed):
+    array = standard_array(9)
+    plan = generate_percell_plan(len(times), array, EntropySource(rng=seed))
+    arrivals = [
+        ParticleArrival(t, Particle(BEAD_7P8, BEAD_7P8.diameter_m), VELOCITY)
+        for t in times
+    ]
+    events = PerCellEncryptor(carrier_frequencies_hz=CARRIERS).events_for_arrivals(
+        arrivals, plan
+    )
+    duration = float(times[-1] + 1.0)
+    lockin = LockInAmplifier(carrier_frequencies_hz=CARRIERS)
+    trace = AcquisitionFrontEnd(lockin=lockin).acquire(events, duration, rng=seed)
+    report = PeakDetector().detect(trace.voltages, trace.sampling_rate_hz)
+    result = PerCellDecryptor(plan=plan).decrypt(report)
+    return result, plan.length_bits()
+
+
+def run_perepoch(times, seed):
+    array = standard_array(9)
+    # Force the nominal flow level so both schemes see identical physics.
+    flow_table = FlowSpeedTable()
+    keygen = KeyGenerator(
+        n_electrodes=9,
+        gain_table=GainTable(),
+        flow_table=flow_table,
+        avoid_consecutive=True,
+        max_active=5,
+        position_order=array.position_order,
+    )
+    duration = float(times[-1] + 1.0)
+    schedule = keygen.generate_schedule(duration, 2.0, EntropySource(rng=seed))
+    epochs = tuple(
+        type(e)(e.active_electrodes, e.gain_levels, NOMINAL_FLOW_LEVEL)
+        for e in schedule.epochs
+    )
+    schedule = type(schedule)(epoch_duration_s=2.0, epochs=epochs)
+    plan = EncryptionPlan(schedule, array, GainTable(), flow_table)
+    arrivals = [
+        ParticleArrival(t, Particle(BEAD_7P8, BEAD_7P8.diameter_m), VELOCITY)
+        for t in times
+    ]
+    events = SignalEncryptor(carrier_frequencies_hz=CARRIERS).events_for_arrivals(
+        arrivals, plan
+    )
+    lockin = LockInAmplifier(carrier_frequencies_hz=CARRIERS)
+    trace = AcquisitionFrontEnd(lockin=lockin).acquire(events, duration, rng=seed)
+    report = PeakDetector().detect(trace.voltages, trace.sampling_rate_hz)
+    result = SignalDecryptor(plan=plan).decrypt(report)
+    bits = schedule.length_bits(4, 4)
+    return result, bits
+
+
+def test_percell_vs_perepoch(benchmark):
+    n = 40
+
+    def run_all():
+        out = {}
+        for label, gap in [("sparse (2 s gaps)", 2.0), ("dense (0.25 s gaps)", 0.25)]:
+            times = arrival_times(n, gap, seed=5)
+            percell, percell_bits = run_percell(times, seed=6)
+            perepoch, perepoch_bits = run_perepoch(times, seed=6)
+            out[label] = (percell, percell_bits, perepoch, perepoch_bits)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, (percell, pc_bits, perepoch, pe_bits) in results.items():
+        rows.append(
+            [
+                label,
+                f"{percell.total_count}/{n} ({len(percell.clean_particles)} clean)",
+                f"{perepoch.total_count}/{n} ({len(perepoch.clean_particles)} clean)",
+            ]
+        )
+    print_table(
+        "Eq. 1 per-cell vs deployed per-epoch decryption (true count / clean)",
+        ["workload", "per-cell", "per-epoch"],
+        rows,
+    )
+
+    sparse_pc, _, sparse_pe, _ = results["sparse (2 s gaps)"]
+    dense_pc, pc_bits, dense_pe, pe_bits = results["dense (0.25 s gaps)"]
+
+    # Sparse: both schemes work.
+    assert abs(sparse_pc.total_count - n) <= 2
+    assert abs(sparse_pe.total_count - n) <= 2
+
+    # Dense: per-cell clean recovery collapses harder than per-epoch.
+    pc_clean = len(dense_pc.clean_particles)
+    pe_clean = len(dense_pe.clean_particles)
+    print(f"dense clean recoveries: per-cell {pc_clean}, per-epoch {pe_clean}")
+    assert pe_clean > pc_clean
+
+    # Key size: per-cell grows with N; here the 40-particle stream costs
+    # more bits per particle than per-epoch costs per 2 s epoch.
+    print(f"key bits: per-cell {pc_bits}, per-epoch {pe_bits}")
+    assert pc_bits > 0 and pe_bits > 0

@@ -1,0 +1,84 @@
+"""§VI-B repeatability: "samples containing at least 20K cells can
+provide repeatable cell count with minimal standard deviation".
+
+Two parts:
+
+* the analytic model: counting CV vs particle number, converging on
+  the instrument floor by ~20 K particles;
+* an empirical check on the simulated sensor: repeated plaintext
+  captures of the same sample show run-to-run scatter consistent with
+  the Poisson + floor model.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from repro.analysis.repeatability import (
+    counting_cv,
+    empirical_cv,
+    is_repeatable,
+    required_sample_size,
+)
+from repro.core.device import MedSenDevice
+from repro.dsp.peakdetect import PeakDetector
+from repro.particles import BEAD_7P8, Sample
+
+
+def test_repeatability_model(benchmark):
+    sizes = (100, 1_000, 5_000, 20_000, 100_000)
+    cvs = benchmark(lambda: [counting_cv(n) for n in sizes])
+
+    rows = [[n, f"{cv * 100:.2f} %"] for n, cv in zip(sizes, cvs)]
+    print_table(
+        "§VI-B — predicted count CV vs sample size",
+        ["particles", "CV"],
+        rows,
+    )
+    print(f"repeatable at 20K: {is_repeatable(20_000)}; at 200: {is_repeatable(200)}")
+    print(f"particles needed for CV <= 3%: {required_sample_size(0.03):,}")
+
+    # Shape: monotone convergence, and the paper's 20K threshold lands
+    # where the curve has flattened onto the floor.
+    assert all(b < a for a, b in zip(cvs, cvs[1:]))
+    assert is_repeatable(20_000)
+    assert not is_repeatable(200)
+
+
+def test_empirical_scatter_matches_model(benchmark):
+    """Repeated captures of one stock: observed CV ~ model CV."""
+
+    def repeated_counts():
+        device = MedSenDevice(rng=31)
+        detector = PeakDetector()
+        counts = []
+        for seed in range(8):
+            sample = Sample.from_concentrations(
+                {BEAD_7P8: 1500.0}, volume_ul=5.0, rng=seed, poisson=True
+            )
+            capture = device.run_capture(
+                sample, 60.0, encrypt=False, rng=np.random.default_rng(seed)
+            )
+            report = detector.detect(
+                capture.trace.voltages, capture.trace.sampling_rate_hz
+            )
+            counts.append(report.count)
+        return counts
+
+    counts = benchmark.pedantic(repeated_counts, rounds=1, iterations=1)
+    observed = empirical_cv(counts)
+    predicted = counting_cv(float(np.mean(counts)))
+
+    print_table(
+        "Empirical repeatability (8 runs, ~120 expected beads each)",
+        ["quantity", "value"],
+        [
+            ["counts", counts],
+            ["observed CV", f"{observed * 100:.1f} %"],
+            ["model CV at this N", f"{predicted * 100:.1f} %"],
+        ],
+    )
+    # Small-N capture: scatter should be Poisson-dominated and within
+    # 3x of the model (8 runs estimate CV coarsely).
+    assert observed < 3.0 * predicted
+    assert observed > predicted / 3.0

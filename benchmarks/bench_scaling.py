@@ -1,0 +1,98 @@
+"""Scaling benchmarks: analysis and decryption cost vs capture length.
+
+Not a paper figure — a systems check that the pipeline scales the way a
+deployment needs: cloud detection and controller decryption should both
+grow roughly linearly in capture duration (peak count), so multi-hour
+§VII-B captures stay tractable and the controller's "light computation"
+claim (§IV-A) holds at scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import print_table
+from repro.attacks.scenarios import encrypted_capture
+from repro.crypto.decryptor import SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.dsp.peakdetect import PeakDetector
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.flow import FlowController, FlowSpeedTable
+from repro.microfluidics.transport import TransportModel
+from repro.particles import BLOOD_CELL, Sample
+from repro.physics.lockin import LockInAmplifier
+
+DURATIONS_S = (30.0, 60.0, 120.0)
+CARRIERS = (500e3, 2500e3)
+
+
+def build_capture(duration_s, seed=5):
+    array = standard_array(9)
+    keygen = KeyGenerator(
+        n_electrodes=9,
+        avoid_consecutive=True,
+        max_active=5,
+        position_order=array.position_order,
+    )
+    schedule = keygen.generate_schedule(duration_s, 2.0, EntropySource(rng=seed))
+    plan = EncryptionPlan(schedule, array, GainTable(), FlowSpeedTable())
+    encryptor = SignalEncryptor(carrier_frequencies_hz=CARRIERS)
+    flow = FlowController()
+    encryptor.plan_flow(plan, flow)
+    rng = np.random.default_rng(seed)
+    sample = Sample.from_concentrations({BLOOD_CELL: 700.0}, volume_ul=20)
+    arrivals = TransportModel().schedule_arrivals(sample, flow, duration_s, rng=rng)
+    events = encryptor.events_for_arrivals(arrivals, plan)
+    lockin = LockInAmplifier(carrier_frequencies_hz=CARRIERS)
+    trace = AcquisitionFrontEnd(lockin=lockin).acquire(events, duration_s, rng=rng)
+    return plan, trace
+
+
+def test_detection_and_decryption_scale_linearly(benchmark):
+    def sweep():
+        rows = []
+        detector = PeakDetector()
+        for duration in DURATIONS_S:
+            plan, trace = build_capture(duration)
+            start = time.perf_counter()
+            report = detector.detect(trace.voltages, trace.sampling_rate_hz)
+            detect_s = time.perf_counter() - start
+            start = time.perf_counter()
+            result = SignalDecryptor(plan=plan).decrypt(report)
+            decrypt_s = time.perf_counter() - start
+            rows.append((duration, report.count, detect_s, decrypt_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Pipeline scaling vs capture duration",
+        ["duration (s)", "peaks", "detect (s)", "decrypt (s)"],
+        [
+            [f"{d:.0f}", n, f"{det:.3f}", f"{dec:.3f}"]
+            for d, n, det, dec in rows
+        ],
+    )
+
+    peaks = [r[1] for r in rows]
+    detects = [r[2] for r in rows]
+    decrypts = [r[3] for r in rows]
+    peak_ratio = peaks[-1] / max(peaks[0], 1)
+    # Detection is linear in samples: 4x duration < 10x compute.
+    assert detects[-1] < 10 * max(detects[0], 1e-3)
+    # Decryption work tracks peak count (with quadratic-in-epoch slack
+    # from template matching): bounded by ~3x the peak growth.
+    assert decrypts[-1] < 3.0 * peak_ratio * max(decrypts[0], 1e-3)
+    # Decryption stays 'light': well under a second even at 2 minutes.
+    assert decrypts[-1] < 1.0
+
+
+def test_decryption_benchmark(benchmark):
+    plan, trace = build_capture(60.0)
+    report = PeakDetector().detect(trace.voltages, trace.sampling_rate_hz)
+    decryptor = SignalDecryptor(plan=plan)
+    result = benchmark(lambda: decryptor.decrypt(report))
+    assert result.total_count > 0

@@ -1,0 +1,72 @@
+"""Engineering a cyto-coded password alphabet (paper §V / §VII-C).
+
+Given a deployment's pumped volume and delivery efficiency, how many
+bead concentration levels can be told apart, what does the password
+space look like, and how likely are recovery errors and collisions?
+This is the analysis behind the paper's sentence: "we carefully chose
+different types of beads as well as specific bead concentrations that
+provide a measurement resolution good enough to avoid any undesired
+case."
+
+Run:  python examples/alphabet_engineering.py
+"""
+
+from repro.attacks import bruteforce_expected_attempts
+from repro.auth.alphabet import BeadAlphabet
+from repro.auth.collision import (
+    collision_probability,
+    identifier_error_probability,
+    level_confusion_probability,
+    min_distinguishable_levels,
+    password_space_entropy_bits,
+    password_space_size,
+)
+from repro.auth.identifier import CytoIdentifier
+
+PUMPED_UL = 0.16  # a 2-minute capture at the nominal 0.08 µL/min
+EFFICIENCY = 0.92  # calibrated delivery efficiency (Fig 12/13 slope)
+
+
+def main() -> None:
+    print(f"deployment: {PUMPED_UL} µL sampled, {EFFICIENCY:.2f} delivery efficiency")
+
+    # Step 1: how many levels fit below a concentration cap?
+    for cap in (1000.0, 2000.0, 4000.0):
+        n_levels, levels = min_distinguishable_levels(
+            cap, PUMPED_UL, EFFICIENCY, sigma_separation=4.0
+        )
+        pretty = ", ".join(f"{lvl:.0f}" for lvl in levels)
+        print(f"cap {cap:5.0f}/µL -> {n_levels} levels: [{pretty}]")
+
+    # Step 2: adopt an alphabet and audit it.
+    alphabet = BeadAlphabet()  # the shipped 2-type, 4-level alphabet
+    print(f"\nalphabet: {[t.name for t in alphabet.bead_types]}")
+    print(f"levels (particles/µL): {alphabet.levels_per_ul}")
+    print(f"password space: {password_space_size(alphabet)} identifiers "
+          f"({password_space_entropy_bits(alphabet):.1f} bits)")
+    print(f"expected brute-force submissions: "
+          f"{bruteforce_expected_attempts(alphabet):.0f} physical samples")
+
+    print("\nper-level confusion probability at this volume:")
+    for level in range(alphabet.n_levels):
+        p = level_confusion_probability(alphabet, level, PUMPED_UL, EFFICIENCY)
+        print(f"  level {level} ({alphabet.concentration_for_level(level):5.0f}/µL): "
+              f"{p:.4f}")
+
+    # Step 3: error and collision rates for concrete identifiers.
+    alice = CytoIdentifier(alphabet, (2, 1))
+    neighbours = [
+        CytoIdentifier(alphabet, (1, 1)),
+        CytoIdentifier(alphabet, (3, 1)),
+        CytoIdentifier(alphabet, (2, 2)),
+    ]
+    print(f"\nidentifier {alice.as_string()}:")
+    print(f"  wrong-recovery probability: "
+          f"{identifier_error_probability(alice, PUMPED_UL, EFFICIENCY):.4f}")
+    for other in neighbours:
+        p = collision_probability(alice, other, PUMPED_UL, EFFICIENCY)
+        print(f"  collision into {other.as_string()}: {p:.6f}")
+
+
+if __name__ == "__main__":
+    main()

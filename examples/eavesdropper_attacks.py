@@ -1,0 +1,70 @@
+"""What an eavesdropper sees — and why it does not help (paper §IV-A).
+
+Runs one encrypted capture with a known ground truth and lets every
+attack in the suite try to recover the true particle count from the
+ciphertext peak report (exactly what a curious cloud holds).  Then
+re-runs the capture with individual cipher components disabled to show
+which component defeats which attack:
+
+* constant gains     -> the amplitude-run attack starts working;
+* constant flow      -> dip widths become a reliable signature;
+* consecutive keys   -> the Figure 11d periodic-train leak appears.
+
+Run:  python examples/eavesdropper_attacks.py
+"""
+
+from repro.attacks import (
+    AmplitudeClusteringAttack,
+    DivideByExpectationAttack,
+    FeatureClusteringAttack,
+    NaivePeakCountAttack,
+    PeriodicTrainAttack,
+    WidthClusteringAttack,
+    score_count_attack,
+)
+
+from repro.attacks.scenarios import encrypted_capture
+
+ATTACKS = [
+    NaivePeakCountAttack(),
+    DivideByExpectationAttack(assume_avoid_consecutive=True),
+    AmplitudeClusteringAttack(),
+    WidthClusteringAttack(),
+    PeriodicTrainAttack(),
+    FeatureClusteringAttack(),
+]
+
+
+def show(label: str, **weakenings) -> None:
+    true_count, report, knowledge = encrypted_capture(2024, **weakenings)
+    print(f"\n--- {label} ---")
+    print(f"true particles: {true_count}   ciphertext peaks: {report.count}")
+    for attack in ATTACKS:
+        estimate = attack.estimate_count(report, knowledge)
+        error = score_count_attack(estimate, true_count)
+        verdict = "DISCLOSED" if error < 0.1 else "concealed"
+        print(f"  {attack.name:<22} estimate={estimate:7.1f}  "
+              f"error={error:5.2f}  [{verdict}]")
+
+
+def main() -> None:
+    print("An eavesdropper holds the peak report and the hardware spec,")
+    print("but no key material.  Error 0.00 would be full disclosure.")
+
+    show("full cipher (E + G + S, non-consecutive keys)")
+    show("gains disabled (G constant)", constant_gains=True, constant_flow=True)
+    show(
+        "consecutive keys allowed (the Figure 11d leak)",
+        avoid_consecutive=False,
+        constant_gains=True,
+        constant_flow=True,
+    )
+
+    print("\nTakeaway: each masking dimension closes one side channel —")
+    print("peak multiplication hides counts, gains hide amplitudes, flow")
+    print("speed hides widths, and non-consecutive key patterns remove")
+    print("the periodic-train signature of §VII-A.")
+
+
+if __name__ == "__main__":
+    main()

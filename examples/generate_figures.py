@@ -1,0 +1,26 @@
+"""Regenerate the paper's evaluation figures as SVG files.
+
+Runs the live simulation behind every reproduced figure (7, 11, 12/13,
+14, 15, 16) and writes standalone SVGs to ``figures/`` — no plotting
+library needed.  Open them in any browser.
+
+Run:  python examples/generate_figures.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.plots import generate_all_figures
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    print(f"regenerating figures into {output}/ (runs real simulations)...")
+    written = generate_all_figures(output)
+    for name, path in sorted(written.items()):
+        print(f"  {name:<28} -> {path} ({path.stat().st_size / 1e3:.0f} kB)")
+    print(f"\n{len(written)} figures written.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""A shared deployment: several patients, one cloud, one record store.
+
+Demonstrates the server-side half of the paper's §V story:
+
+* every patient owns a distinct bead identifier (their pipette batch);
+* the cloud links each encrypted result to the right patient purely
+  from bead statistics — no screen passwords;
+* the §V integrity check catches a record fetched under the wrong
+  identifier;
+* a practitioner, as a *trusted* party, can receive the key schedule
+  (§VII-B), while the smartphone and cloud are refused.
+
+Run:  python examples/multi_user_clinic.py
+"""
+
+from repro import (
+    CytoIdentifier,
+    IntegrityError,
+    MedSenSession,
+    Sample,
+    TrustBoundaryError,
+)
+from repro.particles import BLOOD_CELL
+
+PATIENTS = {
+    "ana": ((2, 1), 650.0),
+    "ben": ((1, 3), 380.0),
+    "eva": ((0, 3), 180.0),
+}
+
+
+def main() -> None:
+    session = MedSenSession(rng=55)
+    alphabet = session.config.alphabet
+    for name, (levels, _) in PATIENTS.items():
+        session.authenticator.register(name, CytoIdentifier(alphabet, levels))
+
+    print("--- clinic day: three patients, one cloud ---")
+    results = {}
+    for index, (name, (levels, cd4)) in enumerate(PATIENTS.items()):
+        blood = Sample.from_concentrations({BLOOD_CELL: cd4}, volume_ul=10)
+        identifier = session.authenticator.identifier_of(name)
+        result = session.run_diagnostic(blood, identifier, duration_s=90.0,
+                                        rng=500 + index)
+        results[name] = result
+        print(
+            f"{name:<4} -> authenticated as {result.auth.user_id!r:<7} "
+            f"diagnosis: {result.diagnosis.label:<28} "
+            f"({result.diagnosis.concentration_per_ul:.0f}/µL, true {cd4:.0f})"
+        )
+
+    print(f"\nrecord store: {session.store.n_identifiers} identifiers, "
+          f"{session.store.n_records} records")
+
+    print("\n--- §V integrity check ---")
+    ana_recovered = results["ana"].auth.recovered
+    session.authenticator.verify_integrity("ana", ana_recovered)
+    print("ana's ciphertext identifier matches her record: OK")
+    try:
+        session.authenticator.verify_integrity("ben", ana_recovered)
+    except IntegrityError as error:
+        print(f"fetching ana's record as ben is caught: {error}")
+
+    print("\n--- trust boundary ---")
+    controller = session.device.controller
+    schedule = controller.export_schedule("practitioner")
+    print(f"practitioner received the key schedule ({schedule.n_epochs} epochs) "
+          "for independent result verification")
+    for party in ("smartphone", "cloud"):
+        try:
+            controller.export_schedule(party)
+        except TrustBoundaryError:
+            print(f"{party} asked for keys: refused (outside the TCB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Practitioner key sharing — the §VII-B design point, working.
+
+"MedSen's design also allows (not implemented) sharing of the generated
+keys with trusted parties, e.g., the patient's practitioners, so that
+they could also access the cloud-based analysis outcomes remotely."
+
+Flow demonstrated here:
+
+1. the patient runs a normal secure diagnostic session;
+2. the controller seals its encryption plan under a secret shared
+   out-of-band with the practitioner;
+3. the practitioner fetches the *encrypted* record from the cloud and
+   decrypts it independently — the cloud learns nothing new, and a
+   tampered key blob is detected.
+
+Run:  python examples/practitioner_review.py
+"""
+
+from repro import CytoIdentifier, IntegrityError, MedSenSession, Sample
+from repro.crypto.keyshare import PractitionerPortal, seal_plan
+from repro.particles import BLOOD_CELL
+
+SHARED_SECRET = b"printed-inside-the-pipette-box-7731"
+
+
+def main() -> None:
+    # 1. A normal patient session.
+    session = MedSenSession(rng=808)
+    identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+    session.authenticator.register("patient-12", identifier)
+    blood = Sample.from_concentrations({BLOOD_CELL: 350.0}, volume_ul=10)
+    result = session.run_diagnostic(blood, identifier, duration_s=90.0, rng=3)
+    print("patient session:")
+    print(f"  decrypted count on device: {result.decryption.total_count}")
+    print(f"  record stored under:       {result.record_key}")
+
+    # 2. The controller exports its plan to the trusted practitioner.
+    schedule = session.device.controller.export_schedule("practitioner")
+    print(f"\ncontroller released a {schedule.n_epochs}-epoch schedule "
+          "to the practitioner (TCB-sanctioned)")
+    plan = session.device.controller._plan
+    sealed = seal_plan(plan, SHARED_SECRET)
+    print(f"sealed key blob: {len(sealed)} bytes "
+          "(SHA256-CTR + HMAC, travels over any channel)")
+
+    # 3. The practitioner reviews the cloud record independently.
+    portal = PractitionerPortal(secret=SHARED_SECRET)
+    portal.receive_sealed_plan(sealed)
+    review = portal.review_latest(session.store, result.record_key)
+    print("\npractitioner's independent decryption:")
+    print(f"  recovered count: {review.total_count} "
+          f"(device said {result.decryption.total_count})")
+    agreement = review.total_count == result.decryption.total_count
+    print(f"  agreement with device: {agreement}")
+
+    # Tampering is detected.
+    corrupted = bytearray(sealed)
+    corrupted[25] ^= 0xFF
+    try:
+        PractitionerPortal(secret=SHARED_SECRET).receive_sealed_plan(bytes(corrupted))
+    except IntegrityError:
+        print("\na tampered key blob was rejected by the HMAC check")
+
+
+if __name__ == "__main__":
+    main()

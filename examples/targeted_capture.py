@@ -1,0 +1,84 @@
+"""Target-cell pre-concentration with the antibody capture chamber.
+
+Paper Figure 1: whole blood carries far more off-target cells than the
+biomarker of interest; the antibody-coated capture chamber binds the
+target species, the wash removes everything else, and the release step
+delivers an enriched suspension to the impedance sensor.  This is how
+an inexpensive counter performs a *CD4* count rather than a white-cell
+count.
+
+The example pushes a whole-blood-like sample (CD4 target plus a large
+off-target leukocyte background) through the chamber, counts the eluate
+on the sensor, and maps the measurement back to the blood concentration.
+
+Run:  python examples/targeted_capture.py
+"""
+
+import numpy as np
+
+from repro.core.device import MedSenDevice
+from repro.dsp.peakdetect import PeakDetector
+from repro.microfluidics.capture import CaptureChamber
+from repro.particles import BLOOD_CELL, Sample
+from repro.particles.library import register_particle_type
+from repro.particles.types import ParticleType
+from repro.particles.dielectric import CELL_MEMBRANE_DISPERSION
+
+TRUE_CD4_PER_UL = 420.0
+OFFTARGET_PER_UL = 4500.0
+BLOOD_VOLUME_UL = 50.0
+
+# Off-target leukocytes: same electrical family as the CD4 stand-in but
+# not bound by the antibody coating.
+OFFTARGET = ParticleType(
+    name="offtarget_leukocyte",
+    diameter_m=8.5e-6,
+    base_drop=0.0095,
+    dispersion=CELL_MEMBRANE_DISPERSION,
+    diameter_cv=0.15,
+    is_synthetic=False,
+)
+
+
+def main() -> None:
+    register_particle_type(OFFTARGET, replace=True)
+    blood = Sample.from_concentrations(
+        {BLOOD_CELL: TRUE_CD4_PER_UL, OFFTARGET: OFFTARGET_PER_UL},
+        volume_ul=BLOOD_VOLUME_UL,
+    )
+    print(f"whole blood: {blood.count_of(BLOOD_CELL)} target CD4 cells among "
+          f"{blood.total_count} leukocytes "
+          f"({100 * blood.count_of(BLOOD_CELL) / blood.total_count:.0f}% purity)")
+
+    chamber = CaptureChamber(target_type_name="blood_cell")
+    eluate, waste = chamber.process(blood, rng=np.random.default_rng(2))
+    purity = eluate.count_of(BLOOD_CELL) / max(eluate.total_count, 1)
+    print(f"\nafter capture-wash-release ({chamber.elution_volume_ul:.0f} µL eluate):")
+    print(f"  target cells: {eluate.count_of(BLOOD_CELL)} "
+          f"(yield {chamber.target_yield:.2f})")
+    print(f"  off-target carryover: {eluate.count_of(OFFTARGET)}")
+    print(f"  purity: {100 * purity:.1f}%  "
+          f"enrichment factor: {chamber.enrichment_factor(BLOOD_VOLUME_UL):.1f}x")
+
+    # Count the eluate on the sensor (plaintext calibration mode).
+    device = MedSenDevice(rng=77)
+    capture = device.run_capture(
+        eluate, 60.0, encrypt=False, rng=np.random.default_rng(3)
+    )
+    report = PeakDetector().detect(
+        capture.trace.voltages, capture.trace.sampling_rate_hz
+    )
+    measured_eluate_conc = report.count / capture.pumped_volume_ul / 0.92
+
+    blood_equivalent = chamber.blood_equivalent_concentration(
+        measured_eluate_conc, BLOOD_VOLUME_UL
+    )
+    print(f"\nsensor counted {report.count} cells in "
+          f"{capture.pumped_volume_ul:.3f} µL of eluate")
+    print(f"eluate concentration: {measured_eluate_conc:.0f}/µL")
+    print(f"blood-equivalent CD4: {blood_equivalent:.0f}/µL "
+          f"(true {TRUE_CD4_PER_UL:.0f}/µL)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Internal utilities shared across the MedSen reproduction.
+
+Nothing in this package is part of the public API; import from the
+domain packages (``repro.physics``, ``repro.crypto``, ...) instead.
+"""
+
+from repro._util.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    DecryptionError,
+    IntegrityError,
+    MedSenError,
+    TrustBoundaryError,
+    ValidationError,
+)
+from repro._util.rng import derive_rng, ensure_rng, spawn_children
+from repro._util.units import (
+    HOUR,
+    MICRO,
+    MILLI,
+    MINUTE,
+    NANO,
+    hz,
+    khz,
+    megaohm,
+    mhz,
+    microliter_per_minute,
+    micrometer,
+    millisecond,
+)
+from repro._util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "AuthenticationError",
+    "ConfigurationError",
+    "DecryptionError",
+    "IntegrityError",
+    "MedSenError",
+    "TrustBoundaryError",
+    "ValidationError",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_children",
+    "HOUR",
+    "MICRO",
+    "MILLI",
+    "MINUTE",
+    "NANO",
+    "hz",
+    "khz",
+    "megaohm",
+    "mhz",
+    "microliter_per_minute",
+    "micrometer",
+    "millisecond",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the MedSen reproduction.
+
+All library-specific failures derive from :class:`MedSenError` so callers
+can catch everything raised by this package with a single ``except``.
+"""
+
+
+class MedSenError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ValidationError(MedSenError, ValueError):
+    """A parameter is outside its physically or logically valid range."""
+
+
+class ConfigurationError(MedSenError):
+    """A component was assembled or configured inconsistently.
+
+    Examples: an electrode key referencing electrodes the array does not
+    have, or a multiplexer routed to more channels than it exposes.
+    """
+
+
+class TrustBoundaryError(MedSenError):
+    """An untrusted component attempted to access trusted-computing-base
+    state (for example, the smartphone asking the controller for key
+    material).  The simulation raises this instead of silently leaking.
+    """
+
+
+class DecryptionError(MedSenError):
+    """Decryption failed: the ciphertext is inconsistent with the key
+    schedule (wrong key, clipped epochs, or a corrupted peak report).
+    """
+
+
+class IntegrityError(MedSenError):
+    """The cyto-coded verification code recovered from a ciphertext does
+    not match the identifier used to fetch it (paper §V integrity check).
+    """
+
+
+class AuthenticationError(MedSenError):
+    """Server-side cyto-coded authentication rejected the sample."""

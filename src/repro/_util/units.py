@@ -1,0 +1,66 @@
+"""Unit helpers.
+
+The simulation uses SI base units internally (metres, seconds, hertz,
+ohms, litres for volumes).  The paper quotes quantities in mixed units
+(micrometres, kilohertz, microlitres per minute, ...); these helpers make
+call sites read like the paper.
+"""
+
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def micrometer(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * MICRO
+
+
+def millisecond(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLI
+
+
+def hz(value: float) -> float:
+    """Identity helper for readability at call sites."""
+    return float(value)
+
+
+def khz(value: float) -> float:
+    """Convert kilohertz to hertz."""
+    return value * KILO
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MEGA
+
+
+def megaohm(value: float) -> float:
+    """Convert megaohms to ohms."""
+    return value * MEGA
+
+
+def microliter(value: float) -> float:
+    """Convert microlitres to litres."""
+    return value * MICRO
+
+
+def microliter_per_minute(value: float) -> float:
+    """Convert µL/min to litres per second."""
+    return value * MICRO / MINUTE
+
+
+def liters_to_cubic_meters(value: float) -> float:
+    """Convert litres to cubic metres (1 L = 1e-3 m^3)."""
+    return value * MILLI
+
+
+def cubic_meters_to_liters(value: float) -> float:
+    """Convert cubic metres to litres."""
+    return value / MILLI

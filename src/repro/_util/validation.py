@@ -1,0 +1,74 @@
+"""Parameter validation helpers.
+
+Raise :class:`repro._util.errors.ValidationError` with a message naming
+the offending parameter, so configuration mistakes fail loudly at
+construction time instead of producing silently wrong physics.
+"""
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is positive (or non-negative)."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if allow_zero:
+        if value < 0:
+            raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies within ``[low, high]`` (bounds optional)."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValidationError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValidationError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValidationError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValidationError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, low=0.0, high=1.0)
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every element of ``array`` is finite."""
+    array = np.asarray(array)
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return array
+
+
+def check_integer(name: str, value: int, minimum: Optional[int] = None) -> int:
+    """Validate that ``value`` is an integer, optionally with a floor."""
+    if isinstance(value, bool) or int(value) != value:
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value!r}")
+    return value

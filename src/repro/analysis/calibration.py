@@ -1,0 +1,98 @@
+"""Calibration-curve fitting for the Figure 12/13 experiments.
+
+The paper plots empirical bead counts against the counts estimated from
+manufacturer concentrations, for dilution series of both bead sizes:
+"As expected, the empirical peak detection varies linearly to the
+estimated peaks at different concentrations."  The interesting
+quantities are the slope (delivery efficiency: settling + adsorption
+losses push it below 1) and the linearity (R^2).
+"""
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """Least-squares line through (estimated, measured) count pairs."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    def predict(self, estimated):
+        """Measured count predicted for an estimated count."""
+        return self.slope * np.asarray(estimated, dtype=float) + self.intercept
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether the fit explains the data well (R^2 >= 0.9)."""
+        return self.r_squared >= 0.9
+
+
+def fit_calibration(
+    estimated_counts: Sequence[float],
+    measured_counts: Sequence[float],
+) -> CalibrationCurve:
+    """Fit the measured-vs-estimated line.
+
+    Requires at least three points spanning more than one estimated
+    value (a dilution series), as in the paper's four-samples-per-
+    concentration protocol.
+    """
+    estimated = np.asarray(estimated_counts, dtype=float)
+    measured = np.asarray(measured_counts, dtype=float)
+    if estimated.shape != measured.shape:
+        raise ValidationError("estimated and measured must have the same length")
+    if estimated.size < 3:
+        raise ValidationError("need at least 3 calibration points")
+    if np.ptp(estimated) == 0:
+        raise ValidationError("estimated counts must span more than one value")
+
+    slope, intercept = np.polyfit(estimated, measured, 1)
+    predicted = slope * estimated + intercept
+    residual = measured - predicted
+    total = measured - measured.mean()
+    ss_tot = float(np.sum(total**2))
+    ss_res = float(np.sum(residual**2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return CalibrationCurve(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        n_points=int(estimated.size),
+    )
+
+
+def calibrate_delivery_efficiency(
+    bead=None,
+    concentrations_per_ul=(500.0, 1000.0, 1500.0),
+    runs_per_concentration: int = 2,
+    duration_s: float = 90.0,
+    seed0: int = 900,
+) -> CalibrationCurve:
+    """Measure the delivery efficiency on the simulated instrument.
+
+    Runs the Fig 12/13 protocol (known bead dilutions, plaintext
+    counting) and returns the fitted calibration curve; the slope *is*
+    the delivery efficiency a deployment should configure on its
+    :class:`~repro.auth.authenticator.ServerAuthenticator` instead of a
+    hand-picked constant.  A non-linear fit (low R²) means the
+    instrument is being run outside its envelope.
+    """
+    from repro.experiments import run_bead_dilution_series
+    from repro.particles.library import BEAD_7P8
+
+    estimated, measured = run_bead_dilution_series(
+        bead or BEAD_7P8,
+        concentrations_per_ul=concentrations_per_ul,
+        runs_per_concentration=runs_per_concentration,
+        duration_s=duration_s,
+        seed0=seed0,
+    )
+    return fit_calibration(estimated, measured)

@@ -1,0 +1,40 @@
+"""Entropy helpers for key and password accounting."""
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+
+
+def shannon_entropy_bits(probabilities: Sequence[float]) -> float:
+    """Shannon entropy of a discrete distribution, in bits.
+
+    Probabilities must be non-negative and sum to 1 (within tolerance).
+    """
+    p = np.asarray(probabilities, dtype=float)
+    if p.size == 0:
+        raise ValidationError("probabilities must be non-empty")
+    if np.any(p < 0):
+        raise ValidationError("probabilities must be non-negative")
+    total = p.sum()
+    if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+        raise ValidationError(f"probabilities must sum to 1, got {total}")
+    nonzero = p[p > 0]
+    return float(-np.sum(nonzero * np.log2(nonzero)))
+
+
+def uniform_entropy_bits(n_outcomes: int) -> float:
+    """Entropy of a uniform distribution over ``n_outcomes``."""
+    if n_outcomes < 1:
+        raise ValidationError(f"n_outcomes must be >= 1, got {n_outcomes}")
+    return math.log2(n_outcomes)
+
+
+def empirical_entropy_bits(samples: Sequence) -> float:
+    """Plug-in entropy estimate of observed discrete samples."""
+    if not len(samples):
+        raise ValidationError("samples must be non-empty")
+    values, counts = np.unique(np.asarray(samples, dtype=object), return_counts=True)
+    return shannon_entropy_bits(counts / counts.sum())

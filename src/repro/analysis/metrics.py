@@ -1,0 +1,102 @@
+"""Classification and counting metrics."""
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Confusion matrix over string labels."""
+
+    class_names: Tuple[str, ...]
+    matrix: np.ndarray  # rows = true, cols = predicted
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=int)
+        n = len(self.class_names)
+        if matrix.shape != (n, n):
+            raise ValidationError(f"matrix must be {n}x{n}, got {matrix.shape}")
+        object.__setattr__(self, "matrix", matrix)
+
+    @classmethod
+    def from_labels(
+        cls, true_labels: Sequence[str], predicted_labels: Sequence[str]
+    ) -> "ConfusionMatrix":
+        """Build from parallel label sequences.
+
+        Classes are the sorted union of both label sets, so rejected /
+        unknown predictions get their own column.
+        """
+        if len(true_labels) != len(predicted_labels):
+            raise ValidationError("label sequences must have equal length")
+        if not true_labels:
+            raise ValidationError("label sequences must be non-empty")
+        names = tuple(sorted(set(true_labels) | set(predicted_labels)))
+        index = {name: i for i, name in enumerate(names)}
+        matrix = np.zeros((len(names), len(names)), dtype=int)
+        for true, predicted in zip(true_labels, predicted_labels):
+            matrix[index[true], index[predicted]] += 1
+        return cls(class_names=names, matrix=matrix)
+
+    @property
+    def accuracy(self) -> float:
+        """Trace over total."""
+        total = self.matrix.sum()
+        return float(np.trace(self.matrix) / total) if total else 0.0
+
+    def per_class_recall(self) -> Dict[str, float]:
+        """True-positive rate per true class."""
+        out = {}
+        for i, name in enumerate(self.class_names):
+            row_total = self.matrix[i].sum()
+            out[name] = float(self.matrix[i, i] / row_total) if row_total else 0.0
+        return out
+
+    def count(self, true: str, predicted: str) -> int:
+        """One cell of the matrix."""
+        i = self.class_names.index(true)
+        j = self.class_names.index(predicted)
+        return int(self.matrix[i, j])
+
+
+def classification_accuracy(
+    true_labels: Sequence[str], predicted_labels: Sequence[str]
+) -> float:
+    """Fraction of exact label matches."""
+    return ConfusionMatrix.from_labels(true_labels, predicted_labels).accuracy
+
+
+def mean_absolute_percentage_error(
+    true_values: Sequence[float], estimates: Sequence[float]
+) -> float:
+    """Mean |estimate - true| / true over pairs with true > 0."""
+    true = np.asarray(true_values, dtype=float)
+    est = np.asarray(estimates, dtype=float)
+    if true.shape != est.shape:
+        raise ValidationError("sequences must have equal length")
+    mask = true > 0
+    if not mask.any():
+        raise ValidationError("at least one true value must be > 0")
+    return float(np.mean(np.abs(est[mask] - true[mask]) / true[mask]))
+
+
+def count_error_statistics(
+    true_values: Sequence[float], estimates: Sequence[float]
+) -> Dict[str, float]:
+    """Summary of counting error: MAPE, bias, and worst case."""
+    true = np.asarray(true_values, dtype=float)
+    est = np.asarray(estimates, dtype=float)
+    if true.shape != est.shape or true.size == 0:
+        raise ValidationError("sequences must be non-empty and equal length")
+    mask = true > 0
+    relative = (est[mask] - true[mask]) / true[mask]
+    return {
+        "mape": float(np.mean(np.abs(relative))),
+        "bias": float(np.mean(relative)),
+        "worst": float(np.max(np.abs(relative))) if relative.size else 0.0,
+        "n": float(mask.sum()),
+    }

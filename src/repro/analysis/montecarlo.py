@@ -1,0 +1,97 @@
+"""Monte-Carlo session runner: repeat full diagnostics across seeds.
+
+The evaluation questions of §VII are all statistical (authentication
+accuracy, count bias, stage agreement), so benchmarks and examples keep
+re-writing the same loop.  :func:`run_sessions` centralises it: build a
+fresh deployment per seed, run one full diagnostic, and aggregate the
+outcomes into a :class:`SessionStatistics` summary.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro.auth.identifier import CytoIdentifier
+from repro.core.protocol import MedSenSession, SessionResult
+from repro.particles import BLOOD_CELL, Sample
+
+
+@dataclass(frozen=True)
+class SessionStatistics:
+    """Aggregates over a batch of Monte-Carlo sessions."""
+
+    n_sessions: int
+    auth_success_rate: float
+    mean_concentration_error: float
+    mean_count_error: float
+    mean_processing_s: float
+    results: Tuple[SessionResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+
+
+def run_sessions(
+    n_sessions: int,
+    true_concentration_per_ul: float = 400.0,
+    identifier_levels: Tuple[int, ...] = (2, 1),
+    duration_s: float = 60.0,
+    blood_volume_ul: float = 10.0,
+    user_id: str = "patient",
+    base_seed: int = 0,
+    session_factory: Optional[Callable[[int], MedSenSession]] = None,
+) -> SessionStatistics:
+    """Run ``n_sessions`` independent full diagnostics and aggregate.
+
+    Each session gets its own freshly seeded deployment so runs are
+    statistically independent; concentration error is measured against
+    ``true_concentration_per_ul`` and count error against the capture's
+    ground truth.
+    """
+    if n_sessions < 1:
+        raise ValidationError("n_sessions must be >= 1")
+    if true_concentration_per_ul <= 0:
+        raise ValidationError("true_concentration_per_ul must be > 0")
+
+    results: List[SessionResult] = []
+    auth_ok = 0
+    concentration_errors = []
+    count_errors = []
+    processing = []
+    for index in range(n_sessions):
+        seed = base_seed + index
+        if session_factory is not None:
+            session = session_factory(seed)
+        else:
+            session = MedSenSession(rng=10_000 + seed)
+        identifier = CytoIdentifier(session.config.alphabet, identifier_levels)
+        session.authenticator.register(user_id, identifier)
+        blood = Sample.from_concentrations(
+            {BLOOD_CELL: true_concentration_per_ul}, volume_ul=blood_volume_ul
+        )
+        result = session.run_diagnostic(
+            blood, identifier, duration_s=duration_s, rng=seed
+        )
+        results.append(result)
+        auth_ok += int(result.auth.accepted and result.auth.user_id == user_id)
+        concentration_errors.append(
+            abs(result.diagnosis.concentration_per_ul - true_concentration_per_ul)
+            / true_concentration_per_ul
+        )
+        truth = result.capture.ground_truth.total_arrived
+        if truth > 0:
+            count_errors.append(
+                abs(result.decryption.total_count - truth) / truth
+            )
+        processing.append(result.timing.processing_s)
+
+    return SessionStatistics(
+        n_sessions=n_sessions,
+        auth_success_rate=auth_ok / n_sessions,
+        mean_concentration_error=float(np.mean(concentration_errors)),
+        mean_count_error=float(np.mean(count_errors)) if count_errors else 0.0,
+        mean_processing_s=float(np.mean(processing)),
+        results=tuple(results),
+    )

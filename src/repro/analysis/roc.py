@@ -1,0 +1,180 @@
+"""Diagnostic operating characteristics.
+
+The paper's diagnosis is "a simple threshold comparison"; for a
+deployment the interesting question is how often measurement noise
+pushes a patient across a threshold.  These helpers compute
+sensitivity/specificity of a concentration threshold given the
+measurement error model (Poisson counting + system floor), and sweep
+the threshold into an ROC curve, so deployments can size capture
+durations for a target clinical error rate.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro._util.errors import ValidationError
+from repro._util.validation import check_in_range, check_positive
+
+
+def measurement_distribution(
+    true_concentration_per_ul: float,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+):
+    """Distribution of the *measured* concentration for a true value.
+
+    The count is Poisson(true * volume * efficiency); the measured
+    concentration is count / (volume * efficiency).  Returned as a
+    frozen scipy distribution over counts plus the scale factor.
+    """
+    check_positive("sampled_volume_ul", sampled_volume_ul)
+    check_in_range("delivery_efficiency", delivery_efficiency, 0.0, 1.0, low_inclusive=False)
+    if true_concentration_per_ul < 0:
+        raise ValidationError("true concentration must be >= 0")
+    scale = sampled_volume_ul * delivery_efficiency
+    return stats.poisson(true_concentration_per_ul * scale), scale
+
+
+def probability_measured_below(
+    true_concentration_per_ul: float,
+    threshold_per_ul: float,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+) -> float:
+    """P(measured concentration < threshold | true concentration)."""
+    check_positive("threshold_per_ul", threshold_per_ul)
+    distribution, scale = measurement_distribution(
+        true_concentration_per_ul, sampled_volume_ul, delivery_efficiency
+    )
+    threshold_count = threshold_per_ul * scale
+    # Strictly below the threshold count.
+    return float(distribution.cdf(np.ceil(threshold_count) - 1))
+
+
+@dataclass(frozen=True)
+class ThresholdPerformance:
+    """Sensitivity/specificity of one decision threshold."""
+
+    threshold_per_ul: float
+    sensitivity: float  # P(flagged | truly below the clinical cut)
+    specificity: float  # P(not flagged | truly above)
+
+    @property
+    def youden_j(self) -> float:
+        """Youden's J statistic (sens + spec - 1)."""
+        return self.sensitivity + self.specificity - 1.0
+
+
+def threshold_performance(
+    decision_threshold_per_ul: float,
+    diseased_concentration_per_ul: float,
+    healthy_concentration_per_ul: float,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+) -> ThresholdPerformance:
+    """Performance of flagging 'measured < threshold' as diseased.
+
+    ``diseased`` is a representative true concentration below the
+    clinical cut, ``healthy`` one above it.
+    """
+    if diseased_concentration_per_ul >= healthy_concentration_per_ul:
+        raise ValidationError("diseased concentration must be below healthy")
+    sensitivity = probability_measured_below(
+        diseased_concentration_per_ul,
+        decision_threshold_per_ul,
+        sampled_volume_ul,
+        delivery_efficiency,
+    )
+    false_positive = probability_measured_below(
+        healthy_concentration_per_ul,
+        decision_threshold_per_ul,
+        sampled_volume_ul,
+        delivery_efficiency,
+    )
+    return ThresholdPerformance(
+        threshold_per_ul=decision_threshold_per_ul,
+        sensitivity=sensitivity,
+        specificity=1.0 - false_positive,
+    )
+
+
+def roc_curve(
+    diseased_concentration_per_ul: float,
+    healthy_concentration_per_ul: float,
+    sampled_volume_ul: float,
+    thresholds_per_ul: Sequence[float],
+    delivery_efficiency: float = 0.92,
+) -> List[ThresholdPerformance]:
+    """Sweep thresholds into an ROC curve (ascending threshold order)."""
+    if not len(thresholds_per_ul):
+        raise ValidationError("thresholds must be non-empty")
+    return [
+        threshold_performance(
+            threshold,
+            diseased_concentration_per_ul,
+            healthy_concentration_per_ul,
+            sampled_volume_ul,
+            delivery_efficiency,
+        )
+        for threshold in sorted(thresholds_per_ul)
+    ]
+
+
+def auc(points: Sequence[ThresholdPerformance]) -> float:
+    """Area under the ROC curve by trapezoidal rule.
+
+    Endpoints (0,0) and (1,1) are added implicitly.
+    """
+    if not points:
+        raise ValidationError("need at least one ROC point")
+    fpr = [0.0] + [1.0 - p.specificity for p in points] + [1.0]
+    tpr = [0.0] + [p.sensitivity for p in points] + [1.0]
+    order = np.argsort(fpr)
+    fpr = np.asarray(fpr)[order]
+    tpr = np.asarray(tpr)[order]
+    return float(np.trapezoid(tpr, fpr))
+
+
+def required_volume_for_separation(
+    diseased_concentration_per_ul: float,
+    healthy_concentration_per_ul: float,
+    target_youden_j: float = 0.95,
+    delivery_efficiency: float = 0.92,
+    max_volume_ul: float = 10.0,
+) -> float:
+    """Smallest sampled volume reaching a target Youden's J.
+
+    The decision threshold is placed at the sqrt-space midpoint (the
+    variance-stabilising optimum for Poisson counts).  Returns the
+    volume, or raises when even ``max_volume_ul`` is insufficient.
+    """
+    check_in_range("target_youden_j", target_youden_j, 0.0, 1.0, high_inclusive=False)
+    if diseased_concentration_per_ul >= healthy_concentration_per_ul:
+        raise ValidationError("diseased concentration must be below healthy")
+    import math
+
+    threshold = (
+        0.5
+        * (
+            math.sqrt(diseased_concentration_per_ul)
+            + math.sqrt(healthy_concentration_per_ul)
+        )
+    ) ** 2
+    volume = 0.01
+    while volume <= max_volume_ul:
+        performance = threshold_performance(
+            threshold,
+            diseased_concentration_per_ul,
+            healthy_concentration_per_ul,
+            volume,
+            delivery_efficiency,
+        )
+        if performance.youden_j >= target_youden_j:
+            return volume
+        volume *= 1.25
+    raise ValidationError(
+        f"even {max_volume_ul} µL does not reach Youden J {target_youden_j}"
+    )

@@ -1,0 +1,47 @@
+"""Eavesdropper attacks on the analog cipher (paper §IV-A).
+
+§IV-A walks through what "a determined attacker" would try against the
+ciphertext, and which cipher component defeats each attempt:
+
+* count the peaks directly (defeated by peak multiplication ``E``) —
+  :class:`~repro.attacks.peak_count.NaivePeakCountAttack`;
+* recover the multiplication factor from runs of equal-amplitude peaks
+  (defeated by the random gains ``G``) —
+  :class:`~repro.attacks.amplitude.AmplitudeClusteringAttack`;
+* recognise a particle's peaks by their common width (defeated by the
+  flow-speed masking ``S``) —
+  :class:`~repro.attacks.width.WidthClusteringAttack`;
+* exploit the Figure 11d leak: with consecutive electrodes active, each
+  particle yields a recognisable periodic train of peaks (defeated by
+  the §VII-A non-consecutive key patterns) —
+  :class:`~repro.attacks.pattern.PeriodicTrainAttack`;
+* brute-force the cyto-coded password space —
+  :mod:`~repro.attacks.bruteforce`.
+
+Every attack sees exactly what the curious-but-honest cloud sees (the
+peak report, plus public hardware knowledge) and never the key.
+"""
+
+from repro.attacks.amplitude import AmplitudeClusteringAttack
+from repro.attacks.base import AttackKnowledge, CountAttack, score_count_attack
+from repro.attacks.clustering import FeatureClusteringAttack
+from repro.attacks.bruteforce import bruteforce_expected_attempts, bruteforce_success_probability
+from repro.attacks.pattern import PeriodicTrainAttack
+from repro.attacks.peak_count import DivideByExpectationAttack, NaivePeakCountAttack
+from repro.attacks.scenarios import encrypted_capture
+from repro.attacks.width import WidthClusteringAttack
+
+__all__ = [
+    "AmplitudeClusteringAttack",
+    "AttackKnowledge",
+    "FeatureClusteringAttack",
+    "CountAttack",
+    "score_count_attack",
+    "bruteforce_expected_attempts",
+    "bruteforce_success_probability",
+    "PeriodicTrainAttack",
+    "DivideByExpectationAttack",
+    "encrypted_capture",
+    "NaivePeakCountAttack",
+    "WidthClusteringAttack",
+]

@@ -1,0 +1,76 @@
+"""Amplitude-matching attack (paper §IV-A).
+
+"Considering that each cell has a specific signature in term of voltage
+drop when passing through a set of electrodes, the attacker would try
+to detect consecutive peaks of the exact same amplitude and then infer
+the number of electrodes on."
+
+The attack scans each epoch for runs of near-equal-amplitude peaks,
+takes the modal run length as the estimated per-particle dip count, and
+divides.  Against a gain-less cipher this works well (every dip of a
+particle has the same amplitude); with the random per-electrode gains
+``G`` enabled, amplitudes within a particle's train differ and the run
+statistics collapse.
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.attacks.base import AttackKnowledge, CountAttack
+from repro.dsp.peakdetect import PeakReport
+
+
+class AmplitudeClusteringAttack(CountAttack):
+    """Infer the multiplication factor from equal-amplitude runs.
+
+    Parameters
+    ----------
+    amplitude_tolerance:
+        Two consecutive peaks are "the same particle" when their depths
+        agree within this relative tolerance.
+    """
+
+    name = "amplitude-runs"
+
+    def __init__(self, amplitude_tolerance: float = 0.15) -> None:
+        if amplitude_tolerance <= 0:
+            raise ValueError("amplitude_tolerance must be > 0")
+        self.amplitude_tolerance = amplitude_tolerance
+
+    # ------------------------------------------------------------------
+    def run_lengths(self, report: PeakReport, start_s: float, end_s: float) -> List[int]:
+        """Lengths of equal-amplitude runs among peaks in a window."""
+        peaks = report.peaks_between(start_s, end_s)
+        if not peaks:
+            return []
+        runs: List[int] = []
+        current = 1
+        for previous, peak in zip(peaks, peaks[1:]):
+            same = abs(peak.depth - previous.depth) <= self.amplitude_tolerance * max(
+                previous.depth, 1e-12
+            )
+            if same:
+                current += 1
+            else:
+                runs.append(current)
+                current = 1
+        runs.append(current)
+        return runs
+
+    def estimate_count(self, report: PeakReport, knowledge: AttackKnowledge) -> float:
+        """Per epoch: modal run length -> factor estimate -> division."""
+        total = 0.0
+        n_epochs = max(int(np.ceil(report.duration_s / knowledge.epoch_duration_s)), 1)
+        for index in range(n_epochs):
+            start = index * knowledge.epoch_duration_s
+            end = min(start + knowledge.epoch_duration_s, report.duration_s)
+            peaks = report.peaks_between(start, end)
+            if not peaks:
+                continue
+            runs = self.run_lengths(report, start, end)
+            # The attacker reads the modal run length as dips-per-particle.
+            values, counts = np.unique(runs, return_counts=True)
+            modal = float(values[np.argmax(counts)])
+            total += len(peaks) / max(modal, 1.0)
+        return total

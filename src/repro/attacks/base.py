@@ -1,0 +1,56 @@
+"""Attack framing: what the adversary knows and how attacks are scored.
+
+The threat model gives the eavesdropper the full ciphertext peak report
+(what a curious cloud or a network sniffer holds) and *public* hardware
+knowledge — the sensor model line, so the electrode count and geometry —
+but no key material and no flow telemetry.
+"""
+
+import abc
+from dataclasses import dataclass
+
+from repro._util.errors import ValidationError
+from repro.dsp.peakdetect import PeakReport
+from repro.hardware.electrodes import ElectrodeArray
+
+
+@dataclass(frozen=True)
+class AttackKnowledge:
+    """Public knowledge available to every attack.
+
+    Parameters
+    ----------
+    array:
+        The sensor's electrode geometry (printed on the datasheet; the
+        cipher's security must not depend on hiding it).
+    epoch_duration_s:
+        Key renewal period.  Treated as public: an attacker can learn
+        it by observing configuration-change artefacts.
+    nominal_flow_rate_ul_min:
+        The advertised operating flow rate (public spec).
+    """
+
+    array: ElectrodeArray
+    epoch_duration_s: float
+    nominal_flow_rate_ul_min: float = 0.08
+
+
+class CountAttack(abc.ABC):
+    """An attack that tries to recover the true particle count."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def estimate_count(self, report: PeakReport, knowledge: AttackKnowledge) -> float:
+        """The attacker's best estimate of the true particle count."""
+
+
+def score_count_attack(estimate: float, true_count: int) -> float:
+    """Relative count error of an attack estimate: |est - true| / true.
+
+    0 means perfect disclosure; >= ~0.5 means the diagnostic quantity
+    (e.g. a CD4 count against a threshold) is effectively concealed.
+    """
+    if true_count <= 0:
+        raise ValidationError(f"true_count must be > 0, got {true_count}")
+    return abs(float(estimate) - true_count) / true_count

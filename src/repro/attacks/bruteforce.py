@@ -1,0 +1,42 @@
+"""Brute-force analysis of the cyto-coded password space (paper §VII-C).
+
+"This increases the password space size and entropy, and hence improves
+the design's overall security against bruteforce intrusions."
+
+Unlike an online password form, each guess here costs a *physical*
+sample submission (a pipette with a candidate bead mixture), so even a
+modest password space is expensive to search.  These helpers quantify
+the expected number of attempts and the success probability of a
+bounded-attempt adversary, for alphabet-engineering benchmarks.
+"""
+
+from repro._util.errors import ValidationError
+from repro.auth.alphabet import BeadAlphabet
+from repro.auth.collision import password_space_size
+
+
+def bruteforce_expected_attempts(alphabet: BeadAlphabet) -> float:
+    """Expected guesses to hit one uniformly chosen identifier.
+
+    Sampling without replacement over a space of size N: (N + 1) / 2.
+    """
+    size = password_space_size(alphabet)
+    return (size + 1) / 2.0
+
+
+def bruteforce_success_probability(alphabet: BeadAlphabet, attempts: int) -> float:
+    """P(success) for an adversary limited to ``attempts`` guesses."""
+    if attempts < 0:
+        raise ValidationError(f"attempts must be >= 0, got {attempts}")
+    size = password_space_size(alphabet)
+    return min(attempts / size, 1.0)
+
+
+def attempts_for_success_probability(alphabet: BeadAlphabet, probability: float) -> int:
+    """Guesses needed to reach a target success probability."""
+    if not 0.0 < probability <= 1.0:
+        raise ValidationError("probability must be in (0, 1]")
+    size = password_space_size(alphabet)
+    import math
+
+    return int(math.ceil(probability * size))

@@ -1,0 +1,97 @@
+"""Joint clustering attack: the strongest keyless adversary here.
+
+The single-feature attacks (§IV-A's amplitude runs and width grouping)
+each fail against one masking dimension.  A determined adversary would
+combine features: cluster every ciphertext peak in (depth, width)
+space, hypothesise that each cluster is "one electrode configuration",
+and estimate counts per cluster.  Implemented with a small k-means
+(numpy only) so the defence-in-depth claim is tested against something
+smarter than run-length heuristics.
+
+Result (see ``bench_attacks``/tests): against the full cipher the
+cluster structure mixes particles and electrodes arbitrarily — gains
+randomise depth per *electrode* and flow randomises width per *epoch*,
+so clusters do not correspond to per-particle structure and the count
+estimate stays badly off.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro.attacks.base import AttackKnowledge, CountAttack
+from repro.dsp.peakdetect import PeakReport
+
+
+def _kmeans(points: np.ndarray, k: int, n_iterations: int = 30, seed: int = 0):
+    """Tiny deterministic k-means (numpy only)."""
+    rng = np.random.default_rng(seed)
+    n = points.shape[0]
+    k = min(k, n)
+    centers = points[rng.choice(n, size=k, replace=False)]
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iterations):
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = np.argmin(distances, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for j in range(k):
+            members = points[labels == j]
+            if members.size:
+                centers[j] = members.mean(axis=0)
+    return labels, centers
+
+
+@dataclass
+class FeatureClusteringAttack(CountAttack):
+    """k-means over (log depth, log width) ciphertext features.
+
+    The attacker assumes each cluster collects the dips of one
+    electrode configuration and sizes the configuration by the modal
+    inter-dip spacing inside the cluster; the count estimate sums
+    cluster populations divided by the inferred per-particle dip
+    counts.
+    """
+
+    name = "feature-clustering"
+    n_clusters: int = 6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValidationError("n_clusters must be >= 1")
+
+    def estimate_count(self, report: PeakReport, knowledge: AttackKnowledge) -> float:
+        """Cluster peaks in feature space and count temporal bursts."""
+        peaks = sorted(report.peaks, key=lambda p: p.time_s)
+        if not peaks:
+            return 0.0
+        if len(peaks) <= self.n_clusters:
+            return float(len(peaks))
+        features = np.array(
+            [[np.log(max(p.depth, 1e-9)), np.log(max(p.width_s, 1e-9))] for p in peaks]
+        )
+        # Standardise so depth and width weigh equally.
+        features = (features - features.mean(axis=0)) / (features.std(axis=0) + 1e-12)
+        labels, _ = _kmeans(features, self.n_clusters, seed=self.seed)
+
+        total = 0.0
+        times = np.array([p.time_s for p in peaks])
+        for cluster in range(labels.max() + 1):
+            member_times = np.sort(times[labels == cluster])
+            size = member_times.shape[0]
+            if size == 0:
+                continue
+            if size == 1:
+                total += 1.0
+                continue
+            gaps = np.diff(member_times)
+            # Dips of one particle are spaced by roughly one pitch of
+            # travel; the attacker splits the cluster into particles at
+            # gaps much larger than the modal gap.
+            modal_gap = np.median(gaps)
+            particles = 1 + int(np.sum(gaps > 5.0 * max(modal_gap, 1e-6)))
+            total += particles
+        return total

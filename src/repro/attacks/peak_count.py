@@ -1,0 +1,57 @@
+"""Baseline count attacks: count peaks, or divide by the mean factor.
+
+The naive attack treats every ciphertext peak as a particle — "the
+server analyzes the signals and counts the number of peaks, which does
+not necessarily correspond to the true number of cells" (§II).  The
+smarter baseline knows the hardware and divides by the *expected*
+multiplication factor over uniform keys; it still fails per-capture
+because the realised factors are random and epoch-dependent.
+"""
+
+import numpy as np
+
+from repro.attacks.base import AttackKnowledge, CountAttack
+from repro.dsp.peakdetect import PeakReport
+
+
+class NaivePeakCountAttack(CountAttack):
+    """Report the ciphertext peak count as the particle count."""
+
+    name = "naive-peak-count"
+
+    def estimate_count(self, report: PeakReport, knowledge: AttackKnowledge) -> float:
+        """The ciphertext peak count, taken at face value."""
+        return float(report.count)
+
+
+class DivideByExpectationAttack(CountAttack):
+    """Divide the peak count by the mean multiplication factor.
+
+    The attacker assumes uniform keys over all admissible subsets and
+    divides by E[m].  This is the best *keyless* constant-divisor
+    strategy, and its per-capture error stays large because the actual
+    epoch factors vary around the mean.
+    """
+
+    name = "divide-by-expectation"
+
+    def __init__(self, assume_avoid_consecutive: bool = False) -> None:
+        self.assume_avoid_consecutive = assume_avoid_consecutive
+
+    def expected_factor(self, knowledge: AttackKnowledge) -> float:
+        """E[m] over uniformly drawn admissible subsets.
+
+        Subset sizes are uniform over 1..max, electrodes uniform within
+        a size; E[m | k] = 2k - k/n (the lead is active with
+        probability k/n and contributes one dip instead of two).
+        """
+        n = knowledge.array.n_outputs
+        max_active = (n + 1) // 2 if self.assume_avoid_consecutive else n
+        factors = []
+        for k in range(1, max_active + 1):
+            factors.append(2.0 * k - k / n)
+        return float(np.mean(factors))
+
+    def estimate_count(self, report: PeakReport, knowledge: AttackKnowledge) -> float:
+        """Peak count divided by the expected multiplication factor."""
+        return report.count / self.expected_factor(knowledge)

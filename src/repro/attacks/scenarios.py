@@ -1,0 +1,78 @@
+"""Ready-made encrypted-capture scenarios for attack evaluation.
+
+Builds the full encrypt-acquire-detect chain with selectable cipher
+weakenings so benchmarks, tests and examples can share one definition
+of "what the eavesdropper attacks":
+
+* ``constant_gains`` — disable the ``G`` masking (every electrode at
+  unit gain);
+* ``constant_flow`` — disable the ``S`` masking (nominal flow always);
+* ``avoid_consecutive=False`` — allow the §VII-A consecutive-electrode
+  key patterns (the Figure 11d leak).
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackKnowledge
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.dsp.peakdetect import PeakDetector, PeakReport
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.flow import FlowController, FlowSpeedTable
+from repro.microfluidics.transport import TransportModel
+from repro.particles import BLOOD_CELL, Sample
+from repro.physics.lockin import LockInAmplifier
+
+DEFAULT_EPOCH_S = 2.0
+DEFAULT_DURATION_S = 60.0
+DEFAULT_CARRIERS = (500e3, 2500e3)
+
+
+def encrypted_capture(
+    seed: int,
+    constant_gains: bool = False,
+    constant_flow: bool = False,
+    avoid_consecutive: bool = True,
+    n_cells: int = 600,
+    duration_s: float = DEFAULT_DURATION_S,
+    epoch_s: float = DEFAULT_EPOCH_S,
+    carriers: Tuple[float, ...] = DEFAULT_CARRIERS,
+) -> Tuple[int, PeakReport, AttackKnowledge]:
+    """One keyed capture; returns (true_count, report, knowledge)."""
+    array = standard_array(9)
+    rng = np.random.default_rng(seed)
+    gain_table = (
+        GainTable(n_levels=1, min_gain=1.0, max_gain=1.0)
+        if constant_gains
+        else GainTable()
+    )
+    flow_table = (
+        FlowSpeedTable(n_levels=1, min_rate_ul_min=0.08, max_rate_ul_min=0.08)
+        if constant_flow
+        else FlowSpeedTable()
+    )
+    keygen = KeyGenerator(
+        n_electrodes=array.n_outputs,
+        gain_table=gain_table,
+        flow_table=flow_table,
+        avoid_consecutive=avoid_consecutive,
+        max_active=(array.n_outputs + 1) // 2 if avoid_consecutive else None,
+        position_order=array.position_order if avoid_consecutive else None,
+    )
+    schedule = keygen.generate_schedule(duration_s, epoch_s, EntropySource(rng=seed))
+    plan = EncryptionPlan(schedule, array, gain_table, flow_table)
+    encryptor = SignalEncryptor(carrier_frequencies_hz=carriers)
+    flow = FlowController()
+    encryptor.plan_flow(plan, flow)
+    sample = Sample.from_concentrations({BLOOD_CELL: n_cells}, volume_ul=5)
+    arrivals = TransportModel().schedule_arrivals(sample, flow, duration_s, rng=rng)
+    events = encryptor.events_for_arrivals(arrivals, plan)
+    lockin = LockInAmplifier(carrier_frequencies_hz=carriers)
+    trace = AcquisitionFrontEnd(lockin=lockin).acquire(events, duration_s, rng=rng)
+    report = PeakDetector().detect(trace.voltages, trace.sampling_rate_hz)
+    knowledge = AttackKnowledge(array=array, epoch_duration_s=epoch_s)
+    return len(arrivals), report, knowledge

@@ -1,0 +1,55 @@
+"""Cyto-coded passwords and patient authentication (paper §V, §VII-C).
+
+A patient's password is a secret mixture of synthetic micro-beads added
+to the blood sample: the *bead types* act as password characters and
+the *concentration level* of each type is the character value.  The
+server recovers the bead statistics from the sample and authenticates
+the patient without any on-screen entry.
+
+* :mod:`~repro.auth.alphabet` — bead types x concentration levels: the
+  password alphabet and its size/entropy.
+* :mod:`~repro.auth.identifier` — concrete identifiers, their bead
+  samples (the "pipette"), and comparison.
+* :mod:`~repro.auth.classifier` — the Gaussian (Mahalanobis)
+  nearest-centroid classifier that separates the Figure 16 clusters.
+* :mod:`~repro.auth.enrollment` — builds reference populations and a
+  trained classifier from labelled calibration runs.
+* :mod:`~repro.auth.authenticator` — server-side matching of recovered
+  bead statistics against registered identifiers, plus the §V
+  ciphertext-integrity check.
+* :mod:`~repro.auth.collision` — password-space and collision analysis
+  used to pick level spacings (§VII-C: low concentrations have lower
+  variance, allowing more distinguishable levels).
+"""
+
+from repro.auth.alphabet import BeadAlphabet, DEFAULT_ALPHABET
+from repro.auth.authenticator import AuthDecision, ServerAuthenticator
+from repro.auth.classifier import ClassificationReport, ParticleClassifier
+from repro.auth.collision import (
+    collision_probability,
+    level_confusion_probability,
+    password_space_entropy_bits,
+    password_space_size,
+)
+from repro.auth.enrollment import enroll_classifier, simulate_reference_features
+from repro.auth.identifier import CytoIdentifier
+from repro.auth.pipette import LinkagePolicy, PipetteBatch, provision_batches
+
+__all__ = [
+    "BeadAlphabet",
+    "DEFAULT_ALPHABET",
+    "AuthDecision",
+    "ServerAuthenticator",
+    "ClassificationReport",
+    "ParticleClassifier",
+    "collision_probability",
+    "level_confusion_probability",
+    "password_space_entropy_bits",
+    "password_space_size",
+    "enroll_classifier",
+    "simulate_reference_features",
+    "CytoIdentifier",
+    "LinkagePolicy",
+    "PipetteBatch",
+    "provision_batches",
+]

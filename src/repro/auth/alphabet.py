@@ -1,0 +1,114 @@
+"""The cyto-coded password alphabet (paper §V, §VII-C).
+
+"In conceptual comparison to traditional password paradigms, the number
+of password characters would correspond to the number of bead types
+involved, and specific character value within the password would
+correspond to the number (concentration) of beads of a particular
+type."
+
+A :class:`BeadAlphabet` is therefore a list of synthetic bead types,
+each with an ordered tuple of admissible concentration levels
+(particles/µL).  §VII-C observes that *low* bead concentrations have
+less variance and better resolution, so the default levels are low and
+geometrically spaced — counting noise is Poisson, so geometric spacing
+keeps every adjacent pair of levels separated by a comparable number of
+standard deviations.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.particles.library import BEAD_3P58, BEAD_7P8
+from repro.particles.types import ParticleType
+
+
+@dataclass(frozen=True)
+class BeadAlphabet:
+    """Bead types and their admissible concentration levels.
+
+    Parameters
+    ----------
+    bead_types:
+        The synthetic bead species available as password characters.
+    levels_per_ul:
+        Concentration levels, shared by all types, in particles/µL;
+        strictly increasing, may start at 0 ("character absent").
+        The defaults stay low (§VII-C) *and* keep the worst-case total
+        bead load inside the sensor's coincidence envelope: beyond
+        ~2 particles/s the multi-electrode dip trains of different
+        particles overlap and counting accuracy degrades.
+    """
+
+    bead_types: Tuple[ParticleType, ...] = (BEAD_3P58, BEAD_7P8)
+    levels_per_ul: Tuple[float, ...] = (0.0, 250.0, 550.0, 1200.0)
+
+    def __post_init__(self) -> None:
+        types = tuple(self.bead_types)
+        if not types:
+            raise ConfigurationError("alphabet requires at least one bead type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("bead types must be distinct")
+        for bead in types:
+            if not bead.is_synthetic:
+                raise ConfigurationError(
+                    f"{bead.name} is not synthetic; passwords use synthetic beads only"
+                )
+        levels = tuple(float(level) for level in self.levels_per_ul)
+        if len(levels) < 2:
+            raise ConfigurationError("alphabet requires at least two levels")
+        if any(b <= a for a, b in zip(levels, levels[1:])):
+            raise ConfigurationError("levels must be strictly increasing")
+        if levels[0] < 0:
+            raise ConfigurationError("levels must be non-negative")
+        object.__setattr__(self, "bead_types", types)
+        object.__setattr__(self, "levels_per_ul", levels)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_characters(self) -> int:
+        """Password length: the number of bead types."""
+        return len(self.bead_types)
+
+    @property
+    def n_levels(self) -> int:
+        """Character-value count: levels per bead type."""
+        return len(self.levels_per_ul)
+
+    def concentration_for_level(self, level: int) -> float:
+        """Concentration (particles/µL) of a level index."""
+        if not 0 <= level < self.n_levels:
+            raise ConfigurationError(f"level {level} out of range 0..{self.n_levels - 1}")
+        return self.levels_per_ul[level]
+
+    def nearest_level(self, concentration_per_ul: float) -> int:
+        """Level whose concentration best explains a measurement.
+
+        Comparison happens in sqrt space: bead counting is Poisson, so
+        sqrt is the variance-stabilising transform and the decision
+        boundaries sit a constant number of standard deviations from
+        each level.
+        """
+        if concentration_per_ul < 0:
+            concentration_per_ul = 0.0
+        import math
+
+        observed = math.sqrt(concentration_per_ul)
+        best_level, best_error = 0, float("inf")
+        for level, reference in enumerate(self.levels_per_ul):
+            error = abs(observed - math.sqrt(reference))
+            if error < best_error:
+                best_level, best_error = level, error
+        return best_level
+
+    def bead_type_named(self, name: str) -> ParticleType:
+        """Look up one of the alphabet's bead types by name."""
+        for bead in self.bead_types:
+            if bead.name == name:
+                return bead
+        raise ConfigurationError(f"bead type {name!r} is not in this alphabet")
+
+
+#: The prototype's alphabet: the paper's two fabricated bead sizes.
+DEFAULT_ALPHABET = BeadAlphabet()

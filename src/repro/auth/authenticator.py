@@ -1,0 +1,187 @@
+"""Server-side cyto-coded authentication (paper §V).
+
+"The cloud server authenticates the user based on the statistics and
+characteristics of the beads with the blood sample, and links the
+user's identity to the encrypted analysis outcomes."
+
+The server holds a registry of (user id, identifier) pairs.  Given the
+bead counts recovered from a sample and the pumped volume, it converts
+counts to concentrations (correcting for the calibrated delivery
+efficiency), quantises them to alphabet levels, and matches the
+recovered identifier against the registry.  The same recovered
+identifier doubles as the §V integrity check on stored ciphertexts.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro._util.errors import AuthenticationError, ConfigurationError, IntegrityError
+from repro._util.validation import check_in_range, check_positive
+from repro.auth.alphabet import BeadAlphabet
+from repro.auth.classifier import ClassificationReport
+from repro.auth.identifier import CytoIdentifier
+
+
+@dataclass(frozen=True)
+class AuthDecision:
+    """Outcome of one authentication attempt."""
+
+    accepted: bool
+    user_id: Optional[str]
+    recovered: CytoIdentifier
+    measured_concentrations_per_ul: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "measured_concentrations_per_ul",
+            tuple(float(c) for c in self.measured_concentrations_per_ul),
+        )
+
+
+class ServerAuthenticator:
+    """Registry plus the count-to-identifier decision procedure.
+
+    Parameters
+    ----------
+    alphabet:
+        The deployment's bead alphabet.
+    delivery_efficiency:
+        Calibrated fraction of beads that survive inlet settling and
+        wall adsorption (the Fig 12/13 slope); measured concentrations
+        are divided by it before level quantisation.
+    """
+
+    def __init__(self, alphabet: BeadAlphabet, delivery_efficiency: float = 0.92) -> None:
+        check_in_range("delivery_efficiency", delivery_efficiency, 0.0, 1.0, low_inclusive=False)
+        self.alphabet = alphabet
+        self.delivery_efficiency = delivery_efficiency
+        self._registry: Dict[str, CytoIdentifier] = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, user_id: str, identifier: CytoIdentifier) -> None:
+        """Register a user's identifier.
+
+        Rejects duplicate *identifiers* as well as duplicate user ids:
+        two users sharing an identifier could not be told apart (the
+        collision §V/§VII-C is engineered to avoid).
+        """
+        if not user_id:
+            raise ConfigurationError("user_id must be non-empty")
+        if user_id in self._registry:
+            raise ConfigurationError(f"user {user_id!r} is already registered")
+        for existing_user, existing in self._registry.items():
+            if existing.matches(identifier):
+                raise ConfigurationError(
+                    f"identifier already registered to {existing_user!r}; "
+                    "identifiers must be unique"
+                )
+        self._registry[user_id] = identifier
+
+    def deregister(self, user_id: str) -> None:
+        """Remove a user from the registry."""
+        if user_id not in self._registry:
+            raise ConfigurationError(f"user {user_id!r} is not registered")
+        del self._registry[user_id]
+
+    @property
+    def n_registered(self) -> int:
+        """Number of registered users."""
+        return len(self._registry)
+
+    def identifier_of(self, user_id: str) -> CytoIdentifier:
+        """Registered identifier of a user."""
+        try:
+            return self._registry[user_id]
+        except KeyError:
+            raise ConfigurationError(f"user {user_id!r} is not registered") from None
+
+    # ------------------------------------------------------------------
+    # Recovery and matching
+    # ------------------------------------------------------------------
+    def recover_identifier(
+        self,
+        bead_counts: Mapping[str, float],
+        pumped_volume_ul: float,
+    ) -> Tuple[CytoIdentifier, Tuple[float, ...]]:
+        """Quantise measured bead counts to the nearest identifier.
+
+        ``bead_counts`` maps bead-type names to counted beads (possibly
+        non-integer after clean-fraction scaling).  Returns the
+        recovered identifier and the loss-corrected concentrations.
+        """
+        check_positive("pumped_volume_ul", pumped_volume_ul)
+        levels = []
+        concentrations = []
+        for bead in self.alphabet.bead_types:
+            count = float(bead_counts.get(bead.name, 0.0))
+            if count < 0:
+                raise ConfigurationError(f"negative count for {bead.name}")
+            concentration = count / pumped_volume_ul / self.delivery_efficiency
+            concentrations.append(concentration)
+            levels.append(self.alphabet.nearest_level(concentration))
+        recovered = CytoIdentifier(alphabet=self.alphabet, levels=tuple(levels))
+        return recovered, tuple(concentrations)
+
+    def authenticate(
+        self,
+        bead_counts: Mapping[str, float],
+        pumped_volume_ul: float,
+    ) -> AuthDecision:
+        """Match recovered bead statistics against the registry."""
+        try:
+            recovered, concentrations = self.recover_identifier(
+                bead_counts, pumped_volume_ul
+            )
+        except Exception as exc:  # all-absent recovery -> no password beads
+            raise AuthenticationError(f"could not recover an identifier: {exc}") from exc
+        for user_id, registered in self._registry.items():
+            if registered.matches(recovered):
+                return AuthDecision(
+                    accepted=True,
+                    user_id=user_id,
+                    recovered=recovered,
+                    measured_concentrations_per_ul=concentrations,
+                )
+        return AuthDecision(
+            accepted=False,
+            user_id=None,
+            recovered=recovered,
+            measured_concentrations_per_ul=concentrations,
+        )
+
+    # ------------------------------------------------------------------
+    # §V integrity check
+    # ------------------------------------------------------------------
+    def verify_integrity(self, user_id: str, recovered: CytoIdentifier) -> None:
+        """Check a ciphertext's embedded identifier against its record.
+
+        "If the identifier recovered from the ciphertext differs from
+        the one used to fetch the data from the remote service, then
+        the ciphertext is not the one corresponding to the identifier."
+        Raises :class:`IntegrityError` on mismatch.
+        """
+        registered = self.identifier_of(user_id)
+        if not registered.matches(recovered):
+            raise IntegrityError(
+                f"ciphertext identifier {recovered.as_string()} does not match "
+                f"the record registered to {user_id!r} ({registered.as_string()})"
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def counts_from_classification(
+        report: ClassificationReport, scale: float = 1.0
+    ) -> Dict[str, float]:
+        """Bead counts per class from a classification report.
+
+        ``scale`` extrapolates from the cleanly recovered subset to the
+        full recovered count (total_count / clean_count).
+        """
+        if scale <= 0:
+            raise ConfigurationError("scale must be > 0")
+        return {name: count * scale for name, count in report.counts().items()}

@@ -1,0 +1,198 @@
+"""Gaussian nearest-centroid particle classifier (the Figure 16 step).
+
+The server must tell password beads apart from blood cells (and bead
+types from each other) using only per-particle amplitude features at a
+few carrier frequencies.  Figure 16 shows the three populations form
+well-separated clusters in the (500 kHz, 2500 kHz) amplitude plane; a
+Gaussian model per class with Mahalanobis-distance assignment separates
+them "with clear margins" and additionally yields a rejection rule for
+outliers (particles matching no known population).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class _ClassModel:
+    """Fitted Gaussian for one particle class."""
+
+    name: str
+    mean: np.ndarray
+    covariance: np.ndarray
+    inverse_covariance: np.ndarray
+    n_training: int
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Outcome of classifying a batch of particles."""
+
+    labels: Tuple[str, ...]
+    distances: np.ndarray  # (n_particles, n_classes) Mahalanobis distances
+    class_names: Tuple[str, ...]
+    rejected: Tuple[bool, ...]
+
+    def counts(self) -> Dict[str, int]:
+        """Accepted particles per class."""
+        out: Dict[str, int] = {name: 0 for name in self.class_names}
+        for label, rejected in zip(self.labels, self.rejected):
+            if not rejected:
+                out[label] += 1
+        return out
+
+    @property
+    def n_rejected(self) -> int:
+        """Particles assigned to no known population."""
+        return sum(self.rejected)
+
+
+class ParticleClassifier:
+    """Mahalanobis nearest-centroid classifier with outlier rejection.
+
+    Parameters
+    ----------
+    rejection_distance:
+        Particles farther than this Mahalanobis distance from *every*
+        class centroid are rejected rather than force-assigned.  With
+        2-D Gaussian features, 3.5 keeps >99.7 % of in-class particles.
+    regularization:
+        Diagonal loading added to covariance estimates for numerical
+        stability with small training sets.
+    """
+
+    def __init__(self, rejection_distance: float = 3.5, regularization: float = 1e-12) -> None:
+        if rejection_distance <= 0:
+            raise ValidationError("rejection_distance must be > 0")
+        if regularization < 0:
+            raise ValidationError("regularization must be >= 0")
+        self.rejection_distance = rejection_distance
+        self.regularization = regularization
+        self._classes: List[_ClassModel] = []
+        self._n_features: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the classifier has at least one fitted class."""
+        return bool(self._classes)
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        """Fitted class names in fit order."""
+        return tuple(model.name for model in self._classes)
+
+    def fit(self, features_by_class: Mapping[str, np.ndarray]) -> "ParticleClassifier":
+        """Fit one Gaussian per class from labelled feature matrices.
+
+        ``features_by_class`` maps class name to an ``(n_i, d)`` array;
+        every class needs at least ``d + 1`` training particles.
+        """
+        if not features_by_class:
+            raise ConfigurationError("fit() requires at least one class")
+        self._classes = []
+        self._n_features = None
+        for name, features in features_by_class.items():
+            features = np.asarray(features, dtype=float)
+            if features.ndim != 2:
+                raise ValidationError(f"features for {name!r} must be 2-D")
+            n, d = features.shape
+            if self._n_features is None:
+                self._n_features = d
+            elif d != self._n_features:
+                raise ValidationError("all classes must share the feature dimension")
+            if n < d + 1:
+                raise ValidationError(
+                    f"class {name!r} has {n} training particles; needs >= {d + 1}"
+                )
+            mean = features.mean(axis=0)
+            centered = features - mean
+            covariance = centered.T @ centered / (n - 1)
+            covariance = covariance + self.regularization * np.eye(d)
+            try:
+                inverse = np.linalg.inv(covariance)
+            except np.linalg.LinAlgError:
+                covariance = covariance + 1e-9 * np.eye(d) * float(np.trace(covariance))
+                inverse = np.linalg.inv(covariance)
+            self._classes.append(
+                _ClassModel(
+                    name=name,
+                    mean=mean,
+                    covariance=covariance,
+                    inverse_covariance=inverse,
+                    n_training=n,
+                )
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def mahalanobis_distances(self, features: np.ndarray) -> np.ndarray:
+        """(n, n_classes) Mahalanobis distance matrix."""
+        self._require_fitted()
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != self._n_features:
+            raise ValidationError(
+                f"features have {features.shape[1]} dims, classifier fitted on "
+                f"{self._n_features}"
+            )
+        distances = np.empty((features.shape[0], len(self._classes)))
+        for j, model in enumerate(self._classes):
+            delta = features - model.mean
+            distances[:, j] = np.sqrt(np.einsum("ni,ij,nj->n", delta, model.inverse_covariance, delta))
+        return distances
+
+    def classify(self, features: np.ndarray) -> ClassificationReport:
+        """Assign each particle to its nearest class (or reject)."""
+        distances = self.mahalanobis_distances(features)
+        nearest = np.argmin(distances, axis=1)
+        best = distances[np.arange(distances.shape[0]), nearest]
+        labels = tuple(self._classes[j].name for j in nearest)
+        rejected = tuple(bool(d > self.rejection_distance) for d in best)
+        return ClassificationReport(
+            labels=labels,
+            distances=distances,
+            class_names=self.class_names,
+            rejected=rejected,
+        )
+
+    def predict(self, features: np.ndarray) -> List[str]:
+        """Labels only (rejected particles labelled ``"rejected"``)."""
+        report = self.classify(features)
+        return [
+            "rejected" if rejected else label
+            for label, rejected in zip(report.labels, report.rejected)
+        ]
+
+    # ------------------------------------------------------------------
+    def margin_between(self, class_a: str, class_b: str) -> float:
+        """Separation margin between two classes in pooled-σ units.
+
+        Mahalanobis distance between the two centroids under the pooled
+        covariance, the standard separability index; the paper's "clear
+        margins" claim corresponds to values well above ~4.
+        """
+        model_a = self._model_named(class_a)
+        model_b = self._model_named(class_b)
+        pooled = 0.5 * (model_a.covariance + model_b.covariance)
+        delta = model_a.mean - model_b.mean
+        return float(np.sqrt(delta @ np.linalg.inv(pooled) @ delta))
+
+    def centroid(self, class_name: str) -> np.ndarray:
+        """Fitted centroid of one class."""
+        return self._model_named(class_name).mean.copy()
+
+    # ------------------------------------------------------------------
+    def _model_named(self, name: str) -> _ClassModel:
+        self._require_fitted()
+        for model in self._classes:
+            if model.name == name:
+                return model
+        raise ConfigurationError(f"class {name!r} not fitted; have {self.class_names}")
+
+    def _require_fitted(self) -> None:
+        if not self._classes:
+            raise ConfigurationError("classifier is not fitted")

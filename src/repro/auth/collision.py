@@ -1,0 +1,181 @@
+"""Password-space and collision analysis (paper §V / §VII-C).
+
+"Section VI and Section VII describe how to chose the bead types and
+concentrations in order to generate a dictionary of unique identifiers
+with limited risk of collisions of passwords by different users."
+
+Bead counting is Poisson: a user whose identifier encodes level ``a``
+for some bead type will be *measured* at a fluctuating count, and the
+quantiser may land on the neighbouring level ``b``.  These helpers
+compute that confusion probability exactly (Poisson tail masses over
+the sqrt-space decision boundaries) so alphabets can be engineered for
+a target error rate — and they quantify why §VII-C prefers *low*
+concentrations: relative Poisson noise shrinks as 1/sqrt(N), so for a
+fixed number of distinguishable levels, low geometric levels give more
+levels per usable range.
+"""
+
+import math
+from typing import Tuple
+
+from scipy import stats
+
+from repro._util.errors import ValidationError
+from repro._util.validation import check_in_range, check_positive
+from repro.auth.alphabet import BeadAlphabet
+from repro.auth.identifier import CytoIdentifier
+
+
+def password_space_size(alphabet: BeadAlphabet) -> int:
+    """Number of valid identifiers: ``L^T - (all-absent combinations)``.
+
+    Only the single all-zero-concentration combination is invalid (an
+    identifier must contain at least one bead), and only when level 0
+    encodes concentration zero.
+    """
+    total = alphabet.n_levels**alphabet.n_characters
+    if alphabet.concentration_for_level(0) == 0.0:
+        total -= 1
+    return total
+
+
+def password_space_entropy_bits(alphabet: BeadAlphabet) -> float:
+    """log2 of the password-space size."""
+    return math.log2(password_space_size(alphabet))
+
+
+def _expected_count(
+    alphabet: BeadAlphabet,
+    level: int,
+    sampled_volume_ul: float,
+    delivery_efficiency: float,
+) -> float:
+    concentration = alphabet.concentration_for_level(level)
+    return concentration * sampled_volume_ul * delivery_efficiency
+
+
+def level_confusion_probability(
+    alphabet: BeadAlphabet,
+    true_level: int,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+) -> float:
+    """Probability a bead type at ``true_level`` is quantised elsewhere.
+
+    The measured count is Poisson with the loss-corrected expectation;
+    the quantiser picks the nearest level in sqrt space, so the correct
+    decision region is an interval of counts whose Poisson mass we
+    evaluate exactly.
+    """
+    check_positive("sampled_volume_ul", sampled_volume_ul)
+    check_in_range("delivery_efficiency", delivery_efficiency, 0.0, 1.0, low_inclusive=False)
+    if not 0 <= true_level < alphabet.n_levels:
+        raise ValidationError(f"true_level {true_level} out of range")
+
+    expected = _expected_count(alphabet, true_level, sampled_volume_ul, delivery_efficiency)
+    # Decision boundaries in *count* units.  The quantiser compares
+    # sqrt(concentration_measured) to sqrt(level concentrations); since
+    # concentration = count / (volume * efficiency) with positive scale,
+    # boundaries map monotonically to counts.
+    scale = sampled_volume_ul * delivery_efficiency
+
+    def boundary(level_low: int, level_high: int) -> float:
+        """Count-space decision boundary between two adjacent levels."""
+        c_low = alphabet.concentration_for_level(level_low)
+        c_high = alphabet.concentration_for_level(level_high)
+        sqrt_mid = 0.5 * (math.sqrt(c_low) + math.sqrt(c_high))
+        return (sqrt_mid**2) * scale
+
+    lower = boundary(true_level - 1, true_level) if true_level > 0 else -math.inf
+    upper = (
+        boundary(true_level, true_level + 1)
+        if true_level < alphabet.n_levels - 1
+        else math.inf
+    )
+
+    if expected == 0.0:
+        # Deterministic zero count: confused only if 0 falls outside
+        # the decision region (cannot happen when level 0 is zero).
+        in_region = (lower < 0.0) and (0.0 <= upper)
+        return 0.0 if in_region else 1.0
+
+    distribution = stats.poisson(expected)
+    mass_below = distribution.cdf(math.floor(lower)) if lower > -math.inf else 0.0
+    mass_at_or_below_upper = (
+        distribution.cdf(math.floor(upper)) if upper < math.inf else 1.0
+    )
+    correct = mass_at_or_below_upper - mass_below
+    return float(min(max(1.0 - correct, 0.0), 1.0))
+
+
+def identifier_error_probability(
+    identifier: CytoIdentifier,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+) -> float:
+    """Probability the identifier is recovered with >= 1 wrong character."""
+    correct = 1.0
+    for level in identifier.levels:
+        confusion = level_confusion_probability(
+            identifier.alphabet, level, sampled_volume_ul, delivery_efficiency
+        )
+        correct *= 1.0 - confusion
+    return 1.0 - correct
+
+
+def collision_probability(
+    identifier_a: CytoIdentifier,
+    identifier_b: CytoIdentifier,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+) -> float:
+    """Probability a sample from user A is *recovered as* identifier B.
+
+    Upper-bounds per-character: characters where A and B agree must be
+    recovered correctly; characters where they differ must each be
+    confused into exactly B's level, which we bound by the total
+    confusion probability of A's level.
+    """
+    if identifier_a.alphabet is not identifier_b.alphabet and (
+        identifier_a.alphabet.levels_per_ul != identifier_b.alphabet.levels_per_ul
+    ):
+        raise ValidationError("identifiers must share an alphabet")
+    probability = 1.0
+    for level_a, level_b in zip(identifier_a.levels, identifier_b.levels):
+        confusion = level_confusion_probability(
+            identifier_a.alphabet, level_a, sampled_volume_ul, delivery_efficiency
+        )
+        probability *= (1.0 - confusion) if level_a == level_b else confusion
+    return probability
+
+
+def min_distinguishable_levels(
+    max_concentration_per_ul: float,
+    sampled_volume_ul: float,
+    delivery_efficiency: float = 0.92,
+    sigma_separation: float = 4.0,
+) -> Tuple[int, Tuple[float, ...]]:
+    """How many levels fit under ``max_concentration`` at a target margin.
+
+    Builds levels from 0 upward such that adjacent levels are separated
+    by ``sigma_separation`` Poisson standard deviations in sqrt space
+    (where the Poisson sd is ~1/2 independent of rate), and returns the
+    level count and the level concentrations.  Demonstrates the §VII-C
+    observation: halving the top concentration costs only ~one level.
+    """
+    check_positive("max_concentration_per_ul", max_concentration_per_ul)
+    check_positive("sampled_volume_ul", sampled_volume_ul)
+    check_positive("sigma_separation", sigma_separation)
+    scale = sampled_volume_ul * delivery_efficiency
+    # sqrt(count) has sd ~ 1/2 for Poisson; adjacent sqrt-count spacing
+    # must be >= sigma_separation / 2.
+    step = sigma_separation / 2.0
+    levels = [0.0]
+    sqrt_count = 0.0
+    while True:
+        sqrt_count += step
+        concentration = (sqrt_count**2) / scale
+        if concentration > max_concentration_per_ul:
+            break
+        levels.append(concentration)
+    return len(levels), tuple(levels)

@@ -1,0 +1,123 @@
+"""Cyto-coded identifiers: concrete passwords over a bead alphabet.
+
+An identifier assigns one concentration level to each bead type of the
+alphabet.  ``to_sample`` manufactures the corresponding "pipette": the
+bead suspension a patient mixes with their blood (paper §II: "the
+user's blood sample is mixed with a user-specific number of artificial
+beads before passing through the MedSen's sensor").
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro._util.rng import RngLike, ensure_rng
+from repro.auth.alphabet import BeadAlphabet
+from repro.particles.sample import Sample
+from repro.particles.types import ParticleType
+
+
+@dataclass(frozen=True)
+class CytoIdentifier:
+    """One patient's cyto-coded password.
+
+    ``levels`` holds one level index per alphabet bead type, in the
+    alphabet's type order.  At least one character must be non-zero —
+    an all-absent identifier would be indistinguishable from plain
+    blood (and could not serve the §V integrity check).
+    """
+
+    alphabet: BeadAlphabet
+    levels: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        levels = tuple(int(level) for level in self.levels)
+        if len(levels) != self.alphabet.n_characters:
+            raise ValidationError(
+                f"identifier needs {self.alphabet.n_characters} levels, got {len(levels)}"
+            )
+        for level in levels:
+            if not 0 <= level < self.alphabet.n_levels:
+                raise ValidationError(
+                    f"level {level} out of range 0..{self.alphabet.n_levels - 1}"
+                )
+        if all(self.alphabet.concentration_for_level(level) == 0.0 for level in levels):
+            raise ValidationError("identifier must contain at least one non-absent bead type")
+        object.__setattr__(self, "levels", levels)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, alphabet: BeadAlphabet, rng: RngLike = None) -> "CytoIdentifier":
+        """Draw a uniformly random valid identifier."""
+        generator = ensure_rng(rng)
+        while True:
+            levels = tuple(
+                int(generator.integers(0, alphabet.n_levels))
+                for _ in range(alphabet.n_characters)
+            )
+            if any(alphabet.concentration_for_level(level) > 0 for level in levels):
+                return cls(alphabet=alphabet, levels=levels)
+
+    # ------------------------------------------------------------------
+    def concentrations_per_ul(self) -> Dict[ParticleType, float]:
+        """Bead concentration per type encoded by this identifier."""
+        return {
+            bead: self.alphabet.concentration_for_level(level)
+            for bead, level in zip(self.alphabet.bead_types, self.levels)
+        }
+
+    def to_sample(
+        self,
+        volume_ul: float,
+        final_volume_ul: Optional[float] = None,
+        rng: RngLike = None,
+        poisson: bool = True,
+    ) -> Sample:
+        """Manufacture the password pipette: a bead suspension.
+
+        The alphabet's levels are concentrations *in the sample the
+        sensor sees*.  Pass ``final_volume_ul`` (blood + pipette) and
+        the pipette is manufactured proportionally more concentrated,
+        so that after mixing the final concentrations hit the levels —
+        this is what "specifically crafted mini-pipettes" (§II) encode.
+
+        With ``poisson=True`` the realised bead counts fluctuate around
+        the nominal concentrations the way a real aliquot does.
+        """
+        factor = 1.0
+        if final_volume_ul is not None:
+            if final_volume_ul < volume_ul:
+                raise ValidationError(
+                    "final_volume_ul must be >= the pipette volume"
+                )
+            factor = final_volume_ul / volume_ul
+        concentrations = {
+            bead: concentration * factor
+            for bead, concentration in self.concentrations_per_ul().items()
+        }
+        return Sample.from_concentrations(
+            concentrations, volume_ul=volume_ul, rng=rng, poisson=poisson
+        )
+
+    # ------------------------------------------------------------------
+    def matches(self, other: "CytoIdentifier") -> bool:
+        """Exact identifier equality (same alphabet and levels)."""
+        return (
+            self.alphabet.levels_per_ul == other.alphabet.levels_per_ul
+            and tuple(t.name for t in self.alphabet.bead_types)
+            == tuple(t.name for t in other.alphabet.bead_types)
+            and self.levels == other.levels
+        )
+
+    def hamming_distance(self, other: "CytoIdentifier") -> int:
+        """Number of characters (bead types) whose levels differ."""
+        if len(self.levels) != len(other.levels):
+            raise ConfigurationError("identifiers have different lengths")
+        return sum(1 for a, b in zip(self.levels, other.levels) if a != b)
+
+    def as_string(self) -> str:
+        """Human-readable form, e.g. ``bead_3.58um:2|bead_7.8um:0``."""
+        return "|".join(
+            f"{bead.name}:{level}"
+            for bead, level in zip(self.alphabet.bead_types, self.levels)
+        )

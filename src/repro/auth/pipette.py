@@ -1,0 +1,156 @@
+"""Pipette manufacturing: physical carriers of cyto-coded identifiers.
+
+Paper §V: an identifier "can be associated either to a single
+diagnostic (different identifiers per pipette), several diagnostics
+(multiple pipettes carrying the same identifier) or the entire set of
+diagnostics from a specific user (all pipettes from a user) depending
+on the diagnostic privacy requirements", and §VI-B: "A set of
+miniaturized micro-pipettes purchased by the same user would embed the
+same identifier."
+
+:class:`PipetteBatch` models one manufactured batch: N single-use
+pipettes whose realised bead contents fluctuate around the identifier's
+nominal concentrations with a manufacturing tolerance.  Privacy policy
+is expressed through batch granularity (per-test, per-course, or
+per-user batches).
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_in_range, check_positive
+from repro.auth.identifier import CytoIdentifier
+from repro.particles.sample import Sample
+
+
+class LinkagePolicy(enum.Enum):
+    """How many diagnostics one identifier links together (§V)."""
+
+    PER_TEST = "per_test"  # a fresh identifier per pipette
+    PER_COURSE = "per_course"  # one identifier per treatment course
+    PER_USER = "per_user"  # one identifier for everything
+
+
+@dataclass
+class PipetteBatch:
+    """A manufactured box of password pipettes.
+
+    Parameters
+    ----------
+    identifier:
+        The cyto-coded identifier embedded in every pipette.
+    n_pipettes:
+        Pipettes in the box.
+    pipette_volume_ul:
+        Bead suspension volume per pipette.
+    manufacturing_cv:
+        Relative lot-to-lot concentration tolerance of the filling
+        process (adds to Poisson fluctuation).
+    """
+
+    identifier: CytoIdentifier
+    n_pipettes: int = 25
+    pipette_volume_ul: float = 2.0
+    manufacturing_cv: float = 0.03
+    policy: LinkagePolicy = LinkagePolicy.PER_USER
+
+    def __post_init__(self) -> None:
+        if self.n_pipettes < 1:
+            raise ConfigurationError("n_pipettes must be >= 1")
+        check_positive("pipette_volume_ul", self.pipette_volume_ul)
+        check_in_range("manufacturing_cv", self.manufacturing_cv, 0.0, 0.5)
+        self._remaining = self.n_pipettes
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Unused pipettes left in the box."""
+        return self._remaining
+
+    def draw_pipette(
+        self,
+        final_volume_ul: Optional[float] = None,
+        rng: RngLike = None,
+    ) -> Sample:
+        """Take one pipette from the box (single use).
+
+        The realised concentrations include manufacturing tolerance on
+        top of the aliquot's Poisson statistics.  Raises when the box
+        is empty — the patient must order a new batch.
+        """
+        if self._remaining <= 0:
+            raise ConfigurationError("pipette box is empty; order a new batch")
+        generator = ensure_rng(rng)
+        self._remaining -= 1
+        nominal = self.identifier.to_sample(
+            self.pipette_volume_ul,
+            final_volume_ul=final_volume_ul,
+            rng=generator,
+            poisson=True,
+        )
+        if self.manufacturing_cv == 0.0:
+            return nominal
+        scale = max(1.0 + generator.normal(0.0, self.manufacturing_cv), 0.0)
+        counts = {
+            ptype: max(int(round(count * scale)), 0)
+            for ptype, count in nominal.counts.items()
+        }
+        return Sample(volume_liters=nominal.volume_liters, counts=counts)
+
+    # ------------------------------------------------------------------
+    def linkable_records(self, n_tests: int) -> int:
+        """How many of ``n_tests`` become linkable under the policy.
+
+        PER_TEST: nothing links (1 record per identifier);
+        PER_COURSE / PER_USER: every test in the batch's scope links.
+        """
+        if n_tests < 0:
+            raise ValidationError("n_tests must be >= 0")
+        if self.policy is LinkagePolicy.PER_TEST:
+            return min(n_tests, 1)
+        return n_tests
+
+
+def provision_batches(
+    identifier: CytoIdentifier,
+    n_tests: int,
+    policy: LinkagePolicy,
+    tests_per_course: int = 5,
+    rng: RngLike = None,
+) -> List[PipetteBatch]:
+    """Manufacture batches implementing a linkage policy for a patient.
+
+    PER_TEST mints a fresh random identifier per pipette (maximum
+    unlinkability); PER_COURSE one identifier per ``tests_per_course``
+    block; PER_USER a single batch with the given identifier.
+    """
+    if n_tests < 1:
+        raise ValidationError("n_tests must be >= 1")
+    if tests_per_course < 1:
+        raise ValidationError("tests_per_course must be >= 1")
+    generator = ensure_rng(rng)
+    if policy is LinkagePolicy.PER_USER:
+        return [PipetteBatch(identifier, n_pipettes=n_tests, policy=policy)]
+    if policy is LinkagePolicy.PER_COURSE:
+        batches = []
+        remaining = n_tests
+        while remaining > 0:
+            size = min(tests_per_course, remaining)
+            course_identifier = CytoIdentifier.random(identifier.alphabet, rng=generator)
+            batches.append(
+                PipetteBatch(course_identifier, n_pipettes=size, policy=policy)
+            )
+            remaining -= size
+        return batches
+    # PER_TEST
+    return [
+        PipetteBatch(
+            CytoIdentifier.random(identifier.alphabet, rng=generator),
+            n_pipettes=1,
+            policy=policy,
+        )
+        for _ in range(n_tests)
+    ]

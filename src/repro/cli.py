@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Six subcommands cover the workflows a bench scientist or security
+reviewer would reach for first:
+
+* ``demo``      — one full secure diagnostic session, verbose
+  (``--report`` writes a Markdown session report).
+* ``keysize``   — Eq. 2 key-length calculator.
+* ``attacks``   — run the eavesdropper suite against a fresh capture.
+* ``selftest``  — electrode-array self-test with optional injected
+  faults (``--dead/--weak/--stuck``).
+* ``figures``   — regenerate the paper's evaluation figures as SVG.
+* ``alphabet``  — password-space statistics for the default alphabet.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._util.errors import MedSenError
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import CytoIdentifier, MedSenSession, Sample
+    from repro.particles import BLOOD_CELL
+
+    session = MedSenSession(rng=args.seed)
+    identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+    session.authenticator.register("demo-user", identifier)
+    blood = Sample.from_concentrations(
+        {BLOOD_CELL: args.concentration}, volume_ul=10
+    )
+    result = session.run_diagnostic(
+        blood, identifier, duration_s=args.duration, rng=args.seed + 1
+    )
+    truth = result.capture.ground_truth
+    print(f"particles arrived:   {truth.total_arrived}")
+    print(f"ciphertext peaks:    {result.relay.report.count}")
+    print(f"decrypted count:     {result.decryption.total_count}")
+    print(f"authenticated:       {result.auth.user_id}")
+    print(f"diagnosis:           {result.diagnosis.label} "
+          f"({result.diagnosis.concentration_per_ul:.0f}/µL)")
+    print(f"notification:        {result.notification().render()}")
+    print(f"processing time:     {result.timing.processing_s:.3f} s")
+    if args.report:
+        from repro.report import write_session_report
+
+        path = write_session_report(result, args.report)
+        print(f"report written:      {path}")
+    return 0
+
+
+def _cmd_keysize(args: argparse.Namespace) -> int:
+    from repro.crypto.key import eq2_bits_per_unit, eq2_key_length_bits
+
+    bits = eq2_key_length_bits(args.cells, args.electrodes, args.gain_bits, args.flow_bits)
+    per_unit = eq2_bits_per_unit(args.electrodes, args.gain_bits, args.flow_bits)
+    print(f"bits per cell: {per_unit}")
+    print(f"total key:     {bits:,} bits ({bits / 8 / 1e6:.3f} MB)")
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.attacks import (
+        AmplitudeClusteringAttack,
+        DivideByExpectationAttack,
+        FeatureClusteringAttack,
+        NaivePeakCountAttack,
+        PeriodicTrainAttack,
+        WidthClusteringAttack,
+        score_count_attack,
+    )
+    from repro.attacks.scenarios import encrypted_capture
+
+    true_count, report, knowledge = encrypted_capture(args.seed)
+    print(f"true particles: {true_count}; ciphertext peaks: {report.count}")
+    attacks = [
+        NaivePeakCountAttack(),
+        DivideByExpectationAttack(assume_avoid_consecutive=True),
+        AmplitudeClusteringAttack(),
+        WidthClusteringAttack(),
+        PeriodicTrainAttack(),
+        FeatureClusteringAttack(),
+    ]
+    for attack in attacks:
+        estimate = attack.estimate_count(report, knowledge)
+        error = score_count_attack(estimate, true_count)
+        print(f"{attack.name:<24} estimate={estimate:8.1f}  error={error:.2f}")
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.hardware.electrodes import standard_array
+    from repro.hardware.faults import FaultModel, self_test
+
+    array = standard_array(args.outputs)
+    fault_model = FaultModel(
+        dead_electrodes=frozenset(args.dead),
+        weak_electrodes=frozenset(args.weak),
+        stuck_on_electrodes=frozenset(args.stuck),
+    )
+    report = self_test(array, fault_model, rng=args.seed)
+    for entry in report.electrodes:
+        print(
+            f"electrode {entry.electrode}: {entry.verdict:<6} "
+            f"(dips {entry.observed_dips}/{entry.expected_dips}, "
+            f"depth {entry.mean_depth:.5f})"
+        )
+    if report.healthy:
+        print("array healthy")
+        return 0
+    print(f"faults detected: {report.faulty_electrodes()}")
+    return 1
+
+
+def _cmd_alphabet(args: argparse.Namespace) -> int:
+    from repro.attacks.bruteforce import bruteforce_expected_attempts
+    from repro.auth.alphabet import DEFAULT_ALPHABET
+    from repro.auth.collision import (
+        level_confusion_probability,
+        password_space_entropy_bits,
+        password_space_size,
+    )
+
+    alphabet = DEFAULT_ALPHABET
+    print(f"bead types: {[t.name for t in alphabet.bead_types]}")
+    print(f"levels (particles/µL): {alphabet.levels_per_ul}")
+    print(f"password space: {password_space_size(alphabet)} "
+          f"({password_space_entropy_bits(alphabet):.1f} bits)")
+    print(f"expected brute-force submissions: "
+          f"{bruteforce_expected_attempts(alphabet):.0f}")
+    for level in range(alphabet.n_levels):
+        p = level_confusion_probability(alphabet, level, args.volume)
+        print(f"level {level} confusion at {args.volume} µL: {p:.4f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.plots import generate_all_figures
+
+    written = generate_all_figures(args.output)
+    for name, path in sorted(written.items()):
+        print(f"{name} -> {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MedSen reproduction: secure point-of-care diagnostics",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run one full secure session")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--duration", type=float, default=60.0)
+    demo.add_argument("--concentration", type=float, default=400.0,
+                      help="true marker concentration (cells/µL)")
+    demo.add_argument("--report", type=str, default=None,
+                      help="write a Markdown session report to this path")
+    demo.set_defaults(handler=_cmd_demo)
+
+    keysize = subparsers.add_parser("keysize", help="Eq. 2 key-length calculator")
+    keysize.add_argument("--cells", type=int, default=20_000)
+    keysize.add_argument("--electrodes", type=int, default=16)
+    keysize.add_argument("--gain-bits", type=int, default=4)
+    keysize.add_argument("--flow-bits", type=int, default=4)
+    keysize.set_defaults(handler=_cmd_keysize)
+
+    attacks = subparsers.add_parser("attacks", help="eavesdropper suite")
+    attacks.add_argument("--seed", type=int, default=2024)
+    attacks.set_defaults(handler=_cmd_attacks)
+
+    selftest = subparsers.add_parser("selftest", help="electrode self-test")
+    selftest.add_argument("--outputs", type=int, default=9, choices=(2, 3, 5, 9, 16))
+    selftest.add_argument("--dead", type=int, nargs="*", default=[])
+    selftest.add_argument("--weak", type=int, nargs="*", default=[])
+    selftest.add_argument("--stuck", type=int, nargs="*", default=[])
+    selftest.add_argument("--seed", type=int, default=0)
+    selftest.set_defaults(handler=_cmd_selftest)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's figures as SVG files"
+    )
+    figures.add_argument("--output", type=str, default="figures")
+    figures.set_defaults(handler=_cmd_figures)
+
+    alphabet = subparsers.add_parser("alphabet", help="password-space statistics")
+    alphabet.add_argument("--volume", type=float, default=0.16,
+                          help="sampled volume in µL")
+    alphabet.set_defaults(handler=_cmd_alphabet)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except MedSenError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Usage metering and billing (paper §V's stated reason for auth).
+
+"Cloud-based medical services often require user authentication for
+various reasons such as billing and/or data storage."  The ledger
+meters analyses per cyto-coded identifier — the server never needs a
+name, only the identifier key — and produces per-period invoices.
+
+Pricing follows the cost structure the evaluation exposes: a per-test
+base fee plus a data-volume component (the §VII-B uploads are the
+cloud's real cost driver).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro._util.errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class PriceSheet:
+    """Tariff of the analysis service."""
+
+    per_test: float = 0.50
+    per_megabyte_uploaded: float = 0.02
+    currency: str = "USD"
+
+    def __post_init__(self) -> None:
+        if self.per_test < 0 or self.per_megabyte_uploaded < 0:
+            raise ConfigurationError("prices must be non-negative")
+        if not self.currency:
+            raise ConfigurationError("currency must be non-empty")
+
+    def cost_of(self, uploaded_bytes: float) -> float:
+        """Cost of one analysed test."""
+        if uploaded_bytes < 0:
+            raise ValidationError("uploaded_bytes must be >= 0")
+        return self.per_test + self.per_megabyte_uploaded * uploaded_bytes / 1e6
+
+
+@dataclass(frozen=True)
+class UsageEntry:
+    """One metered analysis."""
+
+    identifier_key: str
+    period: int
+    uploaded_bytes: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """Per-identifier charges for one billing period."""
+
+    identifier_key: str
+    period: int
+    n_tests: int
+    total_uploaded_bytes: float
+    total_cost: float
+    currency: str
+
+    def summary(self) -> str:
+        """Human-readable single line."""
+        return (
+            f"{self.identifier_key}: period {self.period}, {self.n_tests} tests, "
+            f"{self.total_uploaded_bytes / 1e6:.1f} MB, "
+            f"{self.total_cost:.2f} {self.currency}"
+        )
+
+
+class UsageLedger:
+    """Append-only usage metering keyed by identifier.
+
+    The ledger knows identifiers, not people — billing resolution to a
+    person happens wherever the pipettes were sold, outside the cloud's
+    view, which is precisely the privacy split §V designs for.
+    """
+
+    def __init__(self, prices: Optional[PriceSheet] = None) -> None:
+        self.prices = prices or PriceSheet()
+        self._entries: List[UsageEntry] = []
+
+    # ------------------------------------------------------------------
+    def meter(
+        self, identifier_key: str, uploaded_bytes: float, period: int
+    ) -> UsageEntry:
+        """Record one analysed test."""
+        if not identifier_key:
+            raise ConfigurationError("identifier_key must be non-empty")
+        if period < 0:
+            raise ValidationError("period must be >= 0")
+        entry = UsageEntry(
+            identifier_key=identifier_key,
+            period=period,
+            uploaded_bytes=float(uploaded_bytes),
+            cost=self.prices.cost_of(uploaded_bytes),
+        )
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def n_entries(self) -> int:
+        """Total metered tests."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def invoice(self, identifier_key: str, period: int) -> Invoice:
+        """Aggregate one identifier's charges for one period."""
+        entries = [
+            entry
+            for entry in self._entries
+            if entry.identifier_key == identifier_key and entry.period == period
+        ]
+        return Invoice(
+            identifier_key=identifier_key,
+            period=period,
+            n_tests=len(entries),
+            total_uploaded_bytes=sum(entry.uploaded_bytes for entry in entries),
+            total_cost=sum(entry.cost for entry in entries),
+            currency=self.prices.currency,
+        )
+
+    def invoices_for_period(self, period: int) -> List[Invoice]:
+        """Invoices for every identifier active in a period."""
+        keys = sorted(
+            {entry.identifier_key for entry in self._entries if entry.period == period}
+        )
+        return [self.invoice(key, period) for key in keys]
+
+    def revenue(self, period: Optional[int] = None) -> float:
+        """Service revenue, optionally restricted to one period."""
+        return sum(
+            entry.cost
+            for entry in self._entries
+            if period is None or entry.period == period
+        )

@@ -1,0 +1,69 @@
+"""Network transfer model (paper §VI-D / §VII-B).
+
+The prototype uploads compressed captures over the phone's 4G
+connection; §VII-B motivates zip compression with "a more adaptable
+solution to smartphone data plans".  The model is a classic
+latency+bandwidth pipe with separate up/down rates, enough to account
+for the transfer share of the ~0.2 s end-to-end budget and the 3-hour
+240 MB upload.
+"""
+
+from dataclasses import dataclass
+
+from repro._util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Breakdown of one transfer."""
+
+    payload_bytes: float
+    latency_s: float
+    transmission_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Latency plus transmission time."""
+        return self.latency_s + self.transmission_s
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + bandwidth model of the phone's uplink.
+
+    Defaults approximate a 2015-era 4G connection (the paper's LG
+    Nexus 5): ~50 ms RTT, ~8 Mbit/s up, ~20 Mbit/s down.
+    """
+
+    round_trip_latency_s: float = 0.05
+    uplink_bytes_per_s: float = 1e6
+    downlink_bytes_per_s: float = 2.5e6
+
+    def __post_init__(self) -> None:
+        check_positive("round_trip_latency_s", self.round_trip_latency_s, allow_zero=True)
+        check_positive("uplink_bytes_per_s", self.uplink_bytes_per_s)
+        check_positive("downlink_bytes_per_s", self.downlink_bytes_per_s)
+
+    def upload(self, payload_bytes: float) -> TransferEstimate:
+        """Time to push ``payload_bytes`` to the cloud."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        return TransferEstimate(
+            payload_bytes=payload_bytes,
+            latency_s=self.round_trip_latency_s / 2.0,
+            transmission_s=payload_bytes / self.uplink_bytes_per_s,
+        )
+
+    def download(self, payload_bytes: float) -> TransferEstimate:
+        """Time to pull ``payload_bytes`` from the cloud."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        return TransferEstimate(
+            payload_bytes=payload_bytes,
+            latency_s=self.round_trip_latency_s / 2.0,
+            transmission_s=payload_bytes / self.downlink_bytes_per_s,
+        )
+
+    def round_trip(self, upload_bytes: float, download_bytes: float) -> float:
+        """Total time for a request/response exchange."""
+        return self.upload(upload_bytes).total_s + self.download(download_bytes).total_s

@@ -1,0 +1,119 @@
+"""Cloud analysis server (paper §VI-C).
+
+The server performs the heavyweight signal processing on encrypted
+traces: detrend, threshold, and return the encoded peak report.  It is
+*outside* the trusted computing base: it never receives key material,
+and — being curious — it keeps a log of every trace and report it
+handled, which the attack benchmarks mine.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dsp.peakdetect import PeakDetector, PeakReport
+from repro.hardware.acquisition import AcquiredTrace
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One completed analysis: what the curious server remembers."""
+
+    trace: AcquiredTrace
+    report: PeakReport
+    processing_time_s: float
+
+
+class AnalysisServer:
+    """Untrusted peak-analysis service.
+
+    Parameters
+    ----------
+    detector:
+        The peak detection pipeline to run; defaults to the paper's
+        detrend-and-threshold configuration.
+    keep_history:
+        Whether to retain analysed traces (the curious-but-honest
+        behaviour).  Disable for long benchmark runs to bound memory.
+    """
+
+    def __init__(
+        self,
+        detector: Optional[PeakDetector] = None,
+        keep_history: bool = True,
+    ) -> None:
+        self.detector = detector or PeakDetector()
+        self.keep_history = keep_history
+        self._history: List[AnalysisJob] = []
+        self._jobs_processed = 0
+        self._total_processing_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: AcquiredTrace) -> PeakReport:
+        """Run peak analysis on an encrypted trace.
+
+        Returns only ciphertext-domain facts (peak count, timestamps,
+        amplitudes, widths); the server cannot do better without the
+        key — that is the point of the cipher.
+        """
+        start = time.perf_counter()
+        report = self.detector.detect(trace.voltages, trace.sampling_rate_hz)
+        elapsed = time.perf_counter() - start
+        self._jobs_processed += 1
+        self._total_processing_time_s += elapsed
+        if self.keep_history:
+            self._history.append(
+                AnalysisJob(trace=trace, report=report, processing_time_s=elapsed)
+            )
+        return report
+
+    def analyze_streaming(
+        self, trace: AcquiredTrace, chunk_s: float = 20.0, window_s: float = 30.0
+    ) -> PeakReport:
+        """Analyse a long capture in streaming chunks.
+
+        Functionally equivalent to :meth:`analyze` (same detector, same
+        peaks) but bounded-memory: the §VII-B multi-hour captures never
+        need to be resident at once.  Accounting (history, timing)
+        matches the batch path.
+        """
+        from repro.dsp.streaming import StreamingPeakDetector
+
+        start = time.perf_counter()
+        streaming = StreamingPeakDetector(
+            trace.sampling_rate_hz, detector=self.detector, window_s=window_s
+        )
+        chunk = max(int(chunk_s * trace.sampling_rate_hz), 1)
+        for offset in range(0, trace.n_samples, chunk):
+            streaming.feed(trace.voltages[:, offset : offset + chunk])
+        report = streaming.finish()
+        elapsed = time.perf_counter() - start
+        self._jobs_processed += 1
+        self._total_processing_time_s += elapsed
+        if self.keep_history:
+            self._history.append(
+                AnalysisJob(trace=trace, report=report, processing_time_s=elapsed)
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs_processed(self) -> int:
+        """Number of analyses performed."""
+        return self._jobs_processed
+
+    @property
+    def total_processing_time_s(self) -> float:
+        """Cumulative wall-clock analysis time."""
+        return self._total_processing_time_s
+
+    @property
+    def history(self) -> Tuple[AnalysisJob, ...]:
+        """Everything the curious server has seen."""
+        return tuple(self._history)
+
+    def last_job(self) -> AnalysisJob:
+        """Most recent analysis (raises if none or history disabled)."""
+        if not self._history:
+            raise LookupError("no analysis history available")
+        return self._history[-1]

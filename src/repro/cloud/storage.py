@@ -1,0 +1,94 @@
+"""Cloud record storage keyed by cyto-coded identifiers (paper §V).
+
+"The diagnostic information can be returned to a patient or stored in
+cloud for a later access by the patient's practitioner."  Records are
+keyed by the identifier string — which "carries no biometric
+information" — so the store itself learns nothing about the patient
+beyond linkability of their own records (by design: the same pipettes
+link the same patient's tests, §V).
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.dsp.peakdetect import PeakReport
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One stored (encrypted) diagnostic outcome."""
+
+    identifier_key: str
+    report: PeakReport
+    sequence_number: int
+    stored_at_s: float
+    metadata: Tuple[Tuple[str, str], ...] = ()
+
+    def metadata_dict(self) -> Dict[str, str]:
+        """Metadata as a plain dict."""
+        return dict(self.metadata)
+
+
+class RecordStore:
+    """Append-only per-identifier record log."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[StoredRecord]] = {}
+        self._sequence = 0
+
+    def store(
+        self,
+        identifier_key: str,
+        report: PeakReport,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> StoredRecord:
+        """Store an encrypted analysis outcome under an identifier."""
+        if not identifier_key:
+            raise ConfigurationError("identifier_key must be non-empty")
+        self._sequence += 1
+        record = StoredRecord(
+            identifier_key=identifier_key,
+            report=report,
+            sequence_number=self._sequence,
+            stored_at_s=time.time(),
+            metadata=tuple(sorted((metadata or {}).items())),
+        )
+        self._records.setdefault(identifier_key, []).append(record)
+        return record
+
+    def fetch(self, identifier_key: str) -> Tuple[StoredRecord, ...]:
+        """All records stored under an identifier (oldest first)."""
+        return tuple(self._records.get(identifier_key, ()))
+
+    def fetch_latest(self, identifier_key: str) -> StoredRecord:
+        """Most recent record for an identifier."""
+        records = self._records.get(identifier_key)
+        if not records:
+            raise LookupError(f"no records stored for identifier {identifier_key!r}")
+        return records[-1]
+
+    def delete_identifier(self, identifier_key: str) -> int:
+        """Erase every record stored under an identifier.
+
+        The §V privacy design makes per-identifier erasure the natural
+        unit of a right-to-erasure request: the store never knew who
+        the patient was, so deleting the identifier's records removes
+        the entire linkable trail.  Returns the number of records
+        erased (0 if the identifier was unknown).
+        """
+        if not identifier_key:
+            raise ConfigurationError("identifier_key must be non-empty")
+        records = self._records.pop(identifier_key, [])
+        return len(records)
+
+    @property
+    def n_identifiers(self) -> int:
+        """Distinct identifiers with stored records."""
+        return len(self._records)
+
+    @property
+    def n_records(self) -> int:
+        """Total records stored."""
+        return sum(len(records) for records in self._records.values())

@@ -1,0 +1,40 @@
+"""MedSen core: device assembly, end-to-end protocol, diagnosis rules.
+
+* :mod:`~repro.core.config` — one configuration object holding the
+  paper's deployment parameters (9-output array, 450 Hz lock-in,
+  epoch length, alphabet, ...), with factories for every subsystem.
+* :mod:`~repro.core.device` — :class:`MedSenDevice`, the dongle: runs
+  keyed captures of a sample and decrypts peak reports inside the TCB.
+* :mod:`~repro.core.protocol` — :class:`MedSenSession`, the full §II
+  flow: mix password beads into blood, capture encrypted, relay via the
+  phone to the cloud, decrypt, classify, authenticate, diagnose, store.
+* :mod:`~repro.core.diagnosis` — threshold diagnostics (§II: "determines
+  the user's disease condition through a simple threshold comparison"),
+  with a CD4-style staging preset.
+"""
+
+from repro.core.config import MedSenConfig
+from repro.core.device import CaptureResult, MedSenDevice
+from repro.core.diagnosis import (
+    CD4_STAGING,
+    DiagnosisOutcome,
+    DiagnosticBand,
+    ThresholdDiagnostic,
+)
+from repro.core.notification import Notification, Severity, notify
+from repro.core.protocol import MedSenSession, SessionResult
+
+__all__ = [
+    "MedSenConfig",
+    "CaptureResult",
+    "MedSenDevice",
+    "CD4_STAGING",
+    "DiagnosisOutcome",
+    "DiagnosticBand",
+    "ThresholdDiagnostic",
+    "MedSenSession",
+    "Notification",
+    "Severity",
+    "notify",
+    "SessionResult",
+]

@@ -1,0 +1,91 @@
+"""Deployment configuration (the paper's prototype parameters).
+
+One :class:`MedSenConfig` value describes a complete deployment; the
+factories build consistently wired subsystems from it.  Defaults follow
+the paper:
+
+* 9-output electrode array (Figure 5's largest fabricated design),
+  20 µm electrodes at 25 µm pitch;
+* 30 x 20 µm channel, nominal 0.08 µL/min flow;
+* multi-carrier lock-in sampled at 450 Hz with a 120 Hz recovery
+  filter; the default carrier set is the Figure 15/16 measurement set
+  (500/1000/2000/2500/3000 kHz) since classification features live at
+  500 and 2500 kHz — :data:`PAPER_SECTION_VI_CARRIERS_HZ` holds the
+  §VI-D excitation list for experiments that need it;
+* 16-level gains and 16-level flow speeds (4-bit resolutions, §VI-B);
+* non-consecutive electrode key patterns (the §VII-A mitigation) on by
+  default.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro._util.errors import ConfigurationError
+from repro._util.units import khz
+from repro.auth.alphabet import BeadAlphabet, DEFAULT_ALPHABET
+from repro.crypto.gains import GainTable
+from repro.hardware.electrodes import ElectrodeArray
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.microfluidics.transport import TransportModel
+from repro.physics.electrical import ElectrodePairCircuit
+from repro.physics.lockin import LockInAmplifier
+from repro.physics.noise import NoiseModel
+
+#: Carrier set used for the Figure 15/16 measurements (and the
+#: classification features at 500/2500 kHz).
+FIG15_CARRIERS_HZ: Tuple[float, ...] = tuple(
+    khz(f) for f in (500, 1000, 2000, 2500, 3000)
+)
+
+#: The §VI-D excitation list of the integrated prototype.
+PAPER_SECTION_VI_CARRIERS_HZ: Tuple[float, ...] = tuple(
+    khz(f) for f in (500, 800, 1000, 1200, 1400, 2000, 3000, 4000)
+)
+
+
+@dataclass(frozen=True)
+class MedSenConfig:
+    """All deployment parameters in one immutable value."""
+
+    n_electrode_outputs: int = 9
+    carrier_frequencies_hz: Tuple[float, ...] = FIG15_CARRIERS_HZ
+    epoch_duration_s: float = 2.0
+    gain_levels: int = 16
+    flow_levels: int = 16
+    avoid_consecutive_electrodes: bool = True
+    alphabet: BeadAlphabet = DEFAULT_ALPHABET
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    transport: TransportModel = field(default_factory=TransportModel)
+    circuit: ElectrodePairCircuit = field(default_factory=ElectrodePairCircuit)
+
+    def __post_init__(self) -> None:
+        if self.n_electrode_outputs < 1:
+            raise ConfigurationError("n_electrode_outputs must be >= 1")
+        if self.epoch_duration_s <= 0:
+            raise ConfigurationError("epoch_duration_s must be > 0")
+        if not self.carrier_frequencies_hz:
+            raise ConfigurationError("carrier_frequencies_hz must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def make_array(self) -> ElectrodeArray:
+        """Electrode array with the paper's finger geometry."""
+        return ElectrodeArray(n_outputs=self.n_electrode_outputs)
+
+    def make_channel(self) -> MicrofluidicChannel:
+        """The fabricated 30 x 20 µm measurement pore."""
+        return MicrofluidicChannel()
+
+    def make_gain_table(self) -> GainTable:
+        """Cipher gain quantisation (§VI-B: 16 levels)."""
+        return GainTable(n_levels=self.gain_levels)
+
+    def make_flow_table(self) -> FlowSpeedTable:
+        """Cipher flow-speed quantisation (§VI-B: 16 levels)."""
+        return FlowSpeedTable(n_levels=self.flow_levels)
+
+    def make_lockin(self) -> LockInAmplifier:
+        """Multi-carrier lock-in at the paper's rates."""
+        return LockInAmplifier(carrier_frequencies_hz=self.carrier_frequencies_hz)

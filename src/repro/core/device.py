@@ -1,0 +1,196 @@
+"""The MedSen dongle: a fully wired sensing device.
+
+:class:`MedSenDevice` assembles channel, pump, electrode array,
+multiplexer, micro-controller, encryptor and acquisition front-end from
+a :class:`~repro.core.config.MedSenConfig`, and exposes the two
+operations the rest of the system needs:
+
+* :meth:`run_capture` — pump a sample through the keyed sensor and
+  record the (encrypted or plaintext) trace;
+* :meth:`decrypt` — controller-side decryption of a cloud peak report.
+
+Capture results carry a ground-truth block for evaluation; it is
+explicitly *not* information any real component possesses (the paper
+obtains its ground truth by videoing the channel under a microscope,
+§VI-D).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro._util.rng import RngLike, derive_rng, ensure_rng
+from repro.core.config import MedSenConfig
+from repro.crypto.decryptor import DecryptionResult
+from repro.crypto.encryptor import SignalEncryptor
+from repro.crypto.keygen import EntropySource
+from repro.dsp.peakdetect import PeakReport
+from repro.hardware.acquisition import AcquiredTrace, AcquisitionFrontEnd
+from repro.hardware.controller import MicroController
+from repro.hardware.multiplexer import Multiplexer
+from repro.microfluidics.flow import NOMINAL_FLOW_RATE_UL_MIN, FlowController
+from repro.microfluidics.pump import PeristalticPump
+from repro.particles.sample import Sample
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Evaluation-only truth about a capture (the 'microscope video').
+
+    ``arrived_counts`` maps particle-type names to how many particles
+    of that type actually reached the sensing region.
+    """
+
+    arrived_counts: Dict[str, int]
+    n_pulse_events: int
+
+    @property
+    def total_arrived(self) -> int:
+        """All particles that reached the sensor."""
+        return sum(self.arrived_counts.values())
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """Everything one capture produces."""
+
+    trace: AcquiredTrace
+    pumped_volume_ul: float
+    encrypted: bool
+    duration_s: float
+    ground_truth: GroundTruth
+
+
+class MedSenDevice:
+    """A wired MedSen dongle.
+
+    Parameters
+    ----------
+    config:
+        Deployment parameters; defaults to the paper's prototype.
+    rng:
+        Seeds both the physical randomness (particle draws, noise) and
+        the controller's entropy source, through independent child
+        generators.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MedSenConfig] = None,
+        rng: RngLike = None,
+        fault_model=None,
+    ) -> None:
+        self.config = config or MedSenConfig()
+        self.fault_model = fault_model  # hardware.faults.FaultModel or None
+        parent = ensure_rng(rng)
+        self._physics_rng = derive_rng(parent, "physics")
+        entropy_rng = derive_rng(parent, "entropy")
+
+        self.channel = self.config.make_channel()
+        self.array = self.config.make_array()
+        self.pump = PeristalticPump()
+        self.lockin = self.config.make_lockin()
+        self.controller = MicroController(
+            array=self.array,
+            multiplexer=Multiplexer(n_inputs=max(16, self.array.n_outputs)),
+            gain_table=self.config.make_gain_table(),
+            flow_table=self.config.make_flow_table(),
+            entropy=EntropySource(entropy_rng),
+            channel=self.channel,
+            avoid_consecutive=self.config.avoid_consecutive_electrodes,
+        )
+        self.encryptor = SignalEncryptor(
+            carrier_frequencies_hz=self.lockin.carrier_frequencies_hz,
+            circuit=self.config.circuit,
+            channel=self.channel,
+        )
+        self.front_end = AcquisitionFrontEnd(lockin=self.lockin, noise=self.config.noise)
+        self.transport = self.config.transport
+
+    # ------------------------------------------------------------------
+    @property
+    def carrier_frequencies_hz(self) -> Tuple[float, ...]:
+        """The acquisition carrier set."""
+        return self.lockin.carrier_frequencies_hz
+
+    # ------------------------------------------------------------------
+    def run_capture(
+        self,
+        sample: Sample,
+        duration_s: float,
+        encrypt: bool = True,
+        rng: RngLike = None,
+    ) -> CaptureResult:
+        """Pump ``sample`` for ``duration_s`` and record the trace.
+
+        With ``encrypt=True`` the controller provisions a fresh key
+        schedule and the capture is ciphertext; with ``encrypt=False``
+        the sensor runs in the §V plaintext mode (lead electrode only,
+        unit gain, nominal flow), used for server-readable identifier
+        submission and for the Fig 12/13 calibration runs.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be > 0")
+        run_rng = ensure_rng(rng) if rng is not None else self._physics_rng
+        flow = FlowController(channel=self.channel)
+
+        if encrypt:
+            plan = self.controller.provision(
+                duration_s, epoch_duration_s=self.config.epoch_duration_s
+            )
+            self.encryptor.plan_flow(plan, flow)
+            self.controller.drive_schedule()
+        else:
+            rate = self.pump.command_rate(NOMINAL_FLOW_RATE_UL_MIN)
+            flow.set_rate(0.0, rate)
+            self.controller.multiplexer.select({self.array.lead_electrode})
+
+        arrivals = self.transport.schedule_arrivals(sample, flow, duration_s, rng=run_rng)
+        if encrypt:
+            events = self.encryptor.events_for_arrivals(arrivals, plan)
+        else:
+            events = self.encryptor.plaintext_events(arrivals, self.array)
+        if self.fault_model is not None and not self.fault_model.is_healthy:
+            events = self.fault_model.apply_to_events(
+                events,
+                self.array,
+                arrivals=arrivals,
+                circuit=self.config.circuit,
+                carriers=self.carrier_frequencies_hz,
+            )
+        trace = self.front_end.acquire(events, duration_s, rng=run_rng)
+
+        arrived: Dict[str, int] = {}
+        for arrival in arrivals:
+            name = arrival.particle.particle_type.name
+            arrived[name] = arrived.get(name, 0) + 1
+        return CaptureResult(
+            trace=trace,
+            pumped_volume_ul=flow.volume_pumped_ul(0.0, duration_s),
+            encrypted=encrypt,
+            duration_s=duration_s,
+            ground_truth=GroundTruth(arrived_counts=arrived, n_pulse_events=len(events)),
+        )
+
+    # ------------------------------------------------------------------
+    def decrypt(self, report: PeakReport) -> DecryptionResult:
+        """Controller-side decryption of the cloud's peak report."""
+        return self.controller.decrypt(report)
+
+    # ------------------------------------------------------------------
+    def self_test(self, rng: RngLike = None):
+        """Run the electrode self-test against this device's fault state.
+
+        Returns a :class:`repro.hardware.faults.SelfTestReport`; a
+        deployment should refuse encrypted operation when it is not
+        healthy (a stuck or dead electrode corrupts the decryption
+        arithmetic, see ``hardware.faults``).
+        """
+        from repro.hardware.faults import FaultModel, self_test
+
+        fault_model = self.fault_model or FaultModel()
+        return self_test(
+            self.array,
+            fault_model,
+            rng=ensure_rng(rng) if rng is not None else self._physics_rng,
+        )

@@ -1,0 +1,110 @@
+"""Threshold diagnostics (paper §II).
+
+"MedSen simply decodes the number and determines the user's disease
+condition through a simple threshold comparison, and notifies the user
+accordingly."  The running example throughout the paper is HIV staging
+from the CD4+ cell count ("the white blood CD-4 cell count is the
+strongest predictor of HIV progression"), so the preset bands follow
+the clinical CD4 staging thresholds (cells/µL): < 200 severe
+immunosuppression (AIDS-defining), 200-500 moderate, >= 500 normal.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro._util.errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class DiagnosticBand:
+    """One concentration band with its clinical label.
+
+    ``lower`` is inclusive, ``upper`` exclusive; ``upper=None`` means
+    unbounded above.
+    """
+
+    label: str
+    lower_per_ul: float
+    upper_per_ul: float  # use float("inf") for the top band
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigurationError("band label must be non-empty")
+        if self.lower_per_ul < 0:
+            raise ConfigurationError("lower_per_ul must be >= 0")
+        if self.upper_per_ul <= self.lower_per_ul:
+            raise ConfigurationError("upper_per_ul must exceed lower_per_ul")
+
+    def contains(self, concentration_per_ul: float) -> bool:
+        """Whether a concentration falls in this band."""
+        return self.lower_per_ul <= concentration_per_ul < self.upper_per_ul
+
+
+@dataclass(frozen=True)
+class DiagnosisOutcome:
+    """The decoded diagnostic result returned to the patient."""
+
+    marker_name: str
+    concentration_per_ul: float
+    band: DiagnosticBand
+
+    @property
+    def label(self) -> str:
+        """Clinical label of the matched band."""
+        return self.band.label
+
+
+@dataclass(frozen=True)
+class ThresholdDiagnostic:
+    """Maps a biomarker concentration to a clinical band.
+
+    Bands must tile [0, inf) without gaps or overlaps, so every
+    physically possible concentration gets exactly one label.
+    """
+
+    marker_name: str
+    bands: Tuple[DiagnosticBand, ...]
+
+    def __post_init__(self) -> None:
+        if not self.marker_name:
+            raise ConfigurationError("marker_name must be non-empty")
+        bands = tuple(sorted(self.bands, key=lambda b: b.lower_per_ul))
+        if not bands:
+            raise ConfigurationError("at least one band is required")
+        if bands[0].lower_per_ul != 0.0:
+            raise ConfigurationError("bands must start at 0")
+        for low, high in zip(bands, bands[1:]):
+            if low.upper_per_ul != high.lower_per_ul:
+                raise ConfigurationError(
+                    f"bands must tile contiguously: {low.label!r} ends at "
+                    f"{low.upper_per_ul}, {high.label!r} starts at {high.lower_per_ul}"
+                )
+        if bands[-1].upper_per_ul != float("inf"):
+            raise ConfigurationError("the top band must extend to infinity")
+        object.__setattr__(self, "bands", bands)
+
+    def evaluate(self, concentration_per_ul: float) -> DiagnosisOutcome:
+        """Diagnose a measured marker concentration."""
+        if concentration_per_ul < 0:
+            raise ValidationError(
+                f"concentration_per_ul must be >= 0, got {concentration_per_ul}"
+            )
+        for band in self.bands:
+            if band.contains(concentration_per_ul):
+                return DiagnosisOutcome(
+                    marker_name=self.marker_name,
+                    concentration_per_ul=concentration_per_ul,
+                    band=band,
+                )
+        raise AssertionError("bands tile [0, inf); unreachable")
+
+
+#: CD4+ staging, the paper's running diagnostic example.
+CD4_STAGING = ThresholdDiagnostic(
+    marker_name="CD4+ T-cell",
+    bands=(
+        DiagnosticBand("severe-immunosuppression", 0.0, 200.0),
+        DiagnosticBand("moderate-immunosuppression", 200.0, 500.0),
+        DiagnosticBand("normal", 500.0, float("inf")),
+    ),
+)

@@ -1,0 +1,82 @@
+"""Patient notification rendering (paper §II: "notifies the user
+accordingly").
+
+The controller decodes the diagnosis inside the TCB and hands the phone
+a *display string*; the phone shows it but never sees the underlying
+counts.  Severity levels let the app pick screen styling and decide
+whether to suggest contacting a practitioner.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro._util.errors import ConfigurationError
+from repro.core.diagnosis import DiagnosisOutcome
+
+
+class Severity(enum.Enum):
+    """Display severity of a diagnostic outcome."""
+
+    INFO = "info"
+    ADVISORY = "advisory"
+    URGENT = "urgent"
+
+
+#: Severity mapping for the CD4-staging band labels.
+DEFAULT_SEVERITIES: Dict[str, Severity] = {
+    "normal": Severity.INFO,
+    "moderate-immunosuppression": Severity.ADVISORY,
+    "severe-immunosuppression": Severity.URGENT,
+}
+
+_ADVICE = {
+    Severity.INFO: "No action needed.",
+    Severity.ADVISORY: "Share this result with your practitioner at your next visit.",
+    Severity.URGENT: "Contact your practitioner promptly.",
+}
+
+
+@dataclass(frozen=True)
+class Notification:
+    """What the phone displays to the patient."""
+
+    title: str
+    body: str
+    severity: Severity
+
+    def render(self) -> str:
+        """Single-string form for the app's result screen."""
+        return f"[{self.severity.value.upper()}] {self.title} — {self.body}"
+
+
+def notify(
+    outcome: DiagnosisOutcome,
+    severities: Optional[Dict[str, Severity]] = None,
+    include_concentration: bool = True,
+) -> Notification:
+    """Render a decoded diagnosis into a patient notification.
+
+    ``severities`` maps band labels to severities; every band of the
+    diagnostic in use must be covered (unknown bands fail loudly —
+    showing a wrong severity for a medical result is worse than
+    crashing).
+    """
+    severities = DEFAULT_SEVERITIES if severities is None else severities
+    if outcome.label not in severities:
+        raise ConfigurationError(
+            f"no severity configured for diagnostic band {outcome.label!r}"
+        )
+    severity = severities[outcome.label]
+    if include_concentration:
+        body = (
+            f"{outcome.marker_name} at {outcome.concentration_per_ul:.0f}/µL "
+            f"({outcome.label}). {_ADVICE[severity]}"
+        )
+    else:
+        body = f"{outcome.marker_name}: {outcome.label}. {_ADVICE[severity]}"
+    return Notification(
+        title=f"{outcome.marker_name} result",
+        body=body,
+        severity=severity,
+    )

@@ -1,0 +1,79 @@
+"""In-sensor analog signal encryption (paper §IV).
+
+The cipher never touches digital samples: it *configures the sensor* so
+that the acquired analog signal is already ciphertext.  A key epoch
+``K(t) = (E(t), G(t), S(t))`` picks
+
+* ``E`` — the active output-electrode subset (peak-count multiplication),
+* ``G`` — per-electrode output gains (peak-amplitude masking),
+* ``S`` — the channel flow-speed level (peak-width masking).
+
+Modules
+-------
+* :mod:`~repro.crypto.gains` — the quantised gain table (§VI-B: 16
+  levels, 4-bit resolution).
+* :mod:`~repro.crypto.key` — :class:`EpochKey`, :class:`KeySchedule`,
+  and the Eq. 1 / Eq. 2 key-length accounting.
+* :mod:`~repro.crypto.keygen` — entropy source (/dev/random stand-in)
+  and key-schedule generation, including the §VII-A mitigation that
+  avoids consecutive-electrode patterns.
+* :mod:`~repro.crypto.encryptor` — applies a schedule to particle
+  arrivals, producing the multiplied/gain-scaled/width-scaled pulse
+  events that the acquisition front-end renders.
+* :mod:`~repro.crypto.decryptor` — the controller-side inverse: group
+  ciphertext peaks into particles, divide by the multiplication factor,
+  invert gains and width scaling.
+* :mod:`~repro.crypto.analysis` — security accounting: key entropy,
+  one-time-pad comparison, ciphertext leakage measures.
+"""
+
+from repro.crypto.analysis import (
+    ciphertext_count_candidates,
+    epoch_key_entropy_bits,
+    keyspace_size,
+)
+from repro.crypto.decryptor import DecryptedParticle, DecryptionResult, SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.key import (
+    EpochKey,
+    KeySchedule,
+    eq1_ideal_key_length_bits,
+    eq2_key_length_bits,
+)
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.crypto.keyshare import PractitionerPortal, open_plan, seal_plan
+from repro.crypto.percell import (
+    PerCellDecryptor,
+    PerCellEncryptor,
+    PerCellPlan,
+    generate_percell_plan,
+)
+from repro.crypto.serialization import plan_from_bytes, plan_to_bytes
+
+__all__ = [
+    "PractitionerPortal",
+    "open_plan",
+    "seal_plan",
+    "PerCellDecryptor",
+    "PerCellEncryptor",
+    "PerCellPlan",
+    "generate_percell_plan",
+    "plan_from_bytes",
+    "plan_to_bytes",
+    "ciphertext_count_candidates",
+    "epoch_key_entropy_bits",
+    "keyspace_size",
+    "DecryptedParticle",
+    "DecryptionResult",
+    "SignalDecryptor",
+    "EncryptionPlan",
+    "SignalEncryptor",
+    "GainTable",
+    "EpochKey",
+    "KeySchedule",
+    "eq1_ideal_key_length_bits",
+    "eq2_key_length_bits",
+    "EntropySource",
+    "KeyGenerator",
+]

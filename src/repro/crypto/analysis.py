@@ -1,0 +1,144 @@
+"""Security accounting for the analog cipher (paper §IV-A).
+
+Quantifies the claims the paper argues qualitatively:
+
+* the size of the epoch-key space (and hence the entropy per epoch);
+* the set of true counts consistent with an observed ciphertext count
+  (what a peak-counting eavesdropper is reduced to guessing over);
+* the comparison against the perfectly secret one-time pad: the ideal
+  per-cell scheme (Eq. 1) draws a fresh key per cell, so ciphertexts
+  carry no information about cell identity.
+"""
+
+from math import comb, log2
+from typing import List, Optional, Set
+
+from repro._util.errors import ValidationError
+
+
+def subset_count(
+    n_electrodes: int,
+    min_active: int = 1,
+    max_active: Optional[int] = None,
+    avoid_consecutive: bool = False,
+) -> int:
+    """Number of admissible active-electrode subsets ``E``.
+
+    With ``avoid_consecutive`` the count of k-subsets with no two
+    adjacent numbers is ``C(n - k + 1, k)`` (standard stars-and-bars
+    bijection).
+    """
+    if n_electrodes < 1:
+        raise ValidationError(f"n_electrodes must be >= 1, got {n_electrodes}")
+    max_active = n_electrodes if max_active is None else max_active
+    if not 1 <= min_active <= max_active <= n_electrodes:
+        raise ValidationError(
+            f"need 1 <= min_active <= max_active <= n_electrodes, got "
+            f"{min_active}, {max_active}, {n_electrodes}"
+        )
+    total = 0
+    for size in range(min_active, max_active + 1):
+        if avoid_consecutive:
+            total += comb(n_electrodes - size + 1, size) if size <= (n_electrodes + 1) // 2 else 0
+        else:
+            total += comb(n_electrodes, size)
+    return total
+
+
+def keyspace_size(
+    n_electrodes: int,
+    n_gain_levels: int,
+    n_flow_levels: int,
+    min_active: int = 1,
+    max_active: Optional[int] = None,
+    avoid_consecutive: bool = False,
+) -> int:
+    """Number of distinct epoch keys ``(E, G, S)``.
+
+    Gains are drawn per electrode (active or not, so key size does not
+    leak |E|), hence the ``n_gain_levels ** n_electrodes`` factor.
+    """
+    if n_gain_levels < 1 or n_flow_levels < 1:
+        raise ValidationError("level counts must be >= 1")
+    subsets = subset_count(n_electrodes, min_active, max_active, avoid_consecutive)
+    return subsets * (n_gain_levels**n_electrodes) * n_flow_levels
+
+
+def epoch_key_entropy_bits(
+    n_electrodes: int,
+    n_gain_levels: int,
+    n_flow_levels: int,
+    min_active: int = 1,
+    max_active: Optional[int] = None,
+    avoid_consecutive: bool = False,
+) -> float:
+    """log2 of the epoch-key space: entropy per epoch under uniform keys."""
+    return log2(
+        keyspace_size(
+            n_electrodes,
+            n_gain_levels,
+            n_flow_levels,
+            min_active,
+            max_active,
+            avoid_consecutive,
+        )
+    )
+
+
+def possible_multiplication_factors(
+    n_electrodes: int,
+    min_active: int = 1,
+    max_active: Optional[int] = None,
+) -> List[int]:
+    """All values m(E) can take on an ``n_electrodes``-output array.
+
+    The lead contributes 1 dip, the other ``n-1`` outputs 2 dips each,
+    so with k active electrodes m is either 2k (lead inactive) or
+    2k - 1 (lead active).
+    """
+    if n_electrodes < 1:
+        raise ValidationError(f"n_electrodes must be >= 1, got {n_electrodes}")
+    max_active = n_electrodes if max_active is None else max_active
+    if not 1 <= min_active <= max_active <= n_electrodes:
+        raise ValidationError("invalid active-electrode bounds")
+    factors: Set[int] = set()
+    for k in range(min_active, max_active + 1):
+        if k <= n_electrodes - 1:
+            factors.add(2 * k)  # lead not in E (needs k non-lead outputs)
+        factors.add(2 * k - 1)  # lead in E
+    return sorted(factors)
+
+
+def ciphertext_count_candidates(
+    observed_peak_count: int,
+    n_electrodes: int,
+    min_active: int = 1,
+    max_active: Optional[int] = None,
+) -> List[int]:
+    """True counts consistent with an observed ciphertext peak count.
+
+    A peak-counting eavesdropper who knows the hardware but not the key
+    must consider ``round(observed / m)`` for every admissible m — this
+    is the residual uncertainty §IV-A's "determined attacker" faces per
+    epoch (before the gain/width masking removes the side channels that
+    could narrow m down).
+    """
+    if observed_peak_count < 0:
+        raise ValidationError("observed_peak_count must be >= 0")
+    candidates: Set[int] = set()
+    for m in possible_multiplication_factors(n_electrodes, min_active, max_active):
+        candidates.add(int(round(observed_peak_count / m)))
+    return sorted(candidates)
+
+
+def count_confusion_bits(
+    observed_peak_count: int,
+    n_electrodes: int,
+    min_active: int = 1,
+    max_active: Optional[int] = None,
+) -> float:
+    """log2 of the candidate-count set size: attacker count uncertainty."""
+    candidates = ciphertext_count_candidates(
+        observed_peak_count, n_electrodes, min_active, max_active
+    )
+    return log2(len(candidates)) if candidates else 0.0

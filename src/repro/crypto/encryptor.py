@@ -1,0 +1,187 @@
+"""Applying a key schedule to the sensor: the encryption step.
+
+Encryption costs nothing at run time (paper §IV: "the presented
+encryption scheme do[es] not infer any noticeable encryption computation
+overhead or delay since it is based only on hardware configuration") —
+it is literally the sensor configuration.  This module translates an
+epoch key into that configuration:
+
+* ``E`` — for every particle arrival, a dip event is emitted at each
+  sensing gap of each *active* electrode (lead: one gap, others: two);
+* ``G`` — the per-electrode gain scales the dip amplitudes of that
+  electrode's events;
+* ``S`` — the flow controller is commanded to the epoch's flow level at
+  each epoch boundary, which changes arrival velocities and therefore
+  dip widths.
+
+The flow must be planned *before* transport is simulated (the fluid
+physically moves at the keyed speed), so the pipeline is:
+``plan_flow`` -> transport schedules arrivals -> ``events_for_arrivals``.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.hardware.electrodes import ElectrodeArray
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowController, FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.physics.electrical import ElectrodePairCircuit
+from repro.physics.peaks import PulseEvent
+
+
+@dataclass(frozen=True)
+class EncryptionPlan:
+    """A key schedule bound to the hardware it will drive."""
+
+    schedule: KeySchedule
+    array: ElectrodeArray
+    gain_table: GainTable
+    flow_table: FlowSpeedTable
+
+    def __post_init__(self) -> None:
+        if self.schedule.n_electrodes != self.array.n_outputs:
+            raise ConfigurationError(
+                f"schedule covers {self.schedule.n_electrodes} electrodes, "
+                f"array has {self.array.n_outputs}"
+            )
+        max_gain_level = max(max(e.gain_levels) for e in self.schedule.epochs)
+        if max_gain_level >= self.gain_table.n_levels:
+            raise ConfigurationError(
+                f"schedule uses gain level {max_gain_level}, table has "
+                f"{self.gain_table.n_levels} levels"
+            )
+        max_flow_level = max(e.flow_level for e in self.schedule.epochs)
+        if max_flow_level >= self.flow_table.n_levels:
+            raise ConfigurationError(
+                f"schedule uses flow level {max_flow_level}, table has "
+                f"{self.flow_table.n_levels} levels"
+            )
+
+    def multiplication_factor_at(self, time_s: float) -> int:
+        """m(E) of the epoch active at ``time_s``."""
+        return self.array.multiplication_factor(self.schedule.key_at(time_s).active_electrodes)
+
+
+@dataclass(frozen=True)
+class SignalEncryptor:
+    """Turns keyed arrivals into ciphertext pulse events.
+
+    Parameters
+    ----------
+    carrier_frequencies_hz:
+        The lock-in's carrier set; dip amplitudes are computed per
+        carrier through the circuit's transduction model.
+    circuit:
+        Electrode-pair circuit used for the transduction efficiency.
+    """
+
+    carrier_frequencies_hz: Tuple[float, ...]
+    circuit: ElectrodePairCircuit = field(default_factory=ElectrodePairCircuit)
+    channel: MicrofluidicChannel = field(default_factory=MicrofluidicChannel)
+
+    def __post_init__(self) -> None:
+        carriers = tuple(float(f) for f in self.carrier_frequencies_hz)
+        if not carriers:
+            raise ConfigurationError("carrier_frequencies_hz must be non-empty")
+        object.__setattr__(self, "carrier_frequencies_hz", carriers)
+
+    # ------------------------------------------------------------------
+    def plan_flow(self, plan: EncryptionPlan, flow: FlowController) -> None:
+        """Command the epoch flow levels onto the flow controller."""
+        for index, epoch in enumerate(plan.schedule.epochs):
+            start_s, _ = plan.schedule.epoch_bounds(index)
+            rate = plan.flow_table.rate_for_level(epoch.flow_level)
+            flow.set_rate(start_s, rate)
+
+    # ------------------------------------------------------------------
+    def events_for_arrivals(
+        self,
+        arrivals: Sequence[ParticleArrival],
+        plan: EncryptionPlan,
+    ) -> List[PulseEvent]:
+        """Ciphertext pulse events for keyed particle arrivals.
+
+        The key applied to a particle is the one active at its arrival
+        time; epoch durations are much longer than array transit times,
+        so boundary straddling is negligible (the same approximation the
+        paper makes by renewing keys "every time unit").
+        """
+        carriers = np.asarray(self.carrier_frequencies_hz)
+        events: List[PulseEvent] = []
+        for particle_index, arrival in enumerate(arrivals):
+            epoch = plan.schedule.key_at(arrival.time_s)
+            events.extend(
+                self._events_for_particle(arrival, epoch, plan, carriers, particle_index)
+            )
+        events.sort(key=lambda event: event.center_s)
+        return events
+
+    def plaintext_events(
+        self,
+        arrivals: Sequence[ParticleArrival],
+        array: ElectrodeArray,
+    ) -> List[PulseEvent]:
+        """Unencrypted acquisition: lead electrode only, unit gain.
+
+        §V uses this mode to let the server read a cyto-coded identifier
+        directly ("the bio-sensor level encryption turned off such that
+        the server-side can recognize the actual number and types of the
+        submitted beads").
+        """
+        carriers = np.asarray(self.carrier_frequencies_hz)
+        events: List[PulseEvent] = []
+        lead = array.lead_electrode
+        for particle_index, arrival in enumerate(arrivals):
+            width_s = array.dip_fwhm_s(arrival.velocity_m_s)
+            amplitudes = self._dip_amplitudes(arrival, carriers, gain=1.0)
+            for gap_m in array.gap_positions_m(lead):
+                events.append(
+                    PulseEvent(
+                        center_s=arrival.time_s + gap_m / arrival.velocity_m_s,
+                        width_s=width_s,
+                        amplitudes=amplitudes,
+                        electrode_index=lead,
+                        particle_index=particle_index,
+                    )
+                )
+        events.sort(key=lambda event: event.center_s)
+        return events
+
+    # ------------------------------------------------------------------
+    def _events_for_particle(
+        self,
+        arrival: ParticleArrival,
+        epoch: EpochKey,
+        plan: EncryptionPlan,
+        carriers: np.ndarray,
+        particle_index: int,
+    ) -> List[PulseEvent]:
+        width_s = plan.array.dip_fwhm_s(arrival.velocity_m_s)
+        events = []
+        for electrode in sorted(epoch.active_electrodes):
+            gain = plan.gain_table.gain_for_level(epoch.gain_level_for(electrode))
+            amplitudes = self._dip_amplitudes(arrival, carriers, gain=gain)
+            for gap_m in plan.array.gap_positions_m(electrode):
+                events.append(
+                    PulseEvent(
+                        center_s=arrival.time_s + gap_m / arrival.velocity_m_s,
+                        width_s=width_s,
+                        amplitudes=amplitudes,
+                        electrode_index=electrode,
+                        particle_index=particle_index,
+                    )
+                )
+        return events
+
+    def _dip_amplitudes(
+        self, arrival: ParticleArrival, carriers: np.ndarray, gain: float
+    ) -> np.ndarray:
+        drops = arrival.particle.relative_drop(carriers)
+        measured = self.circuit.measured_drop(carriers, drops)
+        return gain * np.asarray(measured, dtype=float)

@@ -1,0 +1,79 @@
+"""Quantised output-electrode gains (the ``G`` key component).
+
+§VI-B: peak amplitudes of interest span about a 4x range (3.58 µm bead
+= 1x, blood cell ~ 2x, 7.8 µm bead ~ 4x), and the paper picks 16 gain
+levels (4-bit resolution) as "(more than) sufficient entropy and
+flexibility to change peak characteristics in order to conceal cell
+types".  The gain range therefore must cover at least that 4x spread so
+any particle type can be masqueraded as any other.
+
+Levels are geometrically spaced: each step multiplies the gain by a
+constant ratio, giving uniform *relative* amplitude resolution.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro._util.errors import ConfigurationError
+from repro._util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GainTable:
+    """Geometrically spaced analog gain levels.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of selectable gains (paper: 16).
+    min_gain, max_gain:
+        Gain range.  The default [0.5, 4.0] spans an 8x ratio — enough
+        to map the largest natural peak below the smallest and vice
+        versa.
+    """
+
+    n_levels: int = 16
+    min_gain: float = 0.5
+    max_gain: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 1:
+            raise ConfigurationError(f"n_levels must be >= 1, got {self.n_levels}")
+        check_positive("min_gain", self.min_gain)
+        check_positive("max_gain", self.max_gain)
+        if self.max_gain < self.min_gain:
+            raise ConfigurationError("max_gain must be >= min_gain")
+
+    @property
+    def resolution_bits(self) -> int:
+        """Bits per gain value (the ``R_gain`` of Eq. 2)."""
+        return max(1, (self.n_levels - 1).bit_length())
+
+    def gain_for_level(self, level: int) -> float:
+        """Gain multiplier for key level ``level`` in [0, n_levels)."""
+        if not 0 <= level < self.n_levels:
+            raise ConfigurationError(f"gain level {level} out of range [0, {self.n_levels})")
+        if self.n_levels == 1:
+            return self.min_gain
+        ratio = self.max_gain / self.min_gain
+        return self.min_gain * ratio ** (level / (self.n_levels - 1))
+
+    def level_for_gain(self, gain: float) -> int:
+        """Nearest level whose gain matches ``gain``."""
+        check_positive("gain", gain)
+        best_level, best_error = 0, float("inf")
+        for level in range(self.n_levels):
+            error = abs(self.gain_for_level(level) - gain)
+            if error < best_error:
+                best_level, best_error = level, error
+        return best_level
+
+    def all_gains(self) -> List[float]:
+        """Every gain in level order."""
+        return [self.gain_for_level(level) for level in range(self.n_levels)]
+
+    @property
+    def span_ratio(self) -> float:
+        """max_gain / min_gain — must exceed the natural amplitude spread
+        (~4x) for type masquerading to be possible."""
+        return self.max_gain / self.min_gain

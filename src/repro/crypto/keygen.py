@@ -1,0 +1,173 @@
+"""Key generation: entropy source and schedule construction.
+
+The prototype draws key material from the controller's
+``/dev/random`` (§VI-B).  :class:`EntropySource` stands in for that
+interface — it wraps a seeded generator, meters how many bits have been
+consumed, and is the *only* object the :class:`KeyGenerator` draws from,
+so tests can audit entropy consumption against the Eq. 2 accounting.
+
+:class:`KeyGenerator` builds :class:`~repro.crypto.key.KeySchedule`
+objects under the constraints §IV/§VII-A establish:
+
+* at least ``min_active`` electrodes per epoch (an empty selection would
+  blind the sensor);
+* optionally no two *adjacent* electrodes active at once — the paper's
+  suggested mitigation for the Figure 11d consecutive-pattern leak.
+"""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_positive
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.microfluidics.flow import FlowSpeedTable
+
+
+class EntropySource:
+    """Metered randomness source (the /dev/random stand-in).
+
+    All key material flows through :meth:`randint`; ``bits_consumed``
+    counts the entropy drawn so tests can compare actual consumption
+    with the analytical key-length formulas.
+    """
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._rng = ensure_rng(rng)
+        self._bits_consumed = 0
+
+    def randint(self, n_values: int) -> int:
+        """Uniform integer in ``[0, n_values)``, metering entropy."""
+        if n_values < 1:
+            raise ConfigurationError(f"n_values must be >= 1, got {n_values}")
+        if n_values == 1:
+            return 0
+        self._bits_consumed += max(1, (n_values - 1).bit_length())
+        return int(self._rng.integers(0, n_values))
+
+    def random_bits(self, n_bits: int) -> int:
+        """Uniform ``n_bits``-bit integer."""
+        if n_bits < 0:
+            raise ConfigurationError(f"n_bits must be >= 0, got {n_bits}")
+        if n_bits == 0:
+            return 0
+        self._bits_consumed += n_bits
+        return int(self._rng.integers(0, 1 << n_bits))
+
+    def shuffle(self, items: List) -> None:
+        """In-place Fisher-Yates shuffle drawing from this source."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    @property
+    def bits_consumed(self) -> int:
+        """Total entropy bits drawn so far."""
+        return self._bits_consumed
+
+
+@dataclass
+class KeyGenerator:
+    """Builds key schedules for a given sensor configuration.
+
+    Parameters
+    ----------
+    n_electrodes:
+        Output electrodes on the array the schedule will drive.
+    gain_table, flow_table:
+        Quantisation tables; their level counts bound the drawn levels.
+    min_active, max_active:
+        Bounds on ``|E|`` per epoch (``max_active=None`` means all).
+    avoid_consecutive:
+        Reject subsets containing adjacent electrode numbers (§VII-A
+        mitigation).  Requires enough electrodes to make such subsets
+        possible for every allowed size.
+    """
+
+    n_electrodes: int
+    gain_table: GainTable = field(default_factory=GainTable)
+    flow_table: FlowSpeedTable = field(default_factory=FlowSpeedTable)
+    min_active: int = 1
+    max_active: Optional[int] = None
+    avoid_consecutive: bool = False
+    #: Electrode numbers in physical order; adjacency is evaluated on
+    #: this sequence.  ``None`` means numeric order 1..n.  Pass the
+    #: array's ``position_order`` so the lead/electrode-1 physical
+    #: adjacency is respected.
+    position_order: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_electrodes < 1:
+            raise ConfigurationError(f"n_electrodes must be >= 1, got {self.n_electrodes}")
+        if not 1 <= self.min_active <= self.n_electrodes:
+            raise ConfigurationError(
+                f"min_active must be in 1..{self.n_electrodes}, got {self.min_active}"
+            )
+        max_active = self.n_electrodes if self.max_active is None else self.max_active
+        if not self.min_active <= max_active <= self.n_electrodes:
+            raise ConfigurationError(
+                f"max_active must be in {self.min_active}..{self.n_electrodes}"
+            )
+        self.max_active = max_active
+        if self.avoid_consecutive:
+            largest_spread = (self.n_electrodes + 1) // 2
+            if self.max_active > largest_spread:
+                raise ConfigurationError(
+                    f"avoid_consecutive with {self.n_electrodes} electrodes supports at "
+                    f"most {largest_spread} active electrodes, got max_active={self.max_active}"
+                )
+        if self.position_order is not None:
+            order = tuple(int(e) for e in self.position_order)
+            if sorted(order) != list(range(1, self.n_electrodes + 1)):
+                raise ConfigurationError(
+                    "position_order must be a permutation of 1..n_electrodes"
+                )
+            self.position_order = order
+
+    # ------------------------------------------------------------------
+    def draw_epoch_key(self, entropy: EntropySource) -> EpochKey:
+        """Draw one epoch key ``(E, G, S)`` from ``entropy``."""
+        size = self.min_active + entropy.randint(self.max_active - self.min_active + 1)
+        active = self._draw_subset(entropy, size)
+        gains = tuple(
+            entropy.randint(self.gain_table.n_levels) for _ in range(self.n_electrodes)
+        )
+        flow = entropy.randint(self.flow_table.n_levels)
+        return EpochKey(active_electrodes=active, gain_levels=gains, flow_level=flow)
+
+    def generate_schedule(
+        self,
+        duration_s: float,
+        epoch_duration_s: float,
+        entropy: EntropySource,
+    ) -> KeySchedule:
+        """Generate a schedule covering at least ``duration_s``."""
+        check_positive("duration_s", duration_s)
+        check_positive("epoch_duration_s", epoch_duration_s)
+        n_epochs = int(np.ceil(duration_s / epoch_duration_s))
+        epochs = tuple(self.draw_epoch_key(entropy) for _ in range(n_epochs))
+        return KeySchedule(epoch_duration_s=epoch_duration_s, epochs=epochs)
+
+    # ------------------------------------------------------------------
+    def _draw_subset(self, entropy: EntropySource, size: int) -> FrozenSet[int]:
+        """Uniform subset of ``size`` electrodes (rejection sampling when
+        consecutive numbers are forbidden)."""
+        if not self.avoid_consecutive:
+            numbers = list(range(1, self.n_electrodes + 1))
+            entropy.shuffle(numbers)
+            return frozenset(numbers[:size])
+        # Sample non-adjacent *positions* directly via the standard
+        # bijection: choosing k non-adjacent items from n is choosing k
+        # items from n - k + 1 and fanning them out; then map positions
+        # back to electrode numbers through the physical order.
+        order = self.position_order or tuple(range(1, self.n_electrodes + 1))
+        reduced_n = self.n_electrodes - size + 1
+        numbers = list(range(reduced_n))
+        entropy.shuffle(numbers)
+        chosen = sorted(numbers[:size])
+        positions = [value + offset for offset, value in enumerate(chosen)]
+        return frozenset(order[position] for position in positions)

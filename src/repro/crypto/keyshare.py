@@ -1,0 +1,134 @@
+"""Practitioner key sharing (§VII-B, implemented).
+
+"MedSen's design also allows (not implemented) sharing of the generated
+keys with trusted parties, e.g., the patient's practitioners, so that
+they could also access the cloud-based analysis outcomes remotely."
+
+This module implements that design point.  The controller seals the
+serialized encryption plan under a secret shared out-of-band with the
+practitioner (e.g. printed in the pipette box); the practitioner can
+then fetch the patient's *encrypted* records from the cloud and decrypt
+them independently, without the device in the loop.
+
+The sealing is an authenticated stream cipher built from the standard
+library: SHA-256 in counter mode for the keystream and HMAC-SHA256 in
+encrypt-then-MAC order for integrity.  (Not a production AEAD — the
+point here is the *system* property: key material moves only between
+TCB-trusted parties and only confidentially+authenticated.)
+"""
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro._util.errors import DecryptionError, IntegrityError, ValidationError
+from repro.cloud.storage import RecordStore, StoredRecord
+from repro.crypto.decryptor import DecryptionResult, SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan
+from repro.crypto.serialization import plan_from_bytes, plan_to_bytes
+
+_NONCE_BYTES = 16
+_TAG_BYTES = 32
+_ENC_LABEL = b"medsen-keyshare-enc"
+_MAC_LABEL = b"medsen-keyshare-mac"
+
+
+def _derive(secret: bytes, label: bytes) -> bytes:
+    return hashlib.sha256(label + b"|" + secret).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(
+            hashlib.sha256(key + nonce + counter.to_bytes(8, "little")).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def seal_plan(plan: EncryptionPlan, secret: bytes, nonce: Optional[bytes] = None) -> bytes:
+    """Seal a plan for a trusted party: nonce || ciphertext || tag."""
+    if not secret:
+        raise ValidationError("secret must be non-empty")
+    nonce = os.urandom(_NONCE_BYTES) if nonce is None else bytes(nonce)
+    if len(nonce) != _NONCE_BYTES:
+        raise ValidationError(f"nonce must be {_NONCE_BYTES} bytes")
+    plaintext = plan_to_bytes(plan)
+    stream = _keystream(_derive(secret, _ENC_LABEL), nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(_derive(secret, _MAC_LABEL), nonce + ciphertext, hashlib.sha256).digest()
+    return nonce + ciphertext + tag
+
+
+def open_plan(blob: bytes, secret: bytes) -> EncryptionPlan:
+    """Open a sealed plan; raises :class:`IntegrityError` on tampering."""
+    if not secret:
+        raise ValidationError("secret must be non-empty")
+    if len(blob) < _NONCE_BYTES + _TAG_BYTES:
+        raise ValidationError("sealed blob too short")
+    nonce = blob[:_NONCE_BYTES]
+    ciphertext = blob[_NONCE_BYTES:-_TAG_BYTES]
+    tag = blob[-_TAG_BYTES:]
+    expected = hmac.new(
+        _derive(secret, _MAC_LABEL), nonce + ciphertext, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise IntegrityError("sealed key blob failed authentication")
+    stream = _keystream(_derive(secret, _ENC_LABEL), nonce, len(ciphertext))
+    plaintext = bytes(c ^ s for c, s in zip(ciphertext, stream))
+    return plan_from_bytes(plaintext)
+
+
+@dataclass
+class PractitionerPortal:
+    """The practitioner's independent decryption endpoint.
+
+    Receives sealed key blobs from the patient's controller and fetches
+    encrypted records from the cloud store; decryption happens locally,
+    so the cloud never learns anything new.
+    """
+
+    secret: bytes
+
+    def __post_init__(self) -> None:
+        if not self.secret:
+            raise ValidationError("secret must be non-empty")
+        self._plans: List[EncryptionPlan] = []
+
+    def receive_sealed_plan(self, blob: bytes) -> EncryptionPlan:
+        """Unseal and retain a key plan from the patient's device."""
+        plan = open_plan(blob, self.secret)
+        self._plans.append(plan)
+        return plan
+
+    @property
+    def n_plans(self) -> int:
+        """Plans received so far (one per capture, typically)."""
+        return len(self._plans)
+
+    def review_record(self, record: StoredRecord) -> DecryptionResult:
+        """Decrypt one stored record with any held plan that fits.
+
+        A plan fits when its schedule covers the record's duration; the
+        newest fitting plan wins (schedules are per-capture).
+        """
+        errors = []
+        for plan in reversed(self._plans):
+            decryptor = SignalDecryptor(plan=plan)
+            try:
+                return decryptor.decrypt(record.report)
+            except DecryptionError as error:
+                errors.append(str(error))
+        raise DecryptionError(
+            "no held key plan decrypts this record"
+            + (f" (tried {len(errors)}: {errors[-1]})" if errors else "")
+        )
+
+    def review_latest(self, store: RecordStore, identifier_key: str) -> DecryptionResult:
+        """Fetch and decrypt the newest record for an identifier."""
+        record = store.fetch_latest(identifier_key)
+        return self.review_record(record)

@@ -1,0 +1,116 @@
+"""Binary serialization for key material and plans.
+
+Needed by the §VII-B key-sharing extension ("MedSen's design also
+allows (not implemented) sharing of the generated keys with trusted
+parties, e.g., the patient's practitioners"): a key schedule and the
+hardware parameters it binds to must travel as bytes so they can be
+sealed under a shared secret.
+
+Format (little-endian, struct-packed)::
+
+    magic  b"MSK1"
+    array:  n_outputs u16, electrode_width f64, pitch f64
+    gains:  n_levels u16, min f64, max f64
+    flow:   n_levels u16, min f64, max f64
+    epochs: epoch_duration f64, n_epochs u32, then per epoch:
+            electrode bitmask u32, flow level u8,
+            n_electrodes gain-level u8s
+"""
+
+import struct
+
+from repro._util.errors import ValidationError
+from repro.crypto.encryptor import EncryptionPlan
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.hardware.electrodes import ElectrodeArray
+from repro.microfluidics.flow import FlowSpeedTable
+
+_MAGIC = b"MSK1"
+_HEADER = struct.Struct("<4sHddHddHdddI")
+_EPOCH_FIXED = struct.Struct("<IB")
+
+
+def plan_to_bytes(plan: EncryptionPlan) -> bytes:
+    """Serialize an encryption plan (hardware binding + schedule)."""
+    schedule = plan.schedule
+    if schedule.n_electrodes > 32:
+        raise ValidationError("serialization supports at most 32 electrodes")
+    header = _HEADER.pack(
+        _MAGIC,
+        plan.array.n_outputs,
+        plan.array.electrode_width_m,
+        plan.array.pitch_m,
+        plan.gain_table.n_levels,
+        plan.gain_table.min_gain,
+        plan.gain_table.max_gain,
+        plan.flow_table.n_levels,
+        plan.flow_table.min_rate_ul_min,
+        plan.flow_table.max_rate_ul_min,
+        schedule.epoch_duration_s,
+        schedule.n_epochs,
+    )
+    chunks = [header]
+    for epoch in schedule.epochs:
+        chunks.append(_EPOCH_FIXED.pack(epoch.electrodes_bitmask(), epoch.flow_level))
+        chunks.append(bytes(epoch.gain_levels))
+    return b"".join(chunks)
+
+
+def plan_from_bytes(blob: bytes) -> EncryptionPlan:
+    """Inverse of :func:`plan_to_bytes`.
+
+    Raises :class:`ValidationError` on a malformed or truncated blob.
+    """
+    if len(blob) < _HEADER.size:
+        raise ValidationError("plan blob too short")
+    (
+        magic,
+        n_outputs,
+        electrode_width,
+        pitch,
+        gain_levels,
+        gain_min,
+        gain_max,
+        flow_levels,
+        flow_min,
+        flow_max,
+        epoch_duration,
+        n_epochs,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise ValidationError(f"bad magic {magic!r}; not a serialized plan")
+
+    array = ElectrodeArray(
+        n_outputs=n_outputs, electrode_width_m=electrode_width, pitch_m=pitch
+    )
+    gain_table = GainTable(n_levels=gain_levels, min_gain=gain_min, max_gain=gain_max)
+    flow_table = FlowSpeedTable(
+        n_levels=flow_levels, min_rate_ul_min=flow_min, max_rate_ul_min=flow_max
+    )
+
+    offset = _HEADER.size
+    epoch_size = _EPOCH_FIXED.size + n_outputs
+    expected = offset + n_epochs * epoch_size
+    if len(blob) != expected:
+        raise ValidationError(
+            f"plan blob has {len(blob)} bytes; expected {expected}"
+        )
+    epochs = []
+    for _ in range(n_epochs):
+        bitmask, flow_level = _EPOCH_FIXED.unpack_from(blob, offset)
+        offset += _EPOCH_FIXED.size
+        gains = tuple(blob[offset : offset + n_outputs])
+        offset += n_outputs
+        active = frozenset(
+            electrode
+            for electrode in range(1, n_outputs + 1)
+            if bitmask & (1 << (electrode - 1))
+        )
+        epochs.append(
+            EpochKey(active_electrodes=active, gain_levels=gains, flow_level=flow_level)
+        )
+    schedule = KeySchedule(epoch_duration_s=epoch_duration, epochs=tuple(epochs))
+    return EncryptionPlan(
+        schedule=schedule, array=array, gain_table=gain_table, flow_table=flow_table
+    )

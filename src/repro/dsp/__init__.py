@@ -1,0 +1,42 @@
+"""Cloud-side signal processing (paper §VI-C).
+
+The untrusted analysis side sees only the encrypted trace; everything it
+can legitimately do is here:
+
+* :mod:`~repro.dsp.detrend` — remove slow baseline drift by fitting
+  second-order polynomials to overlapping sub-sequences and normalising
+  by the fit (the paper's empirically optimal scheme; global low-order
+  fits under-fit, high-order fits deform peaks — both are provided for
+  the ablation).
+* :mod:`~repro.dsp.peakdetect` — threshold the detrended signal and
+  extract each peak's timestamp, depth, width and per-carrier
+  amplitudes.
+* :mod:`~repro.dsp.features` — per-peak feature vectors at selected
+  carrier frequencies (the Figure 16 scatter axes).
+* :mod:`~repro.dsp.recording` — CSV capture-size and zip-compression
+  model for the §VII-B data-volume accounting.
+"""
+
+from repro.dsp.detrend import (
+    DetrendConfig,
+    global_polynomial_detrend,
+    piecewise_polynomial_detrend,
+)
+from repro.dsp.features import FeatureExtractor, PeakFeatures
+from repro.dsp.peakdetect import DetectedPeak, PeakDetector, PeakReport
+from repro.dsp.recording import CsvRecordingModel, compressed_size_bytes
+from repro.dsp.streaming import StreamingPeakDetector
+
+__all__ = [
+    "StreamingPeakDetector",
+    "DetrendConfig",
+    "global_polynomial_detrend",
+    "piecewise_polynomial_detrend",
+    "FeatureExtractor",
+    "PeakFeatures",
+    "DetectedPeak",
+    "PeakDetector",
+    "PeakReport",
+    "CsvRecordingModel",
+    "compressed_size_bytes",
+]

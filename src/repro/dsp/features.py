@@ -1,0 +1,108 @@
+"""Per-peak feature vectors for particle classification.
+
+Figure 16 of the paper plots each particle's dip amplitude at 500 kHz
+against its amplitude at 2500 kHz; the three populations (3.58 µm beads,
+7.8 µm beads, blood cells) form separable clusters because the bead
+response is flat in frequency while the cell response rolls off.  The
+:class:`FeatureExtractor` turns detected peaks into exactly those
+feature vectors, selecting the acquisition channels nearest the
+requested feature frequencies.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError
+from repro.dsp.peakdetect import DetectedPeak, PeakReport
+
+#: The Figure 16 feature axes.
+DEFAULT_FEATURE_FREQUENCIES_HZ: Tuple[float, ...] = (500e3, 2500e3)
+
+
+@dataclass(frozen=True)
+class PeakFeatures:
+    """Feature vector of one peak: amplitudes at the feature carriers."""
+
+    time_s: float
+    vector: np.ndarray
+    width_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector", np.asarray(self.vector, dtype=float))
+
+
+@dataclass(frozen=True)
+class FeatureExtractor:
+    """Maps detected peaks to amplitude features at chosen carriers.
+
+    Parameters
+    ----------
+    carrier_frequencies_hz:
+        The acquisition's carrier set (channel ordering).
+    feature_frequencies_hz:
+        The carriers to use as features; each must be within
+        ``tolerance_hz`` of an actual carrier.
+    """
+
+    carrier_frequencies_hz: Tuple[float, ...]
+    feature_frequencies_hz: Tuple[float, ...] = DEFAULT_FEATURE_FREQUENCIES_HZ
+    tolerance_hz: float = 1e5
+
+    def __post_init__(self) -> None:
+        carriers = tuple(float(f) for f in self.carrier_frequencies_hz)
+        features = tuple(float(f) for f in self.feature_frequencies_hz)
+        if not carriers:
+            raise ConfigurationError("carrier_frequencies_hz must be non-empty")
+        if not features:
+            raise ConfigurationError("feature_frequencies_hz must be non-empty")
+        object.__setattr__(self, "carrier_frequencies_hz", carriers)
+        object.__setattr__(self, "feature_frequencies_hz", features)
+        # Fail fast if a requested feature frequency has no carrier.
+        object.__setattr__(self, "_channel_indices", tuple(self._resolve_channels()))
+
+    def _resolve_channels(self) -> List[int]:
+        indices = []
+        for wanted in self.feature_frequencies_hz:
+            errors = [abs(carrier - wanted) for carrier in self.carrier_frequencies_hz]
+            best = int(np.argmin(errors))
+            if errors[best] > self.tolerance_hz:
+                raise ConfigurationError(
+                    f"no carrier within {self.tolerance_hz:.0f} Hz of requested "
+                    f"feature frequency {wanted:.0f} Hz"
+                )
+            indices.append(best)
+        return indices
+
+    @property
+    def channel_indices(self) -> Tuple[int, ...]:
+        """Acquisition channel index per feature dimension."""
+        return self._channel_indices
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the feature vectors."""
+        return len(self.feature_frequencies_hz)
+
+    # ------------------------------------------------------------------
+    def features_for_peak(self, peak: DetectedPeak) -> PeakFeatures:
+        """Feature vector of a single detected peak."""
+        for channel in self._channel_indices:
+            if channel >= peak.amplitudes.shape[0]:
+                raise ConfigurationError(
+                    f"peak has {peak.amplitudes.shape[0]} channels, "
+                    f"feature needs channel {channel}"
+                )
+        vector = peak.amplitudes[list(self._channel_indices)]
+        return PeakFeatures(time_s=peak.time_s, vector=vector, width_s=peak.width_s)
+
+    def features_for_report(self, report: PeakReport) -> List[PeakFeatures]:
+        """Feature vectors for every peak in a report."""
+        return [self.features_for_peak(peak) for peak in report.peaks]
+
+    def feature_matrix(self, report: PeakReport) -> np.ndarray:
+        """(n_peaks, n_features) matrix for vectorised classification."""
+        if not report.peaks:
+            return np.empty((0, self.n_features))
+        return np.vstack([self.features_for_peak(p).vector for p in report.peaks])

@@ -1,0 +1,153 @@
+"""Streaming peak detection for long captures (§VI-C / §VII-B).
+
+The paper's 3-hour runs produce ~5 M samples per channel; holding the
+whole record in memory before detection is unnecessary because the
+detrend-and-threshold pipeline is local.  §VI-C already partitions the
+signal into overlapping sub-sequences for detrending; this module
+extends that partitioning into a streaming interface: feed chunks as
+they are acquired, receive peaks with global timestamps as soon as
+their neighbourhood is complete.
+
+Equivalence: peaks are emitted from the *interior* of each processing
+window (a guard margin at the trailing edge defers boundary peaks to
+the next window), so streaming results match batch detection wherever
+peaks are separated from window edges by more than the margin.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError
+from repro._util.validation import check_positive
+from repro.dsp.peakdetect import DetectedPeak, PeakDetector, PeakReport
+
+
+class StreamingPeakDetector:
+    """Chunked wrapper around :class:`PeakDetector`.
+
+    Parameters
+    ----------
+    detector:
+        The underlying batch detector (its detrend window sets the
+        natural processing granularity).
+    sampling_rate_hz:
+        Sampling rate of the incoming chunks.
+    window_s:
+        Processing window length; must comfortably exceed the
+        detector's detrend window.
+    guard_s:
+        Trailing margin whose peaks are deferred to the next window.
+    """
+
+    def __init__(
+        self,
+        sampling_rate_hz: float,
+        detector: Optional[PeakDetector] = None,
+        window_s: float = 30.0,
+        guard_s: float = 1.0,
+    ) -> None:
+        check_positive("sampling_rate_hz", sampling_rate_hz)
+        check_positive("window_s", window_s)
+        check_positive("guard_s", guard_s)
+        if guard_s >= window_s / 2:
+            raise ConfigurationError("guard_s must be well below window_s")
+        self.detector = detector or PeakDetector()
+        self.sampling_rate_hz = sampling_rate_hz
+        self.window_samples = int(round(window_s * sampling_rate_hz))
+        self.guard_samples = int(round(guard_s * sampling_rate_hz))
+        self._buffer: Optional[np.ndarray] = None
+        self._buffer_start_sample = 0
+        self._samples_seen = 0
+        self._next_emit_sample = 0
+        self._emitted: List[DetectedPeak] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_emitted(self) -> int:
+        """Peaks emitted so far."""
+        return len(self._emitted)
+
+    def feed(self, chunk: np.ndarray) -> List[DetectedPeak]:
+        """Feed a ``(n_channels, n)`` chunk; returns newly final peaks."""
+        if self._finished:
+            raise ConfigurationError("detector already finished")
+        chunk = np.asarray(chunk, dtype=float)
+        if chunk.ndim != 2:
+            raise ConfigurationError("chunk must be 2-D (channels, samples)")
+        if self._buffer is None:
+            self._buffer = chunk.copy()
+        else:
+            if chunk.shape[0] != self._buffer.shape[0]:
+                raise ConfigurationError("chunk channel count changed mid-stream")
+            self._buffer = np.concatenate([self._buffer, chunk], axis=1)
+        self._samples_seen += chunk.shape[1]
+
+        fresh: List[DetectedPeak] = []
+        while self._buffer.shape[1] >= self.window_samples:
+            fresh.extend(self._process_window(final=False))
+        return fresh
+
+    def finish(self) -> PeakReport:
+        """Flush the remaining buffer and return the complete report."""
+        if self._finished:
+            raise ConfigurationError("detector already finished")
+        while self._buffer is not None and self._buffer.shape[1] > 0:
+            emitted = self._process_window(final=True)
+            if self._buffer.shape[1] == 0:
+                break
+            if not emitted and self._buffer.shape[1] < self.window_samples:
+                # Final partial window: process whatever is left.
+                emitted = self._process_window(final=True, force=True)
+                break
+        self._finished = True
+        duration_s = self._samples_seen / self.sampling_rate_hz
+        peaks = tuple(sorted(self._emitted, key=lambda p: p.time_s))
+        return PeakReport(
+            peaks=peaks,
+            duration_s=duration_s,
+            sampling_rate_hz=self.sampling_rate_hz,
+            detection_channel=self.detector.detection_channel,
+        )
+
+    # ------------------------------------------------------------------
+    def _process_window(self, final: bool, force: bool = False) -> List[DetectedPeak]:
+        assert self._buffer is not None
+        available = self._buffer.shape[1]
+        take = min(self.window_samples, available)
+        if take == 0:
+            return []
+        if not force and not final and take < self.window_samples:
+            return []
+        window = self._buffer[:, :take]
+        report = self.detector.detect(window, self.sampling_rate_hz)
+
+        is_last = force or (final and available <= self.window_samples)
+        cutoff_local = take if is_last else take - self.guard_samples
+        offset_s = self._buffer_start_sample / self.sampling_rate_hz
+
+        emitted = []
+        for peak in report.peaks:
+            global_index = peak.sample_index + self._buffer_start_sample
+            # Emit each peak exactly once: past the dedup pointer and
+            # inside the finalised (pre-guard) region of this window.
+            if global_index >= self._next_emit_sample and peak.sample_index < cutoff_local:
+                emitted.append(
+                    DetectedPeak(
+                        time_s=peak.time_s + offset_s,
+                        depth=peak.depth,
+                        width_s=peak.width_s,
+                        amplitudes=peak.amplitudes,
+                        sample_index=global_index,
+                    )
+                )
+        self._emitted.extend(emitted)
+        self._next_emit_sample = self._buffer_start_sample + cutoff_local
+        # Keep a lead-in margin before the emission cutoff so deferred
+        # peaks re-appear with full left context in the next window.
+        advance = take if is_last else max(cutoff_local - self.guard_samples, 1)
+        self._buffer = self._buffer[:, advance:]
+        self._buffer_start_sample += advance
+        return emitted

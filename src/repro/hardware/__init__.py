@@ -1,0 +1,49 @@
+"""Sensor hardware: electrode arrays, multiplexer, controller, front-end.
+
+These classes model the fabricated device of paper §III/§VI:
+
+* :class:`~repro.hardware.electrodes.ElectrodeArray` — the multi-output
+  sensing region (Figure 5 designs with 2/3/5/9 outputs, plus the
+  16-output variant §VI-B sizes keys for).  The *lead* electrode has an
+  excitation neighbour on one side only and yields a single dip per
+  particle; every other output yields a double dip.  This geometry is
+  what turns electrode selection into peak-count multiplication.
+* :class:`~repro.hardware.multiplexer.Multiplexer` — the MAX14661-style
+  16:2 switch matrix routing selected outputs to the lock-in and the
+  rest to ground.
+* :class:`~repro.hardware.controller.MicroController` — the Raspberry-Pi
+  stand-in and the system's trusted computing base: it generates keys,
+  drives the multiplexer/pump, and refuses to export key material to
+  untrusted parties.
+* :class:`~repro.hardware.acquisition.AcquisitionFrontEnd` — renders
+  pulse events through noise and the lock-in into the recorded trace.
+"""
+
+from repro.hardware.acquisition import AcquiredTrace, AcquisitionFrontEnd
+from repro.hardware.electrodes import (
+    ELECTRODE_DESIGNS,
+    ElectrodeArray,
+    standard_array,
+)
+from repro.hardware.multiplexer import Multiplexer
+
+
+def __getattr__(name):
+    # MicroController pulls in repro.crypto, which itself imports the
+    # electrode geometry from this package; loading it lazily keeps the
+    # import graph acyclic while preserving `repro.hardware.MicroController`.
+    if name == "MicroController":
+        from repro.hardware.controller import MicroController
+
+        return MicroController
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AcquiredTrace",
+    "AcquisitionFrontEnd",
+    "MicroController",
+    "ELECTRODE_DESIGNS",
+    "ElectrodeArray",
+    "standard_array",
+    "Multiplexer",
+]

@@ -1,0 +1,172 @@
+"""The micro-controller: MedSen's trusted computing base.
+
+Paper §II (threat model): "Aside from the sensor ... and the combination
+of a small controller and a multiplexer responsible for managing the
+diagnostic experiment settings ... no other component has access to the
+true cytometry information.  MedSen neither trusts the smartphone nor
+the remote server."  And §VI-B: "The encryption keys always remain on
+the controller and never get sent out to the phone or cloud."
+
+:class:`MicroController` enforces that boundary in the object model: it
+generates key schedules from its entropy source, drives the multiplexer
+per epoch, decrypts peak reports — and raises
+:class:`~repro._util.errors.TrustBoundaryError` if an untrusted party
+asks for key material.  Key sharing with the patient's practitioner is
+explicitly allowed (§VII-B: "MedSen's design also allows ... sharing of
+the generated keys with trusted parties, e.g., the patient's
+practitioners").
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro._util.errors import ConfigurationError, TrustBoundaryError
+from repro._util.rng import RngLike
+from repro.crypto.decryptor import DecryptionResult, SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan
+from repro.crypto.gains import GainTable
+from repro.crypto.key import KeySchedule
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.dsp.peakdetect import PeakReport
+from repro.hardware.electrodes import ElectrodeArray
+from repro.hardware.multiplexer import Multiplexer
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+
+#: Parties inside (or trusted by) the TCB.
+TRUSTED_PARTIES: FrozenSet[str] = frozenset({"sensor", "controller", "practitioner"})
+
+#: Parties the threat model declares curious-but-honest and untrusted.
+UNTRUSTED_PARTIES: FrozenSet[str] = frozenset({"smartphone", "cloud", "network"})
+
+
+class MicroController:
+    """Raspberry-Pi stand-in holding the key material.
+
+    Parameters
+    ----------
+    array, multiplexer:
+        The sensing hardware the controller drives.  The array must fit
+        the multiplexer.
+    gain_table, flow_table:
+        Cipher quantisation tables.
+    entropy:
+        The /dev/random stand-in; defaults to a fresh metered source.
+    avoid_consecutive:
+        Enable the §VII-A consecutive-electrode mitigation in key
+        generation.
+    """
+
+    def __init__(
+        self,
+        array: ElectrodeArray,
+        multiplexer: Optional[Multiplexer] = None,
+        gain_table: Optional[GainTable] = None,
+        flow_table: Optional[FlowSpeedTable] = None,
+        entropy: Optional[EntropySource] = None,
+        channel: Optional[MicrofluidicChannel] = None,
+        avoid_consecutive: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        self.array = array
+        self.multiplexer = multiplexer or Multiplexer()
+        if not self.multiplexer.supports_array(array.n_outputs):
+            raise ConfigurationError(
+                f"{array.n_outputs}-output array does not fit a "
+                f"{self.multiplexer.n_inputs}-input multiplexer"
+            )
+        self.gain_table = gain_table or GainTable()
+        self.flow_table = flow_table or FlowSpeedTable()
+        self.channel = channel or MicrofluidicChannel()
+        self._entropy = entropy or EntropySource(rng)
+        max_active = None
+        if avoid_consecutive:
+            max_active = (array.n_outputs + 1) // 2
+        self._keygen = KeyGenerator(
+            n_electrodes=array.n_outputs,
+            gain_table=self.gain_table,
+            flow_table=self.flow_table,
+            avoid_consecutive=avoid_consecutive,
+            max_active=max_active,
+            position_order=array.position_order if avoid_consecutive else None,
+        )
+        self._plan: Optional[EncryptionPlan] = None
+
+    # ------------------------------------------------------------------
+    # Key management (TCB-internal)
+    # ------------------------------------------------------------------
+    def provision(self, duration_s: float, epoch_duration_s: float = 1.0) -> EncryptionPlan:
+        """Generate and hold a key schedule covering ``duration_s``.
+
+        Returns the bound :class:`EncryptionPlan`.  The plan object *is*
+        key material; the device layer keeps it inside the TCB.
+        """
+        schedule = self._keygen.generate_schedule(
+            duration_s, epoch_duration_s, self._entropy
+        )
+        self._plan = EncryptionPlan(
+            schedule=schedule,
+            array=self.array,
+            gain_table=self.gain_table,
+            flow_table=self.flow_table,
+        )
+        return self._plan
+
+    @property
+    def has_keys(self) -> bool:
+        """Whether a schedule is currently provisioned."""
+        return self._plan is not None
+
+    @property
+    def entropy_bits_consumed(self) -> int:
+        """Entropy drawn from the /dev/random stand-in so far."""
+        return self._entropy.bits_consumed
+
+    def export_schedule(self, audience: str) -> KeySchedule:
+        """Release the key schedule to a *trusted* party only.
+
+        Raises :class:`TrustBoundaryError` for the smartphone, the cloud
+        or any unknown audience — keys never leave the TCB towards the
+        curious-but-honest parties.
+        """
+        if audience not in TRUSTED_PARTIES:
+            raise TrustBoundaryError(
+                f"refusing to export key material to {audience!r}; "
+                f"trusted parties: {sorted(TRUSTED_PARTIES)}"
+            )
+        if self._plan is None:
+            raise ConfigurationError("no key schedule provisioned")
+        return self._plan.schedule
+
+    # ------------------------------------------------------------------
+    # Hardware driving
+    # ------------------------------------------------------------------
+    def apply_epoch(self, time_s: float) -> None:
+        """Route the epoch's active electrodes through the multiplexer."""
+        if self._plan is None:
+            raise ConfigurationError("no key schedule provisioned")
+        key = self._plan.schedule.key_at(time_s)
+        self.multiplexer.select(key.active_electrodes)
+
+    def drive_schedule(self) -> int:
+        """Walk the whole schedule through the multiplexer.
+
+        Returns the number of mux reconfigurations performed; used by
+        tests to confirm unselected electrodes are always grounded.
+        """
+        if self._plan is None:
+            raise ConfigurationError("no key schedule provisioned")
+        for index in range(self._plan.schedule.n_epochs):
+            start_s, _ = self._plan.schedule.epoch_bounds(index)
+            self.apply_epoch(start_s)
+        return self.multiplexer.switch_count
+
+    # ------------------------------------------------------------------
+    # Decryption (TCB-internal, "multiplications and divisions")
+    # ------------------------------------------------------------------
+    def decrypt(self, report: PeakReport) -> DecryptionResult:
+        """Decrypt a cloud peak report with the held schedule."""
+        if self._plan is None:
+            raise ConfigurationError("no key schedule provisioned")
+        decryptor = SignalDecryptor(plan=self._plan, channel=self.channel)
+        return decryptor.decrypt(report)

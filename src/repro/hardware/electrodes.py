@@ -1,0 +1,210 @@
+"""Multi-output electrode array geometry (paper Figure 5).
+
+The sensing region interleaves output electrodes with common excitation
+electrodes along the channel::
+
+    [Out_L] [In] [Out_1] [In] [Out_2] [In] ... [Out_{n-1}] [In]
+
+``Out_L`` is the *lead* electrode: it has an excitation neighbour on one
+side only, so a passing particle modulates one gap and produces **one**
+dip.  Every other output electrode sits between two excitation
+electrodes and produces **two** dips.  Hence an active subset ``E``
+multiplies each particle into
+
+    m(E) = sum_{e in E} (1 if e is the lead else 2)
+
+peaks — with all 9 electrodes of the paper's 9-output design active,
+m = 1 + 8*2 = 17, the "train of 17 peaks" of Figure 11d.
+
+Electrodes are numbered 1..n the way the paper labels them, with the
+lead electrode carrying the highest number (the paper's "electrode 9").
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro._util.units import micrometer
+from repro._util.validation import check_positive
+
+#: Output counts of the fabricated designs (Fig 5) plus the 16-output
+#: variant used for the Eq. 2 key-size analysis.
+ELECTRODE_DESIGNS: Tuple[int, ...] = (2, 3, 5, 9, 16)
+
+
+@dataclass(frozen=True)
+class ElectrodeArray:
+    """Geometry of one sensing region.
+
+    Parameters
+    ----------
+    n_outputs:
+        Number of independently switchable output electrodes.
+    electrode_width_m:
+        Width of each electrode finger (paper: 20 µm).
+    pitch_m:
+        Centre-to-centre distance of adjacent electrodes (paper: 25 µm).
+    """
+
+    n_outputs: int
+    electrode_width_m: float = micrometer(20.0)
+    pitch_m: float = micrometer(25.0)
+
+    def __post_init__(self) -> None:
+        if self.n_outputs < 1:
+            raise ConfigurationError(f"n_outputs must be >= 1, got {self.n_outputs}")
+        check_positive("electrode_width_m", self.electrode_width_m)
+        check_positive("pitch_m", self.pitch_m)
+        if self.pitch_m < self.electrode_width_m:
+            raise ConfigurationError("pitch_m must be >= electrode_width_m")
+
+    # ------------------------------------------------------------------
+    # Numbering and roles
+    # ------------------------------------------------------------------
+    @property
+    def lead_electrode(self) -> int:
+        """Number of the lead (single-dip) electrode — the highest."""
+        return self.n_outputs
+
+    @property
+    def electrode_numbers(self) -> Tuple[int, ...]:
+        """All output electrode numbers, 1..n_outputs."""
+        return tuple(range(1, self.n_outputs + 1))
+
+    def is_lead(self, electrode: int) -> bool:
+        """Whether ``electrode`` is the lead electrode."""
+        self._check_electrode(electrode)
+        return electrode == self.lead_electrode
+
+    def dips_per_particle(self, electrode: int) -> int:
+        """Dips one particle causes at ``electrode`` when it is active."""
+        return 1 if self.is_lead(electrode) else 2
+
+    def multiplication_factor(self, active: Iterable[int]) -> int:
+        """Peak multiplication m(E) for an active subset.
+
+        This is the quantity the decryptor divides observed peak counts
+        by, and the quantity an eavesdropper must guess.
+        """
+        active_set = self._check_subset(active)
+        return sum(self.dips_per_particle(e) for e in active_set)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def gap_positions_m(self, electrode: int) -> List[float]:
+        """Centre positions (m along the channel) of the sensing gap(s).
+
+        The physical layout places the lead output first, then
+        alternating excitation/output fingers.  Gap k (between fingers k
+        and k+1) is centred at ``(k + 0.5) * pitch``.  The lead electrode
+        owns gap 0; output electrode ``e`` (numbered from 1, laid out in
+        increasing position) owns the two gaps flanking its finger.
+        """
+        self._check_electrode(electrode)
+        if self.is_lead(electrode):
+            return [0.5 * self.pitch_m]
+        # Output e sits at finger index 2e (lead=0, In=1, Out_1=2, In=3,
+        # Out_2=4, ...), flanked by gaps 2e-1 and 2e.
+        finger = 2 * electrode
+        return [
+            (finger - 0.5) * self.pitch_m,
+            (finger + 0.5) * self.pitch_m,
+        ]
+
+    @property
+    def position_order(self) -> Tuple[int, ...]:
+        """Electrode numbers in physical (along-channel) order.
+
+        The lead electrode is the *first* finger, followed by outputs
+        1..n-1, so the lead is physically adjacent to electrode 1 even
+        though their numbers differ by n-1.
+        """
+        return (self.lead_electrode,) + tuple(range(1, self.n_outputs))
+
+    def physically_adjacent(self, electrode_a: int, electrode_b: int) -> bool:
+        """Whether two outputs have sensing gaps one pitch apart.
+
+        Adjacent active electrodes produce dip chains that merge or
+        swallow each other (the Figure 11b/11d effect); §VII-A suggests
+        key patterns avoid them.
+        """
+        self._check_electrode(electrode_a)
+        self._check_electrode(electrode_b)
+        order = self.position_order
+        return abs(order.index(electrode_a) - order.index(electrode_b)) == 1
+
+    def has_adjacent_active(self, active: Iterable[int]) -> bool:
+        """Whether an active subset contains physically adjacent pairs."""
+        active_set = sorted(self._check_subset(active))
+        return any(
+            self.physically_adjacent(a, b)
+            for i, a in enumerate(active_set)
+            for b in active_set[i + 1 :]
+        )
+
+    @property
+    def span_m(self) -> float:
+        """Distance from the first to the last sensing gap."""
+        first = self.gap_positions_m(self.lead_electrode)[0]
+        if self.n_outputs == 1:
+            return 0.0
+        last = self.gap_positions_m(self.n_outputs - 1)[-1]
+        return last - first
+
+    @property
+    def sensing_length_m(self) -> float:
+        """Length over which one gap sees a particle.
+
+        Paper Figure 11 analysis: 45 µm = one 25 µm pitch plus two
+        20 µm electrode halves... i.e. pitch + electrode width.
+        """
+        return self.pitch_m + self.electrode_width_m
+
+    def transit_time_s(self, velocity_m_s: float) -> float:
+        """Dip duration (s) of one gap at a given particle velocity.
+
+        The paper's "response time for each peak is approximately 20 ms"
+        at the nominal 0.08 µL/min flow is this quantity.
+        """
+        check_positive("velocity_m_s", velocity_m_s)
+        return self.sensing_length_m / velocity_m_s
+
+    def dip_fwhm_s(self, velocity_m_s: float) -> float:
+        """Full width at half maximum of one dip.
+
+        The total response lasts one transit time; the half-maximum
+        width of the bell-shaped response is about half of that, which
+        is what keeps the double dips of a non-lead electrode (gaps one
+        25 µm pitch apart) resolvable, as they visibly are in Fig 11.
+        """
+        return 0.5 * self.transit_time_s(velocity_m_s)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_electrode(self, electrode: int) -> None:
+        if not 1 <= electrode <= self.n_outputs:
+            raise ConfigurationError(
+                f"electrode {electrode} out of range 1..{self.n_outputs}"
+            )
+
+    def _check_subset(self, active: Iterable[int]) -> FrozenSet[int]:
+        active_set = frozenset(int(e) for e in active)
+        for electrode in active_set:
+            self._check_electrode(electrode)
+        return active_set
+
+
+_STANDARD_ARRAYS: Dict[int, ElectrodeArray] = {}
+
+
+def standard_array(n_outputs: int) -> ElectrodeArray:
+    """Return the standard array for one of the fabricated designs."""
+    if n_outputs not in ELECTRODE_DESIGNS:
+        raise ConfigurationError(
+            f"no standard design with {n_outputs} outputs; available: {ELECTRODE_DESIGNS}"
+        )
+    if n_outputs not in _STANDARD_ARRAYS:
+        _STANDARD_ARRAYS[n_outputs] = ElectrodeArray(n_outputs=n_outputs)
+    return _STANDARD_ARRAYS[n_outputs]

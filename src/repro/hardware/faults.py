@@ -1,0 +1,269 @@
+"""Hardware fault models and the device self-test.
+
+The paper's own prototype shipped with a fabrication flaw ("the ninth
+electrode ... only generates one peak ... a minor fabrication flaw of
+the sensor", §VII-A), which is exactly why a deployable device needs
+fault models and a self-test:
+
+* :class:`FaultySensor` — wraps the event stream with injectable
+  faults: dead output electrodes (no dips), weak electrodes
+  (attenuated dips), a stuck multiplexer input (an electrode that is
+  always measured regardless of the key).
+* :func:`self_test` — the §VI-style calibration procedure: run a known
+  bead stream with each electrode activated alone and compare the dip
+  counts/amplitudes against expectation, reporting which electrodes
+  are dead, weak, or stuck.
+
+A stuck-on electrode is also a *security* fault: it adds key-independent
+peaks, which both corrupts decryption arithmetic and leaks a constant
+component an attacker could subtract — the self-test exists so the
+device refuses to operate in that state.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_in_range
+from repro.dsp.peakdetect import PeakDetector
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import ElectrodeArray
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles.library import BEAD_7P8
+from repro.particles.sample import Particle
+from repro.physics.electrical import ElectrodePairCircuit
+from repro.physics.lockin import LockInAmplifier
+from repro.physics.peaks import PulseEvent
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Injectable electrode faults.
+
+    Parameters
+    ----------
+    dead_electrodes:
+        Outputs that produce no signal at all (broken trace/bond).
+    weak_electrodes:
+        Outputs whose dips are attenuated by ``weak_attenuation``
+        (degraded metallisation).
+    stuck_on_electrodes:
+        Outputs hard-wired to the measurement bus: they fire for every
+        particle regardless of the key.
+    """
+
+    dead_electrodes: FrozenSet[int] = frozenset()
+    weak_electrodes: FrozenSet[int] = frozenset()
+    stuck_on_electrodes: FrozenSet[int] = frozenset()
+    weak_attenuation: float = 0.3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dead_electrodes", frozenset(self.dead_electrodes))
+        object.__setattr__(self, "weak_electrodes", frozenset(self.weak_electrodes))
+        object.__setattr__(
+            self, "stuck_on_electrodes", frozenset(self.stuck_on_electrodes)
+        )
+        check_in_range("weak_attenuation", self.weak_attenuation, 0.0, 1.0)
+        overlap = self.dead_electrodes & self.stuck_on_electrodes
+        if overlap:
+            raise ConfigurationError(
+                f"electrodes {sorted(overlap)} cannot be both dead and stuck on"
+            )
+
+    @property
+    def is_healthy(self) -> bool:
+        """True when no fault is configured."""
+        return not (
+            self.dead_electrodes or self.weak_electrodes or self.stuck_on_electrodes
+        )
+
+    # ------------------------------------------------------------------
+    def apply_to_events(
+        self,
+        events: Sequence[PulseEvent],
+        array: ElectrodeArray,
+        arrivals: Sequence[ParticleArrival] = (),
+        circuit: ElectrodePairCircuit = None,
+        carriers: Sequence[float] = (),
+    ) -> List[PulseEvent]:
+        """Transform a keyed event stream through the fault model.
+
+        Dead electrodes drop their events; weak electrodes attenuate
+        them; stuck-on electrodes add events for *every* arrival (the
+        extra dips a hard-wired input contributes).
+        """
+        out: List[PulseEvent] = []
+        for event in events:
+            electrode = event.electrode_index
+            if electrode in self.dead_electrodes:
+                continue
+            if electrode in self.weak_electrodes:
+                out.append(
+                    PulseEvent(
+                        center_s=event.center_s,
+                        width_s=event.width_s,
+                        amplitudes=event.amplitudes * self.weak_attenuation,
+                        electrode_index=electrode,
+                        particle_index=event.particle_index,
+                    )
+                )
+            else:
+                out.append(event)
+
+        if self.stuck_on_electrodes and arrivals:
+            circuit = circuit or ElectrodePairCircuit()
+            carrier_array = np.asarray(list(carriers) or [500e3])
+            # Which (particle, electrode) pairs already have events?
+            covered = {
+                (event.particle_index, event.electrode_index) for event in events
+            }
+            for particle_index, arrival in enumerate(arrivals):
+                for electrode in sorted(self.stuck_on_electrodes):
+                    if (particle_index, electrode) in covered:
+                        continue
+                    drops = arrival.particle.relative_drop(carrier_array)
+                    amplitudes = np.asarray(
+                        circuit.measured_drop(carrier_array, drops), dtype=float
+                    )
+                    width_s = array.dip_fwhm_s(arrival.velocity_m_s)
+                    for gap_m in array.gap_positions_m(electrode):
+                        out.append(
+                            PulseEvent(
+                                center_s=arrival.time_s + gap_m / arrival.velocity_m_s,
+                                width_s=width_s,
+                                amplitudes=amplitudes,
+                                electrode_index=electrode,
+                                particle_index=particle_index,
+                            )
+                        )
+        out.sort(key=lambda event: event.center_s)
+        return out
+
+
+@dataclass(frozen=True)
+class ElectrodeHealth:
+    """Self-test verdict for one output electrode."""
+
+    electrode: int
+    expected_dips: int
+    observed_dips: int
+    mean_depth: float
+    verdict: str  # "ok" | "dead" | "weak" | "stuck"
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Result of a full array self-test."""
+
+    electrodes: Tuple[ElectrodeHealth, ...]
+
+    @property
+    def healthy(self) -> bool:
+        """True when every electrode reports ok."""
+        return all(entry.verdict == "ok" for entry in self.electrodes)
+
+    def faulty_electrodes(self) -> Dict[str, List[int]]:
+        """Faults grouped by verdict."""
+        out: Dict[str, List[int]] = {}
+        for entry in self.electrodes:
+            if entry.verdict != "ok":
+                out.setdefault(entry.verdict, []).append(entry.electrode)
+        return out
+
+
+def self_test(
+    array: ElectrodeArray,
+    fault_model: FaultModel,
+    n_test_beads: int = 5,
+    carriers: Tuple[float, ...] = (500e3,),
+    rng: RngLike = None,
+) -> SelfTestReport:
+    """Calibration self-test: activate each electrode alone.
+
+    For each output electrode, a known bead stream passes with only
+    that electrode selected; the detected dip count and depth expose
+    dead (no dips), weak (shallow dips) and stuck (dips appear while a
+    *different* electrode is selected) outputs.
+    """
+    if n_test_beads < 1:
+        raise ConfigurationError("n_test_beads must be >= 1")
+    generator = ensure_rng(rng)
+    channel = MicrofluidicChannel()
+    velocity = channel.velocity_for_flow_rate(0.08)
+    circuit = ElectrodePairCircuit()
+    lockin = LockInAmplifier(carrier_frequencies_hz=carriers)
+    front_end = AcquisitionFrontEnd(lockin=lockin)
+    detector = PeakDetector()
+    reference_depth = float(
+        circuit.measured_drop(carriers[0], BEAD_7P8.relative_drop(carriers[0]))
+    )
+
+    # Stuck detection pass: select ONLY the lead electrode and look for
+    # dips attributable to others.  (Done per-electrode below instead:
+    # when testing electrode e, stuck electrodes also fire.)
+    results: List[ElectrodeHealth] = []
+    spacing_s = 1.0
+    duration_s = n_test_beads * spacing_s + 1.0
+    arrivals = [
+        ParticleArrival(0.5 + i * spacing_s, Particle(BEAD_7P8, BEAD_7P8.diameter_m), velocity)
+        for i in range(n_test_beads)
+    ]
+
+    for electrode in array.electrode_numbers:
+        expected_per_bead = array.dips_per_particle(electrode)
+        events = []
+        width_s = array.dip_fwhm_s(velocity)
+        for particle_index, arrival in enumerate(arrivals):
+            drops = arrival.particle.relative_drop(np.asarray(carriers))
+            amplitudes = np.asarray(
+                circuit.measured_drop(np.asarray(carriers), drops), dtype=float
+            )
+            for gap_m in array.gap_positions_m(electrode):
+                events.append(
+                    PulseEvent(
+                        center_s=arrival.time_s + gap_m / arrival.velocity_m_s,
+                        width_s=width_s,
+                        amplitudes=amplitudes,
+                        electrode_index=electrode,
+                        particle_index=particle_index,
+                    )
+                )
+        faulted = fault_model.apply_to_events(
+            events, array, arrivals=arrivals, circuit=circuit, carriers=carriers
+        )
+        trace = front_end.acquire(faulted, duration_s, rng=generator)
+        report = detector.detect(trace.voltages, trace.sampling_rate_hz)
+
+        expected_total = expected_per_bead * n_test_beads
+        observed = report.count
+        mean_depth = (
+            float(np.mean([p.depth for p in report.peaks])) if report.peaks else 0.0
+        )
+
+        stuck_extras = sum(
+            array.dips_per_particle(e)
+            for e in fault_model.stuck_on_electrodes
+            if e != electrode
+        ) * n_test_beads
+        if observed == 0:
+            verdict = "dead"
+        elif observed > expected_total and stuck_extras > 0:
+            verdict = "stuck"
+        elif mean_depth < 0.6 * reference_depth:
+            verdict = "weak"
+        else:
+            verdict = "ok"
+        results.append(
+            ElectrodeHealth(
+                electrode=electrode,
+                expected_dips=expected_total,
+                observed_dips=observed,
+                mean_depth=mean_depth,
+                verdict=verdict,
+            )
+        )
+    return SelfTestReport(electrodes=tuple(results))

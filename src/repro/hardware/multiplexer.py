@@ -1,0 +1,76 @@
+"""Switch-matrix model of the MAX14661-style 16:2 multiplexer.
+
+Paper §VII-A: the selected output electrodes are routed to the first
+output channel (towards the lock-in); the remaining electrodes are
+routed to the second channel, which is tied to ground to prevent
+interference from floating electrodes.
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro._util.errors import ConfigurationError
+
+
+@dataclass
+class Multiplexer:
+    """A ``n_inputs``:2 analog switch matrix.
+
+    Channel 0 is the measurement bus (to the lock-in); channel 1 is the
+    ground bus.  Every input is always routed to exactly one of the two
+    buses — the device never leaves electrodes floating.
+    """
+
+    n_inputs: int = 16
+    switch_time_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ConfigurationError(f"n_inputs must be >= 1, got {self.n_inputs}")
+        if self.switch_time_s < 0:
+            raise ConfigurationError("switch_time_s must be >= 0")
+        self._measured: FrozenSet[int] = frozenset()
+        self._switch_count = 0
+
+    # ------------------------------------------------------------------
+    def select(self, inputs: Iterable[int]) -> None:
+        """Route ``inputs`` to the measurement bus, the rest to ground.
+
+        Inputs are numbered 1..n_inputs to match electrode numbering.
+        """
+        selected = frozenset(int(i) for i in inputs)
+        for i in selected:
+            if not 1 <= i <= self.n_inputs:
+                raise ConfigurationError(
+                    f"multiplexer input {i} out of range 1..{self.n_inputs}"
+                )
+        if selected != self._measured:
+            self._switch_count += 1
+        self._measured = selected
+
+    @property
+    def measured_inputs(self) -> FrozenSet[int]:
+        """Inputs currently routed to the measurement bus."""
+        return self._measured
+
+    @property
+    def grounded_inputs(self) -> FrozenSet[int]:
+        """Inputs currently routed to the ground bus."""
+        return frozenset(range(1, self.n_inputs + 1)) - self._measured
+
+    @property
+    def switch_count(self) -> int:
+        """How many reconfigurations have been commanded (wear metric)."""
+        return self._switch_count
+
+    def is_measured(self, input_number: int) -> bool:
+        """Whether ``input_number`` currently reaches the lock-in."""
+        if not 1 <= input_number <= self.n_inputs:
+            raise ConfigurationError(
+                f"multiplexer input {input_number} out of range 1..{self.n_inputs}"
+            )
+        return input_number in self._measured
+
+    def supports_array(self, n_outputs: int) -> bool:
+        """Whether an array with ``n_outputs`` electrodes fits this mux."""
+        return 1 <= n_outputs <= self.n_inputs

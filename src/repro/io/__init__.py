@@ -1,0 +1,20 @@
+"""Capture file I/O: writing and reading the prototype's CSV format.
+
+§VII-B: measurements are "captured in csv files".  This package makes
+the library's captures durable: CSV (plus a JSON metadata sidecar) on
+the way out, parsed :class:`~repro.hardware.acquisition.AcquiredTrace`
+objects on the way back, with optional DEFLATE compression matching the
+phone's zip step.
+"""
+
+from repro.io.capture_files import (
+    CaptureMetadata,
+    read_capture,
+    write_capture,
+)
+
+__all__ = [
+    "CaptureMetadata",
+    "read_capture",
+    "write_capture",
+]

@@ -1,0 +1,129 @@
+"""Writing and reading capture files (CSV + JSON sidecar).
+
+Layout on disk for a capture named ``run1``::
+
+    run1.csv        timestamp,ch0,ch1,...   (or run1.csv.zz, DEFLATE)
+    run1.meta.json  sampling rate, carriers, flags
+
+The CSV body is exactly the phone's upload format
+(:class:`repro.dsp.recording.CsvRecordingModel`), so measured sizes and
+compression ratios carry over to the §VII-B accounting.
+"""
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro.dsp.recording import CsvRecordingModel
+from repro.hardware.acquisition import AcquiredTrace
+
+_COMPRESSED_SUFFIX = ".csv.zz"
+_PLAIN_SUFFIX = ".csv"
+_META_SUFFIX = ".meta.json"
+
+
+@dataclass(frozen=True)
+class CaptureMetadata:
+    """Sidecar metadata of one stored capture."""
+
+    sampling_rate_hz: float
+    carrier_frequencies_hz: Tuple[float, ...]
+    encrypted: bool
+    compressed: bool
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form of the metadata."""
+        return {
+            "sampling_rate_hz": self.sampling_rate_hz,
+            "carrier_frequencies_hz": list(self.carrier_frequencies_hz),
+            "encrypted": self.encrypted,
+            "compressed": self.compressed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CaptureMetadata":
+        """Parse metadata, raising on missing fields."""
+        try:
+            return cls(
+                sampling_rate_hz=float(payload["sampling_rate_hz"]),
+                carrier_frequencies_hz=tuple(
+                    float(f) for f in payload["carrier_frequencies_hz"]
+                ),
+                encrypted=bool(payload["encrypted"]),
+                compressed=bool(payload["compressed"]),
+            )
+        except KeyError as missing:
+            raise ValidationError(f"capture metadata missing {missing}") from None
+
+
+def write_capture(
+    directory: Union[str, Path],
+    name: str,
+    trace: AcquiredTrace,
+    encrypted: bool = True,
+    compress: bool = False,
+    recording: Optional[CsvRecordingModel] = None,
+) -> Path:
+    """Write ``trace`` as ``<name>.csv[.zz]`` + sidecar; returns the data path."""
+    if not name or "/" in name:
+        raise ValidationError(f"invalid capture name {name!r}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    recording = recording or CsvRecordingModel()
+    payload = recording.encode(trace.voltages, trace.sampling_rate_hz)
+    if compress:
+        data_path = directory / f"{name}{_COMPRESSED_SUFFIX}"
+        data_path.write_bytes(zlib.compress(payload, 6))
+    else:
+        data_path = directory / f"{name}{_PLAIN_SUFFIX}"
+        data_path.write_bytes(payload)
+    metadata = CaptureMetadata(
+        sampling_rate_hz=trace.sampling_rate_hz,
+        carrier_frequencies_hz=trace.carrier_frequencies_hz,
+        encrypted=encrypted,
+        compressed=compress,
+    )
+    (directory / f"{name}{_META_SUFFIX}").write_text(
+        json.dumps(metadata.to_dict(), indent=2)
+    )
+    return data_path
+
+
+def read_capture(
+    directory: Union[str, Path], name: str
+) -> Tuple[AcquiredTrace, CaptureMetadata]:
+    """Read a capture written by :func:`write_capture`."""
+    directory = Path(directory)
+    meta_path = directory / f"{name}{_META_SUFFIX}"
+    if not meta_path.exists():
+        raise ValidationError(f"no capture named {name!r} in {directory}")
+    metadata = CaptureMetadata.from_dict(json.loads(meta_path.read_text()))
+
+    if metadata.compressed:
+        payload = zlib.decompress((directory / f"{name}{_COMPRESSED_SUFFIX}").read_bytes())
+    else:
+        payload = (directory / f"{name}{_PLAIN_SUFFIX}").read_bytes()
+
+    rows = payload.decode("ascii").strip().split("\n")
+    if not rows or rows == [""]:
+        raise ValidationError(f"capture {name!r} is empty")
+    parsed = np.array(
+        [[float(cell) for cell in row.split(",")] for row in rows]
+    )
+    voltages = parsed[:, 1:].T  # drop the timestamp column
+    if voltages.shape[0] != len(metadata.carrier_frequencies_hz):
+        raise ValidationError(
+            f"capture has {voltages.shape[0]} channels but metadata lists "
+            f"{len(metadata.carrier_frequencies_hz)} carriers"
+        )
+    trace = AcquiredTrace(
+        voltages=voltages,
+        sampling_rate_hz=metadata.sampling_rate_hz,
+        carrier_frequencies_hz=metadata.carrier_frequencies_hz,
+    )
+    return trace, metadata

@@ -1,0 +1,33 @@
+"""Microfluidic substrate: channel, flow, pump, and particle transport.
+
+Reproduces the paper's §III-C / Figure 6 channel (a 30 µm x 20 µm
+measurement pore, 500 µm long, with dispersal wells at both ends), the
+external peristaltic pump driving ~0.08 µL/min, and the transport
+behaviour the evaluation observes: Poisson particle arrivals, transit
+times that set peak widths (~20 ms), and the inlet-settling /
+wall-adsorption losses responsible for the under-counts in Figures 12
+and 13.
+
+Flow speed is also one third of the encryption key (``S(t)``): the
+:class:`~repro.microfluidics.flow.FlowSpeedTable` quantises the pump's
+range into the discrete levels the key schedule draws from.
+"""
+
+from repro.microfluidics.capture import CaptureChamber
+from repro.microfluidics.dilution import DilutionSeries, DilutionStep
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowController, FlowSpeedTable
+from repro.microfluidics.pump import PeristalticPump
+from repro.microfluidics.transport import ParticleArrival, TransportModel
+
+__all__ = [
+    "CaptureChamber",
+    "DilutionSeries",
+    "DilutionStep",
+    "MicrofluidicChannel",
+    "FlowController",
+    "FlowSpeedTable",
+    "PeristalticPump",
+    "ParticleArrival",
+    "TransportModel",
+]

@@ -1,0 +1,124 @@
+"""Dilution-series planning (the Fig 12/13 laboratory workflow).
+
+"We diluted the 7.8 µm and 3.58 µm beads with PBS, which is a commonly
+used biological buffer ... We diluted at different concentrations to
+evaluate the empirical peak detection."
+
+:class:`DilutionSeries` plans and executes that protocol: a stock
+suspension, a ladder of dilution factors, and a pipetting-error model
+(real serial dilution compounds small volumetric errors at every
+step).  The executed series returns the *intended* and *realised*
+samples so calibration code can distinguish protocol error from sensor
+error.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._util.errors import ValidationError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_in_range, check_positive
+from repro.particles.sample import Sample
+
+
+@dataclass(frozen=True)
+class DilutionStep:
+    """One prepared dilution: intended factor and realised sample."""
+
+    intended_factor: float
+    realised_factor: float
+    sample: Sample
+
+    @property
+    def factor_error(self) -> float:
+        """Relative deviation of the realised factor."""
+        return abs(self.realised_factor - self.intended_factor) / self.intended_factor
+
+
+@dataclass(frozen=True)
+class DilutionSeries:
+    """A ladder of dilutions from one stock.
+
+    Parameters
+    ----------
+    factors:
+        Intended cumulative dilution factors, each >= 1 (1 = neat
+        stock), strictly increasing.
+    pipetting_cv:
+        Coefficient of variation of each pipetted volume; factor errors
+        compound as sqrt(#steps) through the serial protocol.
+    aliquot_volume_ul:
+        Volume of the prepared aliquot at each concentration.
+    """
+
+    factors: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+    pipetting_cv: float = 0.02
+    aliquot_volume_ul: float = 5.0
+
+    def __post_init__(self) -> None:
+        factors = tuple(float(f) for f in self.factors)
+        if not factors:
+            raise ValidationError("factors must be non-empty")
+        if factors[0] < 1.0:
+            raise ValidationError("factors must be >= 1")
+        if any(b <= a for a, b in zip(factors, factors[1:])):
+            raise ValidationError("factors must be strictly increasing")
+        object.__setattr__(self, "factors", factors)
+        check_in_range("pipetting_cv", self.pipetting_cv, 0.0, 0.5)
+        check_positive("aliquot_volume_ul", self.aliquot_volume_ul)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of prepared concentrations."""
+        return len(self.factors)
+
+    # ------------------------------------------------------------------
+    def execute(self, stock: Sample, rng: RngLike = None) -> List[DilutionStep]:
+        """Prepare every dilution from ``stock``.
+
+        Serial protocol: each rung is prepared from the previous one,
+        so pipetting errors compound; realised counts are binomial
+        draws from the source rung (a physical aliquot).
+        """
+        generator = ensure_rng(rng)
+        steps: List[DilutionStep] = []
+        current = stock
+        realised_factor = 1.0
+        previous_intended = 1.0
+        for intended in self.factors:
+            # Serial protocol: each rung is prepared from the previous
+            # rung using the *intended* step ratio — the technician has
+            # no way of knowing the realised factor, so errors compound.
+            step_factor = intended / previous_intended
+            previous_intended = intended
+            if self.pipetting_cv > 0 and step_factor > 1.0:
+                realised_step = step_factor * (
+                    1.0 + generator.normal(0.0, self.pipetting_cv)
+                )
+                realised_step = max(realised_step, 1.0)
+            else:
+                realised_step = step_factor
+            if realised_step > 1.0:
+                current = current.dilute(realised_step)
+            realised_factor *= realised_step
+            aliquot = current.aliquot(
+                min(self.aliquot_volume_ul, current.volume_ul), rng=generator
+            )
+            steps.append(
+                DilutionStep(
+                    intended_factor=intended,
+                    realised_factor=realised_factor,
+                    sample=aliquot,
+                )
+            )
+        return steps
+
+    # ------------------------------------------------------------------
+    def expected_concentrations(
+        self, stock: Sample, particle_type
+    ) -> List[float]:
+        """Intended concentration ladder for one species (per µL)."""
+        base = stock.concentration_per_ul(particle_type)
+        return [base / factor for factor in self.factors]

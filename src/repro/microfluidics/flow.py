@@ -1,0 +1,133 @@
+"""Flow-rate control and the quantised speed levels used by the cipher.
+
+The third component of the encryption key, ``S(t)``, is the channel flow
+speed (paper §IV-A): changing the speed stretches or compresses dip
+widths, concealing the width signature of a particle type.  §VI-B uses
+16 discrete speeds (4-bit resolution).  :class:`FlowSpeedTable` maps key
+levels to flow rates; :class:`FlowController` tracks the active level
+over time so the decryptor can undo width scaling per epoch.
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro._util.validation import check_positive
+from repro.microfluidics.channel import MicrofluidicChannel
+
+#: Paper's nominal operating rate (§VII intro / Figure 11 analysis).
+NOMINAL_FLOW_RATE_UL_MIN = 0.08
+
+
+@dataclass(frozen=True)
+class FlowSpeedTable:
+    """Quantised flow-rate levels available to the key schedule.
+
+    Levels are geometrically spaced between ``min_rate`` and
+    ``max_rate`` so each step scales dip widths by a constant factor —
+    this keeps every level equally distinguishable to the decryptor
+    while spanning a wide width range for the eavesdropper.
+    """
+
+    n_levels: int = 16
+    min_rate_ul_min: float = 0.04
+    max_rate_ul_min: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 1:
+            raise ConfigurationError(f"n_levels must be >= 1, got {self.n_levels}")
+        check_positive("min_rate_ul_min", self.min_rate_ul_min)
+        check_positive("max_rate_ul_min", self.max_rate_ul_min)
+        if self.max_rate_ul_min < self.min_rate_ul_min:
+            raise ConfigurationError("max_rate_ul_min must be >= min_rate_ul_min")
+
+    @property
+    def resolution_bits(self) -> int:
+        """Bits needed to represent a level (the ``R_flow`` of Eq. 2)."""
+        return max(1, (self.n_levels - 1).bit_length())
+
+    def rate_for_level(self, level: int) -> float:
+        """Flow rate (µL/min) for key level ``level`` in [0, n_levels)."""
+        if not 0 <= level < self.n_levels:
+            raise ConfigurationError(
+                f"flow level {level} out of range [0, {self.n_levels})"
+            )
+        if self.n_levels == 1:
+            return self.min_rate_ul_min
+        ratio = self.max_rate_ul_min / self.min_rate_ul_min
+        return self.min_rate_ul_min * ratio ** (level / (self.n_levels - 1))
+
+    def level_for_rate(self, rate_ul_min: float) -> int:
+        """Nearest key level for a flow rate (used by calibration)."""
+        check_positive("rate_ul_min", rate_ul_min)
+        best_level = 0
+        best_error = float("inf")
+        for level in range(self.n_levels):
+            error = abs(self.rate_for_level(level) - rate_ul_min)
+            if error < best_error:
+                best_level, best_error = level, error
+        return best_level
+
+    def all_rates(self) -> List[float]:
+        """All level rates in level order."""
+        return [self.rate_for_level(level) for level in range(self.n_levels)]
+
+
+@dataclass
+class FlowController:
+    """Time-indexed record of the active flow rate.
+
+    The controller is commanded by the encryptor at epoch boundaries and
+    queried by the transport model (to schedule arrivals) and by the
+    decryptor (to undo width scaling).  Rates are piecewise constant.
+    """
+
+    channel: MicrofluidicChannel = field(default_factory=MicrofluidicChannel)
+    initial_rate_ul_min: float = NOMINAL_FLOW_RATE_UL_MIN
+
+    def __post_init__(self) -> None:
+        check_positive("initial_rate_ul_min", self.initial_rate_ul_min)
+        self._switch_times: List[float] = [0.0]
+        self._rates: List[float] = [self.initial_rate_ul_min]
+
+    def set_rate(self, time_s: float, rate_ul_min: float) -> None:
+        """Command a new rate effective at ``time_s`` (non-decreasing)."""
+        check_positive("rate_ul_min", rate_ul_min)
+        if time_s < self._switch_times[-1]:
+            raise ConfigurationError(
+                f"flow commands must be time-ordered: {time_s} < {self._switch_times[-1]}"
+            )
+        if time_s == self._switch_times[-1]:
+            self._rates[-1] = rate_ul_min
+        else:
+            self._switch_times.append(float(time_s))
+            self._rates.append(rate_ul_min)
+
+    def rate_at(self, time_s: float) -> float:
+        """Active flow rate (µL/min) at ``time_s``."""
+        if time_s < 0:
+            raise ConfigurationError(f"time_s must be >= 0, got {time_s}")
+        index = bisect.bisect_right(self._switch_times, time_s) - 1
+        return self._rates[index]
+
+    def velocity_at(self, time_s: float) -> float:
+        """Particle velocity (m/s) at ``time_s``."""
+        return self.channel.velocity_for_flow_rate(self.rate_at(time_s))
+
+    def volume_pumped_ul(self, start_s: float, end_s: float) -> float:
+        """Liquid volume (µL) pushed through in [start_s, end_s]."""
+        if end_s < start_s:
+            raise ConfigurationError("end_s must be >= start_s")
+        total = 0.0
+        boundaries = self._switch_times + [float("inf")]
+        for i, rate in enumerate(self._rates):
+            seg_start = max(start_s, boundaries[i])
+            seg_end = min(end_s, boundaries[i + 1])
+            if seg_end > seg_start:
+                total += rate * (seg_end - seg_start) / 60.0
+        return total
+
+    def segments(self) -> List[Tuple[float, float]]:
+        """(switch_time_s, rate_ul_min) history, oldest first."""
+        return list(zip(self._switch_times, self._rates))

@@ -1,0 +1,78 @@
+"""Peristaltic pump model (Harvard Apparatus Pico Plus Elite stand-in).
+
+The pump withdraws fluid through the channel at a commanded rate.  Real
+peristaltic pumps have a bounded rate range, quantised settings, and a
+small periodic pulsatility from the rollers; all three are modelled so
+the flow-speed key component is realistic rather than an ideal knob.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.errors import ConfigurationError
+from repro._util.validation import check_positive
+
+
+@dataclass
+class PeristalticPump:
+    """Syringe/peristaltic pump with bounded, quantised rate control.
+
+    Parameters
+    ----------
+    min_rate_ul_min, max_rate_ul_min:
+        Supported rate range.
+    rate_step_ul_min:
+        Rate quantisation of the pump firmware.
+    pulsatility_fraction:
+        Peak relative rate ripple caused by the rollers (0 disables).
+    pulsation_frequency_hz:
+        Roller passage frequency.
+    """
+
+    min_rate_ul_min: float = 0.01
+    max_rate_ul_min: float = 1.0
+    rate_step_ul_min: float = 0.001
+    pulsatility_fraction: float = 0.01
+    pulsation_frequency_hz: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("min_rate_ul_min", self.min_rate_ul_min)
+        check_positive("max_rate_ul_min", self.max_rate_ul_min)
+        check_positive("rate_step_ul_min", self.rate_step_ul_min)
+        check_positive("pulsation_frequency_hz", self.pulsation_frequency_hz)
+        if not 0.0 <= self.pulsatility_fraction < 1.0:
+            raise ConfigurationError("pulsatility_fraction must be in [0, 1)")
+        if self.max_rate_ul_min < self.min_rate_ul_min:
+            raise ConfigurationError("max_rate_ul_min must be >= min_rate_ul_min")
+        self._commanded_rate = self.min_rate_ul_min
+
+    def command_rate(self, rate_ul_min: float) -> float:
+        """Command a rate; returns the actually achievable rate.
+
+        The pump clamps to its range and quantises to its step size, so
+        callers must use the *returned* value for decryption bookkeeping.
+        """
+        check_positive("rate_ul_min", rate_ul_min)
+        clamped = min(max(rate_ul_min, self.min_rate_ul_min), self.max_rate_ul_min)
+        quantised = round(clamped / self.rate_step_ul_min) * self.rate_step_ul_min
+        quantised = min(max(quantised, self.min_rate_ul_min), self.max_rate_ul_min)
+        self._commanded_rate = quantised
+        return quantised
+
+    @property
+    def commanded_rate_ul_min(self) -> float:
+        """The currently commanded (quantised) rate."""
+        return self._commanded_rate
+
+    def instantaneous_rate(self, time_s) -> np.ndarray:
+        """Rate including roller pulsatility at time(s) ``time_s``."""
+        t = np.asarray(time_s, dtype=float)
+        ripple = self.pulsatility_fraction * np.sin(
+            2.0 * np.pi * self.pulsation_frequency_hz * t
+        )
+        return self._commanded_rate * (1.0 + ripple)
+
+    def supports_rate(self, rate_ul_min: float) -> bool:
+        """Whether ``rate_ul_min`` is inside the pump's range."""
+        return self.min_rate_ul_min <= rate_ul_min <= self.max_rate_ul_min

@@ -1,0 +1,166 @@
+"""Particle transport from the inlet well to the sensing region.
+
+Converts a :class:`~repro.particles.sample.Sample` plus a flow schedule
+into timed particle arrivals at the electrodes, including the two loss
+mechanisms §VII-B blames for the Fig 12/13 under-counts:
+
+* **Inlet settling** — beads sink in the inlet well and never enter the
+  channel; heavier (larger) beads settle faster.  Modelled as a
+  per-particle survival probability ``exp(-t / tau(d))`` with the
+  settling time constant scaled by Stokes' law (tau ∝ 1/d²).
+* **Wall adsorption** — a fixed per-particle probability of sticking to
+  the PDMS channel walls.
+
+Arrival times follow the pumped volume: a particle sitting at a random
+position in the well arrives when its surrounding fluid parcel is drawn
+through, making the arrival process Poisson-like at constant flow and
+correctly modulated when the cipher changes the flow speed.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_positive, check_probability
+from repro.microfluidics.flow import FlowController
+from repro.particles.sample import Particle, Sample
+
+
+@dataclass(frozen=True)
+class ParticleArrival:
+    """One particle reaching the sensing region.
+
+    ``velocity_m_s`` is the transit velocity at arrival time (set by the
+    flow level active in that epoch), which determines the dip width.
+    """
+
+    time_s: float
+    particle: Particle
+    velocity_m_s: float
+
+
+@dataclass(frozen=True)
+class TransportModel:
+    """Inlet-to-sensor transport with settling and adsorption losses.
+
+    Parameters
+    ----------
+    settling_tau_s_at_7p8um:
+        Settling time constant of a 7.8 µm bead; other diameters scale
+        as (7.8 µm / d)² per Stokes' law.  Biological cells are close to
+        neutrally buoyant, so ``cell_settling_factor`` multiplies their
+        time constant.
+    adsorption_probability:
+        Chance a particle sticks to the channel wall and is never
+        counted.
+    """
+
+    settling_tau_s_at_7p8um: float = 2400.0
+    cell_settling_factor: float = 10.0
+    adsorption_probability: float = 0.03
+    reference_diameter_m: float = 7.8e-6
+
+    def __post_init__(self) -> None:
+        check_positive("settling_tau_s_at_7p8um", self.settling_tau_s_at_7p8um)
+        check_positive("cell_settling_factor", self.cell_settling_factor)
+        check_probability("adsorption_probability", self.adsorption_probability)
+        check_positive("reference_diameter_m", self.reference_diameter_m)
+
+    # ------------------------------------------------------------------
+    def settling_tau_s(self, particle: Particle) -> float:
+        """Settling time constant for ``particle`` (Stokes scaling)."""
+        tau = self.settling_tau_s_at_7p8um * (
+            self.reference_diameter_m / particle.diameter_m
+        ) ** 2
+        if not particle.particle_type.is_synthetic:
+            tau *= self.cell_settling_factor
+        return tau
+
+    def survival_probability(self, particle: Particle, arrival_time_s: float) -> float:
+        """Probability the particle reaches the sensor at ``arrival_time_s``."""
+        if arrival_time_s < 0:
+            raise ValueError(f"arrival_time_s must be >= 0, got {arrival_time_s}")
+        settle = np.exp(-arrival_time_s / self.settling_tau_s(particle))
+        return float(settle * (1.0 - self.adsorption_probability))
+
+    # ------------------------------------------------------------------
+    def schedule_arrivals(
+        self,
+        sample: Sample,
+        flow: FlowController,
+        duration_s: float,
+        rng: RngLike = None,
+    ) -> List[ParticleArrival]:
+        """Simulate which particles arrive during ``duration_s`` and when.
+
+        Each particle occupies a uniformly random fluid parcel of the
+        sample; it arrives when the pump has drawn that much volume.
+        Particles whose parcel is not reached within ``duration_s`` do
+        not arrive; survivors are thinned by the loss model.  The result
+        is sorted by time.
+        """
+        check_positive("duration_s", duration_s)
+        generator = ensure_rng(rng)
+        particles = sample.draw_particles(rng=generator)
+        if not particles:
+            return []
+
+        pumped_ul = flow.volume_pumped_ul(0.0, duration_s)
+        sample_ul = sample.volume_ul
+        positions_ul = generator.uniform(0.0, sample_ul, size=len(particles))
+
+        arrivals: List[ParticleArrival] = []
+        for particle, position_ul in zip(particles, positions_ul):
+            if position_ul > pumped_ul:
+                continue  # parcel not drawn within the run
+            time_s = self._time_for_volume(flow, position_ul, duration_s)
+            if time_s is None:
+                continue
+            if generator.random() > self.survival_probability(particle, time_s):
+                continue  # settled in the well or stuck to a wall
+            arrivals.append(
+                ParticleArrival(
+                    time_s=time_s,
+                    particle=particle,
+                    velocity_m_s=flow.velocity_at(time_s),
+                )
+            )
+        arrivals.sort(key=lambda a: a.time_s)
+        return arrivals
+
+    def expected_count(
+        self,
+        sample: Sample,
+        flow: FlowController,
+        duration_s: float,
+    ) -> float:
+        """Expected arrivals ignoring losses (the Fig 12/13 x-axis).
+
+        This is the 'estimated' count computed from the manufacturer
+        concentration: particles whose fluid parcel is pumped through.
+        """
+        check_positive("duration_s", duration_s)
+        pumped_ul = flow.volume_pumped_ul(0.0, duration_s)
+        fraction = min(pumped_ul / sample.volume_ul, 1.0)
+        return sample.total_count * fraction
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _time_for_volume(
+        flow: FlowController, volume_ul: float, duration_s: float
+    ) -> Optional[float]:
+        """Invert the cumulative pumped-volume function by bisection."""
+        if volume_ul <= 0.0:
+            return 0.0
+        lo, hi = 0.0, duration_s
+        if flow.volume_pumped_ul(0.0, hi) < volume_ul:
+            return None
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if flow.volume_pumped_ul(0.0, mid) < volume_ul:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)

@@ -1,0 +1,123 @@
+"""The Android diagnostic app's state machine (paper §VI-D).
+
+"This app has two purposes: it provides an interface for the user to
+start the blood test and provides a test progression feedback to the
+user via information on the screen, and relays the measurements to the
+cloud infrastructure."
+
+:class:`DiagnosticApp` models exactly that: a UI state machine from
+plug-in through test progression to the displayed outcome, with an
+event log standing in for the on-screen feedback.  It carries no
+security responsibilities — everything it touches is ciphertext or
+display text (the phone sits outside the TCB).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.mobile.usb import AccessoryLink, AccessoryState
+
+
+class AppState(enum.Enum):
+    """Screens of the diagnostic app."""
+
+    WAITING_FOR_DEVICE = "waiting_for_device"
+    READY = "ready"
+    TEST_RUNNING = "test_running"
+    UPLOADING = "uploading"
+    AWAITING_RESULTS = "awaiting_results"
+    SHOWING_RESULT = "showing_result"
+    ERROR = "error"
+
+
+_TRANSITIONS = {
+    AppState.WAITING_FOR_DEVICE: {AppState.READY, AppState.ERROR},
+    AppState.READY: {AppState.TEST_RUNNING, AppState.ERROR},
+    AppState.TEST_RUNNING: {AppState.UPLOADING, AppState.ERROR},
+    AppState.UPLOADING: {AppState.AWAITING_RESULTS, AppState.ERROR},
+    AppState.AWAITING_RESULTS: {AppState.SHOWING_RESULT, AppState.ERROR},
+    AppState.SHOWING_RESULT: {AppState.READY, AppState.ERROR},
+    AppState.ERROR: {AppState.WAITING_FOR_DEVICE},
+}
+
+
+@dataclass
+class DiagnosticApp:
+    """UI state machine + progression log."""
+
+    link: AccessoryLink = field(default_factory=AccessoryLink)
+
+    def __post_init__(self) -> None:
+        self._state = AppState.WAITING_FOR_DEVICE
+        self._log: List[Tuple[AppState, str]] = []
+        self._result_text: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> AppState:
+        """Current screen."""
+        return self._state
+
+    @property
+    def progression_log(self) -> Tuple[Tuple[AppState, str], ...]:
+        """All (state, message) feedback shown to the user so far."""
+        return tuple(self._log)
+
+    @property
+    def result_text(self) -> Optional[str]:
+        """The displayed outcome, once available."""
+        return self._result_text
+
+    def _transition(self, to_state: AppState, message: str) -> None:
+        if to_state not in _TRANSITIONS[self._state]:
+            raise ConfigurationError(
+                f"illegal app transition {self._state.value} -> {to_state.value}"
+            )
+        self._state = to_state
+        self._log.append((to_state, message))
+
+    # ------------------------------------------------------------------
+    # User / system events
+    # ------------------------------------------------------------------
+    def device_connected(self) -> None:
+        """USB handshake completed; show the start-test screen."""
+        if self.link.state is not AccessoryState.CONNECTED:
+            raise ConfigurationError("accessory link is not connected")
+        self._transition(AppState.READY, "MedSen device detected — ready to test")
+
+    def start_test(self) -> None:
+        """User taps 'start blood test'."""
+        self._transition(AppState.TEST_RUNNING, "test running — keep the device still")
+
+    def capture_complete(self) -> None:
+        """Controller reports the capture finished; upload begins."""
+        self._transition(AppState.UPLOADING, "uploading encrypted measurements")
+
+    def upload_complete(self) -> None:
+        """Compressed capture delivered to the cloud."""
+        self._transition(AppState.AWAITING_RESULTS, "waiting for analysis results")
+
+    def result_received(self, display_text: str) -> None:
+        """Decoded outcome forwarded by the controller for display."""
+        if not display_text:
+            raise ConfigurationError("display_text must be non-empty")
+        self._result_text = display_text
+        self._transition(AppState.SHOWING_RESULT, display_text)
+
+    def acknowledge_result(self) -> None:
+        """User dismisses the result; back to ready."""
+        self._transition(AppState.READY, "ready for the next test")
+
+    def fail(self, reason: str) -> None:
+        """Any stage failed; show the error screen."""
+        self._state = AppState.ERROR
+        self._log.append((AppState.ERROR, f"error: {reason}"))
+
+    def reset(self) -> None:
+        """Recover from error by re-detecting the device."""
+        if self._state is not AppState.ERROR:
+            raise ConfigurationError("reset is only valid from the error screen")
+        self._transition(AppState.WAITING_FOR_DEVICE, "reconnect the MedSen device")
+        self._result_text = None

@@ -1,0 +1,90 @@
+"""Processing-time models of the evaluation platforms (Figure 14).
+
+The paper times its peak analysis at three sample sizes on two
+platforms::
+
+    samples   computer (i7-4710MQ)   smartphone (Nexus 5)
+    240607    0.110 s                0.452 s
+    481214    0.215 s                0.810 s
+    962428    0.343 s                1.554 s
+
+Both platforms are well fitted by an affine model (fixed overhead plus
+per-sample cost); :data:`COMPUTER_I7` and :data:`NEXUS5` are
+least-squares fits of those six points.  The phone's ~4x slope is what
+motivates offloading peak analysis to the cloud for large captures,
+while small captures can stay on the phone (§VII-B).
+"""
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._util.validation import check_positive
+
+#: The Figure 14 sample sizes.
+FIG14_SAMPLE_SIZES: Tuple[int, ...] = (240607, 481214, 962428)
+
+#: The Figure 14 reported times (seconds).
+FIG14_COMPUTER_TIMES_S: Tuple[float, ...] = (0.110, 0.215, 0.343)
+FIG14_PHONE_TIMES_S: Tuple[float, ...] = (0.452, 0.810, 1.554)
+
+
+@dataclass(frozen=True)
+class DevicePerfModel:
+    """Affine processing-time model: ``time = overhead + rate * n``.
+
+    Parameters
+    ----------
+    name:
+        Platform label for reporting.
+    overhead_s:
+        Fixed cost per analysis job (dispatch, allocation).
+    seconds_per_sample:
+        Marginal cost per input sample.
+    """
+
+    name: str
+    overhead_s: float
+    seconds_per_sample: float
+
+    def __post_init__(self) -> None:
+        check_positive("overhead_s", self.overhead_s, allow_zero=True)
+        check_positive("seconds_per_sample", self.seconds_per_sample)
+
+    def processing_time_s(self, n_samples: int) -> float:
+        """Predicted analysis time for ``n_samples`` input samples."""
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+        return self.overhead_s + self.seconds_per_sample * n_samples
+
+    def speedup_over(self, other: "DevicePerfModel", n_samples: int) -> float:
+        """How much faster this platform is than ``other`` at a size."""
+        return other.processing_time_s(n_samples) / self.processing_time_s(n_samples)
+
+    @classmethod
+    def fit(
+        cls, name: str, sample_sizes: Sequence[int], times_s: Sequence[float]
+    ) -> "DevicePerfModel":
+        """Least-squares affine fit of measured (size, time) points."""
+        sizes = np.asarray(sample_sizes, dtype=float)
+        times = np.asarray(times_s, dtype=float)
+        if sizes.shape != times.shape or sizes.size < 2:
+            raise ValueError("need >= 2 matching (size, time) points")
+        slope, intercept = np.polyfit(sizes, times, 1)
+        return cls(
+            name=name,
+            overhead_s=float(max(intercept, 0.0)),
+            seconds_per_sample=float(slope),
+        )
+
+
+#: The paper's computer platform, fitted on the Figure 14 bars.
+COMPUTER_I7 = DevicePerfModel.fit(
+    "Intel i7-4710MQ (16GB RAM)", FIG14_SAMPLE_SIZES, FIG14_COMPUTER_TIMES_S
+)
+
+#: The paper's smartphone platform, fitted on the Figure 14 bars.
+NEXUS5 = DevicePerfModel.fit(
+    "Nexus 5 - Snapdragon 800 (2GB RAM)", FIG14_SAMPLE_SIZES, FIG14_PHONE_TIMES_S
+)

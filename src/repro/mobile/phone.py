@@ -1,0 +1,123 @@
+"""The smartphone relay app (paper §VI-D, §VII-B).
+
+The app "provides an interface for the user to start the blood test
+..., and relays the measurements to the cloud infrastructure in charge
+of performing the heavy computation.  It also receives the analysis
+outcomes and forwards them to MedSen device."  For network efficiency
+it zip-compresses captures before upload (§VII-B), and for small
+captures it can run the peak analysis locally instead (§VII-B /
+Figure 14).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro._util.validation import check_positive
+from repro.cloud.network import NetworkModel
+from repro.cloud.server import AnalysisServer
+from repro.dsp.peakdetect import PeakDetector, PeakReport
+from repro.dsp.recording import CsvRecordingModel, compressed_size_bytes
+from repro.hardware.acquisition import AcquiredTrace
+from repro.mobile.perf import NEXUS5, DevicePerfModel
+
+#: Approximate serialized size of a peak report entry (timestamp,
+#: depth, width, channel amplitudes) sent back to the phone.
+_REPORT_BYTES_PER_PEAK = 64.0
+_REPORT_BYTES_BASE = 256.0
+
+
+@dataclass(frozen=True)
+class RelayOutcome:
+    """What one relayed analysis cost and returned."""
+
+    report: PeakReport
+    analyzed_locally: bool
+    raw_bytes: int
+    uploaded_bytes: float
+    compression_time_s: float
+    transfer_time_s: float
+    analysis_time_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        """Phone-observed time from capture handoff to report."""
+        return self.compression_time_s + self.transfer_time_s + self.analysis_time_s
+
+
+@dataclass
+class Smartphone:
+    """Relay app: compress, upload, and forward results.
+
+    Parameters
+    ----------
+    network:
+        Uplink/downlink model used for transfer estimates.
+    perf:
+        Local processing-time model (defaults to the Nexus 5 fit).
+    local_analysis_threshold_samples:
+        Captures with at most this many total samples are analysed on
+        the phone instead of being uploaded ("For smaller samples,
+        MedSen could be configured to perform the peak counting signal
+        processing on the smartphone locally").  0 disables local mode.
+    """
+
+    network: NetworkModel = field(default_factory=NetworkModel)
+    perf: DevicePerfModel = NEXUS5
+    recording: CsvRecordingModel = field(default_factory=CsvRecordingModel)
+    local_analysis_threshold_samples: int = 0
+    compression_bytes_per_s: float = 40e6
+    compression_level: int = 6
+
+    def __post_init__(self) -> None:
+        if self.local_analysis_threshold_samples < 0:
+            raise ValueError("local_analysis_threshold_samples must be >= 0")
+        check_positive("compression_bytes_per_s", self.compression_bytes_per_s)
+
+    # ------------------------------------------------------------------
+    def relay(
+        self,
+        trace: AcquiredTrace,
+        server: AnalysisServer,
+        local_detector: Optional[PeakDetector] = None,
+    ) -> RelayOutcome:
+        """Process one capture: locally if small, otherwise via cloud.
+
+        Timing is *modelled* (network/perf models) except the cloud's
+        analysis time, which is actually measured by the server.
+        """
+        total_samples = trace.n_channels * trace.n_samples
+        payload = self.recording.encode(trace.voltages, trace.sampling_rate_hz)
+        raw_bytes = len(payload)
+
+        if (
+            self.local_analysis_threshold_samples
+            and total_samples <= self.local_analysis_threshold_samples
+        ):
+            detector = local_detector or server.detector
+            report = detector.detect(trace.voltages, trace.sampling_rate_hz)
+            return RelayOutcome(
+                report=report,
+                analyzed_locally=True,
+                raw_bytes=raw_bytes,
+                uploaded_bytes=0.0,
+                compression_time_s=0.0,
+                transfer_time_s=0.0,
+                analysis_time_s=self.perf.processing_time_s(total_samples),
+            )
+
+        compressed = compressed_size_bytes(payload, level=self.compression_level)
+        compression_time = raw_bytes / self.compression_bytes_per_s
+        report = server.analyze(trace)
+        response_bytes = _REPORT_BYTES_BASE + _REPORT_BYTES_PER_PEAK * report.count
+        transfer_time = self.network.round_trip(compressed, response_bytes)
+        return RelayOutcome(
+            report=report,
+            analyzed_locally=False,
+            raw_bytes=raw_bytes,
+            uploaded_bytes=float(compressed),
+            compression_time_s=compression_time,
+            transfer_time_s=transfer_time,
+            analysis_time_s=server.last_job().processing_time_s
+            if server.keep_history
+            else server.total_processing_time_s / max(server.jobs_processed, 1),
+        )

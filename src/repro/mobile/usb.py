@@ -1,0 +1,139 @@
+"""Android Open Accessory link (paper §VI-D).
+
+"The Raspberry Pi runs a daemon listening for events on the USB port.
+When the phone is connected, the daemon exchanges information with the
+device using the Android Open Accessory Protocol.  This first exchange
+invites the user to download the diagnostic application from the Google
+Play Store."
+
+:class:`AccessoryLink` reproduces that handshake as a small state
+machine: the accessory (controller daemon) identifies itself with the
+AOA string set, the phone either has the app (-> connected) or is
+pointed at the store URL, and once connected both sides exchange
+framed messages.  No security properties live at this layer (§VI-D:
+"No specific security requirements for the user privacy are addressed
+at this layer") — everything crossing it is ciphertext or UI text.
+"""
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro._util.errors import ConfigurationError
+
+
+class AccessoryState(enum.Enum):
+    """Link state machine states."""
+
+    DISCONNECTED = "disconnected"
+    HANDSHAKING = "handshaking"
+    AWAITING_APP = "awaiting_app"
+    CONNECTED = "connected"
+
+
+#: The AOA identification strings the accessory presents.
+DEFAULT_IDENTITY: Dict[str, str] = {
+    "manufacturer": "MedSen",
+    "model": "MedSen-POC",
+    "description": "Secure point-of-care diagnostic sensor",
+    "version": "1.0",
+    "uri": "https://play.google.com/store/apps/details?id=edu.rutgers.medsen",
+}
+
+_REQUIRED_IDENTITY_KEYS = ("manufacturer", "model", "version", "uri")
+
+
+@dataclass
+class AccessoryLink:
+    """One controller-daemon <-> phone-app USB session."""
+
+    identity: Dict[str, str] = field(default_factory=lambda: dict(DEFAULT_IDENTITY))
+
+    def __post_init__(self) -> None:
+        missing = [key for key in _REQUIRED_IDENTITY_KEYS if key not in self.identity]
+        if missing:
+            raise ConfigurationError(f"identity missing required keys: {missing}")
+        self._state = AccessoryState.DISCONNECTED
+        self._to_phone: Deque[bytes] = deque()
+        self._to_accessory: Deque[bytes] = deque()
+        self._bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> AccessoryState:
+        """Current link state."""
+        return self._state
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total payload bytes moved over the link."""
+        return self._bytes_transferred
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def plug_in(self) -> Dict[str, str]:
+        """Phone detects the accessory; returns the AOA identity strings."""
+        if self._state is not AccessoryState.DISCONNECTED:
+            raise ConfigurationError(f"cannot plug in while {self._state.value}")
+        self._state = AccessoryState.HANDSHAKING
+        return dict(self.identity)
+
+    def phone_responds(self, app_installed: bool) -> AccessoryState:
+        """Phone answers the handshake.
+
+        Without the app, the link parks in ``AWAITING_APP`` (the user
+        is invited to install from the store URI); installing later via
+        :meth:`app_installed` completes the connection.
+        """
+        if self._state is not AccessoryState.HANDSHAKING:
+            raise ConfigurationError(f"no handshake in progress (state={self._state.value})")
+        self._state = (
+            AccessoryState.CONNECTED if app_installed else AccessoryState.AWAITING_APP
+        )
+        return self._state
+
+    def app_installed(self) -> AccessoryState:
+        """The user installed the app; the link connects."""
+        if self._state is not AccessoryState.AWAITING_APP:
+            raise ConfigurationError(f"not awaiting app install (state={self._state.value})")
+        self._state = AccessoryState.CONNECTED
+        return self._state
+
+    def unplug(self) -> None:
+        """Physically disconnect; queues are dropped."""
+        self._state = AccessoryState.DISCONNECTED
+        self._to_phone.clear()
+        self._to_accessory.clear()
+
+    # ------------------------------------------------------------------
+    # Framed message exchange
+    # ------------------------------------------------------------------
+    def accessory_send(self, payload: bytes) -> None:
+        """Controller daemon writes a frame to the phone."""
+        self._require_connected()
+        self._to_phone.append(bytes(payload))
+        self._bytes_transferred += len(payload)
+
+    def phone_send(self, payload: bytes) -> None:
+        """Phone app writes a frame to the controller daemon."""
+        self._require_connected()
+        self._to_accessory.append(bytes(payload))
+        self._bytes_transferred += len(payload)
+
+    def phone_receive(self) -> Optional[bytes]:
+        """Phone app reads the next frame (None if queue empty)."""
+        self._require_connected()
+        return self._to_phone.popleft() if self._to_phone else None
+
+    def accessory_receive(self) -> Optional[bytes]:
+        """Controller daemon reads the next frame (None if empty)."""
+        self._require_connected()
+        return self._to_accessory.popleft() if self._to_accessory else None
+
+    def _require_connected(self) -> None:
+        if self._state is not AccessoryState.CONNECTED:
+            raise ConfigurationError(
+                f"link is not connected (state={self._state.value})"
+            )

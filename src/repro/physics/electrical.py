@@ -1,0 +1,125 @@
+"""Series-RC model of a co-planar electrode pair (paper Figure 3).
+
+The electrode-electrolyte interface forms a double-layer capacitance at
+each electrode; the fluid (and any particle occluding it) contributes an
+ionic resistance.  The paper's §III-A describes the two regimes:
+
+* below ~10 kHz the double-layer capacitance dominates and the measured
+  impedance is in the MΩ range;
+* above ~100 kHz the capacitors are effectively short-circuited and the
+  ionic resistance dominates — this is the useful operating band, since
+  a particle changes the *resistance*.
+
+:class:`ElectrodePairCircuit` exposes the complex impedance, the regime
+classification, and the transduction efficiency (what fraction of a
+relative resistance change survives into the measured current) at any
+frequency.
+"""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.validation import check_positive
+
+
+class Regime(enum.Enum):
+    """Which element dominates the pair impedance at a given frequency."""
+
+    CAPACITIVE = "capacitive"
+    TRANSITION = "transition"
+    RESISTIVE = "resistive"
+
+
+@dataclass(frozen=True)
+class ElectrodePairCircuit:
+    """Double-layer capacitance + solution resistance in series.
+
+    Parameters
+    ----------
+    solution_resistance_ohm:
+        Ionic resistance of the fluid between the electrodes.  Defaults
+        to a typical PBS-filled 30x20 µm pore (~150 kΩ).
+    double_layer_capacitance_f:
+        Double-layer capacitance of *one* electrode; the pair contributes
+        two such capacitors in series.
+    """
+
+    solution_resistance_ohm: float = 150e3
+    double_layer_capacitance_f: float = 50e-12
+
+    #: Regime boundaries: capacitive when |X_c| > ``dominance_ratio`` * R,
+    #: resistive when |X_c| < R / ``dominance_ratio``.
+    dominance_ratio: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("solution_resistance_ohm", self.solution_resistance_ohm)
+        check_positive("double_layer_capacitance_f", self.double_layer_capacitance_f)
+        check_positive("dominance_ratio", self.dominance_ratio)
+
+    # ------------------------------------------------------------------
+    def capacitive_reactance_ohm(self, frequency_hz) -> np.ndarray:
+        """|X_c| of the two series double-layer capacitors at ``frequency_hz``."""
+        f = np.asarray(frequency_hz, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency_hz must be > 0")
+        # Two capacitors C in series -> C/2 -> reactance 2 / (2 pi f C).
+        return 2.0 / (2.0 * np.pi * f * self.double_layer_capacitance_f)
+
+    def impedance(self, frequency_hz, relative_resistance_change: float = 0.0) -> np.ndarray:
+        """Complex pair impedance, optionally with a particle present.
+
+        ``relative_resistance_change`` is the fractional increase of the
+        ionic resistance caused by a particle partially occluding the
+        pore (``ParticleType.relative_drop`` provides it).
+        """
+        f = np.asarray(frequency_hz, dtype=float)
+        resistance = self.solution_resistance_ohm * (1.0 + relative_resistance_change)
+        return resistance - 1j * self.capacitive_reactance_ohm(f)
+
+    def impedance_magnitude(self, frequency_hz, relative_resistance_change: float = 0.0):
+        """|Z| at ``frequency_hz``."""
+        return np.abs(self.impedance(frequency_hz, relative_resistance_change))
+
+    # ------------------------------------------------------------------
+    def regime(self, frequency_hz: float) -> Regime:
+        """Classify which element dominates at ``frequency_hz``."""
+        xc = float(self.capacitive_reactance_ohm(frequency_hz))
+        r = self.solution_resistance_ohm
+        if xc > self.dominance_ratio * r:
+            return Regime.CAPACITIVE
+        if xc < r / self.dominance_ratio:
+            return Regime.RESISTIVE
+        return Regime.TRANSITION
+
+    def corner_frequency_hz(self) -> float:
+        """Frequency where |X_c| equals the solution resistance."""
+        return 2.0 / (2.0 * np.pi * self.solution_resistance_ohm * self.double_layer_capacitance_f)
+
+    def minimum_resistive_frequency_hz(self) -> float:
+        """Lowest frequency at which the pair is resistance-dominated."""
+        return self.corner_frequency_hz() * self.dominance_ratio
+
+    # ------------------------------------------------------------------
+    def transduction_efficiency(self, frequency_hz) -> np.ndarray:
+        """Fraction of a small relative resistance change visible in |Z|.
+
+        For a series RC, d|Z|/|Z| = (R^2 / |Z|^2) * dR/R, so the
+        efficiency is R^2 / (R^2 + X_c^2): ~1 deep in the resistive
+        regime, ~0 in the capacitive regime.  This is why the paper
+        operates above 100 kHz.
+        """
+        xc = self.capacitive_reactance_ohm(frequency_hz)
+        r2 = self.solution_resistance_ohm**2
+        return r2 / (r2 + xc**2)
+
+    def measured_drop(self, frequency_hz, relative_resistance_change) -> np.ndarray:
+        """Relative dip in lock-in output voltage for a particle.
+
+        The lock-in measures current through the pair at fixed excitation
+        voltage, so the measured relative drop equals the relative |Z|
+        increase (small-signal): ``transduction_efficiency * dR/R``.
+        """
+        change = np.asarray(relative_resistance_change, dtype=float)
+        return self.transduction_efficiency(frequency_hz) * change

@@ -1,0 +1,132 @@
+"""Impedance spectroscopy: sweeps and circuit-parameter fitting.
+
+The paper's Figure 3 presents the electrode pair as a double-layer
+capacitance in series with the fluid resistance, and §III-A picks the
+operating band from the measured regimes.  A real deployment needs the
+instrument-calibration counterpart: sweep the excitation frequency,
+record |Z| (and phase), and fit R and C_dl so the operating band and
+transduction model are grounded in measurement rather than assumed.
+
+:func:`sweep_impedance` produces the (noisy) Bode data and
+:func:`fit_circuit` recovers the circuit parameters with a
+log-log least-squares fit — reproducing Figure 3's model from
+synthetic measurements closes the loop on the §III-A analysis.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro._util.errors import ValidationError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_in_range, check_positive
+from repro.physics.electrical import ElectrodePairCircuit
+
+
+@dataclass(frozen=True)
+class ImpedanceSweep:
+    """One recorded Bode sweep."""
+
+    frequencies_hz: np.ndarray
+    magnitude_ohm: np.ndarray
+    phase_rad: np.ndarray
+
+    def __post_init__(self) -> None:
+        frequencies = np.asarray(self.frequencies_hz, dtype=float)
+        magnitude = np.asarray(self.magnitude_ohm, dtype=float)
+        phase = np.asarray(self.phase_rad, dtype=float)
+        if frequencies.shape != magnitude.shape or frequencies.shape != phase.shape:
+            raise ValidationError("sweep arrays must have matching shapes")
+        object.__setattr__(self, "frequencies_hz", frequencies)
+        object.__setattr__(self, "magnitude_ohm", magnitude)
+        object.__setattr__(self, "phase_rad", phase)
+
+    @property
+    def n_points(self) -> int:
+        """Number of sweep points."""
+        return self.frequencies_hz.shape[0]
+
+
+def sweep_impedance(
+    circuit: ElectrodePairCircuit,
+    f_min_hz: float = 100.0,
+    f_max_hz: float = 10e6,
+    n_points: int = 60,
+    relative_noise: float = 0.01,
+    rng: RngLike = None,
+) -> ImpedanceSweep:
+    """Measure |Z| and phase across a log-spaced frequency sweep."""
+    check_positive("f_min_hz", f_min_hz)
+    check_positive("f_max_hz", f_max_hz)
+    if f_max_hz <= f_min_hz:
+        raise ValidationError("f_max_hz must exceed f_min_hz")
+    if n_points < 2:
+        raise ValidationError("n_points must be >= 2")
+    check_in_range("relative_noise", relative_noise, 0.0, 0.5)
+    generator = ensure_rng(rng)
+    frequencies = np.logspace(np.log10(f_min_hz), np.log10(f_max_hz), n_points)
+    impedance = circuit.impedance(frequencies)
+    magnitude = np.abs(impedance)
+    phase = np.angle(impedance)
+    if relative_noise > 0:
+        magnitude = magnitude * (
+            1.0 + generator.normal(0.0, relative_noise, size=n_points)
+        )
+        phase = phase + generator.normal(0.0, relative_noise * 0.1, size=n_points)
+    return ImpedanceSweep(frequencies, magnitude, phase)
+
+
+@dataclass(frozen=True)
+class CircuitFit:
+    """Fitted series-RC parameters and fit quality."""
+
+    solution_resistance_ohm: float
+    double_layer_capacitance_f: float
+    relative_rms_error: float
+
+    def as_circuit(self) -> ElectrodePairCircuit:
+        """The fitted parameters as a circuit model."""
+        return ElectrodePairCircuit(
+            solution_resistance_ohm=self.solution_resistance_ohm,
+            double_layer_capacitance_f=self.double_layer_capacitance_f,
+        )
+
+
+def fit_circuit(sweep: ImpedanceSweep) -> CircuitFit:
+    """Recover R and C_dl from a Bode magnitude sweep.
+
+    Least squares on log|Z|: the high-frequency plateau pins R, the
+    low-frequency slope pins C.  Initial guesses come directly from the
+    sweep endpoints, so the fit converges for any physical series-RC.
+    """
+    if sweep.n_points < 4:
+        raise ValidationError("need at least 4 sweep points to fit")
+    frequencies = sweep.frequencies_hz
+    magnitude = sweep.magnitude_ohm
+    if np.any(magnitude <= 0):
+        raise ValidationError("sweep magnitudes must be positive")
+
+    r_guess = float(magnitude[-1])
+    # |Z|(f_min) ~ 2/(2 pi f C) when capacitive-dominated.
+    c_guess = 2.0 / (2.0 * np.pi * frequencies[0] * magnitude[0])
+
+    def model(log_params):
+        """log|Z| of a series RC at the sweep frequencies."""
+        r, c = np.exp(log_params)
+        xc = 2.0 / (2.0 * np.pi * frequencies * c)
+        return np.log(np.sqrt(r**2 + xc**2))
+
+    target = np.log(magnitude)
+    result = optimize.least_squares(
+        lambda p: model(p) - target,
+        x0=np.log([r_guess, c_guess]),
+    )
+    r_fit, c_fit = np.exp(result.x)
+    residual = model(result.x) - target
+    rms = float(np.sqrt(np.mean(residual**2)))
+    return CircuitFit(
+        solution_resistance_ohm=float(r_fit),
+        double_layer_capacitance_f=float(c_fit),
+        relative_rms_error=rms,
+    )

@@ -1,0 +1,37 @@
+"""Dependency-free SVG plotting and paper-figure generators.
+
+The evaluation figures of the paper are regenerated as standalone SVG
+files — no plotting library required (the environment is offline), just
+string-built SVG:
+
+* :mod:`~repro.plots.svg` — a minimal plotting kit: canvas, axes with
+  data-to-pixel transforms, line/scatter/bar marks, ticks and labels.
+* :mod:`~repro.plots.figures` — one generator per reproduced figure
+  (waveforms, calibration scatters, spectra, clusters, timing bars),
+  each running the actual simulation and returning SVG text.
+
+``examples/generate_figures.py`` writes the full set to ``figures/``.
+"""
+
+from repro.plots.figures import (
+    figure07_single_cell,
+    figure11_subsets,
+    figure12_13_calibration,
+    figure14_processing_time,
+    figure15_spectra,
+    figure16_clusters,
+    generate_all_figures,
+)
+from repro.plots.svg import Axes, SvgCanvas
+
+__all__ = [
+    "figure07_single_cell",
+    "figure11_subsets",
+    "figure12_13_calibration",
+    "figure14_processing_time",
+    "figure15_spectra",
+    "figure16_clusters",
+    "generate_all_figures",
+    "Axes",
+    "SvgCanvas",
+]

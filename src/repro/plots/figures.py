@@ -1,0 +1,230 @@
+"""Per-figure SVG generators: run the simulation, draw the figure.
+
+Each function reproduces one of the paper's evaluation figures from a
+live simulation run and returns SVG text; :func:`generate_all_figures`
+writes the whole set to a directory.
+"""
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro._util.rng import RngLike
+from repro.crypto.gains import GainTable
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.particles import BEAD_3P58, BEAD_7P8, BLOOD_CELL
+from repro.plots.svg import PALETTE, Axes, SvgCanvas
+
+UNIT_GAIN = GainTable().level_for_gain(1.0)
+NOMINAL_FLOW = FlowSpeedTable().level_for_rate(0.08)
+
+
+def _single_particle_trace(active, particle_type, duration_s=3.0, rng=7):
+    from repro.experiments import acquire_particle_events, single_key_plan
+
+    plan = single_key_plan(active, gain_level=UNIT_GAIN, flow_level=NOMINAL_FLOW)
+    _, trace, report = acquire_particle_events(
+        plan, particle_type, [1.0], duration_s, rng=rng
+    )
+    return trace, report
+
+
+# ----------------------------------------------------------------------
+def figure07_single_cell(rng: RngLike = 7) -> str:
+    """Figure 7: one blood cell, one electrode pair, one dip."""
+    trace, _ = _single_particle_trace({9}, BLOOD_CELL)
+    voltages = trace.voltages[0]
+    times = np.arange(voltages.shape[0]) / trace.sampling_rate_hz
+    window = (times > 0.8) & (times < 1.3)
+
+    canvas = SvgCanvas()
+    axes = Axes(
+        canvas,
+        x_range=(0.8, 1.3),
+        y_range=(float(voltages[window].min()) - 5e-4, 1.001),
+    )
+    axes.draw_frame(
+        title="Figure 7 — voltage drop of a single cell",
+        x_label="time (s)",
+        y_label="normalized output (V)",
+    )
+    axes.plot(times[window], voltages[window])
+    return canvas.to_svg()
+
+
+def figure11_subsets(rng: RngLike = 11) -> str:
+    """Figure 11: ciphertext signatures for four electrode subsets."""
+    panels = [
+        ("lead only (1 peak)", {9}),
+        ("lead+1 (3 peaks)", {9, 1}),
+        ("lead+1+2 (5 peaks)", {9, 1, 2}),
+        ("all nine (17 peaks)", set(range(1, 10))),
+    ]
+    canvas = SvgCanvas(width=720, height=640)
+    panel_height = 140
+    for index, (label, active) in enumerate(panels):
+        trace, report = _single_particle_trace({*active}, BEAD_7P8, duration_s=3.0)
+        voltages = trace.voltages[0]
+        times = np.arange(voltages.shape[0]) / trace.sampling_rate_hz
+        window = (times > 0.9) & (times < 1.6)
+        axes = Axes(
+            canvas,
+            x_range=(0.9, 1.6),
+            y_range=(float(voltages[window].min()) - 5e-4, 1.0015),
+            margin_top=40 + index * panel_height,
+            margin_bottom=640 - (40 + index * panel_height) - (panel_height - 35),
+        )
+        axes.draw_frame(title=f"{label} — detected {report.count}")
+        axes.plot(times[window], voltages[window], color=PALETTE[index % len(PALETTE)])
+    canvas.text(360, 630, "time (s)", anchor="middle")
+    return canvas.to_svg()
+
+
+def figure12_13_calibration(rng: RngLike = 12) -> str:
+    """Figures 12/13: measured vs estimated counts for both bead sizes."""
+    from repro.analysis.calibration import fit_calibration
+    from repro.experiments import run_bead_dilution_series as run_dilution_series
+
+    canvas = SvgCanvas(width=680, height=440)
+    series = [
+        ("7.8 µm beads", BEAD_7P8, 100, PALETTE[0]),
+        ("3.58 µm beads", BEAD_3P58, 300, PALETTE[1]),
+    ]
+    max_value = 0.0
+    data = []
+    for label, bead, seed0, color in series:
+        estimated, measured = run_dilution_series(bead=bead, seed0=seed0)
+        curve = fit_calibration(estimated, measured)
+        max_value = max(max_value, float(np.max(estimated)), float(np.max(measured)))
+        data.append((label, estimated, measured, curve, color))
+
+    axes = Axes(canvas, x_range=(0, max_value * 1.05), y_range=(0, max_value * 1.05))
+    axes.draw_frame(
+        title="Figures 12/13 — empirical vs estimated bead counts",
+        x_label="estimated count",
+        y_label="measured count",
+    )
+    axes.plot([0, max_value], [0, max_value], color="#999", width=1.0)
+    entries = []
+    for label, estimated, measured, curve, color in data:
+        axes.scatter(estimated, measured, color=color)
+        xs = np.linspace(0, max_value, 20)
+        axes.plot(xs, curve.predict(xs), color=color, width=1.0)
+        entries.append((f"{label} (slope {curve.slope:.2f})", color))
+    axes.legend(entries)
+    return canvas.to_svg()
+
+
+def figure14_processing_time(rng: RngLike = 14) -> str:
+    """Figure 14: analysis time vs sample size, computer vs phone."""
+    import time as time_module
+
+    from repro.dsp.peakdetect import PeakDetector
+    from repro.experiments import make_fig14_capture as make_capture
+    from repro.mobile.perf import FIG14_SAMPLE_SIZES, NEXUS5
+
+    FS = 450.0
+
+    detector = PeakDetector()
+    measured = []
+    for n_samples in FIG14_SAMPLE_SIZES:
+        capture = make_capture(n_samples)
+        start = time_module.perf_counter()
+        detector.detect(capture, FS)
+        measured.append(time_module.perf_counter() - start)
+    phone = [NEXUS5.processing_time_s(n) for n in FIG14_SAMPLE_SIZES]
+
+    canvas = SvgCanvas(width=680, height=420)
+    top = max(phone) * 1.15
+    axes = Axes(canvas, x_range=(0, 4), y_range=(0, top))
+    axes.draw_frame(
+        title="Figure 14 — peak-analysis time",
+        x_label="sample size",
+        y_label="seconds",
+    )
+    centers = [1, 2, 3]
+    axes.bars([c - 0.17 for c in centers], measured, width=0.3, color=PALETTE[0])
+    axes.bars([c + 0.17 for c in centers], phone, width=0.3, color=PALETTE[1])
+    for center, n_samples in zip(centers, FIG14_SAMPLE_SIZES):
+        canvas.text(axes.x_pixel(center), axes.y_pixel(0) + 18, f"{n_samples:,}",
+                    size=10, anchor="middle")
+    axes.legend([("this machine", PALETTE[0]), ("Nexus 5 model", PALETTE[1])])
+    return canvas.to_svg()
+
+
+def figure15_spectra(rng: RngLike = 15) -> str:
+    """Figure 15: normalized impedance minima vs carrier frequency."""
+    from repro.experiments import FIGURE_CARRIERS_HZ as BENCH_CARRIERS_HZ
+    from repro.physics.electrical import ElectrodePairCircuit
+
+    circuit = ElectrodePairCircuit()
+    frequencies = np.asarray(BENCH_CARRIERS_HZ)
+    canvas = SvgCanvas(width=680, height=420)
+    axes = Axes(canvas, x_range=(400, 3100), y_range=(0.984, 1.0005))
+    axes.draw_frame(
+        title="Figure 15 — normalized impedance minimum per carrier",
+        x_label="carrier frequency (kHz)",
+        y_label="normalized minimum",
+    )
+    entries = []
+    for particle_type, color in (
+        (BLOOD_CELL, PALETTE[0]),
+        (BEAD_3P58, PALETTE[1]),
+        (BEAD_7P8, PALETTE[2]),
+    ):
+        drops = circuit.measured_drop(
+            frequencies, particle_type.relative_drop(frequencies)
+        )
+        axes.plot(frequencies / 1e3, 1.0 - np.asarray(drops), color=color)
+        axes.scatter(frequencies / 1e3, 1.0 - np.asarray(drops), color=color)
+        entries.append((particle_type.name, color))
+    axes.legend(entries)
+    return canvas.to_svg()
+
+
+def figure16_clusters(rng: RngLike = 16) -> str:
+    """Figure 16: the (500 kHz, 2500 kHz) amplitude clusters."""
+    from repro.auth.enrollment import simulate_reference_features
+
+    canvas = SvgCanvas(width=680, height=460)
+    axes = Axes(canvas, x_range=(0, 0.02), y_range=(0, 0.018))
+    axes.draw_frame(
+        title="Figure 16 — clusters for password generation",
+        x_label="amplitude (V) — 500 kHz",
+        y_label="amplitude (V) — 2500 kHz",
+    )
+    entries = []
+    for particle_type, color in (
+        (BEAD_3P58, PALETTE[1]),
+        (BEAD_7P8, PALETTE[2]),
+        (BLOOD_CELL, PALETTE[0]),
+    ):
+        features = simulate_reference_features(particle_type, 250, rng=rng)
+        axes.scatter(features[:, 0], features[:, 1], color=color, radius=2.5)
+        entries.append((particle_type.name, color))
+    axes.legend(entries)
+    return canvas.to_svg()
+
+
+# ----------------------------------------------------------------------
+def generate_all_figures(
+    directory: Union[str, Path], rng: RngLike = 0
+) -> Dict[str, Path]:
+    """Write every figure SVG into ``directory``; returns name→path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    generators = {
+        "figure07_single_cell": figure07_single_cell,
+        "figure11_subsets": figure11_subsets,
+        "figure12_13_calibration": figure12_13_calibration,
+        "figure14_processing_time": figure14_processing_time,
+        "figure15_spectra": figure15_spectra,
+        "figure16_clusters": figure16_clusters,
+    }
+    written = {}
+    for name, generator in generators.items():
+        path = directory / f"{name}.svg"
+        path.write_text(generator())
+        written[name] = path
+    return written

@@ -1,0 +1,215 @@
+"""A minimal, dependency-free SVG plotting kit.
+
+Just enough to render the paper's figure types: line traces, scatter
+clusters, grouped bars, with axes, ticks, labels and a legend.  All
+coordinates are laid out in a fixed-margin frame; the data-to-pixel
+transform lives in :class:`Axes`.
+"""
+
+import html
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro._util.errors import ValidationError
+
+#: Default categorical colour cycle (colour-blind friendly).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00")
+
+
+class SvgCanvas:
+    """An append-only SVG document builder."""
+
+    def __init__(self, width: int = 640, height: int = 420) -> None:
+        if width < 1 or height < 1:
+            raise ValidationError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------
+    def line(self, x1, y1, x2, y2, stroke="#333", width=1.0, dash=None) -> None:
+        """Straight line in pixel coordinates."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], stroke="#0072B2",
+                 width=1.5) -> None:
+        """Connected line through pixel-coordinate points."""
+        if len(points) < 2:
+            return
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, r=3.0, fill="#0072B2", opacity=0.8) -> None:
+        """Filled circle (scatter marker)."""
+        self._elements.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r}" fill="{fill}" '
+            f'opacity="{opacity}"/>'
+        )
+
+    def rect(self, x, y, w, h, fill="#0072B2", opacity=1.0) -> None:
+        """Filled rectangle (bar / legend swatch)."""
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" opacity="{opacity}"/>'
+        )
+
+    def text(self, x, y, content, size=12, anchor="start", rotate=None,
+             fill="#222") -> None:
+        """Text label, optionally rotated about its anchor."""
+        transform = (
+            f' transform="rotate({rotate} {x:.2f} {y:.2f})"' if rotate is not None else ""
+        )
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{html.escape(str(content))}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """The complete SVG document as a string."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def _nice_ticks(low: float, high: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(n - 1, 1)
+    import math
+
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiplier in (1, 2, 2.5, 5, 10):
+        step = multiplier * magnitude
+        if span / step <= n:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-12:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+@dataclass
+class Axes:
+    """A plotting frame with data-to-pixel transforms."""
+
+    canvas: SvgCanvas
+    x_range: Tuple[float, float]
+    y_range: Tuple[float, float]
+    margin_left: int = 70
+    margin_right: int = 20
+    margin_top: int = 40
+    margin_bottom: int = 55
+
+    def __post_init__(self) -> None:
+        if self.x_range[1] <= self.x_range[0] or self.y_range[1] <= self.y_range[0]:
+            raise ValidationError("axis ranges must be non-degenerate")
+
+    # ------------------------------------------------------------------
+    @property
+    def plot_width(self) -> float:
+        """Inner frame width in pixels."""
+        return self.canvas.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> float:
+        """Inner frame height in pixels."""
+        return self.canvas.height - self.margin_top - self.margin_bottom
+
+    def x_pixel(self, x: float) -> float:
+        """Data x to pixel x."""
+        fraction = (x - self.x_range[0]) / (self.x_range[1] - self.x_range[0])
+        return self.margin_left + fraction * self.plot_width
+
+    def y_pixel(self, y: float) -> float:
+        """Data y to pixel y (SVG y grows downward)."""
+        fraction = (y - self.y_range[0]) / (self.y_range[1] - self.y_range[0])
+        return self.canvas.height - self.margin_bottom - fraction * self.plot_height
+
+    # ------------------------------------------------------------------
+    def draw_frame(self, title="", x_label="", y_label="") -> None:
+        """Axes, ticks, tick labels, title and axis labels."""
+        left = self.margin_left
+        bottom = self.canvas.height - self.margin_bottom
+        right = self.canvas.width - self.margin_right
+        top = self.margin_top
+        self.canvas.line(left, bottom, right, bottom)
+        self.canvas.line(left, bottom, left, top)
+        if title:
+            self.canvas.text(
+                (left + right) / 2, top - 14, title, size=14, anchor="middle"
+            )
+        if x_label:
+            self.canvas.text(
+                (left + right) / 2, bottom + 38, x_label, anchor="middle"
+            )
+        if y_label:
+            self.canvas.text(
+                left - 48, (top + bottom) / 2, y_label, anchor="middle", rotate=-90
+            )
+        for tick in _nice_ticks(*self.x_range):
+            x = self.x_pixel(tick)
+            if left - 1 <= x <= right + 1:
+                self.canvas.line(x, bottom, x, bottom + 4)
+                self.canvas.text(x, bottom + 18, f"{tick:g}", size=10, anchor="middle")
+        for tick in _nice_ticks(*self.y_range):
+            y = self.y_pixel(tick)
+            if top - 1 <= y <= bottom + 1:
+                self.canvas.line(left - 4, y, left, y)
+                self.canvas.text(left - 7, y + 3, f"{tick:g}", size=10, anchor="end")
+
+    # ------------------------------------------------------------------
+    def plot(self, xs: Sequence[float], ys: Sequence[float], color=PALETTE[0],
+             width=1.5) -> None:
+        """Line series in data coordinates."""
+        if len(xs) != len(ys):
+            raise ValidationError("xs and ys must have equal length")
+        points = [(self.x_pixel(x), self.y_pixel(y)) for x, y in zip(xs, ys)]
+        self.canvas.polyline(points, stroke=color, width=width)
+
+    def scatter(self, xs: Sequence[float], ys: Sequence[float], color=PALETTE[0],
+                radius=3.0) -> None:
+        """Scatter series in data coordinates."""
+        if len(xs) != len(ys):
+            raise ValidationError("xs and ys must have equal length")
+        for x, y in zip(xs, ys):
+            self.canvas.circle(self.x_pixel(x), self.y_pixel(y), r=radius, fill=color)
+
+    def bars(self, centers: Sequence[float], heights: Sequence[float],
+             width: float, color=PALETTE[0]) -> None:
+        """Vertical bars of the given data-space width."""
+        if len(centers) != len(heights):
+            raise ValidationError("centers and heights must have equal length")
+        baseline = self.y_pixel(max(self.y_range[0], 0.0))
+        half = abs(self.x_pixel(width) - self.x_pixel(0.0)) / 2
+        for center, height in zip(centers, heights):
+            x = self.x_pixel(center)
+            y = self.y_pixel(height)
+            self.canvas.rect(x - half, min(y, baseline), 2 * half,
+                             abs(baseline - y), fill=color, opacity=0.9)
+
+    def legend(self, entries: Sequence[Tuple[str, str]]) -> None:
+        """entries: (label, color), drawn in the top-right corner."""
+        x = self.canvas.width - self.margin_right - 150
+        y = self.margin_top + 8
+        for index, (label, color) in enumerate(entries):
+            yy = y + index * 16
+            self.canvas.rect(x, yy - 8, 10, 10, fill=color)
+            self.canvas.text(x + 16, yy + 1, label, size=11)

@@ -1,0 +1,98 @@
+"""Session run reports: a Markdown artifact per diagnostic.
+
+Clinics and auditors want a record of *how* a result was produced, not
+just the result.  :func:`render_session_report` turns a
+:class:`~repro.core.protocol.SessionResult` into a self-contained
+Markdown document covering the capture, the ciphertext the cloud saw,
+the decryption arithmetic, authentication, the diagnosis and the cost
+breakdown — everything already decoded inside the TCB, so the report
+leaks nothing a patient-side document would not.
+"""
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.protocol import SessionResult
+
+
+def render_session_report(result: SessionResult, title: str = "MedSen session") -> str:
+    """Render one session as Markdown."""
+    capture = result.capture
+    truth = capture.ground_truth
+    timing = result.timing
+    lines = [
+        f"# {title}",
+        "",
+        "## Capture",
+        "",
+        f"- duration: {capture.duration_s:.0f} s, "
+        f"pumped volume: {capture.pumped_volume_ul:.3f} µL",
+        f"- encrypted: {capture.encrypted}",
+        f"- trace: {capture.trace.n_channels} carriers x "
+        f"{capture.trace.n_samples} samples at "
+        f"{capture.trace.sampling_rate_hz:.0f} Hz",
+        "",
+        "## Ciphertext (what the cloud saw)",
+        "",
+        f"- peaks reported: {result.relay.report.count}",
+        f"- uploaded: {result.relay.uploaded_bytes / 1e3:.0f} kB "
+        f"(raw {result.relay.raw_bytes / 1e3:.0f} kB)",
+        f"- analysed {'locally on the phone' if result.relay.analyzed_locally else 'in the cloud'}",
+        "",
+        "## Decryption (inside the TCB)",
+        "",
+        f"- recovered particle count: {result.decryption.total_count}",
+        f"- cleanly recovered particles: {len(result.decryption.clean_particles)}",
+        f"- merged dips credited: {result.decryption.merge_credits}",
+        "",
+        "## Authentication",
+        "",
+        f"- recovered identifier: `{result.auth.recovered.as_string()}`",
+        f"- decision: "
+        + (
+            f"accepted as **{result.auth.user_id}**"
+            if result.auth.accepted
+            else "rejected (no registry match)"
+        ),
+        f"- measured bead concentrations (/µL): "
+        + ", ".join(f"{c:.0f}" for c in result.auth.measured_concentrations_per_ul),
+        "",
+        "## Diagnosis",
+        "",
+        f"- {result.diagnosis.marker_name}: "
+        f"{result.diagnosis.concentration_per_ul:.0f} /µL → "
+        f"**{result.diagnosis.label}**",
+        f"- notification: {result.notification().render()}",
+        "",
+        "## Cost",
+        "",
+        "| stage | seconds |",
+        "|---|---|",
+        f"| compression | {timing.compression_s:.3f} |",
+        f"| transfer | {timing.transfer_s:.3f} |",
+        f"| cloud analysis | {timing.cloud_analysis_s:.3f} |",
+        f"| decryption | {timing.decryption_s:.3f} |",
+        f"| classification | {timing.classification_s:.3f} |",
+        f"| **end-to-end** | **{timing.end_to_end_s:.3f}** |",
+        "",
+        "## Ground truth (simulation only)",
+        "",
+        f"- particles that reached the sensor: {dict(truth.arrived_counts)}",
+        f"- ciphertext dip events emitted: {truth.n_pulse_events}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_session_report(
+    result: SessionResult,
+    path: Union[str, Path],
+    title: Optional[str] = None,
+) -> Path:
+    """Render and write the report; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        render_session_report(result, title=title or f"MedSen session — {path.stem}")
+    )
+    return path

@@ -1,0 +1,116 @@
+"""Evaluation analytics: calibration, metrics, entropy."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.analysis.calibration import CalibrationCurve, fit_calibration
+from repro.analysis.entropy import (
+    empirical_entropy_bits,
+    shannon_entropy_bits,
+    uniform_entropy_bits,
+)
+from repro.analysis.metrics import (
+    ConfusionMatrix,
+    classification_accuracy,
+    count_error_statistics,
+    mean_absolute_percentage_error,
+)
+
+
+class TestCalibration:
+    def test_perfect_line(self):
+        estimated = [10, 50, 100, 200]
+        measured = [9, 45, 90, 180]
+        curve = fit_calibration(estimated, measured)
+        assert curve.slope == pytest.approx(0.9, rel=1e-6)
+        assert curve.intercept == pytest.approx(0.0, abs=1e-9)
+        assert curve.r_squared == pytest.approx(1.0)
+        assert curve.is_linear
+
+    def test_noisy_line_still_linear(self):
+        rng = np.random.default_rng(0)
+        estimated = np.linspace(10, 400, 20)
+        measured = 0.9 * estimated + rng.normal(0, 5, 20)
+        curve = fit_calibration(estimated, measured)
+        assert curve.is_linear
+        assert curve.slope == pytest.approx(0.9, rel=0.05)
+
+    def test_predict(self):
+        curve = CalibrationCurve(slope=0.9, intercept=1.0, r_squared=1.0, n_points=4)
+        assert float(curve.predict(100)) == pytest.approx(91.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_calibration([1, 2], [1, 2])
+        with pytest.raises(ValidationError):
+            fit_calibration([1, 1, 1], [1, 2, 3])
+        with pytest.raises(ValidationError):
+            fit_calibration([1, 2, 3], [1, 2])
+
+
+class TestConfusionMatrix:
+    def test_from_labels(self):
+        matrix = ConfusionMatrix.from_labels(
+            ["a", "a", "b", "b"], ["a", "b", "b", "b"]
+        )
+        assert matrix.accuracy == pytest.approx(0.75)
+        assert matrix.count("a", "b") == 1
+        assert matrix.per_class_recall()["b"] == 1.0
+
+    def test_prediction_only_class_gets_column(self):
+        matrix = ConfusionMatrix.from_labels(["a"], ["rejected"])
+        assert "rejected" in matrix.class_names
+        assert matrix.accuracy == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ConfusionMatrix.from_labels([], [])
+        with pytest.raises(ValidationError):
+            ConfusionMatrix.from_labels(["a"], ["a", "b"])
+
+    def test_classification_accuracy_helper(self):
+        assert classification_accuracy(["x", "y"], ["x", "x"]) == 0.5
+
+
+class TestCountErrors:
+    def test_mape(self):
+        assert mean_absolute_percentage_error([100, 200], [90, 220]) == pytest.approx(
+            0.1
+        )
+
+    def test_statistics(self):
+        stats = count_error_statistics([100, 100], [110, 90])
+        assert stats["mape"] == pytest.approx(0.1)
+        assert stats["bias"] == pytest.approx(0.0)
+        assert stats["worst"] == pytest.approx(0.1)
+        assert stats["n"] == 2
+
+    def test_zero_truths_skipped(self):
+        assert mean_absolute_percentage_error([0, 100], [5, 110]) == pytest.approx(0.1)
+
+    def test_all_zero_truths_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_absolute_percentage_error([0, 0], [1, 2])
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert uniform_entropy_bits(16) == 4.0
+        assert shannon_entropy_bits([0.25] * 4) == pytest.approx(2.0)
+
+    def test_degenerate_distribution(self):
+        assert shannon_entropy_bits([1.0, 0.0]) == 0.0
+
+    def test_empirical(self):
+        assert empirical_entropy_bits(["a", "b", "a", "b"]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            shannon_entropy_bits([0.5, 0.6])
+        with pytest.raises(ValidationError):
+            shannon_entropy_bits([])
+        with pytest.raises(ValidationError):
+            uniform_entropy_bits(0)
+        with pytest.raises(ValidationError):
+            empirical_entropy_bits([])

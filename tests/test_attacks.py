@@ -1,0 +1,161 @@
+"""Eavesdropper attacks: each cipher component defeats its attack.
+
+These tests reproduce §IV-A's security argument quantitatively: every
+attack is run against (a) a weakened cipher missing the component that
+defends against it, where the attack should do well, and (b) the full
+cipher, where it should fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AmplitudeClusteringAttack,
+    AttackKnowledge,
+    DivideByExpectationAttack,
+    NaivePeakCountAttack,
+    PeriodicTrainAttack,
+    WidthClusteringAttack,
+    bruteforce_expected_attempts,
+    bruteforce_success_probability,
+    score_count_attack,
+)
+from repro.attacks.bruteforce import attempts_for_success_probability
+from repro.auth.alphabet import DEFAULT_ALPHABET
+
+from repro.attacks.scenarios import encrypted_capture
+
+EPOCH_S = 2.0
+DURATION_S = 60.0
+
+
+@pytest.fixture(scope="module")
+def full_cipher_runs():
+    return [encrypted_capture(seed) for seed in (1, 2, 3)]
+
+
+class TestNaivePeakCount:
+    def test_grossly_overestimates(self, full_cipher_runs):
+        attack = NaivePeakCountAttack()
+        for true_count, report, knowledge in full_cipher_runs:
+            estimate = attack.estimate_count(report, knowledge)
+            assert score_count_attack(estimate, true_count) > 1.0  # >2x off
+
+
+class TestDivideByExpectation:
+    def test_better_than_naive_but_still_wrong(self, full_cipher_runs):
+        naive = NaivePeakCountAttack()
+        divide = DivideByExpectationAttack(assume_avoid_consecutive=True)
+        for true_count, report, knowledge in full_cipher_runs:
+            naive_error = score_count_attack(naive.estimate_count(report, knowledge), true_count)
+            divide_error = score_count_attack(divide.estimate_count(report, knowledge), true_count)
+            assert divide_error < naive_error
+
+    def test_per_capture_error_remains(self):
+        errors = []
+        for seed in range(6):
+            true_count, report, knowledge = encrypted_capture(seed + 50)
+            attack = DivideByExpectationAttack(assume_avoid_consecutive=True)
+            errors.append(
+                score_count_attack(attack.estimate_count(report, knowledge), true_count)
+            )
+        # The constant-divisor guess cannot track per-epoch factors.
+        assert float(np.mean(errors)) > 0.10
+
+
+class TestAmplitudeAttack:
+    def test_succeeds_without_gain_masking(self):
+        true_count, report, knowledge = encrypted_capture(
+            11, constant_gains=True, constant_flow=True
+        )
+        attack = AmplitudeClusteringAttack()
+        error = score_count_attack(attack.estimate_count(report, knowledge), true_count)
+        assert error < 0.45
+
+    def test_defeated_by_random_gains(self):
+        # §IV-A: random gains break equal-amplitude runs.
+        def mean_error(constant_gains):
+            errors = []
+            for seed in (21, 22, 23):
+                true_count, report, knowledge = encrypted_capture(
+                    seed, constant_gains=constant_gains
+                )
+                attack = AmplitudeClusteringAttack()
+                errors.append(
+                    score_count_attack(attack.estimate_count(report, knowledge), true_count)
+                )
+            return float(np.mean(errors))
+
+        assert mean_error(constant_gains=False) > mean_error(constant_gains=True)
+
+
+class TestWidthAttack:
+    def test_width_dispersion_rises_with_flow_masking(self):
+        attack = WidthClusteringAttack()
+        _, report_fixed, knowledge = encrypted_capture(31, constant_flow=True)
+        _, report_masked, _ = encrypted_capture(31, constant_flow=False)
+        fixed = attack.width_dispersion(report_fixed, knowledge)
+        masked = attack.width_dispersion(report_masked, knowledge)
+        assert masked > fixed
+
+    def test_grouping_degrades_with_flow_masking(self):
+        def mean_error(constant_flow):
+            errors = []
+            for seed in (41, 42, 43):
+                true_count, report, knowledge = encrypted_capture(
+                    seed, constant_flow=constant_flow, constant_gains=True
+                )
+                attack = WidthClusteringAttack()
+                errors.append(
+                    score_count_attack(attack.estimate_count(report, knowledge), true_count)
+                )
+            return float(np.mean(errors))
+
+        assert mean_error(constant_flow=False) >= mean_error(constant_flow=True) * 0.9
+
+
+class TestPeriodicTrainAttack:
+    def test_exploits_consecutive_keys(self):
+        # Figure 11d: with consecutive electrodes the 17-peak train
+        # structure leaks; the attack should roughly count particles.
+        true_count, report, knowledge = encrypted_capture(
+            61, avoid_consecutive=False, constant_gains=True, constant_flow=True
+        )
+        attack = PeriodicTrainAttack()
+        error = score_count_attack(attack.estimate_count(report, knowledge), true_count)
+        naive_error = score_count_attack(
+            NaivePeakCountAttack().estimate_count(report, knowledge), true_count
+        )
+        assert error < naive_error
+
+    def test_train_fraction_drops_with_mitigation(self):
+        attack = PeriodicTrainAttack()
+        _, report_leaky, _ = encrypted_capture(
+            71, avoid_consecutive=False, constant_gains=True, constant_flow=True
+        )
+        _, report_safe, _ = encrypted_capture(71, avoid_consecutive=True)
+        assert attack.train_fraction(report_leaky) > attack.train_fraction(report_safe)
+
+
+class TestBruteforce:
+    def test_expected_attempts(self):
+        # 15 valid identifiers -> 8 expected guesses.
+        assert bruteforce_expected_attempts(DEFAULT_ALPHABET) == 8.0
+
+    def test_success_probability(self):
+        assert bruteforce_success_probability(DEFAULT_ALPHABET, 0) == 0.0
+        assert bruteforce_success_probability(DEFAULT_ALPHABET, 15) == 1.0
+        assert bruteforce_success_probability(DEFAULT_ALPHABET, 3) == pytest.approx(0.2)
+
+    def test_attempts_for_probability(self):
+        assert attempts_for_success_probability(DEFAULT_ALPHABET, 1.0) == 15
+        assert attempts_for_success_probability(DEFAULT_ALPHABET, 0.5) == 8
+
+
+class TestScore:
+    def test_perfect_estimate(self):
+        assert score_count_attack(100, 100) == 0.0
+
+    def test_invalid_truth(self):
+        with pytest.raises(Exception):
+            score_count_attack(1, 0)

@@ -1,0 +1,123 @@
+"""Bead alphabet and cyto-coded identifiers."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.auth.alphabet import BeadAlphabet, DEFAULT_ALPHABET
+from repro.auth.identifier import CytoIdentifier
+from repro.particles import BEAD_3P58, BEAD_7P8, BLOOD_CELL
+
+
+class TestBeadAlphabet:
+    def test_default_uses_paper_beads(self):
+        names = [t.name for t in DEFAULT_ALPHABET.bead_types]
+        assert names == ["bead_3.58um", "bead_7.8um"]
+
+    def test_dimensions(self):
+        assert DEFAULT_ALPHABET.n_characters == 2
+        assert DEFAULT_ALPHABET.n_levels == 4
+
+    def test_levels_increasing(self):
+        levels = DEFAULT_ALPHABET.levels_per_ul
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+
+    def test_biological_particle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeadAlphabet(bead_types=(BLOOD_CELL,))
+
+    def test_duplicate_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeadAlphabet(bead_types=(BEAD_7P8, BEAD_7P8))
+
+    def test_non_increasing_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeadAlphabet(levels_per_ul=(0.0, 100.0, 100.0))
+
+    def test_nearest_level_exact(self):
+        for level, concentration in enumerate(DEFAULT_ALPHABET.levels_per_ul):
+            assert DEFAULT_ALPHABET.nearest_level(concentration) == level
+
+    def test_nearest_level_sqrt_boundaries(self):
+        # Boundary between 250 and 550 in sqrt space:
+        # ((sqrt(250)+sqrt(550))/2)^2 ~ 385.
+        assert DEFAULT_ALPHABET.nearest_level(370.0) == 1
+        assert DEFAULT_ALPHABET.nearest_level(400.0) == 2
+
+    def test_nearest_level_negative_clamped(self):
+        assert DEFAULT_ALPHABET.nearest_level(-5.0) == 0
+
+    def test_bead_type_named(self):
+        assert DEFAULT_ALPHABET.bead_type_named("bead_7.8um") is BEAD_7P8
+        with pytest.raises(ConfigurationError):
+            DEFAULT_ALPHABET.bead_type_named("bead_1um")
+
+
+class TestCytoIdentifier:
+    def test_valid_identifier(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        assert identifier.levels == (2, 1)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValidationError):
+            CytoIdentifier(DEFAULT_ALPHABET, (2,))
+
+    def test_out_of_range_level_rejected(self):
+        with pytest.raises(ValidationError):
+            CytoIdentifier(DEFAULT_ALPHABET, (4, 0))
+
+    def test_all_absent_rejected(self):
+        with pytest.raises(ValidationError):
+            CytoIdentifier(DEFAULT_ALPHABET, (0, 0))
+
+    def test_random_identifier_valid(self):
+        for seed in range(20):
+            identifier = CytoIdentifier.random(DEFAULT_ALPHABET, rng=seed)
+            assert any(
+                DEFAULT_ALPHABET.concentration_for_level(level) > 0
+                for level in identifier.levels
+            )
+
+    def test_concentrations(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        concentrations = identifier.concentrations_per_ul()
+        assert concentrations[BEAD_3P58] == 550.0
+        assert concentrations[BEAD_7P8] == 250.0
+
+    def test_to_sample_concentrations(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        sample = identifier.to_sample(10.0, rng=0, poisson=False)
+        assert sample.count_of(BEAD_3P58) == 5500
+        assert sample.count_of(BEAD_7P8) == 2500
+
+    def test_to_sample_final_volume_scaling(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        pipette = identifier.to_sample(2.0, final_volume_ul=12.0, rng=0, poisson=False)
+        # After mixing into 12 uL the concentration is back at the level.
+        assert pipette.count_of(BEAD_3P58) / 12.0 == pytest.approx(550.0)
+
+    def test_to_sample_poisson_fluctuates(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        counts = {
+            identifier.to_sample(2.0, rng=np.random.default_rng(i)).count_of(BEAD_3P58)
+            for i in range(10)
+        }
+        assert len(counts) > 1
+
+    def test_final_volume_smaller_than_pipette_rejected(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        with pytest.raises(ValidationError):
+            identifier.to_sample(5.0, final_volume_ul=2.0)
+
+    def test_matches_and_hamming(self):
+        a = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        b = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        c = CytoIdentifier(DEFAULT_ALPHABET, (1, 3))
+        assert a.matches(b)
+        assert not a.matches(c)
+        assert a.hamming_distance(c) == 2
+        assert a.hamming_distance(b) == 0
+
+    def test_as_string(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        assert identifier.as_string() == "bead_3.58um:2|bead_7.8um:1"

@@ -1,0 +1,134 @@
+"""Server-side authentication and the §V integrity check."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import AuthenticationError, ConfigurationError, IntegrityError
+from repro.auth.alphabet import DEFAULT_ALPHABET
+from repro.auth.authenticator import ServerAuthenticator
+from repro.auth.classifier import ClassificationReport
+from repro.auth.identifier import CytoIdentifier
+
+
+@pytest.fixture
+def authenticator():
+    auth = ServerAuthenticator(DEFAULT_ALPHABET, delivery_efficiency=1.0)
+    auth.register("alice", CytoIdentifier(DEFAULT_ALPHABET, (2, 1)))
+    auth.register("bob", CytoIdentifier(DEFAULT_ALPHABET, (1, 3)))
+    return auth
+
+
+def counts_for(identifier, volume_ul, efficiency=1.0):
+    """Ideal bead counts a perfect measurement would yield."""
+    return {
+        bead.name: concentration * volume_ul * efficiency
+        for bead, concentration in identifier.concentrations_per_ul().items()
+    }
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, authenticator):
+        assert authenticator.n_registered == 2
+        assert authenticator.identifier_of("alice").levels == (2, 1)
+
+    def test_duplicate_user_rejected(self, authenticator):
+        with pytest.raises(ConfigurationError):
+            authenticator.register("alice", CytoIdentifier(DEFAULT_ALPHABET, (3, 3)))
+
+    def test_duplicate_identifier_rejected(self, authenticator):
+        with pytest.raises(ConfigurationError, match="unique"):
+            authenticator.register("carol", CytoIdentifier(DEFAULT_ALPHABET, (2, 1)))
+
+    def test_deregister(self, authenticator):
+        authenticator.deregister("bob")
+        assert authenticator.n_registered == 1
+        with pytest.raises(ConfigurationError):
+            authenticator.identifier_of("bob")
+
+    def test_unknown_user_lookup_rejected(self, authenticator):
+        with pytest.raises(ConfigurationError):
+            authenticator.identifier_of("mallory")
+
+
+class TestRecovery:
+    def test_exact_counts_recover_identifier(self, authenticator):
+        alice = authenticator.identifier_of("alice")
+        recovered, _ = authenticator.recover_identifier(counts_for(alice, 0.08), 0.08)
+        assert recovered.matches(alice)
+
+    def test_noisy_counts_still_recover(self, authenticator):
+        alice = authenticator.identifier_of("alice")
+        counts = {k: v * 1.2 for k, v in counts_for(alice, 0.08).items()}
+        recovered, _ = authenticator.recover_identifier(counts, 0.08)
+        assert recovered.matches(alice)
+
+    def test_delivery_efficiency_correction(self):
+        auth = ServerAuthenticator(DEFAULT_ALPHABET, delivery_efficiency=0.8)
+        alice = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        auth.register("alice", alice)
+        # Counts after 20% loss.
+        lossy = counts_for(alice, 0.08, efficiency=0.8)
+        recovered, _ = auth.recover_identifier(lossy, 0.08)
+        assert recovered.matches(alice)
+
+    def test_negative_count_rejected(self, authenticator):
+        with pytest.raises(ConfigurationError):
+            authenticator.recover_identifier({"bead_7.8um": -1.0}, 0.08)
+
+
+class TestAuthentication:
+    def test_accepts_correct_user(self, authenticator):
+        alice = authenticator.identifier_of("alice")
+        decision = authenticator.authenticate(counts_for(alice, 0.08), 0.08)
+        assert decision.accepted
+        assert decision.user_id == "alice"
+
+    def test_distinguishes_users(self, authenticator):
+        bob = authenticator.identifier_of("bob")
+        decision = authenticator.authenticate(counts_for(bob, 0.08), 0.08)
+        assert decision.user_id == "bob"
+
+    def test_unregistered_identifier_rejected(self, authenticator):
+        stranger = CytoIdentifier(DEFAULT_ALPHABET, (3, 3))
+        decision = authenticator.authenticate(counts_for(stranger, 0.08), 0.08)
+        assert not decision.accepted
+        assert decision.user_id is None
+
+    def test_no_beads_raises(self, authenticator):
+        with pytest.raises(AuthenticationError):
+            authenticator.authenticate({"bead_3.58um": 0.0, "bead_7.8um": 0.0}, 0.08)
+
+    def test_decision_carries_concentrations(self, authenticator):
+        alice = authenticator.identifier_of("alice")
+        decision = authenticator.authenticate(counts_for(alice, 0.08), 0.08)
+        assert decision.measured_concentrations_per_ul[0] == pytest.approx(550.0, rel=0.01)
+
+
+class TestIntegrity:
+    def test_matching_identifier_passes(self, authenticator):
+        alice = authenticator.identifier_of("alice")
+        authenticator.verify_integrity("alice", alice)
+
+    def test_mismatch_raises(self, authenticator):
+        wrong = CytoIdentifier(DEFAULT_ALPHABET, (1, 1))
+        with pytest.raises(IntegrityError):
+            authenticator.verify_integrity("alice", wrong)
+
+
+class TestCountsFromClassification:
+    def test_scaling(self):
+        report = ClassificationReport(
+            labels=("bead_7.8um", "bead_7.8um", "blood_cell"),
+            distances=np.zeros((3, 2)),
+            class_names=("bead_7.8um", "blood_cell"),
+            rejected=(False, False, False),
+        )
+        counts = ServerAuthenticator.counts_from_classification(report, scale=2.0)
+        assert counts == {"bead_7.8um": 4.0, "blood_cell": 2.0}
+
+    def test_invalid_scale(self):
+        report = ClassificationReport(
+            labels=(), distances=np.zeros((0, 1)), class_names=("x",), rejected=()
+        )
+        with pytest.raises(ConfigurationError):
+            ServerAuthenticator.counts_from_classification(report, scale=0.0)

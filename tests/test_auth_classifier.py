@@ -1,0 +1,106 @@
+"""Particle classifier and enrollment: the Figure 16 separation."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.analysis.metrics import classification_accuracy
+from repro.auth.classifier import ParticleClassifier
+from repro.auth.enrollment import enroll_classifier, simulate_reference_features
+from repro.particles import BEAD_3P58, BEAD_7P8, BLOOD_CELL
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return enroll_classifier([BEAD_3P58, BEAD_7P8, BLOOD_CELL], n_per_class=300, rng=0)
+
+
+class TestEnrollment:
+    def test_reference_feature_shapes(self):
+        features = simulate_reference_features(BEAD_7P8, 50, rng=0)
+        assert features.shape == (50, 2)
+        assert np.all(features > 0)
+
+    def test_reference_features_match_figure15_scale(self):
+        features = simulate_reference_features(BEAD_7P8, 200, rng=0)
+        assert np.mean(features[:, 0]) == pytest.approx(0.0139, rel=0.1)
+
+    def test_population_variability_present(self):
+        features = simulate_reference_features(BLOOD_CELL, 200, rng=0)
+        cv = np.std(features[:, 0]) / np.mean(features[:, 0])
+        assert cv > 0.1  # cells are a broad population
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            simulate_reference_features(BEAD_7P8, 0)
+        with pytest.raises(ConfigurationError):
+            enroll_classifier([])
+
+
+class TestClassifier:
+    def test_classifies_own_populations(self, trained):
+        rng = np.random.default_rng(1)
+        true_labels, predicted = [], []
+        for particle_type in (BEAD_3P58, BEAD_7P8, BLOOD_CELL):
+            features = simulate_reference_features(particle_type, 200, rng=rng)
+            predicted.extend(trained.predict(features))
+            true_labels.extend([particle_type.name] * 200)
+        accuracy = classification_accuracy(true_labels, predicted)
+        assert accuracy > 0.95  # the paper's "clear margins"
+
+    def test_clear_margins_between_all_pairs(self, trained):
+        # Pairwise Mahalanobis separation well above overlap.
+        for a, b in [
+            ("bead_3.58um", "bead_7.8um"),
+            ("bead_3.58um", "blood_cell"),
+            ("bead_7.8um", "blood_cell"),
+        ]:
+            assert trained.margin_between(a, b) > 4.0
+
+    def test_outlier_rejected(self, trained):
+        weird = np.array([[0.2, 0.2]])  # far outside any cluster
+        report = trained.classify(weird)
+        assert report.rejected[0]
+
+    def test_counts_exclude_rejected(self, trained):
+        features = np.array([[0.2, 0.2], [0.0139, 0.0138]])
+        report = trained.classify(features)
+        counts = report.counts()
+        assert sum(counts.values()) == 1
+
+    def test_distance_matrix_shape(self, trained):
+        features = simulate_reference_features(BEAD_7P8, 10, rng=2)
+        distances = trained.mahalanobis_distances(features)
+        assert distances.shape == (10, 3)
+
+    def test_centroids_accessible(self, trained):
+        centroid = trained.centroid("bead_7.8um")
+        assert centroid.shape == (2,)
+
+    def test_unfitted_classifier_raises(self):
+        classifier = ParticleClassifier()
+        with pytest.raises(ConfigurationError):
+            classifier.classify(np.zeros((1, 2)))
+
+    def test_unknown_class_raises(self, trained):
+        with pytest.raises(ConfigurationError):
+            trained.margin_between("bead_7.8um", "unicorn")
+
+    def test_fit_validation(self):
+        classifier = ParticleClassifier()
+        with pytest.raises(ValidationError):
+            classifier.fit({"a": np.zeros((2, 3))})  # too few samples
+        with pytest.raises(ConfigurationError):
+            classifier.fit({})
+
+    def test_feature_dimension_checked(self, trained):
+        with pytest.raises(ValidationError):
+            trained.classify(np.zeros((1, 5)))
+
+    def test_rejection_distance_validation(self):
+        with pytest.raises(ValidationError):
+            ParticleClassifier(rejection_distance=0.0)
+
+    def test_predict_labels_rejected_string(self, trained):
+        labels = trained.predict(np.array([[0.5, 0.5]]))
+        assert labels == ["rejected"]

@@ -1,0 +1,117 @@
+"""Password space and collision probabilities (§VII-C engineering)."""
+
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.auth.alphabet import BeadAlphabet, DEFAULT_ALPHABET
+from repro.auth.collision import (
+    collision_probability,
+    identifier_error_probability,
+    level_confusion_probability,
+    min_distinguishable_levels,
+    password_space_entropy_bits,
+    password_space_size,
+)
+from repro.auth.identifier import CytoIdentifier
+
+VOLUME_UL = 0.5  # generous sampled volume for tight Poisson statistics
+
+
+class TestPasswordSpace:
+    def test_default_space_size(self):
+        # 4 levels ^ 2 types - 1 all-absent = 15.
+        assert password_space_size(DEFAULT_ALPHABET) == 15
+
+    def test_entropy_bits(self):
+        assert password_space_entropy_bits(DEFAULT_ALPHABET) == pytest.approx(
+            3.9069, abs=0.01
+        )
+
+    def test_more_types_exponential_growth(self):
+        from repro.particles.types import ParticleType
+
+        third = ParticleType("bead_5.5um", 5.5e-6, 0.006)
+        bigger = BeadAlphabet(
+            bead_types=DEFAULT_ALPHABET.bead_types + (third,),
+            levels_per_ul=DEFAULT_ALPHABET.levels_per_ul,
+        )
+        assert password_space_size(bigger) == 4**3 - 1
+
+    def test_nonzero_floor_level_keeps_full_space(self):
+        alphabet = BeadAlphabet(levels_per_ul=(100.0, 400.0, 900.0))
+        assert password_space_size(alphabet) == 3**2
+
+
+class TestLevelConfusion:
+    def test_zero_level_never_confused(self):
+        # Level 0 encodes zero concentration: zero counts, deterministic.
+        assert level_confusion_probability(DEFAULT_ALPHABET, 0, VOLUME_UL) == 0.0
+
+    def test_well_separated_levels_rarely_confused(self):
+        for level in range(DEFAULT_ALPHABET.n_levels):
+            p = level_confusion_probability(DEFAULT_ALPHABET, level, VOLUME_UL)
+            assert p < 0.05
+
+    def test_small_volume_more_confusion(self):
+        generous = level_confusion_probability(DEFAULT_ALPHABET, 1, 0.5)
+        starved = level_confusion_probability(DEFAULT_ALPHABET, 1, 0.02)
+        assert starved > generous
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValidationError):
+            level_confusion_probability(DEFAULT_ALPHABET, 9, VOLUME_UL)
+
+
+class TestIdentifierError:
+    def test_error_bounded_by_character_sum(self):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        total = identifier_error_probability(identifier, VOLUME_UL)
+        per_char = [
+            level_confusion_probability(DEFAULT_ALPHABET, level, VOLUME_UL)
+            for level in identifier.levels
+        ]
+        assert total <= sum(per_char) + 1e-12
+
+    def test_collision_less_likely_than_error(self):
+        a = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        b = CytoIdentifier(DEFAULT_ALPHABET, (1, 1))
+        collision = collision_probability(a, b, VOLUME_UL)
+        error = identifier_error_probability(a, VOLUME_UL)
+        assert collision <= error + 1e-12
+
+    def test_self_collision_is_correct_recovery(self):
+        a = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        p_self = collision_probability(a, a, VOLUME_UL)
+        assert p_self == pytest.approx(1.0 - identifier_error_probability(a, VOLUME_UL))
+
+    def test_distant_identifiers_negligible_collision(self):
+        a = CytoIdentifier(DEFAULT_ALPHABET, (3, 0))
+        b = CytoIdentifier(DEFAULT_ALPHABET, (0, 3))
+        assert collision_probability(a, b, VOLUME_UL) < 1e-6
+
+
+class TestLevelEngineering:
+    def test_low_concentrations_give_more_levels(self):
+        # §VII-C: low concentrations have better resolution.  For a
+        # fixed margin, the number of levels grows sub-linearly with
+        # the concentration cap: halving the cap loses few levels.
+        n_high, _ = min_distinguishable_levels(4000.0, VOLUME_UL)
+        n_low, _ = min_distinguishable_levels(2000.0, VOLUME_UL)
+        assert n_low >= 0.6 * n_high
+
+    def test_levels_respect_cap(self):
+        _, levels = min_distinguishable_levels(1000.0, VOLUME_UL)
+        assert max(levels) <= 1000.0
+        assert levels[0] == 0.0
+
+    def test_wider_margin_fewer_levels(self):
+        n_tight, _ = min_distinguishable_levels(2000.0, VOLUME_UL, sigma_separation=2.0)
+        n_wide, _ = min_distinguishable_levels(2000.0, VOLUME_UL, sigma_separation=8.0)
+        assert n_wide < n_tight
+
+    def test_default_alphabet_levels_are_distinguishable(self):
+        # The shipped alphabet should sit inside the safe region for
+        # the standard 60 s capture (~0.06-0.08 uL pumped): with the
+        # pumped volume an order below VOLUME_UL, confusion stays low.
+        for level in range(DEFAULT_ALPHABET.n_levels):
+            assert level_confusion_probability(DEFAULT_ALPHABET, level, 0.08) < 0.35

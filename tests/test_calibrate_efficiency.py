@@ -1,0 +1,28 @@
+"""Instrument-measured delivery efficiency."""
+
+import pytest
+
+from repro.analysis.calibration import calibrate_delivery_efficiency
+from repro.auth.alphabet import DEFAULT_ALPHABET
+from repro.auth.authenticator import ServerAuthenticator
+
+
+@pytest.fixture(scope="module")
+def curve():
+    # Default protocol, fixed seed: 3 concentrations x 2 runs at 90 s.
+    return calibrate_delivery_efficiency(seed0=900)
+
+
+def test_calibrated_efficiency_in_expected_band(curve):
+    assert curve.is_linear
+    # Settling + adsorption + detection misses put the slope below 1;
+    # Poisson scatter on ~6 points leaves a few percent of play.
+    assert 0.85 < curve.slope < 1.02
+
+
+def test_calibrated_efficiency_feeds_authenticator(curve):
+    efficiency = min(curve.slope, 1.0)
+    authenticator = ServerAuthenticator(
+        DEFAULT_ALPHABET, delivery_efficiency=efficiency
+    )
+    assert authenticator.delivery_efficiency == pytest.approx(efficiency)

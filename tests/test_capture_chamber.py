@@ -1,0 +1,95 @@
+"""Antibody capture chamber (Figure 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.microfluidics.capture import CaptureChamber
+from repro.particles import BEAD_3P58, BEAD_7P8, BLOOD_CELL, Sample
+
+
+@pytest.fixture
+def chamber():
+    return CaptureChamber(target_type_name="blood_cell")
+
+
+@pytest.fixture
+def whole_blood():
+    return Sample.from_concentrations(
+        {BLOOD_CELL: 1000.0, BEAD_7P8: 500.0}, volume_ul=50.0
+    )
+
+
+class TestYields:
+    def test_target_yield(self, chamber):
+        assert chamber.target_yield == pytest.approx(0.9 * 0.95)
+
+    def test_enrichment_factor(self, chamber):
+        # 50 uL in, 5 uL out, 85.5% yield -> 8.55x concentration gain.
+        assert chamber.enrichment_factor(50.0) == pytest.approx(8.55)
+
+    def test_selectivity(self, chamber):
+        assert chamber.selectivity() > 10.0
+
+    def test_perfect_wash_infinite_selectivity(self):
+        perfect = CaptureChamber("blood_cell", nonspecific_fraction=0.0)
+        assert perfect.selectivity() == float("inf")
+
+
+class TestProcessing:
+    def test_target_enriched_in_eluate(self, chamber, whole_blood, rng):
+        eluate, _ = chamber.process(whole_blood, rng=rng)
+        in_conc = whole_blood.concentration_per_ul(BLOOD_CELL)
+        out_conc = eluate.concentration_per_ul(BLOOD_CELL)
+        assert out_conc > 5.0 * in_conc
+
+    def test_nontarget_depleted(self, chamber, whole_blood, rng):
+        eluate, _ = chamber.process(whole_blood, rng=rng)
+        total_beads_in = whole_blood.count_of(BEAD_7P8)
+        beads_out = eluate.count_of(BEAD_7P8)
+        assert beads_out < 0.1 * total_beads_in
+
+    def test_mass_conservation(self, chamber, whole_blood, rng):
+        eluate, waste = chamber.process(whole_blood, rng=rng)
+        for particle_type in (BLOOD_CELL, BEAD_7P8):
+            total = eluate.count_of(particle_type) + waste.count_of(particle_type)
+            assert total == whole_blood.count_of(particle_type)
+
+    def test_eluate_volume(self, chamber, whole_blood, rng):
+        eluate, _ = chamber.process(whole_blood, rng=rng)
+        assert eluate.volume_ul == pytest.approx(chamber.elution_volume_ul)
+
+    def test_yield_statistics(self, chamber):
+        blood = Sample.from_concentrations({BLOOD_CELL: 1000.0}, volume_ul=50.0)
+        yields = []
+        for seed in range(30):
+            eluate, _ = chamber.process(blood, rng=np.random.default_rng(seed))
+            yields.append(eluate.count_of(BLOOD_CELL) / blood.count_of(BLOOD_CELL))
+        assert np.mean(yields) == pytest.approx(chamber.target_yield, abs=0.01)
+
+
+class TestBloodEquivalent:
+    def test_roundtrip(self, chamber):
+        blood_conc = 500.0
+        eluate_conc = blood_conc * chamber.enrichment_factor(50.0)
+        recovered = chamber.blood_equivalent_concentration(eluate_conc, 50.0)
+        assert recovered == pytest.approx(blood_conc)
+
+    def test_negative_rejected(self, chamber):
+        with pytest.raises(ConfigurationError):
+            chamber.blood_equivalent_concentration(-1.0, 50.0)
+
+    def test_zero_yield_rejected(self):
+        dead = CaptureChamber("blood_cell", capture_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            dead.blood_equivalent_concentration(10.0, 50.0)
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CaptureChamber("")
+        with pytest.raises(Exception):
+            CaptureChamber("blood_cell", capture_efficiency=1.5)
+        with pytest.raises(Exception):
+            CaptureChamber("blood_cell", elution_volume_ul=0.0)

@@ -1,0 +1,70 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("demo", "keysize", "attacks", "selftest", "alphabet"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+
+class TestKeysize:
+    def test_paper_numbers(self, capsys):
+        assert main(["keysize"]) == 0
+        out = capsys.readouterr().out
+        assert "1,040,000" in out
+        assert "52" in out
+
+    def test_custom_parameters(self, capsys):
+        assert main(["keysize", "--cells", "100", "--electrodes", "9",
+                     "--gain-bits", "4", "--flow-bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "29" in out  # 9 + 4*4 + 4
+        assert "2,900" in out
+
+
+class TestAlphabet:
+    def test_reports_space(self, capsys):
+        assert main(["alphabet"]) == 0
+        out = capsys.readouterr().out
+        assert "password space: 15" in out
+        assert "bead_3.58um" in out
+
+
+class TestSelftest:
+    def test_healthy_returns_zero(self, capsys):
+        assert main(["selftest", "--outputs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "array healthy" in out
+
+    def test_faulty_returns_nonzero(self, capsys):
+        assert main(["selftest", "--outputs", "3", "--dead", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "dead" in out
+
+
+class TestAttacks:
+    def test_reports_all_attacks(self, capsys):
+        assert main(["attacks", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for name in ("naive-peak-count", "divide-by-expectation",
+                     "periodic-train", "feature-clustering"):
+            assert name in out
+
+
+class TestDemo:
+    def test_full_session(self, capsys):
+        assert main(["demo", "--duration", "40", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "decrypted count" in out
+        assert "diagnosis" in out
+        assert "notification" in out

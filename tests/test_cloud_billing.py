@@ -1,0 +1,85 @@
+"""Usage metering and billing."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.cloud.billing import Invoice, PriceSheet, UsageLedger
+
+
+class TestPriceSheet:
+    def test_cost_structure(self):
+        prices = PriceSheet(per_test=1.0, per_megabyte_uploaded=0.1)
+        assert prices.cost_of(0) == pytest.approx(1.0)
+        assert prices.cost_of(10e6) == pytest.approx(2.0)
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PriceSheet(per_test=-1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValidationError):
+            PriceSheet().cost_of(-1)
+
+
+class TestUsageLedger:
+    def test_meter_and_invoice(self):
+        ledger = UsageLedger(PriceSheet(per_test=0.5, per_megabyte_uploaded=0.02))
+        ledger.meter("id-a", 1e6, period=1)
+        ledger.meter("id-a", 2e6, period=1)
+        ledger.meter("id-a", 1e6, period=2)
+        ledger.meter("id-b", 5e6, period=1)
+
+        invoice = ledger.invoice("id-a", 1)
+        assert invoice.n_tests == 2
+        assert invoice.total_uploaded_bytes == pytest.approx(3e6)
+        assert invoice.total_cost == pytest.approx(2 * 0.5 + 0.02 * 3)
+
+    def test_invoices_for_period(self):
+        ledger = UsageLedger()
+        ledger.meter("id-a", 1e6, period=3)
+        ledger.meter("id-b", 1e6, period=3)
+        ledger.meter("id-a", 1e6, period=4)
+        invoices = ledger.invoices_for_period(3)
+        assert [invoice.identifier_key for invoice in invoices] == ["id-a", "id-b"]
+
+    def test_revenue(self):
+        ledger = UsageLedger(PriceSheet(per_test=1.0, per_megabyte_uploaded=0.0))
+        ledger.meter("x", 0, period=1)
+        ledger.meter("y", 0, period=2)
+        assert ledger.revenue() == pytest.approx(2.0)
+        assert ledger.revenue(period=1) == pytest.approx(1.0)
+
+    def test_empty_invoice(self):
+        invoice = UsageLedger().invoice("nobody", 1)
+        assert invoice.n_tests == 0
+        assert invoice.total_cost == 0.0
+
+    def test_summary_line(self):
+        ledger = UsageLedger()
+        ledger.meter("id-a", 2e6, period=1)
+        line = ledger.invoice("id-a", 1).summary()
+        assert "id-a" in line and "1 tests" in line and "USD" in line
+
+    def test_validation(self):
+        ledger = UsageLedger()
+        with pytest.raises(ConfigurationError):
+            ledger.meter("", 0, period=1)
+        with pytest.raises(ValidationError):
+            ledger.meter("x", 0, period=-1)
+
+    def test_session_integration(self):
+        """Meter a real session's upload under its identifier key."""
+        from repro import CytoIdentifier, MedSenSession, Sample
+        from repro.particles import BLOOD_CELL
+
+        session = MedSenSession(rng=700)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("u", identifier)
+        blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+        result = session.run_diagnostic(blood, identifier, duration_s=40.0, rng=1)
+
+        ledger = UsageLedger()
+        ledger.meter(result.record_key, result.relay.uploaded_bytes, period=1)
+        invoice = ledger.invoice(result.record_key, 1)
+        assert invoice.n_tests == 1
+        assert invoice.total_cost > 0

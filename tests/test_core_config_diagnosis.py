@@ -1,0 +1,113 @@
+"""Deployment config and threshold diagnostics."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.core.config import (
+    FIG15_CARRIERS_HZ,
+    PAPER_SECTION_VI_CARRIERS_HZ,
+    MedSenConfig,
+)
+from repro.core.diagnosis import (
+    CD4_STAGING,
+    DiagnosticBand,
+    ThresholdDiagnostic,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = MedSenConfig()
+        assert config.n_electrode_outputs == 9
+        assert config.epoch_duration_s == 2.0
+        assert config.gain_levels == 16
+        assert config.flow_levels == 16
+        assert config.avoid_consecutive_electrodes
+
+    def test_carrier_sets(self):
+        assert 500e3 in FIG15_CARRIERS_HZ and 2500e3 in FIG15_CARRIERS_HZ
+        assert len(PAPER_SECTION_VI_CARRIERS_HZ) == 8
+
+    def test_factories_consistent(self):
+        config = MedSenConfig()
+        assert config.make_array().n_outputs == 9
+        assert config.make_gain_table().n_levels == 16
+        assert config.make_flow_table().n_levels == 16
+        assert config.make_lockin().n_channels == len(config.carrier_frequencies_hz)
+        assert config.make_channel().width_m == pytest.approx(30e-6)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MedSenConfig(n_electrode_outputs=0)
+        with pytest.raises(ConfigurationError):
+            MedSenConfig(epoch_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MedSenConfig(carrier_frequencies_hz=())
+
+
+class TestDiagnosticBand:
+    def test_contains(self):
+        band = DiagnosticBand("low", 0.0, 200.0)
+        assert band.contains(0.0)
+        assert band.contains(199.9)
+        assert not band.contains(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiagnosticBand("", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            DiagnosticBand("x", 5.0, 5.0)
+
+
+class TestThresholdDiagnostic:
+    def test_cd4_staging_bands(self):
+        assert CD4_STAGING.evaluate(100.0).label == "severe-immunosuppression"
+        assert CD4_STAGING.evaluate(350.0).label == "moderate-immunosuppression"
+        assert CD4_STAGING.evaluate(800.0).label == "normal"
+
+    def test_boundaries_are_half_open(self):
+        assert CD4_STAGING.evaluate(200.0).label == "moderate-immunosuppression"
+        assert CD4_STAGING.evaluate(500.0).label == "normal"
+
+    def test_outcome_carries_details(self):
+        outcome = CD4_STAGING.evaluate(42.0)
+        assert outcome.marker_name == "CD4+ T-cell"
+        assert outcome.concentration_per_ul == 42.0
+
+    def test_negative_concentration_rejected(self):
+        with pytest.raises(ValidationError):
+            CD4_STAGING.evaluate(-1.0)
+
+    def test_gap_rejected(self):
+        with pytest.raises(ConfigurationError, match="tile"):
+            ThresholdDiagnostic(
+                marker_name="x",
+                bands=(
+                    DiagnosticBand("a", 0.0, 100.0),
+                    DiagnosticBand("b", 150.0, float("inf")),
+                ),
+            )
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdDiagnostic(
+                marker_name="x",
+                bands=(DiagnosticBand("a", 10.0, float("inf")),),
+            )
+
+    def test_must_end_at_infinity(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdDiagnostic(
+                marker_name="x",
+                bands=(DiagnosticBand("a", 0.0, 100.0),),
+            )
+
+    def test_unsorted_bands_accepted(self):
+        diagnostic = ThresholdDiagnostic(
+            marker_name="x",
+            bands=(
+                DiagnosticBand("high", 100.0, float("inf")),
+                DiagnosticBand("low", 0.0, 100.0),
+            ),
+        )
+        assert diagnostic.evaluate(50.0).label == "low"

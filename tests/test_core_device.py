@@ -1,0 +1,68 @@
+"""MedSenDevice: wiring and capture behaviour."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.core.device import MedSenDevice
+from repro.particles import BEAD_7P8, BLOOD_CELL, Sample
+
+
+@pytest.fixture(scope="module")
+def shared_device():
+    return MedSenDevice(rng=99)
+
+
+def sample(conc=1500.0):
+    return Sample.from_concentrations({BLOOD_CELL: conc}, volume_ul=5)
+
+
+class TestCapture:
+    def test_encrypted_capture_shape(self, shared_device):
+        capture = shared_device.run_capture(sample(), 20.0, rng=np.random.default_rng(0))
+        assert capture.encrypted
+        assert capture.trace.n_channels == len(shared_device.carrier_frequencies_hz)
+        assert capture.trace.duration_s == pytest.approx(20.0, abs=0.05)
+        assert capture.pumped_volume_ul > 0
+
+    def test_ground_truth_recorded(self, shared_device):
+        capture = shared_device.run_capture(sample(), 20.0, rng=np.random.default_rng(1))
+        truth = capture.ground_truth
+        assert truth.total_arrived == sum(truth.arrived_counts.values())
+        assert truth.n_pulse_events >= truth.total_arrived
+
+    def test_plaintext_capture_single_dip_per_particle(self, shared_device):
+        capture = shared_device.run_capture(
+            sample(), 20.0, encrypt=False, rng=np.random.default_rng(2)
+        )
+        assert not capture.encrypted
+        assert capture.ground_truth.n_pulse_events == capture.ground_truth.total_arrived
+
+    def test_plaintext_pumps_nominal_volume(self, shared_device):
+        capture = shared_device.run_capture(
+            sample(), 60.0, encrypt=False, rng=np.random.default_rng(3)
+        )
+        assert capture.pumped_volume_ul == pytest.approx(0.08, rel=0.01)
+
+    def test_invalid_duration(self, shared_device):
+        with pytest.raises(ConfigurationError):
+            shared_device.run_capture(sample(), 0.0)
+
+
+class TestDecryptionRoundtrip:
+    def test_count_roundtrip(self, shared_device):
+        from repro.dsp.peakdetect import PeakDetector
+
+        capture = shared_device.run_capture(sample(1200.0), 30.0, rng=np.random.default_rng(4))
+        report = PeakDetector().detect(
+            capture.trace.voltages, capture.trace.sampling_rate_hz
+        )
+        result = shared_device.decrypt(report)
+        truth = capture.ground_truth.total_arrived
+        assert result.total_count == pytest.approx(truth, abs=max(2, 0.2 * truth))
+
+    def test_device_seed_determinism(self):
+        a = MedSenDevice(rng=5).run_capture(sample(), 10.0, rng=np.random.default_rng(7))
+        b = MedSenDevice(rng=5).run_capture(sample(), 10.0, rng=np.random.default_rng(7))
+        assert np.allclose(a.trace.voltages, b.trace.voltages)
+        assert a.ground_truth.arrived_counts == b.ground_truth.arrived_counts

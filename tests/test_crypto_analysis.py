@@ -1,0 +1,98 @@
+"""Security accounting: key spaces, entropy, count confusion."""
+
+import math
+
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.crypto.analysis import (
+    ciphertext_count_candidates,
+    count_confusion_bits,
+    epoch_key_entropy_bits,
+    keyspace_size,
+    possible_multiplication_factors,
+    subset_count,
+)
+
+
+class TestSubsetCount:
+    def test_all_subsets(self):
+        # All non-empty subsets of 9 electrodes.
+        assert subset_count(9) == 2**9 - 1
+
+    def test_size_bounds(self):
+        assert subset_count(4, min_active=2, max_active=2) == 6  # C(4,2)
+
+    def test_non_consecutive_counts(self):
+        # Non-adjacent k-subsets of n: C(n-k+1, k).
+        assert subset_count(9, min_active=2, max_active=2, avoid_consecutive=True) == math.comb(8, 2)
+        assert subset_count(9, min_active=5, max_active=5, avoid_consecutive=True) == 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            subset_count(9, min_active=0)
+        with pytest.raises(ValidationError):
+            subset_count(9, min_active=5, max_active=3)
+
+
+class TestKeyspace:
+    def test_keyspace_size_structure(self):
+        size = keyspace_size(4, 2, 3)
+        assert size == (2**4 - 1) * (2**4) * 3
+
+    def test_entropy_bits(self):
+        bits = epoch_key_entropy_bits(9, 16, 16)
+        expected = math.log2((2**9 - 1) * 16**9 * 16)
+        assert bits == pytest.approx(expected)
+
+    def test_paper_scale_entropy(self):
+        # 16 electrodes, 16 gains, 16 flows: > 80 bits per epoch.
+        assert epoch_key_entropy_bits(16, 16, 16) > 80
+
+    def test_avoiding_consecutive_shrinks_keyspace(self):
+        full = keyspace_size(9, 16, 16)
+        mitigated = keyspace_size(9, 16, 16, max_active=5, avoid_consecutive=True)
+        assert mitigated < full
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValidationError):
+            keyspace_size(9, 0, 16)
+
+
+class TestMultiplicationFactors:
+    def test_nine_output_factors(self):
+        factors = possible_multiplication_factors(9)
+        assert min(factors) == 1  # lead only
+        assert max(factors) == 17  # all nine
+        assert 2 in factors and 16 in factors
+
+    def test_factor_structure(self):
+        # With k active: 2k (needs k non-lead outputs) or 2k-1 (lead in).
+        # n=3 has only 2 non-lead outputs, so 6 = 2*3 is impossible.
+        factors = possible_multiplication_factors(3)
+        assert factors == [1, 2, 3, 4, 5]
+
+    def test_single_electrode_array(self):
+        # Only the lead exists.
+        assert possible_multiplication_factors(1) == [1]
+
+
+class TestCountCandidates:
+    def test_candidates_cover_truth(self):
+        # 60 observed peaks on a 9-output array: every divisor estimate.
+        candidates = ciphertext_count_candidates(60, 9)
+        for m in possible_multiplication_factors(9):
+            assert round(60 / m) in candidates
+
+    def test_confusion_grows_with_count(self):
+        low = count_confusion_bits(5, 9)
+        high = count_confusion_bits(500, 9)
+        assert high > low
+
+    def test_zero_observed(self):
+        assert ciphertext_count_candidates(0, 9) == [0]
+        assert count_confusion_bits(0, 9) == 0.0
+
+    def test_negative_observed_rejected(self):
+        with pytest.raises(ValidationError):
+            ciphertext_count_candidates(-1, 9)

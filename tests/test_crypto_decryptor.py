@@ -1,0 +1,170 @@
+"""Decryptor: count, amplitude and width recovery through the full chain."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import DecryptionError
+from repro.crypto.decryptor import SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.dsp.peakdetect import PeakDetector, PeakReport
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles import BEAD_3P58, BEAD_7P8
+from repro.particles.sample import Particle
+from repro.physics.lockin import LockInAmplifier
+from repro.physics.noise import QUIET
+
+CARRIERS = (500e3, 2500e3)
+
+
+def build_chain(array9, per_epoch, epoch_s=5.0, noise=QUIET):
+    epochs = tuple(EpochKey(frozenset(a), tuple(g), f) for a, g, f in per_epoch)
+    schedule = KeySchedule(epoch_duration_s=epoch_s, epochs=epochs)
+    plan = EncryptionPlan(schedule, array9, GainTable(), FlowSpeedTable())
+    lockin = LockInAmplifier(carrier_frequencies_hz=CARRIERS)
+    encryptor = SignalEncryptor(carrier_frequencies_hz=CARRIERS)
+    front_end = AcquisitionFrontEnd(lockin=lockin, noise=noise)
+    return plan, encryptor, front_end
+
+
+def run_chain(plan, encryptor, front_end, arrivals, duration):
+    events = encryptor.events_for_arrivals(arrivals, plan)
+    trace = front_end.acquire(events, duration, rng=0)
+    report = PeakDetector().detect(trace.voltages, trace.sampling_rate_hz)
+    return SignalDecryptor(plan=plan).decrypt(report)
+
+
+def velocity_for(flow_level):
+    channel = MicrofluidicChannel()
+    return channel.velocity_for_flow_rate(FlowSpeedTable().rate_for_level(flow_level))
+
+
+def bead(kind=BEAD_7P8):
+    return Particle(kind, kind.diameter_m)
+
+
+class TestCountRecovery:
+    def test_single_particle_single_electrode(self, array9):
+        plan, enc, fe = build_chain(array9, [({9}, (8,) * 9, 8)])
+        result = run_chain(plan, enc, fe, [ParticleArrival(1.0, bead(), velocity_for(8))], 5.0)
+        assert result.total_count == 1
+        assert result.observed_peak_count == 1
+
+    def test_multiplied_peaks_divided_back(self, array9):
+        plan, enc, fe = build_chain(array9, [({9, 2, 4, 6}, (8,) * 9, 8)])
+        v = velocity_for(8)
+        arrivals = [ParticleArrival(t, bead(), v) for t in (0.5, 2.0, 3.5)]
+        result = run_chain(plan, enc, fe, arrivals, 5.0)
+        assert result.observed_peak_count == 3 * 7
+        assert result.total_count == 3
+
+    def test_all_electrodes_17_to_1(self, array9):
+        plan, enc, fe = build_chain(array9, [(set(range(1, 10)), (8,) * 9, 8)])
+        result = run_chain(plan, enc, fe, [ParticleArrival(1.0, bead(), velocity_for(8))], 5.0)
+        assert result.observed_peak_count == 17
+        assert result.total_count == 1
+
+    def test_counts_across_epochs_with_different_keys(self, array9):
+        per_epoch = [({9}, (8,) * 9, 8), ({2, 5, 8}, (8,) * 9, 8)]
+        plan, enc, fe = build_chain(array9, per_epoch, epoch_s=5.0)
+        arrivals = [
+            ParticleArrival(1.0, bead(), velocity_for(8)),
+            ParticleArrival(2.5, bead(), velocity_for(8)),
+            ParticleArrival(6.0, bead(), velocity_for(8)),
+        ]
+        result = run_chain(plan, enc, fe, arrivals, 10.0)
+        assert result.epoch_counts == (2, 1)
+
+    def test_epoch_straddling_particle_counted_once(self, array9):
+        # Particle arrives just before the boundary; its dips spill into
+        # the next epoch but belong to the arrival epoch's key.
+        per_epoch = [({1, 5, 9}, (8,) * 9, 8), ({2, 7}, (8,) * 9, 8)]
+        plan, enc, fe = build_chain(array9, per_epoch, epoch_s=5.0)
+        arrivals = [ParticleArrival(4.95, bead(), velocity_for(8))]
+        result = run_chain(plan, enc, fe, arrivals, 10.0)
+        assert result.total_count == 1
+
+    def test_empty_report(self, array9):
+        plan, enc, fe = build_chain(array9, [({9}, (8,) * 9, 8)])
+        result = run_chain(plan, enc, fe, [], 5.0)
+        assert result.total_count == 0
+        assert result.particles == ()
+
+    def test_report_longer_than_schedule_rejected(self, array9):
+        plan, _, _ = build_chain(array9, [({9}, (8,) * 9, 8)], epoch_s=1.0)
+        report = PeakReport((), 10.0, 450.0, 0)
+        with pytest.raises(DecryptionError):
+            SignalDecryptor(plan=plan).decrypt(report)
+
+
+class TestAmplitudeRecovery:
+    def test_gain_inversion(self, array9):
+        gains = (3, 12, 7, 0, 15, 9, 4, 11, 2)
+        plan, enc, fe = build_chain(array9, [({1, 5, 9}, gains, 8)])
+        v = velocity_for(8)
+        result = run_chain(plan, enc, fe, [ParticleArrival(1.0, bead(), v)], 5.0)
+        assert len(result.clean_particles) == 1
+        recovered = result.clean_particles[0].amplitudes[0]
+        expected = float(bead().relative_drop(500e3)) * 0.99  # transduction ~0.99
+        assert recovered == pytest.approx(expected, rel=0.08)
+
+    def test_recovery_consistent_across_different_gains(self, array9):
+        v = velocity_for(8)
+        recovered = []
+        for gains in [(0,) * 9, (8,) * 9, (15,) * 9]:
+            plan, enc, fe = build_chain(array9, [({1, 5, 9}, gains, 8)])
+            result = run_chain(plan, enc, fe, [ParticleArrival(1.0, bead(), v)], 5.0)
+            recovered.append(result.clean_particles[0].amplitudes[0])
+        spread = (max(recovered) - min(recovered)) / np.mean(recovered)
+        assert spread < 0.1  # gains divided out
+
+    def test_particle_types_distinguishable_after_decryption(self, array9):
+        v = velocity_for(8)
+        plan, enc, fe = build_chain(array9, [({1, 5, 9}, (12,) * 9, 8)])
+        result = run_chain(
+            plan,
+            enc,
+            fe,
+            [
+                ParticleArrival(1.0, bead(BEAD_3P58), v),
+                ParticleArrival(3.0, bead(BEAD_7P8), v),
+            ],
+            5.0,
+        )
+        amplitudes = sorted(p.amplitudes[0] for p in result.clean_particles)
+        assert amplitudes[1] / amplitudes[0] == pytest.approx(4.0, rel=0.3)
+
+
+class TestWidthRecovery:
+    def test_width_normalised_across_flow_levels(self, array9):
+        widths = []
+        for flow_level in (0, 15):
+            plan, enc, fe = build_chain(array9, [({1, 5, 9}, (8,) * 9, flow_level)])
+            v = velocity_for(flow_level)
+            result = run_chain(plan, enc, fe, [ParticleArrival(1.0, bead(), v)], 5.0)
+            widths.append(result.clean_particles[0].width_s)
+        # After velocity normalisation both should match the reference width.
+        assert widths[0] == pytest.approx(widths[1], rel=0.25)
+
+
+class TestMergeRecovery:
+    def test_coincident_merge_credited(self, array9):
+        # Two slots with equal gains whose dips land within one sample
+        # merge into a double-depth peak; the credit should recover it.
+        plan, enc, fe = build_chain(array9, [({3, 9}, (8,) * 9, 8)])
+        v = velocity_for(8)
+        # Craft two particles so that particle B's lead-gap dip lands on
+        # particle A's electrode-3 first gap dip.
+        gap_lead = array9.gap_positions_m(9)[0]
+        gap3 = array9.gap_positions_m(3)[0]
+        offset = (gap3 - gap_lead) / v
+        arrivals = [
+            ParticleArrival(1.0, bead(), v),
+            ParticleArrival(1.0 + offset, bead(), v),
+        ]
+        result = run_chain(plan, enc, fe, arrivals, 5.0)
+        assert result.total_count == 2

@@ -1,0 +1,153 @@
+"""Signal encryptor: key application to arrivals."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowController, FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles import BEAD_7P8
+from repro.particles.sample import Particle
+
+CARRIERS = (500e3, 2500e3)
+
+
+@pytest.fixture
+def encryptor():
+    return SignalEncryptor(carrier_frequencies_hz=CARRIERS)
+
+
+def make_plan(array9, active=(9,), gains=(8,) * 9, flow=8, epoch_s=10.0, n_epochs=1,
+              per_epoch=None):
+    if per_epoch is None:
+        epochs = tuple(
+            EpochKey(frozenset(active), tuple(gains), flow) for _ in range(n_epochs)
+        )
+    else:
+        epochs = tuple(EpochKey(frozenset(a), tuple(g), f) for a, g, f in per_epoch)
+    schedule = KeySchedule(epoch_duration_s=epoch_s, epochs=epochs)
+    return EncryptionPlan(schedule, array9, GainTable(), FlowSpeedTable())
+
+
+def arrival(time_s=1.0, velocity=2.22e-3):
+    return ParticleArrival(time_s, Particle(BEAD_7P8, BEAD_7P8.diameter_m), velocity)
+
+
+class TestEncryptionPlan:
+    def test_electrode_count_mismatch_rejected(self, array9):
+        key = EpochKey(frozenset({1}), (0,) * 5, 0)
+        schedule = KeySchedule(epoch_duration_s=1.0, epochs=(key,))
+        with pytest.raises(ConfigurationError):
+            EncryptionPlan(schedule, array9, GainTable(), FlowSpeedTable())
+
+    def test_gain_level_overflow_rejected(self, array9):
+        key = EpochKey(frozenset({1}), (20,) * 9, 0)
+        schedule = KeySchedule(epoch_duration_s=1.0, epochs=(key,))
+        with pytest.raises(ConfigurationError):
+            EncryptionPlan(schedule, array9, GainTable(), FlowSpeedTable())
+
+    def test_flow_level_overflow_rejected(self, array9):
+        key = EpochKey(frozenset({1}), (0,) * 9, 20)
+        schedule = KeySchedule(epoch_duration_s=1.0, epochs=(key,))
+        with pytest.raises(ConfigurationError):
+            EncryptionPlan(schedule, array9, GainTable(), FlowSpeedTable())
+
+    def test_multiplication_factor_at(self, array9):
+        plan = make_plan(array9, active={9, 1, 2})
+        assert plan.multiplication_factor_at(0.0) == 5
+
+
+class TestEventGeneration:
+    def test_event_count_matches_factor(self, encryptor, array9):
+        plan = make_plan(array9, active={9, 1, 2})
+        events = encryptor.events_for_arrivals([arrival()], plan)
+        assert len(events) == 5  # 1 (lead) + 2 + 2
+
+    def test_all_nine_gives_17_events(self, encryptor, array9):
+        plan = make_plan(array9, active=set(range(1, 10)))
+        events = encryptor.events_for_arrivals([arrival()], plan)
+        assert len(events) == 17
+
+    def test_event_times_follow_gap_positions(self, encryptor, array9):
+        plan = make_plan(array9, active={9})
+        velocity = 2e-3
+        events = encryptor.events_for_arrivals([arrival(1.0, velocity)], plan)
+        expected = 1.0 + array9.gap_positions_m(9)[0] / velocity
+        assert events[0].center_s == pytest.approx(expected)
+
+    def test_gain_scales_amplitudes(self, encryptor, array9):
+        low = make_plan(array9, active={9}, gains=(0,) * 9)
+        high = make_plan(array9, active={9}, gains=(15,) * 9)
+        event_low = encryptor.events_for_arrivals([arrival()], low)[0]
+        event_high = encryptor.events_for_arrivals([arrival()], high)[0]
+        table = GainTable()
+        expected_ratio = table.gain_for_level(15) / table.gain_for_level(0)
+        assert event_high.amplitudes[0] / event_low.amplitudes[0] == pytest.approx(
+            expected_ratio
+        )
+
+    def test_width_set_by_velocity(self, encryptor, array9):
+        plan = make_plan(array9)
+        slow = encryptor.events_for_arrivals([arrival(1.0, 1e-3)], plan)[0]
+        fast = encryptor.events_for_arrivals([arrival(1.0, 4e-3)], plan)[0]
+        assert slow.width_s == pytest.approx(4 * fast.width_s)
+
+    def test_key_of_arrival_epoch_applies(self, encryptor, array9):
+        plan = make_plan(
+            array9,
+            epoch_s=5.0,
+            per_epoch=[
+                ({9}, (0,) * 9, 0),
+                ({1, 3, 5}, (0,) * 9, 0),
+            ],
+        )
+        first = encryptor.events_for_arrivals([arrival(1.0)], plan)
+        second = encryptor.events_for_arrivals([arrival(6.0)], plan)
+        assert len(first) == 1
+        assert len(second) == 6
+
+    def test_events_sorted_by_time(self, encryptor, array9):
+        plan = make_plan(array9, active={1, 5, 9})
+        events = encryptor.events_for_arrivals([arrival(2.0), arrival(1.0)], plan)
+        centers = [e.center_s for e in events]
+        assert centers == sorted(centers)
+
+    def test_amplitudes_per_carrier_dispersion(self, encryptor, array9):
+        from repro.particles import BLOOD_CELL
+
+        plan = make_plan(array9, active={9}, gains=(8,) * 9)
+        cell_arrival = ParticleArrival(1.0, Particle(BLOOD_CELL, BLOOD_CELL.diameter_m), 2e-3)
+        event = encryptor.events_for_arrivals([cell_arrival], plan)[0]
+        # Blood cell: 2500 kHz response well below 500 kHz (membrane).
+        assert event.amplitudes[1] < 0.7 * event.amplitudes[0]
+
+
+class TestPlaintextMode:
+    def test_single_event_per_particle(self, encryptor, array9):
+        events = encryptor.plaintext_events([arrival(), arrival(2.0)], array9)
+        assert len(events) == 2
+        assert all(e.electrode_index == array9.lead_electrode for e in events)
+
+    def test_unit_gain(self, encryptor, array9):
+        plain = encryptor.plaintext_events([arrival()], array9)[0]
+        plan = make_plan(array9, active={9}, gains=(GainTable().level_for_gain(1.0),) * 9)
+        keyed = encryptor.events_for_arrivals([arrival()], plan)[0]
+        assert plain.amplitudes[0] == pytest.approx(keyed.amplitudes[0], rel=0.05)
+
+
+class TestPlanFlow:
+    def test_flow_commands_follow_schedule(self, encryptor, array9):
+        plan = make_plan(
+            array9,
+            epoch_s=5.0,
+            per_epoch=[({9}, (0,) * 9, 0), ({9}, (0,) * 9, 15)],
+        )
+        flow = FlowController()
+        encryptor.plan_flow(plan, flow)
+        table = FlowSpeedTable()
+        assert flow.rate_at(1.0) == pytest.approx(table.rate_for_level(0))
+        assert flow.rate_at(6.0) == pytest.approx(table.rate_for_level(15))

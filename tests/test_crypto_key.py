@@ -1,0 +1,161 @@
+"""Key material: gains table, epoch keys, schedules, Eq. 2."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.crypto.gains import GainTable
+from repro.crypto.key import (
+    EpochKey,
+    KeySchedule,
+    eq1_ideal_key_length_bits,
+    eq2_bits_per_unit,
+    eq2_key_length_bits,
+)
+
+
+class TestGainTable:
+    def test_paper_defaults(self, gain_table):
+        assert gain_table.n_levels == 16
+        assert gain_table.resolution_bits == 4
+
+    def test_range_endpoints(self, gain_table):
+        assert gain_table.gain_for_level(0) == pytest.approx(gain_table.min_gain)
+        assert gain_table.gain_for_level(15) == pytest.approx(gain_table.max_gain)
+
+    def test_geometric_spacing(self, gain_table):
+        gains = gain_table.all_gains()
+        ratios = [b / a for a, b in zip(gains, gains[1:])]
+        assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)
+
+    def test_span_covers_particle_spread(self, gain_table):
+        # §VI-B: peaks span ~4x; masking needs span_ratio >= 4.
+        assert gain_table.span_ratio >= 4.0
+
+    def test_level_roundtrip(self, gain_table):
+        for level in range(16):
+            assert gain_table.level_for_gain(gain_table.gain_for_level(level)) == level
+
+    def test_out_of_range_level(self, gain_table):
+        with pytest.raises(ConfigurationError):
+            gain_table.gain_for_level(16)
+
+
+class TestEpochKey:
+    def make(self, active={1, 3}, gains=(0,) * 9, flow=0):
+        return EpochKey(frozenset(active), tuple(gains), flow)
+
+    def test_valid_key(self):
+        key = self.make()
+        assert key.n_electrodes == 9
+        assert key.active_electrodes == frozenset({1, 3})
+
+    def test_empty_active_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(active=set())
+
+    def test_out_of_range_electrode_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(active={10})
+        with pytest.raises(ValidationError):
+            self.make(active={0})
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValidationError):
+            EpochKey(frozenset({1}), (-1,) * 9, 0)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(flow=-1)
+
+    def test_gain_level_lookup(self):
+        key = EpochKey(frozenset({2}), (5, 7, 9), 0)
+        assert key.gain_level_for(2) == 7
+        with pytest.raises(ValidationError):
+            key.gain_level_for(4)
+
+    def test_consecutive_detection(self):
+        assert self.make(active={3, 4}).has_consecutive_electrodes()
+        assert not self.make(active={3, 5}).has_consecutive_electrodes()
+
+    def test_bitmask(self):
+        key = self.make(active={1, 3})
+        assert key.electrodes_bitmask() == 0b101
+
+
+class TestKeySchedule:
+    def make_schedule(self, n_epochs=5, epoch_s=1.0):
+        epochs = tuple(
+            EpochKey(frozenset({1 + (i % 3)}), (0,) * 9, i % 4) for i in range(n_epochs)
+        )
+        return KeySchedule(epoch_duration_s=epoch_s, epochs=epochs)
+
+    def test_duration(self):
+        assert self.make_schedule(5, 2.0).duration_s == 10.0
+
+    def test_key_lookup_by_time(self):
+        schedule = self.make_schedule(5, 1.0)
+        assert schedule.key_at(0.0) is schedule.epochs[0]
+        assert schedule.key_at(2.5) is schedule.epochs[2]
+        assert schedule.key_at(4.999) is schedule.epochs[4]
+
+    def test_time_beyond_schedule_rejected(self):
+        schedule = self.make_schedule(5, 1.0)
+        with pytest.raises(ConfigurationError):
+            schedule.key_at(5.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make_schedule().key_at(-0.1)
+
+    def test_epoch_bounds(self):
+        schedule = self.make_schedule(5, 2.0)
+        assert schedule.epoch_bounds(1) == (2.0, 4.0)
+        with pytest.raises(ValidationError):
+            schedule.epoch_bounds(5)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValidationError):
+            KeySchedule(epoch_duration_s=1.0, epochs=())
+
+    def test_mixed_electrode_counts_rejected(self):
+        epochs = (
+            EpochKey(frozenset({1}), (0,) * 9, 0),
+            EpochKey(frozenset({1}), (0,) * 5, 0),
+        )
+        with pytest.raises(ValidationError):
+            KeySchedule(epoch_duration_s=1.0, epochs=epochs)
+
+    def test_length_bits_accounting(self):
+        schedule = self.make_schedule(10, 1.0)
+        # Per epoch: 9 + 4*4 + 4 = 29 bits under Eq. 2 accounting.
+        assert schedule.length_bits(4, 4) == 10 * (9 + 4 * 4 + 4)
+
+
+class TestEq2:
+    def test_paper_headline_number(self):
+        # §VI-B: 20K cells, 16 electrodes, 4-bit gains, 4-bit flow
+        # -> 20K * (16 + 8*4 + 4) = 1,040,000 bits (~0.12 MB).
+        bits = eq2_key_length_bits(20_000, 16, 4, 4)
+        assert bits == 1_040_000
+        assert bits / 8 / 1e6 == pytest.approx(0.13, abs=0.01)
+
+    def test_bits_per_unit(self):
+        assert eq2_bits_per_unit(16, 4, 4) == 52
+
+    def test_linear_in_cells(self):
+        # §IV-A: "the key length varies linearly as function of the
+        # number of cells".
+        assert eq1_ideal_key_length_bits(2000, 16, 4, 4) * 10 == eq1_ideal_key_length_bits(
+            20000, 16, 4, 4
+        )
+
+    def test_zero_cells(self):
+        assert eq1_ideal_key_length_bits(0, 16, 4, 4) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            eq1_ideal_key_length_bits(-1, 16, 4, 4)
+        with pytest.raises(ValidationError):
+            eq2_bits_per_unit(0, 4, 4)
+        with pytest.raises(ValidationError):
+            eq2_bits_per_unit(16, -1, 4)

@@ -1,0 +1,132 @@
+"""Entropy source and key-schedule generation."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.crypto.gains import GainTable
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.flow import FlowSpeedTable
+
+
+class TestEntropySource:
+    def test_randint_range(self):
+        entropy = EntropySource(rng=0)
+        draws = {entropy.randint(6) for _ in range(200)}
+        assert draws == {0, 1, 2, 3, 4, 5}
+
+    def test_bits_metered(self):
+        entropy = EntropySource(rng=0)
+        entropy.randint(16)  # 4 bits
+        entropy.randint(2)  # 1 bit
+        assert entropy.bits_consumed == 5
+
+    def test_single_value_free(self):
+        entropy = EntropySource(rng=0)
+        assert entropy.randint(1) == 0
+        assert entropy.bits_consumed == 0
+
+    def test_random_bits(self):
+        entropy = EntropySource(rng=0)
+        value = entropy.random_bits(10)
+        assert 0 <= value < 1024
+        assert entropy.bits_consumed == 10
+
+    def test_shuffle_permutation(self):
+        entropy = EntropySource(rng=1)
+        items = list(range(10))
+        entropy.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+    def test_deterministic(self):
+        a = EntropySource(rng=5)
+        b = EntropySource(rng=5)
+        assert [a.randint(100) for _ in range(10)] == [b.randint(100) for _ in range(10)]
+
+    def test_invalid_requests(self):
+        entropy = EntropySource(rng=0)
+        with pytest.raises(ConfigurationError):
+            entropy.randint(0)
+        with pytest.raises(ConfigurationError):
+            entropy.random_bits(-1)
+
+
+class TestKeyGenerator:
+    def make(self, **kw):
+        return KeyGenerator(n_electrodes=9, **kw)
+
+    def test_epoch_keys_valid(self):
+        generator = self.make()
+        entropy = EntropySource(rng=0)
+        for _ in range(100):
+            key = generator.draw_epoch_key(entropy)
+            assert 1 <= len(key.active_electrodes) <= 9
+            assert len(key.gain_levels) == 9
+            assert all(0 <= g < 16 for g in key.gain_levels)
+            assert 0 <= key.flow_level < 16
+
+    def test_schedule_covers_duration(self):
+        generator = self.make()
+        schedule = generator.generate_schedule(10.5, 2.0, EntropySource(rng=0))
+        assert schedule.n_epochs == 6  # ceil(10.5 / 2)
+        assert schedule.duration_s >= 10.5
+
+    def test_keys_vary_across_epochs(self):
+        generator = self.make()
+        schedule = generator.generate_schedule(50.0, 1.0, EntropySource(rng=0))
+        masks = {epoch.electrodes_bitmask() for epoch in schedule.epochs}
+        assert len(masks) > 5
+
+    def test_active_bounds_respected(self):
+        generator = self.make(min_active=2, max_active=3)
+        entropy = EntropySource(rng=0)
+        for _ in range(100):
+            key = generator.draw_epoch_key(entropy)
+            assert 2 <= len(key.active_electrodes) <= 3
+
+    def test_avoid_consecutive_numeric(self):
+        generator = self.make(avoid_consecutive=True, max_active=5)
+        entropy = EntropySource(rng=0)
+        for _ in range(200):
+            key = generator.draw_epoch_key(entropy)
+            ordered = sorted(key.active_electrodes)
+            assert all(b - a > 1 for a, b in zip(ordered, ordered[1:]))
+
+    def test_avoid_consecutive_with_position_order(self):
+        array = standard_array(9)
+        generator = self.make(
+            avoid_consecutive=True, max_active=5, position_order=array.position_order
+        )
+        entropy = EntropySource(rng=0)
+        for _ in range(200):
+            key = generator.draw_epoch_key(entropy)
+            assert not array.has_adjacent_active(key.active_electrodes)
+
+    def test_avoid_consecutive_impossible_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(avoid_consecutive=True, max_active=6)
+
+    def test_invalid_position_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(position_order=(1, 2, 3))
+
+    def test_uniformity_of_subsets(self):
+        # Every electrode should be active with comparable frequency.
+        generator = self.make()
+        entropy = EntropySource(rng=7)
+        counts = np.zeros(9)
+        n = 3000
+        for _ in range(n):
+            key = generator.draw_epoch_key(entropy)
+            for electrode in key.active_electrodes:
+                counts[electrode - 1] += 1
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_entropy_consumption_scales_with_epochs(self):
+        generator = self.make()
+        entropy = EntropySource(rng=0)
+        generator.generate_schedule(10.0, 1.0, entropy)
+        after_ten = entropy.bits_consumed
+        generator.generate_schedule(10.0, 1.0, entropy)
+        assert entropy.bits_consumed == pytest.approx(2 * after_ten, rel=0.2)

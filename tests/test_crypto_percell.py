@@ -1,0 +1,113 @@
+"""The Eq. 1 per-cell cipher: correctness when separated, failure when not."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.crypto.keygen import EntropySource
+from repro.crypto.percell import (
+    PerCellDecryptor,
+    PerCellEncryptor,
+    generate_percell_plan,
+)
+from repro.dsp.peakdetect import PeakDetector
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles import BEAD_7P8
+from repro.particles.sample import Particle
+from repro.physics.lockin import LockInAmplifier
+from repro.physics.noise import QUIET
+
+CARRIERS = (500e3, 2500e3)
+VELOCITY = MicrofluidicChannel().velocity_for_flow_rate(0.08)
+
+
+def run_percell(arrival_times, n_keys=None, seed=0, duration=None):
+    array = standard_array(9)
+    n_keys = n_keys if n_keys is not None else len(arrival_times)
+    plan = generate_percell_plan(n_keys, array, EntropySource(rng=seed))
+    arrivals = [
+        ParticleArrival(t, Particle(BEAD_7P8, BEAD_7P8.diameter_m), VELOCITY)
+        for t in arrival_times
+    ]
+    encryptor = PerCellEncryptor(carrier_frequencies_hz=CARRIERS)
+    events = encryptor.events_for_arrivals(arrivals, plan)
+    duration = duration or (max(arrival_times) + 1.0)
+    lockin = LockInAmplifier(carrier_frequencies_hz=CARRIERS)
+    front_end = AcquisitionFrontEnd(lockin=lockin, noise=QUIET)
+    trace = front_end.acquire(events, duration, rng=0)
+    report = PeakDetector().detect(trace.voltages, trace.sampling_rate_hz)
+    decryptor = PerCellDecryptor(plan=plan)
+    return plan, events, report, decryptor.decrypt(report)
+
+
+class TestPlan:
+    def test_one_key_per_cell(self):
+        plan = generate_percell_plan(5, standard_array(9), EntropySource(rng=0))
+        assert plan.n_keys == 5
+        masks = {key.electrodes_bitmask() for key in plan.keys}
+        assert len(masks) > 1  # keys actually vary
+
+    def test_length_bits_matches_eq2(self):
+        plan = generate_percell_plan(100, standard_array(9), EntropySource(rng=0))
+        # 9 + 4*4 + 4 = 29 bits per key under Eq. 2 accounting.
+        assert plan.length_bits() == 100 * 29
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_percell_plan(0, standard_array(9), EntropySource(rng=0))
+
+
+class TestSeparatedParticles:
+    def test_each_particle_gets_its_own_key(self):
+        times = [1.0, 3.0, 5.0]
+        plan, events, report, result = run_percell(times)
+        # Every particle's event count matches its own key's factor.
+        from repro.physics.peaks import events_per_particle
+
+        groups = events_per_particle(events)
+        for index, key in enumerate(plan.keys[:3]):
+            m = plan.array.multiplication_factor(key.active_electrodes)
+            assert len(groups[index]) == m
+
+    def test_count_and_features_recovered(self):
+        times = [1.0, 3.0, 5.0, 7.0]
+        plan, events, report, result = run_percell(times)
+        assert result.total_count == 4
+        assert len(result.clean_particles) == 4
+        # Gain inversion: all four recovered amplitudes agree (same bead).
+        amplitudes = [p.amplitudes[0] for p in result.clean_particles]
+        spread = (max(amplitudes) - min(amplitudes)) / np.mean(amplitudes)
+        assert spread < 0.15
+
+    def test_more_particles_than_keys_rejected(self):
+        array = standard_array(9)
+        plan = generate_percell_plan(1, array, EntropySource(rng=0))
+        arrivals = [
+            ParticleArrival(t, Particle(BEAD_7P8, BEAD_7P8.diameter_m), VELOCITY)
+            for t in (1.0, 2.0)
+        ]
+        encryptor = PerCellEncryptor(carrier_frequencies_hz=CARRIERS)
+        with pytest.raises(ConfigurationError):
+            encryptor.events_for_arrivals(arrivals, plan)
+
+
+class TestOverlapFailureMode:
+    def test_coincident_particles_degrade_recovery(self):
+        """The paper's stated reason for rejecting Eq. 1: simultaneous
+        particles break per-cell key alignment."""
+        # Two particles inside the array span at the same time.
+        close = [1.0, 1.05]
+        apart = [1.0, 3.0]
+        _, _, _, result_close = run_percell(close, seed=4)
+        _, _, _, result_apart = run_percell(apart, seed=4)
+        clean_close = len(result_close.clean_particles)
+        clean_apart = len(result_apart.clean_particles)
+        assert clean_apart == 2
+        # Overlap costs clean recoveries and/or produces anomalies.
+        assert (
+            clean_close < clean_apart
+            or result_close.anomalous_groups > result_apart.anomalous_groups
+        )

@@ -1,0 +1,141 @@
+"""Plan serialization and practitioner key sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.errors import DecryptionError, IntegrityError, ValidationError
+from repro.crypto.encryptor import EncryptionPlan
+from repro.crypto.gains import GainTable
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.crypto.keyshare import PractitionerPortal, open_plan, seal_plan
+from repro.crypto.serialization import plan_from_bytes, plan_to_bytes
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.flow import FlowSpeedTable
+
+
+def make_plan(seed=0, n_epochs=10, n_outputs=9):
+    array = standard_array(n_outputs)
+    generator = KeyGenerator(n_electrodes=n_outputs)
+    schedule = generator.generate_schedule(
+        float(n_epochs), 1.0, EntropySource(rng=seed)
+    )
+    return EncryptionPlan(schedule, array, GainTable(), FlowSpeedTable())
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        plan = make_plan(seed=3)
+        recovered = plan_from_bytes(plan_to_bytes(plan))
+        assert recovered.schedule.epoch_duration_s == plan.schedule.epoch_duration_s
+        assert recovered.schedule.n_epochs == plan.schedule.n_epochs
+        for a, b in zip(recovered.schedule.epochs, plan.schedule.epochs):
+            assert a.active_electrodes == b.active_electrodes
+            assert a.gain_levels == b.gain_levels
+            assert a.flow_level == b.flow_level
+        assert recovered.array.n_outputs == plan.array.n_outputs
+        assert recovered.gain_table.n_levels == plan.gain_table.n_levels
+        assert recovered.flow_table.max_rate_ul_min == pytest.approx(
+            plan.flow_table.max_rate_ul_min
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, seed):
+        plan = make_plan(seed=seed, n_epochs=5)
+        recovered = plan_from_bytes(plan_to_bytes(plan))
+        assert [e.electrodes_bitmask() for e in recovered.schedule.epochs] == [
+            e.electrodes_bitmask() for e in plan.schedule.epochs
+        ]
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(plan_to_bytes(make_plan()))
+        blob[0] = ord("X")
+        with pytest.raises(ValidationError, match="magic"):
+            plan_from_bytes(bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        blob = plan_to_bytes(make_plan())
+        with pytest.raises(ValidationError):
+            plan_from_bytes(blob[:-3])
+        with pytest.raises(ValidationError):
+            plan_from_bytes(blob[:10])
+
+
+class TestSealing:
+    SECRET = b"pipette-box-secret-0042"
+
+    def test_seal_open_roundtrip(self):
+        plan = make_plan(seed=5)
+        blob = seal_plan(plan, self.SECRET)
+        recovered = open_plan(blob, self.SECRET)
+        assert recovered.schedule.n_epochs == plan.schedule.n_epochs
+
+    def test_ciphertext_differs_from_plaintext(self):
+        plan = make_plan(seed=5)
+        sealed = seal_plan(plan, self.SECRET, nonce=b"\x01" * 16)
+        assert plan_to_bytes(plan) not in sealed
+
+    def test_wrong_secret_rejected(self):
+        blob = seal_plan(make_plan(), self.SECRET)
+        with pytest.raises(IntegrityError):
+            open_plan(blob, b"wrong-secret")
+
+    def test_tampered_blob_rejected(self):
+        blob = bytearray(seal_plan(make_plan(), self.SECRET))
+        blob[20] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            open_plan(bytes(blob), self.SECRET)
+
+    def test_fresh_nonces_give_distinct_blobs(self):
+        plan = make_plan()
+        assert seal_plan(plan, self.SECRET) != seal_plan(plan, self.SECRET)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValidationError):
+            seal_plan(make_plan(), b"")
+        with pytest.raises(ValidationError):
+            open_plan(b"x" * 64, b"")
+
+
+class TestPractitionerPortal:
+    SECRET = b"practitioner-shared-secret"
+
+    def test_end_to_end_record_review(self):
+        """Patient device -> cloud record -> practitioner decryption."""
+        from repro import CytoIdentifier, MedSenSession, Sample
+        from repro.particles import BLOOD_CELL
+
+        session = MedSenSession(rng=400)
+        identifier = CytoIdentifier(session.config.alphabet, (1, 2))
+        session.authenticator.register("pat", identifier)
+        blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+        result = session.run_diagnostic(blood, identifier, duration_s=60.0, rng=8)
+
+        # The controller seals its plan for the practitioner (a trusted
+        # party; export_schedule would also allow this).
+        plan = session.device.controller._plan  # within-TCB access
+        portal = PractitionerPortal(secret=self.SECRET)
+        portal.receive_sealed_plan(seal_plan(plan, self.SECRET))
+
+        review = portal.review_latest(session.store, result.record_key)
+        assert review.total_count == result.decryption.total_count
+
+    def test_wrong_plan_raises(self):
+        from repro.cloud.storage import RecordStore
+        from repro.dsp.peakdetect import PeakReport
+
+        portal = PractitionerPortal(secret=self.SECRET)
+        short_plan = make_plan(n_epochs=2)  # covers 2 s only
+        portal.receive_sealed_plan(seal_plan(short_plan, self.SECRET))
+        store = RecordStore()
+        store.store("id", PeakReport((), 100.0, 450.0, 0))
+        with pytest.raises(DecryptionError):
+            portal.review_latest(store, "id")
+
+    def test_portal_counts_plans(self):
+        portal = PractitionerPortal(secret=self.SECRET)
+        assert portal.n_plans == 0
+        portal.receive_sealed_plan(seal_plan(make_plan(), self.SECRET))
+        assert portal.n_plans == 1

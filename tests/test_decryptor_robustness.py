@@ -1,0 +1,105 @@
+"""Decryptor robustness: malformed and adversarial peak reports.
+
+The peak report crosses a trust boundary (untrusted cloud → controller),
+so the decryptor must behave sanely on garbage: out-of-order peaks,
+absurd widths, peaks outside any epoch, and floods of spurious peaks
+must never crash the TCB or produce negative counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.decryptor import SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.dsp.peakdetect import DetectedPeak, PeakReport
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.flow import FlowSpeedTable
+
+
+def make_plan(n_epochs=5, epoch_s=2.0):
+    epochs = tuple(
+        EpochKey(frozenset({9, 1 + (i % 4) * 2}), tuple((i + j) % 16 for j in range(9)), i % 16)
+        for i in range(n_epochs)
+    )
+    schedule = KeySchedule(epoch_duration_s=epoch_s, epochs=epochs)
+    return EncryptionPlan(schedule, standard_array(9), GainTable(), FlowSpeedTable())
+
+
+def peak(time_s, depth=0.01, width_s=0.01):
+    return DetectedPeak(
+        time_s=time_s,
+        depth=depth,
+        width_s=width_s,
+        amplitudes=np.array([depth, depth / 2]),
+        sample_index=int(time_s * 450),
+    )
+
+
+def decrypt(peaks, duration_s=10.0):
+    plan = make_plan()
+    report = PeakReport(tuple(peaks), duration_s, 450.0, 0)
+    return SignalDecryptor(plan=plan).decrypt(report)
+
+
+class TestMalformedReports:
+    def test_unordered_peaks_handled(self):
+        result = decrypt([peak(5.0), peak(1.0), peak(3.0)])
+        assert result.total_count >= 0
+        assert result.observed_peak_count == 3
+
+    def test_duplicate_timestamps(self):
+        result = decrypt([peak(2.0), peak(2.0), peak(2.0)])
+        assert result.total_count >= 0
+
+    def test_extreme_widths(self):
+        result = decrypt([peak(2.0, width_s=5.0), peak(4.0, width_s=1e-6)])
+        assert result.total_count >= 0
+        for particle in result.particles:
+            assert np.isfinite(particle.width_s)
+
+    def test_tiny_and_huge_depths(self):
+        result = decrypt([peak(1.0, depth=1e-9), peak(3.0, depth=0.5)])
+        for particle in result.particles:
+            assert np.all(np.isfinite(particle.amplitudes))
+
+    def test_peak_exactly_at_schedule_end(self):
+        result = decrypt([peak(10.0 - 1e-9)])
+        assert result.total_count >= 0
+
+    def test_spurious_flood(self):
+        # 500 random peaks: must terminate and stay non-negative.
+        rng = np.random.default_rng(0)
+        peaks = [peak(float(t)) for t in np.sort(rng.uniform(0, 9.99, 500))]
+        result = decrypt(peaks)
+        assert result.total_count >= 0
+        assert result.anomalous_groups >= 0
+
+    def test_empty_epochs_count_zero(self):
+        result = decrypt([peak(0.5)])
+        assert sum(result.epoch_counts[1:]) == 0
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=9.99, allow_nan=False),
+        min_size=0,
+        max_size=40,
+    ),
+    depths=st.lists(
+        st.floats(min_value=1e-6, max_value=0.1, allow_nan=False),
+        min_size=0,
+        max_size=40,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_decrypt_never_crashes_on_arbitrary_reports(times, depths):
+    n = min(len(times), len(depths))
+    peaks = [peak(t, depth=d) for t, d in zip(times[:n], depths[:n])]
+    result = decrypt(peaks)
+    assert result.total_count >= 0
+    assert len(result.particles) <= max(n, 1)
+    assert result.observed_peak_count == n

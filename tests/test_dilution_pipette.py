@@ -1,0 +1,134 @@
+"""Dilution series planning and pipette manufacturing."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.auth.alphabet import DEFAULT_ALPHABET
+from repro.auth.identifier import CytoIdentifier
+from repro.auth.pipette import LinkagePolicy, PipetteBatch, provision_batches
+from repro.microfluidics.dilution import DilutionSeries
+from repro.particles import BEAD_3P58, BEAD_7P8, Sample
+
+
+@pytest.fixture
+def stock():
+    return Sample.from_concentrations({BEAD_7P8: 8000.0}, volume_ul=100.0)
+
+
+class TestDilutionSeries:
+    def test_expected_concentrations_ladder(self, stock):
+        series = DilutionSeries(factors=(1.0, 2.0, 4.0))
+        ladder = series.expected_concentrations(stock, BEAD_7P8)
+        assert ladder == [8000.0, 4000.0, 2000.0]
+
+    def test_execute_produces_all_steps(self, stock, rng):
+        series = DilutionSeries()
+        steps = series.execute(stock, rng=rng)
+        assert len(steps) == series.n_steps
+        for step in steps:
+            assert step.sample.volume_ul == pytest.approx(series.aliquot_volume_ul)
+
+    def test_concentrations_follow_factors(self, stock, rng):
+        series = DilutionSeries(factors=(1.0, 4.0, 16.0), pipetting_cv=0.0)
+        steps = series.execute(stock, rng=rng)
+        for step, expected in zip(
+            steps, series.expected_concentrations(stock, BEAD_7P8)
+        ):
+            measured = step.sample.concentration_per_ul(BEAD_7P8)
+            # Aliquot draws are binomial; tolerate a few percent.
+            assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_pipetting_errors_compound(self, stock):
+        sloppy = DilutionSeries(factors=(1.0, 2.0, 4.0, 8.0, 16.0), pipetting_cv=0.10)
+        errors = []
+        for seed in range(40):
+            steps = sloppy.execute(stock, rng=np.random.default_rng(seed))
+            errors.append(steps[-1].factor_error)
+        early_errors = []
+        for seed in range(40):
+            steps = sloppy.execute(stock, rng=np.random.default_rng(seed))
+            early_errors.append(steps[1].factor_error)
+        assert np.mean(errors) > np.mean(early_errors)
+
+    def test_zero_cv_exact_factors(self, stock, rng):
+        exact = DilutionSeries(factors=(1.0, 2.0, 10.0), pipetting_cv=0.0)
+        steps = exact.execute(stock, rng=rng)
+        for step in steps:
+            assert step.factor_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DilutionSeries(factors=())
+        with pytest.raises(ValidationError):
+            DilutionSeries(factors=(0.5, 2.0))
+        with pytest.raises(ValidationError):
+            DilutionSeries(factors=(2.0, 2.0))
+
+
+class TestPipetteBatch:
+    def make_batch(self, **kw):
+        identifier = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        return PipetteBatch(identifier, **kw)
+
+    def test_draws_until_empty(self):
+        batch = self.make_batch(n_pipettes=3)
+        for _ in range(3):
+            batch.draw_pipette(rng=0)
+        assert batch.remaining == 0
+        with pytest.raises(ConfigurationError, match="empty"):
+            batch.draw_pipette(rng=0)
+
+    def test_pipette_contents_near_nominal(self):
+        batch = self.make_batch(n_pipettes=100, manufacturing_cv=0.03)
+        counts = [
+            batch.draw_pipette(rng=np.random.default_rng(i)).count_of(BEAD_3P58)
+            for i in range(100)
+        ]
+        nominal = 550.0 * batch.pipette_volume_ul
+        assert np.mean(counts) == pytest.approx(nominal, rel=0.05)
+        assert np.std(counts) > 0
+
+    def test_final_volume_scaling_passthrough(self):
+        batch = self.make_batch(n_pipettes=1, manufacturing_cv=0.0)
+        pipette = batch.draw_pipette(final_volume_ul=12.0, rng=0)
+        # ~550/uL * 12 uL worth of 3.58 beads packed into 2 uL.
+        assert pipette.count_of(BEAD_3P58) == pytest.approx(6600, rel=0.15)
+
+    def test_linkable_records_policy(self):
+        per_test = self.make_batch(policy=LinkagePolicy.PER_TEST)
+        per_user = self.make_batch(policy=LinkagePolicy.PER_USER)
+        assert per_test.linkable_records(10) == 1
+        assert per_user.linkable_records(10) == 10
+
+
+class TestProvisionBatches:
+    def identifier(self):
+        return CytoIdentifier(DEFAULT_ALPHABET, (1, 2))
+
+    def test_per_user_single_batch(self):
+        batches = provision_batches(
+            self.identifier(), 12, LinkagePolicy.PER_USER, rng=0
+        )
+        assert len(batches) == 1
+        assert batches[0].n_pipettes == 12
+        assert batches[0].identifier.matches(self.identifier())
+
+    def test_per_course_blocks(self):
+        batches = provision_batches(
+            self.identifier(), 12, LinkagePolicy.PER_COURSE, tests_per_course=5, rng=0
+        )
+        assert [b.n_pipettes for b in batches] == [5, 5, 2]
+        # Fresh identifiers per course.
+        assert not batches[0].identifier.matches(batches[1].identifier)
+
+    def test_per_test_all_distinct_sizes(self):
+        batches = provision_batches(
+            self.identifier(), 6, LinkagePolicy.PER_TEST, rng=0
+        )
+        assert len(batches) == 6
+        assert all(b.n_pipettes == 1 for b in batches)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            provision_batches(self.identifier(), 0, LinkagePolicy.PER_USER)

@@ -1,0 +1,135 @@
+"""Detrending: the §VI-C piecewise second-order recipe."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.detrend import (
+    DetrendConfig,
+    global_polynomial_detrend,
+    piecewise_polynomial_detrend,
+    residual_drift,
+)
+from repro.physics.peaks import PulseEvent, synthesize_pulse_train
+
+
+def drifting_signal(n=45000, fs=450.0, seed=0):
+    """Baseline with the paper's drift phenomena plus a few dips."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / fs
+    baseline = 1.0 + 0.002 * t / t[-1] + 0.001 * np.sin(2 * np.pi * t / 40.0)
+    events = [
+        PulseEvent(center_s=c, width_s=0.02, amplitudes=np.array([0.01]))
+        for c in np.linspace(5, t[-1] - 5, 12)
+    ]
+    dips = synthesize_pulse_train(events, 1, fs, n / fs)[0]
+    return baseline * dips + rng.normal(0, 1e-4, n), events
+
+
+class TestPiecewiseDetrend:
+    def test_flat_signal_unchanged(self):
+        signal = np.ones(9000)
+        detrended = piecewise_polynomial_detrend(signal, 450.0)
+        assert np.allclose(detrended, 1.0, atol=1e-9)
+
+    def test_baseline_mean_is_one(self):
+        # Paper: "The baseline of the detrended sub-sequences has a
+        # mean value of one."
+        signal, _ = drifting_signal()
+        detrended = piecewise_polynomial_detrend(signal, 450.0)
+        assert np.median(detrended) == pytest.approx(1.0, abs=2e-4)
+
+    def test_removes_drift(self):
+        signal, _ = drifting_signal()
+        assert residual_drift(piecewise_polynomial_detrend(signal, 450.0), 450.0) < 2e-4
+
+    def test_preserves_dip_depths(self):
+        signal, events = drifting_signal()
+        detrended = piecewise_polynomial_detrend(signal, 450.0)
+        dips = 1.0 - detrended
+        fs = 450.0
+        for event in events:
+            index = int(event.center_s * fs)
+            window = dips[index - 5 : index + 6]
+            assert window.max() == pytest.approx(0.01, rel=0.15)
+
+    def test_robust_to_dense_peaks(self):
+        # A compound dip must not drag the baseline down (the robust
+        # refit exists for this).
+        fs = 450.0
+        events = [
+            PulseEvent(center_s=1.0 + i * 0.022, width_s=0.01, amplitudes=np.array([0.014]))
+            for i in range(17)
+        ]
+        signal = synthesize_pulse_train(events, 1, fs, 5.0)[0]
+        detrended = piecewise_polynomial_detrend(signal, fs)
+        # No phantom dips outside the true event window.
+        outside = np.concatenate([1.0 - detrended[: int(0.8 * fs)], 1.0 - detrended[int(1.6 * fs) :]])
+        assert outside.max() < 5e-4
+
+    def test_short_signal_handled(self):
+        signal = np.ones(10)
+        assert piecewise_polynomial_detrend(signal, 450.0).shape == (10,)
+
+    def test_empty_signal(self):
+        assert piecewise_polynomial_detrend(np.array([]), 450.0).shape == (0,)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            piecewise_polynomial_detrend(np.ones((2, 100)), 450.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            DetrendConfig(window_s=-1.0)
+        with pytest.raises(Exception):
+            DetrendConfig(overlap_fraction=0.95)
+        with pytest.raises(ValueError):
+            DetrendConfig(order=-1)
+
+
+class TestGlobalDetrendAblation:
+    """§VI-C: global low-order under-fits; piecewise wins."""
+
+    def test_global_second_order_underfits_long_record(self):
+        signal, _ = drifting_signal(n=90000)
+        piecewise = residual_drift(piecewise_polynomial_detrend(signal, 450.0), 450.0)
+        global2 = residual_drift(global_polynomial_detrend(signal, 2), 450.0)
+        assert piecewise < global2
+
+    @pytest.mark.filterwarnings("ignore:The fit may be poorly conditioned")
+    def test_high_order_plain_global_deforms_peaks(self):
+        # The paper's over-fitting concern applies to the plain
+        # least-squares fit (robust=False); a dense cluster of dips
+        # drags a high-order polynomial into the signal.
+        fs = 450.0
+        events = [
+            PulseEvent(center_s=5.0 + i * 0.05, width_s=0.02, amplitudes=np.array([0.012]))
+            for i in range(30)
+        ]
+        signal = synthesize_pulse_train(events, 1, fs, 50.0)[0]
+        high = global_polynomial_detrend(signal, 40, robust=False)
+        piecewise = piecewise_polynomial_detrend(signal, fs)
+
+        def depth_error(detrended):
+            dips = 1.0 - detrended
+            errors = []
+            for event in events:
+                index = int(event.center_s * fs)
+                errors.append(abs(dips[index - 5 : index + 6].max() - 0.012))
+            return float(np.mean(errors))
+
+        assert depth_error(piecewise) < depth_error(high)
+
+    def test_global_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            global_polynomial_detrend(np.ones((2, 2)), 2)
+        with pytest.raises(ValueError):
+            global_polynomial_detrend(np.ones(10), -1)
+
+
+class TestResidualDrift:
+    def test_zero_for_flat(self):
+        assert residual_drift(np.ones(4500), 450.0) == 0.0
+
+    def test_positive_for_drifting(self):
+        t = np.linspace(0, 1, 4500)
+        assert residual_drift(1.0 + 0.01 * t, 450.0) > 1e-3

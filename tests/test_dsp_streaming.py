@@ -1,0 +1,98 @@
+"""Streaming peak detection: equivalence with batch processing."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.dsp.peakdetect import PeakDetector
+from repro.dsp.streaming import StreamingPeakDetector
+from repro.physics.noise import NoiseModel
+from repro.physics.peaks import PulseEvent, synthesize_pulse_train
+
+FS = 450.0
+
+
+def make_trace(duration_s=120.0, spacing_s=2.0, seed=0):
+    centers = np.arange(1.0, duration_s - 1.0, spacing_s)
+    events = [
+        PulseEvent(center_s=c, width_s=0.02, amplitudes=np.array([0.01]))
+        for c in centers
+    ]
+    trace = synthesize_pulse_train(events, 1, FS, duration_s)
+    return NoiseModel(white_sigma=1e-4).apply(trace, FS, rng=seed), len(centers)
+
+
+class TestEquivalence:
+    def test_matches_batch_detection(self):
+        trace, n_true = make_trace()
+        batch = PeakDetector().detect(trace, FS)
+
+        streaming = StreamingPeakDetector(FS, window_s=30.0, guard_s=1.0)
+        chunk = int(7.3 * FS)  # awkward chunk size on purpose
+        for start in range(0, trace.shape[1], chunk):
+            streaming.feed(trace[:, start : start + chunk])
+        report = streaming.finish()
+
+        assert report.count == batch.count == n_true
+        assert np.allclose(report.times(), batch.times(), atol=2 / FS)
+
+    def test_chunk_size_invariance(self):
+        trace, n_true = make_trace(duration_s=90.0)
+        counts = []
+        for chunk_s in (1.0, 5.0, 33.0, 90.0):
+            streaming = StreamingPeakDetector(FS, window_s=30.0)
+            chunk = int(chunk_s * FS)
+            for start in range(0, trace.shape[1], chunk):
+                streaming.feed(trace[:, start : start + chunk])
+            counts.append(streaming.finish().count)
+        assert len(set(counts)) == 1
+        assert counts[0] == n_true
+
+    def test_peaks_emitted_incrementally(self):
+        trace, _ = make_trace(duration_s=120.0)
+        streaming = StreamingPeakDetector(FS, window_s=30.0)
+        half = trace.shape[1] // 2
+        early = streaming.feed(trace[:, :half])
+        assert len(early) > 0  # peaks surface before the stream ends
+        streaming.feed(trace[:, half:])
+        report = streaming.finish()
+        assert report.count >= len(early)
+
+    def test_duration_accounted(self):
+        trace, _ = make_trace(duration_s=61.5)
+        streaming = StreamingPeakDetector(FS)
+        streaming.feed(trace)
+        report = streaming.finish()
+        assert report.duration_s == pytest.approx(61.5, abs=0.01)
+
+
+class TestLifecycle:
+    def test_feed_after_finish_rejected(self):
+        streaming = StreamingPeakDetector(FS)
+        streaming.feed(np.ones((1, 100)))
+        streaming.finish()
+        with pytest.raises(ConfigurationError):
+            streaming.feed(np.ones((1, 100)))
+        with pytest.raises(ConfigurationError):
+            streaming.finish()
+
+    def test_channel_change_rejected(self):
+        streaming = StreamingPeakDetector(FS)
+        streaming.feed(np.ones((2, 100)))
+        with pytest.raises(ConfigurationError):
+            streaming.feed(np.ones((3, 100)))
+
+    def test_one_dimensional_chunk_rejected(self):
+        streaming = StreamingPeakDetector(FS)
+        with pytest.raises(ConfigurationError):
+            streaming.feed(np.ones(100))
+
+    def test_empty_stream(self):
+        streaming = StreamingPeakDetector(FS)
+        report = streaming.finish()
+        assert report.count == 0
+        assert report.duration_s == 0.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPeakDetector(FS, window_s=10.0, guard_s=6.0)

@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped examples run to completion.
+
+Only the quick examples run here (the long-capture one is exercised by
+its underlying streaming tests); each is imported as a module and its
+``main()`` executed, so a broken example fails CI rather than a user.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "alphabet_engineering",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced real output
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "authenticated:        True" in out
+    assert "diagnosis" in out
+
+
+def test_examples_exist_and_have_main():
+    expected = {
+        "quickstart",
+        "hiv_monitoring",
+        "multi_user_clinic",
+        "eavesdropper_attacks",
+        "alphabet_engineering",
+        "practitioner_review",
+        "long_capture_streaming",
+        "targeted_capture",
+    }
+    found = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        source = (EXAMPLES_DIR / f"{name}.py").read_text()
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source

@@ -1,0 +1,106 @@
+"""Micro-controller: key custody, TCB boundary, hardware driving."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError, TrustBoundaryError
+from repro.crypto.keygen import EntropySource
+from repro.hardware.controller import MicroController, TRUSTED_PARTIES, UNTRUSTED_PARTIES
+from repro.hardware.electrodes import standard_array
+from repro.hardware.multiplexer import Multiplexer
+
+
+@pytest.fixture
+def controller(array9):
+    return MicroController(array9, rng=42)
+
+
+class TestProvisioning:
+    def test_provision_creates_schedule(self, controller):
+        plan = controller.provision(10.0, epoch_duration_s=1.0)
+        assert controller.has_keys
+        assert plan.schedule.n_epochs == 10
+        assert plan.schedule.epoch_duration_s == 1.0
+
+    def test_entropy_metered(self, controller):
+        assert controller.entropy_bits_consumed == 0
+        controller.provision(10.0, epoch_duration_s=1.0)
+        assert controller.entropy_bits_consumed > 0
+
+    def test_schedules_differ_between_provisions(self, controller):
+        first = controller.provision(10.0).schedule.epochs
+        second = controller.provision(10.0).schedule.epochs
+        assert first != second
+
+    def test_avoid_consecutive_default(self, controller, array9):
+        plan = controller.provision(60.0, epoch_duration_s=1.0)
+        for epoch in plan.schedule.epochs:
+            assert not array9.has_adjacent_active(epoch.active_electrodes)
+
+    def test_consecutive_allowed_when_disabled(self, array9):
+        controller = MicroController(array9, avoid_consecutive=False, rng=3)
+        plan = controller.provision(200.0, epoch_duration_s=1.0)
+        assert any(
+            array9.has_adjacent_active(epoch.active_electrodes)
+            for epoch in plan.schedule.epochs
+        )
+
+
+class TestTrustBoundary:
+    def test_trusted_parties_get_keys(self, controller):
+        controller.provision(5.0)
+        for party in TRUSTED_PARTIES:
+            assert controller.export_schedule(party) is not None
+
+    def test_untrusted_parties_refused(self, controller):
+        # §VI-B: keys "never get sent out to the phone or cloud".
+        controller.provision(5.0)
+        for party in UNTRUSTED_PARTIES:
+            with pytest.raises(TrustBoundaryError):
+                controller.export_schedule(party)
+
+    def test_unknown_party_refused(self, controller):
+        controller.provision(5.0)
+        with pytest.raises(TrustBoundaryError):
+            controller.export_schedule("insurance-company")
+
+    def test_export_without_keys_rejected(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.export_schedule("practitioner")
+
+
+class TestHardwareDriving:
+    def test_apply_epoch_selects_active_electrodes(self, controller):
+        plan = controller.provision(5.0, epoch_duration_s=1.0)
+        controller.apply_epoch(2.5)
+        expected = plan.schedule.key_at(2.5).active_electrodes
+        assert controller.multiplexer.measured_inputs == expected
+
+    def test_drive_schedule_walks_all_epochs(self, controller):
+        controller.provision(10.0, epoch_duration_s=1.0)
+        switches = controller.drive_schedule()
+        assert 1 <= switches <= 10
+
+    def test_apply_epoch_without_keys_rejected(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.apply_epoch(0.0)
+
+    def test_decrypt_without_keys_rejected(self, controller):
+        from repro.dsp.peakdetect import PeakReport
+
+        report = PeakReport((), 1.0, 450.0, 0)
+        with pytest.raises(ConfigurationError):
+            controller.decrypt(report)
+
+
+class TestAssembly:
+    def test_array_must_fit_multiplexer(self):
+        big_array = standard_array(16)
+        small_mux = Multiplexer(n_inputs=8)
+        with pytest.raises(ConfigurationError):
+            MicroController(big_array, multiplexer=small_mux)
+
+    def test_custom_entropy_source(self, array9):
+        entropy = EntropySource(rng=0)
+        controller = MicroController(array9, entropy=entropy)
+        controller.provision(5.0)
+        assert entropy.bits_consumed == controller.entropy_bits_consumed

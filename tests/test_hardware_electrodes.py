@@ -1,0 +1,110 @@
+"""Electrode array geometry: the peak-multiplication mechanics."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.hardware.electrodes import ELECTRODE_DESIGNS, ElectrodeArray, standard_array
+
+
+class TestDesigns:
+    def test_fabricated_designs_available(self):
+        # Figure 5: 2, 3, 5, 9 outputs; §VI-B sizes keys for 16.
+        assert ELECTRODE_DESIGNS == (2, 3, 5, 9, 16)
+        for n in ELECTRODE_DESIGNS:
+            assert standard_array(n).n_outputs == n
+
+    def test_standard_array_cached(self):
+        assert standard_array(9) is standard_array(9)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ConfigurationError):
+            standard_array(7)
+
+
+class TestLeadElectrode:
+    def test_lead_is_highest_number(self, array9):
+        assert array9.lead_electrode == 9
+        assert array9.is_lead(9)
+        assert not array9.is_lead(1)
+
+    def test_lead_single_dip_others_double(self, array9):
+        assert array9.dips_per_particle(9) == 1
+        for electrode in range(1, 9):
+            assert array9.dips_per_particle(electrode) == 2
+
+    def test_lead_has_one_gap(self, array9):
+        assert len(array9.gap_positions_m(9)) == 1
+        assert len(array9.gap_positions_m(3)) == 2
+
+
+class TestMultiplicationFactor:
+    def test_all_nine_gives_seventeen(self, array9):
+        # Figure 11d: "a relatively flat periodic train of 17 peaks".
+        assert array9.multiplication_factor(range(1, 10)) == 17
+
+    def test_figure8_subset(self, array9):
+        # Figure 8: "Output electrodes 1-3 turned on ... five peaks"
+        # (electrodes 1 and 2 double + lead-adjacent behaviour); with
+        # our numbering {9, 1, 2} gives 1 + 2 + 2 = 5.
+        assert array9.multiplication_factor({9, 1, 2}) == 5
+
+    def test_lead_only(self, array9):
+        assert array9.multiplication_factor({9}) == 1
+
+    def test_single_non_lead(self, array9):
+        assert array9.multiplication_factor({4}) == 2
+
+    def test_empty_subset_factor_zero(self, array9):
+        assert array9.multiplication_factor(set()) == 0
+
+    def test_unknown_electrode_rejected(self, array9):
+        with pytest.raises(ConfigurationError):
+            array9.multiplication_factor({10})
+
+
+class TestGeometry:
+    def test_gap_positions_ordered_and_spaced(self, array9):
+        lead_gap = array9.gap_positions_m(9)[0]
+        assert lead_gap == pytest.approx(0.5 * 25e-6)
+        gaps1 = array9.gap_positions_m(1)
+        assert gaps1[1] - gaps1[0] == pytest.approx(25e-6)
+
+    def test_sensing_length_is_45um(self, array9):
+        # Paper: 25 um pitch + 20 um of two electrode halves.
+        assert array9.sensing_length_m == pytest.approx(45e-6)
+
+    def test_transit_time_20ms_at_nominal(self, array9, channel):
+        velocity = channel.velocity_for_flow_rate(0.08)
+        assert array9.transit_time_s(velocity) == pytest.approx(0.0203, rel=0.02)
+
+    def test_dip_fwhm_half_transit(self, array9):
+        assert array9.dip_fwhm_s(2e-3) == pytest.approx(
+            0.5 * array9.transit_time_s(2e-3)
+        )
+
+    def test_span_positive_and_increasing_with_outputs(self):
+        assert standard_array(9).span_m > standard_array(3).span_m > 0
+
+    def test_pitch_smaller_than_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElectrodeArray(n_outputs=3, electrode_width_m=30e-6, pitch_m=25e-6)
+
+
+class TestPhysicalAdjacency:
+    def test_position_order_lead_first(self, array9):
+        assert array9.position_order == (9, 1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_numeric_neighbours_adjacent(self, array9):
+        assert array9.physically_adjacent(3, 4)
+        assert not array9.physically_adjacent(3, 5)
+
+    def test_lead_adjacent_to_electrode_one(self, array9):
+        # The lead is the first finger, right next to output 1.
+        assert array9.physically_adjacent(9, 1)
+        assert not array9.physically_adjacent(9, 2)
+
+    def test_has_adjacent_active(self, array9):
+        assert array9.has_adjacent_active({3, 4})
+        assert array9.has_adjacent_active({9, 1})
+        assert not array9.has_adjacent_active({1, 3, 5})
+        assert not array9.has_adjacent_active({9, 2, 4})

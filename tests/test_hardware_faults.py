@@ -1,0 +1,121 @@
+"""Fault injection and the device self-test."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.crypto.encryptor import SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.crypto.encryptor import EncryptionPlan
+from repro.hardware.electrodes import standard_array
+from repro.hardware.faults import FaultModel, SelfTestReport, self_test
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles import BEAD_7P8
+from repro.particles.sample import Particle
+
+CARRIERS = (500e3, 2500e3)
+VELOCITY = MicrofluidicChannel().velocity_for_flow_rate(0.08)
+
+
+def keyed_events(active, arrivals, array):
+    key = EpochKey(frozenset(active), (8,) * array.n_outputs, 8)
+    schedule = KeySchedule(epoch_duration_s=60.0, epochs=(key,))
+    plan = EncryptionPlan(schedule, array, GainTable(), FlowSpeedTable())
+    encryptor = SignalEncryptor(carrier_frequencies_hz=CARRIERS)
+    return encryptor.events_for_arrivals(arrivals, plan)
+
+
+def one_bead(t=1.0):
+    return ParticleArrival(t, Particle(BEAD_7P8, BEAD_7P8.diameter_m), VELOCITY)
+
+
+class TestFaultModel:
+    def test_healthy_model_is_identity(self, array9):
+        arrivals = [one_bead()]
+        events = keyed_events({9, 3}, arrivals, array9)
+        healthy = FaultModel()
+        assert healthy.is_healthy
+        out = healthy.apply_to_events(events, array9, arrivals=arrivals,
+                                      carriers=CARRIERS)
+        assert len(out) == len(events)
+
+    def test_dead_electrode_drops_events(self, array9):
+        arrivals = [one_bead()]
+        events = keyed_events({9, 3}, arrivals, array9)
+        faulty = FaultModel(dead_electrodes={3})
+        out = faulty.apply_to_events(events, array9, arrivals=arrivals,
+                                     carriers=CARRIERS)
+        assert len(out) == 1  # only the lead dip survives
+        assert all(e.electrode_index != 3 for e in out)
+
+    def test_weak_electrode_attenuates(self, array9):
+        arrivals = [one_bead()]
+        events = keyed_events({3}, arrivals, array9)
+        faulty = FaultModel(weak_electrodes={3}, weak_attenuation=0.25)
+        out = faulty.apply_to_events(events, array9, arrivals=arrivals,
+                                     carriers=CARRIERS)
+        assert len(out) == len(events)
+        for weak, original in zip(out, events):
+            assert weak.amplitudes[0] == pytest.approx(0.25 * original.amplitudes[0])
+
+    def test_stuck_electrode_adds_key_independent_events(self, array9):
+        arrivals = [one_bead()]
+        events = keyed_events({9}, arrivals, array9)  # key selects lead only
+        faulty = FaultModel(stuck_on_electrodes={4})
+        out = faulty.apply_to_events(events, array9, arrivals=arrivals,
+                                     carriers=CARRIERS)
+        # Lead dip + 2 stuck-electrode dips.
+        assert len(out) == 3
+        assert sum(1 for e in out if e.electrode_index == 4) == 2
+
+    def test_stuck_electrode_not_duplicated_when_selected(self, array9):
+        arrivals = [one_bead()]
+        events = keyed_events({4, 9}, arrivals, array9)  # 4 legitimately active
+        faulty = FaultModel(stuck_on_electrodes={4})
+        out = faulty.apply_to_events(events, array9, arrivals=arrivals,
+                                     carriers=CARRIERS)
+        assert len(out) == len(events)  # no double events for electrode 4
+
+    def test_dead_and_stuck_conflict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultModel(dead_electrodes={3}, stuck_on_electrodes={3})
+
+
+class TestSelfTest:
+    def test_healthy_array_passes(self, array9):
+        report = self_test(array9, FaultModel(), rng=0)
+        assert report.healthy
+        assert all(e.verdict == "ok" for e in report.electrodes)
+        assert len(report.electrodes) == 9
+
+    def test_dead_electrode_detected(self, array9):
+        report = self_test(array9, FaultModel(dead_electrodes={5}), rng=0)
+        assert not report.healthy
+        assert report.faulty_electrodes()["dead"] == [5]
+
+    def test_weak_electrode_detected(self, array9):
+        report = self_test(
+            array9, FaultModel(weak_electrodes={2}, weak_attenuation=0.3), rng=0
+        )
+        assert report.faulty_electrodes().get("weak") == [2]
+
+    def test_stuck_electrode_flagged_on_other_channels(self, array9):
+        report = self_test(array9, FaultModel(stuck_on_electrodes={7}), rng=0)
+        flagged = report.faulty_electrodes()
+        # Testing any electrode other than 7 sees extra dips -> stuck.
+        assert "stuck" in flagged
+        assert len(flagged["stuck"]) >= 1
+
+    def test_expected_dip_counts(self, array9):
+        report = self_test(array9, FaultModel(), n_test_beads=3, rng=0)
+        for entry in report.electrodes:
+            expected = array9.dips_per_particle(entry.electrode) * 3
+            assert entry.expected_dips == expected
+            assert entry.observed_dips == expected
+
+    def test_invalid_bead_count(self, array9):
+        with pytest.raises(ConfigurationError):
+            self_test(array9, FaultModel(), n_test_beads=0)

@@ -1,0 +1,67 @@
+"""Multiplexer: routing, grounding, reconfiguration accounting."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.hardware.multiplexer import Multiplexer
+
+
+class TestRouting:
+    def test_initially_all_grounded(self):
+        mux = Multiplexer()
+        assert mux.measured_inputs == frozenset()
+        assert mux.grounded_inputs == frozenset(range(1, 17))
+
+    def test_select_routes_rest_to_ground(self):
+        # §VII-A: "the remaining unselected electrodes need to be
+        # grounded to prevent interference".
+        mux = Multiplexer()
+        mux.select({1, 5, 9})
+        assert mux.measured_inputs == frozenset({1, 5, 9})
+        assert mux.grounded_inputs == frozenset(range(1, 17)) - {1, 5, 9}
+
+    def test_every_input_always_routed(self):
+        mux = Multiplexer()
+        mux.select({3})
+        assert mux.measured_inputs | mux.grounded_inputs == frozenset(range(1, 17))
+
+    def test_is_measured(self):
+        mux = Multiplexer()
+        mux.select({2})
+        assert mux.is_measured(2)
+        assert not mux.is_measured(3)
+
+    def test_out_of_range_input_rejected(self):
+        mux = Multiplexer()
+        with pytest.raises(ConfigurationError):
+            mux.select({17})
+        with pytest.raises(ConfigurationError):
+            mux.select({0})
+        with pytest.raises(ConfigurationError):
+            mux.is_measured(42)
+
+
+class TestSwitchCount:
+    def test_reconfigurations_counted(self):
+        mux = Multiplexer()
+        mux.select({1})
+        mux.select({2})
+        assert mux.switch_count == 2
+
+    def test_noop_reselect_not_counted(self):
+        mux = Multiplexer()
+        mux.select({1, 2})
+        mux.select({2, 1})
+        assert mux.switch_count == 1
+
+
+class TestCapacity:
+    def test_supports_paper_arrays(self):
+        mux = Multiplexer()  # MAX14661-style: 16 inputs
+        for n in (2, 3, 5, 9, 16):
+            assert mux.supports_array(n)
+        assert not mux.supports_array(17)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Multiplexer(n_inputs=0)

@@ -1,0 +1,109 @@
+"""Capture-chamber sessions, device self-test, record erasure, CLI extras."""
+
+import numpy as np
+import pytest
+
+from repro import CytoIdentifier, MedSenSession, Sample
+from repro.cli import main
+from repro.core.device import MedSenDevice
+from repro.hardware.faults import FaultModel
+from repro.microfluidics.capture import CaptureChamber
+from repro.particles import BLOOD_CELL, Sample
+from repro.particles.dielectric import CELL_MEMBRANE_DISPERSION
+from repro.particles.library import PARTICLE_LIBRARY, register_particle_type
+from repro.particles.types import ParticleType
+
+
+class TestCaptureChamberSession:
+    @pytest.fixture
+    def offtarget(self):
+        particle = ParticleType(
+            name="offtarget_wbc",
+            diameter_m=8.5e-6,
+            base_drop=0.0095,
+            dispersion=CELL_MEMBRANE_DISPERSION,
+            diameter_cv=0.15,
+            is_synthetic=False,
+        )
+        register_particle_type(particle, replace=True)
+        yield particle
+        PARTICLE_LIBRARY.pop("offtarget_wbc", None)
+
+    def test_enriched_session_diagnoses_blood_concentration(self, offtarget):
+        # A mild concentration step (25 µL eluate from 50 µL blood)
+        # keeps the mixture inside the sensor's coincidence envelope
+        # while still stripping the off-target background.
+        chamber = CaptureChamber(
+            target_type_name="blood_cell", elution_volume_ul=25.0
+        )
+        session = MedSenSession(rng=900, capture_chamber=chamber)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("pat", identifier)
+
+        true_cd4 = 300.0
+        blood = Sample.from_concentrations(
+            {BLOOD_CELL: true_cd4, offtarget: 3000.0}, volume_ul=50.0
+        )
+        result = session.run_diagnostic(blood, identifier, duration_s=90.0, rng=4)
+        # The chamber strips the off-target background, and the
+        # enrichment correction maps back to blood units.
+        assert result.diagnosis.concentration_per_ul == pytest.approx(
+            true_cd4, rel=0.5
+        )
+        assert result.auth.user_id == "pat"
+
+    def test_without_chamber_background_overwhelms(self, offtarget):
+        # Control: same blood, no chamber -> the marker count is
+        # polluted by off-target cells (classified into the same
+        # cell cluster), inflating the concentration estimate.
+        session = MedSenSession(rng=901)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("pat", identifier)
+        blood = Sample.from_concentrations(
+            {BLOOD_CELL: 100.0, offtarget: 1200.0}, volume_ul=50.0
+        )
+        result = session.run_diagnostic(blood, identifier, duration_s=60.0, rng=4)
+        assert result.diagnosis.concentration_per_ul > 3 * 100.0
+
+
+class TestDeviceSelfTest:
+    def test_healthy_device_passes(self):
+        device = MedSenDevice(rng=3)
+        assert device.self_test(rng=0).healthy
+
+    def test_faulty_device_fails(self):
+        device = MedSenDevice(rng=3, fault_model=FaultModel(dead_electrodes={4}))
+        report = device.self_test(rng=0)
+        assert not report.healthy
+        assert report.faulty_electrodes()["dead"] == [4]
+
+
+class TestRecordErasure:
+    def test_delete_identifier(self):
+        from repro.cloud.storage import RecordStore
+        from repro.dsp.peakdetect import PeakReport
+
+        store = RecordStore()
+        store.store("id-a", PeakReport((), 1.0, 450.0, 0))
+        store.store("id-a", PeakReport((), 1.0, 450.0, 0))
+        store.store("id-b", PeakReport((), 1.0, 450.0, 0))
+        assert store.delete_identifier("id-a") == 2
+        assert store.fetch("id-a") == ()
+        assert store.n_identifiers == 1
+        assert store.delete_identifier("id-a") == 0
+
+
+class TestCliExtras:
+    def test_figures_command(self, tmp_path, capsys):
+        assert main(["figures", "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "figure16_clusters" in out
+        assert (tmp_path / "figure07_single_cell.svg").exists()
+
+    def test_demo_report_flag(self, tmp_path, capsys):
+        report_path = tmp_path / "session.md"
+        assert main(
+            ["demo", "--duration", "40", "--seed", "5", "--report", str(report_path)]
+        ) == 0
+        assert report_path.exists()
+        assert "## Diagnosis" in report_path.read_text()

@@ -1,0 +1,113 @@
+"""Integration: the full §II protocol and its security properties."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CD4_STAGING,
+    CytoIdentifier,
+    MedSenSession,
+    Sample,
+    TrustBoundaryError,
+)
+from repro.particles import BLOOD_CELL
+
+
+@pytest.fixture(scope="module")
+def session():
+    session = MedSenSession(rng=1000)
+    alphabet = session.config.alphabet
+    session.authenticator.register("alice", CytoIdentifier(alphabet, (2, 1)))
+    session.authenticator.register("bob", CytoIdentifier(alphabet, (1, 3)))
+    return session
+
+
+@pytest.fixture(scope="module")
+def alice_result(session):
+    blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+    return session.run_diagnostic(
+        blood, session.authenticator.identifier_of("alice"), duration_s=60.0, rng=11
+    )
+
+
+class TestProtocolFlow:
+    def test_authenticates_correct_user(self, alice_result):
+        assert alice_result.auth.accepted
+        assert alice_result.auth.user_id == "alice"
+
+    def test_diagnosis_band_close_to_truth(self, alice_result):
+        # True concentration 400/uL -> moderate band (200-500); allow
+        # the neighbouring band given Poisson counting at 60 s.
+        assert alice_result.diagnosis.label in (
+            "moderate-immunosuppression",
+            "normal",
+            "severe-immunosuppression",
+        )
+        assert alice_result.diagnosis.concentration_per_ul == pytest.approx(
+            400.0, rel=0.6
+        )
+
+    def test_counts_consistent_with_ground_truth(self, alice_result):
+        truth = alice_result.capture.ground_truth.total_arrived
+        assert alice_result.decryption.total_count == pytest.approx(
+            truth, abs=max(3, 0.2 * truth)
+        )
+
+    def test_record_stored_under_identifier(self, session, alice_result):
+        records = session.store.fetch(alice_result.record_key)
+        assert len(records) >= 1
+        assert alice_result.record_key == alice_result.auth.recovered.as_string()
+
+    def test_integrity_check_passes(self, session, alice_result):
+        session.authenticator.verify_integrity("alice", alice_result.auth.recovered)
+
+    def test_timing_breakdown_positive(self, alice_result):
+        timing = alice_result.timing
+        assert timing.cloud_analysis_s > 0
+        assert timing.decryption_s > 0
+        assert timing.end_to_end_s >= timing.processing_s
+
+    def test_processing_in_paper_ballpark(self, alice_result):
+        # Paper: ~0.2 s end-to-end on their hardware; our compute share
+        # should land within the same order of magnitude.
+        assert alice_result.timing.processing_s < 2.0
+
+    def test_bob_distinguished_from_alice(self, session):
+        blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+        result = session.run_diagnostic(
+            blood, session.authenticator.identifier_of("bob"), duration_s=60.0, rng=12
+        )
+        assert result.auth.user_id == "bob"
+
+    def test_unregistered_identifier_rejected(self, session):
+        stranger = CytoIdentifier(session.config.alphabet, (3, 2))
+        blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+        result = session.run_diagnostic(blood, stranger, duration_s=60.0, rng=13)
+        assert not result.auth.accepted
+
+
+class TestSecurityProperties:
+    def test_ciphertext_peak_count_conceals_truth(self, alice_result):
+        # The cloud's observed peak count must differ substantially
+        # from the true particle count (peak multiplication).
+        truth = alice_result.capture.ground_truth.total_arrived
+        observed = alice_result.relay.report.count
+        assert observed > 1.5 * truth
+
+    def test_keys_never_reach_untrusted_parties(self, session):
+        controller = session.device.controller
+        for party in ("smartphone", "cloud", "network"):
+            with pytest.raises(TrustBoundaryError):
+                controller.export_schedule(party)
+
+    def test_practitioner_key_sharing_supported(self, session):
+        # §VII-B: keys may be shared with the patient's practitioner.
+        schedule = session.device.controller.export_schedule("practitioner")
+        assert schedule.n_epochs > 0
+
+    def test_server_history_contains_only_ciphertext(self, session):
+        # Everything the curious server stored is the encrypted trace +
+        # ciphertext peak reports; no key material objects exist there.
+        for job in session.server.history:
+            assert not hasattr(job.trace, "schedule")
+            assert not hasattr(job.report, "schedule")

@@ -1,0 +1,63 @@
+"""Channel geometry and the paper's flow/velocity numbers."""
+
+import pytest
+
+from repro.microfluidics import MicrofluidicChannel
+
+
+@pytest.fixture
+def paper_channel():
+    return MicrofluidicChannel()
+
+
+class TestGeometry:
+    def test_paper_dimensions(self, paper_channel):
+        assert paper_channel.width_m == pytest.approx(30e-6)
+        assert paper_channel.height_m == pytest.approx(20e-6)
+        assert paper_channel.length_m == pytest.approx(500e-6)
+
+    def test_cross_section(self, paper_channel):
+        assert paper_channel.cross_section_m2 == pytest.approx(6e-10)
+
+    def test_pore_volume(self, paper_channel):
+        # 30 x 20 x 500 um = 3e-13 m^3 = 3e-10 L = 0.3 nL
+        assert paper_channel.volume_liters == pytest.approx(3e-10)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(Exception):
+            MicrofluidicChannel(width_m=-1e-6)
+
+
+class TestFlowVelocity:
+    def test_paper_velocity_at_nominal_rate(self, paper_channel):
+        # Paper Fig 11 analysis: 0.08 uL/min -> ~2.2 mm/s.
+        velocity = paper_channel.velocity_for_flow_rate(0.08)
+        assert velocity == pytest.approx(2.22e-3, rel=0.01)
+
+    def test_velocity_rate_roundtrip(self, paper_channel):
+        rate = paper_channel.flow_rate_for_velocity(
+            paper_channel.velocity_for_flow_rate(0.081)
+        )
+        assert rate == pytest.approx(0.081, rel=1e-9)
+
+    def test_transit_time_through_pore(self, paper_channel):
+        # 500 um at 2.22 mm/s -> ~0.225 s
+        assert paper_channel.transit_time_s(0.08) == pytest.approx(0.225, rel=0.01)
+
+    def test_velocity_scales_linearly(self, paper_channel):
+        v1 = paper_channel.velocity_for_flow_rate(0.04)
+        v2 = paper_channel.velocity_for_flow_rate(0.08)
+        assert v2 == pytest.approx(2 * v1)
+
+    def test_zero_rate_rejected(self, paper_channel):
+        with pytest.raises(Exception):
+            paper_channel.velocity_for_flow_rate(0.0)
+
+
+class TestParticleFit:
+    def test_beads_and_cells_fit(self, paper_channel):
+        assert paper_channel.fits_particle(3.58e-6)
+        assert paper_channel.fits_particle(7.8e-6)
+
+    def test_oversized_particle_rejected(self, paper_channel):
+        assert not paper_channel.fits_particle(25e-6)

@@ -1,0 +1,108 @@
+"""Flow-speed table (the S key component) and the flow controller."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.microfluidics import FlowController, FlowSpeedTable
+from repro.microfluidics.flow import NOMINAL_FLOW_RATE_UL_MIN
+
+
+class TestFlowSpeedTable:
+    def test_default_is_16_levels_4_bits(self, flow_table):
+        assert flow_table.n_levels == 16
+        assert flow_table.resolution_bits == 4
+
+    def test_levels_span_range(self, flow_table):
+        assert flow_table.rate_for_level(0) == pytest.approx(flow_table.min_rate_ul_min)
+        assert flow_table.rate_for_level(15) == pytest.approx(flow_table.max_rate_ul_min)
+
+    def test_levels_monotone_increasing(self, flow_table):
+        rates = flow_table.all_rates()
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_geometric_spacing(self, flow_table):
+        rates = flow_table.all_rates()
+        ratios = [b / a for a, b in zip(rates, rates[1:])]
+        assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)
+
+    def test_nominal_rate_within_range(self, flow_table):
+        assert (
+            flow_table.min_rate_ul_min
+            <= NOMINAL_FLOW_RATE_UL_MIN
+            <= flow_table.max_rate_ul_min
+        )
+
+    def test_level_for_rate_roundtrip(self, flow_table):
+        for level in range(flow_table.n_levels):
+            assert flow_table.level_for_rate(flow_table.rate_for_level(level)) == level
+
+    def test_out_of_range_level_rejected(self, flow_table):
+        with pytest.raises(ConfigurationError):
+            flow_table.rate_for_level(16)
+        with pytest.raises(ConfigurationError):
+            flow_table.rate_for_level(-1)
+
+    def test_single_level_table(self):
+        table = FlowSpeedTable(n_levels=1, min_rate_ul_min=0.08, max_rate_ul_min=0.08)
+        assert table.rate_for_level(0) == 0.08
+        assert table.resolution_bits == 1
+
+
+class TestFlowController:
+    def test_initial_rate(self):
+        flow = FlowController()
+        assert flow.rate_at(0.0) == pytest.approx(NOMINAL_FLOW_RATE_UL_MIN)
+
+    def test_piecewise_rates(self):
+        flow = FlowController()
+        flow.set_rate(10.0, 0.04)
+        flow.set_rate(20.0, 0.16)
+        assert flow.rate_at(5.0) == pytest.approx(0.08)
+        assert flow.rate_at(10.0) == pytest.approx(0.04)
+        assert flow.rate_at(15.0) == pytest.approx(0.04)
+        assert flow.rate_at(25.0) == pytest.approx(0.16)
+
+    def test_same_time_overrides(self):
+        flow = FlowController()
+        flow.set_rate(0.0, 0.05)
+        assert flow.rate_at(0.0) == pytest.approx(0.05)
+
+    def test_out_of_order_commands_rejected(self):
+        flow = FlowController()
+        flow.set_rate(10.0, 0.04)
+        with pytest.raises(ConfigurationError):
+            flow.set_rate(5.0, 0.08)
+
+    def test_negative_time_query_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowController().rate_at(-1.0)
+
+    def test_velocity_at_uses_channel(self, channel):
+        flow = FlowController(channel=channel)
+        assert flow.velocity_at(0.0) == pytest.approx(
+            channel.velocity_for_flow_rate(NOMINAL_FLOW_RATE_UL_MIN)
+        )
+
+    def test_volume_pumped_constant_rate(self):
+        flow = FlowController()
+        # 0.08 uL/min for 60 s -> 0.08 uL
+        assert flow.volume_pumped_ul(0.0, 60.0) == pytest.approx(0.08)
+
+    def test_volume_pumped_piecewise(self):
+        flow = FlowController()
+        flow.set_rate(30.0, 0.16)
+        volume = flow.volume_pumped_ul(0.0, 60.0)
+        assert volume == pytest.approx(0.08 * 0.5 + 0.16 * 0.5)
+
+    def test_volume_pumped_partial_window(self):
+        flow = FlowController()
+        assert flow.volume_pumped_ul(30.0, 60.0) == pytest.approx(0.04)
+
+    def test_volume_pumped_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            FlowController().volume_pumped_ul(10.0, 5.0)
+
+    def test_segments_history(self):
+        flow = FlowController()
+        flow.set_rate(5.0, 0.1)
+        assert flow.segments() == [(0.0, NOMINAL_FLOW_RATE_UL_MIN), (5.0, 0.1)]

@@ -1,0 +1,71 @@
+"""Peristaltic pump: clamping, quantisation, pulsatility."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.microfluidics import PeristalticPump
+
+
+class TestRateCommanding:
+    def test_command_within_range(self):
+        pump = PeristalticPump()
+        achieved = pump.command_rate(0.08)
+        assert achieved == pytest.approx(0.08)
+        assert pump.commanded_rate_ul_min == achieved
+
+    def test_clamped_to_max(self):
+        pump = PeristalticPump(max_rate_ul_min=0.5)
+        assert pump.command_rate(2.0) == pytest.approx(0.5)
+
+    def test_clamped_to_min(self):
+        pump = PeristalticPump(min_rate_ul_min=0.02)
+        assert pump.command_rate(0.001) == pytest.approx(0.02)
+
+    def test_quantisation(self):
+        pump = PeristalticPump(rate_step_ul_min=0.01)
+        assert pump.command_rate(0.084) == pytest.approx(0.08)
+        assert pump.command_rate(0.087) == pytest.approx(0.09)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(Exception):
+            PeristalticPump().command_rate(-0.1)
+
+    def test_supports_rate(self):
+        pump = PeristalticPump(min_rate_ul_min=0.01, max_rate_ul_min=1.0)
+        assert pump.supports_rate(0.08)
+        assert not pump.supports_rate(2.0)
+        assert not pump.supports_rate(0.001)
+
+
+class TestPulsatility:
+    def test_mean_rate_preserved(self):
+        pump = PeristalticPump(pulsatility_fraction=0.05)
+        pump.command_rate(0.08)
+        t = np.linspace(0, 20, 10000)
+        rates = pump.instantaneous_rate(t)
+        assert np.mean(rates) == pytest.approx(0.08, rel=0.01)
+
+    def test_ripple_amplitude(self):
+        pump = PeristalticPump(pulsatility_fraction=0.05)
+        pump.command_rate(0.1)
+        t = np.linspace(0, 10, 20000)
+        rates = pump.instantaneous_rate(t)
+        assert rates.max() == pytest.approx(0.105, rel=0.01)
+        assert rates.min() == pytest.approx(0.095, rel=0.01)
+
+    def test_zero_pulsatility_constant(self):
+        pump = PeristalticPump(pulsatility_fraction=0.0)
+        pump.command_rate(0.08)
+        rates = pump.instantaneous_rate(np.linspace(0, 5, 100))
+        assert np.allclose(rates, 0.08)
+
+    def test_invalid_pulsatility_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeristalticPump(pulsatility_fraction=1.5)
+
+
+class TestValidation:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeristalticPump(min_rate_ul_min=1.0, max_rate_ul_min=0.5)

@@ -1,0 +1,152 @@
+"""Smartphone side: perf models, USB link, relay app."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.cloud.server import AnalysisServer
+from repro.hardware.acquisition import AcquiredTrace
+from repro.mobile.perf import (
+    COMPUTER_I7,
+    FIG14_COMPUTER_TIMES_S,
+    FIG14_PHONE_TIMES_S,
+    FIG14_SAMPLE_SIZES,
+    NEXUS5,
+    DevicePerfModel,
+)
+from repro.mobile.phone import Smartphone
+from repro.mobile.usb import AccessoryLink, AccessoryState
+from repro.physics.peaks import PulseEvent, synthesize_pulse_train
+
+
+class TestPerfModels:
+    def test_fits_reproduce_paper_points(self):
+        # The affine fit should pass within 15% of every Figure 14 bar.
+        for size, computer_time, phone_time in zip(
+            FIG14_SAMPLE_SIZES, FIG14_COMPUTER_TIMES_S, FIG14_PHONE_TIMES_S
+        ):
+            assert COMPUTER_I7.processing_time_s(size) == pytest.approx(
+                computer_time, rel=0.15
+            )
+            assert NEXUS5.processing_time_s(size) == pytest.approx(phone_time, rel=0.15)
+
+    def test_phone_slower_than_computer(self):
+        # Figure 14's motivation for cloud offload.
+        for size in FIG14_SAMPLE_SIZES:
+            speedup = COMPUTER_I7.speedup_over(NEXUS5, size)
+            assert 3.0 < speedup < 6.0
+
+    def test_gap_grows_with_sample_size(self):
+        small_gap = NEXUS5.processing_time_s(FIG14_SAMPLE_SIZES[0]) - COMPUTER_I7.processing_time_s(FIG14_SAMPLE_SIZES[0])
+        large_gap = NEXUS5.processing_time_s(FIG14_SAMPLE_SIZES[2]) - COMPUTER_I7.processing_time_s(FIG14_SAMPLE_SIZES[2])
+        assert large_gap > 2 * small_gap
+
+    def test_fit_from_points(self):
+        model = DevicePerfModel.fit("test", [100, 200, 300], [1.0, 2.0, 3.0])
+        assert model.processing_time_s(400) == pytest.approx(4.0, rel=0.01)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            DevicePerfModel.fit("test", [100], [1.0])
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            COMPUTER_I7.processing_time_s(-1)
+
+
+class TestAccessoryLink:
+    def test_handshake_with_app(self):
+        link = AccessoryLink()
+        identity = link.plug_in()
+        assert identity["manufacturer"] == "MedSen"
+        assert link.phone_responds(app_installed=True) is AccessoryState.CONNECTED
+
+    def test_handshake_without_app(self):
+        link = AccessoryLink()
+        link.plug_in()
+        assert link.phone_responds(app_installed=False) is AccessoryState.AWAITING_APP
+        assert link.app_installed() is AccessoryState.CONNECTED
+
+    def test_message_exchange(self):
+        link = AccessoryLink()
+        link.plug_in()
+        link.phone_responds(app_installed=True)
+        link.accessory_send(b"encrypted-capture")
+        assert link.phone_receive() == b"encrypted-capture"
+        link.phone_send(b"peak-report")
+        assert link.accessory_receive() == b"peak-report"
+        assert link.bytes_transferred == len(b"encrypted-capture") + len(b"peak-report")
+
+    def test_receive_empty_returns_none(self):
+        link = AccessoryLink()
+        link.plug_in()
+        link.phone_responds(app_installed=True)
+        assert link.phone_receive() is None
+
+    def test_send_while_disconnected_rejected(self):
+        link = AccessoryLink()
+        with pytest.raises(ConfigurationError):
+            link.accessory_send(b"data")
+
+    def test_unplug_drops_queues(self):
+        link = AccessoryLink()
+        link.plug_in()
+        link.phone_responds(app_installed=True)
+        link.accessory_send(b"data")
+        link.unplug()
+        assert link.state is AccessoryState.DISCONNECTED
+        with pytest.raises(ConfigurationError):
+            link.phone_receive()
+
+    def test_double_plug_in_rejected(self):
+        link = AccessoryLink()
+        link.plug_in()
+        with pytest.raises(ConfigurationError):
+            link.plug_in()
+
+    def test_missing_identity_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessoryLink(identity={"manufacturer": "X"})
+
+
+def make_trace(duration=10.0, n_peaks=3):
+    events = [
+        PulseEvent(center_s=1.0 + i * 2.0, width_s=0.02, amplitudes=np.array([0.01]))
+        for i in range(n_peaks)
+    ]
+    voltages = synthesize_pulse_train(events, 1, 450.0, duration)
+    return AcquiredTrace(voltages, 450.0, (500e3,))
+
+
+class TestSmartphoneRelay:
+    def test_cloud_relay_path(self):
+        phone = Smartphone()
+        server = AnalysisServer()
+        outcome = phone.relay(make_trace(), server)
+        assert not outcome.analyzed_locally
+        assert outcome.report.count == 3
+        assert outcome.uploaded_bytes > 0
+        assert outcome.uploaded_bytes < outcome.raw_bytes  # compression helps
+        assert outcome.total_time_s > 0
+
+    def test_local_path_for_small_captures(self):
+        phone = Smartphone(local_analysis_threshold_samples=10**6)
+        server = AnalysisServer()
+        outcome = phone.relay(make_trace(), server)
+        assert outcome.analyzed_locally
+        assert outcome.uploaded_bytes == 0
+        assert server.jobs_processed == 0
+        assert outcome.report.count == 3
+
+    def test_local_analysis_slower_per_sample(self):
+        # The Nexus 5 model should predict more time than the measured
+        # cloud analysis for the same capture.
+        phone_local = Smartphone(local_analysis_threshold_samples=10**9)
+        phone_cloud = Smartphone()
+        local = phone_local.relay(make_trace(duration=30.0), AnalysisServer())
+        cloud = phone_cloud.relay(make_trace(duration=30.0), AnalysisServer())
+        assert local.analysis_time_s > cloud.analysis_time_s
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Smartphone(local_analysis_threshold_samples=-1)

@@ -1,0 +1,146 @@
+"""Particle types, dispersion models, and the calibrated library.
+
+Pins the paper's Figure 15 facts: bead responses flat in frequency,
+cell response rolls off above ~2 MHz, and the §VI-B amplitude ratios
+(cells ~2x, 7.8 µm beads ~4x the 3.58 µm reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.particles import (
+    BEAD_3P58,
+    BEAD_7P8,
+    BLOOD_CELL,
+    DispersionModel,
+    ParticleType,
+    get_particle_type,
+    register_particle_type,
+)
+from repro.particles.dielectric import CELL_MEMBRANE_DISPERSION, POLYSTYRENE_DISPERSION
+
+
+class TestDispersionModel:
+    def test_scale_is_one_at_dc(self):
+        model = DispersionModel(1e6, 0.3)
+        assert model.scale(0.0) == pytest.approx(1.0)
+
+    def test_scale_decays_to_high_frequency_fraction(self):
+        model = DispersionModel(1e6, 0.3)
+        assert model.scale(1e12) == pytest.approx(0.3, abs=1e-6)
+
+    def test_scale_monotone_decreasing(self):
+        model = DispersionModel(2e6, 0.2)
+        frequencies = np.logspace(4, 8, 50)
+        scales = model.scale(frequencies)
+        assert np.all(np.diff(scales) <= 0)
+
+    def test_scale_at_corner_is_midpoint(self):
+        model = DispersionModel(1e6, 0.0)
+        assert model.scale(1e6) == pytest.approx(0.5)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            DispersionModel(1e6, 0.5).scale(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            DispersionModel(-1.0, 0.5)
+        with pytest.raises(Exception):
+            DispersionModel(1e6, 1.5)
+
+
+class TestParticleType:
+    def test_relative_drop_at_reference(self):
+        drop = BEAD_3P58.relative_drop(500e3)
+        assert 0.002 < float(drop) < 0.005
+
+    def test_volume_scaling(self):
+        # Doubling diameter scales the drop by 8 (d^3).
+        base = BLOOD_CELL.relative_drop(500e3)
+        doubled = BLOOD_CELL.relative_drop(500e3, diameter_m=2 * BLOOD_CELL.diameter_m)
+        assert doubled / base == pytest.approx(8.0)
+
+    def test_draw_diameter_statistics(self, rng):
+        draws = BLOOD_CELL.draw_diameter(rng, size=20000)
+        assert np.mean(draws) == pytest.approx(BLOOD_CELL.diameter_m, rel=0.01)
+        cv = np.std(draws) / np.mean(draws)
+        assert cv == pytest.approx(BLOOD_CELL.diameter_cv, rel=0.05)
+
+    def test_draw_diameter_zero_cv(self):
+        fixed = ParticleType("fixed", 5e-6, 0.005, diameter_cv=0.0)
+        assert fixed.draw_diameter(0) == 5e-6
+        draws = fixed.draw_diameter(0, size=3)
+        assert np.all(draws == 5e-6)
+
+    def test_invalid_diameter_rejected(self):
+        with pytest.raises(ValueError):
+            BLOOD_CELL.relative_drop(500e3, diameter_m=-1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleType("", 5e-6, 0.005)
+
+
+class TestPaperCalibration:
+    """The Figure 15 / §VI-B empirical facts."""
+
+    def test_bead_response_flat_in_frequency(self):
+        low = float(BEAD_7P8.relative_drop(500e3))
+        high = float(BEAD_7P8.relative_drop(3000e3))
+        assert high / low > 0.95  # polystyrene: essentially flat
+
+    def test_cell_response_rolls_off(self):
+        low = float(BLOOD_CELL.relative_drop(500e3))
+        high = float(BLOOD_CELL.relative_drop(3000e3))
+        assert high / low < 0.6  # membrane dispersion
+
+    def test_cell_is_about_twice_the_small_bead(self):
+        ratio = BLOOD_CELL.amplitude_ratio_to(BEAD_3P58, 500e3)
+        assert 1.5 < ratio < 2.5
+
+    def test_large_bead_is_about_four_times_the_small_bead(self):
+        ratio = BEAD_7P8.amplitude_ratio_to(BEAD_3P58, 500e3)
+        assert 3.0 < ratio < 5.0
+
+    def test_cell_below_beads_at_high_frequency(self):
+        # Figure 15a: at >= 2 MHz the cell response falls below its own
+        # low-frequency value while the bead stays flat.
+        cell_hi = float(BLOOD_CELL.relative_drop(2500e3))
+        cell_lo = float(BLOOD_CELL.relative_drop(500e3))
+        bead_hi = float(BEAD_3P58.relative_drop(2500e3))
+        bead_lo = float(BEAD_3P58.relative_drop(500e3))
+        assert cell_hi / cell_lo < bead_hi / bead_lo
+
+    def test_dispersions_assigned(self):
+        assert BEAD_3P58.dispersion is POLYSTYRENE_DISPERSION
+        assert BLOOD_CELL.dispersion is CELL_MEMBRANE_DISPERSION
+
+    def test_synthetic_flags(self):
+        assert BEAD_3P58.is_synthetic and BEAD_7P8.is_synthetic
+        assert not BLOOD_CELL.is_synthetic
+
+
+class TestLibrary:
+    def test_lookup_by_name(self):
+        assert get_particle_type("blood_cell") is BLOOD_CELL
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown particle type"):
+            get_particle_type("nanobot")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_particle_type(BEAD_3P58)
+
+    def test_register_custom_type(self):
+        custom = ParticleType("bead_5.0um_test", 5e-6, 0.006)
+        register_particle_type(custom)
+        try:
+            assert get_particle_type("bead_5.0um_test") is custom
+            register_particle_type(custom, replace=True)  # idempotent with replace
+        finally:
+            from repro.particles.library import PARTICLE_LIBRARY
+
+            PARTICLE_LIBRARY.pop("bead_5.0um_test", None)

@@ -1,0 +1,81 @@
+"""Electrode-pair circuit: the §III-A regime analysis."""
+
+import numpy as np
+import pytest
+
+from repro.physics.electrical import ElectrodePairCircuit, Regime
+
+
+@pytest.fixture
+def circuit():
+    return ElectrodePairCircuit()
+
+
+class TestImpedance:
+    def test_low_frequency_megaohm_range(self, circuit):
+        # Paper: at <10 kHz the measured impedance is in the MOhm range.
+        magnitude = float(circuit.impedance_magnitude(1e3))
+        assert magnitude > 1e6
+
+    def test_high_frequency_resistance_dominated(self, circuit):
+        # Paper: at >100 kHz capacitance is short-circuited.
+        magnitude = float(circuit.impedance_magnitude(500e3))
+        assert magnitude == pytest.approx(circuit.solution_resistance_ohm, rel=0.05)
+
+    def test_impedance_monotone_decreasing(self, circuit):
+        frequencies = np.logspace(2, 7, 40)
+        magnitudes = circuit.impedance_magnitude(frequencies)
+        assert np.all(np.diff(magnitudes) < 0)
+
+    def test_particle_increases_impedance(self, circuit):
+        clean = float(circuit.impedance_magnitude(1e6))
+        occluded = float(circuit.impedance_magnitude(1e6, relative_resistance_change=0.01))
+        assert occluded > clean
+
+    def test_zero_frequency_rejected(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.impedance(0.0)
+
+
+class TestRegimes:
+    def test_capacitive_at_low_frequency(self, circuit):
+        assert circuit.regime(1e3) is Regime.CAPACITIVE
+
+    def test_resistive_at_operating_frequencies(self, circuit):
+        assert circuit.regime(500e3) is Regime.RESISTIVE
+        assert circuit.regime(2e6) is Regime.RESISTIVE
+
+    def test_transition_band_exists(self, circuit):
+        corner = circuit.corner_frequency_hz()
+        assert circuit.regime(corner) is Regime.TRANSITION
+
+    def test_corner_frequency_between_regimes(self, circuit):
+        corner = circuit.corner_frequency_hz()
+        assert 1e4 < corner < 1e5  # between the paper's 10 kHz and 100 kHz quotes
+
+    def test_minimum_resistive_frequency(self, circuit):
+        frequency = circuit.minimum_resistive_frequency_hz()
+        assert circuit.regime(frequency * 1.01) is Regime.RESISTIVE
+
+
+class TestTransduction:
+    def test_efficiency_near_one_in_operating_band(self, circuit):
+        assert float(circuit.transduction_efficiency(1e6)) > 0.95
+
+    def test_efficiency_near_zero_in_capacitive_regime(self, circuit):
+        assert float(circuit.transduction_efficiency(100.0)) < 0.01
+
+    def test_efficiency_monotone_in_frequency(self, circuit):
+        frequencies = np.logspace(2, 7, 30)
+        efficiency = circuit.transduction_efficiency(frequencies)
+        assert np.all(np.diff(efficiency) > 0)
+
+    def test_measured_drop_scales_with_change(self, circuit):
+        small = float(circuit.measured_drop(1e6, 0.001))
+        large = float(circuit.measured_drop(1e6, 0.01))
+        assert large == pytest.approx(10 * small, rel=1e-6)
+
+    def test_measured_drop_vector_frequencies(self, circuit):
+        drops = circuit.measured_drop(np.array([500e3, 2500e3]), 0.01)
+        assert drops.shape == (2,)
+        assert np.all(drops > 0)

@@ -1,0 +1,123 @@
+"""SVG plotting kit and figure generators."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro._util.errors import ValidationError
+from repro.plots.svg import Axes, SvgCanvas, _nice_ticks
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestSvgCanvas:
+    def test_empty_document_valid_xml(self):
+        root = parse(SvgCanvas().to_svg())
+        assert root.tag.endswith("svg")
+
+    def test_elements_rendered(self):
+        canvas = SvgCanvas()
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5)
+        canvas.rect(1, 1, 2, 2)
+        canvas.text(3, 3, "hello")
+        canvas.polyline([(0, 0), (1, 1), (2, 0)])
+        svg = canvas.to_svg()
+        for tag in ("<line", "<circle", "<rect", "<text", "<polyline"):
+            assert tag in svg
+        parse(svg)  # well-formed
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas()
+        canvas.text(0, 0, "<3 & more")
+        svg = canvas.to_svg()
+        assert "&lt;3 &amp; more" in svg
+        parse(svg)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            SvgCanvas(width=0)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+
+    def test_handles_small_ranges(self):
+        ticks = _nice_ticks(0.994, 1.001)
+        assert all(0.994 <= t <= 1.001 for t in ticks)
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0)  # does not crash
+
+
+class TestAxes:
+    def test_pixel_transform_corners(self):
+        canvas = SvgCanvas(width=400, height=300)
+        axes = Axes(canvas, x_range=(0, 10), y_range=(0, 1))
+        assert axes.x_pixel(0) == pytest.approx(axes.margin_left)
+        assert axes.x_pixel(10) == pytest.approx(400 - axes.margin_right)
+        assert axes.y_pixel(0) == pytest.approx(300 - axes.margin_bottom)
+        assert axes.y_pixel(1) == pytest.approx(axes.margin_top)
+
+    def test_plot_scatter_bars_legend(self):
+        canvas = SvgCanvas()
+        axes = Axes(canvas, x_range=(0, 10), y_range=(0, 5))
+        axes.draw_frame(title="t", x_label="x", y_label="y")
+        axes.plot([0, 5, 10], [1, 3, 2])
+        axes.scatter([1, 2], [1, 2])
+        axes.bars([3, 6], [2, 4], width=1.0)
+        axes.legend([("a", "#000"), ("b", "#111")])
+        parse(canvas.to_svg())
+
+    def test_mismatched_lengths_rejected(self):
+        axes = Axes(SvgCanvas(), x_range=(0, 1), y_range=(0, 1))
+        with pytest.raises(ValidationError):
+            axes.plot([1, 2], [1])
+        with pytest.raises(ValidationError):
+            axes.scatter([1], [1, 2])
+
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Axes(SvgCanvas(), x_range=(1, 1), y_range=(0, 1))
+
+
+class TestFigureGenerators:
+    """Each generator must return well-formed SVG with plotted content."""
+
+    def test_figure07(self):
+        from repro.plots import figure07_single_cell
+
+        svg = figure07_single_cell()
+        parse(svg)
+        assert "Figure 7" in svg
+        assert "<polyline" in svg
+
+    def test_figure15(self):
+        from repro.plots import figure15_spectra
+
+        svg = figure15_spectra()
+        parse(svg)
+        assert "blood_cell" in svg
+        assert svg.count("<polyline") >= 3
+
+    def test_figure16(self):
+        from repro.plots import figure16_clusters
+
+        svg = figure16_clusters()
+        parse(svg)
+        assert svg.count("<circle") > 500  # three populations scattered
+
+    def test_generate_all(self, tmp_path):
+        from repro.plots import generate_all_figures
+
+        written = generate_all_figures(tmp_path)
+        assert len(written) == 6
+        for path in written.values():
+            assert path.exists()
+            parse(path.read_text())

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.entropy import shannon_entropy_bits, uniform_entropy_bits
+from repro.crypto.analysis import (
+    ciphertext_count_candidates,
+    keyspace_size,
+    possible_multiplication_factors,
+    subset_count,
+)
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule, eq1_ideal_key_length_bits
+from repro.crypto.keygen import EntropySource, KeyGenerator
+from repro.dsp.detrend import piecewise_polynomial_detrend
+from repro.hardware.electrodes import ElectrodeArray
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.particles import BEAD_7P8, BLOOD_CELL, Sample, mix
+
+# ----------------------------------------------------------------------
+# Electrode arrays
+# ----------------------------------------------------------------------
+
+
+@given(n=st.integers(min_value=1, max_value=32))
+def test_multiplication_factor_all_active(n):
+    array = ElectrodeArray(n_outputs=n)
+    assert array.multiplication_factor(range(1, n + 1)) == 2 * n - 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    data=st.data(),
+)
+def test_multiplication_factor_additive(n, data):
+    array = ElectrodeArray(n_outputs=n)
+    electrodes = list(range(1, n + 1))
+    subset = data.draw(st.sets(st.sampled_from(electrodes), min_size=1))
+    total = array.multiplication_factor(subset)
+    assert total == sum(array.dips_per_particle(e) for e in subset)
+
+
+@given(n=st.integers(min_value=1, max_value=16))
+def test_gap_positions_sorted_positive(n):
+    array = ElectrodeArray(n_outputs=n)
+    last = -1.0
+    for electrode in array.position_order:
+        for gap in array.gap_positions_m(electrode):
+            assert gap > 0
+            assert gap > last
+            last = gap
+
+
+# ----------------------------------------------------------------------
+# Quantisation tables
+# ----------------------------------------------------------------------
+
+
+@given(level=st.integers(min_value=0, max_value=15))
+def test_gain_table_monotone(level):
+    table = GainTable()
+    if level < 15:
+        assert table.gain_for_level(level + 1) > table.gain_for_level(level)
+
+
+@given(levels=st.integers(min_value=2, max_value=64))
+def test_gain_table_resolution_bits(levels):
+    table = GainTable(n_levels=levels)
+    assert 2**table.resolution_bits >= levels
+    assert 2 ** (table.resolution_bits - 1) < levels
+
+
+@given(level=st.integers(min_value=0, max_value=15))
+def test_flow_table_roundtrip(level):
+    table = FlowSpeedTable()
+    assert table.level_for_rate(table.rate_for_level(level)) == level
+
+
+# ----------------------------------------------------------------------
+# Key material
+# ----------------------------------------------------------------------
+
+
+@given(
+    n_cells=st.integers(min_value=0, max_value=10**6),
+    n_elec=st.integers(min_value=1, max_value=64),
+    r_gain=st.integers(min_value=0, max_value=16),
+    r_flow=st.integers(min_value=0, max_value=16),
+)
+def test_eq2_linear_and_positive(n_cells, n_elec, r_gain, r_flow):
+    bits = eq1_ideal_key_length_bits(n_cells, n_elec, r_gain, r_flow)
+    assert bits >= 0
+    assert bits == n_cells * eq1_ideal_key_length_bits(1, n_elec, r_gain, r_flow)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_keygen_produces_valid_schedules(seed):
+    generator = KeyGenerator(n_electrodes=9)
+    schedule = generator.generate_schedule(10.0, 1.0, EntropySource(rng=seed))
+    assert schedule.n_epochs == 10
+    for epoch in schedule.epochs:
+        assert 1 <= len(epoch.active_electrodes) <= 9
+        assert all(1 <= e <= 9 for e in epoch.active_electrodes)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    time=st.floats(min_value=0.0, max_value=9.999),
+)
+@settings(max_examples=40, deadline=None)
+def test_schedule_lookup_consistent(seed, time):
+    generator = KeyGenerator(n_electrodes=5)
+    schedule = generator.generate_schedule(10.0, 1.0, EntropySource(rng=seed))
+    key = schedule.key_at(time)
+    index = schedule.epoch_index_at(time)
+    start, end = schedule.epoch_bounds(index)
+    assert start <= time < end
+    assert key is schedule.epochs[index]
+
+
+# ----------------------------------------------------------------------
+# Security accounting
+# ----------------------------------------------------------------------
+
+
+@given(n=st.integers(min_value=2, max_value=20))
+def test_subset_count_consistency(n):
+    total = sum(
+        subset_count(n, min_active=k, max_active=k) for k in range(1, n + 1)
+    )
+    assert total == subset_count(n) == 2**n - 1
+
+
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    observed=st.integers(min_value=0, max_value=10_000),
+)
+def test_count_candidates_sorted_unique(n, observed):
+    candidates = ciphertext_count_candidates(observed, n)
+    assert candidates == sorted(set(candidates))
+    factors = possible_multiplication_factors(n)
+    assert len(candidates) <= len(factors)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    gains=st.integers(min_value=1, max_value=32),
+    flows=st.integers(min_value=1, max_value=32),
+)
+def test_keyspace_grows_with_levels(n, gains, flows):
+    base = keyspace_size(n, gains, flows)
+    assert keyspace_size(n, gains + 1, flows) > base
+    assert keyspace_size(n, gains, flows + 1) > base
+
+
+# ----------------------------------------------------------------------
+# Samples
+# ----------------------------------------------------------------------
+
+
+@given(
+    conc_a=st.floats(min_value=0.0, max_value=1e4),
+    conc_b=st.floats(min_value=0.0, max_value=1e4),
+    vol_a=st.floats(min_value=0.1, max_value=100.0),
+    vol_b=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_mix_conserves_counts_and_volume(conc_a, conc_b, vol_a, vol_b):
+    a = Sample.from_concentrations({BLOOD_CELL: conc_a}, volume_ul=vol_a)
+    b = Sample.from_concentrations({BLOOD_CELL: conc_b, BEAD_7P8: 10.0}, volume_ul=vol_b)
+    mixed = mix(a, b)
+    assert mixed.total_count == a.total_count + b.total_count
+    assert mixed.volume_ul == pytest.approx(vol_a + vol_b)
+
+
+@given(
+    factor=st.floats(min_value=1.0, max_value=100.0),
+    conc=st.floats(min_value=1.0, max_value=1e4),
+)
+def test_dilution_scales_concentration(factor, conc):
+    sample = Sample.from_concentrations({BEAD_7P8: conc}, volume_ul=10.0)
+    diluted = sample.dilute(factor)
+    assert diluted.concentration_per_ul(BEAD_7P8) == pytest.approx(
+        sample.concentration_per_ul(BEAD_7P8) / factor
+    )
+
+
+# ----------------------------------------------------------------------
+# Channel physics
+# ----------------------------------------------------------------------
+
+
+@given(rate=st.floats(min_value=0.001, max_value=10.0))
+def test_velocity_rate_roundtrip_property(rate):
+    channel = MicrofluidicChannel()
+    assert channel.flow_rate_for_velocity(
+        channel.velocity_for_flow_rate(rate)
+    ) == pytest.approx(rate, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Detrending
+# ----------------------------------------------------------------------
+
+
+@given(
+    scale=st.floats(min_value=0.5, max_value=2.0),
+    slope=st.floats(min_value=-0.01, max_value=0.01),
+)
+@settings(max_examples=20, deadline=None)
+def test_detrend_scale_invariant(scale, slope):
+    # Detrending divides by the baseline, so scaling the whole signal
+    # must leave the detrended result unchanged.
+    t = np.linspace(0, 1, 2000)
+    signal = 1.0 + slope * t + 0.005 * np.exp(-0.5 * ((t - 0.5) / 0.01) ** 2)
+    a = piecewise_polynomial_detrend(signal, 450.0)
+    b = piecewise_polynomial_detrend(scale * signal, 450.0)
+    assert np.allclose(a, b, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Entropy
+# ----------------------------------------------------------------------
+
+
+@given(n=st.integers(min_value=1, max_value=10**6))
+def test_uniform_entropy_matches_shannon(n):
+    assume(n <= 1000)  # keep the explicit distribution small
+    assert uniform_entropy_bits(n) == pytest.approx(
+        shannon_entropy_bits([1.0 / n] * n), abs=1e-6
+    )

@@ -1,0 +1,114 @@
+"""Property tests: authentication quantisation and the SVG kit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth.alphabet import DEFAULT_ALPHABET, BeadAlphabet
+from repro.auth.authenticator import ServerAuthenticator
+from repro.auth.identifier import CytoIdentifier
+from repro.plots.svg import Axes, SvgCanvas, _nice_ticks
+
+# ----------------------------------------------------------------------
+# Authentication quantisation
+# ----------------------------------------------------------------------
+
+level_strategy = st.integers(min_value=0, max_value=DEFAULT_ALPHABET.n_levels - 1)
+
+
+@given(level=level_strategy)
+def test_nearest_level_is_identity_on_exact_values(level):
+    concentration = DEFAULT_ALPHABET.concentration_for_level(level)
+    assert DEFAULT_ALPHABET.nearest_level(concentration) == level
+
+
+@given(
+    level=level_strategy,
+    jitter=st.floats(min_value=-0.15, max_value=0.15),
+)
+def test_nearest_level_stable_under_small_relative_noise(level, jitter):
+    concentration = DEFAULT_ALPHABET.concentration_for_level(level)
+    if concentration == 0.0:
+        return  # zero cannot be perturbed multiplicatively
+    perturbed = concentration * (1.0 + jitter)
+    assert DEFAULT_ALPHABET.nearest_level(perturbed) == level
+
+
+@given(
+    levels=st.tuples(level_strategy, level_strategy),
+    volume=st.floats(min_value=0.05, max_value=2.0),
+    efficiency=st.floats(min_value=0.5, max_value=1.0),
+)
+@settings(max_examples=50)
+def test_identifier_recovery_roundtrip(levels, volume, efficiency):
+    if all(DEFAULT_ALPHABET.concentration_for_level(l) == 0 for l in levels):
+        return
+    identifier = CytoIdentifier(DEFAULT_ALPHABET, levels)
+    authenticator = ServerAuthenticator(
+        DEFAULT_ALPHABET, delivery_efficiency=efficiency
+    )
+    # Ideal counts at the authenticator's own efficiency model.
+    counts = {
+        bead.name: concentration * volume * efficiency
+        for bead, concentration in identifier.concentrations_per_ul().items()
+    }
+    recovered, concentrations = authenticator.recover_identifier(counts, volume)
+    assert recovered.matches(identifier)
+    for measured, (bead, nominal) in zip(
+        concentrations, identifier.concentrations_per_ul().items()
+    ):
+        assert measured == pytest.approx(nominal, rel=1e-9)
+
+
+@given(
+    data=st.data(),
+    n_levels=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=30)
+def test_custom_alphabet_quantiser_consistent(data, n_levels):
+    # Build a random strictly increasing level ladder and check the
+    # quantiser maps each level's concentration back to itself.
+    increments = data.draw(
+        st.lists(
+            st.floats(min_value=50.0, max_value=500.0),
+            min_size=n_levels - 1,
+            max_size=n_levels - 1,
+        )
+    )
+    levels = [0.0]
+    for increment in increments:
+        levels.append(levels[-1] + increment)
+    alphabet = BeadAlphabet(levels_per_ul=tuple(levels))
+    for index in range(alphabet.n_levels):
+        assert alphabet.nearest_level(alphabet.concentration_for_level(index)) == index
+
+
+# ----------------------------------------------------------------------
+# SVG kit
+# ----------------------------------------------------------------------
+
+
+@given(
+    low=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    span=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=60)
+def test_nice_ticks_within_range(low, span):
+    high = low + span
+    ticks = _nice_ticks(low, high)
+    assert all(low - 1e-9 <= t <= high + 1e-9 for t in ticks)
+    assert ticks == sorted(ticks)
+
+
+@given(
+    x=st.floats(min_value=0.0, max_value=10.0),
+    y=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_axes_pixel_transform_in_frame(x, y):
+    canvas = SvgCanvas(width=500, height=400)
+    axes = Axes(canvas, x_range=(0, 10), y_range=(0, 5))
+    px = axes.x_pixel(x)
+    py = axes.y_pixel(y)
+    assert axes.margin_left - 1e-6 <= px <= canvas.width - axes.margin_right + 1e-6
+    assert axes.margin_top - 1e-6 <= py <= canvas.height - axes.margin_bottom + 1e-6

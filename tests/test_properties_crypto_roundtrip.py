@@ -1,0 +1,106 @@
+"""Property-based end-to-end cipher roundtrips (hypothesis).
+
+The central correctness property of the whole system: for *any* valid
+key schedule and any sparse particle stream, encrypt-acquire-detect-
+decrypt recovers the exact particle count, and recovered amplitudes are
+key-independent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.decryptor import SignalDecryptor
+from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
+from repro.crypto.gains import GainTable
+from repro.crypto.key import EpochKey, KeySchedule
+from repro.dsp.peakdetect import PeakDetector
+from repro.hardware.acquisition import AcquisitionFrontEnd
+from repro.hardware.electrodes import standard_array
+from repro.microfluidics.channel import MicrofluidicChannel
+from repro.microfluidics.flow import FlowSpeedTable
+from repro.microfluidics.transport import ParticleArrival
+from repro.particles import BEAD_7P8
+from repro.particles.sample import Particle
+from repro.physics.lockin import LockInAmplifier
+from repro.physics.noise import QUIET
+
+CARRIERS = (500e3, 2500e3)
+ARRAY = standard_array(9)
+CHANNEL = MicrofluidicChannel()
+FLOW_TABLE = FlowSpeedTable()
+GAIN_TABLE = GainTable()
+LOCKIN = LockInAmplifier(carrier_frequencies_hz=CARRIERS)
+ENCRYPTOR = SignalEncryptor(carrier_frequencies_hz=CARRIERS)
+FRONT_END = AcquisitionFrontEnd(lockin=LOCKIN, noise=QUIET)
+DETECTOR = PeakDetector()
+
+# Non-adjacent electrode subsets (physical order: lead=9 then 1..8).
+VALID_SUBSETS = [
+    {9}, {1}, {5}, {9, 2}, {9, 4, 7}, {1, 3, 5}, {2, 4, 6, 8}, {9, 2, 4, 6, 8},
+]
+
+subset_strategy = st.sampled_from(VALID_SUBSETS)
+gain_strategy = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=9, max_size=9
+)
+flow_strategy = st.integers(min_value=0, max_value=15)
+spacing_strategy = st.lists(
+    st.floats(min_value=1.2, max_value=3.0), min_size=1, max_size=4
+)
+
+
+@given(
+    subset=subset_strategy,
+    gains=gain_strategy,
+    flow=flow_strategy,
+    spacings=spacing_strategy,
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_roundtrip_count_exact_for_sparse_streams(subset, gains, flow, spacings):
+    key = EpochKey(frozenset(subset), tuple(gains), flow)
+    times = np.cumsum(spacings) + 0.5
+    duration = float(times[-1] + 1.0)
+    schedule = KeySchedule(epoch_duration_s=duration, epochs=(key,))
+    plan = EncryptionPlan(schedule, ARRAY, GAIN_TABLE, FLOW_TABLE)
+    velocity = CHANNEL.velocity_for_flow_rate(FLOW_TABLE.rate_for_level(flow))
+    arrivals = [
+        ParticleArrival(float(t), Particle(BEAD_7P8, BEAD_7P8.diameter_m), velocity)
+        for t in times
+    ]
+    events = ENCRYPTOR.events_for_arrivals(arrivals, plan)
+    trace = FRONT_END.acquire(events, duration, rng=0)
+    report = DETECTOR.detect(trace.voltages, trace.sampling_rate_hz)
+    result = SignalDecryptor(plan=plan).decrypt(report)
+
+    m = ARRAY.multiplication_factor(subset)
+    assert report.count == m * len(arrivals)
+    assert result.total_count == len(arrivals)
+
+    # Amplitude recovery is key-independent: every clean particle's
+    # recovered amplitude sits near the bead's true measured drop.
+    expected = float(BEAD_7P8.relative_drop(500e3)) * 0.993
+    for particle in result.clean_particles:
+        assert particle.amplitudes[0] == pytest.approx(expected, rel=0.12)
+
+
+@given(
+    subset=subset_strategy,
+    gains=gain_strategy,
+    flow=flow_strategy,
+)
+@settings(max_examples=15, deadline=None)
+def test_ciphertext_count_is_key_dependent_not_particle_dependent(subset, gains, flow):
+    """Peak multiplication depends only on E, never on gains or flow."""
+    key = EpochKey(frozenset(subset), tuple(gains), flow)
+    schedule = KeySchedule(epoch_duration_s=5.0, epochs=(key,))
+    plan = EncryptionPlan(schedule, ARRAY, GAIN_TABLE, FLOW_TABLE)
+    velocity = CHANNEL.velocity_for_flow_rate(FLOW_TABLE.rate_for_level(flow))
+    arrival = ParticleArrival(1.0, Particle(BEAD_7P8, BEAD_7P8.diameter_m), velocity)
+    events = ENCRYPTOR.events_for_arrivals([arrival], plan)
+    assert len(events) == ARRAY.multiplication_factor(subset)

@@ -1,0 +1,107 @@
+"""Session protocol variants and integration seams."""
+
+import numpy as np
+import pytest
+
+from repro import CytoIdentifier, MedSenSession, Sample
+from repro.auth.pipette import LinkagePolicy, PipetteBatch
+from repro.cloud.server import AnalysisServer
+from repro.core.diagnosis import DiagnosticBand, ThresholdDiagnostic
+from repro.core.notification import Severity
+from repro.mobile.phone import Smartphone
+from repro.particles import BLOOD_CELL, mix
+
+
+@pytest.fixture(scope="module")
+def base_blood():
+    return Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+
+
+class TestNotificationIntegration:
+    def test_session_result_notification(self, base_blood):
+        session = MedSenSession(rng=600)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("u", identifier)
+        result = session.run_diagnostic(base_blood, identifier, duration_s=45.0, rng=1)
+        notification = result.notification()
+        assert notification.severity in tuple(Severity)
+        assert "CD4" in notification.title
+        assert f"{result.diagnosis.concentration_per_ul:.0f}" in notification.body
+
+
+class TestCustomDiagnostic:
+    def test_session_with_custom_bands(self, base_blood):
+        binary = ThresholdDiagnostic(
+            marker_name="target-cell",
+            bands=(
+                DiagnosticBand("positive", 0.0, 300.0),
+                DiagnosticBand("negative", 300.0, float("inf")),
+            ),
+        )
+        session = MedSenSession(rng=601, diagnostic=binary)
+        identifier = CytoIdentifier(session.config.alphabet, (1, 1))
+        session.authenticator.register("u", identifier)
+        result = session.run_diagnostic(base_blood, identifier, duration_s=45.0, rng=2)
+        assert result.diagnosis.label in ("positive", "negative")
+        assert result.diagnosis.marker_name == "target-cell"
+
+
+class TestLocalAnalysisSession:
+    def test_phone_local_mode_works_end_to_end(self, base_blood):
+        phone = Smartphone(local_analysis_threshold_samples=10**9)
+        session = MedSenSession(rng=602, phone=phone)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("u", identifier)
+        result = session.run_diagnostic(base_blood, identifier, duration_s=45.0, rng=3)
+        assert result.relay.analyzed_locally
+        assert result.relay.uploaded_bytes == 0
+        # The cloud never saw the capture.
+        assert session.server.jobs_processed == 0
+        assert result.auth.user_id == "u"
+
+
+class TestPipetteDrivenSession:
+    def test_session_fed_from_a_pipette_batch(self, base_blood):
+        """The physical workflow: draw a manufactured pipette, mix, run
+        the capture path manually (device-level API)."""
+        session = MedSenSession(rng=603)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("u", identifier)
+        batch = PipetteBatch(identifier, n_pipettes=2, policy=LinkagePolicy.PER_USER)
+
+        final_volume = base_blood.volume_ul + batch.pipette_volume_ul
+        pipette = batch.draw_pipette(final_volume_ul=final_volume, rng=4)
+        mixed = mix(base_blood, pipette)
+        capture = session.device.run_capture(
+            mixed, 60.0, encrypt=True, rng=np.random.default_rng(5)
+        )
+        relay = session.phone.relay(capture.trace, session.server)
+        decryption = session.device.decrypt(relay.report)
+        assert decryption.total_count > 0
+        assert batch.remaining == 1
+
+
+class TestSessionReuse:
+    def test_sequential_diagnostics_accumulate_records(self, base_blood):
+        session = MedSenSession(rng=604)
+        identifier = CytoIdentifier(session.config.alphabet, (1, 2))
+        session.authenticator.register("u", identifier)
+        for seed in (10, 11):
+            result = session.run_diagnostic(
+                base_blood, identifier, duration_s=90.0, rng=seed
+            )
+            assert result.auth.user_id == "u"
+        assert session.store.n_records == 2
+        # Both records filed under the same identifier key (PER_USER
+        # linkage semantics).
+        assert session.store.n_identifiers == 1
+
+    def test_fresh_keys_per_capture(self, base_blood):
+        session = MedSenSession(rng=605)
+        identifier = CytoIdentifier(session.config.alphabet, (1, 2))
+        session.authenticator.register("u", identifier)
+        session.run_diagnostic(base_blood, identifier, duration_s=45.0, rng=20)
+        first = session.device.controller.export_schedule("practitioner")
+        session.run_diagnostic(base_blood, identifier, duration_s=45.0, rng=21)
+        second = session.device.controller.export_schedule("practitioner")
+        assert first.epochs != second.epochs

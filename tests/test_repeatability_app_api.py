@@ -1,0 +1,168 @@
+"""Repeatability model, app state machine, cloud message protocol."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.analysis.repeatability import (
+    counting_cv,
+    empirical_cv,
+    is_repeatable,
+    required_sample_size,
+)
+from repro.cloud.api import (
+    AnalysisRequest,
+    AnalysisResponse,
+    StoreRequest,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.dsp.peakdetect import DetectedPeak, PeakReport
+from repro.mobile.app import AppState, DiagnosticApp
+from repro.mobile.usb import AccessoryLink
+
+
+class TestRepeatability:
+    def test_paper_20k_rule(self):
+        # §VI-B: 20K cells give repeatable counts; small samples do not.
+        assert is_repeatable(20_000)
+        assert not is_repeatable(200)
+
+    def test_cv_decreases_with_sample_size(self):
+        sizes = [100, 1_000, 10_000, 100_000]
+        cvs = [counting_cv(n) for n in sizes]
+        assert all(b < a for a, b in zip(cvs, cvs[1:]))
+
+    def test_cv_converges_to_floor(self):
+        assert counting_cv(10**9, system_floor=0.02) == pytest.approx(0.02, rel=0.01)
+
+    def test_required_sample_size_roundtrip(self):
+        n = required_sample_size(0.05, system_floor=0.02)
+        assert counting_cv(n, system_floor=0.02) <= 0.0501
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValidationError):
+            required_sample_size(0.01, system_floor=0.02)
+
+    def test_empirical_cv(self):
+        counts = [100, 110, 90, 105, 95]
+        cv = empirical_cv(counts)
+        assert cv == pytest.approx(np.std(counts, ddof=1) / np.mean(counts))
+
+    def test_empirical_cv_validation(self):
+        with pytest.raises(ValidationError):
+            empirical_cv([5])
+        with pytest.raises(ValidationError):
+            empirical_cv([0, 0])
+
+
+def connected_app():
+    link = AccessoryLink()
+    link.plug_in()
+    link.phone_responds(app_installed=True)
+    app = DiagnosticApp(link=link)
+    app.device_connected()
+    return app
+
+
+class TestDiagnosticApp:
+    def test_happy_path(self):
+        app = connected_app()
+        app.start_test()
+        app.capture_complete()
+        app.upload_complete()
+        app.result_received("CD4: 412/µL — moderate")
+        assert app.state is AppState.SHOWING_RESULT
+        assert app.result_text == "CD4: 412/µL — moderate"
+        app.acknowledge_result()
+        assert app.state is AppState.READY
+
+    def test_progression_log_records_feedback(self):
+        app = connected_app()
+        app.start_test()
+        app.capture_complete()
+        states = [state for state, _ in app.progression_log]
+        assert states == [AppState.READY, AppState.TEST_RUNNING, AppState.UPLOADING]
+
+    def test_illegal_transition_rejected(self):
+        app = connected_app()
+        with pytest.raises(ConfigurationError):
+            app.capture_complete()  # test was never started
+
+    def test_error_and_reset(self):
+        app = connected_app()
+        app.start_test()
+        app.fail("upload timed out")
+        assert app.state is AppState.ERROR
+        app.reset()
+        assert app.state is AppState.WAITING_FOR_DEVICE
+        assert app.result_text is None
+
+    def test_reset_only_from_error(self):
+        app = connected_app()
+        with pytest.raises(ConfigurationError):
+            app.reset()
+
+    def test_requires_connected_link(self):
+        app = DiagnosticApp()
+        with pytest.raises(ConfigurationError):
+            app.device_connected()
+
+    def test_empty_result_rejected(self):
+        app = connected_app()
+        app.start_test()
+        app.capture_complete()
+        app.upload_complete()
+        with pytest.raises(ConfigurationError):
+            app.result_received("")
+
+
+def sample_report():
+    peaks = (
+        DetectedPeak(1.0, 0.01, 0.02, np.array([0.01, 0.005]), 450),
+        DetectedPeak(2.0, 0.02, 0.015, np.array([0.02, 0.01]), 900),
+    )
+    return PeakReport(peaks, 10.0, 450.0, 0)
+
+
+class TestCloudApi:
+    def test_analysis_request_roundtrip(self):
+        request = AnalysisRequest("cap-1", 5, 27000, 450.0, 123456)
+        recovered = AnalysisRequest.from_json(request.to_json())
+        assert recovered == request
+
+    def test_analysis_response_roundtrip(self):
+        response = AnalysisResponse("cap-1", sample_report())
+        recovered = AnalysisResponse.from_json(response.to_json())
+        assert recovered.capture_id == "cap-1"
+        assert recovered.report.count == 2
+        assert recovered.report.peaks[0].time_s == pytest.approx(1.0)
+        assert np.allclose(
+            recovered.report.peaks[1].amplitudes, [0.02, 0.01]
+        )
+
+    def test_store_request_roundtrip(self):
+        request = StoreRequest("id-key", "cap-1", (("k", "v"),))
+        recovered = StoreRequest.from_json(request.to_json())
+        assert recovered == request
+
+    def test_report_dict_roundtrip(self):
+        report = sample_report()
+        recovered = report_from_dict(report_to_dict(report))
+        assert recovered.count == report.count
+        assert recovered.duration_s == report.duration_s
+
+    def test_wrong_message_type_rejected(self):
+        request = AnalysisRequest("cap-1", 1, 10, 450.0, 5)
+        with pytest.raises(ValidationError):
+            AnalysisResponse.from_json(request.to_json())
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValidationError):
+            AnalysisRequest.from_json('{"type": "analysis_request"}')
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            AnalysisRequest("", 1, 10, 450.0, 5)
+        with pytest.raises(ValidationError):
+            StoreRequest("", "cap", ())

@@ -1,0 +1,126 @@
+"""System scenarios: fault-injected devices, reports, exhaustive auth."""
+
+import numpy as np
+import pytest
+
+from repro import CytoIdentifier, MedSenSession, Sample
+from repro.auth.alphabet import DEFAULT_ALPHABET
+from repro.auth.authenticator import ServerAuthenticator
+from repro.core.device import MedSenDevice
+from repro.dsp.peakdetect import PeakDetector
+from repro.hardware.faults import FaultModel, self_test
+from repro.particles import BLOOD_CELL
+from repro.report import render_session_report, write_session_report
+
+
+class TestFaultInjectedDevice:
+    """A dead electrode corrupts decryption; the self-test catches it."""
+
+    def run_device(self, fault_model, seed=42):
+        device = MedSenDevice(rng=seed, fault_model=fault_model)
+        sample = Sample.from_concentrations({BLOOD_CELL: 900.0}, volume_ul=5)
+        capture = device.run_capture(sample, 40.0, rng=np.random.default_rng(seed))
+        report = PeakDetector().detect(
+            capture.trace.voltages, capture.trace.sampling_rate_hz
+        )
+        result = device.decrypt(report)
+        truth = capture.ground_truth.total_arrived
+        return result, truth, device
+
+    def test_healthy_device_counts_accurately(self):
+        result, truth, _ = self.run_device(None)
+        assert result.total_count == pytest.approx(truth, abs=max(2, 0.2 * truth))
+
+    def test_dead_electrodes_bias_counts_down(self):
+        sick = FaultModel(dead_electrodes={2, 4, 6})
+        errors_sick, errors_ok = [], []
+        for seed in (42, 43, 44):
+            result, truth, _ = self.run_device(sick, seed)
+            errors_sick.append((result.total_count - truth) / max(truth, 1))
+            result, truth, _ = self.run_device(None, seed)
+            errors_ok.append((result.total_count - truth) / max(truth, 1))
+        # Dead electrodes lose dips -> epochs divide short -> undercount.
+        assert np.mean(errors_sick) < np.mean(errors_ok)
+
+    def test_self_test_gates_the_faulty_device(self):
+        sick = FaultModel(dead_electrodes={2, 4, 6})
+        _, _, device = self.run_device(sick)
+        report = self_test(device.array, sick, rng=0)
+        assert not report.healthy
+        assert set(report.faulty_electrodes()["dead"]) == {2, 4, 6}
+
+
+class TestSessionReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        session = MedSenSession(rng=811)
+        identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+        session.authenticator.register("pat", identifier)
+        blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+        return session.run_diagnostic(blood, identifier, duration_s=45.0, rng=5)
+
+    def test_report_contains_all_sections(self, result):
+        text = render_session_report(result)
+        for heading in (
+            "## Capture",
+            "## Ciphertext",
+            "## Decryption",
+            "## Authentication",
+            "## Diagnosis",
+            "## Cost",
+            "## Ground truth",
+        ):
+            assert heading in text
+
+    def test_report_reflects_values(self, result):
+        text = render_session_report(result, title="Run 7")
+        assert text.startswith("# Run 7")
+        assert str(result.decryption.total_count) in text
+        assert result.auth.recovered.as_string() in text
+        assert result.diagnosis.label in text
+
+    def test_write_report(self, result, tmp_path):
+        path = write_session_report(result, tmp_path / "reports" / "run1.md")
+        assert path.exists()
+        assert "## Diagnosis" in path.read_text()
+
+
+class TestExhaustiveAuthentication:
+    """Every identifier in the default password space authenticates to
+    itself under ideal measurement — and to nothing else."""
+
+    def all_identifiers(self):
+        from itertools import product
+
+        alphabet = DEFAULT_ALPHABET
+        out = []
+        for levels in product(range(alphabet.n_levels), repeat=alphabet.n_characters):
+            if any(alphabet.concentration_for_level(l) > 0 for l in levels):
+                out.append(CytoIdentifier(alphabet, levels))
+        return out
+
+    def ideal_counts(self, identifier, volume=0.2):
+        return {
+            bead.name: concentration * volume
+            for bead, concentration in identifier.concentrations_per_ul().items()
+        }
+
+    def test_space_size_matches_formula(self):
+        from repro.auth.collision import password_space_size
+
+        assert len(self.all_identifiers()) == password_space_size(DEFAULT_ALPHABET)
+
+    def test_every_identifier_self_recovers(self):
+        auth = ServerAuthenticator(DEFAULT_ALPHABET, delivery_efficiency=1.0)
+        for identifier in self.all_identifiers():
+            recovered, _ = auth.recover_identifier(self.ideal_counts(identifier), 0.2)
+            assert recovered.matches(identifier), identifier.as_string()
+
+    def test_no_cross_matches_under_ideal_measurement(self):
+        auth = ServerAuthenticator(DEFAULT_ALPHABET, delivery_efficiency=1.0)
+        identifiers = self.all_identifiers()
+        for index, identifier in enumerate(identifiers):
+            auth.register(f"user-{index}", identifier)
+        for index, identifier in enumerate(identifiers):
+            decision = auth.authenticate(self.ideal_counts(identifier), 0.2)
+            assert decision.user_id == f"user-{index}"

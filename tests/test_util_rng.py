@@ -1,0 +1,61 @@
+"""Randomness plumbing: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import derive_rng, ensure_rng, fraction_to_count, spawn_children
+
+
+def test_ensure_rng_from_seed_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_passes_generators_through():
+    generator = np.random.default_rng(1)
+    assert ensure_rng(generator) is generator
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_children_independent_streams():
+    children = spawn_children(7, 3)
+    draws = [child.random(4) for child in children]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_spawn_children_deterministic():
+    a = [c.random(3) for c in spawn_children(9, 2)]
+    b = [c.random(3) for c in spawn_children(9, 2)]
+    for x, y in zip(a, b):
+        assert np.allclose(x, y)
+
+
+def test_spawn_children_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_children(1, -1)
+
+
+def test_derive_rng_label_separates_streams():
+    a = derive_rng(3, "physics").random(4)
+    b = derive_rng(3, "entropy").random(4)
+    assert not np.allclose(a, b)
+
+
+def test_fraction_to_count_integer_expectation():
+    assert fraction_to_count(5.0, rng=0) == 5
+
+
+def test_fraction_to_count_preserves_expectation():
+    rng = np.random.default_rng(0)
+    draws = [fraction_to_count(2.3, rng) for _ in range(4000)]
+    assert abs(np.mean(draws) - 2.3) < 0.05
+
+
+def test_fraction_to_count_negative_raises():
+    with pytest.raises(ValueError):
+        fraction_to_count(-0.1)

@@ -1,0 +1,46 @@
+"""Units helpers: conversions the physics relies on."""
+
+import math
+
+from repro._util import units
+
+
+def test_micrometer():
+    assert math.isclose(units.micrometer(30.0), 30e-6)
+
+
+def test_millisecond():
+    assert units.millisecond(20.0) == 0.02
+
+
+def test_khz_and_mhz():
+    assert units.khz(500) == 500e3
+    assert units.mhz(2) == 2e6
+
+
+def test_megaohm():
+    assert math.isclose(units.megaohm(1.5), 1.5e6)
+
+
+def test_microliter_per_minute():
+    # 0.08 uL/min in L/s
+    assert math.isclose(units.microliter_per_minute(0.08), 0.08e-6 / 60.0)
+
+
+def test_minute_hour_constants():
+    assert units.MINUTE == 60.0
+    assert units.HOUR == 3600.0
+
+
+def test_liters_cubic_meters_roundtrip():
+    value = 0.123
+    back = units.cubic_meters_to_liters(units.liters_to_cubic_meters(value))
+    assert math.isclose(back, value)
+
+
+def test_microliter():
+    assert math.isclose(units.microliter(10.0), 1e-5)
+
+
+def test_hz_identity():
+    assert units.hz(450.0) == 450.0

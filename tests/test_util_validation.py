@@ -1,0 +1,74 @@
+"""Validation helpers fail loudly with named parameters."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ValidationError
+from repro._util.validation import (
+    check_finite,
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_probability,
+)
+
+
+def test_check_positive_accepts_positive():
+    assert check_positive("x", 1.5) == 1.5
+
+
+def test_check_positive_rejects_zero():
+    with pytest.raises(ValidationError, match="x"):
+        check_positive("x", 0.0)
+
+
+def test_check_positive_allow_zero():
+    assert check_positive("x", 0.0, allow_zero=True) == 0.0
+    with pytest.raises(ValidationError):
+        check_positive("x", -1.0, allow_zero=True)
+
+
+def test_check_positive_rejects_nan_and_inf():
+    with pytest.raises(ValidationError):
+        check_positive("x", float("nan"))
+    with pytest.raises(ValidationError):
+        check_positive("x", float("inf"))
+
+
+def test_check_in_range_bounds():
+    assert check_in_range("x", 0.5, 0.0, 1.0) == 0.5
+    with pytest.raises(ValidationError):
+        check_in_range("x", 1.5, 0.0, 1.0)
+    with pytest.raises(ValidationError):
+        check_in_range("x", -0.5, 0.0, 1.0)
+
+
+def test_check_in_range_exclusive():
+    with pytest.raises(ValidationError):
+        check_in_range("x", 0.0, low=0.0, low_inclusive=False)
+    with pytest.raises(ValidationError):
+        check_in_range("x", 1.0, high=1.0, high_inclusive=False)
+
+
+def test_check_probability():
+    assert check_probability("p", 0.0) == 0.0
+    assert check_probability("p", 1.0) == 1.0
+    with pytest.raises(ValidationError):
+        check_probability("p", 1.01)
+
+
+def test_check_finite():
+    arr = np.array([1.0, 2.0])
+    assert check_finite("a", arr) is not None
+    with pytest.raises(ValidationError, match="a"):
+        check_finite("a", np.array([1.0, np.nan]))
+
+
+def test_check_integer():
+    assert check_integer("n", 5) == 5
+    with pytest.raises(ValidationError):
+        check_integer("n", 5.5)
+    with pytest.raises(ValidationError):
+        check_integer("n", 2, minimum=3)
+    with pytest.raises(ValidationError):
+        check_integer("n", True)
