@@ -7,7 +7,9 @@ the *shape* assertions — who wins, by what factor, where the lines
 cross — are enforced with plain ``assert``.
 """
 
-from typing import Iterable, List, Sequence
+import json
+import os
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -54,6 +56,62 @@ from repro.experiments import acquire_particle_events, single_key_plan  # noqa: 
 def relative_error(measured: float, reference: float) -> float:
     """|measured - reference| / reference."""
     return abs(measured - reference) / abs(reference)
+
+
+def stage_timings(result) -> dict:
+    """Per-stage timing breakdown of one ``SessionResult``.
+
+    Splits the session's post-acquisition latency into the pipeline
+    stages so benchmark trajectories record *where* time went, not one
+    end-to-end blob.
+    """
+    timing = result.timing
+    return {
+        "compression_s": timing.compression_s,
+        "transfer_s": timing.transfer_s,
+        "cloud_analysis_s": timing.cloud_analysis_s,
+        "decryption_s": timing.decryption_s,
+        "classification_s": timing.classification_s,
+        "processing_s": timing.processing_s,
+        "end_to_end_s": timing.end_to_end_s,
+    }
+
+
+def write_stage_timings(path: str, results: Sequence, label: str = "") -> str:
+    """Dump per-stage timings of session results as JSON; returns the path.
+
+    The file holds one entry per session plus per-stage means, so
+    ``BENCH_*.json`` trajectories can track individual stages across
+    commits.
+    """
+    per_session = [stage_timings(result) for result in results]
+    stages = per_session[0].keys() if per_session else ()
+    payload = {
+        "label": label,
+        "n_sessions": len(per_session),
+        "sessions": per_session,
+        "mean": {
+            stage: float(np.mean([entry[stage] for entry in per_session]))
+            for stage in stages
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+    return path
+
+
+def maybe_write_stage_timings(results: Sequence, label: str) -> Optional[str]:
+    """Honour the ``BENCH_STAGE_TIMINGS`` env var if set.
+
+    Point it at a directory to collect ``<label>.stages.json`` files
+    from instrumented benches; unset (the default) writes nothing.
+    """
+    out_dir = os.environ.get("BENCH_STAGE_TIMINGS")
+    if not out_dir:
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{label}.stages.json")
+    return write_stage_timings(path, results, label=label)
 
 
 def summarize_report(report: PeakReport) -> dict:

@@ -16,7 +16,7 @@ fits comfortably inside one minute.
 import numpy as np
 import pytest
 
-from benchmarks._harness import print_table
+from benchmarks._harness import maybe_write_stage_timings, print_table
 from repro import CytoIdentifier, MedSenSession, Sample
 from repro.particles import BLOOD_CELL
 
@@ -61,6 +61,9 @@ def test_end_to_end_timing(benchmark, session):
         ],
     )
     print("paper: ~0.2 s average end-to-end diagnostics time")
+    stage_path = maybe_write_stage_timings(results, "end_to_end")
+    if stage_path:
+        print(f"per-stage timings written: {stage_path}")
 
     # Shape: sub-second compute, same regime as the paper's 0.2 s.
     assert processing < 1.0

@@ -33,6 +33,7 @@ Package map
 ``repro.mobile``        smartphone relay, USB link, perf models
 ``repro.attacks``       eavesdropper baselines
 ``repro.analysis``      calibration fits, metrics, entropy
+``repro.obs``           tracing, metrics registry, audit event log
 """
 
 from repro._util.errors import (

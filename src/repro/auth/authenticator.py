@@ -20,6 +20,7 @@ from repro._util.validation import check_in_range, check_positive
 from repro.auth.alphabet import BeadAlphabet
 from repro.auth.classifier import ClassificationReport
 from repro.auth.identifier import CytoIdentifier
+from repro.obs import AUTH_ACCEPTED, AUTH_REJECTED, NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -50,12 +51,21 @@ class ServerAuthenticator:
         Calibrated fraction of beads that survive inlet settling and
         wall adsorption (the Fig 12/13 slope); measured concentrations
         are divided by it before level quantisation.
+    observer:
+        Observability sink (auth accept/reject audit events and
+        counters); the default records nothing.
     """
 
-    def __init__(self, alphabet: BeadAlphabet, delivery_efficiency: float = 0.92) -> None:
+    def __init__(
+        self,
+        alphabet: BeadAlphabet,
+        delivery_efficiency: float = 0.92,
+        observer=NULL_OBSERVER,
+    ) -> None:
         check_in_range("delivery_efficiency", delivery_efficiency, 0.0, 1.0, low_inclusive=False)
         self.alphabet = alphabet
         self.delivery_efficiency = delivery_efficiency
+        self.observer = observer
         self._registry: Dict[str, CytoIdentifier] = {}
 
     # ------------------------------------------------------------------
@@ -131,26 +141,43 @@ class ServerAuthenticator:
         pumped_volume_ul: float,
     ) -> AuthDecision:
         """Match recovered bead statistics against the registry."""
-        try:
-            recovered, concentrations = self.recover_identifier(
-                bead_counts, pumped_volume_ul
-            )
-        except Exception as exc:  # all-absent recovery -> no password beads
-            raise AuthenticationError(f"could not recover an identifier: {exc}") from exc
-        for user_id, registered in self._registry.items():
-            if registered.matches(recovered):
-                return AuthDecision(
-                    accepted=True,
-                    user_id=user_id,
-                    recovered=recovered,
-                    measured_concentrations_per_ul=concentrations,
+        with self.observer.span("authenticate") as span:
+            try:
+                recovered, concentrations = self.recover_identifier(
+                    bead_counts, pumped_volume_ul
                 )
-        return AuthDecision(
-            accepted=False,
-            user_id=None,
-            recovered=recovered,
-            measured_concentrations_per_ul=concentrations,
-        )
+            except Exception as exc:  # all-absent recovery -> no password beads
+                self.observer.incr("auth.errors")
+                raise AuthenticationError(
+                    f"could not recover an identifier: {exc}"
+                ) from exc
+            decision = AuthDecision(
+                accepted=False,
+                user_id=None,
+                recovered=recovered,
+                measured_concentrations_per_ul=concentrations,
+            )
+            for user_id, registered in self._registry.items():
+                if registered.matches(recovered):
+                    decision = AuthDecision(
+                        accepted=True,
+                        user_id=user_id,
+                        recovered=recovered,
+                        measured_concentrations_per_ul=concentrations,
+                    )
+                    break
+            span.set_attribute("accepted", decision.accepted)
+        if decision.accepted:
+            self.observer.incr("auth.accepted")
+            self.observer.event(
+                AUTH_ACCEPTED,
+                user_id=decision.user_id,
+                identifier=recovered.as_string(),
+            )
+        else:
+            self.observer.incr("auth.rejected")
+            self.observer.event(AUTH_REJECTED, identifier=recovered.as_string())
+        return decision
 
     # ------------------------------------------------------------------
     # §V integrity check

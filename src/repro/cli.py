@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the workflows a bench scientist or security
+Seven subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
-  (``--report`` writes a Markdown session report).
+  (``--report`` writes a Markdown session report, ``--trace-out``
+  a Chrome-trace JSON of the session's spans).
+* ``stats``     — run an instrumented session and print the span
+  tree, metrics table, and audit event log (``--trace-out`` /
+  ``--events-out`` export Chrome-trace JSON / JSONL).
 * ``keysize``   — Eq. 2 key-length calculator.
 * ``attacks``   — run the eavesdropper suite against a fresh capture.
 * ``selftest``  — electrode-array self-test with optional injected
@@ -20,18 +24,26 @@ from typing import List, Optional
 from repro._util.errors import MedSenError
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _run_instrumented_session(seed: int, duration_s: float, concentration: float):
+    """One observed diagnostic session (shared by demo/stats)."""
     from repro import CytoIdentifier, MedSenSession, Sample
+    from repro.obs import EventLog, MetricsRegistry, Observer
     from repro.particles import BLOOD_CELL
 
-    session = MedSenSession(rng=args.seed)
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    session = MedSenSession(rng=seed, observer=observer)
     identifier = CytoIdentifier(session.config.alphabet, (2, 1))
     session.authenticator.register("demo-user", identifier)
-    blood = Sample.from_concentrations(
-        {BLOOD_CELL: args.concentration}, volume_ul=10
-    )
+    blood = Sample.from_concentrations({BLOOD_CELL: concentration}, volume_ul=10)
     result = session.run_diagnostic(
-        blood, identifier, duration_s=args.duration, rng=args.seed + 1
+        blood, identifier, duration_s=duration_s, rng=seed + 1
+    )
+    return result, observer
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    result, observer = _run_instrumented_session(
+        args.seed, args.duration, args.concentration
     )
     truth = result.capture.ground_truth
     print(f"particles arrived:   {truth.total_arrived}")
@@ -47,6 +59,40 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
         path = write_session_report(result, args.report)
         print(f"report written:      {path}")
+    if args.trace_out:
+        path = observer.tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written:       {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import format_event_log, format_metrics_table, format_span_tree
+
+    result, observer = _run_instrumented_session(
+        args.seed, args.duration, args.concentration
+    )
+    print("=== span tree ===")
+    print(format_span_tree(observer.tracer))
+    print()
+    print("=== metrics ===")
+    print(format_metrics_table(observer.metrics))
+    print()
+    print("=== audit events ===")
+    print(format_event_log(observer.events, limit=args.events))
+    print()
+    print(f"session outcome: auth={result.auth.accepted} "
+          f"diagnosis={result.diagnosis.label} "
+          f"recovered_count={result.decryption.total_count}")
+    if args.trace_out:
+        path = observer.tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written: {path}")
+    if args.events_out:
+        from repro.obs import JsonlFileSink
+
+        with JsonlFileSink(args.events_out) as sink:
+            for event in observer.events.events:
+                sink.emit(event)
+        print(f"events written: {args.events_out}")
     return 0
 
 
@@ -159,7 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="true marker concentration (cells/µL)")
     demo.add_argument("--report", type=str, default=None,
                       help="write a Markdown session report to this path")
+    demo.add_argument("--trace-out", type=str, default=None,
+                      help="write Chrome-trace JSON of the session's spans")
     demo.set_defaults(handler=_cmd_demo)
+
+    stats = subparsers.add_parser(
+        "stats", help="instrumented session: span tree + metrics + audit log"
+    )
+    stats.add_argument("--seed", type=int, default=42)
+    stats.add_argument("--duration", type=float, default=20.0)
+    stats.add_argument("--concentration", type=float, default=400.0,
+                       help="true marker concentration (cells/µL)")
+    stats.add_argument("--events", type=int, default=30,
+                       help="audit events to print (0 = all retained)")
+    stats.add_argument("--trace-out", type=str, default=None,
+                       help="write Chrome-trace JSON to this path")
+    stats.add_argument("--events-out", type=str, default=None,
+                       help="write the audit event log as JSONL to this path")
+    stats.set_defaults(handler=_cmd_stats)
 
     keysize = subparsers.add_parser("keysize", help="Eq. 2 key-length calculator")
     keysize.add_argument("--cells", type=int, default=20_000)

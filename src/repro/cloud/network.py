@@ -11,6 +11,7 @@ for the transfer share of the ~0.2 s end-to-end budget and the 3-hour
 from dataclasses import dataclass
 
 from repro._util.validation import check_positive
+from repro.obs import NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -44,26 +45,37 @@ class NetworkModel:
         check_positive("uplink_bytes_per_s", self.uplink_bytes_per_s)
         check_positive("downlink_bytes_per_s", self.downlink_bytes_per_s)
 
-    def upload(self, payload_bytes: float) -> TransferEstimate:
+    def upload(self, payload_bytes: float, observer=NULL_OBSERVER) -> TransferEstimate:
         """Time to push ``payload_bytes`` to the cloud."""
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be >= 0")
-        return TransferEstimate(
+        estimate = TransferEstimate(
             payload_bytes=payload_bytes,
             latency_s=self.round_trip_latency_s / 2.0,
             transmission_s=payload_bytes / self.uplink_bytes_per_s,
         )
+        observer.incr("network.uploaded_bytes", payload_bytes)
+        observer.observe("network.upload_s", estimate.total_s)
+        return estimate
 
-    def download(self, payload_bytes: float) -> TransferEstimate:
+    def download(self, payload_bytes: float, observer=NULL_OBSERVER) -> TransferEstimate:
         """Time to pull ``payload_bytes`` from the cloud."""
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be >= 0")
-        return TransferEstimate(
+        estimate = TransferEstimate(
             payload_bytes=payload_bytes,
             latency_s=self.round_trip_latency_s / 2.0,
             transmission_s=payload_bytes / self.downlink_bytes_per_s,
         )
+        observer.incr("network.downloaded_bytes", payload_bytes)
+        observer.observe("network.download_s", estimate.total_s)
+        return estimate
 
-    def round_trip(self, upload_bytes: float, download_bytes: float) -> float:
+    def round_trip(
+        self, upload_bytes: float, download_bytes: float, observer=NULL_OBSERVER
+    ) -> float:
         """Total time for a request/response exchange."""
-        return self.upload(upload_bytes).total_s + self.download(download_bytes).total_s
+        return (
+            self.upload(upload_bytes, observer=observer).total_s
+            + self.download(download_bytes, observer=observer).total_s
+        )

@@ -5,14 +5,19 @@ traces: detrend, threshold, and return the encoded peak report.  It is
 *outside* the trusted computing base: it never receives key material,
 and — being curious — it keeps a log of every trace and report it
 handled, which the attack benchmarks mine.
+
+Analysis timing flows through the observability layer: each job runs
+inside a ``cloud_analysis`` span whose duration backs the
+``processing_time_s`` accounting (real even with the default no-op
+observer, which measures but records nothing).
 """
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.dsp.peakdetect import PeakDetector, PeakReport
 from repro.hardware.acquisition import AcquiredTrace
+from repro.obs import NULL_OBSERVER, PEAKS_REPORTED
 
 
 @dataclass(frozen=True)
@@ -35,15 +40,20 @@ class AnalysisServer:
     keep_history:
         Whether to retain analysed traces (the curious-but-honest
         behaviour).  Disable for long benchmark runs to bound memory.
+    observer:
+        Observability sink for spans / metrics / audit events; the
+        default records nothing.
     """
 
     def __init__(
         self,
         detector: Optional[PeakDetector] = None,
         keep_history: bool = True,
+        observer=NULL_OBSERVER,
     ) -> None:
         self.detector = detector or PeakDetector()
         self.keep_history = keep_history
+        self.observer = observer
         self._history: List[AnalysisJob] = []
         self._jobs_processed = 0
         self._total_processing_time_s = 0.0
@@ -56,15 +66,11 @@ class AnalysisServer:
         amplitudes, widths); the server cannot do better without the
         key — that is the point of the cipher.
         """
-        start = time.perf_counter()
-        report = self.detector.detect(trace.voltages, trace.sampling_rate_hz)
-        elapsed = time.perf_counter() - start
-        self._jobs_processed += 1
-        self._total_processing_time_s += elapsed
-        if self.keep_history:
-            self._history.append(
-                AnalysisJob(trace=trace, report=report, processing_time_s=elapsed)
-            )
+        with self.observer.span(
+            "cloud_analysis", samples=trace.n_samples, channels=trace.n_channels
+        ) as span:
+            report = self.detector.detect(trace.voltages, trace.sampling_rate_hz)
+        self._account(trace, report, span.duration_s, streaming=False)
         return report
 
     def analyze_streaming(
@@ -79,22 +85,42 @@ class AnalysisServer:
         """
         from repro.dsp.streaming import StreamingPeakDetector
 
-        start = time.perf_counter()
-        streaming = StreamingPeakDetector(
-            trace.sampling_rate_hz, detector=self.detector, window_s=window_s
-        )
-        chunk = max(int(chunk_s * trace.sampling_rate_hz), 1)
-        for offset in range(0, trace.n_samples, chunk):
-            streaming.feed(trace.voltages[:, offset : offset + chunk])
-        report = streaming.finish()
-        elapsed = time.perf_counter() - start
+        with self.observer.span(
+            "cloud_analysis", samples=trace.n_samples, channels=trace.n_channels,
+            mode="streaming",
+        ) as span:
+            streaming = StreamingPeakDetector(
+                trace.sampling_rate_hz,
+                detector=self.detector,
+                window_s=window_s,
+                observer=self.observer,
+            )
+            chunk = max(int(chunk_s * trace.sampling_rate_hz), 1)
+            for offset in range(0, trace.n_samples, chunk):
+                streaming.feed(trace.voltages[:, offset : offset + chunk])
+            report = streaming.finish()
+        self._account(trace, report, span.duration_s, streaming=True)
+        return report
+
+    # ------------------------------------------------------------------
+    def _account(
+        self, trace: AcquiredTrace, report: PeakReport, elapsed: float, streaming: bool
+    ) -> None:
         self._jobs_processed += 1
         self._total_processing_time_s += elapsed
+        self.observer.incr("cloud.jobs")
+        self.observer.incr("cloud.peaks_reported", report.count)
+        self.observer.observe("cloud.analysis_s", elapsed)
+        self.observer.event(
+            PEAKS_REPORTED,
+            peaks=report.count,
+            duration_s=report.duration_s,
+            streaming=streaming,
+        )
         if self.keep_history:
             self._history.append(
                 AnalysisJob(trace=trace, report=report, processing_time_s=elapsed)
             )
-        return report
 
     # ------------------------------------------------------------------
     @property

@@ -8,12 +8,12 @@ beyond linkability of their own records (by design: the same pipettes
 link the same patient's tests, §V).
 """
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro._util.errors import ConfigurationError
 from repro.dsp.peakdetect import PeakReport
+from repro.obs import NULL_OBSERVER, RECORD_STORED, WALL_CLOCK, Clock
 
 
 @dataclass(frozen=True)
@@ -32,9 +32,21 @@ class StoredRecord:
 
 
 class RecordStore:
-    """Append-only per-identifier record log."""
+    """Append-only per-identifier record log.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    clock:
+        Wall-clock source for ``stored_at_s`` stamps; injectable so
+        tests and replays are deterministic and the audit event log can
+        correlate storage writes with spans.
+    observer:
+        Observability sink (``record.stored`` audit events, counters).
+    """
+
+    def __init__(self, clock: Clock = WALL_CLOCK, observer=NULL_OBSERVER) -> None:
+        self.clock = clock
+        self.observer = observer
         self._records: Dict[str, List[StoredRecord]] = {}
         self._sequence = 0
 
@@ -52,10 +64,17 @@ class RecordStore:
             identifier_key=identifier_key,
             report=report,
             sequence_number=self._sequence,
-            stored_at_s=time.time(),
+            stored_at_s=self.clock(),
             metadata=tuple(sorted((metadata or {}).items())),
         )
         self._records.setdefault(identifier_key, []).append(record)
+        self.observer.incr("store.records")
+        self.observer.event(
+            RECORD_STORED,
+            identifier=identifier_key,
+            sequence_number=record.sequence_number,
+            stored_at_s=record.stored_at_s,
+        )
         return record
 
     def fetch(self, identifier_key: str) -> Tuple[StoredRecord, ...]:

@@ -30,6 +30,7 @@ from repro.hardware.controller import MicroController
 from repro.hardware.multiplexer import Multiplexer
 from repro.microfluidics.flow import NOMINAL_FLOW_RATE_UL_MIN, FlowController
 from repro.microfluidics.pump import PeristalticPump
+from repro.obs import CAPTURE_COMPLETED, CAPTURE_STARTED, NULL_OBSERVER
 from repro.particles.sample import Sample
 
 
@@ -79,9 +80,11 @@ class MedSenDevice:
         config: Optional[MedSenConfig] = None,
         rng: RngLike = None,
         fault_model=None,
+        observer=NULL_OBSERVER,
     ) -> None:
         self.config = config or MedSenConfig()
         self.fault_model = fault_model  # hardware.faults.FaultModel or None
+        self._observer = observer
         parent = ensure_rng(rng)
         self._physics_rng = derive_rng(parent, "physics")
         entropy_rng = derive_rng(parent, "entropy")
@@ -98,6 +101,7 @@ class MedSenDevice:
             entropy=EntropySource(entropy_rng),
             channel=self.channel,
             avoid_consecutive=self.config.avoid_consecutive_electrodes,
+            observer=observer,
         )
         self.encryptor = SignalEncryptor(
             carrier_frequencies_hz=self.lockin.carrier_frequencies_hz,
@@ -106,6 +110,17 @@ class MedSenDevice:
         )
         self.front_end = AcquisitionFrontEnd(lockin=self.lockin, noise=self.config.noise)
         self.transport = self.config.transport
+
+    # ------------------------------------------------------------------
+    @property
+    def observer(self):
+        """The device's observability sink (propagates to the TCB)."""
+        return self._observer
+
+    @observer.setter
+    def observer(self, observer) -> None:
+        self._observer = observer
+        self.controller.observer = observer
 
     # ------------------------------------------------------------------
     @property
@@ -132,41 +147,66 @@ class MedSenDevice:
         if duration_s <= 0:
             raise ConfigurationError("duration_s must be > 0")
         run_rng = ensure_rng(rng) if rng is not None else self._physics_rng
-        flow = FlowController(channel=self.channel)
+        observer = self._observer
+        observer.event(
+            CAPTURE_STARTED, duration_s=duration_s, encrypted=encrypt
+        )
+        with observer.span("capture", duration_s=duration_s, encrypted=encrypt) as span:
+            flow = FlowController(channel=self.channel)
 
-        if encrypt:
-            plan = self.controller.provision(
-                duration_s, epoch_duration_s=self.config.epoch_duration_s
-            )
-            self.encryptor.plan_flow(plan, flow)
-            self.controller.drive_schedule()
-        else:
-            rate = self.pump.command_rate(NOMINAL_FLOW_RATE_UL_MIN)
-            flow.set_rate(0.0, rate)
-            self.controller.multiplexer.select({self.array.lead_electrode})
+            if encrypt:
+                plan = self.controller.provision(
+                    duration_s, epoch_duration_s=self.config.epoch_duration_s
+                )
+                self.encryptor.plan_flow(plan, flow)
+                self.controller.drive_schedule()
+            else:
+                rate = self.pump.command_rate(NOMINAL_FLOW_RATE_UL_MIN)
+                flow.set_rate(0.0, rate)
+                self.controller.multiplexer.select({self.array.lead_electrode})
 
-        arrivals = self.transport.schedule_arrivals(sample, flow, duration_s, rng=run_rng)
-        if encrypt:
-            events = self.encryptor.events_for_arrivals(arrivals, plan)
-        else:
-            events = self.encryptor.plaintext_events(arrivals, self.array)
-        if self.fault_model is not None and not self.fault_model.is_healthy:
-            events = self.fault_model.apply_to_events(
-                events,
-                self.array,
-                arrivals=arrivals,
-                circuit=self.config.circuit,
-                carriers=self.carrier_frequencies_hz,
-            )
-        trace = self.front_end.acquire(events, duration_s, rng=run_rng)
+            with observer.span("transport"):
+                arrivals = self.transport.schedule_arrivals(
+                    sample, flow, duration_s, rng=run_rng
+                )
+            if encrypt:
+                events = self.encryptor.events_for_arrivals(
+                    arrivals, plan, observer=observer
+                )
+            else:
+                with observer.span("plaintext_events", arrivals=len(arrivals)):
+                    events = self.encryptor.plaintext_events(arrivals, self.array)
+            if self.fault_model is not None and not self.fault_model.is_healthy:
+                events = self.fault_model.apply_to_events(
+                    events,
+                    self.array,
+                    arrivals=arrivals,
+                    circuit=self.config.circuit,
+                    carriers=self.carrier_frequencies_hz,
+                )
+            with observer.span("acquire", pulse_events=len(events)):
+                trace = self.front_end.acquire(events, duration_s, rng=run_rng)
+            span.set_attribute("particles_arrived", len(arrivals))
 
         arrived: Dict[str, int] = {}
         for arrival in arrivals:
             name = arrival.particle.particle_type.name
             arrived[name] = arrived.get(name, 0) + 1
+        pumped_volume_ul = flow.volume_pumped_ul(0.0, duration_s)
+        observer.incr("capture.runs")
+        observer.incr("capture.particles_arrived", len(arrivals))
+        observer.incr("capture.pulse_events", len(events))
+        observer.observe("capture.pumped_volume_ul", pumped_volume_ul)
+        observer.event(
+            CAPTURE_COMPLETED,
+            particles_arrived=len(arrivals),
+            pulse_events=len(events),
+            pumped_volume_ul=pumped_volume_ul,
+            encrypted=encrypt,
+        )
         return CaptureResult(
             trace=trace,
-            pumped_volume_ul=flow.volume_pumped_ul(0.0, duration_s),
+            pumped_volume_ul=pumped_volume_ul,
             encrypted=encrypt,
             duration_s=duration_s,
             ground_truth=GroundTruth(arrived_counts=arrived, n_pulse_events=len(events)),

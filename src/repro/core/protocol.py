@@ -18,7 +18,6 @@ controller decryption — acquisition itself is pipelined) and the data
 volumes of §VII-B.
 """
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -35,6 +34,7 @@ from repro.core.diagnosis import CD4_STAGING, DiagnosisOutcome, ThresholdDiagnos
 from repro.crypto.decryptor import DecryptionResult
 from repro.dsp.features import DEFAULT_FEATURE_FREQUENCIES_HZ, FeatureExtractor
 from repro.mobile.phone import RelayOutcome, Smartphone
+from repro.obs import DIAGNOSIS_ISSUED, NULL_OBSERVER, adopt_observer
 from repro.particles.sample import Sample, mix
 
 
@@ -99,6 +99,12 @@ class MedSenSession:
     marker_type_name:
         The biomarker whose concentration drives the diagnosis;
         defaults to the blood-cell species (the CD4 stand-in).
+    observer:
+        Observability sink shared by the whole deployment.  The default
+        no-op observer records nothing; a live
+        :class:`repro.obs.Observer` collects the session span tree,
+        pipeline metrics, and the audit event trail.  Injected
+        components that still carry the no-op default adopt it.
     """
 
     def __init__(
@@ -113,9 +119,11 @@ class MedSenSession:
         marker_type_name: str = "blood_cell",
         capture_chamber=None,
         rng: RngLike = None,
+        observer=NULL_OBSERVER,
     ) -> None:
         rng = ensure_rng(rng)
-        self.device = device or MedSenDevice(rng=rng)
+        self.observer = observer
+        self.device = device or MedSenDevice(rng=rng, observer=observer)
         #: Optional Figure 1 antibody pre-concentration stage
         #: (microfluidics.capture.CaptureChamber); when present, blood
         #: is enriched for the marker species before the password beads
@@ -123,10 +131,16 @@ class MedSenSession:
         #: to blood.
         self.capture_chamber = capture_chamber
         self.config: MedSenConfig = self.device.config
-        self.phone = phone or Smartphone()
-        self.server = server or AnalysisServer()
-        self.authenticator = authenticator or ServerAuthenticator(self.config.alphabet)
-        self.store = store or RecordStore()
+        self.phone = phone or Smartphone(observer=observer)
+        self.server = server or AnalysisServer(observer=observer)
+        self.authenticator = authenticator or ServerAuthenticator(
+            self.config.alphabet, observer=observer
+        )
+        self.store = store or RecordStore(observer=observer)
+        if observer is not NULL_OBSERVER:
+            for component in (self.device, self.phone, self.server,
+                              self.authenticator, self.store):
+                adopt_observer(component, observer)
         self.diagnostic = diagnostic
         self.marker_type_name = marker_type_name
         self.features = FeatureExtractor(
@@ -166,49 +180,67 @@ class MedSenSession:
     ) -> SessionResult:
         """Execute the full §II flow for one test."""
         rng = ensure_rng(rng)
-        enrichment_factor = 1.0
-        if self.capture_chamber is not None:
-            input_volume_ul = blood.volume_ul
-            blood, _waste = self.capture_chamber.process(blood, rng=rng)
-            enrichment_factor = self.capture_chamber.enrichment_factor(input_volume_ul)
-        final_volume_ul = blood.volume_ul + pipette_volume_ul
-        pipette = identifier.to_sample(
-            pipette_volume_ul, final_volume_ul=final_volume_ul, rng=rng
-        )
-        mixed = mix(blood, pipette)
-        dilution_factor = final_volume_ul / blood.volume_ul
+        observer = self.observer
+        with observer.span("session", duration_s=duration_s) as session_span:
+            with observer.span("prepare_sample"):
+                enrichment_factor = 1.0
+                if self.capture_chamber is not None:
+                    input_volume_ul = blood.volume_ul
+                    blood, _waste = self.capture_chamber.process(blood, rng=rng)
+                    enrichment_factor = self.capture_chamber.enrichment_factor(
+                        input_volume_ul
+                    )
+                final_volume_ul = blood.volume_ul + pipette_volume_ul
+                pipette = identifier.to_sample(
+                    pipette_volume_ul, final_volume_ul=final_volume_ul, rng=rng
+                )
+                mixed = mix(blood, pipette)
+                dilution_factor = final_volume_ul / blood.volume_ul
 
-        capture = self.device.run_capture(mixed, duration_s, encrypt=True, rng=rng)
-        relay = self.phone.relay(capture.trace, self.server)
+            capture = self.device.run_capture(mixed, duration_s, encrypt=True, rng=rng)
+            relay = self.phone.relay(capture.trace, self.server)
 
-        start = time.perf_counter()
-        decryption = self.device.decrypt(relay.report)
-        decryption_time = time.perf_counter() - start
+            with observer.span("decrypt") as decrypt_span:
+                decryption = self.device.decrypt(relay.report)
+            decryption_time = decrypt_span.duration_s
 
-        start = time.perf_counter()
-        bead_counts, marker_count = self._classify(decryption)
-        classification_time = time.perf_counter() - start
+            with observer.span("classify") as classify_span:
+                bead_counts, marker_count = self._classify(decryption)
+            classification_time = classify_span.duration_s
 
-        auth = self.authenticator.authenticate(bead_counts, capture.pumped_volume_ul)
+            auth = self.authenticator.authenticate(
+                bead_counts, capture.pumped_volume_ul
+            )
 
-        # Concentration in the mixture, corrected for delivery losses,
-        # un-diluted back to the (possibly enriched) sample, and mapped
-        # through the capture chamber's enrichment back to blood.
-        marker_concentration = (
-            marker_count
-            / capture.pumped_volume_ul
-            / self.authenticator.delivery_efficiency
-            * dilution_factor
-            / enrichment_factor
-        )
-        diagnosis = self.diagnostic.evaluate(marker_concentration)
+            # Concentration in the mixture, corrected for delivery losses,
+            # un-diluted back to the (possibly enriched) sample, and mapped
+            # through the capture chamber's enrichment back to blood.
+            marker_concentration = (
+                marker_count
+                / capture.pumped_volume_ul
+                / self.authenticator.delivery_efficiency
+                * dilution_factor
+                / enrichment_factor
+            )
+            with observer.span("diagnose"):
+                diagnosis = self.diagnostic.evaluate(marker_concentration)
+            observer.event(
+                DIAGNOSIS_ISSUED,
+                label=diagnosis.label,
+                marker=self.diagnostic.marker_name,
+                concentration_per_ul=diagnosis.concentration_per_ul,
+            )
+            observer.incr("session.diagnostics")
 
-        record_key = auth.recovered.as_string()
-        self.store.store(
-            record_key,
-            relay.report,
-            metadata={"diagnostic": self.diagnostic.marker_name},
-        )
+            record_key = auth.recovered.as_string()
+            with observer.span("store"):
+                self.store.store(
+                    record_key,
+                    relay.report,
+                    metadata={"diagnostic": self.diagnostic.marker_name},
+                )
+            session_span.set_attribute("diagnosis", diagnosis.label)
+            session_span.set_attribute("authenticated", auth.accepted)
 
         timing = SessionTiming(
             compression_s=relay.compression_time_s,
@@ -217,6 +249,9 @@ class MedSenSession:
             decryption_s=decryption_time,
             classification_s=classification_time,
         )
+        observer.observe("stage.decryption_s", timing.decryption_s)
+        observer.observe("stage.classification_s", timing.classification_s)
+        observer.observe("stage.end_to_end_s", timing.end_to_end_s)
         return SessionResult(
             capture=capture,
             relay=relay,

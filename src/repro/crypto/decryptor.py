@@ -40,6 +40,7 @@ from repro.crypto.key import EpochKey
 from repro.dsp.peakdetect import DetectedPeak, PeakReport
 from repro.microfluidics.channel import MicrofluidicChannel
 from repro.microfluidics.flow import NOMINAL_FLOW_RATE_UL_MIN
+from repro.obs import DECRYPTION_COMPLETED, NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -111,7 +112,7 @@ class SignalDecryptor:
     max_credits_per_peak: int = 2
 
     # ------------------------------------------------------------------
-    def decrypt(self, report: PeakReport) -> DecryptionResult:
+    def decrypt(self, report: PeakReport, observer=NULL_OBSERVER) -> DecryptionResult:
         """Recover true counts and particle features from a report."""
         schedule = self.plan.schedule
         # Sampling quantisation can stretch a report a fraction of a
@@ -124,16 +125,33 @@ class SignalDecryptor:
                 f"report covers {report.duration_s:.3f}s but the key schedule "
                 f"only covers {schedule.duration_s:.3f}s"
             )
-        groups, anomalies = self._match_groups(report)
-        epoch_counts = self._counts_from_groups(groups)
-        particles = [self._recover_particle(group) for group in groups if group.matched]
-        return DecryptionResult(
-            particles=tuple(particles),
-            epoch_counts=tuple(epoch_counts),
-            observed_peak_count=report.count,
-            merge_credits=sum(group.credits for group in groups),
-            anomalous_groups=anomalies,
+        with observer.span("signal_decrypt", peaks=report.count) as span:
+            with observer.span("template_match"):
+                groups, anomalies = self._match_groups(report)
+            epoch_counts = self._counts_from_groups(groups)
+            with observer.span("recover_particles", groups=len(groups)):
+                particles = [
+                    self._recover_particle(group) for group in groups if group.matched
+                ]
+            result = DecryptionResult(
+                particles=tuple(particles),
+                epoch_counts=tuple(epoch_counts),
+                observed_peak_count=report.count,
+                merge_credits=sum(group.credits for group in groups),
+                anomalous_groups=anomalies,
+            )
+            span.set_attribute("recovered_count", result.total_count)
+        observer.incr("decrypt.recovered_particles", result.total_count)
+        observer.incr("decrypt.merge_credits", result.merge_credits)
+        observer.incr("decrypt.anomalous_groups", result.anomalous_groups)
+        observer.event(
+            DECRYPTION_COMPLETED,
+            observed_peaks=result.observed_peak_count,
+            recovered_count=result.total_count,
+            merge_credits=result.merge_credits,
+            anomalous_groups=result.anomalous_groups,
         )
+        return result
 
     # ------------------------------------------------------------------
     # Stage 1+2: template matching with merge recovery

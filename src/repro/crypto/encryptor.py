@@ -31,6 +31,7 @@ from repro.hardware.electrodes import ElectrodeArray
 from repro.microfluidics.channel import MicrofluidicChannel
 from repro.microfluidics.flow import FlowController, FlowSpeedTable
 from repro.microfluidics.transport import ParticleArrival
+from repro.obs import NULL_OBSERVER
 from repro.physics.electrical import ElectrodePairCircuit
 from repro.physics.peaks import PulseEvent
 
@@ -104,6 +105,7 @@ class SignalEncryptor:
         self,
         arrivals: Sequence[ParticleArrival],
         plan: EncryptionPlan,
+        observer=NULL_OBSERVER,
     ) -> List[PulseEvent]:
         """Ciphertext pulse events for keyed particle arrivals.
 
@@ -113,13 +115,17 @@ class SignalEncryptor:
         paper makes by renewing keys "every time unit").
         """
         carriers = np.asarray(self.carrier_frequencies_hz)
-        events: List[PulseEvent] = []
-        for particle_index, arrival in enumerate(arrivals):
-            epoch = plan.schedule.key_at(arrival.time_s)
-            events.extend(
-                self._events_for_particle(arrival, epoch, plan, carriers, particle_index)
-            )
-        events.sort(key=lambda event: event.center_s)
+        with observer.span("encrypt", arrivals=len(arrivals)) as span:
+            events: List[PulseEvent] = []
+            for particle_index, arrival in enumerate(arrivals):
+                epoch = plan.schedule.key_at(arrival.time_s)
+                events.extend(
+                    self._events_for_particle(arrival, epoch, plan, carriers, particle_index)
+                )
+            events.sort(key=lambda event: event.center_s)
+            span.set_attribute("pulse_events", len(events))
+        observer.incr("encrypt.arrivals", len(arrivals))
+        observer.incr("encrypt.pulse_events", len(events))
         return events
 
     def plaintext_events(

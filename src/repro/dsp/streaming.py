@@ -22,6 +22,7 @@ import numpy as np
 from repro._util.errors import ConfigurationError
 from repro._util.validation import check_positive
 from repro.dsp.peakdetect import DetectedPeak, PeakDetector, PeakReport
+from repro.obs import NULL_OBSERVER
 
 
 class StreamingPeakDetector:
@@ -39,6 +40,8 @@ class StreamingPeakDetector:
         detector's detrend window.
     guard_s:
         Trailing margin whose peaks are deferred to the next window.
+    observer:
+        Observability sink (windows processed / peaks emitted metrics).
     """
 
     def __init__(
@@ -47,6 +50,7 @@ class StreamingPeakDetector:
         detector: Optional[PeakDetector] = None,
         window_s: float = 30.0,
         guard_s: float = 1.0,
+        observer=NULL_OBSERVER,
     ) -> None:
         check_positive("sampling_rate_hz", sampling_rate_hz)
         check_positive("window_s", window_s)
@@ -54,6 +58,7 @@ class StreamingPeakDetector:
         if guard_s >= window_s / 2:
             raise ConfigurationError("guard_s must be well below window_s")
         self.detector = detector or PeakDetector()
+        self.observer = observer
         self.sampling_rate_hz = sampling_rate_hz
         self.window_samples = int(round(window_s * sampling_rate_hz))
         self.guard_samples = int(round(guard_s * sampling_rate_hz))
@@ -122,7 +127,8 @@ class StreamingPeakDetector:
         if not force and not final and take < self.window_samples:
             return []
         window = self._buffer[:, :take]
-        report = self.detector.detect(window, self.sampling_rate_hz)
+        with self.observer.span("streaming_window", samples=take):
+            report = self.detector.detect(window, self.sampling_rate_hz)
 
         is_last = force or (final and available <= self.window_samples)
         cutoff_local = take if is_last else take - self.guard_samples
@@ -144,6 +150,8 @@ class StreamingPeakDetector:
                     )
                 )
         self._emitted.extend(emitted)
+        self.observer.incr("streaming.windows")
+        self.observer.incr("streaming.peaks_emitted", len(emitted))
         self._next_emit_sample = self._buffer_start_sample + cutoff_local
         # Keep a lead-in margin before the emission cutoff so deferred
         # peaks re-appear with full left context in the next window.

@@ -32,6 +32,7 @@ from repro.hardware.electrodes import ElectrodeArray
 from repro.hardware.multiplexer import Multiplexer
 from repro.microfluidics.channel import MicrofluidicChannel
 from repro.microfluidics.flow import FlowSpeedTable
+from repro.obs import EPOCH_ROTATED, KEY_DERIVED, NULL_OBSERVER
 
 #: Parties inside (or trusted by) the TCB.
 TRUSTED_PARTIES: FrozenSet[str] = frozenset({"sensor", "controller", "practitioner"})
@@ -67,7 +68,9 @@ class MicroController:
         channel: Optional[MicrofluidicChannel] = None,
         avoid_consecutive: bool = True,
         rng: RngLike = None,
+        observer=NULL_OBSERVER,
     ) -> None:
+        self.observer = observer
         self.array = array
         self.multiplexer = multiplexer or Multiplexer()
         if not self.multiplexer.supports_array(array.n_outputs):
@@ -101,14 +104,26 @@ class MicroController:
         Returns the bound :class:`EncryptionPlan`.  The plan object *is*
         key material; the device layer keeps it inside the TCB.
         """
-        schedule = self._keygen.generate_schedule(
-            duration_s, epoch_duration_s, self._entropy
-        )
-        self._plan = EncryptionPlan(
-            schedule=schedule,
-            array=self.array,
-            gain_table=self.gain_table,
-            flow_table=self.flow_table,
+        with self.observer.span("provision_keys", duration_s=duration_s) as span:
+            bits_before = self._entropy.bits_consumed
+            schedule = self._keygen.generate_schedule(
+                duration_s, epoch_duration_s, self._entropy
+            )
+            self._plan = EncryptionPlan(
+                schedule=schedule,
+                array=self.array,
+                gain_table=self.gain_table,
+                flow_table=self.flow_table,
+            )
+            span.set_attribute("n_epochs", schedule.n_epochs)
+        self.observer.incr("crypto.keys_derived")
+        self.observer.gauge("crypto.entropy_bits_consumed", self._entropy.bits_consumed)
+        self.observer.event(
+            KEY_DERIVED,
+            n_epochs=schedule.n_epochs,
+            duration_s=duration_s,
+            epoch_duration_s=epoch_duration_s,
+            entropy_bits=self._entropy.bits_consumed - bits_before,
         )
         return self._plan
 
@@ -147,6 +162,13 @@ class MicroController:
             raise ConfigurationError("no key schedule provisioned")
         key = self._plan.schedule.key_at(time_s)
         self.multiplexer.select(key.active_electrodes)
+        self.observer.incr("crypto.epoch_rotations")
+        self.observer.event(
+            EPOCH_ROTATED,
+            epoch_index=self._plan.schedule.epoch_index_at(time_s),
+            n_active_electrodes=len(key.active_electrodes),
+            flow_level=key.flow_level,
+        )
 
     def drive_schedule(self) -> int:
         """Walk the whole schedule through the multiplexer.
@@ -169,4 +191,4 @@ class MicroController:
         if self._plan is None:
             raise ConfigurationError("no key schedule provisioned")
         decryptor = SignalDecryptor(plan=self._plan, channel=self.channel)
-        return decryptor.decrypt(report)
+        return decryptor.decrypt(report, observer=self.observer)

@@ -19,6 +19,7 @@ from repro.dsp.peakdetect import PeakDetector, PeakReport
 from repro.dsp.recording import CsvRecordingModel, compressed_size_bytes
 from repro.hardware.acquisition import AcquiredTrace
 from repro.mobile.perf import NEXUS5, DevicePerfModel
+from repro.obs import NULL_OBSERVER, TRACE_RELAYED
 
 #: Approximate serialized size of a peak report entry (timestamp,
 #: depth, width, channel amplitudes) sent back to the phone.
@@ -59,6 +60,9 @@ class Smartphone:
         the phone instead of being uploaded ("For smaller samples,
         MedSen could be configured to perform the peak counting signal
         processing on the smartphone locally").  0 disables local mode.
+    observer:
+        Observability sink (relay spans, transfer metrics, audit
+        events); the default records nothing.
     """
 
     network: NetworkModel = field(default_factory=NetworkModel)
@@ -67,6 +71,7 @@ class Smartphone:
     local_analysis_threshold_samples: int = 0
     compression_bytes_per_s: float = 40e6
     compression_level: int = 6
+    observer: object = NULL_OBSERVER
 
     def __post_init__(self) -> None:
         if self.local_analysis_threshold_samples < 0:
@@ -85,39 +90,66 @@ class Smartphone:
         Timing is *modelled* (network/perf models) except the cloud's
         analysis time, which is actually measured by the server.
         """
-        total_samples = trace.n_channels * trace.n_samples
-        payload = self.recording.encode(trace.voltages, trace.sampling_rate_hz)
-        raw_bytes = len(payload)
+        with self.observer.span("relay") as relay_span:
+            total_samples = trace.n_channels * trace.n_samples
+            payload = self.recording.encode(trace.voltages, trace.sampling_rate_hz)
+            raw_bytes = len(payload)
 
-        if (
-            self.local_analysis_threshold_samples
-            and total_samples <= self.local_analysis_threshold_samples
-        ):
-            detector = local_detector or server.detector
-            report = detector.detect(trace.voltages, trace.sampling_rate_hz)
+            if (
+                self.local_analysis_threshold_samples
+                and total_samples <= self.local_analysis_threshold_samples
+            ):
+                detector = local_detector or server.detector
+                with self.observer.span("local_analysis", samples=total_samples):
+                    report = detector.detect(trace.voltages, trace.sampling_rate_hz)
+                relay_span.set_attribute("analyzed_locally", True)
+                self.observer.incr("relay.local_analyses")
+                self.observer.event(
+                    TRACE_RELAYED,
+                    analyzed_locally=True,
+                    raw_bytes=raw_bytes,
+                    uploaded_bytes=0.0,
+                )
+                return RelayOutcome(
+                    report=report,
+                    analyzed_locally=True,
+                    raw_bytes=raw_bytes,
+                    uploaded_bytes=0.0,
+                    compression_time_s=0.0,
+                    transfer_time_s=0.0,
+                    analysis_time_s=self.perf.processing_time_s(total_samples),
+                )
+
+            with self.observer.span("compress", raw_bytes=raw_bytes):
+                compressed = compressed_size_bytes(payload, level=self.compression_level)
+            compression_time = raw_bytes / self.compression_bytes_per_s
+            self.observer.event(
+                TRACE_RELAYED,
+                analyzed_locally=False,
+                raw_bytes=raw_bytes,
+                uploaded_bytes=float(compressed),
+            )
+            report = server.analyze(trace)
+            response_bytes = _REPORT_BYTES_BASE + _REPORT_BYTES_PER_PEAK * report.count
+            with self.observer.span(
+                "transfer", uploaded_bytes=float(compressed)
+            ) as transfer_span:
+                transfer_time = self.network.round_trip(
+                    compressed, response_bytes, observer=self.observer
+                )
+                transfer_span.set_attribute("modelled_s", transfer_time)
+            relay_span.set_attribute("analyzed_locally", False)
+            self.observer.incr("relay.uploads")
+            self.observer.incr("relay.raw_bytes", raw_bytes)
+            self.observer.observe("relay.compression_ratio", raw_bytes / max(compressed, 1))
             return RelayOutcome(
                 report=report,
-                analyzed_locally=True,
+                analyzed_locally=False,
                 raw_bytes=raw_bytes,
-                uploaded_bytes=0.0,
-                compression_time_s=0.0,
-                transfer_time_s=0.0,
-                analysis_time_s=self.perf.processing_time_s(total_samples),
+                uploaded_bytes=float(compressed),
+                compression_time_s=compression_time,
+                transfer_time_s=transfer_time,
+                analysis_time_s=server.last_job().processing_time_s
+                if server.keep_history
+                else server.total_processing_time_s / max(server.jobs_processed, 1),
             )
-
-        compressed = compressed_size_bytes(payload, level=self.compression_level)
-        compression_time = raw_bytes / self.compression_bytes_per_s
-        report = server.analyze(trace)
-        response_bytes = _REPORT_BYTES_BASE + _REPORT_BYTES_PER_PEAK * report.count
-        transfer_time = self.network.round_trip(compressed, response_bytes)
-        return RelayOutcome(
-            report=report,
-            analyzed_locally=False,
-            raw_bytes=raw_bytes,
-            uploaded_bytes=float(compressed),
-            compression_time_s=compression_time,
-            transfer_time_s=transfer_time,
-            analysis_time_s=server.last_job().processing_time_s
-            if server.keep_history
-            else server.total_processing_time_s / max(server.jobs_processed, 1),
-        )

@@ -1,0 +1,97 @@
+"""Observability: structured tracing, metrics, and audit events.
+
+Zero-dependency measurement substrate for the MedSen pipeline.  The
+instrumented components (device, protocol, cloud server, relay,
+crypto, authenticator) each accept an injectable observer; the default
+:data:`NULL_OBSERVER` records nothing and changes no behavior, so the
+pipeline's numeric output is bit-identical with observability off.
+
+Quickstart
+----------
+>>> from repro import MedSenSession
+>>> from repro.obs import Observer
+>>> obs = Observer()
+>>> session = MedSenSession(rng=0, observer=obs)
+>>> # ... run a diagnostic, then:
+>>> # obs.tracer.roots           -> hierarchical spans
+>>> # obs.metrics.snapshot()     -> counters/gauges/histograms
+>>> # obs.events.events          -> typed audit trail
+"""
+
+from repro.obs.clock import MONOTONIC_CLOCK, WALL_CLOCK, Clock, ManualClock
+from repro.obs.events import (
+    AUTH_ACCEPTED,
+    AUTH_REJECTED,
+    CAPTURE_COMPLETED,
+    CAPTURE_STARTED,
+    DECRYPTION_COMPLETED,
+    DIAGNOSIS_ISSUED,
+    EPOCH_ROTATED,
+    KEY_DERIVED,
+    KNOWN_KINDS,
+    PEAKS_REPORTED,
+    RECORD_STORED,
+    TRACE_RELAYED,
+    AuditEvent,
+    EventLog,
+    JsonlFileSink,
+    RingBufferSink,
+    read_jsonl_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    NullSpan,
+    Observer,
+    adopt_observer,
+)
+from repro.obs.render import format_event_log, format_metrics_table, format_span_tree
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MONOTONIC_CLOCK",
+    "WALL_CLOCK",
+    "AuditEvent",
+    "EventLog",
+    "JsonlFileSink",
+    "RingBufferSink",
+    "read_jsonl_events",
+    "KNOWN_KINDS",
+    "CAPTURE_STARTED",
+    "CAPTURE_COMPLETED",
+    "KEY_DERIVED",
+    "EPOCH_ROTATED",
+    "TRACE_RELAYED",
+    "PEAKS_REPORTED",
+    "DECRYPTION_COMPLETED",
+    "AUTH_ACCEPTED",
+    "AUTH_REJECTED",
+    "DIAGNOSIS_ISSUED",
+    "RECORD_STORED",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "Observer",
+    "NullObserver",
+    "NullSpan",
+    "NULL_OBSERVER",
+    "adopt_observer",
+    "Span",
+    "Tracer",
+    "format_span_tree",
+    "format_metrics_table",
+    "format_event_log",
+]

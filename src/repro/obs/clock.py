@@ -1,0 +1,61 @@
+"""Injectable clocks for deterministic observability.
+
+Every obs component takes its time source as a callable returning
+seconds, so tests and replays can substitute a :class:`ManualClock` and
+obtain bit-identical spans, event timestamps and storage stamps.  Two
+conventions coexist (mirroring the standard library):
+
+* **monotonic** clocks (``time.perf_counter``) for durations — spans;
+* **wall** clocks (``time.time``) for correlation stamps — audit
+  events, stored records.
+"""
+
+import time
+from typing import Callable
+
+#: A clock is any zero-argument callable returning seconds as a float.
+Clock = Callable[[], float]
+
+#: Default duration clock (monotonic, high resolution).
+MONOTONIC_CLOCK: Clock = time.perf_counter
+
+#: Default correlation clock (wall time).
+WALL_CLOCK: Clock = time.time
+
+
+class ManualClock:
+    """A hand-cranked clock for deterministic tests and replays.
+
+    Starts at ``start_s`` and only moves when told to.  Usable anywhere
+    a :data:`Clock` is expected::
+
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work"):
+            clock.advance(0.25)
+        # span.duration_s == 0.25 exactly
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+
+    def __call__(self) -> float:
+        return self._now_s
+
+    @property
+    def now_s(self) -> float:
+        """Current reading without advancing."""
+        return self._now_s
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("a clock cannot run backwards")
+        self._now_s += float(seconds)
+        return self._now_s
+
+    def set(self, now_s: float) -> None:
+        """Jump to an absolute reading (must not move backwards)."""
+        if now_s < self._now_s:
+            raise ValueError("a clock cannot run backwards")
+        self._now_s = float(now_s)

@@ -1,0 +1,243 @@
+"""Typed audit events: the trusted-side session log.
+
+The paper's curious cloud keeps a history of everything it analysed
+(:mod:`repro.cloud.server`); this module is the *trusted* complement —
+an append-only, forensics-oriented record of what the device, phone,
+cloud and authenticator did during a session (capture started, epoch
+rotated, key derived, trace relayed, peaks reported, decryption
+completed, auth accepted/rejected, ...), in the spirit of e-SAFE's
+audit-log requirement for secure medical devices.
+
+Events flow through sinks: an always-on in-memory ring buffer, plus an
+optional JSONL file sink for durable logs that
+:func:`read_jsonl_events` can load back losslessly.
+"""
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.obs.clock import WALL_CLOCK, Clock
+
+# ---------------------------------------------------------------------------
+# Event kinds (the audit vocabulary; see docs/observability.md)
+# ---------------------------------------------------------------------------
+CAPTURE_STARTED = "capture.started"
+CAPTURE_COMPLETED = "capture.completed"
+KEY_DERIVED = "key.derived"
+EPOCH_ROTATED = "epoch.rotated"
+TRACE_RELAYED = "trace.relayed"
+PEAKS_REPORTED = "peaks.reported"
+DECRYPTION_COMPLETED = "decryption.completed"
+AUTH_ACCEPTED = "auth.accepted"
+AUTH_REJECTED = "auth.rejected"
+DIAGNOSIS_ISSUED = "diagnosis.issued"
+RECORD_STORED = "record.stored"
+
+#: Every kind the pipeline emits (open vocabulary: custom kinds allowed).
+KNOWN_KINDS = frozenset(
+    {
+        CAPTURE_STARTED,
+        CAPTURE_COMPLETED,
+        KEY_DERIVED,
+        EPOCH_ROTATED,
+        TRACE_RELAYED,
+        PEAKS_REPORTED,
+        DECRYPTION_COMPLETED,
+        AUTH_ACCEPTED,
+        AUTH_REJECTED,
+        DIAGNOSIS_ISSUED,
+        RECORD_STORED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One structured audit record."""
+
+    sequence: int
+    time_s: float
+    kind: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    def field_dict(self) -> Dict[str, Any]:
+        """Fields as a plain dict."""
+        return dict(self.fields)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable projection."""
+        return {
+            "sequence": self.sequence,
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "fields": {k: _jsonable(v) for k, v in self.fields},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    try:  # numpy scalars
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ConfigurationError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: Deque[AuditEvent] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def emit(self, event: AuditEvent) -> None:
+        """Append, evicting the oldest event when full."""
+        if len(self._buffer) == self.capacity:
+            self._dropped += 1
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> Tuple[AuditEvent, ...]:
+        """Retained events, oldest first."""
+        return tuple(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted so far."""
+        return self._dropped
+
+    def clear(self) -> None:
+        """Empty the buffer (the drop counter survives a clear)."""
+        self._buffer.clear()
+
+
+class JsonlFileSink:
+    """Appends one JSON object per event to a file.
+
+    The handle opens lazily on the first event and flushes per line, so
+    a crashed session still leaves a usable audit trail.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+        self.events_written = 0
+
+    def emit(self, event: AuditEvent) -> None:
+        """Serialise one event as a JSONL line."""
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(event.to_json_dict()) + "\n")
+        self._handle.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file (further emits reopen it)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlFileSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_jsonl_events(path: str) -> List[AuditEvent]:
+    """Load events written by :class:`JsonlFileSink`, oldest first."""
+    events: List[AuditEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            events.append(
+                AuditEvent(
+                    sequence=int(raw["sequence"]),
+                    time_s=float(raw["time_s"]),
+                    kind=str(raw["kind"]),
+                    fields=tuple(sorted(raw.get("fields", {}).items())),
+                )
+            )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# The log
+# ---------------------------------------------------------------------------
+class EventLog:
+    """Sequenced event emitter fanning out to sinks.
+
+    Parameters
+    ----------
+    clock:
+        Wall-clock time source for event stamps (injectable).
+    sinks:
+        Extra sinks beyond the built-in ring buffer.
+    ring_capacity:
+        Size of the built-in ring buffer.
+    """
+
+    def __init__(
+        self,
+        clock: Clock = WALL_CLOCK,
+        sinks: Optional[List[Any]] = None,
+        ring_capacity: int = 1024,
+    ) -> None:
+        self.clock = clock
+        self.ring = RingBufferSink(ring_capacity)
+        self._sinks: List[Any] = [self.ring, *(sinks or [])]
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> AuditEvent:
+        """Stamp, sequence, and fan out one event."""
+        if not kind:
+            raise ConfigurationError("event kind must be non-empty")
+        self._sequence += 1
+        event = AuditEvent(
+            sequence=self._sequence,
+            time_s=self.clock(),
+            kind=kind,
+            fields=tuple(sorted(fields.items())),
+        )
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach another sink (anything with ``emit(event)``)."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[AuditEvent, ...]:
+        """Ring-buffer contents, oldest first."""
+        return self.ring.events
+
+    @property
+    def n_emitted(self) -> int:
+        """Total events emitted over the log's lifetime."""
+        return self._sequence
+
+    def kinds(self) -> List[str]:
+        """Kinds of the retained events, in emission order."""
+        return [event.kind for event in self.ring.events]
+
+    def reset(self) -> None:
+        """Clear the ring buffer and restart sequencing."""
+        self.ring.clear()
+        self._sequence = 0

@@ -1,0 +1,231 @@
+"""Counters, gauges, and streaming histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments; the module
+holds one process-wide default registry (``get_registry()``) that an
+:class:`~repro.obs.observer.Observer` uses unless given its own.  The
+registry is resettable so test cases stay isolated.
+
+Histograms use deterministic reservoir sampling (a fixed-seed LCG picks
+replacement slots) so the same observation stream always yields the
+same percentile estimates, keeping instrumented runs replayable.
+"""
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro._util.errors import ConfigurationError
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class Counter:
+    """Monotonically increasing count (float-valued: scaled bead counts
+    and byte totals are fractional in this codebase)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters only go up)."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        self._value += float(amount)
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_value", "_set")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._set = False
+
+    @property
+    def value(self) -> float:
+        """Most recent reading (0.0 before the first set)."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record a new reading."""
+        self._value = float(value)
+        self._set = True
+
+
+class Histogram:
+    """Streaming distribution with bounded memory.
+
+    Keeps an exact ``count``/``sum``/``min``/``max`` plus a reservoir of
+    at most ``capacity`` samples for percentile estimation.  Replacement
+    uses Algorithm R with a deterministic LCG, so percentiles are a pure
+    function of the observation sequence.
+    """
+
+    __slots__ = ("name", "capacity", "_samples", "_count", "_sum", "_min", "_max", "_state")
+
+    def __init__(self, name: str, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ConfigurationError("histogram capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._state = 0x9E3779B97F4A7C15
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        self._state = (_LCG_MULT * self._state + _LCG_INC) & _LCG_MASK
+        slot = self._state % self._count
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total observations seen (not just retained)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Reservoir percentile estimate, ``q`` in [0, 100].
+
+        Nearest-rank on the sorted reservoir; exact while fewer than
+        ``capacity`` observations have been made.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError("percentile q must be within [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / min / p50 / p95 / p99 / max snapshot."""
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name belongs to exactly one instrument kind; re-requesting it as
+    a different kind raises rather than silently forking the data.
+    """
+
+    def __init__(self, histogram_capacity: int = 1024) -> None:
+        self.histogram_capacity = histogram_capacity
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        self._check_kind(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        self._check_kind(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        self._check_kind(name, self._histograms)
+        return self._histograms.setdefault(
+            name, Histogram(name, capacity=self.histogram_capacity)
+        )
+
+    def _check_kind(self, name: str, expected: Dict[str, Any]) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not expected and name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_metrics(self) -> int:
+        """Number of distinct instruments."""
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def names(self) -> Sequence[str]:
+        """All registered metric names, sorted."""
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict dump of every instrument's state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary() for n, h in sorted(self._histograms.items())},
+        }
+
+
+#: Process-wide default registry (resettable; see ``get_registry``).
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def reset_registry() -> None:
+    """Reset the process-wide default registry (test isolation)."""
+    _DEFAULT_REGISTRY.reset()

@@ -1,0 +1,145 @@
+"""The injectable observability facade.
+
+Instrumented components accept an ``observer`` and talk only to this
+narrow API — spans, metrics, events — never to concrete sinks.  Two
+implementations exist:
+
+* :class:`Observer` — records everything into a tracer, a metrics
+  registry and an event log;
+* :class:`NullObserver` (singleton :data:`NULL_OBSERVER`, the default
+  everywhere) — records nothing and changes no behavior.  Its spans
+  still *measure* (two monotonic clock reads) because pipeline fields
+  like ``processing_time_s`` and ``SessionTiming.decryption_s`` are
+  driven off span durations; they stay real even when observability is
+  off.
+"""
+
+from typing import Any, Optional
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Span, Tracer
+
+
+class NullSpan:
+    """Measure-only span: no name, no tree, no attributes retained."""
+
+    __slots__ = ("_clock", "_start_s", "_end_s")
+
+    def __init__(self, clock: Clock = MONOTONIC_CLOCK) -> None:
+        self._clock = clock
+        self._start_s = 0.0
+        self._end_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (so far, if still open)."""
+        end = self._end_s if self._end_s is not None else self._clock()
+        return end - self._start_s
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discarded."""
+
+    def __enter__(self) -> "NullSpan":
+        self._start_s = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end_s = self._clock()
+
+
+class NullObserver:
+    """The disabled observer: every hook is a no-op (spans only time)."""
+
+    enabled = False
+
+    def __init__(self, clock: Clock = MONOTONIC_CLOCK) -> None:
+        self._clock = clock
+
+    def span(self, name: str, **attributes: Any) -> NullSpan:
+        """A measure-only span; nothing is recorded."""
+        return NullSpan(self._clock)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Discarded."""
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Discarded."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discarded."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discarded."""
+
+
+#: The default observer wired into every instrumented component.
+NULL_OBSERVER = NullObserver()
+
+
+class Observer:
+    """A live observer: tracer + metrics registry + event log.
+
+    Parameters
+    ----------
+    tracer, metrics, events:
+        Sinks; fresh ones are created when omitted (``metrics`` falls
+        back to the process-wide default registry).
+    clock:
+        Monotonic clock for any sink created here; inject a
+        :class:`~repro.obs.clock.ManualClock` for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.tracer = tracer or Tracer(clock=clock or MONOTONIC_CLOCK)
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.events = events or (
+            EventLog(clock=clock) if clock is not None else EventLog()
+        )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a named span under the current one (context manager)."""
+        return self.tracer.span(name, **attributes)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one audit event."""
+        self.events.emit(kind, **fields)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name``."""
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        self.metrics.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear tracer, metrics and events in one call."""
+        self.tracer.reset()
+        self.metrics.reset()
+        self.events.reset()
+
+
+def adopt_observer(component: Any, observer: Any) -> None:
+    """Give ``component`` the session's observer unless it has its own.
+
+    Components default to :data:`NULL_OBSERVER`; a user who injected a
+    specific observer into a sub-component keeps it.
+    """
+    if getattr(component, "observer", None) is NULL_OBSERVER:
+        component.observer = observer

@@ -1,0 +1,198 @@
+"""Hierarchical span tracing with zero dependencies.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects.  Spans
+nest through an explicit context-manager stack (the pipeline is
+synchronous), carry free-form attributes, and export either as a plain
+nested dict or as Chrome-trace JSON (`chrome://tracing` / Perfetto
+"traceEvents" format).
+
+The clock is injected (default ``time.perf_counter``) so tests can pin
+span durations exactly with :class:`~repro.obs.clock.ManualClock`.
+"""
+
+import functools
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
+
+
+class Span:
+    """One timed operation; a node in the trace tree.
+
+    Use as a context manager (via :meth:`Tracer.span`)::
+
+        with tracer.span("decrypt", peaks=count) as span:
+            ...
+        elapsed = span.duration_s
+
+    ``duration_s`` is valid after exit; while the span is open it
+    reports the time elapsed so far.
+    """
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer", attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the span has been closed."""
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (so far, if the span is still open)."""
+        if self.start_s is None:
+            return 0.0
+        end = self.end_s if self.end_s is not None else self._tracer.clock()
+        return end - self.start_s
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict form of this span and its children."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, duration_s={self.duration_s:.6f})"
+
+
+class Tracer:
+    """Collects a forest of spans from one instrumented run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source; injected for deterministic tests.
+    """
+
+    def __init__(self, clock: Clock = MONOTONIC_CLOCK) -> None:
+        self.clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create a span; parentage binds when the context is entered."""
+        return Span(name, self, attributes)
+
+    def trace(self, name: str, **attributes: Any) -> Callable:
+        """Decorator form: time every call of the wrapped function."""
+
+        def decorate(func: Callable) -> Callable:
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                with self.span(name, **attributes):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans are abandoned)."""
+        self.roots = []
+        self._stack = []
+
+    # ------------------------------------------------------------------
+    def _open(self, span: Span) -> None:
+        span.start_s = self.clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end_s = self.clock()
+        # Tolerate exception-driven unwinding: pop through to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All root spans as nested dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome-trace ("traceEvents") JSON object.
+
+        Complete events (``"ph": "X"``) with microsecond timestamps;
+        loadable by ``chrome://tracing`` and Perfetto.
+        """
+        events = []
+        for root in self.roots:
+            for span in root.walk():
+                if span.start_s is None:
+                    continue
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": span.start_s * 1e6,
+                        "dur": span.duration_s * 1e6,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": {k: _jsonable(v) for k, v in span.attributes.items()},
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Serialise :meth:`to_chrome_trace` to ``path``; returns it."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe projection of an attribute value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    try:  # numpy scalars expose item()
+        return value.item()
+    except AttributeError:
+        return str(value)

@@ -1,0 +1,83 @@
+"""obs.events: ring buffer, JSONL round-trip, sequencing."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.obs import (
+    AuditEvent,
+    EventLog,
+    JsonlFileSink,
+    ManualClock,
+    RingBufferSink,
+    read_jsonl_events,
+)
+
+
+class TestEventLog:
+    def test_sequencing_and_stamping(self):
+        clock = ManualClock(start_s=100.0)
+        log = EventLog(clock=clock)
+        first = log.emit("capture.started", duration_s=20.0)
+        clock.advance(5.0)
+        second = log.emit("capture.completed")
+        assert (first.sequence, second.sequence) == (1, 2)
+        assert first.time_s == 100.0
+        assert second.time_s == 105.0
+        assert first.field_dict() == {"duration_s": 20.0}
+        assert log.kinds() == ["capture.started", "capture.completed"]
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(clock=ManualClock()).emit("")
+
+    def test_reset_restarts_sequence(self):
+        log = EventLog(clock=ManualClock())
+        log.emit("a")
+        log.reset()
+        assert log.emit("b").sequence == 1
+        assert log.kinds() == ["b"]
+
+
+class TestRingBuffer:
+    def test_evicts_oldest(self):
+        log = EventLog(clock=ManualClock(), ring_capacity=3)
+        for kind in ("a", "b", "c", "d"):
+            log.emit(kind)
+        assert log.kinds() == ["b", "c", "d"]
+        assert log.ring.dropped == 1
+        assert log.n_emitted == 4
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferSink(0)
+
+
+class TestJsonlRoundTrip:
+    def test_events_round_trip_losslessly(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        clock = ManualClock(start_s=7.0)
+        log = EventLog(clock=clock, sinks=[JsonlFileSink(path)])
+        log.emit("key.derived", n_epochs=10, entropy_bits=581)
+        clock.advance(1.5)
+        log.emit("auth.accepted", user_id="alice", identifier="2-1")
+
+        loaded = read_jsonl_events(path)
+        assert loaded == list(log.events)
+
+    def test_sink_appends_across_reopen(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        with JsonlFileSink(path) as sink:
+            sink.emit(AuditEvent(sequence=1, time_s=0.0, kind="a"))
+        with JsonlFileSink(path) as sink:
+            sink.emit(AuditEvent(sequence=2, time_s=1.0, kind="b"))
+            assert sink.events_written == 1
+        loaded = read_jsonl_events(path)
+        assert [e.kind for e in loaded] == ["a", "b"]
+
+    def test_extra_sink_via_add_sink(self, tmp_path):
+        path = str(tmp_path / "late.jsonl")
+        log = EventLog(clock=ManualClock())
+        log.emit("before")
+        log.add_sink(JsonlFileSink(path))
+        log.emit("after")
+        assert [e.kind for e in read_jsonl_events(path)] == ["after"]

@@ -1,0 +1,119 @@
+"""obs.metrics: counters, gauges, histogram percentiles, registry reset."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.obs import Histogram, MetricsRegistry, get_registry, reset_registry
+from repro.obs.render import format_metrics_table
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.counter("jobs").inc(4)
+        assert registry.counter("jobs").value == 5
+
+    def test_fractional_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("beads").inc(2.5)
+        assert registry.counter("beads").value == pytest.approx(2.5)
+
+    def test_rejects_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("jobs").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("entropy").set(10)
+        registry.gauge("entropy").set(3)
+        assert registry.gauge("entropy").value == 3
+
+
+class TestHistogramPercentiles:
+    def test_exact_percentiles_below_capacity(self):
+        hist = Histogram("lat", capacity=2048)
+        for value in range(1, 1001):  # 1..1000
+            hist.observe(float(value))
+        assert hist.count == 1000
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 1000.0
+        assert hist.percentile(50) == pytest.approx(500.0, abs=1.0)
+        assert hist.percentile(95) == pytest.approx(950.0, abs=1.5)
+        assert hist.percentile(99) == pytest.approx(990.0, abs=1.5)
+        assert hist.mean == pytest.approx(500.5)
+        assert hist.min == 1.0 and hist.max == 1000.0
+
+    def test_reservoir_estimates_within_tolerance(self):
+        hist = Histogram("lat", capacity=512)
+        for value in range(1, 10_001):
+            hist.observe(float(value))
+        # Exact aggregates are unaffected by sampling.
+        assert hist.count == 10_000
+        assert hist.sum == pytest.approx(sum(range(1, 10_001)))
+        assert hist.max == 10_000.0
+        # Reservoir percentiles are estimates; a uniform stream should
+        # land within a few percent.
+        assert hist.percentile(50) == pytest.approx(5000, rel=0.15)
+        assert hist.percentile(95) == pytest.approx(9500, rel=0.1)
+
+    def test_deterministic_reservoir(self):
+        a, b = Histogram("x", capacity=64), Histogram("x", capacity=64)
+        for value in range(1000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a.summary() == b.summary()
+
+    def test_empty_histogram(self):
+        hist = Histogram("empty")
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x").percentile(101)
+
+
+class TestRegistry:
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("name")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("name")
+
+    def test_reset_isolates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        registry.reset()
+        assert registry.n_metrics == 0
+        assert registry.counter("a").value == 0
+
+    def test_default_registry_reset(self):
+        get_registry().counter("test.obs.leak").inc()
+        reset_registry()
+        assert "test.obs.leak" not in get_registry().names()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_table_lists_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("alpha").inc()
+        registry.gauge("beta").set(2)
+        registry.histogram("gamma").observe(0.5)
+        table = format_metrics_table(registry)
+        for name in ("alpha", "beta", "gamma"):
+            assert name in table

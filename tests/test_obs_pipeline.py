@@ -1,0 +1,209 @@
+"""Protocol-level observability: event sequence, span coverage, and the
+no-behavior-change guarantee of the default no-op observer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CytoIdentifier, MedSenSession, Sample
+from repro.cli import main
+from repro.cloud.storage import RecordStore
+from repro.obs import (
+    AUTH_ACCEPTED,
+    CAPTURE_COMPLETED,
+    CAPTURE_STARTED,
+    DECRYPTION_COMPLETED,
+    DIAGNOSIS_ISSUED,
+    EPOCH_ROTATED,
+    KEY_DERIVED,
+    PEAKS_REPORTED,
+    RECORD_STORED,
+    TRACE_RELAYED,
+    EventLog,
+    ManualClock,
+    MetricsRegistry,
+    Observer,
+    Tracer,
+)
+from repro.particles import BLOOD_CELL
+
+DURATION_S = 20.0
+
+
+def run_session(observer=None, seed=7):
+    kwargs = {"observer": observer} if observer is not None else {}
+    session = MedSenSession(rng=seed, **kwargs)
+    identifier = CytoIdentifier(session.config.alphabet, (2, 1))
+    session.authenticator.register("alice", identifier)
+    blood = Sample.from_concentrations({BLOOD_CELL: 400.0}, volume_ul=10)
+    return session, session.run_diagnostic(
+        blood, identifier, duration_s=DURATION_S, rng=seed + 1
+    )
+
+
+@pytest.fixture(scope="module")
+def observed():
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    session, result = run_session(observer)
+    return observer, session, result
+
+
+class TestEventSequence:
+    def test_expected_audit_trail_for_one_session(self, observed):
+        observer, session, result = observed
+        kinds = observer.events.kinds()
+        n_epochs = session.device.controller.export_schedule("practitioner").n_epochs
+        expected = (
+            [CAPTURE_STARTED, KEY_DERIVED]
+            + [EPOCH_ROTATED] * n_epochs
+            + [
+                CAPTURE_COMPLETED,
+                TRACE_RELAYED,
+                PEAKS_REPORTED,
+                DECRYPTION_COMPLETED,
+                AUTH_ACCEPTED,
+                DIAGNOSIS_ISSUED,
+                RECORD_STORED,
+            ]
+        )
+        assert kinds == expected
+
+    def test_event_fields_carry_session_facts(self, observed):
+        observer, _session, result = observed
+        by_kind = {event.kind: event for event in observer.events.events}
+        assert by_kind[CAPTURE_COMPLETED].field_dict()["particles_arrived"] == (
+            result.capture.ground_truth.total_arrived
+        )
+        assert by_kind[DECRYPTION_COMPLETED].field_dict()["recovered_count"] == (
+            result.decryption.total_count
+        )
+        assert by_kind[AUTH_ACCEPTED].field_dict()["user_id"] == "alice"
+        assert by_kind[RECORD_STORED].field_dict()["identifier"] == result.record_key
+
+    def test_events_are_monotonically_sequenced(self, observed):
+        observer, _, _ = observed
+        sequences = [event.sequence for event in observer.events.events]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+
+class TestSpanCoverage:
+    REQUIRED = {
+        "session",
+        "capture",
+        "provision_keys",
+        "encrypt",
+        "relay",
+        "cloud_analysis",
+        "decrypt",
+        "classify",
+        "authenticate",
+        "store",
+    }
+
+    def test_span_tree_covers_the_pipeline(self, observed):
+        observer, _, _ = observed
+        names = {span.name for root in observer.tracer.roots for span in root.walk()}
+        assert self.REQUIRED <= names
+
+    def test_stage_spans_nest_under_session(self, observed):
+        observer, _, _ = observed
+        (root,) = [r for r in observer.tracer.roots if r.name == "session"]
+        children = [c.name for c in root.children]
+        for stage in ("capture", "relay", "decrypt", "classify", "authenticate"):
+            assert stage in children
+        assert root.duration_s >= sum(c.duration_s for c in root.children) * 0.99
+
+    def test_timing_fields_match_spans(self, observed):
+        observer, _, result = observed
+        (root,) = [r for r in observer.tracer.roots if r.name == "session"]
+        decrypt = next(c for c in root.children if c.name == "decrypt")
+        assert result.timing.decryption_s == pytest.approx(decrypt.duration_s)
+
+
+class TestMetrics:
+    def test_pipeline_publishes_core_metrics(self, observed):
+        observer, _, result = observed
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["capture.particles_arrived"] == (
+            result.capture.ground_truth.total_arrived
+        )
+        assert counters["cloud.peaks_reported"] == result.relay.report.count
+        assert counters["decrypt.recovered_particles"] == result.decryption.total_count
+        assert counters["auth.accepted"] == 1
+        assert counters["store.records"] == 1
+        assert observer.metrics.n_metrics >= 8
+
+
+class TestNoOpDeterminism:
+    """Instrumentation must not change a single numeric output."""
+
+    def test_noop_observer_is_bit_identical_to_seed_behavior(self):
+        _, plain = run_session(observer=None, seed=11)
+        observer = Observer(
+            tracer=Tracer(), metrics=MetricsRegistry(), events=EventLog()
+        )
+        _, observed = run_session(observer=observer, seed=11)
+
+        assert plain.decryption.total_count == observed.decryption.total_count
+        assert plain.decryption.epoch_counts == observed.decryption.epoch_counts
+        assert plain.bead_counts == observed.bead_counts
+        assert plain.marker_count == observed.marker_count
+        assert plain.auth.accepted == observed.auth.accepted
+        assert plain.auth.recovered.as_string() == observed.auth.recovered.as_string()
+        assert plain.diagnosis.label == observed.diagnosis.label
+        assert plain.diagnosis.concentration_per_ul == pytest.approx(
+            observed.diagnosis.concentration_per_ul
+        )
+        assert plain.record_key == observed.record_key
+        assert plain.relay.report.count == observed.relay.report.count
+        np.testing.assert_array_equal(
+            plain.capture.trace.voltages, observed.capture.trace.voltages
+        )
+
+
+class TestStorageClock:
+    def test_injectable_clock_stamps_deterministically(self):
+        clock = ManualClock(start_s=1000.0)
+        store = RecordStore(clock=clock)
+        _, result = run_session(seed=3)
+        record = store.store("key", result.relay.report)
+        assert record.stored_at_s == 1000.0
+        clock.advance(60.0)
+        assert store.store("key", result.relay.report).stored_at_s == 1060.0
+
+
+class TestStatsCli:
+    def test_stats_prints_tree_and_metrics(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "trace.json")
+        events_path = str(tmp_path / "events.jsonl")
+        assert main([
+            "stats", "--seed", "7", "--duration", "10",
+            "--trace-out", trace_path, "--events-out", events_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        for span_name in ("session", "capture", "encrypt", "relay",
+                          "cloud_analysis", "decrypt", "authenticate"):
+            assert span_name in out
+        assert "metric" in out and "histogram" in out
+
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        names = [event["name"] for event in trace["traceEvents"]]
+        assert "session" in names and "cloud_analysis" in names
+
+        from repro.obs import read_jsonl_events
+
+        kinds = [event.kind for event in read_jsonl_events(events_path)]
+        assert CAPTURE_STARTED in kinds and RECORD_STORED in kinds
+
+    def test_demo_trace_out(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "demo-trace.json")
+        assert main([
+            "demo", "--seed", "5", "--duration", "10", "--trace-out", trace_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        with open(trace_path) as handle:
+            assert json.load(handle)["traceEvents"]
