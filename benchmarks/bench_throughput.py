@@ -1,0 +1,130 @@
+"""Serving throughput: worker-pool scaling over the clinic workload.
+
+Not a paper figure — the systems check behind ``repro.serving``: a
+fleet's wall-clock is dominated by *waiting* on the uplink (§VII-B
+transfer of the compressed capture), so a worker pool that overlaps
+those waits must scale session throughput near-linearly until compute
+saturates.  The fleet runs with ``realtime_network=True`` (workers
+actually sleep the modelled transfer time) over a deliberately slow
+clinic uplink, and the bench asserts the headline claim: **at least
+3x sessions/sec with 8 workers vs the serial baseline**.
+
+Run standalone (``python benchmarks/bench_throughput.py [--quick]``)
+or under pytest.
+"""
+
+import argparse
+import sys
+from typing import List, Tuple
+
+from benchmarks._harness import print_table
+from repro.cloud.network import NetworkModel
+from repro.serving import ClinicWorkload, FleetConfig, FleetScheduler, run_clinic
+
+#: A congested clinic uplink: transfer dwarfs compute, so overlapping
+#: waits — not parallel arithmetic — is what the pool buys.
+CLINIC_UPLINK = NetworkModel(
+    round_trip_latency_s=0.08,
+    uplink_bytes_per_s=4e4,
+    downlink_bytes_per_s=2.5e5,
+)
+
+SPEEDUP_FLOOR = 3.0
+
+
+def run_fleet(
+    n_workers: int, workload: ClinicWorkload, batch_size: int = 1
+) -> Tuple[float, float]:
+    """One fleet run; returns (sessions/sec, p95 latency)."""
+    config = FleetConfig(
+        seed=workload.seed,
+        n_workers=n_workers,
+        queue_capacity=workload.n_requests,
+        batch_size=batch_size,
+        network=CLINIC_UPLINK,
+        realtime_network=True,
+    )
+    with FleetScheduler(config) as scheduler:
+        report = run_clinic(scheduler, workload)
+    if report.n_completed != workload.n_requests:
+        raise AssertionError(
+            f"{report.n_failed} sessions failed with {n_workers} workers"
+        )
+    return report.sessions_per_second, report.latency_percentile(95)
+
+
+def sweep(workload: ClinicWorkload, worker_counts: List[int]) -> List[List[str]]:
+    rows = []
+    baseline = None
+    for n_workers in worker_counts:
+        throughput, p95 = run_fleet(n_workers, workload)
+        if baseline is None:
+            baseline = throughput
+        rows.append(
+            [
+                n_workers,
+                f"{throughput:.2f}",
+                f"{throughput / baseline:.2f}x",
+                f"{p95:.2f}",
+            ]
+        )
+    return rows
+
+
+def check_speedup(workload: ClinicWorkload) -> Tuple[float, float, float]:
+    serial, _ = run_fleet(1, workload)
+    pooled, _ = run_fleet(8, workload)
+    return serial, pooled, pooled / serial
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload and only the 1-vs-8-worker comparison (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workload = ClinicWorkload(
+            n_tenants=2, requests_per_tenant=4, duration_s=8.0, seed=2016
+        )
+        worker_counts = [1, 8]
+    else:
+        workload = ClinicWorkload(
+            n_tenants=4, requests_per_tenant=4, duration_s=10.0, seed=2016
+        )
+        worker_counts = [1, 2, 4, 8]
+
+    rows = sweep(workload, worker_counts)
+    print_table(
+        f"serving throughput ({workload.n_requests} sessions, "
+        f"{workload.n_tenants} tenants, realtime uplink)",
+        ["workers", "sessions/s", "speedup", "p95 latency (s)"],
+        rows,
+    )
+    serial = float(rows[0][1])
+    pooled = float(rows[-1][1])
+    speedup = pooled / serial
+    print(f"8-worker speedup: {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)")
+    if speedup < SPEEDUP_FLOOR:
+        print("FAIL: pool did not reach the speedup floor")
+        return 1
+    print("PASS")
+    return 0
+
+
+def test_eight_workers_triple_serial_throughput():
+    """The tentpole claim: >= 3x sessions/sec at 8 workers vs serial."""
+    workload = ClinicWorkload(
+        n_tenants=2, requests_per_tenant=4, duration_s=8.0, seed=2016
+    )
+    serial, pooled, speedup = check_speedup(workload)
+    print(
+        f"serial {serial:.2f}/s, 8 workers {pooled:.2f}/s -> {speedup:.2f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the workflows a bench scientist or security
+Eight subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -13,6 +13,9 @@ reviewer would reach for first:
 * ``attacks``   — run the eavesdropper suite against a fresh capture.
 * ``selftest``  — electrode-array self-test with optional injected
   faults (``--dead/--weak/--stuck``).
+* ``serve``     — multi-tenant serving fleet over a synthetic clinic
+  workload: worker pool, fair queue, dynamic batching, retry/breaker
+  (``--smoke`` runs the small CI check).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
 """
@@ -181,6 +184,75 @@ def _cmd_alphabet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        EventLog,
+        MetricsRegistry,
+        Observer,
+        format_metrics_table,
+    )
+    from repro.serving import (
+        ClinicWorkload,
+        FleetConfig,
+        FleetScheduler,
+        run_clinic,
+    )
+
+    if args.smoke:
+        # CI-friendly: tiny workload, exercise batching + failure
+        # injection + backpressure paths, exit non-zero on any anomaly.
+        config = FleetConfig(
+            seed=args.seed,
+            n_workers=2,
+            queue_capacity=8,
+            batch_size=2,
+            batch_linger_s=0.01,
+            drop_probability=0.05,
+            duplicate_probability=0.05,
+            deadline_s=30.0,
+        )
+        workload = ClinicWorkload(
+            n_tenants=2, requests_per_tenant=2, duration_s=8.0
+        )
+    else:
+        config = FleetConfig(
+            seed=args.seed,
+            n_workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            batch_size=args.batch_size,
+            batch_linger_s=args.batch_linger,
+            drop_probability=args.drop,
+            timeout_probability=args.timeout,
+            duplicate_probability=args.duplicate,
+            deadline_s=args.deadline,
+        )
+        workload = ClinicWorkload(
+            n_tenants=args.tenants,
+            requests_per_tenant=args.requests,
+            duration_s=args.duration,
+        )
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    print(
+        f"serving {workload.n_requests} sessions from {workload.n_tenants} "
+        f"tenants on {config.n_workers} workers "
+        f"(batch {config.batch_size}, queue {config.queue_capacity})"
+    )
+    with FleetScheduler(config, observer=observer) as scheduler:
+        report = run_clinic(scheduler, workload)
+    print(report.format())
+    if args.metrics:
+        print()
+        print(format_metrics_table(observer.metrics))
+    if args.smoke:
+        healthy = (
+            report.n_completed + report.n_failed == workload.n_requests
+            and report.n_completed >= workload.n_requests - 1
+        )
+        print("smoke:", "PASS" if healthy else "FAIL")
+        return 0 if healthy else 1
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.plots import generate_all_figures
 
@@ -242,6 +314,35 @@ def build_parser() -> argparse.ArgumentParser:
     selftest.add_argument("--stuck", type=int, nargs="*", default=[])
     selftest.add_argument("--seed", type=int, default=0)
     selftest.set_defaults(handler=_cmd_selftest)
+
+    serve = subparsers.add_parser(
+        "serve", help="run a multi-tenant serving fleet over a clinic workload"
+    )
+    serve.add_argument("--seed", type=int, default=2016)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=4,
+                       help="requests per tenant")
+    serve.add_argument("--duration", type=float, default=20.0,
+                       help="capture duration per session (s)")
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--batch-size", type=int, default=1,
+                       help="dynamic batching: max coalesced traces (1 = off)")
+    serve.add_argument("--batch-linger", type=float, default=0.02,
+                       help="dynamic batching: max wait for riders (s)")
+    serve.add_argument("--drop", type=float, default=0.0,
+                       help="per-attempt drop probability on the uplink")
+    serve.add_argument("--timeout", type=float, default=0.0,
+                       help="per-attempt timeout probability on the uplink")
+    serve.add_argument("--duplicate", type=float, default=0.0,
+                       help="per-attempt duplicate-delivery probability")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request virtual-time deadline (s)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the metrics table after the run")
+    serve.add_argument("--smoke", action="store_true",
+                       help="small fixed workload; exit 1 on anomalies (CI)")
+    serve.set_defaults(handler=_cmd_serve)
 
     figures = subparsers.add_parser(
         "figures", help="regenerate the paper's figures as SVG files"

@@ -6,12 +6,42 @@ solution to smartphone data plans".  The model is a classic
 latency+bandwidth pipe with separate up/down rates, enough to account
 for the transfer share of the ~0.2 s end-to-end budget and the 3-hour
 240 MB upload.
+
+Real clinic uplinks are not lossless: :class:`UnreliableNetworkModel`
+decorates the pipe with the three failure modes a mobile relay
+actually sees — the exchange is *dropped*, it *times out*, or the
+payload is *delivered twice* (radio-layer retransmission after a lost
+ACK).  Outcomes are drawn from an injected RNG, so a serving run's
+failure pattern is a pure function of its seed; the retry/backoff
+policy that copes with them lives in :mod:`repro.serving.retry`.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro._util.validation import check_positive
+from repro._util.errors import MedSenError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_in_range, check_positive
 from repro.obs import NULL_OBSERVER
+
+
+class TransferError(MedSenError):
+    """A cloud exchange failed at the network layer."""
+
+
+class TransferDropped(TransferError):
+    """The exchange was lost in flight (no response will ever come)."""
+
+
+class TransferTimeout(TransferError):
+    """No response within the attempt's timeout budget.
+
+    Carries the time the caller burned waiting, so retry layers can
+    charge it against the request deadline.
+    """
+
+    def __init__(self, message: str, waited_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.waited_s = waited_s
 
 
 @dataclass(frozen=True)
@@ -79,3 +109,114 @@ class NetworkModel:
             self.upload(upload_bytes, observer=observer).total_s
             + self.download(download_bytes, observer=observer).total_s
         )
+
+
+# ---------------------------------------------------------------------------
+# Failure modes
+# ---------------------------------------------------------------------------
+
+#: Delivery outcomes of one :meth:`UnreliableNetworkModel.attempt`.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+TIMED_OUT = "timed_out"
+DUPLICATED = "duplicated"
+
+
+@dataclass(frozen=True)
+class DeliveryAttempt:
+    """What one attempted exchange did.
+
+    ``n_deliveries`` is how many copies of the payload reached the
+    server (2 models a radio-layer retransmission after a lost ACK);
+    ``elapsed_s`` is the wall-clock the sender spent on the attempt,
+    whether it succeeded or burned its timeout budget.
+    """
+
+    outcome: str
+    elapsed_s: float
+    n_deliveries: int = 1
+
+
+@dataclass
+class UnreliableNetworkModel:
+    """A lossy wrapper over the latency+bandwidth pipe.
+
+    Each :meth:`attempt` draws one outcome from the injected RNG:
+
+    * **delivered** — the exchange completes in the modelled round-trip
+      time (``n_deliveries = 1``);
+    * **duplicated** — delivered, but the payload arrives twice; the
+      receiver must deduplicate or tolerate the double-count;
+    * **dropped** — the uplink loses the request; the sender learns of
+      it quickly (one RTT of silence) and :class:`TransferDropped` is
+      raised;
+    * **timed out** — the request vanishes without diagnosis; the
+      sender waits its full ``timeout_s`` budget before
+      :class:`TransferTimeout` is raised.
+
+    Probabilities are per-attempt and must sum to at most 1; the
+    remainder is the delivery probability (duplicates count as
+    deliveries).  All draws come from the ``rng`` handed to
+    :meth:`attempt`, keeping fleet runs reproducible per request.
+    """
+
+    base: NetworkModel = field(default_factory=NetworkModel)
+    drop_probability: float = 0.0
+    timeout_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    timeout_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "timeout_probability", "duplicate_probability"):
+            check_in_range(name, getattr(self, name), 0.0, 1.0)
+        check_positive("timeout_s", self.timeout_s)
+        total = self.drop_probability + self.timeout_probability + self.duplicate_probability
+        if total > 1.0:
+            raise ValueError(
+                f"failure probabilities sum to {total}; must be <= 1"
+            )
+
+    @property
+    def is_reliable(self) -> bool:
+        """True when no failure mode is enabled."""
+        return (
+            self.drop_probability == 0.0
+            and self.timeout_probability == 0.0
+            and self.duplicate_probability == 0.0
+        )
+
+    def attempt(
+        self,
+        upload_bytes: float,
+        download_bytes: float,
+        rng: RngLike = None,
+        observer=NULL_OBSERVER,
+    ) -> DeliveryAttempt:
+        """Try one request/response exchange over the lossy link.
+
+        Returns a :class:`DeliveryAttempt` on (possibly duplicated)
+        delivery; raises :class:`TransferDropped` / :class:`TransferTimeout`
+        otherwise.  The modelled time of the failed attempt rides on the
+        exception so retry layers can charge it to the deadline.
+        """
+        roll = float(ensure_rng(rng).random())
+        if roll < self.drop_probability:
+            elapsed = self.base.round_trip_latency_s
+            observer.incr("network.dropped")
+            raise TransferDropped(
+                f"exchange dropped after {elapsed:.3f} s of silence"
+            )
+        if roll < self.drop_probability + self.timeout_probability:
+            observer.incr("network.timeouts")
+            raise TransferTimeout(
+                f"no response within {self.timeout_s:.3f} s",
+                waited_s=self.timeout_s,
+            )
+        elapsed = self.base.round_trip(upload_bytes, download_bytes, observer=observer)
+        duplicated = roll < (
+            self.drop_probability + self.timeout_probability + self.duplicate_probability
+        )
+        if duplicated:
+            observer.incr("network.duplicates")
+            return DeliveryAttempt(outcome=DUPLICATED, elapsed_s=elapsed, n_deliveries=2)
+        return DeliveryAttempt(outcome=DELIVERED, elapsed_s=elapsed, n_deliveries=1)

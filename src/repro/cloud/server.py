@@ -4,7 +4,16 @@ The server performs the heavyweight signal processing on encrypted
 traces: detrend, threshold, and return the encoded peak report.  It is
 *outside* the trusted computing base: it never receives key material,
 and — being curious — it keeps a log of every trace and report it
-handled, which the attack benchmarks mine.
+handled, which the attack benchmarks mine.  Under sustained load that
+log is bounded: at most ``max_history`` recent jobs are retained and
+evictions are counted (``cloud.history_dropped``), so a long-running
+deployment cannot grow without limit.
+
+The server is thread-safe: the fleet scheduler's workers share one
+instance, and accounting happens under a lock.  ``analyze_batch``
+processes several traces in one vectorised detrend+threshold pass —
+the serving stack's dynamic batcher coalesces queued traces into such
+batches — and is numerically identical to per-trace :meth:`analyze`.
 
 Analysis timing flows through the observability layer: each job runs
 inside a ``cloud_analysis`` span whose duration backs the
@@ -12,9 +21,12 @@ inside a ``cloud_analysis`` span whose duration backs the
 observer, which measures but records nothing).
 """
 
+import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
+from repro._util.errors import ConfigurationError
 from repro.dsp.peakdetect import PeakDetector, PeakReport
 from repro.hardware.acquisition import AcquiredTrace
 from repro.obs import NULL_OBSERVER, PEAKS_REPORTED
@@ -40,6 +52,10 @@ class AnalysisServer:
     keep_history:
         Whether to retain analysed traces (the curious-but-honest
         behaviour).  Disable for long benchmark runs to bound memory.
+    max_history:
+        Cap on retained jobs; the oldest are evicted once the log is
+        full and the eviction count is exposed as ``history_dropped``
+        (and the ``cloud.history_dropped`` counter).
     observer:
         Observability sink for spans / metrics / audit events; the
         default records nothing.
@@ -49,14 +65,21 @@ class AnalysisServer:
         self,
         detector: Optional[PeakDetector] = None,
         keep_history: bool = True,
+        max_history: int = 4096,
         observer=NULL_OBSERVER,
     ) -> None:
+        if max_history < 1:
+            raise ConfigurationError("max_history must be >= 1")
         self.detector = detector or PeakDetector()
         self.keep_history = keep_history
+        self.max_history = max_history
         self.observer = observer
-        self._history: List[AnalysisJob] = []
+        self._history: Deque[AnalysisJob] = deque(maxlen=max_history)
+        self._history_dropped = 0
         self._jobs_processed = 0
         self._total_processing_time_s = 0.0
+        self._lock = threading.Lock()
+        self._thread = threading.local()
 
     # ------------------------------------------------------------------
     def analyze(self, trace: AcquiredTrace) -> PeakReport:
@@ -72,6 +95,31 @@ class AnalysisServer:
             report = self.detector.detect(trace.voltages, trace.sampling_rate_hz)
         self._account(trace, report, span.duration_s, streaming=False)
         return report
+
+    def analyze_batch(self, traces: Sequence[AcquiredTrace]) -> List[PeakReport]:
+        """Analyse several traces in one vectorised pass.
+
+        Same-shape traces are stacked and detrended together
+        (:meth:`PeakDetector.detect_batch`), amortising the window
+        bookkeeping across the whole batch; reports are bit-identical
+        to calling :meth:`analyze` per trace.  Per-job accounting
+        divides the batch's wall-clock evenly — the batch is the unit
+        of work, so each rider's share is the amortised cost.
+        """
+        if not traces:
+            return []
+        with self.observer.span(
+            "cloud_analysis_batch", batch_size=len(traces)
+        ) as span:
+            reports = self.detector.detect_batch(
+                [trace.voltages for trace in traces],
+                [trace.sampling_rate_hz for trace in traces],
+            )
+        share = span.duration_s / len(traces)
+        for trace, report in zip(traces, reports):
+            self._account(trace, report, share, streaming=False)
+        self.observer.observe("cloud.batch_size", len(traces))
+        return reports
 
     def analyze_streaming(
         self, trace: AcquiredTrace, chunk_s: float = 20.0, window_s: float = 30.0
@@ -106,8 +154,17 @@ class AnalysisServer:
     def _account(
         self, trace: AcquiredTrace, report: PeakReport, elapsed: float, streaming: bool
     ) -> None:
-        self._jobs_processed += 1
-        self._total_processing_time_s += elapsed
+        with self._lock:
+            self._jobs_processed += 1
+            self._total_processing_time_s += elapsed
+            if self.keep_history:
+                if len(self._history) == self._history.maxlen:
+                    self._history_dropped += 1
+                    self.observer.incr("cloud.history_dropped")
+                self._history.append(
+                    AnalysisJob(trace=trace, report=report, processing_time_s=elapsed)
+                )
+        self._thread.last_elapsed_s = elapsed
         self.observer.incr("cloud.jobs")
         self.observer.incr("cloud.peaks_reported", report.count)
         self.observer.observe("cloud.analysis_s", elapsed)
@@ -117,10 +174,6 @@ class AnalysisServer:
             duration_s=report.duration_s,
             streaming=streaming,
         )
-        if self.keep_history:
-            self._history.append(
-                AnalysisJob(trace=trace, report=report, processing_time_s=elapsed)
-            )
 
     # ------------------------------------------------------------------
     @property
@@ -135,11 +188,28 @@ class AnalysisServer:
 
     @property
     def history(self) -> Tuple[AnalysisJob, ...]:
-        """Everything the curious server has seen."""
-        return tuple(self._history)
+        """Everything the curious server still retains (oldest first)."""
+        with self._lock:
+            return tuple(self._history)
+
+    @property
+    def history_dropped(self) -> int:
+        """Jobs evicted from the bounded history so far."""
+        return self._history_dropped
+
+    @property
+    def last_processing_time_s(self) -> Optional[float]:
+        """Processing time of the calling thread's most recent job.
+
+        Thread-local, so concurrent relays each read the time of *their
+        own* analysis rather than whichever job finished last globally.
+        ``None`` before this thread has completed a job.
+        """
+        return getattr(self._thread, "last_elapsed_s", None)
 
     def last_job(self) -> AnalysisJob:
         """Most recent analysis (raises if none or history disabled)."""
-        if not self._history:
-            raise LookupError("no analysis history available")
-        return self._history[-1]
+        with self._lock:
+            if not self._history:
+                raise LookupError("no analysis history available")
+            return self._history[-1]

@@ -8,6 +8,7 @@ beyond linkability of their own records (by design: the same pipettes
 link the same patient's tests, §V).
 """
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -34,6 +35,10 @@ class StoredRecord:
 class RecordStore:
     """Append-only per-identifier record log.
 
+    Thread-safe: the serving fleet's concurrent workers store into one
+    shared instance, so sequencing and the per-identifier logs mutate
+    under a lock.
+
     Parameters
     ----------
     clock:
@@ -49,6 +54,7 @@ class RecordStore:
         self.observer = observer
         self._records: Dict[str, List[StoredRecord]] = {}
         self._sequence = 0
+        self._lock = threading.Lock()
 
     def store(
         self,
@@ -59,15 +65,16 @@ class RecordStore:
         """Store an encrypted analysis outcome under an identifier."""
         if not identifier_key:
             raise ConfigurationError("identifier_key must be non-empty")
-        self._sequence += 1
-        record = StoredRecord(
-            identifier_key=identifier_key,
-            report=report,
-            sequence_number=self._sequence,
-            stored_at_s=self.clock(),
-            metadata=tuple(sorted((metadata or {}).items())),
-        )
-        self._records.setdefault(identifier_key, []).append(record)
+        with self._lock:
+            self._sequence += 1
+            record = StoredRecord(
+                identifier_key=identifier_key,
+                report=report,
+                sequence_number=self._sequence,
+                stored_at_s=self.clock(),
+                metadata=tuple(sorted((metadata or {}).items())),
+            )
+            self._records.setdefault(identifier_key, []).append(record)
         self.observer.incr("store.records")
         self.observer.event(
             RECORD_STORED,
@@ -79,14 +86,16 @@ class RecordStore:
 
     def fetch(self, identifier_key: str) -> Tuple[StoredRecord, ...]:
         """All records stored under an identifier (oldest first)."""
-        return tuple(self._records.get(identifier_key, ()))
+        with self._lock:
+            return tuple(self._records.get(identifier_key, ()))
 
     def fetch_latest(self, identifier_key: str) -> StoredRecord:
         """Most recent record for an identifier."""
-        records = self._records.get(identifier_key)
-        if not records:
-            raise LookupError(f"no records stored for identifier {identifier_key!r}")
-        return records[-1]
+        with self._lock:
+            records = self._records.get(identifier_key)
+            if not records:
+                raise LookupError(f"no records stored for identifier {identifier_key!r}")
+            return records[-1]
 
     def delete_identifier(self, identifier_key: str) -> int:
         """Erase every record stored under an identifier.
@@ -99,15 +108,18 @@ class RecordStore:
         """
         if not identifier_key:
             raise ConfigurationError("identifier_key must be non-empty")
-        records = self._records.pop(identifier_key, [])
+        with self._lock:
+            records = self._records.pop(identifier_key, [])
         return len(records)
 
     @property
     def n_identifiers(self) -> int:
         """Distinct identifiers with stored records."""
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     @property
     def n_records(self) -> int:
         """Total records stored."""
-        return sum(len(records) for records in self._records.values())
+        with self._lock:
+            return sum(len(records) for records in self._records.values())

@@ -97,28 +97,53 @@ def piecewise_polynomial_detrend(
     signal = np.asarray(signal, dtype=float)
     if signal.ndim != 1:
         raise ValueError(f"signal must be 1-D, got shape {signal.shape}")
+    return piecewise_polynomial_detrend_rows(
+        signal[np.newaxis, :], sampling_rate_hz, config
+    )[0]
+
+
+def piecewise_polynomial_detrend_rows(
+    signals: np.ndarray,
+    sampling_rate_hz: float,
+    config: DetrendConfig = DetrendConfig(),
+) -> np.ndarray:
+    """Detrend every row of a ``(rows, samples)`` matrix in one pass.
+
+    The window partitioning, taper weights, blending and normalisation
+    are computed once and applied to all rows with array arithmetic;
+    only the robust polynomial fit runs per row (its data-dependent
+    outlier masks cannot be shared).  Every row's arithmetic is
+    element-wise identical to :func:`piecewise_polynomial_detrend` on
+    that row alone, so batched analysis is bit-identical to serial —
+    the property the serving stack's dynamic batcher relies on.
+    """
+    signals = np.asarray(signals, dtype=float)
+    if signals.ndim != 2:
+        raise ValueError(f"signals must be 2-D (rows, samples), got {signals.shape}")
     check_positive("sampling_rate_hz", sampling_rate_hz)
-    n = signal.shape[0]
-    if n == 0:
-        return signal.copy()
+    n_rows, n = signals.shape
+    if n == 0 or n_rows == 0:
+        return signals.copy()
 
     window = max(int(round(config.window_s * sampling_rate_hz)), config.order + 2)
     window = min(window, n)
     step = max(int(round(window * (1.0 - config.overlap_fraction))), 1)
 
-    accumulated = np.zeros(n)
+    accumulated = np.zeros_like(signals)
     weights = np.zeros(n)
     start = 0
     while True:
         stop = min(start + window, n)
-        segment = signal[start:stop]
-        baseline = _fit_baseline(segment, config.order)
+        segments = signals[:, start:stop]
+        baselines = np.vstack(
+            [_fit_baseline(segments[row], config.order) for row in range(n_rows)]
+        )
         # Guard against a degenerate fit crossing zero.
-        safe = np.where(np.abs(baseline) > 1e-12, baseline, 1e-12)
-        detrended = segment / safe
+        safe = np.where(np.abs(baselines) > 1e-12, baselines, 1e-12)
+        detrended = segments / safe
         length = stop - start
         taper = np.minimum(np.arange(1, length + 1), np.arange(length, 0, -1)).astype(float)
-        accumulated[start:stop] += detrended * taper
+        accumulated[:, start:stop] += detrended * taper
         weights[start:stop] += taper
         if stop >= n:
             break

@@ -10,13 +10,13 @@ the authentication classifier consume.
 """
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import signal as sp_signal
 
 from repro._util.validation import check_positive
-from repro.dsp.detrend import DetrendConfig, piecewise_polynomial_detrend
+from repro.dsp.detrend import DetrendConfig, piecewise_polynomial_detrend_rows
 
 
 @dataclass(frozen=True)
@@ -104,28 +104,79 @@ class PeakDetector:
     # ------------------------------------------------------------------
     def detect(self, trace: np.ndarray, sampling_rate_hz: float) -> PeakReport:
         """Find peaks in a ``(n_channels, n_samples)`` voltage trace."""
+        trace = self._validate(trace, sampling_rate_hz)
+        n_samples = trace.shape[1]
+        if n_samples == 0:
+            return PeakReport(
+                (), 0.0, sampling_rate_hz, self.detection_channel
+            )
+        dips = 1.0 - piecewise_polynomial_detrend_rows(
+            trace, sampling_rate_hz, self.detrend
+        )
+        return self._report_from_dips(dips, sampling_rate_hz)
+
+    def detect_batch(
+        self,
+        traces: Sequence[np.ndarray],
+        sampling_rates_hz: Union[float, Sequence[float]],
+    ) -> List[PeakReport]:
+        """Find peaks in many traces with one vectorised detrend pass.
+
+        Traces sharing a shape and sampling rate are stacked into a
+        single ``(batch * channels, samples)`` matrix and detrended
+        together (:func:`piecewise_polynomial_detrend_rows`), amortising
+        the window bookkeeping over the whole batch; thresholding then
+        runs per trace.  Reports come back in input order and are
+        bit-identical to calling :meth:`detect` on each trace alone —
+        the serving stack's batcher depends on that equivalence.
+        """
+        if np.isscalar(sampling_rates_hz):
+            rates = [float(sampling_rates_hz)] * len(traces)
+        else:
+            rates = [float(rate) for rate in sampling_rates_hz]
+        if len(rates) != len(traces):
+            raise ValueError(
+                f"{len(traces)} traces but {len(rates)} sampling rates"
+            )
+        validated = [
+            self._validate(trace, rate) for trace, rate in zip(traces, rates)
+        ]
+        groups: Dict[Tuple[int, int, float], List[int]] = {}
+        for position, (trace, rate) in enumerate(zip(validated, rates)):
+            groups.setdefault((*trace.shape, rate), []).append(position)
+
+        reports: List[PeakReport] = [None] * len(validated)  # type: ignore[list-item]
+        for (n_channels, n_samples, rate), members in groups.items():
+            if n_samples == 0:
+                for position in members:
+                    reports[position] = PeakReport(
+                        (), 0.0, rate, self.detection_channel
+                    )
+                continue
+            stacked = np.concatenate([validated[p] for p in members], axis=0)
+            dips = 1.0 - piecewise_polynomial_detrend_rows(stacked, rate, self.detrend)
+            for slot, position in enumerate(members):
+                rows = dips[slot * n_channels : (slot + 1) * n_channels]
+                reports[position] = self._report_from_dips(rows, rate)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _validate(self, trace: np.ndarray, sampling_rate_hz: float) -> np.ndarray:
         trace = np.asarray(trace, dtype=float)
         if trace.ndim != 2:
             raise ValueError(f"trace must be 2-D (channels, samples), got {trace.shape}")
         check_positive("sampling_rate_hz", sampling_rate_hz)
-        n_channels, n_samples = trace.shape
-        if self.detection_channel >= n_channels:
+        if self.detection_channel >= trace.shape[0]:
             raise ValueError(
                 f"detection_channel {self.detection_channel} out of range for "
-                f"{n_channels}-channel trace"
+                f"{trace.shape[0]}-channel trace"
             )
+        return trace
+
+    def _report_from_dips(self, dips: np.ndarray, sampling_rate_hz: float) -> PeakReport:
+        """Threshold one trace's positive-dip matrix into a report."""
+        n_samples = dips.shape[1]
         duration_s = n_samples / sampling_rate_hz
-        if n_samples == 0:
-            return PeakReport((), duration_s, sampling_rate_hz, self.detection_channel)
-
-        # Detrend every channel and form positive-dip signals.
-        dips = np.empty_like(trace)
-        for channel in range(n_channels):
-            detrended = piecewise_polynomial_detrend(
-                trace[channel], sampling_rate_hz, self.detrend
-            )
-            dips[channel] = 1.0 - detrended
-
         detection = dips[self.detection_channel]
         distance = max(int(round(self.min_separation_s * sampling_rate_hz)), 1)
         indices, properties = sp_signal.find_peaks(

@@ -142,6 +142,13 @@ class Smartphone:
             self.observer.incr("relay.uploads")
             self.observer.incr("relay.raw_bytes", raw_bytes)
             self.observer.observe("relay.compression_ratio", raw_bytes / max(compressed, 1))
+            # The calling thread's own job time: concurrent relays must
+            # not read whichever job another worker finished last.
+            analysis_time = getattr(server, "last_processing_time_s", None)
+            if analysis_time is None:
+                analysis_time = server.total_processing_time_s / max(
+                    server.jobs_processed, 1
+                )
             return RelayOutcome(
                 report=report,
                 analyzed_locally=False,
@@ -149,7 +156,5 @@ class Smartphone:
                 uploaded_bytes=float(compressed),
                 compression_time_s=compression_time,
                 transfer_time_s=transfer_time,
-                analysis_time_s=server.last_job().processing_time_s
-                if server.keep_history
-                else server.total_processing_time_s / max(server.jobs_processed, 1),
+                analysis_time_s=analysis_time,
             )

@@ -22,15 +22,25 @@ from repro.obs.clock import MONOTONIC_CLOCK, WALL_CLOCK, Clock, ManualClock
 from repro.obs.events import (
     AUTH_ACCEPTED,
     AUTH_REJECTED,
+    BATCH_FLUSHED,
     CAPTURE_COMPLETED,
     CAPTURE_STARTED,
+    CIRCUIT_CLOSED,
+    CIRCUIT_HALF_OPEN,
+    CIRCUIT_OPENED,
     DECRYPTION_COMPLETED,
     DIAGNOSIS_ISSUED,
     EPOCH_ROTATED,
     KEY_DERIVED,
     KNOWN_KINDS,
+    LOAD_SHED,
     PEAKS_REPORTED,
     RECORD_STORED,
+    RELAY_RETRIED,
+    REQUEST_COMPLETED,
+    REQUEST_FAILED,
+    REQUEST_QUEUED,
+    REQUEST_REJECTED,
     TRACE_RELAYED,
     AuditEvent,
     EventLog,
@@ -78,6 +88,16 @@ __all__ = [
     "AUTH_REJECTED",
     "DIAGNOSIS_ISSUED",
     "RECORD_STORED",
+    "REQUEST_QUEUED",
+    "REQUEST_REJECTED",
+    "REQUEST_COMPLETED",
+    "REQUEST_FAILED",
+    "RELAY_RETRIED",
+    "LOAD_SHED",
+    "CIRCUIT_OPENED",
+    "CIRCUIT_HALF_OPEN",
+    "CIRCUIT_CLOSED",
+    "BATCH_FLUSHED",
     "Counter",
     "Gauge",
     "Histogram",

@@ -14,6 +14,7 @@ optional JSONL file sink for durable logs that
 """
 
 import json
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
@@ -36,6 +37,18 @@ AUTH_REJECTED = "auth.rejected"
 DIAGNOSIS_ISSUED = "diagnosis.issued"
 RECORD_STORED = "record.stored"
 
+# Serving-stack kinds (repro.serving; see docs/serving.md)
+REQUEST_QUEUED = "serve.request_queued"
+REQUEST_REJECTED = "serve.request_rejected"
+REQUEST_COMPLETED = "serve.request_completed"
+REQUEST_FAILED = "serve.request_failed"
+RELAY_RETRIED = "serve.relay_retried"
+LOAD_SHED = "serve.load_shed"
+CIRCUIT_OPENED = "serve.circuit_opened"
+CIRCUIT_HALF_OPEN = "serve.circuit_half_open"
+CIRCUIT_CLOSED = "serve.circuit_closed"
+BATCH_FLUSHED = "serve.batch_flushed"
+
 #: Every kind the pipeline emits (open vocabulary: custom kinds allowed).
 KNOWN_KINDS = frozenset(
     {
@@ -50,6 +63,16 @@ KNOWN_KINDS = frozenset(
         AUTH_REJECTED,
         DIAGNOSIS_ISSUED,
         RECORD_STORED,
+        REQUEST_QUEUED,
+        REQUEST_REJECTED,
+        REQUEST_COMPLETED,
+        REQUEST_FAILED,
+        RELAY_RETRIED,
+        LOAD_SHED,
+        CIRCUIT_OPENED,
+        CIRCUIT_HALF_OPEN,
+        CIRCUIT_CLOSED,
+        BATCH_FLUSHED,
     }
 )
 
@@ -201,21 +224,24 @@ class EventLog:
         self.ring = RingBufferSink(ring_capacity)
         self._sinks: List[Any] = [self.ring, *(sinks or [])]
         self._sequence = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, **fields: Any) -> AuditEvent:
-        """Stamp, sequence, and fan out one event."""
+        """Stamp, sequence, and fan out one event (thread-safe: fleet
+        workers share one log)."""
         if not kind:
             raise ConfigurationError("event kind must be non-empty")
-        self._sequence += 1
-        event = AuditEvent(
-            sequence=self._sequence,
-            time_s=self.clock(),
-            kind=kind,
-            fields=tuple(sorted(fields.items())),
-        )
-        for sink in self._sinks:
-            sink.emit(event)
+        with self._lock:
+            self._sequence += 1
+            event = AuditEvent(
+                sequence=self._sequence,
+                time_s=self.clock(),
+                kind=kind,
+                fields=tuple(sorted(fields.items())),
+            )
+            for sink in self._sinks:
+                sink.emit(event)
         return event
 
     def add_sink(self, sink: Any) -> None:

@@ -8,8 +8,14 @@ registry is resettable so test cases stay isolated.
 Histograms use deterministic reservoir sampling (a fixed-seed LCG picks
 replacement slots) so the same observation stream always yields the
 same percentile estimates, keeping instrumented runs replayable.
+
+All instruments and the registry itself are thread-safe: fleet workers
+(:mod:`repro.serving`) share one registry, so every mutation happens
+under a per-instrument lock and instrument creation under a registry
+lock.
 """
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro._util.errors import ConfigurationError
@@ -23,11 +29,12 @@ class Counter:
     """Monotonically increasing count (float-valued: scaled bead counts
     and byte totals are fractional in this codebase)."""
 
-    __slots__ = ("name", "_value")
+    __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
@@ -38,18 +45,20 @@ class Counter:
         """Add ``amount`` (must be >= 0: counters only go up)."""
         if amount < 0:
             raise ConfigurationError(f"counter {self.name!r} cannot decrease")
-        self._value += float(amount)
+        with self._lock:
+            self._value += float(amount)
 
 
 class Gauge:
     """Last-write-wins instantaneous value."""
 
-    __slots__ = ("name", "_value", "_set")
+    __slots__ = ("name", "_value", "_set", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
         self._set = False
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
@@ -58,8 +67,17 @@ class Gauge:
 
     def set(self, value: float) -> None:
         """Record a new reading."""
-        self._value = float(value)
-        self._set = True
+        with self._lock:
+            self._value = float(value)
+            self._set = True
+
+    def add(self, delta: float) -> float:
+        """Atomically shift the reading by ``delta``; returns the new
+        value (queue-depth style gauges tracked from many threads)."""
+        with self._lock:
+            self._value += float(delta)
+            self._set = True
+            return self._value
 
 
 class Histogram:
@@ -71,7 +89,10 @@ class Histogram:
     function of the observation sequence.
     """
 
-    __slots__ = ("name", "capacity", "_samples", "_count", "_sum", "_min", "_max", "_state")
+    __slots__ = (
+        "name", "capacity", "_samples", "_count", "_sum", "_min", "_max",
+        "_state", "_lock",
+    )
 
     def __init__(self, name: str, capacity: int = 1024) -> None:
         if capacity < 1:
@@ -84,22 +105,24 @@ class Histogram:
         self._min: Optional[float] = None
         self._max: Optional[float] = None
         self._state = 0x9E3779B97F4A7C15
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def observe(self, value: float) -> None:
         """Add one observation."""
         value = float(value)
-        self._count += 1
-        self._sum += value
-        self._min = value if self._min is None else min(self._min, value)
-        self._max = value if self._max is None else max(self._max, value)
-        if len(self._samples) < self.capacity:
-            self._samples.append(value)
-            return
-        self._state = (_LCG_MULT * self._state + _LCG_INC) & _LCG_MASK
-        slot = self._state % self._count
-        if slot < self.capacity:
-            self._samples[slot] = value
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._samples) < self.capacity:
+                self._samples.append(value)
+                return
+            self._state = (_LCG_MULT * self._state + _LCG_INC) & _LCG_MASK
+            slot = self._state % self._count
+            if slot < self.capacity:
+                self._samples[slot] = value
 
     # ------------------------------------------------------------------
     @property
@@ -135,9 +158,11 @@ class Histogram:
         """
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError("percentile q must be within [0, 100]")
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = sorted(samples)
         rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
         return ordered[int(rank)]
 
@@ -166,24 +191,28 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
-        self._check_kind(name, self._counters)
-        return self._counters.setdefault(name, Counter(name))
+        with self._lock:
+            self._check_kind(name, self._counters)
+            return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name``."""
-        self._check_kind(name, self._gauges)
-        return self._gauges.setdefault(name, Gauge(name))
+        with self._lock:
+            self._check_kind(name, self._gauges)
+            return self._gauges.setdefault(name, Gauge(name))
 
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram ``name``."""
-        self._check_kind(name, self._histograms)
-        return self._histograms.setdefault(
-            name, Histogram(name, capacity=self.histogram_capacity)
-        )
+        with self._lock:
+            self._check_kind(name, self._histograms)
+            return self._histograms.setdefault(
+                name, Histogram(name, capacity=self.histogram_capacity)
+            )
 
     def _check_kind(self, name: str, expected: Dict[str, Any]) -> None:
         for table in (self._counters, self._gauges, self._histograms):
@@ -200,20 +229,26 @@ class MetricsRegistry:
 
     def names(self) -> Sequence[str]:
         """All registered metric names, sorted."""
-        return sorted([*self._counters, *self._gauges, *self._histograms])
+        with self._lock:
+            return sorted([*self._counters, *self._gauges, *self._histograms])
 
     def reset(self) -> None:
         """Drop every instrument (test isolation)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Plain-dict dump of every instrument's state."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {n: h.summary() for n, h in sorted(self._histograms.items())},
+            "counters": {n: c.value for n, c in counters},
+            "gauges": {n: g.value for n, g in gauges},
+            "histograms": {n: h.summary() for n, h in histograms},
         }
 
 

@@ -1,10 +1,13 @@
 """Hierarchical span tracing with zero dependencies.
 
 A :class:`Tracer` records a tree of timed :class:`Span` objects.  Spans
-nest through an explicit context-manager stack (the pipeline is
-synchronous), carry free-form attributes, and export either as a plain
-nested dict or as Chrome-trace JSON (`chrome://tracing` / Perfetto
-"traceEvents" format).
+nest through a context-manager stack kept *per thread*, so concurrent
+fleet workers (:mod:`repro.serving`) each grow their own span trees
+instead of corrupting one another's parentage; within a thread the
+pipeline remains synchronous.  Spans carry free-form attributes and
+export either as a plain nested dict or as Chrome-trace JSON
+(`chrome://tracing` / Perfetto "traceEvents" format), with the opening
+thread's id as ``tid``.
 
 The clock is injected (default ``time.perf_counter``) so tests can pin
 span durations exactly with :class:`~repro.obs.clock.ManualClock`.
@@ -12,6 +15,7 @@ span durations exactly with :class:`~repro.obs.clock.ManualClock`.
 
 import functools
 import json
+import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
@@ -30,7 +34,7 @@ class Span:
     reports the time elapsed so far.
     """
 
-    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "_tracer")
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "_tracer", "tid")
 
     def __init__(self, name: str, tracer: "Tracer", attributes: Dict[str, Any]) -> None:
         self.name = name
@@ -39,6 +43,7 @@ class Span:
         self.end_s: Optional[float] = None
         self.children: List["Span"] = []
         self._tracer = tracer
+        self.tid = 1
 
     # ------------------------------------------------------------------
     @property
@@ -101,7 +106,16 @@ class Tracer:
     def __init__(self, clock: Clock = MONOTONIC_CLOCK) -> None:
         self.clock = clock
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> Span:
@@ -127,24 +141,33 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def reset(self) -> None:
-        """Drop all recorded spans (open spans are abandoned)."""
-        self.roots = []
-        self._stack = []
+        """Drop all recorded spans (open spans are abandoned).
+
+        Only the calling thread's open-span stack is cleared; other
+        threads' stacks drain naturally as their context managers exit.
+        """
+        with self._roots_lock:
+            self.roots = []
+        self._local.stack = []
 
     # ------------------------------------------------------------------
     def _open(self, span: Span) -> None:
         span.start_s = self.clock()
-        if self._stack:
-            self._stack[-1].children.append(span)
+        span.tid = threading.get_ident()
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._roots_lock:
+                self.roots.append(span)
+        stack.append(span)
 
     def _close(self, span: Span) -> None:
         span.end_s = self.clock()
         # Tolerate exception-driven unwinding: pop through to this span.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
 
@@ -173,7 +196,7 @@ class Tracer:
                         "ts": span.start_s * 1e6,
                         "dur": span.duration_s * 1e6,
                         "pid": 1,
-                        "tid": 1,
+                        "tid": span.tid,
                         "args": {k: _jsonable(v) for k, v in span.attributes.items()},
                     }
                 )

@@ -1,0 +1,178 @@
+"""Dynamic batching for the cloud analysis server.
+
+Inference-server style coalescing: concurrent ``analyze`` calls park
+their traces in a shared pending list; a batch is flushed either when
+it reaches ``max_batch_size`` or when the oldest rider has lingered
+``max_linger_s``.  There is no background thread — the *leader* (the
+arrival that fills the batch, or the waiter whose linger expires
+first) performs the flush on its own thread and wakes the followers
+(leader/follower pattern), so an idle batcher costs nothing.
+
+The flush runs :meth:`AnalysisServer.analyze_batch`, whose vectorised
+detrend+threshold pass is bit-identical to per-trace analysis — so
+batching changes throughput and amortised latency, never results.
+"""
+
+import threading
+from time import monotonic as _monotonic
+from time import perf_counter as _perf_counter
+from typing import List, Optional, Sequence
+
+from repro.cloud.server import AnalysisServer
+from repro.dsp.peakdetect import PeakReport
+from repro.hardware.acquisition import AcquiredTrace
+from repro.obs import BATCH_FLUSHED, NULL_OBSERVER
+
+
+class _Slot:
+    """One rider's place in the pending batch."""
+
+    __slots__ = ("trace", "report", "error", "done", "share_s")
+
+    def __init__(self, trace: AcquiredTrace) -> None:
+        self.trace = trace
+        self.report: Optional[PeakReport] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+        self.share_s = 0.0
+
+
+class BatchingAnalysisServer:
+    """Coalesce concurrent analyses into vectorised batch passes.
+
+    Parameters
+    ----------
+    server:
+        The shared :class:`~repro.cloud.server.AnalysisServer` that
+        actually runs the batches.
+    max_batch_size:
+        Flush as soon as this many traces are pending.
+    max_linger_s:
+        Flush a partial batch once its oldest rider has waited this
+        long — bounds the latency cost of batching under light load.
+    """
+
+    def __init__(
+        self,
+        server: AnalysisServer,
+        max_batch_size: int = 8,
+        max_linger_s: float = 0.02,
+        observer=NULL_OBSERVER,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_linger_s < 0:
+            raise ValueError(f"max_linger_s must be >= 0, got {max_linger_s}")
+        self.server = server
+        self.max_batch_size = max_batch_size
+        self.max_linger_s = max_linger_s
+        self.observer = observer
+        self._cond = threading.Condition()
+        self._pending: List[_Slot] = []
+        self._batches_flushed = 0
+        self._jobs_batched = 0
+        self._thread = threading.local()
+
+    # ------------------------------------------------------------------
+    # AnalysisServer facade
+    # ------------------------------------------------------------------
+    @property
+    def detector(self):
+        return self.server.detector
+
+    @property
+    def keep_history(self) -> bool:
+        return self.server.keep_history
+
+    @property
+    def jobs_processed(self) -> int:
+        return self.server.jobs_processed
+
+    @property
+    def total_processing_time_s(self) -> float:
+        return self.server.total_processing_time_s
+
+    @property
+    def last_processing_time_s(self) -> Optional[float]:
+        """The calling thread's amortised share of its last batch."""
+        return getattr(self._thread, "last_share_s", None)
+
+    def last_job(self):
+        return self.server.last_job()
+
+    @property
+    def batches_flushed(self) -> int:
+        return self._batches_flushed
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size so far (0 before any flush)."""
+        if self._batches_flushed == 0:
+            return 0.0
+        return self._jobs_batched / self._batches_flushed
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: AcquiredTrace) -> PeakReport:
+        """Analyse one trace, riding whatever batch forms around it."""
+        slot = _Slot(trace)
+        batch: Optional[List[_Slot]] = None
+        with self._cond:
+            self._pending.append(slot)
+            if len(self._pending) >= self.max_batch_size:
+                batch = self._pending
+                self._pending = []
+        if batch is not None:
+            self._flush(batch, reason="full")
+        else:
+            deadline = _monotonic() + self.max_linger_s
+            with self._cond:
+                while not slot.done:
+                    remaining = deadline - _monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if not slot.done and any(s is slot for s in self._pending):
+                    # Linger expired with the slot still unclaimed: this
+                    # waiter becomes the leader for the partial batch.
+                    batch = self._pending
+                    self._pending = []
+            if batch is not None:
+                self._flush(batch, reason="linger")
+            with self._cond:
+                # Either our own flush resolved us, or another leader's
+                # in-flight flush will; wait it out.
+                while not slot.done:
+                    self._cond.wait()
+        if slot.error is not None:
+            raise slot.error
+        self._thread.last_share_s = slot.share_s
+        return slot.report
+
+    def analyze_batch(self, traces: Sequence[AcquiredTrace]) -> List[PeakReport]:
+        """Explicit batches bypass coalescing and run directly."""
+        return self.server.analyze_batch(traces)
+
+    # ------------------------------------------------------------------
+    def _flush(self, batch: List[_Slot], reason: str) -> None:
+        started = _perf_counter()
+        try:
+            reports = self.server.analyze_batch([slot.trace for slot in batch])
+        except BaseException as error:  # propagate to every rider
+            with self._cond:
+                for slot in batch:
+                    slot.error = error
+                    slot.done = True
+                self._cond.notify_all()
+            raise
+        share_s = (_perf_counter() - started) / len(batch)
+        with self._cond:
+            for slot, report in zip(batch, reports):
+                slot.report = report
+                slot.share_s = share_s
+                slot.done = True
+            self._batches_flushed += 1
+            self._jobs_batched += len(batch)
+            self._cond.notify_all()
+        self.observer.observe("serve.batch_size", float(len(batch)))
+        self.observer.observe("serve.batch_flush_s", share_s * len(batch))
+        self.observer.event(BATCH_FLUSHED, size=len(batch), reason=reason)

@@ -1,0 +1,220 @@
+"""Resilient cloud client: retry, deadline, and load shedding.
+
+:class:`ResilientAnalysisClient` wraps an analysis backend (the shared
+:class:`~repro.cloud.server.AnalysisServer` or the serving batcher)
+behind the lossy link model.  Each ``analyze`` call:
+
+1. asks the circuit breaker for admission (shed with
+   :class:`~repro.serving.retry.CircuitOpenError` if open);
+2. attempts the exchange over the
+   :class:`~repro.cloud.network.UnreliableNetworkModel`;
+3. on a drop or timeout, backs off per the
+   :class:`~repro.serving.retry.RetryPolicy` and tries again, charging
+   the *modelled* attempt time plus the backoff delay against the
+   request deadline.
+
+Deadline accounting is in **virtual time** — the sum of modelled
+attempt durations and backoff delays — so whether a run exceeds its
+deadline is a pure function of (seed, policy, link), independent of
+host speed.  A duplicated delivery reaches the backend twice (the
+curious server logs the job twice); the client returns the first
+report and counts the duplicate.
+
+The client quacks like an :class:`~repro.cloud.server.AnalysisServer`
+(``detector``, ``analyze``, timing accessors) so the unmodified
+:meth:`Smartphone.relay <repro.mobile.phone.Smartphone.relay>` path
+works through it — the phone never learns retries exist.
+"""
+
+from typing import List, Optional
+
+from repro._util.errors import MedSenError
+from repro._util.rng import RngLike, ensure_rng
+from repro.cloud.network import (
+    TransferDropped,
+    TransferError,
+    TransferTimeout,
+    UnreliableNetworkModel,
+)
+from repro.hardware.acquisition import AcquiredTrace
+from repro.obs import LOAD_SHED, NULL_OBSERVER, RELAY_RETRIED
+from repro.serving.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+#: Nominal payload sizes used for the link-time model.  The client does
+#: not re-encode the trace (the phone already modelled compression); it
+#: charges a representative exchange so retries cost realistic time.
+_FALLBACK_UPLOAD_BYTES = 64_000.0
+_RESPONSE_BYTES = 1_024.0
+
+
+class RetryBudgetExceeded(MedSenError):
+    """Every allowed attempt failed; the request gives up.
+
+    Carries the underlying :class:`TransferError` of the final attempt
+    as ``last_error``.
+    """
+
+    def __init__(self, message: str, last_error: Optional[TransferError] = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class ResilientAnalysisClient:
+    """Retrying, deadline-aware, breaker-guarded analysis client.
+
+    Parameters
+    ----------
+    backend:
+        The real analysis service (server or batcher); called only for
+        attempts the link actually delivers.
+    link:
+        The lossy network; ``None`` or a reliable link short-circuits
+        to a single attempt.
+    policy, breaker:
+        Retry policy and (shared, fleet-wide) circuit breaker.
+    rng:
+        The *request's* derived generator — drives both the link's
+        failure draws and the backoff jitter, keeping the whole failure
+        history replayable.
+    deadline_s:
+        Virtual-time budget for the exchange (attempt times plus
+        backoff delays); ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        backend,
+        link: Optional[UnreliableNetworkModel] = None,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        rng: RngLike = None,
+        deadline_s: Optional[float] = None,
+        observer=NULL_OBSERVER,
+    ) -> None:
+        self.backend = backend
+        self.link = link
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self.rng = ensure_rng(rng)
+        self.deadline_s = deadline_s
+        self.observer = observer
+        #: Virtual seconds this client burned on failed attempts and
+        #: backoff waits (successful-attempt transfer time is already
+        #: modelled by the phone's own network accounting).
+        self.retry_overhead_s = 0.0
+        self.attempts_made = 0
+        self.duplicates_seen = 0
+
+    # ------------------------------------------------------------------
+    # AnalysisServer facade, so Smartphone.relay works unchanged.
+    # ------------------------------------------------------------------
+    @property
+    def detector(self):
+        return self.backend.detector
+
+    @property
+    def jobs_processed(self) -> int:
+        return self.backend.jobs_processed
+
+    @property
+    def total_processing_time_s(self) -> float:
+        return self.backend.total_processing_time_s
+
+    @property
+    def last_processing_time_s(self):
+        return self.backend.last_processing_time_s
+
+    def last_job(self):
+        return self.backend.last_job()
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: AcquiredTrace):
+        """Analyse ``trace`` through the lossy link, retrying as allowed.
+
+        Raises :class:`CircuitOpenError` (shed), :class:`DeadlineExceeded`
+        (budget burned), or :class:`RetryBudgetExceeded` (all attempts
+        failed).
+        """
+        if self.link is None or self.link.is_reliable:
+            return self._attempt_backend(trace)
+
+        upload_bytes = self._upload_bytes(trace)
+        spent_s = 0.0
+        last_error: Optional[TransferError] = None
+        for attempt in range(self.policy.max_attempts):
+            if self.deadline_s is not None and spent_s >= self.deadline_s:
+                raise DeadlineExceeded(
+                    f"burned {spent_s:.3f} s of a {self.deadline_s:.3f} s "
+                    f"deadline after {attempt} attempts"
+                )
+            if self.breaker is not None and not self.breaker.allow():
+                self.observer.event(LOAD_SHED, attempts=attempt)
+                self.observer.incr("serve.sheds")
+                raise CircuitOpenError(
+                    "circuit open: request shed without attempting the cloud"
+                )
+            self.attempts_made += 1
+            try:
+                delivery = self.link.attempt(
+                    upload_bytes, _RESPONSE_BYTES, rng=self.rng,
+                    observer=self.observer,
+                )
+            except TransferDropped as error:
+                last_error = error
+                spent_s += self.link.base.round_trip_latency_s
+                self._register_failure(attempt, "dropped")
+            except TransferTimeout as error:
+                last_error = error
+                spent_s += error.waited_s
+                self._register_failure(attempt, "timed_out")
+            else:
+                report = self._attempt_backend(trace)
+                if delivery.n_deliveries > 1:
+                    # Radio-layer duplicate: the curious server sees (and
+                    # logs) the job again; the client keeps the first report.
+                    self.backend.analyze(trace)
+                    self.duplicates_seen += 1
+                    self.observer.incr("serve.duplicate_deliveries")
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                self.retry_overhead_s = spent_s
+                return report
+            # Failed attempt: back off before the next one (if any).
+            if attempt + 1 < self.policy.max_attempts:
+                delay_s = self.policy.backoff_s(attempt, rng=self.rng)
+                spent_s += delay_s
+                self.observer.observe("serve.backoff_s", delay_s)
+        self.retry_overhead_s = spent_s
+        raise RetryBudgetExceeded(
+            f"all {self.policy.max_attempts} attempts failed "
+            f"(last: {last_error})",
+            last_error=last_error,
+        )
+
+    def analyze_batch(self, traces) -> List:
+        """Pass-through batch analysis (the batcher sits behind us)."""
+        return self.backend.analyze_batch(traces)
+
+    # ------------------------------------------------------------------
+    def _attempt_backend(self, trace: AcquiredTrace):
+        return self.backend.analyze(trace)
+
+    def _register_failure(self, attempt: int, outcome: str) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        self.observer.event(RELAY_RETRIED, attempt=attempt, outcome=outcome)
+        self.observer.incr("serve.retries")
+
+    @staticmethod
+    def _upload_bytes(trace: AcquiredTrace) -> float:
+        """Rough compressed-capture size for the link-time model."""
+        try:
+            # 8 bytes/sample raw, ~6:1 zip on CSV-ish payloads.
+            return max(trace.n_channels * trace.n_samples * 8.0 / 6.0, 1.0)
+        except AttributeError:
+            return _FALLBACK_UPLOAD_BYTES

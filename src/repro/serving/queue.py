@@ -1,0 +1,146 @@
+"""Bounded submission queue with per-tenant fair dequeue.
+
+A clinic fleet mixes tenants with very different submission rates; a
+single FIFO would let one busy clinic starve everyone else.  The
+:class:`FairSubmissionQueue` keeps one lane per tenant and dequeues
+round-robin across lanes, so each tenant's head-of-line job competes
+equally regardless of how deep its lane is.
+
+The queue is *bounded*: total occupancy across all lanes never exceeds
+``capacity``.  On overflow the submitter chooses the backpressure mode
+— ``block=False`` raises :class:`QueueFull` immediately (shed at the
+door), ``block=True`` waits for space (optionally up to ``timeout``).
+"""
+
+import threading
+from collections import OrderedDict, deque
+from time import monotonic as _monotonic
+from typing import Deque, Dict, Optional
+
+from repro._util.errors import MedSenError
+from repro.obs import NULL_OBSERVER
+
+
+class QueueFull(MedSenError):
+    """The bounded submission queue rejected a non-blocking put."""
+
+
+class FairSubmissionQueue:
+    """Bounded multi-lane queue, round-robin fair across tenants.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum total queued items across all tenant lanes.
+    observer:
+        Observability sink; the queue keeps the ``serve.queue_depth``
+        gauge current on every put/get.
+    """
+
+    def __init__(self, capacity: int, observer=NULL_OBSERVER) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.observer = observer
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        # One lane per tenant; the ring rotates one tenant per dequeue,
+        # so fairness is stable even as lanes drain and refill.
+        self._lanes: "OrderedDict[str, Deque[object]]" = OrderedDict()
+        self._ring: Deque[str] = deque()
+        self._size = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Total queued items across all lanes."""
+        with self._lock:
+            return self._size
+
+    def depths_by_tenant(self) -> Dict[str, int]:
+        """Occupancy of each non-empty lane (diagnostics)."""
+        with self._lock:
+            return {t: len(lane) for t, lane in self._lanes.items() if lane}
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        tenant_id: str,
+        item: object,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue ``item`` on the tenant's lane.
+
+        With ``block=False`` (the default — shed at the door), raises
+        :class:`QueueFull` when the queue is at capacity.  With
+        ``block=True`` waits for space, raising :class:`QueueFull` only
+        if ``timeout`` expires first.
+        """
+        with self._not_full:
+            if self._closed:
+                raise MedSenError("queue is closed")
+            if self._size >= self.capacity:
+                if not block:
+                    raise QueueFull(
+                        f"queue at capacity ({self.capacity}); rejecting "
+                        f"submission from {tenant_id!r}"
+                    )
+                deadline = None if timeout is None else _monotonic() + timeout
+                while self._size >= self.capacity and not self._closed:
+                    remaining = None if deadline is None else deadline - _monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise QueueFull(
+                            f"queue still at capacity ({self.capacity}) after "
+                            f"{timeout} s; rejecting submission from {tenant_id!r}"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise MedSenError("queue is closed")
+            if tenant_id not in self._lanes:
+                self._lanes[tenant_id] = deque()
+                self._ring.append(tenant_id)
+            self._lanes[tenant_id].append(item)
+            self._size += 1
+            self.observer.gauge("serve.queue_depth", float(self._size))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[object]:
+        """Dequeue the next item, round-robin across tenant lanes.
+
+        Returns ``None`` when the queue is closed and drained, or when
+        ``timeout`` expires with nothing available.
+        """
+        with self._not_empty:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            item = None
+            for _ in range(len(self._ring)):
+                tenant = self._ring[0]
+                self._ring.rotate(-1)
+                lane = self._lanes[tenant]
+                if lane:
+                    item = lane.popleft()
+                    break
+            self._size -= 1
+            self.observer.gauge("serve.queue_depth", float(self._size))
+            self._not_full.notify()
+            return item
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting puts; wake all waiting getters."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

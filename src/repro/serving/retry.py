@@ -1,0 +1,212 @@
+"""Retry policy and circuit breaker for the lossy cloud relay.
+
+Two cooperating pieces:
+
+* :class:`RetryPolicy` — how *one* request copes with transient
+  failures: up to ``max_attempts`` tries, exponentially backed off
+  with *deterministic injected jitter* (the jitter is drawn from the
+  request's own RNG, so a fleet replay produces the identical backoff
+  schedule);
+* :class:`CircuitBreaker` — how the *fleet* copes with a dead cloud:
+  after ``failure_threshold`` consecutive failures the breaker opens
+  and sheds load for ``recovery_time_s``, then lets a limited number
+  of half-open probes through; a probe success closes it, a probe
+  failure re-opens it.
+
+Both are clock- and RNG-injected: tests drive them with
+:class:`repro.obs.ManualClock` and a seeded generator and assert the
+exact schedule and state sequence.
+"""
+
+import threading
+from dataclasses import dataclass
+
+from repro._util.errors import MedSenError
+from repro._util.rng import RngLike, ensure_rng
+from repro._util.validation import check_in_range, check_positive
+from repro.obs import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_HALF_OPEN,
+    CIRCUIT_OPENED,
+    MONOTONIC_CLOCK,
+    NULL_OBSERVER,
+)
+from repro.obs.clock import Clock
+
+
+class DeadlineExceeded(MedSenError):
+    """The request's time budget ran out before the cloud answered."""
+
+
+class CircuitOpenError(MedSenError):
+    """The breaker is open: the request was shed without an attempt."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic injected jitter.
+
+    The delay before retry ``attempt`` (0-based: the wait *after* the
+    first failure is ``backoff_s(0, rng)``) is::
+
+        min(base_delay_s * multiplier**attempt, max_delay_s)
+            * (1 + jitter_fraction * u),   u ~ Uniform(-1, 1) from rng
+
+    Jitter decorrelates a thundering herd of retries, yet stays
+    reproducible because ``u`` comes from the request's derived RNG —
+    not a global clock or shared generator.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.1
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        check_positive("base_delay_s", self.base_delay_s, allow_zero=True)
+        check_positive("multiplier", self.multiplier)
+        check_positive("max_delay_s", self.max_delay_s, allow_zero=True)
+        check_in_range("jitter_fraction", self.jitter_fraction, 0.0, 1.0)
+
+    def backoff_s(self, attempt: int, rng: RngLike = None) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        nominal = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        if self.jitter_fraction == 0.0:
+            return nominal
+        u = 2.0 * float(ensure_rng(rng).random()) - 1.0
+        return nominal * (1.0 + self.jitter_fraction * u)
+
+
+# Breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    States and transitions:
+
+    * **closed** — all traffic flows; ``failure_threshold`` consecutive
+      failures trip it open;
+    * **open** — :meth:`allow` returns False (callers shed the request)
+      until ``recovery_time_s`` has elapsed since the trip;
+    * **half-open** — after the cool-down, up to ``half_open_probes``
+      in-flight requests are admitted as probes.  Any probe success
+      closes the breaker; any failure re-opens it and restarts the
+      cool-down.
+
+    Thread-safe; shared by every worker in a fleet.  The clock is
+    injected (monotonic by default) so tests crank a
+    :class:`~repro.obs.ManualClock` through the open window.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Clock = MONOTONIC_CLOCK,
+        observer=NULL_OBSERVER,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        check_positive("recovery_time_s", recovery_time_s)
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.observer = observer
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_s = 0.0
+        self._probes_in_flight = 0
+        self._times_opened = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, refreshing open → half-open on cool-down expiry."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def times_opened(self) -> int:
+        """How many times the breaker has tripped so far."""
+        with self._lock:
+            return self._times_opened
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        In half-open state this *claims* a probe slot; callers that get
+        True must report back via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                return False
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """An admitted request completed: close (or stay closed)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == BREAKER_HALF_OPEN:
+                self._state = BREAKER_CLOSED
+                self._probes_in_flight = 0
+                self.observer.event(CIRCUIT_CLOSED)
+                self.observer.incr("serve.breaker_closes")
+
+    def record_failure(self) -> None:
+        """An admitted request failed: count toward (re-)tripping."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                # A failed probe re-opens immediately.
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at_s = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._times_opened += 1
+        self.observer.event(
+            CIRCUIT_OPENED, recovery_time_s=self.recovery_time_s
+        )
+        self.observer.incr("serve.breaker_opens")
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at_s >= self.recovery_time_s
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probes_in_flight = 0
+            self.observer.event(CIRCUIT_HALF_OPEN)

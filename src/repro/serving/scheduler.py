@@ -1,0 +1,399 @@
+"""The fleet scheduler: a thread pool serving many tenants' sessions.
+
+:class:`FleetScheduler` is the serving stack's centrepiece.  It owns
+the shared deployment state — one :class:`~repro.core.config.MedSenConfig`,
+one enrolled classifier, one :class:`~repro.auth.authenticator.ServerAuthenticator`,
+one :class:`~repro.cloud.storage.RecordStore`, one (optionally
+batching) :class:`~repro.cloud.server.AnalysisServer`, one fleet-wide
+circuit breaker — and a pool of worker threads draining the fair
+submission queue.
+
+Per request, a worker builds *fresh* stateful components — a
+:class:`~repro.core.device.MedSenDevice` (its controller key schedule
+is per-session state), a :class:`~repro.mobile.phone.Smartphone`, and
+a :class:`~repro.serving.client.ResilientAnalysisClient` — all seeded
+from the request's derived RNG, so results are a pure function of
+``(fleet seed, tenant, tenant sequence)`` and an 8-worker run matches
+a serial run bit for bit (``tests/test_serving_scheduler.py``).
+
+Concurrency pays off because a session's wall-clock is dominated by
+*waiting* (network transfer of the compressed capture, §VII-B), not
+compute: with ``realtime_network=True`` each worker actually sleeps
+the modelled transfer time, and the pool overlaps those waits exactly
+as a real fleet overlaps its uplinks.
+"""
+
+import threading
+from dataclasses import dataclass, field
+from time import monotonic as _monotonic
+from time import sleep as _sleep
+from typing import Dict, List, Optional
+
+from repro._util.errors import MedSenError
+from repro.auth.authenticator import ServerAuthenticator
+from repro.auth.enrollment import enroll_classifier
+from repro.auth.identifier import CytoIdentifier
+from repro.cloud.network import NetworkModel, UnreliableNetworkModel
+from repro.cloud.server import AnalysisServer
+from repro.cloud.storage import RecordStore
+from repro.core.config import MedSenConfig
+from repro.core.device import MedSenDevice
+from repro.core.diagnosis import CD4_STAGING, ThresholdDiagnostic
+from repro.core.protocol import MedSenSession
+from repro.mobile.phone import Smartphone
+from repro.obs import (
+    NULL_OBSERVER,
+    REQUEST_COMPLETED,
+    REQUEST_FAILED,
+    REQUEST_QUEUED,
+    REQUEST_REJECTED,
+)
+from repro.particles.library import get_particle_type
+from repro.particles.sample import Sample
+from repro.serving.batcher import BatchingAnalysisServer
+from repro.serving.client import ResilientAnalysisClient
+from repro.serving.queue import FairSubmissionQueue, QueueFull
+from repro.serving.request import (
+    SessionFuture,
+    SessionRequest,
+    derive_request_rng,
+)
+from repro.serving.retry import CircuitBreaker, RetryPolicy
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that parameterises a serving fleet.
+
+    Parameters
+    ----------
+    seed:
+        Fleet seed; with the per-tenant sequence it fully determines
+        every request's randomness.
+    n_workers:
+        Worker threads draining the queue (1 = the serial baseline).
+    queue_capacity:
+        Bound on the submission queue (backpressure threshold).
+    batch_size, batch_linger_s:
+        Dynamic batching knobs; ``batch_size=1`` disables the batcher.
+    network:
+        The uplink model shared by every phone in the fleet.
+    drop_probability, timeout_probability, duplicate_probability,
+    network_timeout_s:
+        Failure injection for the cloud exchange (all zero = reliable).
+    retry:
+        Backoff policy for failed exchanges.
+    breaker_failure_threshold, breaker_recovery_s:
+        Fleet-wide circuit breaker; consecutive failures trip it.
+    deadline_s:
+        Default per-request virtual-time budget for the cloud exchange.
+    realtime_network:
+        When True, workers *sleep* each session's modelled network +
+        compression + retry time, so concurrency genuinely overlaps the
+        waits (throughput benchmarks); when False, sessions run at
+        compute speed (tests).
+    keep_history, max_history:
+        Curious-server log retention on the shared analysis server.
+    """
+
+    seed: int = 0
+    n_workers: int = 4
+    queue_capacity: int = 64
+    batch_size: int = 1
+    batch_linger_s: float = 0.02
+    network: NetworkModel = field(default_factory=NetworkModel)
+    drop_probability: float = 0.0
+    timeout_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    network_timeout_s: float = 2.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 5
+    breaker_recovery_s: float = 5.0
+    deadline_s: Optional[float] = None
+    realtime_network: bool = False
+    keep_history: bool = False
+    max_history: int = 4096
+    marker_type_name: str = "blood_cell"
+    diagnostic: ThresholdDiagnostic = CD4_STAGING
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def flaky(self) -> bool:
+        """Whether any network failure mode is enabled."""
+        return (
+            self.drop_probability > 0
+            or self.timeout_probability > 0
+            or self.duplicate_probability > 0
+        )
+
+
+class FleetScheduler:
+    """Thread-pool scheduler for multi-tenant diagnostic sessions."""
+
+    def __init__(self, config: FleetConfig = FleetConfig(), observer=NULL_OBSERVER) -> None:
+        self.config = config
+        self.observer = observer
+        # --- shared, effectively-immutable deployment state ----------
+        self.device_config = MedSenConfig()
+        self.server = AnalysisServer(
+            keep_history=config.keep_history,
+            max_history=config.max_history,
+            observer=observer,
+        )
+        if config.batch_size > 1:
+            self.backend = BatchingAnalysisServer(
+                self.server,
+                max_batch_size=config.batch_size,
+                max_linger_s=config.batch_linger_s,
+                observer=observer,
+            )
+        else:
+            self.backend = self.server
+        self.authenticator = ServerAuthenticator(
+            self.device_config.alphabet, observer=observer
+        )
+        self.store = RecordStore(observer=observer)
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failure_threshold,
+            recovery_time_s=config.breaker_recovery_s,
+            observer=observer,
+        )
+        self.link = (
+            UnreliableNetworkModel(
+                base=config.network,
+                drop_probability=config.drop_probability,
+                timeout_probability=config.timeout_probability,
+                duplicate_probability=config.duplicate_probability,
+                timeout_s=config.network_timeout_s,
+            )
+            if config.flaky
+            else None
+        )
+        # One classifier for the whole fleet, enrolled from a dedicated
+        # derived stream so it never perturbs per-request randomness.
+        reference_types = list(self.device_config.alphabet.bead_types)
+        if not any(t.name == config.marker_type_name for t in reference_types):
+            reference_types.append(get_particle_type(config.marker_type_name))
+        self.classifier = enroll_classifier(
+            reference_types,
+            circuit=self.device_config.circuit,
+            rng=derive_request_rng(config.seed, "__fleet_enrollment__", 0),
+        )
+        # --- submission state ----------------------------------------
+        self.queue = FairSubmissionQueue(config.queue_capacity, observer=observer)
+        # _submit_lock may be held across a *blocking* put, so workers
+        # must never need it; completion stats get their own lock.
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._sequence = 0
+        self._tenant_sequences: Dict[str, int] = {}
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._workers: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetScheduler":
+        """Spin up the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.config.n_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"fleet-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, drain the queue, join the workers."""
+        self.queue.close()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+        self._workers = []
+        self._started = False
+
+    def __enter__(self) -> "FleetScheduler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant_id: str, identifier: CytoIdentifier) -> None:
+        """Enrol a tenant's cyto-coded password with the authenticator."""
+        self.authenticator.register(tenant_id, identifier)
+
+    def submit(
+        self,
+        tenant_id: str,
+        blood: Sample,
+        identifier: CytoIdentifier,
+        duration_s: float = 20.0,
+        pipette_volume_ul: float = 2.0,
+        deadline_s: Optional[float] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> SessionFuture:
+        """Queue one diagnostic session; returns its future.
+
+        Backpressure: with ``block=False`` a full queue raises
+        :class:`~repro.serving.queue.QueueFull` (the event and the
+        ``serve.rejected`` counter record the shed); with ``block=True``
+        the call waits for space (up to ``timeout`` seconds).
+        """
+        if not self._started:
+            raise MedSenError("scheduler not started; use start() or a with-block")
+        with self._submit_lock:
+            sequence = self._sequence
+            tenant_sequence = self._tenant_sequences.get(tenant_id, 0)
+            # Claim the numbers only after the queue accepts the put —
+            # a rejected submission must not consume a sequence, or a
+            # replay with a larger queue would diverge.
+            request = SessionRequest(
+                tenant_id=tenant_id,
+                blood=blood,
+                identifier=identifier,
+                duration_s=duration_s,
+                pipette_volume_ul=pipette_volume_ul,
+                sequence=sequence,
+                tenant_sequence=tenant_sequence,
+                deadline_s=deadline_s if deadline_s is not None else self.config.deadline_s,
+            )
+            future = SessionFuture(request=request)
+            future._enqueued_at = _monotonic()
+            try:
+                self.queue.put(tenant_id, future, block=block, timeout=timeout)
+            except QueueFull:
+                self._rejected += 1
+                self.observer.event(
+                    REQUEST_REJECTED, tenant=tenant_id, depth=self.queue.depth
+                )
+                self.observer.incr("serve.rejected")
+                raise
+            self._sequence = sequence + 1
+            self._tenant_sequences[tenant_id] = tenant_sequence + 1
+        self.observer.event(REQUEST_QUEUED, tenant=tenant_id, sequence=sequence)
+        self.observer.incr("serve.submitted")
+        return future
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def failed(self) -> int:
+        return self._failed
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            future = self.queue.get()
+            if future is None:
+                return
+            self._run_one(future)
+
+    def _run_one(self, future: SessionFuture) -> None:
+        request = future.request
+        started = _monotonic()
+        future.queue_wait_s = started - getattr(future, "_enqueued_at", started)
+        future._mark_running()
+        try:
+            result = self._execute(request)
+        except BaseException as error:
+            with self._stats_lock:
+                self._failed += 1
+            future.latency_s = _monotonic() - started + future.queue_wait_s
+            self.observer.event(
+                REQUEST_FAILED,
+                tenant=request.tenant_id,
+                sequence=request.sequence,
+                error=type(error).__name__,
+            )
+            self.observer.incr("serve.failed")
+            future._fail(error)
+            return
+        with self._stats_lock:
+            self._completed += 1
+        future.latency_s = _monotonic() - started + future.queue_wait_s
+        self.observer.observe("serve.e2e_s", future.latency_s)
+        self.observer.observe("serve.queue_wait_s", future.queue_wait_s)
+        self.observer.event(
+            REQUEST_COMPLETED,
+            tenant=request.tenant_id,
+            sequence=request.sequence,
+            latency_s=future.latency_s,
+        )
+        self.observer.incr("serve.completed")
+        future._resolve(result)
+
+    def _execute(self, request: SessionRequest):
+        """Run one session with fresh per-request stateful components."""
+        rng = derive_request_rng(
+            self.config.seed, request.tenant_id, request.tenant_sequence
+        )
+        device = MedSenDevice(
+            config=self.device_config, rng=rng, observer=self.observer
+        )
+        phone = Smartphone(network=self.config.network, observer=self.observer)
+        client = ResilientAnalysisClient(
+            self.backend,
+            link=self.link,
+            policy=self.config.retry,
+            breaker=self.breaker,
+            rng=rng,
+            deadline_s=request.deadline_s,
+            observer=self.observer,
+        )
+        session = MedSenSession(
+            device=device,
+            phone=phone,
+            server=client,
+            authenticator=self.authenticator,
+            classifier=self.classifier,
+            store=self.store,
+            diagnostic=self.config.diagnostic,
+            marker_type_name=self.config.marker_type_name,
+            rng=rng,
+            observer=self.observer,
+        )
+        result = session.run_diagnostic(
+            request.blood,
+            request.identifier,
+            duration_s=request.duration_s,
+            pipette_volume_ul=request.pipette_volume_ul,
+            rng=rng,
+        )
+        if self.config.realtime_network:
+            # Sleep the modelled wait so the pool overlaps real I/O time:
+            # compression + transfer of this session plus whatever the
+            # retry loop burned in backoff and failed attempts.
+            wait_s = (
+                result.relay.compression_time_s
+                + result.relay.transfer_time_s
+                + client.retry_overhead_s
+            )
+            if wait_s > 0:
+                _sleep(wait_s)
+        return result

@@ -1,0 +1,198 @@
+"""Serving primitives: fair bounded queue, backoff policy, breaker."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro._util.errors import MedSenError
+from repro.obs import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_HALF_OPEN,
+    CIRCUIT_OPENED,
+    EventLog,
+    ManualClock,
+    MetricsRegistry,
+    Observer,
+)
+from repro.serving import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    FairSubmissionQueue,
+    QueueFull,
+    RetryPolicy,
+)
+
+
+class TestFairSubmissionQueue:
+    def test_round_robin_across_tenants(self):
+        queue = FairSubmissionQueue(capacity=16)
+        for item in ("a1", "a2", "a3"):
+            queue.put("alice", item)
+        for item in ("b1", "b2"):
+            queue.put("bob", item)
+        queue.put("carol", "c1")
+        order = [queue.get() for _ in range(6)]
+        # One item per backlogged tenant per round, not FIFO by arrival.
+        assert order == ["a1", "b1", "c1", "a2", "b2", "a3"]
+
+    def test_nonblocking_put_rejects_at_capacity(self):
+        queue = FairSubmissionQueue(capacity=2)
+        queue.put("alice", 1)
+        queue.put("bob", 2)
+        with pytest.raises(QueueFull):
+            queue.put("alice", 3)
+        assert queue.depth == 2
+
+    def test_blocking_put_waits_for_space(self):
+        queue = FairSubmissionQueue(capacity=1)
+        queue.put("alice", 1)
+        taken = []
+
+        def drain():
+            taken.append(queue.get())
+
+        drainer = threading.Timer(0.05, drain)
+        drainer.start()
+        queue.put("alice", 2, block=True, timeout=5.0)
+        drainer.join()
+        assert taken == [1]
+        assert queue.get() == 2
+
+    def test_blocking_put_times_out(self):
+        queue = FairSubmissionQueue(capacity=1)
+        queue.put("alice", 1)
+        with pytest.raises(QueueFull):
+            queue.put("alice", 2, block=True, timeout=0.05)
+
+    def test_close_wakes_getters_and_rejects_puts(self):
+        queue = FairSubmissionQueue(capacity=4)
+        results = []
+
+        def getter():
+            results.append(queue.get())
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.close()
+        thread.join(5.0)
+        assert results == [None]
+        with pytest.raises(MedSenError):
+            queue.put("alice", 1)
+
+    def test_close_drains_remaining_items(self):
+        queue = FairSubmissionQueue(capacity=4)
+        queue.put("alice", 1)
+        queue.put("alice", 2)
+        queue.close()
+        assert queue.get() == 1
+        assert queue.get() == 2
+        assert queue.get() is None
+
+    def test_depth_gauge_tracks_occupancy(self):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        queue = FairSubmissionQueue(capacity=4, observer=observer)
+        queue.put("alice", 1)
+        queue.put("bob", 2)
+        assert observer.metrics.gauge("serve.queue_depth").value == 2
+        queue.get()
+        assert observer.metrics.gauge("serve.queue_depth").value == 1
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0, jitter_fraction=0.0
+        )
+        assert [policy.backoff_s(i) for i in range(4)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8]
+        )
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=3.0, jitter_fraction=0.0
+        )
+        assert policy.backoff_s(5) == 3.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter_fraction=0.25)
+        delays = [policy.backoff_s(0, rng=np.random.default_rng(7)) for _ in range(20)]
+        replays = [policy.backoff_s(0, rng=np.random.default_rng(7)) for _ in range(20)]
+        assert delays == replays  # same seed -> identical schedule
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        # A fresh generator per call gives identical draws; a shared one
+        # walks the stream.
+        rng = np.random.default_rng(7)
+        walked = [policy.backoff_s(0, rng=rng) for _ in range(20)]
+        assert len(set(walked)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+
+
+class TestCircuitBreaker:
+    def make(self, observer=None):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            recovery_time_s=10.0,
+            clock=clock,
+            observer=observer or Observer(metrics=MetricsRegistry(), events=EventLog()),
+        )
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _clock = self.make()
+        assert breaker.state == BREAKER_CLOSED
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_after_cooldown_then_close_on_probe_success(self):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        breaker, clock = self.make(observer)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.999)
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(0.001)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # the single probe slot
+        assert not breaker.allow()  # concurrent requests still shed
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+        kinds = observer.events.kinds()
+        assert kinds == [CIRCUIT_OPENED, CIRCUIT_HALF_OPEN, CIRCUIT_CLOSED]
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one failed probe is enough
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.times_opened == 2
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_OPEN  # cooldown restarted
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_HALF_OPEN
