@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the workflows a bench scientist or security
+Nine subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -16,6 +16,8 @@ reviewer would reach for first:
 * ``serve``     — multi-tenant serving fleet over a synthetic clinic
   workload: worker pool, fair queue, dynamic batching, retry/breaker
   (``--smoke`` runs the small CI check).
+* ``chaos``     — seeded fault-injection campaign across every layer,
+  checking the resilience invariants (``--smoke`` is the CI gate).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
 """
@@ -253,6 +255,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
+    from repro.resilience import run_campaign
+
+    campaign = "smoke" if args.smoke else args.campaign
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    report = run_campaign(seed=args.seed, campaign=campaign, observer=observer)
+    print(report.format())
+    if args.metrics:
+        print()
+        print(format_metrics_table(observer.metrics))
+    return 0 if report.passed else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.plots import generate_all_figures
 
@@ -343,6 +359,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", action="store_true",
                        help="small fixed workload; exit 1 on anomalies (CI)")
     serve.set_defaults(handler=_cmd_serve)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="seeded fault-injection campaign with resilience invariants"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--campaign", type=str, default="smoke",
+                       help="campaign name (see repro.resilience.CAMPAIGNS)")
+    chaos.add_argument("--metrics", action="store_true",
+                       help="print the metrics table after the run")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="shorthand for --campaign smoke (CI gate)")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     figures = subparsers.add_parser(
         "figures", help="regenerate the paper's figures as SVG files"

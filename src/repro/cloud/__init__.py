@@ -16,7 +16,12 @@ from repro.cloud.api import (
 )
 from repro.cloud.network import NetworkModel, TransferEstimate
 from repro.cloud.server import AnalysisServer
-from repro.cloud.storage import RecordStore, StoredRecord
+from repro.cloud.storage import (
+    RecordCorrupted,
+    RecordNotFound,
+    RecordStore,
+    StoredRecord,
+)
 
 __all__ = [
     "Invoice",
@@ -30,6 +35,8 @@ __all__ = [
     "NetworkModel",
     "TransferEstimate",
     "AnalysisServer",
+    "RecordCorrupted",
+    "RecordNotFound",
     "RecordStore",
     "StoredRecord",
 ]

@@ -22,7 +22,7 @@ observer, which measures but records nothing).
 """
 
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
@@ -59,6 +59,10 @@ class AnalysisServer:
     observer:
         Observability sink for spans / metrics / audit events; the
         default records nothing.
+    dedup_capacity:
+        How many recent request ids to remember for idempotent ingest;
+        a re-delivered request id within this window returns the cached
+        report instead of re-running (and re-logging) the job.
     """
 
     def __init__(
@@ -67,34 +71,70 @@ class AnalysisServer:
         keep_history: bool = True,
         max_history: int = 4096,
         observer=NULL_OBSERVER,
+        dedup_capacity: int = 4096,
     ) -> None:
         if max_history < 1:
             raise ConfigurationError("max_history must be >= 1")
+        if dedup_capacity < 1:
+            raise ConfigurationError("dedup_capacity must be >= 1")
         self.detector = detector or PeakDetector()
         self.keep_history = keep_history
         self.max_history = max_history
         self.observer = observer
+        self.dedup_capacity = dedup_capacity
         self._history: Deque[AnalysisJob] = deque(maxlen=max_history)
         self._history_dropped = 0
         self._jobs_processed = 0
         self._total_processing_time_s = 0.0
+        self._seen_requests: "OrderedDict[str, PeakReport]" = OrderedDict()
+        self._duplicates_dropped = 0
         self._lock = threading.Lock()
         self._thread = threading.local()
 
     # ------------------------------------------------------------------
-    def analyze(self, trace: AcquiredTrace) -> PeakReport:
+    def analyze(
+        self, trace: AcquiredTrace, request_id: Optional[str] = None
+    ) -> PeakReport:
         """Run peak analysis on an encrypted trace.
 
         Returns only ciphertext-domain facts (peak count, timestamps,
         amplitudes, widths); the server cannot do better without the
         key — that is the point of the cipher.
+
+        Pass a ``request_id`` to make ingest **idempotent**: a network
+        duplicate re-delivering the same id gets the cached report back
+        and is *not* re-analysed, re-billed, or re-logged (the
+        ``serve.duplicates_dropped`` counter records the drop).  With
+        no id (the default), every call is a fresh job — preserving the
+        curious-server behaviour the attack suite mines.
         """
+        if request_id is not None:
+            cached = self._check_duplicate(request_id)
+            if cached is not None:
+                return cached
         with self.observer.span(
             "cloud_analysis", samples=trace.n_samples, channels=trace.n_channels
         ) as span:
             report = self.detector.detect(trace.voltages, trace.sampling_rate_hz)
         self._account(trace, report, span.duration_s, streaming=False)
+        if request_id is not None:
+            self._remember_request(request_id, report)
         return report
+
+    def _check_duplicate(self, request_id: str) -> Optional[PeakReport]:
+        with self._lock:
+            cached = self._seen_requests.get(request_id)
+            if cached is None:
+                return None
+            self._duplicates_dropped += 1
+        self.observer.incr("serve.duplicates_dropped")
+        return cached
+
+    def _remember_request(self, request_id: str, report: PeakReport) -> None:
+        with self._lock:
+            self._seen_requests[request_id] = report
+            while len(self._seen_requests) > self.dedup_capacity:
+                self._seen_requests.popitem(last=False)
 
     def analyze_batch(self, traces: Sequence[AcquiredTrace]) -> List[PeakReport]:
         """Analyse several traces in one vectorised pass.
@@ -196,6 +236,11 @@ class AnalysisServer:
     def history_dropped(self) -> int:
         """Jobs evicted from the bounded history so far."""
         return self._history_dropped
+
+    @property
+    def duplicates_dropped(self) -> int:
+        """Re-delivered request ids answered from the dedup cache."""
+        return self._duplicates_dropped
 
     @property
     def last_processing_time_s(self) -> Optional[float]:

@@ -6,30 +6,108 @@ keyed by the identifier string — which "carries no biometric
 information" — so the store itself learns nothing about the patient
 beyond linkability of their own records (by design: the same pipettes
 link the same patient's tests, §V).
+
+Durability and integrity (repro.resilience):
+
+* every :class:`StoredRecord` carries a CRC32 **checksum** over its
+  canonical payload, verified on every fetch — a tampered or
+  bit-rotted record raises :class:`RecordCorrupted` instead of
+  returning garbage;
+* a missing identifier raises the typed :class:`RecordNotFound`
+  (still a ``LookupError`` for backwards compatibility);
+* an optional **journal** (see :mod:`repro.resilience.journal`) makes
+  the store crash-recoverable: every committed record is appended to
+  an append-only checksummed log that replay reconstructs
+  bit-identically.
 """
 
+import json
 import threading
+import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro._util.errors import ConfigurationError
+from repro._util.errors import ConfigurationError, MedSenError
 from repro.dsp.peakdetect import PeakReport
-from repro.obs import NULL_OBSERVER, RECORD_STORED, WALL_CLOCK, Clock
+from repro.obs import NULL_OBSERVER, RECORD_CORRUPTED, RECORD_STORED, WALL_CLOCK, Clock
+
+
+class RecordNotFound(MedSenError, LookupError):
+    """No record is stored under the requested identifier."""
+
+
+class RecordCorrupted(MedSenError):
+    """A stored record failed its checksum — do not trust its contents."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical payload (shared with the resilience journal)
+# ---------------------------------------------------------------------------
+def record_payload_dict(
+    identifier_key: str,
+    report: PeakReport,
+    sequence_number: int,
+    stored_at_s: float,
+    metadata: Tuple[Tuple[str, str], ...],
+) -> Dict[str, Any]:
+    """The canonical (checksummable, journalable) record payload.
+
+    Floats survive a JSON round trip bit-identically (Python serialises
+    the shortest round-tripping repr), so journal replay reconstructs
+    the exact record.
+    """
+    from repro.cloud.api import report_to_dict
+
+    return {
+        "identifier": identifier_key,
+        "sequence_number": int(sequence_number),
+        "stored_at_s": float(stored_at_s),
+        "metadata": [[k, v] for k, v in metadata],
+        "report": report_to_dict(report),
+    }
+
+
+def payload_checksum(payload: Dict[str, Any]) -> int:
+    """CRC32 over the canonical payload encoding."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
 class StoredRecord:
-    """One stored (encrypted) diagnostic outcome."""
+    """One stored (encrypted) diagnostic outcome.
+
+    ``checksum`` is the CRC32 of the record's canonical payload,
+    computed at store time and verified on fetch; 0 marks a legacy
+    record stored before checksums existed (never verified).
+    """
 
     identifier_key: str
     report: PeakReport
     sequence_number: int
     stored_at_s: float
     metadata: Tuple[Tuple[str, str], ...] = ()
+    checksum: int = 0
 
     def metadata_dict(self) -> Dict[str, str]:
         """Metadata as a plain dict."""
         return dict(self.metadata)
+
+    def payload(self) -> Dict[str, Any]:
+        """Canonical payload (what the checksum covers)."""
+        return record_payload_dict(
+            self.identifier_key,
+            self.report,
+            self.sequence_number,
+            self.stored_at_s,
+            self.metadata,
+        )
+
+    def verify(self) -> bool:
+        """Whether the record's contents still match its checksum."""
+        if self.checksum == 0:
+            return True  # legacy record without a checksum
+        return payload_checksum(self.payload()) == self.checksum
 
 
 class RecordStore:
@@ -47,11 +125,22 @@ class RecordStore:
         correlate storage writes with spans.
     observer:
         Observability sink (``record.stored`` audit events, counters).
+    journal:
+        Optional durable sink (anything with ``append(record)``, e.g.
+        :class:`repro.resilience.journal.RecordJournal`); every
+        committed record is appended so a crashed process can replay
+        its way back to the exact pre-crash state.
     """
 
-    def __init__(self, clock: Clock = WALL_CLOCK, observer=NULL_OBSERVER) -> None:
+    def __init__(
+        self,
+        clock: Clock = WALL_CLOCK,
+        observer=NULL_OBSERVER,
+        journal=None,
+    ) -> None:
         self.clock = clock
         self.observer = observer
+        self.journal = journal
         self._records: Dict[str, List[StoredRecord]] = {}
         self._sequence = 0
         self._lock = threading.Lock()
@@ -67,14 +156,24 @@ class RecordStore:
             raise ConfigurationError("identifier_key must be non-empty")
         with self._lock:
             self._sequence += 1
+            meta = tuple(sorted((metadata or {}).items()))
+            stored_at_s = self.clock()
+            checksum = payload_checksum(
+                record_payload_dict(
+                    identifier_key, report, self._sequence, stored_at_s, meta
+                )
+            )
             record = StoredRecord(
                 identifier_key=identifier_key,
                 report=report,
                 sequence_number=self._sequence,
-                stored_at_s=self.clock(),
-                metadata=tuple(sorted((metadata or {}).items())),
+                stored_at_s=stored_at_s,
+                metadata=meta,
+                checksum=checksum,
             )
             self._records.setdefault(identifier_key, []).append(record)
+            if self.journal is not None:
+                self.journal.append(record)
         self.observer.incr("store.records")
         self.observer.event(
             RECORD_STORED,
@@ -84,18 +183,57 @@ class RecordStore:
         )
         return record
 
-    def fetch(self, identifier_key: str) -> Tuple[StoredRecord, ...]:
-        """All records stored under an identifier (oldest first)."""
+    # ------------------------------------------------------------------
+    def _restore(self, record: StoredRecord) -> None:
+        """Re-insert a journaled record during crash recovery.
+
+        Preserves the record's original sequence number and timestamp;
+        only the resilience journal's replay should call this.
+        """
         with self._lock:
-            return tuple(self._records.get(identifier_key, ()))
+            self._records.setdefault(record.identifier_key, []).append(record)
+            self._sequence = max(self._sequence, record.sequence_number)
+
+    def _verify_record(self, record: StoredRecord) -> StoredRecord:
+        if not record.verify():
+            self.observer.incr("store.corrupted")
+            self.observer.event(
+                RECORD_CORRUPTED,
+                identifier=record.identifier_key,
+                sequence_number=record.sequence_number,
+            )
+            raise RecordCorrupted(
+                f"record {record.sequence_number} under identifier "
+                f"{record.identifier_key!r} failed its checksum"
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    def fetch(self, identifier_key: str) -> Tuple[StoredRecord, ...]:
+        """All records stored under an identifier (oldest first).
+
+        Raises :class:`RecordCorrupted` if any stored record fails its
+        checksum — corruption is surfaced, never silently returned.
+        """
+        with self._lock:
+            records = tuple(self._records.get(identifier_key, ()))
+        return tuple(self._verify_record(record) for record in records)
 
     def fetch_latest(self, identifier_key: str) -> StoredRecord:
-        """Most recent record for an identifier."""
+        """Most recent record for an identifier.
+
+        Raises the typed :class:`RecordNotFound` for an unknown
+        identifier and :class:`RecordCorrupted` for a record whose
+        checksum no longer matches its contents.
+        """
         with self._lock:
             records = self._records.get(identifier_key)
             if not records:
-                raise LookupError(f"no records stored for identifier {identifier_key!r}")
-            return records[-1]
+                raise RecordNotFound(
+                    f"no records stored for identifier {identifier_key!r}"
+                )
+            record = records[-1]
+        return self._verify_record(record)
 
     def delete_identifier(self, identifier_key: str) -> int:
         """Erase every record stored under an identifier.
@@ -123,3 +261,8 @@ class RecordStore:
         """Total records stored."""
         with self._lock:
             return sum(len(records) for records in self._records.values())
+
+    def identifiers(self) -> Tuple[str, ...]:
+        """All identifiers with stored records, sorted."""
+        with self._lock:
+            return tuple(sorted(self._records))

@@ -53,13 +53,22 @@ class GroundTruth:
 
 @dataclass(frozen=True)
 class CaptureResult:
-    """Everything one capture produces."""
+    """Everything one capture produces.
+
+    ``plan_fingerprint`` identifies the key schedule the capture was
+    encrypted under (``None`` for plaintext captures).  It is a
+    key-leakage-free digest, safe to carry alongside the trace; the
+    controller uses it to detect and repair key-epoch desync before
+    decrypting (see :meth:`MicroController.resync
+    <repro.hardware.controller.MicroController.resync>`).
+    """
 
     trace: AcquiredTrace
     pumped_volume_ul: float
     encrypted: bool
     duration_s: float
     ground_truth: GroundTruth
+    plan_fingerprint: Optional[str] = None
 
 
 class MedSenDevice:
@@ -210,12 +219,17 @@ class MedSenDevice:
             encrypted=encrypt,
             duration_s=duration_s,
             ground_truth=GroundTruth(arrived_counts=arrived, n_pulse_events=len(events)),
+            plan_fingerprint=self.controller.fingerprint() if encrypt else None,
         )
 
     # ------------------------------------------------------------------
     def decrypt(self, report: PeakReport) -> DecryptionResult:
         """Controller-side decryption of the cloud's peak report."""
         return self.controller.decrypt(report)
+
+    def decrypt_degraded(self, report: PeakReport, exclude_electrodes) -> DecryptionResult:
+        """Decryption with dead electrodes masked (degraded mode)."""
+        return self.controller.decrypt_degraded(report, exclude_electrodes)
 
     # ------------------------------------------------------------------
     def self_test(self, rng: RngLike = None):

@@ -17,6 +17,7 @@ Format (little-endian, struct-packed)::
             n_electrodes gain-level u8s
 """
 
+import hashlib
 import struct
 
 from repro._util.errors import ValidationError
@@ -55,6 +56,19 @@ def plan_to_bytes(plan: EncryptionPlan) -> bytes:
         chunks.append(_EPOCH_FIXED.pack(epoch.electrodes_bitmask(), epoch.flow_level))
         chunks.append(bytes(epoch.gain_levels))
     return b"".join(chunks)
+
+
+def plan_fingerprint(plan: EncryptionPlan) -> str:
+    """Short stable digest identifying a plan *without* leaking it.
+
+    BLAKE2b-128 over the canonical plan bytes: equal plans (same
+    schedule, same hardware binding) share a fingerprint, and the
+    16-byte hex digest reveals nothing about the key material — so the
+    fingerprint may travel outside the TCB to detect controller/server
+    key-epoch desync (see :meth:`MicroController.resync
+    <repro.hardware.controller.MicroController.resync>`).
+    """
+    return hashlib.blake2b(plan_to_bytes(plan), digest_size=16).hexdigest()
 
 
 def plan_from_bytes(blob: bytes) -> EncryptionPlan:

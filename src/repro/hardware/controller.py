@@ -17,22 +17,23 @@ the generated keys with trusted parties, e.g., the patient's
 practitioners").
 """
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Iterable, Optional
 
 from repro._util.errors import ConfigurationError, TrustBoundaryError
 from repro._util.rng import RngLike
 from repro.crypto.decryptor import DecryptionResult, SignalDecryptor
 from repro.crypto.encryptor import EncryptionPlan
 from repro.crypto.gains import GainTable
-from repro.crypto.key import KeySchedule
+from repro.crypto.key import EpochKey, KeySchedule
 from repro.crypto.keygen import EntropySource, KeyGenerator
 from repro.dsp.peakdetect import PeakReport
 from repro.hardware.electrodes import ElectrodeArray
 from repro.hardware.multiplexer import Multiplexer
 from repro.microfluidics.channel import MicrofluidicChannel
 from repro.microfluidics.flow import FlowSpeedTable
-from repro.obs import EPOCH_ROTATED, KEY_DERIVED, NULL_OBSERVER
+from repro.obs import EPOCH_RESYNCED, EPOCH_ROTATED, KEY_DERIVED, NULL_OBSERVER
 
 #: Parties inside (or trusted by) the TCB.
 TRUSTED_PARTIES: FrozenSet[str] = frozenset({"sensor", "controller", "practitioner"})
@@ -94,6 +95,11 @@ class MicroController:
             position_order=array.position_order if avoid_consecutive else None,
         )
         self._plan: Optional[EncryptionPlan] = None
+        # Bounded fingerprint -> plan history, so a controller/server
+        # key-epoch desync (a report analysed under an older schedule)
+        # can be resolved by resyncing to the capture's fingerprint.
+        self._plan_history: "OrderedDict[str, EncryptionPlan]" = OrderedDict()
+        self._plan_history_limit = 8
 
     # ------------------------------------------------------------------
     # Key management (TCB-internal)
@@ -116,6 +122,7 @@ class MicroController:
                 flow_table=self.flow_table,
             )
             span.set_attribute("n_epochs", schedule.n_epochs)
+            self._remember_plan(self._plan)
         self.observer.incr("crypto.keys_derived")
         self.observer.gauge("crypto.entropy_bits_consumed", self._entropy.bits_consumed)
         self.observer.event(
@@ -126,6 +133,49 @@ class MicroController:
             entropy_bits=self._entropy.bits_consumed - bits_before,
         )
         return self._plan
+
+    def _remember_plan(self, plan: EncryptionPlan) -> None:
+        from repro.crypto.serialization import plan_fingerprint
+
+        fingerprint = plan_fingerprint(plan)
+        self._plan_history[fingerprint] = plan
+        self._plan_history.move_to_end(fingerprint)
+        while len(self._plan_history) > self._plan_history_limit:
+            self._plan_history.popitem(last=False)
+
+    def fingerprint(self) -> str:
+        """Key-leakage-free digest of the *current* plan.
+
+        Safe to attach to captures and travel with the trace: equal
+        plans share a fingerprint, but the digest reveals nothing about
+        the schedule (see :func:`~repro.crypto.serialization.plan_fingerprint`).
+        """
+        if self._plan is None:
+            raise ConfigurationError("no key schedule provisioned")
+        from repro.crypto.serialization import plan_fingerprint
+
+        return plan_fingerprint(self._plan)
+
+    def resync(self, fingerprint: str) -> bool:
+        """Re-bind to the (historic) plan matching ``fingerprint``.
+
+        Recovers from a key-epoch desync: when a peak report comes back
+        for a capture taken under an earlier schedule (the controller
+        re-provisioned meanwhile), resyncing restores that schedule
+        from the bounded plan history so decryption uses the keys the
+        capture was actually encrypted with.  Returns True on success;
+        False when the fingerprint has aged out of history (the caller
+        must treat the report as undecryptable and alarm).  Emits an
+        ``epoch.resynced`` audit event on an actual switch.
+        """
+        plan = self._plan_history.get(fingerprint)
+        if plan is None:
+            return False
+        if self._plan is not plan:
+            self._plan = plan
+            self.observer.incr("crypto.epoch_resyncs")
+            self.observer.event(EPOCH_RESYNCED, fingerprint=fingerprint)
+        return True
 
     @property
     def has_keys(self) -> bool:
@@ -191,4 +241,56 @@ class MicroController:
         if self._plan is None:
             raise ConfigurationError("no key schedule provisioned")
         decryptor = SignalDecryptor(plan=self._plan, channel=self.channel)
+        return decryptor.decrypt(report, observer=self.observer)
+
+    def decrypt_degraded(
+        self, report: PeakReport, exclude_electrodes: Iterable[int]
+    ) -> DecryptionResult:
+        """Decrypt with *dead* electrodes masked out of the template.
+
+        A dead electrode produces no dips, so decrypting against the
+        full schedule under-matches every particle signature.  Masking
+        removes the dead electrodes from each epoch's active set — the
+        template then expects exactly the dips a degraded array still
+        produces, and the per-epoch multiplication factor ``m(E)``
+        re-derives from the surviving electrodes.
+
+        Only mask electrodes the self-test reports **dead**: a weak
+        electrode's dips are still detected, and masking it would leave
+        real peaks unmatched.  Raises :class:`ConfigurationError` when
+        an epoch would lose *all* its electrodes (nothing left to
+        decode — the caller must declare the capture unrecoverable).
+        """
+        if self._plan is None:
+            raise ConfigurationError("no key schedule provisioned")
+        excluded = frozenset(int(e) for e in exclude_electrodes)
+        if not excluded:
+            return self.decrypt(report)
+        schedule = self._plan.schedule
+        masked_epochs = []
+        for index, epoch in enumerate(schedule.epochs):
+            remaining = epoch.active_electrodes - excluded
+            if not remaining:
+                raise ConfigurationError(
+                    f"epoch {index} has no live active electrodes left "
+                    f"after masking {sorted(excluded)}"
+                )
+            masked_epochs.append(
+                EpochKey(
+                    active_electrodes=remaining,
+                    gain_levels=epoch.gain_levels,
+                    flow_level=epoch.flow_level,
+                )
+            )
+        masked_plan = EncryptionPlan(
+            schedule=KeySchedule(
+                epoch_duration_s=schedule.epoch_duration_s,
+                epochs=tuple(masked_epochs),
+            ),
+            array=self._plan.array,
+            gain_table=self._plan.gain_table,
+            flow_table=self._plan.flow_table,
+        )
+        decryptor = SignalDecryptor(plan=masked_plan, channel=self.channel)
+        self.observer.incr("crypto.degraded_decrypts")
         return decryptor.decrypt(report, observer=self.observer)

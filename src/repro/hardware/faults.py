@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
-from repro._util.errors import ConfigurationError
+from repro._util.errors import ConfigurationError, MedSenError
 from repro._util.rng import RngLike, ensure_rng
 from repro._util.validation import check_in_range
 from repro.dsp.peakdetect import PeakDetector
@@ -38,6 +38,15 @@ from repro.particles.sample import Particle
 from repro.physics.electrical import ElectrodePairCircuit
 from repro.physics.lockin import LockInAmplifier
 from repro.physics.peaks import PulseEvent
+
+
+class UnsafeHardwareError(MedSenError):
+    """The self-test found faults that make encrypted operation unsafe.
+
+    Raised by :meth:`SelfTestReport.require_operational` for a stuck-on
+    array (key-independent dips corrupt decryption *and* leak a
+    constant signal component) or an array with no live electrode left.
+    """
 
 
 @dataclass(frozen=True)
@@ -173,6 +182,42 @@ class SelfTestReport:
             if entry.verdict != "ok":
                 out.setdefault(entry.verdict, []).append(entry.electrode)
         return out
+
+    def electrodes_with_verdict(self, verdict: str) -> List[int]:
+        """Electrode numbers whose verdict matches, ascending."""
+        return sorted(
+            entry.electrode for entry in self.electrodes if entry.verdict == verdict
+        )
+
+    @property
+    def operational(self) -> bool:
+        """Whether *encrypted* operation is still safe.
+
+        Degraded-mode analysis can mask dead electrodes and tolerate
+        weak ones (:mod:`repro.resilience.degraded`), but a stuck
+        verdict anywhere means some electrode fires regardless of the
+        key — the cipher's security argument is void and the arithmetic
+        uncorrectable — and an array with *no* live electrode has
+        nothing left to sense with.  Both must refuse to operate.
+        """
+        if any(entry.verdict == "stuck" for entry in self.electrodes):
+            return False
+        return any(entry.verdict in ("ok", "weak") for entry in self.electrodes)
+
+    def require_operational(self) -> None:
+        """Raise :class:`UnsafeHardwareError` unless encrypted operation
+        is safe (possibly degraded)."""
+        if self.operational:
+            return
+        stuck = self.electrodes_with_verdict("stuck")
+        if stuck:
+            raise UnsafeHardwareError(
+                f"stuck-on contamination detected (electrodes {stuck}): "
+                "key-independent dips corrupt decryption; refusing to operate"
+            )
+        raise UnsafeHardwareError(
+            "no live electrodes: every output is dead; refusing to operate"
+        )
 
 
 def self_test(

@@ -30,18 +30,26 @@ from repro.obs.events import (
     CIRCUIT_OPENED,
     DECRYPTION_COMPLETED,
     DIAGNOSIS_ISSUED,
+    EPOCH_RESYNCED,
     EPOCH_ROTATED,
+    FAULT_INJECTED,
+    HEALTH_CHANGED,
     KEY_DERIVED,
     KNOWN_KINDS,
     LOAD_SHED,
     PEAKS_REPORTED,
+    RECORD_CORRUPTED,
+    RECORD_QUARANTINED,
     RECORD_STORED,
     RELAY_RETRIED,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
+    REQUEST_QUARANTINED,
     REQUEST_QUEUED,
     REQUEST_REJECTED,
     TRACE_RELAYED,
+    WORKER_CRASHED,
+    WORKER_RESTARTED,
     AuditEvent,
     EventLog,
     JsonlFileSink,
@@ -98,6 +106,14 @@ __all__ = [
     "CIRCUIT_HALF_OPEN",
     "CIRCUIT_CLOSED",
     "BATCH_FLUSHED",
+    "HEALTH_CHANGED",
+    "FAULT_INJECTED",
+    "WORKER_CRASHED",
+    "WORKER_RESTARTED",
+    "REQUEST_QUARANTINED",
+    "RECORD_CORRUPTED",
+    "RECORD_QUARANTINED",
+    "EPOCH_RESYNCED",
     "Counter",
     "Gauge",
     "Histogram",

@@ -49,6 +49,16 @@ CIRCUIT_HALF_OPEN = "serve.circuit_half_open"
 CIRCUIT_CLOSED = "serve.circuit_closed"
 BATCH_FLUSHED = "serve.batch_flushed"
 
+# Resilience kinds (repro.resilience; see docs/resilience.md)
+HEALTH_CHANGED = "health.changed"
+FAULT_INJECTED = "fault.injected"
+WORKER_CRASHED = "serve.worker_crashed"
+WORKER_RESTARTED = "serve.worker_restarted"
+REQUEST_QUARANTINED = "serve.request_quarantined"
+RECORD_CORRUPTED = "record.corrupted"
+RECORD_QUARANTINED = "record.quarantined"
+EPOCH_RESYNCED = "epoch.resynced"
+
 #: Every kind the pipeline emits (open vocabulary: custom kinds allowed).
 KNOWN_KINDS = frozenset(
     {
@@ -73,6 +83,14 @@ KNOWN_KINDS = frozenset(
         CIRCUIT_HALF_OPEN,
         CIRCUIT_CLOSED,
         BATCH_FLUSHED,
+        HEALTH_CHANGED,
+        FAULT_INJECTED,
+        WORKER_CRASHED,
+        WORKER_RESTARTED,
+        REQUEST_QUARANTINED,
+        RECORD_CORRUPTED,
+        RECORD_QUARANTINED,
+        EPOCH_RESYNCED,
     }
 )
 

@@ -1,0 +1,86 @@
+"""Fault injection, crash recovery, and degraded-mode operation.
+
+A point-of-care diagnostic device fails in the field — electrodes die,
+ADCs drop samples, radios duplicate packets, serving processes crash —
+and the paper's security argument only holds if failure is *loud*:
+every run must end either correct-within-tolerance or with an explicit
+health alarm.  This package provides the machinery:
+
+* :mod:`~repro.resilience.health` — per-component OK/DEGRADED/FAILED
+  registry wired into observability;
+* :mod:`~repro.resilience.faults` — one seeded :class:`FaultPlan` /
+  :class:`FaultInjector` composing failures at every layer, plus the
+  DSP layer's own :func:`trace_quality` damage detector;
+* :mod:`~repro.resilience.journal` — append-only checksummed record
+  journal with bit-identical crash replay and corruption quarantine;
+* :mod:`~repro.resilience.degraded` — self-test-driven electrode
+  masking and widened-confidence diagnosis;
+* :mod:`~repro.resilience.chaos` — the seeded chaos campaign runner
+  behind ``python -m repro chaos``.
+"""
+
+from repro.resilience.chaos import (
+    CAMPAIGNS,
+    Campaign,
+    ChaosError,
+    ChaosReport,
+    InvariantResult,
+    run_campaign,
+)
+from repro.resilience.degraded import (
+    DegradedDiagnosis,
+    MaskingPolicy,
+    evaluate_degraded,
+    masking_policy,
+    widened_fraction,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    TraceQuality,
+    trace_quality,
+)
+from repro.resilience.health import (
+    DEGRADED,
+    FAILED,
+    OK,
+    ComponentHealth,
+    HealthRegistry,
+)
+from repro.resilience.journal import (
+    QuarantinedEntry,
+    RecordJournal,
+    ReplayResult,
+    recover_store,
+    replay_journal,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "ChaosError",
+    "ChaosReport",
+    "ComponentHealth",
+    "DEGRADED",
+    "DegradedDiagnosis",
+    "FAILED",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthRegistry",
+    "InjectedFault",
+    "InvariantResult",
+    "MaskingPolicy",
+    "OK",
+    "QuarantinedEntry",
+    "RecordJournal",
+    "ReplayResult",
+    "TraceQuality",
+    "evaluate_degraded",
+    "masking_policy",
+    "recover_store",
+    "replay_journal",
+    "run_campaign",
+    "trace_quality",
+    "widened_fraction",
+]

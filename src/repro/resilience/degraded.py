@@ -1,0 +1,227 @@
+"""Degraded-mode analysis: keep diagnosing on a partially-dead array.
+
+A deployed dongle with a broken electrode should not simply go dark —
+the paper's own prototype shipped with a flawed ninth electrode
+(§VII-A) and kept producing usable data.  This module turns a
+:func:`~repro.hardware.faults.self_test` verdict into a *masking
+policy* and a widened-confidence diagnosis:
+
+* **dead** electrodes are masked out of the decryption template: their
+  dips are truly absent, so decrypting against the full schedule would
+  under-match every particle signature.  The per-epoch multiplication
+  factor ``m(E)`` re-derives from the surviving electrodes.
+* **weak** electrodes stay *in* the template — their attenuated dips
+  are still detected, and masking them would leave real peaks
+  unassigned to anchor spurious groups — but they widen the confidence
+  interval instead.
+* **stuck-on** electrodes (or an all-dead array) are unrecoverable:
+  the report is :data:`~repro.resilience.health.FAILED`, never a
+  silently wrong count.
+
+The result is a :class:`DegradedDiagnosis` carrying the point estimate,
+the widened concentration interval, and *every* clinical band that
+interval touches — an honest "moderate-or-severe" instead of a falsely
+confident single label.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.core.diagnosis import ThresholdDiagnostic
+from repro.dsp.peakdetect import PeakReport
+from repro.hardware.faults import SelfTestReport
+from repro.obs import NULL_OBSERVER
+from repro.resilience.health import DEGRADED, FAILED, OK
+
+#: Confidence-interval widening weights (fractions of the estimate).
+BASE_WIDENING = 0.10
+DEAD_DIP_WEIGHT = 0.50
+WEAK_DIP_WEIGHT = 0.25
+
+
+@dataclass(frozen=True)
+class MaskingPolicy:
+    """What the self-test verdict means for decryption."""
+
+    masked_electrodes: Tuple[int, ...]
+    weak_electrodes: Tuple[int, ...]
+    refuse: bool
+    reason: str
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.masked_electrodes or self.weak_electrodes or self.refuse)
+
+
+def masking_policy(report: SelfTestReport) -> MaskingPolicy:
+    """Derive the degraded-mode policy from a self-test report."""
+    stuck = report.electrodes_with_verdict("stuck")
+    if not report.operational:
+        reason = (
+            f"stuck-on contamination (electrodes {stuck})"
+            if stuck
+            else "all electrodes dead"
+        )
+        return MaskingPolicy(
+            masked_electrodes=(), weak_electrodes=(), refuse=True, reason=reason
+        )
+    dead = tuple(report.electrodes_with_verdict("dead"))
+    weak = tuple(report.electrodes_with_verdict("weak"))
+    reason = ""
+    if dead or weak:
+        reason = f"dead={list(dead)} weak={list(weak)}"
+    return MaskingPolicy(
+        masked_electrodes=dead, weak_electrodes=weak, refuse=False, reason=reason
+    )
+
+
+def widened_fraction(array, masked: Tuple[int, ...], weak: Tuple[int, ...]) -> float:
+    """Half-width of the degraded confidence interval, as a fraction.
+
+    Grows with the *dip share* the faults touch: masking a double-dip
+    electrode forfeits more evidence than masking the single-dip lead,
+    so the interval widens by the fraction of expected dips lost (dead,
+    full weight) or unreliable (weak, quarter weight) on top of a base
+    uncertainty floor.
+    """
+    total_dips = sum(array.dips_per_particle(e) for e in array.electrode_numbers)
+    dead_dips = sum(array.dips_per_particle(e) for e in masked)
+    weak_dips = sum(array.dips_per_particle(e) for e in weak)
+    return (
+        BASE_WIDENING
+        + DEAD_DIP_WEIGHT * (dead_dips / total_dips)
+        + WEAK_DIP_WEIGHT * (weak_dips / total_dips)
+    )
+
+
+@dataclass(frozen=True)
+class DegradedDiagnosis:
+    """A diagnosis produced under acknowledged hardware damage.
+
+    ``status`` is never silently OK when faults were masked: a healthy
+    run is OK with a single possible label, a masked run is DEGRADED
+    with a widened interval, and an unrecoverable array is FAILED with
+    no labels at all (the explicit alarm).
+    """
+
+    status: str
+    marker_name: str
+    count: int
+    concentration_per_ul: float
+    interval_per_ul: Tuple[float, float]
+    possible_labels: Tuple[str, ...]
+    masked_electrodes: Tuple[int, ...]
+    weak_electrodes: Tuple[int, ...]
+    reason: str = ""
+
+    @property
+    def is_conclusive(self) -> bool:
+        """Whether the widened interval still pins a single band."""
+        return len(self.possible_labels) == 1
+
+    def format(self) -> str:
+        """One-paragraph human summary."""
+        if self.status == FAILED:
+            return f"FAILED: {self.reason}"
+        low, high = self.interval_per_ul
+        labels = " or ".join(self.possible_labels)
+        line = (
+            f"{self.status.upper()}: {self.marker_name} ≈ "
+            f"{self.concentration_per_ul:.1f}/µL "
+            f"[{low:.1f}, {high:.1f}] → {labels}"
+        )
+        if self.reason:
+            line += f" ({self.reason})"
+        return line
+
+
+def evaluate_degraded(
+    device,
+    report: PeakReport,
+    pumped_volume_ul: float,
+    diagnostic: ThresholdDiagnostic,
+    self_report: Optional[SelfTestReport] = None,
+    delivery_efficiency: float = 1.0,
+    observer=NULL_OBSERVER,
+) -> DegradedDiagnosis:
+    """Decrypt + diagnose with the device's faults acknowledged.
+
+    Runs the masking policy off the device's self-test, decrypts with
+    dead electrodes masked, converts the count to a concentration and
+    maps the *widened interval* onto the diagnostic's bands.  The
+    invariant callers rely on: the result is OK only when the self-test
+    was clean — any wrong-count risk surfaces as DEGRADED or FAILED.
+    """
+    if pumped_volume_ul <= 0:
+        raise ConfigurationError("pumped_volume_ul must be > 0")
+    self_report = self_report if self_report is not None else device.self_test()
+    policy = masking_policy(self_report)
+    if policy.refuse:
+        observer.incr("resilience.refusals")
+        return DegradedDiagnosis(
+            status=FAILED,
+            marker_name=diagnostic.marker_name,
+            count=0,
+            concentration_per_ul=0.0,
+            interval_per_ul=(0.0, 0.0),
+            possible_labels=(),
+            masked_electrodes=(),
+            weak_electrodes=(),
+            reason=policy.reason,
+        )
+    try:
+        if policy.masked_electrodes:
+            decryption = device.decrypt_degraded(report, policy.masked_electrodes)
+        else:
+            decryption = device.decrypt(report)
+    except ConfigurationError as exc:
+        # An epoch lost every live electrode: nothing left to decode.
+        observer.incr("resilience.refusals")
+        return DegradedDiagnosis(
+            status=FAILED,
+            marker_name=diagnostic.marker_name,
+            count=0,
+            concentration_per_ul=0.0,
+            interval_per_ul=(0.0, 0.0),
+            possible_labels=(),
+            masked_electrodes=policy.masked_electrodes,
+            weak_electrodes=policy.weak_electrodes,
+            reason=str(exc),
+        )
+    count = decryption.total_count
+    concentration = count / pumped_volume_ul / delivery_efficiency
+    if policy.is_clean:
+        outcome = diagnostic.evaluate(concentration)
+        return DegradedDiagnosis(
+            status=OK,
+            marker_name=diagnostic.marker_name,
+            count=count,
+            concentration_per_ul=concentration,
+            interval_per_ul=(concentration, concentration),
+            possible_labels=(outcome.label,),
+            masked_electrodes=(),
+            weak_electrodes=(),
+        )
+    width = widened_fraction(
+        device.array, policy.masked_electrodes, policy.weak_electrodes
+    )
+    low = max(concentration * (1.0 - width), 0.0)
+    high = concentration * (1.0 + width)
+    labels = tuple(
+        band.label
+        for band in diagnostic.bands
+        if band.lower_per_ul <= high and low < band.upper_per_ul
+    )
+    observer.incr("resilience.degraded_diagnoses")
+    return DegradedDiagnosis(
+        status=DEGRADED,
+        marker_name=diagnostic.marker_name,
+        count=count,
+        concentration_per_ul=concentration,
+        interval_per_ul=(low, high),
+        possible_labels=labels,
+        masked_electrodes=policy.masked_electrodes,
+        weak_electrodes=policy.weak_electrodes,
+        reason=policy.reason,
+    )

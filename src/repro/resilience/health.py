@@ -1,0 +1,151 @@
+"""Per-component health states: OK / DEGRADED / FAILED.
+
+The chaos runner's core invariant is "no silent wrong counts": a run
+must end either correct-within-tolerance or with an *explicit* health
+alarm.  The :class:`HealthRegistry` is that alarm — a thread-safe map
+from component name (``sensor``, ``dsp``, ``crypto``, ``storage``,
+``network``, ``scheduler``, ...) to its current status, wired into the
+observability layer (a ``health.changed`` audit event and a
+``health.<component>`` gauge on every transition).
+
+Status severity is ordered ``OK < DEGRADED < FAILED`` and transitions
+are monotone within a run unless explicitly cleared: a component that
+degraded stays at least degraded, so a late recovery cannot mask an
+earlier alarm in the final report.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.obs import HEALTH_CHANGED, NULL_OBSERVER
+
+#: The three health states, in increasing severity.
+OK = "ok"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+_SEVERITY = {OK: 0, DEGRADED: 1, FAILED: 2}
+
+
+@dataclass(frozen=True)
+class ComponentHealth:
+    """One component's current health verdict."""
+
+    component: str
+    status: str
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in _SEVERITY:
+            raise ConfigurationError(
+                f"unknown health status {self.status!r}; "
+                f"expected one of {sorted(_SEVERITY)}"
+            )
+
+    @property
+    def severity(self) -> int:
+        """Numeric severity (0=ok, 1=degraded, 2=failed)."""
+        return _SEVERITY[self.status]
+
+
+class HealthRegistry:
+    """Thread-safe OK/DEGRADED/FAILED map for pipeline components.
+
+    Parameters
+    ----------
+    observer:
+        Observability sink; every status *change* emits a
+        ``health.changed`` event and updates the ``health.<component>``
+        gauge (0/1/2).  The default records nothing.
+    """
+
+    def __init__(self, observer=NULL_OBSERVER) -> None:
+        self.observer = observer
+        self._states: Dict[str, ComponentHealth] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def set_status(self, component: str, status: str, reason: str = "") -> ComponentHealth:
+        """Record ``component``'s health, never *downgrading* severity.
+
+        An escalation (ok -> degraded -> failed) always applies; an
+        attempted de-escalation keeps the worse state (use
+        :meth:`clear` to reset a component explicitly).  Returns the
+        effective state after the call.
+        """
+        if not component:
+            raise ConfigurationError("component name must be non-empty")
+        proposed = ComponentHealth(component=component, status=status, reason=reason)
+        with self._lock:
+            current = self._states.get(component)
+            if current is not None and current.severity >= proposed.severity:
+                return current
+            self._states[component] = proposed
+        self.observer.gauge(f"health.{component}", float(proposed.severity))
+        self.observer.event(
+            HEALTH_CHANGED, component=component, status=status, reason=reason
+        )
+        return proposed
+
+    def degrade(self, component: str, reason: str = "") -> ComponentHealth:
+        """Shorthand for ``set_status(component, DEGRADED, reason)``."""
+        return self.set_status(component, DEGRADED, reason)
+
+    def fail(self, component: str, reason: str = "") -> ComponentHealth:
+        """Shorthand for ``set_status(component, FAILED, reason)``."""
+        return self.set_status(component, FAILED, reason)
+
+    def clear(self, component: str) -> None:
+        """Forget a component's state (next set starts from scratch)."""
+        with self._lock:
+            self._states.pop(component, None)
+
+    # ------------------------------------------------------------------
+    def status(self, component: str) -> str:
+        """Current status of ``component`` (unknown components are OK)."""
+        with self._lock:
+            state = self._states.get(component)
+        return OK if state is None else state.status
+
+    def get(self, component: str) -> Optional[ComponentHealth]:
+        """Full state for ``component``, or ``None`` if never reported."""
+        with self._lock:
+            return self._states.get(component)
+
+    @property
+    def overall(self) -> str:
+        """Worst status across all components (OK when empty)."""
+        with self._lock:
+            if not self._states:
+                return OK
+            worst = max(self._states.values(), key=lambda s: s.severity)
+        return worst.status
+
+    @property
+    def is_operational(self) -> bool:
+        """True while no component has FAILED."""
+        return self.overall != FAILED
+
+    def snapshot(self) -> Tuple[ComponentHealth, ...]:
+        """All reported states, sorted by component name (deterministic)."""
+        with self._lock:
+            states = tuple(
+                self._states[name] for name in sorted(self._states)
+            )
+        return states
+
+    def format(self) -> str:
+        """Human-readable health table, one component per line."""
+        states = self.snapshot()
+        if not states:
+            return "all components ok"
+        width = max(len(s.component) for s in states)
+        lines = []
+        for state in states:
+            line = f"{state.component:<{width}}  {state.status.upper():<8}"
+            if state.reason:
+                line += f"  {state.reason}"
+            lines.append(line)
+        return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Append-only checksummed record journal with crash recovery.
+
+The in-memory :class:`repro.cloud.storage.RecordStore` loses everything
+when the serving process dies.  The journal makes committed records
+durable: every ``store()`` appends one self-verifying JSONL line, and
+after a crash :func:`recover_store` replays the log to reconstruct the
+store **bit-identically** — same reports, same sequence numbers, same
+timestamps (floats survive the JSON round trip via shortest-repr).
+
+Each line carries two integrity layers:
+
+* the record's own payload checksum (CRC32 over the canonical payload,
+  the same value :class:`~repro.cloud.storage.StoredRecord` verifies on
+  fetch), and
+* a line CRC over the *entire* journal entry, so a torn write or
+  bit-flip in the framing itself is also caught.
+
+Replay never propagates corruption: a line that fails either check (or
+does not parse) is **quarantined** — counted, reported via a
+``record.quarantined`` audit event, and skipped — while every intact
+line is restored.  A truncated final line (the classic crash-mid-write
+artifact) is quarantined the same way.
+"""
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.cloud.storage import (
+    RecordStore,
+    StoredRecord,
+    payload_checksum,
+    record_payload_dict,
+)
+from repro.obs import NULL_OBSERVER, RECORD_QUARANTINED, WALL_CLOCK, Clock
+
+
+def _canonical(obj: Dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _line_crc(entry: Dict[str, Any]) -> int:
+    return zlib.crc32(_canonical(entry).encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_entry(record: StoredRecord) -> str:
+    """One journal line (without trailing newline) for a record."""
+    entry = {"payload": record.payload(), "checksum": record.checksum}
+    entry["crc"] = _line_crc({"payload": entry["payload"], "checksum": entry["checksum"]})
+    return _canonical(entry)
+
+
+def decode_entry(line: str) -> StoredRecord:
+    """Parse and verify one journal line back into a record.
+
+    Raises ``ValueError`` on any integrity violation: unparsable JSON,
+    a line CRC mismatch (torn/bit-flipped framing), or a payload
+    checksum mismatch (corrupted record contents).
+    """
+    from repro.cloud.api import report_from_dict
+
+    raw = json.loads(line)
+    if not isinstance(raw, dict) or "payload" not in raw or "crc" not in raw:
+        raise ValueError("journal entry missing payload/crc framing")
+    payload = raw["payload"]
+    checksum = int(raw.get("checksum", 0))
+    expected_crc = _line_crc({"payload": payload, "checksum": checksum})
+    if int(raw["crc"]) != expected_crc:
+        raise ValueError("journal line CRC mismatch")
+    if checksum != payload_checksum(payload):
+        raise ValueError("record payload checksum mismatch")
+    metadata = tuple((str(k), str(v)) for k, v in payload["metadata"])
+    record = StoredRecord(
+        identifier_key=str(payload["identifier"]),
+        report=report_from_dict(payload["report"]),
+        sequence_number=int(payload["sequence_number"]),
+        stored_at_s=float(payload["stored_at_s"]),
+        metadata=metadata,
+        checksum=checksum,
+    )
+    # The report round-trips losslessly, so the reconstructed payload
+    # must reproduce the journaled one exactly.
+    if record_payload_dict(
+        record.identifier_key,
+        record.report,
+        record.sequence_number,
+        record.stored_at_s,
+        record.metadata,
+    ) != payload:
+        raise ValueError("journal entry does not round-trip")
+    return record
+
+
+@dataclass(frozen=True)
+class QuarantinedEntry:
+    """One journal line that failed verification during replay."""
+
+    line_number: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a journal replay."""
+
+    records: Tuple[StoredRecord, ...]
+    quarantined: Tuple[QuarantinedEntry, ...]
+
+    @property
+    def n_recovered(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+
+class RecordJournal:
+    """Append-only durable log of committed records.
+
+    Pass an instance as ``RecordStore(journal=...)``; the store appends
+    every committed record under its own lock, so the journal sees
+    records in commit order.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append to (created on first append).
+    fsync:
+        Flush-to-disk per append.  Defaults off — the chaos runner's
+        crash model is process death, not power loss, and per-record
+        fsync dominates runtime in tests.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        if not path:
+            raise ConfigurationError("journal path must be non-empty")
+        self.path = path
+        self.fsync = fsync
+        self._handle = None
+        self.entries_written = 0
+
+    def append(self, record: StoredRecord) -> None:
+        """Durably append one committed record."""
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(encode_entry(record) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.entries_written += 1
+
+    def close(self) -> None:
+        """Close the file handle (a later append reopens it)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RecordJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def replay_journal(path: str, observer=NULL_OBSERVER) -> ReplayResult:
+    """Read a journal back, quarantining corrupt lines.
+
+    Every intact entry is returned in journal order; every damaged one
+    becomes a :class:`QuarantinedEntry` with a ``record.quarantined``
+    audit event and a ``journal.quarantined`` counter increment —
+    corruption is surfaced, never silently loaded or silently dropped.
+    A missing journal file replays to an empty result (a store that
+    never committed anything has nothing to recover).
+    """
+    records: List[StoredRecord] = []
+    quarantined: List[QuarantinedEntry] = []
+    if not os.path.exists(path):
+        return ReplayResult(records=(), quarantined=())
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(decode_entry(line))
+            except (ValueError, KeyError, TypeError) as exc:
+                entry = QuarantinedEntry(line_number=line_number, reason=str(exc))
+                quarantined.append(entry)
+                observer.incr("journal.quarantined")
+                observer.event(
+                    RECORD_QUARANTINED,
+                    journal=path,
+                    line_number=line_number,
+                    reason=entry.reason,
+                )
+    observer.incr("journal.replayed", len(records))
+    return ReplayResult(records=tuple(records), quarantined=tuple(quarantined))
+
+
+def recover_store(
+    path: str,
+    clock: Clock = WALL_CLOCK,
+    observer=NULL_OBSERVER,
+    journal: Optional[RecordJournal] = None,
+) -> Tuple[RecordStore, ReplayResult]:
+    """Rebuild a :class:`RecordStore` from its journal after a crash.
+
+    Returns the recovered store plus the replay result (so callers can
+    check ``n_quarantined`` and alarm).  Committed records come back
+    bit-identical — original sequence numbers and timestamps included —
+    and new stores continue the sequence from the highest recovered
+    number.  Pass ``journal`` to resume journaling into the same (or a
+    fresh) log.
+    """
+    replay = replay_journal(path, observer=observer)
+    store = RecordStore(clock=clock, observer=observer, journal=journal)
+    for record in replay.records:
+        store._restore(record)
+    return store, replay

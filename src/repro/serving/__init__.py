@@ -50,7 +50,12 @@ from repro.serving.retry import (
     DeadlineExceeded,
     RetryPolicy,
 )
-from repro.serving.scheduler import FleetConfig, FleetScheduler
+from repro.serving.scheduler import (
+    FleetConfig,
+    FleetScheduler,
+    PoisonRequestError,
+    WorkerCrash,
+)
 from repro.serving.workload import ClinicReport, ClinicWorkload, run_clinic
 
 __all__ = [
@@ -72,6 +77,8 @@ __all__ = [
     "RetryPolicy",
     "FleetConfig",
     "FleetScheduler",
+    "PoisonRequestError",
+    "WorkerCrash",
     "ClinicReport",
     "ClinicWorkload",
     "run_clinic",

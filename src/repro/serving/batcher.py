@@ -112,8 +112,20 @@ class BatchingAnalysisServer:
         return self._jobs_batched / self._batches_flushed
 
     # ------------------------------------------------------------------
-    def analyze(self, trace: AcquiredTrace) -> PeakReport:
-        """Analyse one trace, riding whatever batch forms around it."""
+    def analyze(
+        self, trace: AcquiredTrace, request_id: Optional[str] = None
+    ) -> PeakReport:
+        """Analyse one trace, riding whatever batch forms around it.
+
+        ``request_id`` gives the batcher the same idempotent front door
+        as :meth:`AnalysisServer.analyze`: the shared server's dedup
+        cache is consulted before joining a batch, so a re-delivered
+        request never occupies a batch slot.
+        """
+        if request_id is not None:
+            cached = self.server._check_duplicate(request_id)
+            if cached is not None:
+                return cached
         slot = _Slot(trace)
         batch: Optional[List[_Slot]] = None
         with self._cond:
@@ -145,6 +157,8 @@ class BatchingAnalysisServer:
                     self._cond.wait()
         if slot.error is not None:
             raise slot.error
+        if request_id is not None:
+            self.server._remember_request(request_id, slot.report)
         self._thread.last_share_s = slot.share_s
         return slot.report
 

@@ -84,6 +84,13 @@ class ResilientAnalysisClient:
     deadline_s:
         Virtual-time budget for the exchange (attempt times plus
         backoff delays); ``None`` disables it.
+    request_id:
+        Stable idempotency token forwarded to the backend so that
+        radio-layer duplicates and crash-restart re-submissions are
+        deduplicated server-side.  ``None`` (the default) preserves the
+        legacy at-least-once behaviour: duplicates reach the backend as
+        fresh jobs.  Never drawn from ``rng`` — a draw here would shift
+        every downstream stream and break bit-identical replay.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class ResilientAnalysisClient:
         rng: RngLike = None,
         deadline_s: Optional[float] = None,
         observer=NULL_OBSERVER,
+        request_id: Optional[str] = None,
     ) -> None:
         self.backend = backend
         self.link = link
@@ -103,6 +111,7 @@ class ResilientAnalysisClient:
         self.rng = ensure_rng(rng)
         self.deadline_s = deadline_s
         self.observer = observer
+        self.request_id = request_id
         #: Virtual seconds this client burned on failed attempts and
         #: backoff waits (successful-attempt transfer time is already
         #: modelled by the phone's own network accounting).
@@ -175,9 +184,10 @@ class ResilientAnalysisClient:
             else:
                 report = self._attempt_backend(trace)
                 if delivery.n_deliveries > 1:
-                    # Radio-layer duplicate: the curious server sees (and
-                    # logs) the job again; the client keeps the first report.
-                    self.backend.analyze(trace)
+                    # Radio-layer duplicate: re-delivered to the backend.
+                    # Without a request id the curious server logs the job
+                    # again; with one, idempotent ingest drops it.
+                    self._attempt_backend(trace)
                     self.duplicates_seen += 1
                     self.observer.incr("serve.duplicate_deliveries")
                 if self.breaker is not None:
@@ -202,7 +212,9 @@ class ResilientAnalysisClient:
 
     # ------------------------------------------------------------------
     def _attempt_backend(self, trace: AcquiredTrace):
-        return self.backend.analyze(trace)
+        if self.request_id is None:
+            return self.backend.analyze(trace)
+        return self.backend.analyze(trace, request_id=self.request_id)
 
     def _register_failure(self, attempt: int, outcome: str) -> None:
         if self.breaker is not None:

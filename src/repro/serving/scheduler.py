@@ -45,8 +45,11 @@ from repro.obs import (
     NULL_OBSERVER,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
+    REQUEST_QUARANTINED,
     REQUEST_QUEUED,
     REQUEST_REJECTED,
+    WORKER_CRASHED,
+    WORKER_RESTARTED,
 )
 from repro.particles.library import get_particle_type
 from repro.particles.sample import Sample
@@ -54,11 +57,35 @@ from repro.serving.batcher import BatchingAnalysisServer
 from repro.serving.client import ResilientAnalysisClient
 from repro.serving.queue import FairSubmissionQueue, QueueFull
 from repro.serving.request import (
+    RequestState,
     SessionFuture,
     SessionRequest,
     derive_request_rng,
 )
 from repro.serving.retry import CircuitBreaker, RetryPolicy
+
+
+class WorkerCrash(MedSenError):
+    """A worker thread died mid-request (injected or real).
+
+    Raised *through* :meth:`FleetScheduler._run_one` so the worker loop
+    can distinguish "this request failed" (handled in place) from "this
+    worker is gone" (the supervisor restarts the worker and requeues or
+    quarantines the request).
+    """
+
+
+class PoisonRequestError(MedSenError):
+    """A request crashed ``poison_threshold`` workers and was quarantined.
+
+    The offending future lands in :attr:`FleetScheduler.dead_letters`
+    instead of being retried forever; ``last_crash`` carries the final
+    :class:`WorkerCrash`.
+    """
+
+    def __init__(self, message: str, last_crash: Optional[WorkerCrash] = None) -> None:
+        super().__init__(message)
+        self.last_crash = last_crash
 
 
 @dataclass(frozen=True)
@@ -94,6 +121,15 @@ class FleetConfig:
         compute speed (tests).
     keep_history, max_history:
         Curious-server log retention on the shared analysis server.
+    supervise_workers:
+        When True (default), a worker that crashes mid-request is
+        replaced by a fresh thread and the interrupted request is
+        requeued; when False a crash permanently shrinks the pool and
+        fails the request.
+    poison_threshold:
+        Crashes the *same* request may cause before it is quarantined
+        to :attr:`FleetScheduler.dead_letters` instead of retried (a
+        poison request would otherwise kill workers forever).
     """
 
     seed: int = 0
@@ -115,12 +151,18 @@ class FleetConfig:
     max_history: int = 4096
     marker_type_name: str = "blood_cell"
     diagnostic: ThresholdDiagnostic = CD4_STAGING
+    supervise_workers: bool = True
+    poison_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
 
     @property
     def flaky(self) -> bool:
@@ -133,11 +175,36 @@ class FleetConfig:
 
 
 class FleetScheduler:
-    """Thread-pool scheduler for multi-tenant diagnostic sessions."""
+    """Thread-pool scheduler for multi-tenant diagnostic sessions.
 
-    def __init__(self, config: FleetConfig = FleetConfig(), observer=NULL_OBSERVER) -> None:
+    Parameters
+    ----------
+    config, observer:
+        Fleet parameters and observability sink.
+    store:
+        Optional pre-built :class:`~repro.cloud.storage.RecordStore`
+        (e.g. one with a resilience journal attached, or one recovered
+        from a journal after a crash); defaults to a fresh in-memory
+        store.
+    fault_injector:
+        Optional chaos hook (see :mod:`repro.resilience.faults`).  Duck
+        typed: ``on_request_start(tenant, sequence, attempt)`` may raise
+        :class:`WorkerCrash` to kill the executing worker, and
+        ``sensor_fault_model(tenant, sequence)`` may return a
+        :class:`~repro.hardware.faults.FaultModel` for the request's
+        device.  ``None`` (the default) injects nothing.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig = FleetConfig(),
+        observer=NULL_OBSERVER,
+        store: Optional[RecordStore] = None,
+        fault_injector=None,
+    ) -> None:
         self.config = config
         self.observer = observer
+        self.fault_injector = fault_injector
         # --- shared, effectively-immutable deployment state ----------
         self.device_config = MedSenConfig()
         self.server = AnalysisServer(
@@ -157,7 +224,7 @@ class FleetScheduler:
         self.authenticator = ServerAuthenticator(
             self.device_config.alphabet, observer=observer
         )
-        self.store = RecordStore(observer=observer)
+        self.store = store if store is not None else RecordStore(observer=observer)
         self.breaker = CircuitBreaker(
             failure_threshold=config.breaker_failure_threshold,
             recovery_time_s=config.breaker_recovery_s,
@@ -195,7 +262,11 @@ class FleetScheduler:
         self._completed = 0
         self._failed = 0
         self._rejected = 0
+        self._crashes = 0
+        self._restarts = 0
+        self._dead_letters: List[SessionFuture] = []
         self._workers: List[threading.Thread] = []
+        self._worker_index = 0
         self._started = False
 
     # ------------------------------------------------------------------
@@ -206,21 +277,41 @@ class FleetScheduler:
         if self._started:
             return self
         self._started = True
-        for index in range(self.config.n_workers):
-            worker = threading.Thread(
-                target=self._worker_loop, name=f"fleet-worker-{index}", daemon=True
-            )
-            worker.start()
-            self._workers.append(worker)
+        for _ in range(self.config.n_workers):
+            self._spawn_worker(restart=False)
         return self
+
+    def _spawn_worker(self, restart: bool = True) -> None:
+        with self._stats_lock:
+            index = self._worker_index
+            self._worker_index += 1
+        worker = threading.Thread(
+            target=self._worker_loop, name=f"fleet-worker-{index}", daemon=True
+        )
+        worker.start()
+        with self._stats_lock:
+            self._workers.append(worker)
+            if restart:
+                self._restarts += 1
+        if restart:
+            self.observer.event(WORKER_RESTARTED, worker=worker.name)
+            self.observer.incr("serve.worker_restarts")
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work, drain the queue, join the workers."""
         self.queue.close()
         if wait:
-            for worker in self._workers:
+            # Supervision may append replacement workers while we join,
+            # so drain the list instead of iterating a snapshot.
+            while True:
+                with self._stats_lock:
+                    if not self._workers:
+                        break
+                    worker = self._workers.pop()
                 worker.join()
-        self._workers = []
+        else:
+            with self._stats_lock:
+                self._workers = []
         self._started = False
 
     def __enter__(self) -> "FleetScheduler":
@@ -304,6 +395,22 @@ class FleetScheduler:
     def rejected(self) -> int:
         return self._rejected
 
+    @property
+    def worker_crashes(self) -> int:
+        """Workers lost to crashes so far."""
+        return self._crashes
+
+    @property
+    def worker_restarts(self) -> int:
+        """Replacement workers the supervisor has spawned."""
+        return self._restarts
+
+    @property
+    def dead_letters(self) -> "tuple":
+        """Futures quarantined after crashing ``poison_threshold`` workers."""
+        with self._stats_lock:
+            return tuple(self._dead_letters)
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
@@ -312,7 +419,69 @@ class FleetScheduler:
             future = self.queue.get()
             if future is None:
                 return
-            self._run_one(future)
+            try:
+                self._run_one(future)
+            except WorkerCrash as crash:
+                # This worker is dead.  Supervision decides the fate of
+                # both the worker (replacement) and the request
+                # (requeue / dead-letter), then the thread exits.
+                self._supervise_crash(future, crash)
+                return
+
+    def _supervise_crash(self, future: SessionFuture, crash: WorkerCrash) -> None:
+        request = future.request
+        crashes = getattr(future, "_crash_count", 0) + 1
+        future._crash_count = crashes
+        with self._stats_lock:
+            self._crashes += 1
+        self.observer.event(
+            WORKER_CRASHED,
+            tenant=request.tenant_id,
+            sequence=request.sequence,
+            crashes=crashes,
+            reason=str(crash),
+        )
+        self.observer.incr("serve.worker_crashes")
+        supervised = self.config.supervise_workers
+        if supervised and not self.queue.closed:
+            # Replacement first, so the pool keeps draining while we
+            # decide what to do with the interrupted request.
+            self._spawn_worker()
+        if not supervised or crashes >= self.config.poison_threshold:
+            with self._stats_lock:
+                self._failed += 1
+                if supervised:
+                    self._dead_letters.append(future)
+            if supervised:
+                self.observer.event(
+                    REQUEST_QUARANTINED,
+                    tenant=request.tenant_id,
+                    sequence=request.sequence,
+                    crashes=crashes,
+                )
+                self.observer.incr("serve.quarantined")
+                future._fail(
+                    PoisonRequestError(
+                        f"request {request.tenant_id}:{request.tenant_sequence} "
+                        f"crashed {crashes} workers; quarantined",
+                        last_crash=crash,
+                    )
+                )
+            else:
+                future._fail(crash)
+            return
+        # Transient crash: give the request another attempt.  Its RNG
+        # derives from (seed, tenant, tenant_sequence) alone, so the
+        # retry replays the session bit-identically.
+        future.state = RequestState.PENDING
+        try:
+            self.queue.put(request.tenant_id, future, block=True, timeout=5.0)
+        except MedSenError:
+            # Queue closed (shutdown) or still full after the wait —
+            # the request fails rather than deadlocking the drain.
+            with self._stats_lock:
+                self._failed += 1
+            future._fail(crash)
 
     def _run_one(self, future: SessionFuture) -> None:
         request = future.request
@@ -320,7 +489,15 @@ class FleetScheduler:
         future.queue_wait_s = started - getattr(future, "_enqueued_at", started)
         future._mark_running()
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.on_request_start(
+                    request.tenant_id,
+                    request.tenant_sequence,
+                    attempt=getattr(future, "_crash_count", 0),
+                )
             result = self._execute(request)
+        except WorkerCrash:
+            raise  # kills this worker; _supervise_crash owns the future
         except BaseException as error:
             with self._stats_lock:
                 self._failed += 1
@@ -353,8 +530,16 @@ class FleetScheduler:
         rng = derive_request_rng(
             self.config.seed, request.tenant_id, request.tenant_sequence
         )
+        fault_model = None
+        if self.fault_injector is not None:
+            fault_model = self.fault_injector.sensor_fault_model(
+                request.tenant_id, request.tenant_sequence
+            )
         device = MedSenDevice(
-            config=self.device_config, rng=rng, observer=self.observer
+            config=self.device_config,
+            rng=rng,
+            fault_model=fault_model,
+            observer=self.observer,
         )
         phone = Smartphone(network=self.config.network, observer=self.observer)
         client = ResilientAnalysisClient(
@@ -365,6 +550,9 @@ class FleetScheduler:
             rng=rng,
             deadline_s=request.deadline_s,
             observer=self.observer,
+            # Stable across retries and duplicates, so crash-restart
+            # re-submissions and radio duplicates dedup server-side.
+            request_id=f"{request.tenant_id}:{request.tenant_sequence}",
         )
         session = MedSenSession(
             device=device,

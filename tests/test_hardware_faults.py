@@ -9,7 +9,12 @@ from repro.crypto.gains import GainTable
 from repro.crypto.key import EpochKey, KeySchedule
 from repro.crypto.encryptor import EncryptionPlan
 from repro.hardware.electrodes import standard_array
-from repro.hardware.faults import FaultModel, SelfTestReport, self_test
+from repro.hardware.faults import (
+    FaultModel,
+    SelfTestReport,
+    UnsafeHardwareError,
+    self_test,
+)
 from repro.microfluidics.channel import MicrofluidicChannel
 from repro.microfluidics.flow import FlowSpeedTable
 from repro.microfluidics.transport import ParticleArrival
@@ -119,3 +124,39 @@ class TestSelfTest:
     def test_invalid_bead_count(self, array9):
         with pytest.raises(ConfigurationError):
             self_test(array9, FaultModel(), n_test_beads=0)
+
+    def test_electrodes_with_verdict_sorted(self, array9):
+        report = self_test(array9, FaultModel(dead_electrodes={7, 2}), rng=0)
+        assert report.electrodes_with_verdict("dead") == [2, 7]
+        assert report.electrodes_with_verdict("stuck") == []
+
+
+class TestOperationalGate:
+    def test_all_electrodes_dead_refuses(self, array9):
+        all_dead = FaultModel(dead_electrodes=set(range(1, 10)))
+        report = self_test(array9, all_dead, rng=0)
+        assert report.electrodes_with_verdict("dead") == list(range(1, 10))
+        assert not report.operational
+        with pytest.raises(UnsafeHardwareError, match="no live electrodes"):
+            report.require_operational()
+
+    def test_stuck_on_lead_electrode_refuses(self, array9):
+        # The lead (single-dip) electrode hard-wired on: every *other*
+        # channel's test sees its key-independent dip.
+        report = self_test(array9, FaultModel(stuck_on_electrodes={9}), rng=0)
+        stuck = report.electrodes_with_verdict("stuck")
+        assert stuck and 9 not in stuck
+        assert not report.operational
+        with pytest.raises(UnsafeHardwareError, match="stuck-on"):
+            report.require_operational()
+
+    def test_dead_plus_weak_still_operational(self, array9):
+        faults = FaultModel(dead_electrodes={2}, weak_electrodes={5})
+        report = self_test(array9, faults, rng=0)
+        assert not report.healthy
+        assert report.operational
+        report.require_operational()  # degraded mode may proceed
+
+    def test_healthy_array_operational(self, array9):
+        report = self_test(array9, FaultModel(), rng=0)
+        assert report.operational

@@ -1,0 +1,123 @@
+"""Degraded-mode analysis: masking policy, widened intervals, refusal."""
+
+import pytest
+
+from repro.core.device import MedSenDevice
+from repro.core.diagnosis import CD4_STAGING
+from repro.cloud.server import AnalysisServer
+from repro.hardware.faults import FaultModel
+from repro.particles.library import get_particle_type
+from repro.particles.sample import Sample
+from repro.resilience import (
+    DEGRADED,
+    FAILED,
+    OK,
+    evaluate_degraded,
+    masking_policy,
+    widened_fraction,
+)
+
+BLOOD = get_particle_type("blood_cell")
+
+
+def run_trial(fault_model=None, seed=21, concentration=400.0, duration_s=6.0):
+    device = MedSenDevice(rng=seed, fault_model=fault_model)
+    sample = Sample.from_concentrations(
+        {BLOOD: concentration}, volume_ul=10.0, rng=seed
+    )
+    capture = device.run_capture(sample, duration_s, encrypt=True)
+    report = AnalysisServer(keep_history=False).analyze(capture.trace)
+    return device, capture, report
+
+
+class TestMaskingPolicy:
+    def test_clean_array(self, device):
+        policy = masking_policy(device.self_test())
+        assert policy.is_clean
+        assert not policy.refuse
+
+    def test_dead_and_weak_masked(self, array9):
+        from repro.hardware.faults import self_test
+
+        report = self_test(
+            array9, FaultModel(dead_electrodes={2}, weak_electrodes={5}), rng=0
+        )
+        policy = masking_policy(report)
+        assert policy.masked_electrodes == (2,)
+        assert policy.weak_electrodes == (5,)
+        assert not policy.refuse
+
+    def test_stuck_refuses(self, array9):
+        from repro.hardware.faults import self_test
+
+        report = self_test(array9, FaultModel(stuck_on_electrodes={4}), rng=0)
+        policy = masking_policy(report)
+        assert policy.refuse
+        assert "stuck" in policy.reason
+
+    def test_all_dead_refuses(self, array9):
+        from repro.hardware.faults import self_test
+
+        report = self_test(
+            array9, FaultModel(dead_electrodes=set(range(1, 10))), rng=0
+        )
+        assert masking_policy(report).refuse
+
+
+class TestWidenedFraction:
+    def test_scales_with_dip_share(self, array9):
+        none = widened_fraction(array9, (), ())
+        one_dead = widened_fraction(array9, (2,), ())
+        lead_dead = widened_fraction(array9, (9,), ())
+        dead_and_weak = widened_fraction(array9, (2,), (5,))
+        assert none == pytest.approx(0.10)
+        # Electrode 2 contributes two dips, the lead only one.
+        assert one_dead > lead_dead > none
+        assert dead_and_weak > one_dead
+
+
+class TestEvaluateDegraded:
+    def test_healthy_device_is_ok_and_conclusive(self):
+        device, capture, report = run_trial()
+        diagnosis = evaluate_degraded(
+            device, report, capture.pumped_volume_ul, CD4_STAGING
+        )
+        assert diagnosis.status == OK
+        assert diagnosis.is_conclusive
+        low, high = diagnosis.interval_per_ul
+        assert low == high == diagnosis.concentration_per_ul
+
+    def test_dead_electrode_degrades_with_widened_interval(self):
+        device, capture, report = run_trial(
+            fault_model=FaultModel(dead_electrodes={3})
+        )
+        diagnosis = evaluate_degraded(
+            device, report, capture.pumped_volume_ul, CD4_STAGING
+        )
+        assert diagnosis.status == DEGRADED
+        assert diagnosis.masked_electrodes == (3,)
+        low, high = diagnosis.interval_per_ul
+        assert low < diagnosis.concentration_per_ul < high
+        assert diagnosis.possible_labels
+        assert "DEGRADED" in diagnosis.format().upper()
+
+    def test_stuck_array_fails_explicitly(self):
+        device, capture, report = run_trial(
+            fault_model=FaultModel(stuck_on_electrodes={4})
+        )
+        diagnosis = evaluate_degraded(
+            device, report, capture.pumped_volume_ul, CD4_STAGING
+        )
+        assert diagnosis.status == FAILED
+        assert diagnosis.possible_labels == ()
+        assert not diagnosis.is_conclusive
+        assert "FAILED" in diagnosis.format()
+
+    def test_invalid_volume_rejected(self, device):
+        from repro._util.errors import ConfigurationError
+        from repro.dsp.peakdetect import PeakReport
+
+        with pytest.raises(ConfigurationError):
+            evaluate_degraded(
+                device, PeakReport((), 1.0, 450.0, 0), 0.0, CD4_STAGING
+            )

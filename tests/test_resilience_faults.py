@@ -1,0 +1,159 @@
+"""Fault injector: determinism, per-layer injections, trace quality."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.hardware.acquisition import AcquiredTrace
+from repro.obs import FAULT_INJECTED, EventLog, MetricsRegistry, Observer
+from repro.resilience import FaultInjector, FaultPlan, trace_quality
+from repro.serving import WorkerCrash
+
+
+def noisy_trace(n=4000, seed=5):
+    rng = np.random.default_rng(seed)
+    voltages = rng.normal(0.0, 1e-3, size=(2, n))
+    return AcquiredTrace(
+        voltages=voltages, sampling_rate_hz=450.0, carrier_frequencies_hz=(500e3, 2500e3)
+    )
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(Exception):
+            FaultPlan(dropout_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_dead_electrodes=-1)
+
+    def test_any_faults(self):
+        assert not FaultPlan().any_faults
+        assert FaultPlan(desync_rate=0.1).any_faults
+        assert FaultPlan(poison_tenants=("t",)).any_faults
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(
+            sensor_fault_rate=0.7, desync_rate=0.5, worker_crash_rate=0.5
+        )
+        a, b = FaultInjector(plan, seed=9), FaultInjector(plan, seed=9)
+        for trial in range(6):
+            ma = a.sensor_fault_model("lab", trial)
+            mb = b.sensor_fault_model("lab", trial)
+            assert (ma is None) == (mb is None)
+            if ma is not None:
+                assert ma.dead_electrodes == mb.dead_electrodes
+                assert ma.weak_electrodes == mb.weak_electrodes
+            assert a.should_desync("lab", trial) == b.should_desync("lab", trial)
+        assert a.injections == b.injections
+
+    def test_decisions_order_independent(self):
+        plan = FaultPlan(desync_rate=0.5)
+        a, b = FaultInjector(plan, seed=3), FaultInjector(plan, seed=3)
+        forward = [a.should_desync("x", i) for i in range(8)]
+        backward = [b.should_desync("x", i) for i in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        plan = FaultPlan(desync_rate=0.5)
+        draws = {
+            tuple(
+                FaultInjector(plan, seed=s).should_desync("x", i) for i in range(16)
+            )
+            for s in range(4)
+        }
+        assert len(draws) > 1
+
+
+class TestSensorLayer:
+    def test_fault_model_avoids_lead_electrode(self):
+        plan = FaultPlan(sensor_fault_rate=1.0, max_dead_electrodes=3)
+        injector = FaultInjector(plan, seed=1)
+        for trial in range(10):
+            model = injector.sensor_fault_model("t", trial)
+            assert model is not None
+            assert 9 not in model.dead_electrodes
+            assert 9 not in model.weak_electrodes
+            assert model.dead_electrodes  # at least one dead
+
+    def test_zero_rate_injects_nothing(self):
+        injector = FaultInjector(FaultPlan(), seed=1)
+        assert injector.sensor_fault_model("t", 0) is None
+        assert injector.injections == ()
+
+
+class TestDspLayer:
+    def test_dropout_detected_by_trace_quality(self):
+        plan = FaultPlan(dropout_rate=1.0, corruption_span_fraction=0.1)
+        injector = FaultInjector(plan, seed=2)
+        trace = noisy_trace()
+        assert trace_quality(trace.voltages).ok
+        corrupted, applied = injector.corrupt_trace(trace, "t", 0)
+        assert applied == ("dropout",)
+        assert not trace_quality(corrupted.voltages).ok
+        # Original trace untouched (copy-on-corrupt).
+        assert trace_quality(trace.voltages).ok
+
+    def test_saturation_detected(self):
+        plan = FaultPlan(saturation_rate=1.0)
+        injector = FaultInjector(plan, seed=2)
+        corrupted, applied = injector.corrupt_trace(noisy_trace(), "t", 0)
+        assert applied == ("saturation",)
+        assert not trace_quality(corrupted.voltages).ok
+
+    def test_no_corruption_returns_same_trace(self):
+        injector = FaultInjector(FaultPlan(), seed=2)
+        trace = noisy_trace()
+        out, applied = injector.corrupt_trace(trace, "t", 0)
+        assert out is trace
+        assert applied == ()
+
+
+class TestSchedulerLayer:
+    def test_poison_tenant_crashes_every_attempt(self):
+        plan = FaultPlan(poison_tenants=("bad",))
+        injector = FaultInjector(plan, seed=0)
+        for attempt in range(3):
+            with pytest.raises(WorkerCrash):
+                injector.on_request_start("bad", 0, attempt=attempt)
+        injector.on_request_start("good", 0, attempt=0)  # no crash
+
+    def test_transient_crash_only_first_attempt(self):
+        plan = FaultPlan(worker_crash_rate=1.0)
+        injector = FaultInjector(plan, seed=0)
+        with pytest.raises(WorkerCrash):
+            injector.on_request_start("t", 0, attempt=0)
+        injector.on_request_start("t", 0, attempt=1)  # retry survives
+
+
+class TestStorageLayer:
+    def test_corrupt_journal_file_flips_a_digit(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        with open(path, "w") as handle:
+            handle.write('{"payload": 123}\n{"payload": 456}\n')
+        injector = FaultInjector(FaultPlan(storage_corruption_rate=1.0), seed=4)
+        line = injector.corrupt_journal_file(path)
+        assert line in (1, 2)
+        damaged = open(path).read().splitlines()
+        assert damaged != ['{"payload": 123}', '{"payload": 456}']
+
+    def test_zero_rate_leaves_file_alone(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        with open(path, "w") as handle:
+            handle.write('{"x": 1}\n')
+        injector = FaultInjector(FaultPlan(), seed=4)
+        assert injector.corrupt_journal_file(path) is None
+        assert open(path).read() == '{"x": 1}\n'
+
+
+class TestObservability:
+    def test_injections_logged_and_emitted(self):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        plan = FaultPlan(desync_rate=1.0)
+        injector = FaultInjector(plan, seed=0, observer=observer)
+        injector.should_desync("t", 0)
+        injector.record_external("network", "fleet", 0, "2 duplicates")
+        assert injector.injected_sites() == ("crypto", "network")
+        kinds = [e.kind for e in observer.events.events]
+        assert kinds.count(FAULT_INJECTED) == 2
+        assert observer.metrics.counter("chaos.faults_injected").value == 2

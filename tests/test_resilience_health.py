@@ -1,0 +1,78 @@
+"""Health registry: monotone transitions, events, formatting."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.obs import HEALTH_CHANGED, EventLog, MetricsRegistry, Observer
+from repro.resilience import DEGRADED, FAILED, OK, ComponentHealth, HealthRegistry
+
+
+class TestTransitions:
+    def test_unknown_component_is_ok(self):
+        registry = HealthRegistry()
+        assert registry.status("sensor") == OK
+        assert registry.get("sensor") is None
+        assert registry.overall == OK
+
+    def test_escalation_applies(self):
+        registry = HealthRegistry()
+        registry.degrade("sensor", "weak electrode")
+        assert registry.status("sensor") == DEGRADED
+        registry.fail("sensor", "went dark")
+        assert registry.status("sensor") == FAILED
+        assert registry.get("sensor").reason == "went dark"
+
+    def test_never_downgrades(self):
+        registry = HealthRegistry()
+        registry.fail("dsp", "saturated")
+        registry.set_status("dsp", OK)
+        registry.degrade("dsp", "later, milder fault")
+        state = registry.get("dsp")
+        assert state.status == FAILED
+        assert state.reason == "saturated"
+
+    def test_clear_resets(self):
+        registry = HealthRegistry()
+        registry.fail("storage")
+        registry.clear("storage")
+        assert registry.status("storage") == OK
+        registry.degrade("storage", "fresh start")
+        assert registry.status("storage") == DEGRADED
+
+    def test_overall_is_worst(self):
+        registry = HealthRegistry()
+        registry.degrade("network")
+        assert registry.overall == DEGRADED
+        assert registry.is_operational
+        registry.fail("crypto")
+        assert registry.overall == FAILED
+        assert not registry.is_operational
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComponentHealth(component="x", status="wounded")
+        registry = HealthRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.set_status("", DEGRADED)
+
+
+class TestObservability:
+    def test_changes_emit_events_and_gauges(self):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        registry = HealthRegistry(observer=observer)
+        registry.degrade("sensor", "dead electrode")
+        registry.degrade("sensor", "again")  # no change -> no event
+        registry.fail("sensor", "all dead")
+        kinds = [e.kind for e in observer.events.events]
+        assert kinds.count(HEALTH_CHANGED) == 2
+        assert observer.metrics.gauge("health.sensor").value == 2.0
+
+    def test_snapshot_sorted_and_format(self):
+        registry = HealthRegistry()
+        registry.degrade("storage", "journal corrupt")
+        registry.fail("crypto")
+        snapshot = registry.snapshot()
+        assert [s.component for s in snapshot] == ["crypto", "storage"]
+        text = registry.format()
+        assert "FAILED" in text and "journal corrupt" in text
+        assert HealthRegistry().format() == "all components ok"
