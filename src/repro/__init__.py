@@ -34,14 +34,23 @@ Package map
 ``repro.attacks``       eavesdropper baselines
 ``repro.analysis``      calibration fits, metrics, entropy
 ``repro.obs``           tracing, metrics registry, audit event log
+``repro.guard``         trust-boundary hardening: admission, freshness,
+                        envelopes, lockout, protocol fuzzing
 """
 
 from repro._util.errors import (
+    AdmissionError,
     AuthenticationError,
     ConfigurationError,
     DecryptionError,
+    EnvelopeError,
     IntegrityError,
+    LockoutError,
+    MalformedPayloadError,
     MedSenError,
+    OversizedPayloadError,
+    ReplayError,
+    StaleEpochError,
     TrustBoundaryError,
     ValidationError,
 )
@@ -65,11 +74,18 @@ from repro.particles import BEAD_3P58, BEAD_7P8, BLOOD_CELL, Sample
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "AuthenticationError",
     "ConfigurationError",
     "DecryptionError",
+    "EnvelopeError",
     "IntegrityError",
+    "LockoutError",
+    "MalformedPayloadError",
     "MedSenError",
+    "OversizedPayloadError",
+    "ReplayError",
+    "StaleEpochError",
     "TrustBoundaryError",
     "ValidationError",
     "BeadAlphabet",

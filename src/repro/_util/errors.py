@@ -42,3 +42,45 @@ class IntegrityError(MedSenError):
 
 class AuthenticationError(MedSenError):
     """Server-side cyto-coded authentication rejected the sample."""
+
+
+class AdmissionError(MedSenError):
+    """An untrusted payload was refused at a trust boundary.
+
+    This is the *typed, non-crashing* rejection contract of
+    :mod:`repro.guard`: whatever garbage arrives at the cloud ingest,
+    the phone relay, the record store, or the serving scheduler, the
+    boundary raises an :class:`AdmissionError` subclass — never a raw
+    ``struct.error`` / ``IndexError`` / ``TypeError``.
+    """
+
+
+class MalformedPayloadError(AdmissionError):
+    """The payload's structure or values are invalid (wrong types,
+    non-finite samples, bad magic, inconsistent shapes)."""
+
+
+class OversizedPayloadError(AdmissionError):
+    """The payload exceeds the boundary's resource budget (too many
+    channels/samples/bytes) and was refused before allocation."""
+
+
+class ReplayError(AdmissionError):
+    """A freshness nonce was seen before: the exchange is a replay,
+    regardless of what ``request_id`` the sender claims."""
+
+
+class StaleEpochError(AdmissionError):
+    """The exchange was minted under a key epoch outside the receiver's
+    freshness window (too old, or from the future)."""
+
+
+class EnvelopeError(AdmissionError):
+    """A sealed report envelope failed structural or HMAC verification
+    and was rejected *before* any decryption was attempted."""
+
+
+class LockoutError(AuthenticationError):
+    """Authentication was refused without examining the sample because
+    the source exceeded its attempt budget and is in exponential
+    backoff (see :class:`repro.guard.lockout.AttemptThrottle`)."""

@@ -25,7 +25,14 @@ peak report, plus public hardware knowledge) and never the key.
 from repro.attacks.amplitude import AmplitudeClusteringAttack
 from repro.attacks.base import AttackKnowledge, CountAttack, score_count_attack
 from repro.attacks.clustering import FeatureClusteringAttack
-from repro.attacks.bruteforce import bruteforce_expected_attempts, bruteforce_success_probability
+from repro.attacks.bruteforce import (
+    attempts_within_horizon,
+    bruteforce_expected_attempts,
+    bruteforce_expected_time_s,
+    bruteforce_success_probability,
+    bruteforce_success_within_horizon,
+    lockout_delay_s,
+)
 from repro.attacks.pattern import PeriodicTrainAttack
 from repro.attacks.peak_count import DivideByExpectationAttack, NaivePeakCountAttack
 from repro.attacks.scenarios import encrypted_capture
@@ -37,8 +44,12 @@ __all__ = [
     "FeatureClusteringAttack",
     "CountAttack",
     "score_count_attack",
+    "attempts_within_horizon",
     "bruteforce_expected_attempts",
+    "bruteforce_expected_time_s",
     "bruteforce_success_probability",
+    "bruteforce_success_within_horizon",
+    "lockout_delay_s",
     "PeriodicTrainAttack",
     "DivideByExpectationAttack",
     "encrypted_capture",

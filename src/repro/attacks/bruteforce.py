@@ -8,11 +8,22 @@ sample submission (a pipette with a candidate bead mixture), so even a
 modest password space is expensive to search.  These helpers quantify
 the expected number of attempts and the success probability of a
 bounded-attempt adversary, for alphabet-engineering benchmarks.
+
+With the server-side throttle of :mod:`repro.guard.lockout` deployed,
+attempts are no longer free even in *time*: after the policy's failure
+budget every further guess pays an exponentially growing lockout
+window.  The ``*_time_s`` / ``*_within_horizon`` helpers extend the
+§VII-C analysis to that regime — expected wall-clock to exhaust the
+space, and the success probability of an adversary with a bounded
+campaign duration.
 """
+
+from typing import Optional
 
 from repro._util.errors import ValidationError
 from repro.auth.alphabet import BeadAlphabet
 from repro.auth.collision import password_space_size
+from repro.guard.lockout import LockoutPolicy
 
 
 def bruteforce_expected_attempts(alphabet: BeadAlphabet) -> float:
@@ -40,3 +51,105 @@ def attempts_for_success_probability(alphabet: BeadAlphabet, probability: float)
     import math
 
     return int(math.ceil(probability * size))
+
+
+# ---------------------------------------------------------------------------
+# Lockout-aware timing (repro.guard.lockout deployed server-side)
+# ---------------------------------------------------------------------------
+def lockout_delay_s(failures: int, policy: LockoutPolicy) -> float:
+    """Total lockout wait an adversary serves across ``failures``
+    consecutive failed guesses from one source.
+
+    Mirrors :class:`~repro.guard.lockout.AttemptThrottle` exactly: the
+    first ``max_failures`` failures are free; that streak trips lockout
+    #1, and *every* further failure re-trips the next (escalated)
+    window, so ``failures`` failures serve
+    ``failures - max_failures + 1`` lockouts.  Windows grow
+    geometrically until they saturate at ``max_lockout_s``; the capped
+    tail is summed arithmetically so the helper stays O(log) even for
+    password-space-sized inputs.
+    """
+    if failures < 0:
+        raise ValidationError(f"failures must be >= 0, got {failures}")
+    n_lockouts = max(0, int(failures) - policy.max_failures + 1)
+    total = 0.0
+    for k in range(1, n_lockouts + 1):
+        duration = policy.lockout_duration_s(k)
+        if duration >= policy.max_lockout_s:
+            total += (n_lockouts - k + 1) * policy.max_lockout_s
+            break
+        total += duration
+    return total
+
+
+def bruteforce_expected_time_s(
+    alphabet: BeadAlphabet,
+    policy: Optional[LockoutPolicy] = None,
+    attempt_s: float = 0.0,
+) -> float:
+    """Expected wall-clock seconds to brute-force one identifier.
+
+    ``attempt_s`` is the cost of a single guess (pipette manufacture +
+    sample run, minutes in practice); ``policy`` adds the server-side
+    lockout waits.  With neither, the expected *time* is zero even
+    though the expected *attempts* are not — which is precisely the
+    exposure the throttle closes.
+    """
+    if attempt_s < 0:
+        raise ValidationError(f"attempt_s must be >= 0, got {attempt_s}")
+    expected = bruteforce_expected_attempts(alphabet)
+    total = expected * attempt_s
+    if policy is not None:
+        # Every guess before the final (successful) one fails.
+        total += lockout_delay_s(int(expected) - 1, policy)
+    return total
+
+
+def attempts_within_horizon(
+    horizon_s: float,
+    policy: Optional[LockoutPolicy] = None,
+    attempt_s: float = 0.0,
+) -> int:
+    """Guesses an adversary completes within ``horizon_s`` seconds.
+
+    Attempt ``n`` lands after ``n * attempt_s`` of guessing work plus
+    the lockout waits accrued by the ``n - 1`` failures before it.
+    Without a policy the count is ``horizon // attempt_s``; without an
+    attempt cost either, guessing is free and unbounded — that
+    configuration is rejected rather than silently returning infinity.
+    """
+    if horizon_s < 0:
+        raise ValidationError(f"horizon_s must be >= 0, got {horizon_s}")
+    if policy is None:
+        if attempt_s <= 0:
+            raise ValidationError(
+                "free, unthrottled guessing is unbounded; give a policy "
+                "and/or a positive attempt_s"
+            )
+        return int(horizon_s // attempt_s)
+    n = 0
+    while True:
+        if (n + 1) * attempt_s + lockout_delay_s(n, policy) > horizon_s:
+            return n
+        n += 1
+        # Once windows saturate at the cap, every further attempt costs
+        # exactly attempt_s + max_lockout_s: finish arithmetically.
+        n_lockouts = n - policy.max_failures + 1
+        if (
+            n_lockouts >= 1
+            and policy.lockout_duration_s(n_lockouts) >= policy.max_lockout_s
+        ):
+            spent = n * attempt_s + lockout_delay_s(n - 1, policy)
+            per_attempt = attempt_s + policy.max_lockout_s
+            return n + int(max(0.0, horizon_s - spent) // per_attempt)
+
+
+def bruteforce_success_within_horizon(
+    alphabet: BeadAlphabet,
+    horizon_s: float,
+    policy: Optional[LockoutPolicy] = None,
+    attempt_s: float = 0.0,
+) -> float:
+    """P(success) for a campaign bounded by wall-clock, not attempts."""
+    attempts = attempts_within_horizon(horizon_s, policy=policy, attempt_s=attempt_s)
+    return bruteforce_success_probability(alphabet, attempts)

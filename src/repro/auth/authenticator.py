@@ -13,13 +13,14 @@ identifier doubles as the §V integrity check on stored ciphertexts.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro._util.errors import AuthenticationError, ConfigurationError, IntegrityError
 from repro._util.validation import check_in_range, check_positive
 from repro.auth.alphabet import BeadAlphabet
 from repro.auth.classifier import ClassificationReport
 from repro.auth.identifier import CytoIdentifier
+from repro.guard.lockout import AttemptThrottle, LockoutPolicy
 from repro.obs import AUTH_ACCEPTED, AUTH_REJECTED, NULL_OBSERVER
 
 
@@ -54,6 +55,17 @@ class ServerAuthenticator:
     observer:
         Observability sink (auth accept/reject audit events and
         counters); the default records nothing.
+    lockout:
+        Optional :class:`~repro.guard.lockout.LockoutPolicy`.  When
+        set, authentication attempts carrying a ``source`` are
+        throttled: after the policy's failure budget is exhausted the
+        source is refused with
+        :class:`~repro._util.errors.LockoutError` for an exponentially
+        growing window.  ``None`` (the default) preserves the
+        unthrottled behaviour.
+    clock:
+        Monotonic clock for the throttle (injectable for tests);
+        ignored when ``lockout`` is None.
     """
 
     def __init__(
@@ -61,11 +73,19 @@ class ServerAuthenticator:
         alphabet: BeadAlphabet,
         delivery_efficiency: float = 0.92,
         observer=NULL_OBSERVER,
+        lockout: Optional[LockoutPolicy] = None,
+        clock: Any = None,
     ) -> None:
         check_in_range("delivery_efficiency", delivery_efficiency, 0.0, 1.0, low_inclusive=False)
         self.alphabet = alphabet
         self.delivery_efficiency = delivery_efficiency
         self.observer = observer
+        self.lockout = lockout
+        self.throttle: Optional[AttemptThrottle] = (
+            AttemptThrottle(lockout, clock=clock, observer=observer)
+            if lockout is not None
+            else None
+        )
         self._registry: Dict[str, CytoIdentifier] = {}
 
     # ------------------------------------------------------------------
@@ -139,8 +159,22 @@ class ServerAuthenticator:
         self,
         bead_counts: Mapping[str, float],
         pumped_volume_ul: float,
+        source: Optional[str] = None,
     ) -> AuthDecision:
-        """Match recovered bead statistics against the registry."""
+        """Match recovered bead statistics against the registry.
+
+        ``source`` names the attempt's blast-radius unit (tenant,
+        device, endpoint) for the lockout throttle; a locked-out
+        source is refused with
+        :class:`~repro._util.errors.LockoutError` before any matching
+        work runs, and repeated failures extend the lockout
+        exponentially.  Matching itself is constant-time per candidate
+        (:meth:`CytoIdentifier.matches <repro.auth.identifier.CytoIdentifier.matches>`)
+        and scans the whole registry without early exit, so timing
+        reveals neither the diverging byte nor which user matched.
+        """
+        if self.throttle is not None and source is not None:
+            self.throttle.check(source)
         with self.observer.span("authenticate") as span:
             try:
                 recovered, concentrations = self.recover_identifier(
@@ -148,26 +182,28 @@ class ServerAuthenticator:
                 )
             except Exception as exc:  # all-absent recovery -> no password beads
                 self.observer.incr("auth.errors")
+                if self.throttle is not None and source is not None:
+                    self.throttle.record_failure(source)
                 raise AuthenticationError(
                     f"could not recover an identifier: {exc}"
                 ) from exc
+            matched_user: Optional[str] = None
+            for user_id, registered in self._registry.items():
+                # No break: registered identifiers are unique, so at
+                # most one matches, and scanning the rest keeps the
+                # registry walk the same length for every outcome.
+                if registered.matches(recovered):
+                    matched_user = user_id
             decision = AuthDecision(
-                accepted=False,
-                user_id=None,
+                accepted=matched_user is not None,
+                user_id=matched_user,
                 recovered=recovered,
                 measured_concentrations_per_ul=concentrations,
             )
-            for user_id, registered in self._registry.items():
-                if registered.matches(recovered):
-                    decision = AuthDecision(
-                        accepted=True,
-                        user_id=user_id,
-                        recovered=recovered,
-                        measured_concentrations_per_ul=concentrations,
-                    )
-                    break
             span.set_attribute("accepted", decision.accepted)
         if decision.accepted:
+            if self.throttle is not None and source is not None:
+                self.throttle.record_success(source)
             self.observer.incr("auth.accepted")
             self.observer.event(
                 AUTH_ACCEPTED,
@@ -175,6 +211,8 @@ class ServerAuthenticator:
                 identifier=recovered.as_string(),
             )
         else:
+            if self.throttle is not None and source is not None:
+                self.throttle.record_failure(source)
             self.observer.incr("auth.rejected")
             self.observer.event(AUTH_REJECTED, identifier=recovered.as_string())
         return decision

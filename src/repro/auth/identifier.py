@@ -7,6 +7,7 @@ user's blood sample is mixed with a user-specific number of artificial
 beads before passing through the MedSen's sensor").
 """
 
+import hmac
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -100,14 +101,30 @@ class CytoIdentifier:
         )
 
     # ------------------------------------------------------------------
-    def matches(self, other: "CytoIdentifier") -> bool:
-        """Exact identifier equality (same alphabet and levels)."""
-        return (
-            self.alphabet.levels_per_ul == other.alphabet.levels_per_ul
-            and tuple(t.name for t in self.alphabet.bead_types)
-            == tuple(t.name for t in other.alphabet.bead_types)
-            and self.levels == other.levels
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte encoding of (alphabet, levels).
+
+        Two identifiers are equal exactly when their canonical bytes
+        are equal: bead-type names, level concentrations, and the level
+        assignment all participate.  This is the encoding the
+        authenticator compares in constant time.
+        """
+        parts = (
+            ",".join(bead.name for bead in self.alphabet.bead_types),
+            ",".join(repr(float(c)) for c in self.alphabet.levels_per_ul),
+            ",".join(str(level) for level in self.levels),
         )
+        return "\x1f".join(parts).encode("utf-8")
+
+    def matches(self, other: "CytoIdentifier") -> bool:
+        """Exact identifier equality (same alphabet and levels).
+
+        Compared via :func:`hmac.compare_digest` over the canonical
+        encodings, so a registry scan does not leak *where* a candidate
+        first diverges from a registered identifier through timing
+        (classic byte-by-byte short-circuit side channel).
+        """
+        return hmac.compare_digest(self.canonical_bytes(), other.canonical_bytes())
 
     def hamming_distance(self, other: "CytoIdentifier") -> int:
         """Number of characters (bead types) whose levels differ."""

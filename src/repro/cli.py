@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands cover the workflows a bench scientist or security
+Ten subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -18,6 +18,9 @@ reviewer would reach for first:
   (``--smoke`` runs the small CI check).
 * ``chaos``     — seeded fault-injection campaign across every layer,
   checking the resilience invariants (``--smoke`` is the CI gate).
+* ``harden``    — adversarial hardening campaign: protocol fuzzing,
+  garbage admission, replay/freshness, envelope tampering, and auth
+  lockout invariants (``--smoke`` is the CI gate).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
 """
@@ -269,6 +272,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_harden(args: argparse.Namespace) -> int:
+    from repro.guard.campaign import run_hardening
+    from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
+
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    report = run_hardening(
+        seed=args.seed,
+        n_mutations=args.mutations,
+        smoke=args.smoke,
+        observer=observer,
+    )
+    print(report.format())
+    if args.metrics:
+        print()
+        print(format_metrics_table(observer.metrics))
+    return 0 if report.passed else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.plots import generate_all_figures
 
@@ -371,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="shorthand for --campaign smoke (CI gate)")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    harden = subparsers.add_parser(
+        "harden", help="adversarial hardening campaign: fuzz + trust boundaries"
+    )
+    harden.add_argument("--seed", type=int, default=0)
+    harden.add_argument("--mutations", type=int, default=10_000,
+                        help="fuzz mutations per parser")
+    harden.add_argument("--metrics", action="store_true",
+                        help="print the metrics table after the run")
+    harden.add_argument("--smoke", action="store_true",
+                        help="reduced fuzz budget; exit 1 on any violation (CI)")
+    harden.set_defaults(handler=_cmd_harden)
 
     figures = subparsers.add_parser(
         "figures", help="regenerate the paper's figures as SVG files"

@@ -27,9 +27,26 @@ PROTOCOL_VERSION = 1
 
 
 def _require(payload: Dict, key: str):
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"message payload is {type(payload).__name__}, not an object"
+        )
     if key not in payload:
         raise ValidationError(f"message missing required field {key!r}")
     return payload[key]
+
+
+def _parse_json(text) -> Dict:
+    """Decode untrusted JSON; the only failure mode is ValidationError."""
+    try:
+        payload = json.loads(text)
+    except (json.JSONDecodeError, TypeError, UnicodeDecodeError) as error:
+        raise ValidationError(f"message is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"message decodes to {type(payload).__name__}, not an object"
+        )
+    return payload
 
 
 @dataclass(frozen=True)
@@ -64,17 +81,26 @@ class AnalysisRequest:
 
     @classmethod
     def from_json(cls, text: str) -> "AnalysisRequest":
-        """Parse a JSON analysis_request message."""
-        payload = json.loads(text)
+        """Parse a JSON analysis_request message.
+
+        Raises :class:`ValidationError` on *any* malformed input —
+        non-JSON bytes, wrong shapes, or unconvertible field values.
+        """
+        payload = _parse_json(text)
         if _require(payload, "type") != "analysis_request":
             raise ValidationError("not an analysis_request message")
-        return cls(
-            capture_id=_require(payload, "capture_id"),
-            n_channels=int(_require(payload, "n_channels")),
-            n_samples=int(_require(payload, "n_samples")),
-            sampling_rate_hz=float(_require(payload, "sampling_rate_hz")),
-            compressed_bytes=int(_require(payload, "compressed_bytes")),
-        )
+        try:
+            return cls(
+                capture_id=_require(payload, "capture_id"),
+                n_channels=int(_require(payload, "n_channels")),
+                n_samples=int(_require(payload, "n_samples")),
+                sampling_rate_hz=float(_require(payload, "sampling_rate_hz")),
+                compressed_bytes=int(_require(payload, "compressed_bytes")),
+            )
+        except ValidationError:
+            raise
+        except (TypeError, ValueError, OverflowError) as error:
+            raise ValidationError(f"invalid analysis_request fields: {error}") from error
 
 
 def report_to_dict(report: PeakReport) -> Dict:
@@ -97,23 +123,32 @@ def report_to_dict(report: PeakReport) -> Dict:
 
 
 def report_from_dict(payload: Dict) -> PeakReport:
-    """Inverse of :func:`report_to_dict`."""
-    peaks = tuple(
-        DetectedPeak(
-            time_s=float(_require(entry, "time_s")),
-            depth=float(_require(entry, "depth")),
-            width_s=float(_require(entry, "width_s")),
-            amplitudes=np.asarray(_require(entry, "amplitudes"), dtype=float),
-            sample_index=int(_require(entry, "sample_index")),
+    """Inverse of :func:`report_to_dict`.
+
+    Raises :class:`ValidationError` when the dict does not decode to a
+    structurally valid report.
+    """
+    try:
+        peaks = tuple(
+            DetectedPeak(
+                time_s=float(_require(entry, "time_s")),
+                depth=float(_require(entry, "depth")),
+                width_s=float(_require(entry, "width_s")),
+                amplitudes=np.asarray(_require(entry, "amplitudes"), dtype=float),
+                sample_index=int(_require(entry, "sample_index")),
+            )
+            for entry in _require(payload, "peaks")
         )
-        for entry in _require(payload, "peaks")
-    )
-    return PeakReport(
-        peaks=peaks,
-        duration_s=float(_require(payload, "duration_s")),
-        sampling_rate_hz=float(_require(payload, "sampling_rate_hz")),
-        detection_channel=int(_require(payload, "detection_channel")),
-    )
+        return PeakReport(
+            peaks=peaks,
+            duration_s=float(_require(payload, "duration_s")),
+            sampling_rate_hz=float(_require(payload, "sampling_rate_hz")),
+            detection_channel=int(_require(payload, "detection_channel")),
+        )
+    except ValidationError:
+        raise
+    except (TypeError, ValueError, OverflowError) as error:
+        raise ValidationError(f"invalid peak report payload: {error}") from error
 
 
 @dataclass(frozen=True)
@@ -140,14 +175,19 @@ class AnalysisResponse:
 
     @classmethod
     def from_json(cls, text: str) -> "AnalysisResponse":
-        """Parse a JSON analysis_response message."""
-        payload = json.loads(text)
+        """Parse a JSON analysis_response message (ValidationError only)."""
+        payload = _parse_json(text)
         if _require(payload, "type") != "analysis_response":
             raise ValidationError("not an analysis_response message")
-        return cls(
-            capture_id=_require(payload, "capture_id"),
-            report=report_from_dict(_require(payload, "report")),
-        )
+        try:
+            return cls(
+                capture_id=_require(payload, "capture_id"),
+                report=report_from_dict(_require(payload, "report")),
+            )
+        except ValidationError:
+            raise
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"invalid analysis_response fields: {error}") from error
 
 
 @dataclass(frozen=True)
@@ -176,12 +216,17 @@ class StoreRequest:
 
     @classmethod
     def from_json(cls, text: str) -> "StoreRequest":
-        """Parse a JSON store_request message."""
-        payload = json.loads(text)
+        """Parse a JSON store_request message (ValidationError only)."""
+        payload = _parse_json(text)
         if _require(payload, "type") != "store_request":
             raise ValidationError("not a store_request message")
-        return cls(
-            identifier_key=_require(payload, "identifier_key"),
-            capture_id=_require(payload, "capture_id"),
-            metadata=tuple(sorted(dict(_require(payload, "metadata")).items())),
-        )
+        try:
+            return cls(
+                identifier_key=_require(payload, "identifier_key"),
+                capture_id=_require(payload, "capture_id"),
+                metadata=tuple(sorted(dict(_require(payload, "metadata")).items())),
+            )
+        except ValidationError:
+            raise
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"invalid store_request fields: {error}") from error

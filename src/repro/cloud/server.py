@@ -26,10 +26,12 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
-from repro._util.errors import ConfigurationError
+from repro._util.errors import ConfigurationError, MalformedPayloadError
 from repro.dsp.peakdetect import PeakDetector, PeakReport
+from repro.guard.admission import DEFAULT_TRACE_POLICY, TraceAdmissionPolicy, admit_trace
+from repro.guard.freshness import FreshnessGuard, FreshnessToken
 from repro.hardware.acquisition import AcquiredTrace
-from repro.obs import NULL_OBSERVER, PEAKS_REPORTED
+from repro.obs import GUARD_REJECTED, NULL_OBSERVER, PEAKS_REPORTED
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,20 @@ class AnalysisServer:
         How many recent request ids to remember for idempotent ingest;
         a re-delivered request id within this window returns the cached
         report instead of re-running (and re-logging) the job.
+    admission:
+        Trace admission policy (:mod:`repro.guard.admission`), applied
+        to every inbound trace before any processing.  The default is
+        generous enough to admit all honest traffic; pass ``None`` to
+        disable admission entirely (pre-guard behaviour).
+    freshness:
+        Optional :class:`~repro.guard.freshness.FreshnessGuard`.  When
+        set, :meth:`analyze` demands an authenticated freshness token
+        with every exchange and refuses replays and stale epochs — this
+        is *authenticated* anti-replay, independent of the honest
+        ``request_id`` dedup above it.
+    transit_secret:
+        Optional shared secret enabling :meth:`analyze_sealed`, which
+        returns the report inside a tamper-evident HMAC envelope.
     """
 
     def __init__(
@@ -72,6 +88,9 @@ class AnalysisServer:
         max_history: int = 4096,
         observer=NULL_OBSERVER,
         dedup_capacity: int = 4096,
+        admission: Optional[TraceAdmissionPolicy] = DEFAULT_TRACE_POLICY,
+        freshness: Optional[FreshnessGuard] = None,
+        transit_secret: Optional[bytes] = None,
     ) -> None:
         if max_history < 1:
             raise ConfigurationError("max_history must be >= 1")
@@ -82,6 +101,9 @@ class AnalysisServer:
         self.max_history = max_history
         self.observer = observer
         self.dedup_capacity = dedup_capacity
+        self.admission = admission
+        self.freshness = freshness
+        self.transit_secret = transit_secret
         self._history: Deque[AnalysisJob] = deque(maxlen=max_history)
         self._history_dropped = 0
         self._jobs_processed = 0
@@ -92,8 +114,45 @@ class AnalysisServer:
         self._thread = threading.local()
 
     # ------------------------------------------------------------------
+    def admit_ingress(
+        self,
+        trace: AcquiredTrace,
+        freshness_token: Optional[bytes] = None,
+        boundary: str = "ingest",
+    ) -> Optional[FreshnessToken]:
+        """Run the full trust-boundary check for one inbound exchange.
+
+        Admission (shape/size/finiteness) first, then — when this
+        server carries a :class:`FreshnessGuard` — authenticated
+        freshness: a missing, forged, replayed, or stale-epoch token
+        refuses the exchange with a typed
+        :class:`~repro._util.errors.AdmissionError` *before* any
+        analysis or dedup lookup, so an attacker rewriting
+        ``request_id`` gains nothing.
+        """
+        if self.admission is not None:
+            admit_trace(
+                trace, self.admission, observer=self.observer, boundary=boundary
+            )
+        if self.freshness is None:
+            return None
+        if freshness_token is None:
+            self.observer.incr("guard.rejected")
+            self.observer.event(
+                GUARD_REJECTED, boundary=boundary, reason="missing_token"
+            )
+            raise MalformedPayloadError(
+                f"[{boundary}] this server requires a freshness token"
+            )
+        return self.freshness.admit(
+            freshness_token, observer=self.observer, boundary=boundary
+        )
+
     def analyze(
-        self, trace: AcquiredTrace, request_id: Optional[str] = None
+        self,
+        trace: AcquiredTrace,
+        request_id: Optional[str] = None,
+        freshness_token: Optional[bytes] = None,
     ) -> PeakReport:
         """Run peak analysis on an encrypted trace.
 
@@ -107,7 +166,12 @@ class AnalysisServer:
         ``serve.duplicates_dropped`` counter records the drop).  With
         no id (the default), every call is a fresh job — preserving the
         curious-server behaviour the attack suite mines.
+
+        When the server carries a freshness guard, ``freshness_token``
+        is mandatory and is consumed *before* the dedup lookup (see
+        :meth:`admit_ingress`).
         """
+        self.admit_ingress(trace, freshness_token, boundary="ingest")
         if request_id is not None:
             cached = self._check_duplicate(request_id)
             if cached is not None:
@@ -136,6 +200,31 @@ class AnalysisServer:
             while len(self._seen_requests) > self.dedup_capacity:
                 self._seen_requests.popitem(last=False)
 
+    def analyze_sealed(
+        self,
+        trace: AcquiredTrace,
+        request_id: Optional[str] = None,
+        freshness_token: Optional[bytes] = None,
+    ) -> bytes:
+        """Like :meth:`analyze`, but the report returns sealed.
+
+        The report travels as a tamper-evident HMAC envelope
+        (:mod:`repro.guard.envelope`) under the server's
+        ``transit_secret``; the phone verifies it before anything
+        reaches the TCB.  Requires ``transit_secret``.
+        """
+        from repro.guard.envelope import seal_report
+
+        if self.transit_secret is None:
+            raise ConfigurationError(
+                "analyze_sealed requires a transit_secret; none configured"
+            )
+        report = self.analyze(
+            trace, request_id=request_id, freshness_token=freshness_token
+        )
+        key_epoch = self.freshness.key_epoch if self.freshness is not None else 0
+        return seal_report(report, self.transit_secret, key_epoch=key_epoch)
+
     def analyze_batch(self, traces: Sequence[AcquiredTrace]) -> List[PeakReport]:
         """Analyse several traces in one vectorised pass.
 
@@ -148,6 +237,11 @@ class AnalysisServer:
         """
         if not traces:
             return []
+        if self.admission is not None:
+            for trace in traces:
+                admit_trace(
+                    trace, self.admission, observer=self.observer, boundary="batch"
+                )
         with self.observer.span(
             "cloud_analysis_batch", batch_size=len(traces)
         ) as span:
@@ -173,6 +267,10 @@ class AnalysisServer:
         """
         from repro.dsp.streaming import StreamingPeakDetector
 
+        if self.admission is not None:
+            admit_trace(
+                trace, self.admission, observer=self.observer, boundary="ingest"
+            )
         with self.observer.span(
             "cloud_analysis", samples=trace.n_samples, channels=trace.n_channels,
             mode="streaming",

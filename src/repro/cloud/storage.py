@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro._util.errors import ConfigurationError, MedSenError
 from repro.dsp.peakdetect import PeakReport
+from repro.guard.admission import admit_identifier_key, admit_metadata, admit_report
 from repro.obs import NULL_OBSERVER, RECORD_CORRUPTED, RECORD_STORED, WALL_CLOCK, Clock
 
 
@@ -151,9 +152,19 @@ class RecordStore:
         report: PeakReport,
         metadata: Optional[Dict[str, str]] = None,
     ) -> StoredRecord:
-        """Store an encrypted analysis outcome under an identifier."""
+        """Store an encrypted analysis outcome under an identifier.
+
+        The store sits on the untrusted side of the §IV boundary, so
+        everything inbound is admission-checked first: a malformed key,
+        a non-report payload, or oversized/ill-typed metadata raises a
+        typed :class:`~repro._util.errors.AdmissionError` (with the
+        ``guard.rejected`` accounting) before touching the log.
+        """
         if not identifier_key:
             raise ConfigurationError("identifier_key must be non-empty")
+        admit_identifier_key(identifier_key, observer=self.observer, boundary="store")
+        admit_report(report, observer=self.observer, boundary="store")
+        admit_metadata(metadata, observer=self.observer, boundary="store")
         with self._lock:
             self._sequence += 1
             meta = tuple(sorted((metadata or {}).items()))

@@ -177,8 +177,17 @@ class MedSenSession:
         duration_s: float = 60.0,
         pipette_volume_ul: float = 2.0,
         rng: RngLike = None,
+        auth_source: Optional[str] = None,
     ) -> SessionResult:
-        """Execute the full §II flow for one test."""
+        """Execute the full §II flow for one test.
+
+        ``auth_source`` (when given) names the attempt for the
+        authenticator's lockout throttle — typically the tenant or
+        device id — so repeated failed password submissions from one
+        source hit the exponential lockout
+        (:mod:`repro.guard.lockout`).  ``None`` keeps the call
+        compatible with authenticators that predate throttling.
+        """
         rng = ensure_rng(rng)
         observer = self.observer
         with observer.span("session", duration_s=duration_s) as session_span:
@@ -208,9 +217,14 @@ class MedSenSession:
                 bead_counts, marker_count = self._classify(decryption)
             classification_time = classify_span.duration_s
 
-            auth = self.authenticator.authenticate(
-                bead_counts, capture.pumped_volume_ul
-            )
+            if auth_source is None:
+                auth = self.authenticator.authenticate(
+                    bead_counts, capture.pumped_volume_ul
+                )
+            else:
+                auth = self.authenticator.authenticate(
+                    bead_counts, capture.pumped_volume_ul, source=auth_source
+                )
 
             # Concentration in the mixture, corrected for delivery losses,
             # un-diluted back to the (possibly enriched) sample, and mapped

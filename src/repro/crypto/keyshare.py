@@ -27,7 +27,7 @@ from repro._util.errors import DecryptionError, IntegrityError, ValidationError
 from repro.cloud.storage import RecordStore, StoredRecord
 from repro.crypto.decryptor import DecryptionResult, SignalDecryptor
 from repro.crypto.encryptor import EncryptionPlan
-from repro.crypto.serialization import plan_from_bytes, plan_to_bytes
+from repro.crypto.serialization import MAX_PLAN_BYTES, plan_from_bytes, plan_to_bytes
 
 _NONCE_BYTES = 16
 _TAG_BYTES = 32
@@ -35,11 +35,18 @@ _ENC_LABEL = b"medsen-keyshare-enc"
 _MAC_LABEL = b"medsen-keyshare-mac"
 
 
-def _derive(secret: bytes, label: bytes) -> bytes:
+def derive_key(secret: bytes, label: bytes) -> bytes:
+    """Domain-separated key derivation: SHA-256(label | secret).
+
+    Public so other sealed formats (the :mod:`repro.guard.envelope`
+    report envelopes, freshness tokens) reuse the exact construction —
+    distinct labels keep every derived key independent.
+    """
     return hashlib.sha256(label + b"|" + secret).digest()
 
 
-def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream of ``length`` bytes."""
     blocks = []
     counter = 0
     while sum(len(b) for b in blocks) < length:
@@ -48,6 +55,11 @@ def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
         )
         counter += 1
     return b"".join(blocks)[:length]
+
+
+# Backwards-compatible private aliases (pre-guard internal names).
+_derive = derive_key
+_keystream = keystream
 
 
 def seal_plan(plan: EncryptionPlan, secret: bytes, nonce: Optional[bytes] = None) -> bytes:
@@ -68,8 +80,14 @@ def open_plan(blob: bytes, secret: bytes) -> EncryptionPlan:
     """Open a sealed plan; raises :class:`IntegrityError` on tampering."""
     if not secret:
         raise ValidationError("secret must be non-empty")
+    try:
+        blob = bytes(blob)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(f"sealed blob is not bytes-like: {error}") from error
     if len(blob) < _NONCE_BYTES + _TAG_BYTES:
         raise ValidationError("sealed blob too short")
+    if len(blob) > MAX_PLAN_BYTES + _NONCE_BYTES + _TAG_BYTES:
+        raise ValidationError("sealed blob exceeds the plan size cap")
     nonce = blob[:_NONCE_BYTES]
     ciphertext = blob[_NONCE_BYTES:-_TAG_BYTES]
     tag = blob[-_TAG_BYTES:]

@@ -18,9 +18,10 @@ Format (little-endian, struct-packed)::
 """
 
 import hashlib
+import math
 import struct
 
-from repro._util.errors import ValidationError
+from repro._util.errors import MedSenError, ValidationError
 from repro.crypto.encryptor import EncryptionPlan
 from repro.crypto.gains import GainTable
 from repro.crypto.key import EpochKey, KeySchedule
@@ -30,6 +31,12 @@ from repro.microfluidics.flow import FlowSpeedTable
 _MAGIC = b"MSK1"
 _HEADER = struct.Struct("<4sHddHddHdddI")
 _EPOCH_FIXED = struct.Struct("<IB")
+
+#: Hard cap on an admissible serialized plan.  The largest legitimate
+#: plan (32 electrodes, multi-hour capture at 100 ms epochs) is well
+#: under 64 KiB; 1 MiB leaves 16x headroom while refusing a forged
+#: header that promises four billion epochs before any allocation.
+MAX_PLAN_BYTES = 1 << 20
 
 
 def plan_to_bytes(plan: EncryptionPlan) -> bytes:
@@ -74,10 +81,22 @@ def plan_fingerprint(plan: EncryptionPlan) -> str:
 def plan_from_bytes(blob: bytes) -> EncryptionPlan:
     """Inverse of :func:`plan_to_bytes`.
 
-    Raises :class:`ValidationError` on a malformed or truncated blob.
+    This parser sits on the untrusted side of the §VII-B key-sharing
+    exchange, so it must *contain* malice, not just decode honesty:
+    truncated, oversized, bad-magic, or value-poisoned (NaN/inf) blobs
+    all raise :class:`ValidationError` — never a raw ``struct.error``,
+    ``IndexError``, or a component's :class:`ConfigurationError`.
     """
+    try:
+        blob = bytes(blob)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(f"plan blob is not bytes-like: {error}") from error
     if len(blob) < _HEADER.size:
         raise ValidationError("plan blob too short")
+    if len(blob) > MAX_PLAN_BYTES:
+        raise ValidationError(
+            f"plan blob has {len(blob)} bytes; cap is {MAX_PLAN_BYTES}"
+        )
     (
         magic,
         n_outputs,
@@ -94,14 +113,19 @@ def plan_from_bytes(blob: bytes) -> EncryptionPlan:
     ) = _HEADER.unpack_from(blob, 0)
     if magic != _MAGIC:
         raise ValidationError(f"bad magic {magic!r}; not a serialized plan")
-
-    array = ElectrodeArray(
-        n_outputs=n_outputs, electrode_width_m=electrode_width, pitch_m=pitch
-    )
-    gain_table = GainTable(n_levels=gain_levels, min_gain=gain_min, max_gain=gain_max)
-    flow_table = FlowSpeedTable(
-        n_levels=flow_levels, min_rate_ul_min=flow_min, max_rate_ul_min=flow_max
-    )
+    for name, value in (
+        ("electrode_width", electrode_width),
+        ("pitch", pitch),
+        ("gain_min", gain_min),
+        ("gain_max", gain_max),
+        ("flow_min", flow_min),
+        ("flow_max", flow_max),
+        ("epoch_duration", epoch_duration),
+    ):
+        if not math.isfinite(value):
+            raise ValidationError(f"plan field {name} is not finite: {value!r}")
+    if n_outputs > 32:
+        raise ValidationError("serialization supports at most 32 electrodes")
 
     offset = _HEADER.size
     epoch_size = _EPOCH_FIXED.size + n_outputs
@@ -110,21 +134,41 @@ def plan_from_bytes(blob: bytes) -> EncryptionPlan:
         raise ValidationError(
             f"plan blob has {len(blob)} bytes; expected {expected}"
         )
-    epochs = []
-    for _ in range(n_epochs):
-        bitmask, flow_level = _EPOCH_FIXED.unpack_from(blob, offset)
-        offset += _EPOCH_FIXED.size
-        gains = tuple(blob[offset : offset + n_outputs])
-        offset += n_outputs
-        active = frozenset(
-            electrode
-            for electrode in range(1, n_outputs + 1)
-            if bitmask & (1 << (electrode - 1))
+
+    try:
+        array = ElectrodeArray(
+            n_outputs=n_outputs, electrode_width_m=electrode_width, pitch_m=pitch
         )
-        epochs.append(
-            EpochKey(active_electrodes=active, gain_levels=gains, flow_level=flow_level)
+        gain_table = GainTable(
+            n_levels=gain_levels, min_gain=gain_min, max_gain=gain_max
         )
-    schedule = KeySchedule(epoch_duration_s=epoch_duration, epochs=tuple(epochs))
-    return EncryptionPlan(
-        schedule=schedule, array=array, gain_table=gain_table, flow_table=flow_table
-    )
+        flow_table = FlowSpeedTable(
+            n_levels=flow_levels, min_rate_ul_min=flow_min, max_rate_ul_min=flow_max
+        )
+        epochs = []
+        for _ in range(n_epochs):
+            bitmask, flow_level = _EPOCH_FIXED.unpack_from(blob, offset)
+            offset += _EPOCH_FIXED.size
+            gains = tuple(blob[offset : offset + n_outputs])
+            offset += n_outputs
+            active = frozenset(
+                electrode
+                for electrode in range(1, n_outputs + 1)
+                if bitmask & (1 << (electrode - 1))
+            )
+            epochs.append(
+                EpochKey(
+                    active_electrodes=active, gain_levels=gains, flow_level=flow_level
+                )
+            )
+        schedule = KeySchedule(epoch_duration_s=epoch_duration, epochs=tuple(epochs))
+        return EncryptionPlan(
+            schedule=schedule, array=array, gain_table=gain_table, flow_table=flow_table
+        )
+    except ValidationError:
+        raise
+    except (MedSenError, ValueError, OverflowError, struct.error) as error:
+        # A decoded field survived the structural checks but describes an
+        # impossible component (e.g. gain_min > gain_max, a gain level
+        # beyond the table).  Same contract as truncation: ValidationError.
+        raise ValidationError(f"plan blob decodes to an invalid plan: {error}") from error

@@ -10,11 +10,14 @@ extrapolated, and :func:`compressed_size_bytes` applies real DEFLATE
 """
 
 import io
+import math
 import zlib
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
+from repro._util.errors import ValidationError
 from repro._util.validation import check_positive
 
 
@@ -50,6 +53,71 @@ class CsvRecordingModel:
             buffer.write(",".join(row))
             buffer.write("\n")
         return buffer.getvalue().encode("ascii")
+
+    def decode(
+        self, payload: bytes, max_bytes: int = 1 << 27
+    ) -> Tuple[np.ndarray, float]:
+        """Inverse of :meth:`encode`: CSV bytes back to a trace.
+
+        Returns ``(trace, sampling_rate_hz)`` where the trace has shape
+        ``(n_channels, n_samples)`` and the rate is inferred from the
+        first timestamp step (``inf`` for a single-row capture).
+
+        This parser faces attacker-supplied uploads, so its only
+        failure mode is :class:`ValidationError` — non-ASCII bytes,
+        ragged rows, non-numeric or non-finite cells, non-increasing
+        timestamps, and payloads over ``max_bytes`` are all refused.
+        """
+        try:
+            payload = bytes(payload)
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"payload is not bytes-like: {error}") from error
+        if len(payload) > max_bytes:
+            raise ValidationError(
+                f"payload has {len(payload)} bytes; cap is {max_bytes}"
+            )
+        try:
+            text = payload.decode("ascii")
+        except UnicodeDecodeError as error:
+            raise ValidationError(f"payload is not ASCII CSV: {error}") from error
+        timestamps = []
+        rows = []
+        n_columns = None
+        for line_number, line in enumerate(text.split("\n"), start=1):
+            if not line:
+                continue
+            cells = line.split(",")
+            if n_columns is None:
+                n_columns = len(cells)
+                if n_columns < 2:
+                    raise ValidationError("rows need a timestamp plus >= 1 channel")
+            elif len(cells) != n_columns:
+                raise ValidationError(
+                    f"row {line_number} has {len(cells)} columns; expected {n_columns}"
+                )
+            try:
+                values = [float(cell) for cell in cells]
+            except ValueError as error:
+                raise ValidationError(
+                    f"row {line_number} has a non-numeric cell: {error}"
+                ) from error
+            if not all(math.isfinite(v) for v in values):
+                raise ValidationError(f"row {line_number} has non-finite values")
+            if timestamps and values[0] <= timestamps[-1]:
+                raise ValidationError(
+                    f"row {line_number} timestamp {values[0]} does not increase"
+                )
+            timestamps.append(values[0])
+            rows.append(values[1:])
+        if not rows:
+            raise ValidationError("payload contains no sample rows")
+        trace = np.asarray(rows, dtype=float).T
+        if len(timestamps) > 1:
+            step = timestamps[1] - timestamps[0]
+            sampling_rate_hz = 1.0 / step if step > 0 else math.inf
+        else:
+            sampling_rate_hz = math.inf
+        return trace, sampling_rate_hz
 
     def bytes_per_sample(self, n_channels: int) -> float:
         """Analytic estimate of bytes per sample row.

@@ -1,0 +1,213 @@
+"""Tamper-evident transit envelopes for ciphertext peak reports.
+
+The §IV network attacker can rewrite the cloud's answer in flight; an
+unsealed :class:`~repro.dsp.peakdetect.PeakReport` that was bit-flipped
+would be silently decrypted by the TCB into *wrong cell counts* — the
+exact "no silent wrong answers" failure the paper's trusted-sensing
+argument exists to prevent.  This module reuses the
+:mod:`repro.crypto.keyshare` primitives (same derive/keystream/HMAC
+construction, distinct labels) to seal the report for transit:
+
+``envelope = MSE1 || nonce(16) || key_epoch(u32) || ciphertext || HMAC``
+
+The phone verifies the HMAC *before* handing anything to the
+controller, so a forged or corrupted envelope is rejected with
+:class:`~repro._util.errors.EnvelopeError` — never decrypted.  The
+sealed payload is the JSON report encoding from :mod:`repro.cloud.api`,
+so the envelope composes with the existing message protocol.
+
+Note the trust statement is deliberately modest: the transport secret
+is shared with the *cloud* (which produced the report), so the envelope
+authenticates the phone↔cloud link against third parties — it does not,
+and cannot, make the curious cloud honest.  The report contents are
+ciphertext-domain anyway; what the envelope adds is that nobody *else*
+can substitute results in flight.
+"""
+
+import hmac as hmac_mod
+import hashlib
+import json
+import os
+import struct
+from typing import Any, Optional
+
+from repro._util.errors import EnvelopeError, ValidationError
+from repro.dsp.peakdetect import PeakReport
+from repro.guard.freshness import FreshnessGuard, TokenMinter
+from repro.obs import ENVELOPE_REJECTED, NULL_OBSERVER
+
+
+def _keys(secret: bytes):
+    # Lazy import: keyshare pulls in cloud.storage (below the cloud
+    # package whose server lazily uses this module).
+    from repro.crypto.keyshare import derive_key, keystream
+
+    return derive_key(secret, _ENC_LABEL), derive_key(secret, _MAC_LABEL), keystream
+
+_MAGIC = b"MSE1"
+_NONCE_BYTES = 16
+_TAG_BYTES = 32
+_FIXED = struct.Struct("<4s16sI")
+_ENC_LABEL = b"medsen-envelope-enc"
+_MAC_LABEL = b"medsen-envelope-mac"
+
+#: Cap on an admissible sealed report (a million-peak report is ~100 MB
+#: of JSON; honest reports are kilobytes).
+MAX_ENVELOPE_BYTES = 1 << 27
+
+
+def seal_report(
+    report: PeakReport,
+    secret: bytes,
+    key_epoch: int = 0,
+    nonce: Optional[bytes] = None,
+) -> bytes:
+    """Seal a peak report for transit: authenticated stream cipher."""
+    if not secret:
+        raise ValidationError("envelope secret must be non-empty")
+    if key_epoch < 0 or key_epoch > 0xFFFFFFFF:
+        raise ValidationError(f"key epoch {key_epoch} out of u32 range")
+    nonce = os.urandom(_NONCE_BYTES) if nonce is None else bytes(nonce)
+    if len(nonce) != _NONCE_BYTES:
+        raise ValidationError(f"nonce must be {_NONCE_BYTES} bytes")
+    from repro.cloud.api import report_to_dict
+
+    enc_key, mac_key, keystream = _keys(secret)
+    plaintext = json.dumps(report_to_dict(report)).encode("utf-8")
+    header = _FIXED.pack(_MAGIC, nonce, key_epoch)
+    stream = keystream(enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac_mod.new(mac_key, header + ciphertext, hashlib.sha256).digest()
+    return header + ciphertext + tag
+
+
+def open_report(
+    blob: Any,
+    secret: bytes,
+    observer: Any = NULL_OBSERVER,
+    boundary: str = "phone",
+) -> PeakReport:
+    """Verify and open a sealed report.
+
+    HMAC verification runs before any decryption or parsing; every
+    failure — truncation, bad magic, a single flipped bit anywhere —
+    raises :class:`EnvelopeError`, bumps ``guard.rejected`` /
+    ``guard.envelope_rejected``, and emits a ``guard.envelope_rejected``
+    audit event.  Only an authentic envelope is decrypted.
+    """
+    if not secret:
+        raise ValidationError("envelope secret must be non-empty")
+
+    def refuse(reason: str) -> None:
+        observer.incr("guard.rejected")
+        observer.incr("guard.envelope_rejected")
+        observer.event(ENVELOPE_REJECTED, boundary=boundary, reason=reason)
+        raise EnvelopeError(f"[{boundary}] {reason}")
+
+    try:
+        blob = bytes(blob)
+    except (TypeError, ValueError):
+        refuse("envelope is not bytes-like")
+    if len(blob) < _FIXED.size + _TAG_BYTES:
+        refuse("envelope too short")
+    if len(blob) > MAX_ENVELOPE_BYTES:
+        refuse("envelope exceeds size cap")
+    header = blob[: _FIXED.size]
+    ciphertext = blob[_FIXED.size : -_TAG_BYTES]
+    tag = blob[-_TAG_BYTES:]
+    magic, nonce, _key_epoch = _FIXED.unpack(header)
+    if magic != _MAGIC:
+        refuse(f"bad envelope magic {magic!r}")
+    enc_key, mac_key, keystream = _keys(secret)
+    expected = hmac_mod.new(mac_key, header + ciphertext, hashlib.sha256).digest()
+    if not hmac_mod.compare_digest(tag, expected):
+        refuse("envelope failed authentication")
+    stream = keystream(enc_key, nonce, len(ciphertext))
+    plaintext = bytes(c ^ s for c, s in zip(ciphertext, stream))
+    from repro.cloud.api import report_from_dict
+
+    try:
+        payload = json.loads(plaintext.decode("utf-8"))
+        return report_from_dict(payload)
+    except (ValidationError, ValueError, UnicodeDecodeError) as error:
+        # Authenticated but undecodable: the *peer* is broken, not the
+        # network — still refuse through the same typed funnel.
+        refuse(f"authentic envelope decodes to garbage: {error}")
+    raise AssertionError("unreachable")  # refuse() always raises
+
+
+def envelope_epoch(blob: Any) -> int:
+    """The key epoch claimed by an envelope header (unauthenticated —
+    use only for routing/diagnostics, never for trust decisions)."""
+    try:
+        blob = bytes(blob)
+        if len(blob) < _FIXED.size:
+            raise EnvelopeError("envelope too short for a header")
+        magic, _nonce, key_epoch = _FIXED.unpack(blob[: _FIXED.size])
+        if magic != _MAGIC:
+            raise EnvelopeError(f"bad envelope magic {magic!r}")
+        return int(key_epoch)
+    except EnvelopeError:
+        raise
+    except (TypeError, ValueError, struct.error) as error:
+        raise EnvelopeError(f"unreadable envelope header: {error}") from error
+
+
+class SecureChannel:
+    """One phone↔cloud pairing: freshness tokens out, sealed reports in.
+
+    The phone holds the channel; the cloud holds the matching
+    :class:`~repro.guard.freshness.FreshnessGuard` and the same secret.
+    ``new_token()`` mints the freshness token to attach to an upload;
+    ``receive(blob)`` verifies and opens the sealed report that comes
+    back.  Key epochs advance in lockstep with controller key rotation
+    via :meth:`advance_epoch`.
+    """
+
+    def __init__(
+        self,
+        secret: bytes,
+        key_epoch: int = 0,
+        observer: Any = NULL_OBSERVER,
+        clock: Any = None,
+    ) -> None:
+        if not secret:
+            raise ValidationError("channel secret must be non-empty")
+        self.secret = secret
+        self.observer = observer
+        self.minter = TokenMinter(secret, key_epoch=key_epoch, clock=clock)
+        self.opened = 0
+        self.refused = 0
+
+    @property
+    def key_epoch(self) -> int:
+        """The epoch new tokens and seals are minted under."""
+        return self.minter.key_epoch
+
+    def advance_epoch(self) -> int:
+        """Rotate the channel's key epoch (with controller rotation)."""
+        return self.minter.advance_epoch()
+
+    def new_token(self) -> bytes:
+        """A fresh token for one upload attempt."""
+        return self.minter.mint()
+
+    def seal(self, report: PeakReport) -> bytes:
+        """Cloud side: seal an outbound report under this channel."""
+        return seal_report(report, self.secret, key_epoch=self.key_epoch)
+
+    def receive(self, blob: Any, boundary: str = "phone") -> PeakReport:
+        """Phone side: verify-then-open one sealed report."""
+        try:
+            report = open_report(
+                blob, self.secret, observer=self.observer, boundary=boundary
+            )
+        except EnvelopeError:
+            self.refused += 1
+            raise
+        self.opened += 1
+        return report
+
+    def guard(self, **kwargs: Any) -> FreshnessGuard:
+        """A cloud-side freshness guard paired with this channel."""
+        return FreshnessGuard(self.secret, key_epoch=self.key_epoch, **kwargs)

@@ -1,0 +1,270 @@
+"""Replay and freshness protection for phone↔cloud exchanges.
+
+PR 3's request dedup is *honest-sender* infrastructure: it trusts the
+``request_id`` a client attaches.  A network attacker replaying a
+captured exchange simply rewrites that id and sails through.  This
+module closes the gap the way PoK-style medical-link protocols do —
+with an *authenticated* freshness token the attacker cannot mint:
+
+``token = MSF1 || nonce(16) || key_epoch(u32) || minted_at(f64) || HMAC``
+
+The HMAC key derives from a secret shared between phone and cloud (via
+:func:`repro.crypto.keyshare.derive_key`, distinct label), so a forged
+or bit-flipped token fails authentication; the nonce makes every honest
+token unique, so a *replayed* token — identical bytes, any claimed
+``request_id`` — hits the server's seen-nonce registry and raises
+:class:`~repro._util.errors.ReplayError`; the key-epoch field lets the
+server refuse exchanges minted under retired epochs
+(:class:`~repro._util.errors.StaleEpochError`) without any clock
+agreement between the parties.
+"""
+
+import hmac as hmac_mod
+import hashlib
+import os
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro._util.errors import (
+    MalformedPayloadError,
+    ReplayError,
+    StaleEpochError,
+    ValidationError,
+)
+from repro.obs import (
+    GUARD_REJECTED,
+    NULL_OBSERVER,
+    REPLAY_DETECTED,
+    STALE_EPOCH_REJECTED,
+)
+
+_MAGIC = b"MSF1"
+_NONCE_BYTES = 16
+_TAG_BYTES = 32
+_FIXED = struct.Struct("<4s16sId")
+_MAC_LABEL = b"medsen-freshness-mac"
+
+#: Serialized token size: fixed fields + HMAC-SHA256 tag.
+TOKEN_BYTES = _FIXED.size + _TAG_BYTES
+
+
+@dataclass(frozen=True)
+class FreshnessToken:
+    """A parsed, authenticated freshness token."""
+
+    nonce: bytes
+    key_epoch: int
+    minted_at_s: float
+
+
+def _tag(secret: bytes, body: bytes) -> bytes:
+    # Lazy import: keyshare pulls in cloud.storage, which sits below the
+    # cloud package whose server imports this module.
+    from repro.crypto.keyshare import derive_key
+
+    return hmac_mod.new(derive_key(secret, _MAC_LABEL), body, hashlib.sha256).digest()
+
+
+def mint_token(
+    secret: bytes,
+    key_epoch: int,
+    nonce: Optional[bytes] = None,
+    minted_at_s: float = 0.0,
+) -> bytes:
+    """Mint one authenticated freshness token."""
+    if not secret:
+        raise ValidationError("freshness secret must be non-empty")
+    if key_epoch < 0 or key_epoch > 0xFFFFFFFF:
+        raise ValidationError(f"key epoch {key_epoch} out of u32 range")
+    nonce = os.urandom(_NONCE_BYTES) if nonce is None else bytes(nonce)
+    if len(nonce) != _NONCE_BYTES:
+        raise ValidationError(f"nonce must be {_NONCE_BYTES} bytes")
+    body = _FIXED.pack(_MAGIC, nonce, key_epoch, float(minted_at_s))
+    return body + _tag(secret, body)
+
+
+def parse_token(blob: Any, secret: bytes) -> FreshnessToken:
+    """Authenticate and decode a token.
+
+    Raises :class:`MalformedPayloadError` on anything that is not an
+    intact token minted under ``secret`` — truncation, bad magic,
+    bit-flips anywhere (body or tag), wrong type.
+    """
+    if not secret:
+        raise ValidationError("freshness secret must be non-empty")
+    try:
+        blob = bytes(blob)
+    except (TypeError, ValueError) as error:
+        raise MalformedPayloadError(
+            f"freshness token is not bytes-like: {error}"
+        ) from error
+    if len(blob) != TOKEN_BYTES:
+        raise MalformedPayloadError(
+            f"freshness token has {len(blob)} bytes; expected {TOKEN_BYTES}"
+        )
+    body, tag = blob[: _FIXED.size], blob[_FIXED.size :]
+    magic, nonce, key_epoch, minted_at = _FIXED.unpack(body)
+    if magic != _MAGIC:
+        raise MalformedPayloadError(f"bad freshness magic {magic!r}")
+    if not hmac_mod.compare_digest(tag, _tag(secret, body)):
+        raise MalformedPayloadError("freshness token failed authentication")
+    return FreshnessToken(nonce=nonce, key_epoch=key_epoch, minted_at_s=minted_at)
+
+
+class TokenMinter:
+    """The phone side: mints one fresh token per transmission attempt.
+
+    Every *attempt* gets a new nonce — retries after a timeout are new
+    exchanges, but a radio-duplicated delivery of one attempt carries
+    the *same* token bytes, which is exactly what lets the server tell
+    a duplicate (or an attacker's replay) from a legitimate retry.
+    """
+
+    def __init__(self, secret: bytes, key_epoch: int = 0, clock: Any = None) -> None:
+        if not secret:
+            raise ValidationError("freshness secret must be non-empty")
+        self._secret = secret
+        self.key_epoch = int(key_epoch)
+        self._clock = clock
+        self.minted = 0
+
+    def mint(self) -> bytes:
+        """A new token for one transmission attempt."""
+        self.minted += 1
+        now = float(self._clock()) if self._clock is not None else 0.0
+        return mint_token(self._secret, self.key_epoch, minted_at_s=now)
+
+    def advance_epoch(self) -> int:
+        """Move to the next key epoch (mirrors controller key rotation)."""
+        self.key_epoch += 1
+        return self.key_epoch
+
+
+class FreshnessGuard:
+    """The cloud side: refuses replayed and stale-epoch exchanges.
+
+    Parameters
+    ----------
+    secret:
+        Shared with the phone's :class:`TokenMinter`.
+    key_epoch:
+        The epoch the server currently expects.
+    epoch_window:
+        How many *past* epochs remain admissible after a rotation (so
+        in-flight exchanges survive a resync).  Future epochs are never
+        admissible.
+    max_age_s:
+        When set (and a ``clock`` is given), tokens minted more than
+        this many seconds ago are stale even within the epoch window.
+    capacity:
+        Bound on the seen-nonce registry; oldest nonces are evicted
+        first.  Sized so eviction only recycles nonces far older than
+        any plausible replay window.
+    """
+
+    def __init__(
+        self,
+        secret: bytes,
+        key_epoch: int = 0,
+        epoch_window: int = 1,
+        max_age_s: Optional[float] = None,
+        capacity: int = 65536,
+        clock: Any = None,
+    ) -> None:
+        if not secret:
+            raise ValidationError("freshness secret must be non-empty")
+        if epoch_window < 0:
+            raise ValidationError("epoch window must be >= 0")
+        if capacity < 1:
+            raise ValidationError("nonce capacity must be >= 1")
+        self._secret = secret
+        self.key_epoch = int(key_epoch)
+        self.epoch_window = int(epoch_window)
+        self.max_age_s = max_age_s
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._seen: "OrderedDict[bytes, None]" = OrderedDict()
+        self.admitted = 0
+        self.replays_refused = 0
+        self.stale_refused = 0
+
+    # ------------------------------------------------------------------
+    def advance_epoch(self) -> int:
+        """Rotate to the next expected key epoch."""
+        self.key_epoch += 1
+        return self.key_epoch
+
+    def minter(self, clock: Any = None) -> TokenMinter:
+        """A phone-side minter paired with this guard's secret/epoch."""
+        return TokenMinter(self._secret, key_epoch=self.key_epoch, clock=clock)
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        token_blob: Any,
+        observer: Any = NULL_OBSERVER,
+        boundary: str = "ingest",
+    ) -> FreshnessToken:
+        """Authenticate, freshness-check, and consume one token.
+
+        Raises :class:`MalformedPayloadError` (forged/garbled),
+        :class:`StaleEpochError` (outside the epoch window or too old),
+        or :class:`ReplayError` (nonce already consumed).  Every
+        refusal bumps ``guard.rejected`` plus its specific counter and
+        emits the matching audit event.
+        """
+        try:
+            token = parse_token(token_blob, self._secret)
+        except MalformedPayloadError:
+            observer.incr("guard.rejected")
+            observer.event(GUARD_REJECTED, boundary=boundary, reason="bad_token")
+            raise
+        if (
+            token.key_epoch > self.key_epoch
+            or token.key_epoch < self.key_epoch - self.epoch_window
+        ):
+            self.stale_refused += 1
+            observer.incr("guard.rejected")
+            observer.incr("guard.stale_epoch")
+            observer.event(
+                STALE_EPOCH_REJECTED,
+                boundary=boundary,
+                token_epoch=token.key_epoch,
+                expected_epoch=self.key_epoch,
+            )
+            raise StaleEpochError(
+                f"token epoch {token.key_epoch} outside window "
+                f"[{self.key_epoch - self.epoch_window}, {self.key_epoch}]"
+            )
+        if self.max_age_s is not None and self._clock is not None:
+            age = float(self._clock()) - token.minted_at_s
+            if age > self.max_age_s:
+                self.stale_refused += 1
+                observer.incr("guard.rejected")
+                observer.incr("guard.stale_epoch")
+                observer.event(
+                    STALE_EPOCH_REJECTED, boundary=boundary, age_s=age
+                )
+                raise StaleEpochError(
+                    f"token is {age:.3f}s old; max age is {self.max_age_s}s"
+                )
+        if token.nonce in self._seen:
+            self.replays_refused += 1
+            observer.incr("guard.rejected")
+            observer.incr("guard.replay_detected")
+            observer.event(
+                REPLAY_DETECTED, boundary=boundary, token_epoch=token.key_epoch
+            )
+            raise ReplayError("freshness nonce already consumed: replay refused")
+        self._seen[token.nonce] = None
+        while len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        self.admitted += 1
+        return token
+
+    @property
+    def n_seen(self) -> int:
+        """Nonces currently retained in the registry."""
+        return len(self._seen)

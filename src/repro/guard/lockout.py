@@ -1,0 +1,165 @@
+"""Per-source attempt budgets with exponential lockout.
+
+The paper sizes the cyto-coded password space (§V, Eq. 2 companion
+analysis in :mod:`repro.attacks.bruteforce`) but the prototype lets an
+online attacker guess forever at full speed.  This module is the
+standard countermeasure: after ``max_failures`` consecutive failures
+from one source, authentication is refused outright for a lockout
+window that doubles (by ``backoff_factor``) with each subsequent
+failure streak, capped at ``max_lockout_s``.  A success clears the
+streak.
+
+The throttle is deliberately *source*-keyed (tenant, device, or remote
+endpoint — whatever the caller uses as its blast-radius unit), not
+user-keyed: keying on the claimed user would let an attacker lock a
+victim out of their own diagnostics (a denial-of-service the related
+e-SAFE work warns about for implantables).
+
+:func:`repro.attacks.bruteforce.bruteforce_expected_time_s` consumes
+:class:`LockoutPolicy` to quantify what the throttle buys: the expected
+*time* to brute-force the password space under lockout, versus the raw
+expected-attempts count.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro._util.errors import LockoutError, ValidationError
+from repro.obs import AUTH_LOCKED_OUT, NULL_OBSERVER
+
+
+@dataclass(frozen=True)
+class LockoutPolicy:
+    """The lockout schedule.
+
+    ``max_failures`` free failures are allowed per streak; the first
+    lockout lasts ``base_lockout_s``, and each further failure while a
+    streak is active multiplies the next window by ``backoff_factor``
+    up to ``max_lockout_s``.
+    """
+
+    max_failures: int = 5
+    base_lockout_s: float = 30.0
+    backoff_factor: float = 2.0
+    max_lockout_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_failures < 1:
+            raise ValidationError("max_failures must be >= 1")
+        if self.base_lockout_s <= 0:
+            raise ValidationError("base_lockout_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValidationError("backoff_factor must be >= 1")
+        if self.max_lockout_s < self.base_lockout_s:
+            raise ValidationError("max_lockout_s must be >= base_lockout_s")
+
+    def lockout_duration_s(self, n_lockouts: int) -> float:
+        """Window length for the ``n_lockouts``-th lockout (1-based)."""
+        if n_lockouts < 1:
+            return 0.0
+        duration = self.base_lockout_s * self.backoff_factor ** (n_lockouts - 1)
+        return min(duration, self.max_lockout_s)
+
+
+#: The default schedule: 5 free failures, then 30 s doubling to 1 h.
+DEFAULT_LOCKOUT_POLICY = LockoutPolicy()
+
+
+@dataclass
+class _SourceState:
+    failures: int = 0
+    lockouts: int = 0
+    locked_until_s: float = 0.0
+
+
+class AttemptThrottle:
+    """Tracks failure streaks per source and enforces the policy.
+
+    Thread-safe (fleet workers share the authenticator).  The clock is
+    injectable; tests drive it with a
+    :class:`~repro.obs.clock.ManualClock`.
+    """
+
+    def __init__(
+        self,
+        policy: LockoutPolicy = DEFAULT_LOCKOUT_POLICY,
+        clock: Any = None,
+        observer: Any = NULL_OBSERVER,
+    ) -> None:
+        import time
+
+        self.policy = policy
+        self._clock = clock if clock is not None else time.monotonic
+        self.observer = observer
+        self._states: Dict[str, _SourceState] = {}
+        self._lock = threading.Lock()
+        self.refusals = 0
+
+    # ------------------------------------------------------------------
+    def _state(self, source: str) -> _SourceState:
+        state = self._states.get(source)
+        if state is None:
+            state = self._states[source] = _SourceState()
+        return state
+
+    def check(self, source: str) -> None:
+        """Raise :class:`LockoutError` if ``source`` is locked out."""
+        now = float(self._clock())
+        with self._lock:
+            state = self._state(source)
+            remaining = state.locked_until_s - now
+            if remaining > 0:
+                self.refusals += 1
+                self.observer.incr("guard.rejected")
+                self.observer.incr("auth.lockout_refusals")
+                self.observer.event(
+                    AUTH_LOCKED_OUT, source=source, retry_after_s=remaining
+                )
+                raise LockoutError(
+                    f"source {source!r} locked out for {remaining:.1f}s more"
+                )
+
+    def record_failure(self, source: str) -> Optional[float]:
+        """Count one failed attempt; returns the new lockout window (s)
+        when this failure tripped or extended a lockout, else None."""
+        now = float(self._clock())
+        with self._lock:
+            state = self._state(source)
+            state.failures += 1
+            if state.failures >= self.policy.max_failures:
+                state.lockouts += 1
+                duration = self.policy.lockout_duration_s(state.lockouts)
+                state.locked_until_s = now + duration
+                # Once a streak has tripped, a single further failure
+                # re-trips and escalates — the attacker does not get
+                # another max_failures of free guesses per window.
+                state.failures = self.policy.max_failures - 1
+                return duration
+        return None
+
+    def record_success(self, source: str) -> None:
+        """A successful authentication clears the streak entirely."""
+        with self._lock:
+            self._states.pop(source, None)
+
+    # ------------------------------------------------------------------
+    def is_locked(self, source: str) -> bool:
+        """Whether ``source`` is currently inside a lockout window."""
+        with self._lock:
+            state = self._states.get(source)
+            return bool(state) and state.locked_until_s > float(self._clock())
+
+    def retry_after_s(self, source: str) -> float:
+        """Seconds until ``source`` may try again (0 when unlocked)."""
+        with self._lock:
+            state = self._states.get(source)
+            if state is None:
+                return 0.0
+            return max(0.0, state.locked_until_s - float(self._clock()))
+
+    def n_lockouts(self, source: str) -> int:
+        """How many lockout windows ``source`` has accumulated."""
+        with self._lock:
+            state = self._states.get(source)
+            return state.lockouts if state else 0

@@ -17,6 +17,8 @@ from repro.cloud.network import NetworkModel
 from repro.cloud.server import AnalysisServer
 from repro.dsp.peakdetect import PeakDetector, PeakReport
 from repro.dsp.recording import CsvRecordingModel, compressed_size_bytes
+from repro.guard.admission import DEFAULT_TRACE_POLICY, TraceAdmissionPolicy, admit_trace
+from repro.guard.envelope import SecureChannel
 from repro.hardware.acquisition import AcquiredTrace
 from repro.mobile.perf import NEXUS5, DevicePerfModel
 from repro.obs import NULL_OBSERVER, TRACE_RELAYED
@@ -63,6 +65,15 @@ class Smartphone:
     observer:
         Observability sink (relay spans, transfer metrics, audit
         events); the default records nothing.
+    admission:
+        Trace admission policy applied before any relay work — the
+        phone refuses malformed/NaN-poisoned captures at its own
+        boundary instead of shipping them on.  ``None`` disables.
+    channel:
+        Optional :class:`~repro.guard.envelope.SecureChannel` pairing
+        this phone with the cloud.  When set, uploads carry a freshness
+        token and the report comes back HMAC-sealed; the phone verifies
+        the envelope *before* forwarding anything to the controller.
     """
 
     network: NetworkModel = field(default_factory=NetworkModel)
@@ -72,6 +83,8 @@ class Smartphone:
     compression_bytes_per_s: float = 40e6
     compression_level: int = 6
     observer: object = NULL_OBSERVER
+    admission: Optional[TraceAdmissionPolicy] = DEFAULT_TRACE_POLICY
+    channel: Optional[SecureChannel] = None
 
     def __post_init__(self) -> None:
         if self.local_analysis_threshold_samples < 0:
@@ -89,7 +102,16 @@ class Smartphone:
 
         Timing is *modelled* (network/perf models) except the cloud's
         analysis time, which is actually measured by the server.
+
+        The relay is itself a trust boundary: a malformed or poisoned
+        capture is refused with a typed
+        :class:`~repro._util.errors.AdmissionError` before compression,
+        upload, or local analysis.
         """
+        if self.admission is not None:
+            admit_trace(
+                trace, self.admission, observer=self.observer, boundary="relay"
+            )
         with self.observer.span("relay") as relay_span:
             total_samples = trace.n_channels * trace.n_samples
             payload = self.recording.encode(trace.voltages, trace.sampling_rate_hz)
@@ -129,7 +151,13 @@ class Smartphone:
                 raw_bytes=raw_bytes,
                 uploaded_bytes=float(compressed),
             )
-            report = server.analyze(trace)
+            if self.channel is not None:
+                sealed = server.analyze_sealed(
+                    trace, freshness_token=self.channel.new_token()
+                )
+                report = self.channel.receive(sealed, boundary="relay")
+            else:
+                report = server.analyze(trace)
             response_bytes = _REPORT_BYTES_BASE + _REPORT_BYTES_PER_PEAK * report.count
             with self.observer.span(
                 "transfer", uploaded_bytes=float(compressed)

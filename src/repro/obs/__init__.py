@@ -21,6 +21,7 @@ Quickstart
 from repro.obs.clock import MONOTONIC_CLOCK, WALL_CLOCK, Clock, ManualClock
 from repro.obs.events import (
     AUTH_ACCEPTED,
+    AUTH_LOCKED_OUT,
     AUTH_REJECTED,
     BATCH_FLUSHED,
     CAPTURE_COMPLETED,
@@ -30,9 +31,11 @@ from repro.obs.events import (
     CIRCUIT_OPENED,
     DECRYPTION_COMPLETED,
     DIAGNOSIS_ISSUED,
+    ENVELOPE_REJECTED,
     EPOCH_RESYNCED,
     EPOCH_ROTATED,
     FAULT_INJECTED,
+    GUARD_REJECTED,
     HEALTH_CHANGED,
     KEY_DERIVED,
     KNOWN_KINDS,
@@ -42,11 +45,13 @@ from repro.obs.events import (
     RECORD_QUARANTINED,
     RECORD_STORED,
     RELAY_RETRIED,
+    REPLAY_DETECTED,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
     REQUEST_QUARANTINED,
     REQUEST_QUEUED,
     REQUEST_REJECTED,
+    STALE_EPOCH_REJECTED,
     TRACE_RELAYED,
     WORKER_CRASHED,
     WORKER_RESTARTED,
@@ -106,6 +111,11 @@ __all__ = [
     "CIRCUIT_HALF_OPEN",
     "CIRCUIT_CLOSED",
     "BATCH_FLUSHED",
+    "GUARD_REJECTED",
+    "REPLAY_DETECTED",
+    "STALE_EPOCH_REJECTED",
+    "ENVELOPE_REJECTED",
+    "AUTH_LOCKED_OUT",
     "HEALTH_CHANGED",
     "FAULT_INJECTED",
     "WORKER_CRASHED",

@@ -49,6 +49,13 @@ CIRCUIT_HALF_OPEN = "serve.circuit_half_open"
 CIRCUIT_CLOSED = "serve.circuit_closed"
 BATCH_FLUSHED = "serve.batch_flushed"
 
+# Guard kinds (repro.guard; see docs/security.md)
+GUARD_REJECTED = "guard.rejected"
+REPLAY_DETECTED = "guard.replay_detected"
+STALE_EPOCH_REJECTED = "guard.stale_epoch"
+ENVELOPE_REJECTED = "guard.envelope_rejected"
+AUTH_LOCKED_OUT = "auth.locked_out"
+
 # Resilience kinds (repro.resilience; see docs/resilience.md)
 HEALTH_CHANGED = "health.changed"
 FAULT_INJECTED = "fault.injected"
@@ -83,6 +90,11 @@ KNOWN_KINDS = frozenset(
         CIRCUIT_HALF_OPEN,
         CIRCUIT_CLOSED,
         BATCH_FLUSHED,
+        GUARD_REJECTED,
+        REPLAY_DETECTED,
+        STALE_EPOCH_REJECTED,
+        ENVELOPE_REJECTED,
+        AUTH_LOCKED_OUT,
         HEALTH_CHANGED,
         FAULT_INJECTED,
         WORKER_CRASHED,

@@ -62,36 +62,43 @@ def decode_entry(line: str) -> StoredRecord:
     """
     from repro.cloud.api import report_from_dict
 
-    raw = json.loads(line)
-    if not isinstance(raw, dict) or "payload" not in raw or "crc" not in raw:
-        raise ValueError("journal entry missing payload/crc framing")
-    payload = raw["payload"]
-    checksum = int(raw.get("checksum", 0))
-    expected_crc = _line_crc({"payload": payload, "checksum": checksum})
-    if int(raw["crc"]) != expected_crc:
-        raise ValueError("journal line CRC mismatch")
-    if checksum != payload_checksum(payload):
-        raise ValueError("record payload checksum mismatch")
-    metadata = tuple((str(k), str(v)) for k, v in payload["metadata"])
-    record = StoredRecord(
-        identifier_key=str(payload["identifier"]),
-        report=report_from_dict(payload["report"]),
-        sequence_number=int(payload["sequence_number"]),
-        stored_at_s=float(payload["stored_at_s"]),
-        metadata=metadata,
-        checksum=checksum,
-    )
-    # The report round-trips losslessly, so the reconstructed payload
-    # must reproduce the journaled one exactly.
-    if record_payload_dict(
-        record.identifier_key,
-        record.report,
-        record.sequence_number,
-        record.stored_at_s,
-        record.metadata,
-    ) != payload:
-        raise ValueError("journal entry does not round-trip")
-    return record
+    try:
+        raw = json.loads(line)
+        if not isinstance(raw, dict) or "payload" not in raw or "crc" not in raw:
+            raise ValueError("journal entry missing payload/crc framing")
+        payload = raw["payload"]
+        checksum = int(raw.get("checksum", 0))
+        expected_crc = _line_crc({"payload": payload, "checksum": checksum})
+        if int(raw["crc"]) != expected_crc:
+            raise ValueError("journal line CRC mismatch")
+        if checksum != payload_checksum(payload):
+            raise ValueError("record payload checksum mismatch")
+        metadata = tuple((str(k), str(v)) for k, v in payload["metadata"])
+        record = StoredRecord(
+            identifier_key=str(payload["identifier"]),
+            report=report_from_dict(payload["report"]),
+            sequence_number=int(payload["sequence_number"]),
+            stored_at_s=float(payload["stored_at_s"]),
+            metadata=metadata,
+            checksum=checksum,
+        )
+        # The report round-trips losslessly, so the reconstructed payload
+        # must reproduce the journaled one exactly.
+        if record_payload_dict(
+            record.identifier_key,
+            record.report,
+            record.sequence_number,
+            record.stored_at_s,
+            record.metadata,
+        ) != payload:
+            raise ValueError("journal entry does not round-trip")
+        return record
+    except ValueError:
+        raise
+    except (KeyError, TypeError, OverflowError) as exc:
+        # Structurally surprising JSON (wrong nesting, wrong types):
+        # normalise to the documented ValueError contract.
+        raise ValueError(f"journal entry malformed: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -166,7 +173,37 @@ class RecordJournal:
         self.close()
 
 
-def replay_journal(path: str, observer=NULL_OBSERVER) -> ReplayResult:
+#: Content cap per journal line during replay.  Honest entries are a
+#: few KB (one record's JSON); 1 MiB admits even absurdly peak-dense
+#: reports while a maliciously huge line is skimmed in bounded chunks
+#: and quarantined instead of ballooning recovery memory.
+MAX_JOURNAL_LINE_BYTES = 1 << 20
+
+
+def _capped_lines(handle, max_line_bytes: int):
+    """Yield ``(line_number, line_or_none)``; an over-cap line yields
+    ``None`` after its tail is skimmed (never held) in bounded reads."""
+    line_number = 0
+    while True:
+        chunk = handle.readline(max_line_bytes + 1)
+        if not chunk:
+            return
+        line_number += 1
+        if len(chunk) > max_line_bytes and not chunk.endswith("\n"):
+            while True:
+                tail = handle.readline(max_line_bytes)
+                if not tail or tail.endswith("\n"):
+                    break
+            yield line_number, None
+        else:
+            yield line_number, chunk
+
+
+def replay_journal(
+    path: str,
+    observer=NULL_OBSERVER,
+    max_line_bytes: int = MAX_JOURNAL_LINE_BYTES,
+) -> ReplayResult:
     """Read a journal back, quarantining corrupt lines.
 
     Every intact entry is returned in journal order; every damaged one
@@ -174,14 +211,34 @@ def replay_journal(path: str, observer=NULL_OBSERVER) -> ReplayResult:
     audit event and a ``journal.quarantined`` counter increment —
     corruption is surfaced, never silently loaded or silently dropped.
     A missing journal file replays to an empty result (a store that
-    never committed anything has nothing to recover).
+    never committed anything has nothing to recover).  Lines longer
+    than ``max_line_bytes`` are quarantined without ever being read
+    into memory whole (an attacker-controlled journal cannot turn
+    recovery into an allocation bomb).
     """
+    if max_line_bytes < 1:
+        raise ConfigurationError("max_line_bytes must be >= 1")
     records: List[StoredRecord] = []
     quarantined: List[QuarantinedEntry] = []
     if not os.path.exists(path):
         return ReplayResult(records=(), quarantined=())
     with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
+        for line_number, line in _capped_lines(handle, max_line_bytes):
+            if line is None:
+                entry = QuarantinedEntry(
+                    line_number=line_number,
+                    reason=f"line exceeds {max_line_bytes} byte cap",
+                )
+                quarantined.append(entry)
+                observer.incr("journal.quarantined")
+                observer.incr("journal.oversized_lines")
+                observer.event(
+                    RECORD_QUARANTINED,
+                    journal=path,
+                    line_number=line_number,
+                    reason=entry.reason,
+                )
+                continue
             line = line.strip()
             if not line:
                 continue

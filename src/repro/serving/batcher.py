@@ -113,7 +113,10 @@ class BatchingAnalysisServer:
 
     # ------------------------------------------------------------------
     def analyze(
-        self, trace: AcquiredTrace, request_id: Optional[str] = None
+        self,
+        trace: AcquiredTrace,
+        request_id: Optional[str] = None,
+        freshness_token: Optional[bytes] = None,
     ) -> PeakReport:
         """Analyse one trace, riding whatever batch forms around it.
 
@@ -121,7 +124,14 @@ class BatchingAnalysisServer:
         as :meth:`AnalysisServer.analyze`: the shared server's dedup
         cache is consulted before joining a batch, so a re-delivered
         request never occupies a batch slot.
+
+        The shared server's trust-boundary checks (admission policy
+        and, when configured, freshness-token verification) run here at
+        the front door, *before* the trace can occupy a batch slot — so
+        one rider's garbage or replayed exchange is refused alone
+        instead of failing its batch-mates.
         """
+        self.server.admit_ingress(trace, freshness_token, boundary="batch")
         if request_id is not None:
             cached = self.server._check_duplicate(request_id)
             if cached is not None:

@@ -28,7 +28,7 @@ works through it — the phone never learns retries exist.
 
 from typing import List, Optional
 
-from repro._util.errors import MedSenError
+from repro._util.errors import AdmissionError, MedSenError
 from repro._util.rng import RngLike, ensure_rng
 from repro.cloud.network import (
     TransferDropped,
@@ -36,6 +36,7 @@ from repro.cloud.network import (
     TransferTimeout,
     UnreliableNetworkModel,
 )
+from repro.guard.freshness import TokenMinter
 from repro.hardware.acquisition import AcquiredTrace
 from repro.obs import LOAD_SHED, NULL_OBSERVER, RELAY_RETRIED
 from repro.serving.retry import (
@@ -91,6 +92,16 @@ class ResilientAnalysisClient:
         legacy at-least-once behaviour: duplicates reach the backend as
         fresh jobs.  Never drawn from ``rng`` — a draw here would shift
         every downstream stream and break bit-identical replay.
+    token_minter:
+        Optional :class:`~repro.guard.freshness.TokenMinter` paired
+        with the backend's :class:`~repro.guard.freshness.FreshnessGuard`.
+        Each transmission *attempt* mints a fresh token; a radio
+        duplicate re-delivers the same attempt — same token bytes — so
+        the server's nonce registry refuses it with
+        :class:`~repro._util.errors.ReplayError` even if an attacker
+        rewrites the ``request_id``.  Nonces come from ``os.urandom``,
+        never from ``rng``, so minting cannot perturb replayable
+        streams.
     """
 
     def __init__(
@@ -103,6 +114,7 @@ class ResilientAnalysisClient:
         deadline_s: Optional[float] = None,
         observer=NULL_OBSERVER,
         request_id: Optional[str] = None,
+        token_minter: Optional[TokenMinter] = None,
     ) -> None:
         self.backend = backend
         self.link = link
@@ -112,12 +124,16 @@ class ResilientAnalysisClient:
         self.deadline_s = deadline_s
         self.observer = observer
         self.request_id = request_id
+        self.token_minter = token_minter
         #: Virtual seconds this client burned on failed attempts and
         #: backoff waits (successful-attempt transfer time is already
         #: modelled by the phone's own network accounting).
         self.retry_overhead_s = 0.0
         self.attempts_made = 0
         self.duplicates_seen = 0
+        #: Duplicate deliveries the backend's replay protection refused
+        #: (only grows when a freshness guard is in play).
+        self.duplicates_refused = 0
 
     # ------------------------------------------------------------------
     # AnalysisServer facade, so Smartphone.relay works unchanged.
@@ -150,7 +166,7 @@ class ResilientAnalysisClient:
         failed).
         """
         if self.link is None or self.link.is_reliable:
-            return self._attempt_backend(trace)
+            return self._attempt_backend(trace, self._mint())
 
         upload_bytes = self._upload_bytes(trace)
         spent_s = 0.0
@@ -168,6 +184,10 @@ class ResilientAnalysisClient:
                     "circuit open: request shed without attempting the cloud"
                 )
             self.attempts_made += 1
+            # One token per transmission attempt: a retry is a new
+            # exchange, but a radio duplicate of *this* attempt carries
+            # these exact bytes and trips the server's nonce registry.
+            token = self._mint()
             try:
                 delivery = self.link.attempt(
                     upload_bytes, _RESPONSE_BYTES, rng=self.rng,
@@ -182,14 +202,21 @@ class ResilientAnalysisClient:
                 spent_s += error.waited_s
                 self._register_failure(attempt, "timed_out")
             else:
-                report = self._attempt_backend(trace)
+                report = self._attempt_backend(trace, token)
                 if delivery.n_deliveries > 1:
-                    # Radio-layer duplicate: re-delivered to the backend.
-                    # Without a request id the curious server logs the job
-                    # again; with one, idempotent ingest drops it.
-                    self._attempt_backend(trace)
+                    # Radio-layer duplicate: the same attempt (same
+                    # token bytes) re-delivered to the backend.  With a
+                    # freshness guard the nonce registry refuses it
+                    # (ReplayError); with only a request id, idempotent
+                    # ingest drops it; with neither, the curious server
+                    # logs the job again.
                     self.duplicates_seen += 1
                     self.observer.incr("serve.duplicate_deliveries")
+                    try:
+                        self._attempt_backend(trace, token)
+                    except AdmissionError:
+                        self.duplicates_refused += 1
+                        self.observer.incr("serve.duplicates_refused")
                 if self.breaker is not None:
                     self.breaker.record_success()
                 self.retry_overhead_s = spent_s
@@ -211,10 +238,16 @@ class ResilientAnalysisClient:
         return self.backend.analyze_batch(traces)
 
     # ------------------------------------------------------------------
-    def _attempt_backend(self, trace: AcquiredTrace):
-        if self.request_id is None:
-            return self.backend.analyze(trace)
-        return self.backend.analyze(trace, request_id=self.request_id)
+    def _mint(self) -> Optional[bytes]:
+        return self.token_minter.mint() if self.token_minter is not None else None
+
+    def _attempt_backend(self, trace: AcquiredTrace, token: Optional[bytes] = None):
+        kwargs = {}
+        if self.request_id is not None:
+            kwargs["request_id"] = self.request_id
+        if token is not None:
+            kwargs["freshness_token"] = token
+        return self.backend.analyze(trace, **kwargs)
 
     def _register_failure(self, attempt: int, outcome: str) -> None:
         if self.breaker is not None:

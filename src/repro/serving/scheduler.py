@@ -23,13 +23,18 @@ the modelled transfer time, and the pool overlaps those waits exactly
 as a real fleet overlaps its uplinks.
 """
 
+import math
 import threading
 from dataclasses import dataclass, field
 from time import monotonic as _monotonic
 from time import sleep as _sleep
 from typing import Dict, List, Optional
 
-from repro._util.errors import MedSenError
+from repro._util.errors import (
+    MalformedPayloadError,
+    MedSenError,
+    OversizedPayloadError,
+)
 from repro.auth.authenticator import ServerAuthenticator
 from repro.auth.enrollment import enroll_classifier
 from repro.auth.identifier import CytoIdentifier
@@ -40,8 +45,12 @@ from repro.core.config import MedSenConfig
 from repro.core.device import MedSenDevice
 from repro.core.diagnosis import CD4_STAGING, ThresholdDiagnostic
 from repro.core.protocol import MedSenSession
+from repro.guard.admission import admit_identifier_key
+from repro.guard.freshness import FreshnessGuard
+from repro.guard.lockout import LockoutPolicy
 from repro.mobile.phone import Smartphone
 from repro.obs import (
+    GUARD_REJECTED,
     NULL_OBSERVER,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
@@ -130,6 +139,23 @@ class FleetConfig:
         Crashes the *same* request may cause before it is quarantined
         to :attr:`FleetScheduler.dead_letters` instead of retried (a
         poison request would otherwise kill workers forever).
+    freshness_secret:
+        When set, the shared analysis server carries a
+        :class:`~repro.guard.freshness.FreshnessGuard` under this
+        phone↔cloud secret, every per-request client mints one
+        authenticated token per transmission attempt, and replayed or
+        stale-epoch exchanges are refused at ingest — even when the
+        replay rewrites its ``request_id``.  ``None`` (default) keeps
+        the honest-sender dedup only.
+    auth_lockout:
+        Optional :class:`~repro.guard.lockout.LockoutPolicy` for the
+        shared authenticator: tenants burning their failure budget are
+        locked out with exponential backoff (keyed by tenant id).
+    max_duration_s, max_pipette_volume_ul:
+        Admission caps enforced at :meth:`FleetScheduler.submit`; a
+        request exceeding them is refused with a typed
+        :class:`~repro._util.errors.AdmissionError` before it can
+        occupy a queue slot.
     """
 
     seed: int = 0
@@ -153,6 +179,10 @@ class FleetConfig:
     diagnostic: ThresholdDiagnostic = CD4_STAGING
     supervise_workers: bool = True
     poison_threshold: int = 2
+    freshness_secret: Optional[bytes] = None
+    auth_lockout: Optional[LockoutPolicy] = None
+    max_duration_s: float = 3600.0
+    max_pipette_volume_ul: float = 1000.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -211,6 +241,12 @@ class FleetScheduler:
             keep_history=config.keep_history,
             max_history=config.max_history,
             observer=observer,
+            freshness=(
+                FreshnessGuard(config.freshness_secret)
+                if config.freshness_secret
+                else None
+            ),
+            transit_secret=config.freshness_secret,
         )
         if config.batch_size > 1:
             self.backend = BatchingAnalysisServer(
@@ -222,7 +258,9 @@ class FleetScheduler:
         else:
             self.backend = self.server
         self.authenticator = ServerAuthenticator(
-            self.device_config.alphabet, observer=observer
+            self.device_config.alphabet,
+            observer=observer,
+            lockout=config.auth_lockout,
         )
         self.store = store if store is not None else RecordStore(observer=observer)
         self.breaker = CircuitBreaker(
@@ -344,9 +382,16 @@ class FleetScheduler:
         :class:`~repro.serving.queue.QueueFull` (the event and the
         ``serve.rejected`` counter record the shed); with ``block=True``
         the call waits for space (up to ``timeout`` seconds).
+
+        The submit boundary is admission-guarded: a malformed tenant
+        id, a non-finite or out-of-cap duration, or an absurd pipette
+        volume is refused with a typed
+        :class:`~repro._util.errors.AdmissionError` (counted under
+        ``guard.rejected``) before touching the queue.
         """
         if not self._started:
             raise MedSenError("scheduler not started; use start() or a with-block")
+        self._admit_submission(tenant_id, duration_s, pipette_volume_ul)
         with self._submit_lock:
             sequence = self._sequence
             tenant_sequence = self._tenant_sequences.get(tenant_id, 0)
@@ -379,6 +424,41 @@ class FleetScheduler:
         self.observer.event(REQUEST_QUEUED, tenant=tenant_id, sequence=sequence)
         self.observer.incr("serve.submitted")
         return future
+
+    def _admit_submission(
+        self, tenant_id: str, duration_s: float, pipette_volume_ul: float
+    ) -> None:
+        """Typed refusal of garbage submissions at the fleet front door."""
+
+        def refuse(reason: str, error=MalformedPayloadError) -> None:
+            self.observer.incr("guard.rejected")
+            self.observer.incr("guard.rejected.submit")
+            self.observer.event(GUARD_REJECTED, boundary="submit", reason=reason)
+            raise error(f"[submit] {reason}")
+
+        admit_identifier_key(tenant_id, observer=self.observer, boundary="submit")
+        for name, value in (
+            ("duration_s", duration_s),
+            ("pipette_volume_ul", pipette_volume_ul),
+        ):
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                refuse(f"{name} is not a number")
+            if not math.isfinite(value) or value <= 0:
+                refuse(f"{name} must be finite and positive, got {value!r}")
+        if float(duration_s) > self.config.max_duration_s:
+            refuse(
+                f"duration_s {float(duration_s)} exceeds the "
+                f"{self.config.max_duration_s} s cap",
+                error=OversizedPayloadError,
+            )
+        if float(pipette_volume_ul) > self.config.max_pipette_volume_ul:
+            refuse(
+                f"pipette_volume_ul {float(pipette_volume_ul)} exceeds the "
+                f"{self.config.max_pipette_volume_ul} µL cap",
+                error=OversizedPayloadError,
+            )
 
     # ------------------------------------------------------------------
     # Stats
@@ -553,6 +633,14 @@ class FleetScheduler:
             # Stable across retries and duplicates, so crash-restart
             # re-submissions and radio duplicates dedup server-side.
             request_id=f"{request.tenant_id}:{request.tenant_sequence}",
+            # With a freshness secret, every transmission attempt also
+            # carries an authenticated one-shot token — the replay
+            # protection a rewritten request_id cannot evade.
+            token_minter=(
+                self.server.freshness.minter()
+                if self.server.freshness is not None
+                else None
+            ),
         )
         session = MedSenSession(
             device=device,
@@ -572,6 +660,8 @@ class FleetScheduler:
             duration_s=request.duration_s,
             pipette_volume_ul=request.pipette_volume_ul,
             rng=rng,
+            # Tenant-keyed lockout accounting (no-op without a policy).
+            auth_source=request.tenant_id,
         )
         if self.config.realtime_network:
             # Sleep the modelled wait so the pool overlaps real I/O time:

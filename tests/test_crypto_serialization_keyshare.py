@@ -62,6 +62,20 @@ class TestSerialization:
         with pytest.raises(ValidationError):
             plan_from_bytes(blob[:10])
 
+    def test_oversized_blob_rejected_before_allocation(self):
+        from repro.crypto.serialization import MAX_PLAN_BYTES
+
+        blob = plan_to_bytes(make_plan())
+        padded = blob + b"\x00" * (MAX_PLAN_BYTES + 1 - len(blob))
+        with pytest.raises(ValidationError, match="cap"):
+            plan_from_bytes(padded)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(ValidationError):
+            plan_from_bytes("not bytes")
+        with pytest.raises(ValidationError):
+            plan_from_bytes(None)
+
 
 class TestSealing:
     SECRET = b"pipette-box-secret-0042"

@@ -1,0 +1,228 @@
+"""Seeded protocol fuzzer: determinism, containment, and escapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.errors import (
+    AdmissionError,
+    IntegrityError,
+    ValidationError,
+)
+from repro.guard.fuzz import (
+    MUTATION_OPS,
+    Escape,
+    ParserTarget,
+    default_targets,
+    fuzz_parser,
+    mutate,
+    run_fuzz,
+)
+from repro.obs import EventLog, MetricsRegistry, Observer
+
+SECRET = b"fuzz-shared-secret"
+
+
+class TestMutate:
+    def test_deterministic_per_seed(self):
+        data = bytes(range(64))
+        first = [mutate(data, np.random.default_rng(5)) for _ in range(10)]
+        second = [mutate(data, np.random.default_rng(5)) for _ in range(10)]
+        assert first == second
+
+    def test_usually_changes_payload(self):
+        rng = np.random.default_rng(0)
+        data = bytes(range(64))
+        changed = sum(mutate(data, rng) != data for _ in range(50))
+        assert changed > 40
+
+    def test_empty_input_grows(self):
+        rng = np.random.default_rng(1)
+        assert mutate(b"", rng) != b""
+
+    def test_ops_cover_all_operators(self):
+        assert set(MUTATION_OPS) == {"truncate", "bitflip", "splice", "resize"}
+
+
+class TestFuzzParser:
+    def test_contained_parser(self):
+        target = ParserTarget(
+            name="len-check",
+            seeds=(b"0123456789",),
+            parse=lambda blob: _strict_len(blob),
+            allowed_errors=(ValidationError,),
+        )
+        result = fuzz_parser(target, seed=3, n_mutations=500)
+        assert result.contained
+        assert result.n_accepted + result.n_rejected == 500
+
+    def test_escaping_parser_detected(self):
+        target = ParserTarget(
+            name="crashy",
+            seeds=(b"0123456789",),
+            parse=lambda blob: blob[100] and {}["missing"],
+            allowed_errors=(ValidationError,),
+        )
+        result = fuzz_parser(target, seed=3, n_mutations=300)
+        assert not result.contained
+        assert all(isinstance(e, Escape) for e in result.escapes)
+        assert {e.exception_type for e in result.escapes} <= {
+            "IndexError",
+            "KeyError",
+        }
+
+    def test_deterministic_across_runs(self):
+        target = default_targets(SECRET)[0]
+        a = fuzz_parser(target, seed=11, n_mutations=200)
+        b = fuzz_parser(target, seed=11, n_mutations=200)
+        assert (a.n_accepted, a.n_rejected) == (b.n_accepted, b.n_rejected)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            ParserTarget(
+                name="empty", seeds=(), parse=lambda b: b, allowed_errors=(ValueError,)
+            )
+
+    def test_metrics_accounting(self):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        target = default_targets(SECRET)[2]  # parse_token: cheap
+        fuzz_parser(target, seed=0, n_mutations=150, observer=observer)
+        assert observer.metrics.counter("fuzz.mutations").value == 150
+        assert observer.metrics.counter("fuzz.escapes").value == 0
+
+
+def _strict_len(blob):
+    if len(blob) != 10:
+        raise ValidationError("wrong length")
+    return blob
+
+
+class TestRunFuzz:
+    def test_all_default_targets_contained(self):
+        report = run_fuzz(seed=0, n_per_parser=300)
+        assert report.contained, report.format()
+        assert len(report.results) == 7
+        assert report.n_mutations == 7 * 300
+
+    def test_digest_stable_and_seed_sensitive(self):
+        assert run_fuzz(seed=4, n_per_parser=60).digest() == run_fuzz(
+            seed=4, n_per_parser=60
+        ).digest()
+        assert run_fuzz(seed=4, n_per_parser=60).digest() != run_fuzz(
+            seed=5, n_per_parser=60
+        ).digest()
+
+    def test_budget_validated(self):
+        with pytest.raises(ValidationError):
+            run_fuzz(n_per_parser=0)
+
+    def test_format_mentions_every_target(self):
+        report = run_fuzz(seed=0, n_per_parser=20)
+        text = report.format()
+        for result in report.results:
+            assert result.name in text
+
+
+class TestAcceptanceBudget:
+    def test_ten_thousand_mutations_per_parser_no_escapes(self):
+        """The PR's acceptance floor: >=10k seeded mutations per parser."""
+        report = run_fuzz(seed=0, n_per_parser=10_000)
+        assert report.contained, report.format()
+        assert all(r.n_mutations >= 10_000 for r in report.results)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: arbitrary byte soup, not just mutations of honest seeds
+# ---------------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(blob=st.binary(max_size=300))
+def test_plan_from_bytes_total(blob):
+    from repro.crypto.serialization import plan_from_bytes
+
+    try:
+        plan_from_bytes(blob)
+    except ValidationError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(blob=st.binary(max_size=300))
+def test_open_plan_total(blob):
+    from repro.crypto.keyshare import open_plan
+
+    try:
+        open_plan(blob, SECRET)
+    except (ValidationError, IntegrityError):
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(blob=st.binary(max_size=120))
+def test_parse_token_total(blob):
+    from repro.guard.freshness import parse_token
+
+    try:
+        parse_token(blob, SECRET)
+    except AdmissionError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(blob=st.binary(max_size=300))
+def test_open_report_total(blob):
+    from repro.guard.envelope import open_report
+
+    try:
+        open_report(blob, SECRET)
+    except AdmissionError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(line=st.text(max_size=300))
+def test_journal_decode_total(line):
+    from repro.resilience.journal import decode_entry
+
+    try:
+        decode_entry(line)
+    except ValueError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    flips=st.lists(st.integers(min_value=0, max_value=10_000), max_size=8),
+    cut=st.integers(min_value=0, max_value=10_000),
+)
+def test_mutated_honest_plan_total(flips, cut):
+    """Bit-flip + truncate an honest serialized plan anywhere."""
+    from repro.crypto.serialization import plan_from_bytes
+
+    blob = bytearray(_HONEST_PLAN)
+    for flip in flips:
+        blob[flip % len(blob)] ^= 1 << (flip % 8)
+    payload = bytes(blob[: cut % (len(blob) + 1)])
+    try:
+        plan_from_bytes(payload)
+    except ValidationError:
+        pass
+
+
+def _honest_plan_bytes():
+    from repro.crypto.encryptor import EncryptionPlan
+    from repro.crypto.gains import GainTable
+    from repro.crypto.keygen import EntropySource, KeyGenerator
+    from repro.crypto.serialization import plan_to_bytes
+    from repro.hardware.electrodes import standard_array
+    from repro.microfluidics.flow import FlowSpeedTable
+
+    schedule = KeyGenerator(n_electrodes=9).generate_schedule(
+        5.0, 1.0, EntropySource(rng=0)
+    )
+    return plan_to_bytes(
+        EncryptionPlan(schedule, standard_array(9), GainTable(), FlowSpeedTable())
+    )
+
+
+_HONEST_PLAN = _honest_plan_bytes()

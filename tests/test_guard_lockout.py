@@ -1,0 +1,271 @@
+"""Auth lockout throttle and the lockout-aware brute-force model."""
+
+import pytest
+
+from repro._util.errors import LockoutError, ValidationError
+from repro.attacks.bruteforce import (
+    attempts_within_horizon,
+    bruteforce_expected_attempts,
+    bruteforce_expected_time_s,
+    bruteforce_success_probability,
+    bruteforce_success_within_horizon,
+    lockout_delay_s,
+)
+from repro.auth.alphabet import DEFAULT_ALPHABET
+from repro.auth.authenticator import ServerAuthenticator
+from repro.auth.identifier import CytoIdentifier
+from repro.guard.lockout import AttemptThrottle, LockoutPolicy
+from repro.obs import AUTH_LOCKED_OUT, EventLog, ManualClock, MetricsRegistry, Observer
+
+POLICY = LockoutPolicy(
+    max_failures=3, base_lockout_s=8.0, backoff_factor=2.0, max_lockout_s=64.0
+)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def throttle(clock):
+    return AttemptThrottle(POLICY, clock=clock)
+
+
+def burn_budget(throttle, source="mallory", n=None):
+    for _ in range(POLICY.max_failures if n is None else n):
+        throttle.check(source)
+        throttle.record_failure(source)
+
+
+class TestLockoutPolicy:
+    def test_schedule_is_geometric_until_cap(self):
+        assert POLICY.lockout_duration_s(1) == 8.0
+        assert POLICY.lockout_duration_s(2) == 16.0
+        assert POLICY.lockout_duration_s(3) == 32.0
+        assert POLICY.lockout_duration_s(4) == 64.0
+        assert POLICY.lockout_duration_s(5) == 64.0  # capped
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValidationError):
+            LockoutPolicy(max_failures=0)
+        with pytest.raises(ValidationError):
+            LockoutPolicy(base_lockout_s=-1.0)
+        with pytest.raises(ValidationError):
+            LockoutPolicy(backoff_factor=0.5)
+
+
+class TestAttemptThrottle:
+    def test_budget_is_free(self, throttle):
+        burn_budget(throttle, n=POLICY.max_failures - 1)
+        assert not throttle.is_locked("mallory")
+        throttle.check("mallory")  # still admissible
+
+    def test_streak_trips_lockout(self, throttle):
+        burn_budget(throttle)
+        assert throttle.is_locked("mallory")
+        assert throttle.retry_after_s("mallory") == 8.0
+        with pytest.raises(LockoutError):
+            throttle.check("mallory")
+
+    def test_lockout_expires_with_clock(self, throttle, clock):
+        burn_budget(throttle)
+        clock.advance(8.5)
+        assert not throttle.is_locked("mallory")
+        throttle.check("mallory")
+
+    def test_single_failure_re_trips_escalated(self, throttle, clock):
+        # No fresh free budget after the first lockout: one more failure
+        # re-trips the (doubled) window.
+        burn_budget(throttle)
+        clock.advance(8.5)
+        throttle.record_failure("mallory")
+        assert throttle.is_locked("mallory")
+        assert throttle.retry_after_s("mallory") == pytest.approx(16.0)
+        assert throttle.n_lockouts("mallory") == 2
+
+    def test_success_clears_streak(self, throttle, clock):
+        burn_budget(throttle, n=POLICY.max_failures - 1)
+        throttle.record_success("mallory")
+        burn_budget(throttle, n=POLICY.max_failures - 1)
+        assert not throttle.is_locked("mallory")
+
+    def test_sources_are_isolated(self, throttle):
+        burn_budget(throttle, source="mallory")
+        assert not throttle.is_locked("alice")
+        throttle.check("alice")
+
+    def test_refusal_accounting(self, clock):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        throttle = AttemptThrottle(POLICY, clock=clock, observer=observer)
+        burn_budget(throttle)
+        with pytest.raises(LockoutError):
+            throttle.check("mallory")
+        assert throttle.refusals == 1
+        assert observer.metrics.counter("auth.lockout_refusals").value == 1
+        event = [e for e in observer.events.events if e.kind == AUTH_LOCKED_OUT]
+        assert event and event[0].field_dict()["source"] == "mallory"
+
+
+class TestAuthenticatorIntegration:
+    def make_auth(self, clock):
+        auth = ServerAuthenticator(
+            DEFAULT_ALPHABET,
+            delivery_efficiency=1.0,
+            lockout=POLICY,
+            clock=clock,
+        )
+        auth.register("alice", CytoIdentifier(DEFAULT_ALPHABET, (2, 1)))
+        return auth
+
+    def counts_for(self, identifier, volume_ul=0.08):
+        return {
+            bead.name: concentration * volume_ul
+            for bead, concentration in identifier.concentrations_per_ul().items()
+        }
+
+    def test_failed_streak_locks_source(self, clock):
+        auth = self.make_auth(clock)
+        wrong = self.counts_for(CytoIdentifier(DEFAULT_ALPHABET, (3, 3)))
+        for _ in range(POLICY.max_failures):
+            decision = auth.authenticate(wrong, 0.08, source="clinic-1")
+            assert not decision.accepted
+        with pytest.raises(LockoutError):
+            auth.authenticate(wrong, 0.08, source="clinic-1")
+        # The innocent clinic next door is untouched.
+        good = self.counts_for(auth.identifier_of("alice"))
+        assert auth.authenticate(good, 0.08, source="clinic-2").accepted
+
+    def test_success_clears_streak(self, clock):
+        auth = self.make_auth(clock)
+        wrong = self.counts_for(CytoIdentifier(DEFAULT_ALPHABET, (3, 3)))
+        good = self.counts_for(auth.identifier_of("alice"))
+        for _ in range(POLICY.max_failures - 1):
+            auth.authenticate(wrong, 0.08, source="clinic-1")
+        assert auth.authenticate(good, 0.08, source="clinic-1").accepted
+        for _ in range(POLICY.max_failures - 1):
+            auth.authenticate(wrong, 0.08, source="clinic-1")
+        assert not auth.throttle.is_locked("clinic-1")
+
+    def test_no_source_means_no_throttle(self, clock):
+        auth = self.make_auth(clock)
+        wrong = self.counts_for(CytoIdentifier(DEFAULT_ALPHABET, (3, 3)))
+        for _ in range(POLICY.max_failures + 2):
+            assert not auth.authenticate(wrong, 0.08).accepted
+
+    def test_no_policy_means_no_throttle(self):
+        auth = ServerAuthenticator(DEFAULT_ALPHABET, delivery_efficiency=1.0)
+        assert auth.throttle is None
+
+
+class TestConstantTimeMatching:
+    def test_matches_self_and_not_others(self):
+        a = CytoIdentifier(DEFAULT_ALPHABET, (2, 1))
+        b = CytoIdentifier(DEFAULT_ALPHABET, (1, 2))
+        assert a.matches(CytoIdentifier(DEFAULT_ALPHABET, (2, 1)))
+        assert not a.matches(b)
+
+    def test_canonical_bytes_distinct_per_identifier(self):
+        seen = {
+            CytoIdentifier(DEFAULT_ALPHABET, levels).canonical_bytes()
+            for levels in ((0, 1), (1, 0), (1, 1), (2, 3), (3, 2))
+        }
+        assert len(seen) == 5
+
+
+class TestBruteforceModel:
+    def test_delay_zero_within_budget(self):
+        assert lockout_delay_s(0, POLICY) == 0.0
+        assert lockout_delay_s(POLICY.max_failures - 1, POLICY) == 0.0
+
+    def test_delay_schedule_hand_computed(self):
+        assert lockout_delay_s(3, POLICY) == 8.0
+        assert lockout_delay_s(4, POLICY) == 8.0 + 16.0
+        assert lockout_delay_s(5, POLICY) == 8.0 + 16.0 + 32.0
+        assert lockout_delay_s(6, POLICY) == 8.0 + 16.0 + 32.0 + 64.0
+        assert lockout_delay_s(7, POLICY) == 8.0 + 16.0 + 32.0 + 64.0 + 64.0
+
+    def test_negative_failures_rejected(self):
+        with pytest.raises(ValidationError):
+            lockout_delay_s(-1, POLICY)
+
+    @pytest.mark.parametrize("n_failures", [1, 3, 5, 9, 17])
+    def test_model_matches_simulated_throttle(self, n_failures):
+        clock = ManualClock()
+        throttle = AttemptThrottle(POLICY, clock=clock)
+        waited = 0.0
+        for _ in range(n_failures):
+            wait = throttle.retry_after_s("eve")
+            if wait > 0:
+                clock.advance(wait)
+                waited += wait
+            throttle.check("eve")
+            throttle.record_failure("eve")
+        waited += throttle.retry_after_s("eve")  # pending final window
+        assert waited == pytest.approx(lockout_delay_s(n_failures, POLICY))
+
+    def test_capped_tail_is_closed_form(self):
+        # Far beyond saturation: n - max_failures + 1 lockouts, the first
+        # few geometric, the rest at the cap.
+        n = 10_000
+        n_lockouts = n - POLICY.max_failures + 1
+        geometric = 8.0 + 16.0 + 32.0
+        assert lockout_delay_s(n, POLICY) == geometric + (n_lockouts - 3) * 64.0
+
+    def test_expected_time_increases_under_lockout(self):
+        plain = bruteforce_expected_time_s(DEFAULT_ALPHABET, attempt_s=60.0)
+        locked = bruteforce_expected_time_s(
+            DEFAULT_ALPHABET, policy=POLICY, attempt_s=60.0
+        )
+        assert plain == 60.0 * bruteforce_expected_attempts(DEFAULT_ALPHABET)
+        assert locked > plain
+
+    def test_negative_attempt_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            bruteforce_expected_time_s(DEFAULT_ALPHABET, attempt_s=-1.0)
+
+    def test_attempts_within_horizon_no_policy(self):
+        assert attempts_within_horizon(600.0, attempt_s=60.0) == 10
+
+    def test_unbounded_configuration_rejected(self):
+        with pytest.raises(ValidationError):
+            attempts_within_horizon(600.0)
+
+    def test_attempts_within_horizon_hand_computed(self):
+        # With free guesses (attempt_s=0) the first max_failures cost no
+        # time at all; the 4th attempt pays the first 8 s window.
+        assert attempts_within_horizon(0.0, policy=POLICY) == POLICY.max_failures
+        assert (
+            attempts_within_horizon(7.9, policy=POLICY) == POLICY.max_failures
+        )
+        assert attempts_within_horizon(8.0, policy=POLICY) == POLICY.max_failures + 1
+        assert attempts_within_horizon(8.0 + 16.0, policy=POLICY) == 5
+
+    def test_attempts_within_horizon_matches_delay_inverse(self):
+        # Consistency: the model's own delay for n attempts never
+        # exceeds a horizon that admits n attempts.
+        for horizon in (0.0, 10.0, 100.0, 1000.0, 123456.0):
+            n = attempts_within_horizon(horizon, policy=POLICY, attempt_s=1.0)
+            if n > 0:
+                assert n * 1.0 + lockout_delay_s(n - 1, POLICY) <= horizon
+
+    def test_capped_horizon_closed_form_consistent(self):
+        # A horizon deep inside the capped regime: the arithmetic tail
+        # must agree with the step-by-step condition at the boundary.
+        horizon = 1e6
+        n = attempts_within_horizon(horizon, policy=POLICY, attempt_s=1.0)
+        assert n * 1.0 + lockout_delay_s(n - 1, POLICY) <= horizon
+        assert (n + 1) * 1.0 + lockout_delay_s(n, POLICY) > horizon
+
+    def test_success_within_horizon(self):
+        unthrottled = bruteforce_success_within_horizon(
+            DEFAULT_ALPHABET, 3600.0, attempt_s=60.0
+        )
+        throttled = bruteforce_success_within_horizon(
+            DEFAULT_ALPHABET, 3600.0, policy=POLICY, attempt_s=60.0
+        )
+        assert 0.0 <= throttled <= unthrottled <= 1.0
+        assert throttled == bruteforce_success_probability(
+            DEFAULT_ALPHABET,
+            attempts_within_horizon(3600.0, policy=POLICY, attempt_s=60.0),
+        )

@@ -134,3 +134,53 @@ class TestQuarantine:
         entry["payload"]["sequence_number"] = 999
         with pytest.raises(ValueError):
             decode_entry(json.dumps(entry))
+
+
+class TestOversizedLines:
+    """A maliciously huge journal line is quarantined, never loaded whole."""
+
+    def write_journal(self, path, lines):
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+
+    def honest_line(self, key="id-a"):
+        clock = ManualClock(100.0)
+        store = RecordStore(clock=clock)
+        return encode_entry(store.store(key, make_report()))
+
+    def test_oversized_line_quarantined_neighbours_survive(self, journal_path):
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        self.write_journal(
+            journal_path,
+            [self.honest_line("id-a"), "x" * 4096, self.honest_line("id-b")],
+        )
+        replay = replay_journal(journal_path, observer=observer, max_line_bytes=1024)
+        assert replay.n_recovered == 2
+        assert replay.n_quarantined == 1
+        assert replay.quarantined[0].line_number == 2
+        assert "cap" in replay.quarantined[0].reason
+        assert observer.metrics.counter("journal.oversized_lines").value == 1
+
+    def test_default_cap_admits_honest_lines(self, journal_path):
+        from repro.resilience.journal import MAX_JOURNAL_LINE_BYTES
+
+        line = self.honest_line()
+        assert len(line) < MAX_JOURNAL_LINE_BYTES
+        self.write_journal(journal_path, [line])
+        replay = replay_journal(journal_path)
+        assert replay.n_recovered == 1 and replay.n_quarantined == 0
+
+    def test_oversized_unterminated_final_line(self, journal_path):
+        self.write_journal(journal_path, [self.honest_line()])
+        with open(journal_path, "a") as handle:
+            handle.write("y" * 5000)  # torn giant line, no newline
+        replay = replay_journal(journal_path, max_line_bytes=1024)
+        assert replay.n_recovered == 1
+        assert replay.n_quarantined == 1
+
+    def test_cap_must_be_positive(self, journal_path):
+        from repro._util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            replay_journal(journal_path, max_line_bytes=0)

@@ -189,3 +189,83 @@ class TestLifecycleAndEvents:
             <= scheduler.store.n_identifiers
             <= WORKLOAD.n_requests
         )
+
+
+class TestGuardedFleet:
+    """Freshness + lockout threaded through the whole serving stack."""
+
+    def run_guarded(self, duplicate_probability=0.0, seed=11):
+        from repro.guard.lockout import LockoutPolicy
+
+        workload = ClinicWorkload(
+            n_tenants=2, requests_per_tenant=2, duration_s=8.0, seed=seed
+        )
+        config = FleetConfig(
+            seed=seed,
+            n_workers=2,
+            queue_capacity=workload.n_requests,
+            duplicate_probability=duplicate_probability,
+            freshness_secret=b"fleet-freshness-secret",
+            auth_lockout=LockoutPolicy(max_failures=3, base_lockout_s=10.0),
+        )
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        with FleetScheduler(config, observer=observer) as scheduler:
+            report = run_clinic(scheduler, workload)
+        return report, observer
+
+    def test_honest_fleet_unaffected_by_guard(self):
+        report, observer = self.run_guarded()
+        assert report.n_failed == 0
+        assert report.n_completed == 4
+        assert observer.metrics.counter("guard.replay_detected").value == 0
+        assert observer.metrics.counter("auth.lockout_refusals").value == 0
+
+    def test_duplicate_deliveries_refused_not_failed(self):
+        # Radio duplicates hit the nonce registry (ReplayError) but the
+        # honest session still completes with its first report.
+        report, observer = self.run_guarded(duplicate_probability=0.6)
+        assert report.n_failed == 0
+        assert report.n_completed == 4
+        duplicates = observer.metrics.counter("serve.duplicate_deliveries").value
+        refused = observer.metrics.counter("serve.duplicates_refused").value
+        assert duplicates >= 1
+        assert refused == duplicates
+
+    def test_guarded_fleet_matches_unguarded_outputs(self):
+        # The guard must not perturb any replayable stream: session
+        # outcomes are bit-identical with and without it (token nonces
+        # come from os.urandom, never from a request's rng).
+        from repro.guard.lockout import LockoutPolicy
+
+        config = FleetConfig(
+            seed=11,
+            n_workers=2,
+            queue_capacity=WORKLOAD.n_requests,
+            freshness_secret=b"fleet-freshness-secret",
+            auth_lockout=LockoutPolicy(max_failures=3, base_lockout_s=10.0),
+        )
+        outcomes = {}
+        with FleetScheduler(config) as scheduler:
+            identifiers = WORKLOAD.identifiers(scheduler.device_config)
+            for tenant, identifier in identifiers.items():
+                scheduler.register_tenant(tenant, identifier)
+            futures = []
+            for sequence in range(WORKLOAD.requests_per_tenant):
+                for tenant_index, tenant in enumerate(WORKLOAD.tenant_ids()):
+                    futures.append(
+                        scheduler.submit(
+                            tenant,
+                            WORKLOAD.blood_sample(tenant_index, sequence),
+                            identifiers[tenant],
+                            duration_s=WORKLOAD.duration_s,
+                        )
+                    )
+            for future in futures:
+                result = future.result(timeout=120)
+                request = future.request
+                outcomes[(request.tenant_id, request.tenant_sequence)] = (
+                    result.diagnosis.label,
+                    result.diagnosis.concentration_per_ul,
+                )
+        baseline = fleet_outcomes(n_workers=2)
+        assert outcomes == {key: value[:2] for key, value in baseline.items()}
