@@ -37,6 +37,71 @@ def run_one(session, seed):
     return session.run_diagnostic(blood, identifier, duration_s=DURATION_S, rng=seed)
 
 
+def collect(quick: bool = True) -> dict:
+    """``medsen-bench/v1`` metrics for ``python -m repro bench``.
+
+    Gated metrics are the deterministic outcomes (decrypted count,
+    authentication) — a pipeline change that moves them is a behaviour
+    regression regardless of host speed.  The latency breakdown rides
+    along ungated for the trajectory.
+    """
+    import numpy as np
+
+    fresh = MedSenSession(rng=2024)
+    alphabet = fresh.config.alphabet
+    fresh.authenticator.register("alice", CytoIdentifier(alphabet, (2, 1)))
+    seeds = (1,) if quick else (1, 2, 3)
+    results = [run_one(fresh, seed) for seed in seeds]
+    timings = [r.timing for r in results]
+    mean = lambda attr: float(np.mean([getattr(t, attr) for t in timings]))
+    mean_count = float(np.mean([r.decryption.total_count for r in results]))
+    all_accepted = all(r.auth.accepted for r in results)
+    return {
+        "decrypted_count": {
+            "value": round(mean_count, 3),
+            "unit": "particles",
+            "direction": "near",
+            "tolerance": 0.02,
+            "gate": True,
+        },
+        "auth_accepted": {
+            "value": 1.0 if all_accepted else 0.0,
+            "unit": "bool",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "processing_s": {
+            "value": round(mean("processing_s"), 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "end_to_end_s": {
+            "value": round(mean("end_to_end_s"), 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "cloud_analysis_s": {
+            "value": round(mean("cloud_analysis_s"), 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "decryption_s": {
+            "value": round(mean("decryption_s"), 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+    }
+
+
 def test_end_to_end_timing(benchmark, session):
     results = benchmark.pedantic(
         lambda: [run_one(session, seed) for seed in (1, 2, 3)], rounds=1, iterations=1

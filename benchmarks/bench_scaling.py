@@ -52,6 +52,68 @@ def build_capture(duration_s, seed=5):
     return plan, trace
 
 
+def collect(quick: bool = True) -> dict:
+    """``medsen-bench/v1`` metrics for ``python -m repro bench``.
+
+    The gated metric is the deterministic peak count at the base
+    duration; detect/decrypt cost and the duration-scaling ratio ride
+    along ungated (host-speed dependent).
+    """
+    durations = (30.0, 60.0) if quick else DURATIONS_S
+    detector = PeakDetector()
+    rows = []
+    for duration in durations:
+        plan, trace = build_capture(duration)
+        start = time.perf_counter()
+        report = detector.detect(trace.voltages, trace.sampling_rate_hz)
+        detect_s = time.perf_counter() - start
+        start = time.perf_counter()
+        SignalDecryptor(plan=plan).decrypt(report)
+        decrypt_s = time.perf_counter() - start
+        rows.append((duration, report.count, detect_s, decrypt_s))
+    base, longest = rows[0], rows[-1]
+    duration_ratio = longest[0] / base[0]
+    return {
+        "peaks_at_base_duration": {
+            "value": float(base[1]),
+            "unit": "peaks",
+            "direction": "near",
+            "tolerance": 0.02,
+            "gate": True,
+        },
+        "peak_growth_vs_duration": {
+            # peaks scale ~linearly with duration; a detector change
+            # that breaks that shows up here host-independently.
+            "value": round(longest[1] / max(base[1], 1) / duration_ratio, 3),
+            "unit": "ratio",
+            "direction": "near",
+            "tolerance": 0.25,
+            "gate": True,
+        },
+        "detect_s_at_base": {
+            "value": round(base[2], 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "detect_cost_ratio": {
+            "value": round(longest[2] / max(base[2], 1e-6), 3),
+            "unit": "ratio",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "decrypt_s_at_longest": {
+            "value": round(longest[3], 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+    }
+
+
 def test_detection_and_decryption_scale_linearly(benchmark):
     def sweep():
         rows = []

@@ -77,6 +77,60 @@ def check_speedup(workload: ClinicWorkload) -> Tuple[float, float, float]:
     return serial, pooled, pooled / serial
 
 
+def collect(quick: bool = True) -> dict:
+    """``medsen-bench/v1`` metrics for ``python -m repro bench``.
+
+    The speedup ratio is gated (a dimensionless comparison of two runs
+    on the *same* host, so a slow CI machine cancels out); absolute
+    throughput and latency ride along ungated for the trajectory.
+    """
+    workload = ClinicWorkload(
+        n_tenants=2 if quick else 4,
+        requests_per_tenant=4,
+        duration_s=8.0 if quick else 10.0,
+        seed=2016,
+    )
+    serial, pooled, speedup = check_speedup(workload)
+    _, p95 = run_fleet(8, workload)
+    return {
+        "speedup_8x": {
+            "value": round(speedup, 3),
+            "unit": "ratio",
+            "direction": "higher",
+            "tolerance": 0.40,
+            "gate": True,
+        },
+        "speedup_floor_met": {
+            "value": 1.0 if speedup >= SPEEDUP_FLOOR else 0.0,
+            "unit": "bool",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "serial_sessions_per_s": {
+            "value": round(serial, 4),
+            "unit": "sessions/s",
+            "direction": "higher",
+            "tolerance": 0.5,
+            "gate": False,
+        },
+        "pooled_sessions_per_s": {
+            "value": round(pooled, 4),
+            "unit": "sessions/s",
+            "direction": "higher",
+            "tolerance": 0.5,
+            "gate": False,
+        },
+        "p95_latency_s": {
+            "value": round(p95, 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 0.5,
+            "gate": False,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten subcommands cover the workflows a bench scientist or security
+Thirteen subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -23,6 +23,18 @@ reviewer would reach for first:
   lockout invariants (``--smoke`` is the CI gate).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
+* ``top``       — run an instrumented fleet and render the telemetry
+  dashboard: SLO burn rates, counters, and quantile sketches.
+* ``profile``   — stage-by-stage pipeline profile (demodulate /
+  detrend / threshold / classify / authenticate) with optional
+  folded-stack flamegraph output.
+* ``bench``     — run the benchmark trajectory and write versioned
+  ``BENCH_<area>.json`` artifacts (``--check`` gates against the
+  committed baseline).
+
+``serve``, ``chaos`` and ``harden`` all accept ``--trace-out`` /
+``--events-out`` to export their runs as Chrome-trace JSON and JSONL
+audit events.
 """
 
 import argparse
@@ -47,6 +59,20 @@ def _run_instrumented_session(seed: int, duration_s: float, concentration: float
         blood, identifier, duration_s=duration_s, rng=seed + 1
     )
     return result, observer
+
+
+def _export_observability(observer, trace_out, events_out) -> None:
+    """Honour ``--trace-out`` / ``--events-out`` for an observed run."""
+    if trace_out:
+        path = observer.tracer.write_chrome_trace(trace_out)
+        print(f"trace written: {path}")
+    if events_out:
+        from repro.obs import JsonlFileSink
+
+        with JsonlFileSink(events_out) as sink:
+            for event in observer.events.events:
+                sink.emit(event)
+        print(f"events written: {events_out}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -91,16 +117,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"session outcome: auth={result.auth.accepted} "
           f"diagnosis={result.diagnosis.label} "
           f"recovered_count={result.decryption.total_count}")
-    if args.trace_out:
-        path = observer.tracer.write_chrome_trace(args.trace_out)
-        print(f"trace written: {path}")
-    if args.events_out:
-        from repro.obs import JsonlFileSink
-
-        with JsonlFileSink(args.events_out) as sink:
-            for event in observer.events.events:
-                sink.emit(event)
-        print(f"events written: {args.events_out}")
+    _export_observability(observer, args.trace_out, args.events_out)
     return 0
 
 
@@ -248,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(format_metrics_table(observer.metrics))
+    _export_observability(observer, args.trace_out, args.events_out)
     if args.smoke:
         healthy = (
             report.n_completed + report.n_failed == workload.n_requests
@@ -269,6 +287,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(format_metrics_table(observer.metrics))
+    _export_observability(observer, args.trace_out, args.events_out)
     return 0 if report.passed else 1
 
 
@@ -287,7 +306,80 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(format_metrics_table(observer.metrics))
+    _export_observability(observer, args.trace_out, args.events_out)
     return 0 if report.passed else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import EventLog, MetricsRegistry
+    from repro.serving import ClinicWorkload, FleetConfig, FleetScheduler, run_clinic
+    from repro.telemetry import TelemetryObserver, render_observer
+
+    observer = TelemetryObserver(metrics=MetricsRegistry(), events=EventLog())
+    config = FleetConfig(
+        seed=args.seed,
+        n_workers=args.workers,
+        queue_capacity=max(8, args.tenants * args.requests),
+        batch_size=args.batch_size,
+    )
+    workload = ClinicWorkload(
+        n_tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    observer.tick()
+    with FleetScheduler(config, observer=observer) as scheduler:
+        report = run_clinic(scheduler, workload)
+    observer.tick()
+    print(render_observer(observer))
+    print()
+    print(
+        f"fleet: {report.n_completed}/{workload.n_requests} completed, "
+        f"{report.sessions_per_second:.2f} sessions/s"
+    )
+    worst = observer.engine.worst_state()
+    if args.strict and worst == "page":
+        print("telemetry: PAGE")
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry import profile_pipeline
+
+    result = profile_pipeline(
+        duration_s=args.duration, n_particles=args.particles, seed=args.seed
+    )
+    print(result.format())
+    if args.folded_out:
+        with open(args.folded_out, "w", encoding="utf-8") as handle:
+            handle.write(result.profiler.folded() + "\n")
+        print(f"folded stacks written: {args.folded_out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.telemetry import run_benchmarks
+
+    outcome = run_benchmarks(
+        areas=tuple(args.areas),
+        quick=args.quick,
+        bench_dir=args.bench_dir,
+        out_dir=args.out_dir,
+        baseline_dir=(args.baseline_dir or args.out_dir) if args.check else None,
+    )
+    for area, path in sorted(outcome["artifacts"].items()):
+        print(f"{area} -> {path}")
+    regressions = outcome["regressions"]
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond tolerance:")
+        for regression in regressions:
+            print(f"  {regression.format()}")
+        return 1
+    if args.check:
+        print("bench gate: PASS")
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -379,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the metrics table after the run")
     serve.add_argument("--smoke", action="store_true",
                        help="small fixed workload; exit 1 on anomalies (CI)")
+    serve.add_argument("--trace-out", type=str, default=None,
+                       help="write Chrome-trace JSON of the fleet's spans")
+    serve.add_argument("--events-out", type=str, default=None,
+                       help="write the audit event log as JSONL")
     serve.set_defaults(handler=_cmd_serve)
 
     chaos = subparsers.add_parser(
@@ -391,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the metrics table after the run")
     chaos.add_argument("--smoke", action="store_true",
                        help="shorthand for --campaign smoke (CI gate)")
+    chaos.add_argument("--trace-out", type=str, default=None,
+                       help="write Chrome-trace JSON of the campaign's spans")
+    chaos.add_argument("--events-out", type=str, default=None,
+                       help="write the audit event log as JSONL")
     chaos.set_defaults(handler=_cmd_chaos)
 
     harden = subparsers.add_parser(
@@ -403,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the metrics table after the run")
     harden.add_argument("--smoke", action="store_true",
                         help="reduced fuzz budget; exit 1 on any violation (CI)")
+    harden.add_argument("--trace-out", type=str, default=None,
+                        help="write Chrome-trace JSON of the campaign's spans")
+    harden.add_argument("--events-out", type=str, default=None,
+                        help="write the audit event log as JSONL")
     harden.set_defaults(handler=_cmd_harden)
 
     figures = subparsers.add_parser(
@@ -415,6 +519,51 @@ def build_parser() -> argparse.ArgumentParser:
     alphabet.add_argument("--volume", type=float, default=0.16,
                           help="sampled volume in µL")
     alphabet.set_defaults(handler=_cmd_alphabet)
+
+    top = subparsers.add_parser(
+        "top", help="instrumented fleet run + telemetry dashboard (SLOs, quantiles)"
+    )
+    top.add_argument("--seed", type=int, default=2016)
+    top.add_argument("--workers", type=int, default=2)
+    top.add_argument("--tenants", type=int, default=2)
+    top.add_argument("--requests", type=int, default=3,
+                     help="requests per tenant")
+    top.add_argument("--duration", type=float, default=8.0,
+                     help="capture duration per session (s)")
+    top.add_argument("--batch-size", type=int, default=1)
+    top.add_argument("--strict", action="store_true",
+                     help="exit 1 if any SLO is in the page state")
+    top.set_defaults(handler=_cmd_top)
+
+    profile = subparsers.add_parser(
+        "profile", help="stage-by-stage pipeline profile (flamegraph-ready)"
+    )
+    profile.add_argument("--duration", type=float, default=8.0,
+                         help="synthetic capture duration (s)")
+    profile.add_argument("--particles", type=int, default=60,
+                         help="bead transits in the capture")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--folded-out", type=str, default=None,
+                         help="write folded stacks for flamegraph.pl/speedscope")
+    profile.set_defaults(handler=_cmd_profile)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the benchmark trajectory; write BENCH_<area>.json"
+    )
+    bench.add_argument("--areas", type=str, nargs="*",
+                       default=["throughput", "end_to_end", "scaling"],
+                       help="bench areas (bench_<area>.py with a collect())")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced workloads (CI)")
+    bench.add_argument("--out-dir", type=str, default=".",
+                       help="directory for the BENCH_*.json artifacts")
+    bench.add_argument("--bench-dir", type=str, default=None,
+                       help="benchmarks directory (default: repo's benchmarks/)")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against committed baselines; exit 1 on regression")
+    bench.add_argument("--baseline-dir", type=str, default=None,
+                       help="baseline directory for --check (default: --out-dir)")
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

@@ -171,15 +171,25 @@ class AnalysisServer:
         is mandatory and is consumed *before* the dedup lookup (see
         :meth:`admit_ingress`).
         """
-        self.admit_ingress(trace, freshness_token, boundary="ingest")
+        admitted = self.admit_ingress(trace, freshness_token, boundary="ingest")
+        self._thread.last_span_context = None
         if request_id is not None:
             cached = self._check_duplicate(request_id)
             if cached is not None:
                 return cached
+        # An MSF2 token carries the caller's trace context inside its
+        # authenticated body; adopting it as remote parent stitches the
+        # cloud span into the device/phone trace.
+        remote = admitted.context if admitted is not None else None
         with self.observer.span(
-            "cloud_analysis", samples=trace.n_samples, channels=trace.n_channels
+            "cloud_analysis",
+            remote_parent=remote,
+            service="cloud",
+            samples=trace.n_samples,
+            channels=trace.n_channels,
         ) as span:
             report = self.detector.detect(trace.voltages, trace.sampling_rate_hz)
+        self._thread.last_span_context = span.context()
         self._account(trace, report, span.duration_s, streaming=False)
         if request_id is not None:
             self._remember_request(request_id, report)
@@ -223,7 +233,14 @@ class AnalysisServer:
             trace, request_id=request_id, freshness_token=freshness_token
         )
         key_epoch = self.freshness.key_epoch if self.freshness is not None else 0
-        return seal_report(report, self.transit_secret, key_epoch=key_epoch)
+        # The response envelope carries the cloud span's context (MSE2)
+        # so the phone can link its receive to the server-side work.
+        return seal_report(
+            report,
+            self.transit_secret,
+            key_epoch=key_epoch,
+            trace_context=getattr(self._thread, "last_span_context", None),
+        )
 
     def analyze_batch(self, traces: Sequence[AcquiredTrace]) -> List[PeakReport]:
         """Analyse several traces in one vectorised pass.

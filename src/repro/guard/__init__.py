@@ -44,10 +44,12 @@ from repro.guard.envelope import (
     SecureChannel,
     envelope_epoch,
     open_report,
+    open_report_with_context,
     seal_report,
 )
 from repro.guard.freshness import (
     TOKEN_BYTES,
+    TOKEN_V2_BYTES,
     FreshnessGuard,
     FreshnessToken,
     TokenMinter,
@@ -92,9 +94,11 @@ __all__ = [
     "mint_token",
     "parse_token",
     "TOKEN_BYTES",
+    "TOKEN_V2_BYTES",
     "SecureChannel",
     "seal_report",
     "open_report",
+    "open_report_with_context",
     "envelope_epoch",
     "MAX_ENVELOPE_BYTES",
     "LockoutPolicy",

@@ -16,6 +16,17 @@ controller, so a forged or corrupted envelope is rejected with
 sealed payload is the JSON report encoding from :mod:`repro.cloud.api`,
 so the envelope composes with the existing message protocol.
 
+A second, versioned header carries a distributed-trace context
+(:mod:`repro.obs.context`) inside the authenticated region:
+
+``envelope = MSE2 || nonce(16) || key_epoch(u32) || trace_context(29)
+             || ciphertext || HMAC``
+
+The opener dispatches on the magic; both layouts remain admissible and
+every malformed variant of either is a typed refusal.  Because the
+context sits in the HMAC-covered header, in-flight re-routing of a
+trace is detected exactly like payload tampering.
+
 Note the trust statement is deliberately modest: the transport secret
 is shared with the *cloud* (which produced the report), so the envelope
 authenticates the phone↔cloud link against third parties — it does not,
@@ -29,12 +40,12 @@ import hashlib
 import json
 import os
 import struct
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro._util.errors import EnvelopeError, ValidationError
 from repro.dsp.peakdetect import PeakReport
 from repro.guard.freshness import FreshnessGuard, TokenMinter
-from repro.obs import ENVELOPE_REJECTED, NULL_OBSERVER
+from repro.obs import CONTEXT_BYTES, ENVELOPE_REJECTED, NULL_OBSERVER, TraceContext
 
 
 def _keys(secret: bytes):
@@ -45,9 +56,11 @@ def _keys(secret: bytes):
     return derive_key(secret, _ENC_LABEL), derive_key(secret, _MAC_LABEL), keystream
 
 _MAGIC = b"MSE1"
+_MAGIC_V2 = b"MSE2"
 _NONCE_BYTES = 16
 _TAG_BYTES = 32
 _FIXED = struct.Struct("<4s16sI")
+_FIXED_V2 = struct.Struct(f"<4s16sI{CONTEXT_BYTES}s")
 _ENC_LABEL = b"medsen-envelope-enc"
 _MAC_LABEL = b"medsen-envelope-mac"
 
@@ -61,8 +74,14 @@ def seal_report(
     secret: bytes,
     key_epoch: int = 0,
     nonce: Optional[bytes] = None,
+    trace_context: Optional[TraceContext] = None,
 ) -> bytes:
-    """Seal a peak report for transit: authenticated stream cipher."""
+    """Seal a peak report for transit: authenticated stream cipher.
+
+    Without ``trace_context`` this emits the legacy ``MSE1`` header;
+    with one, the ``MSE2`` header whose authenticated region carries
+    the 29-byte trace context.
+    """
     if not secret:
         raise ValidationError("envelope secret must be non-empty")
     if key_epoch < 0 or key_epoch > 0xFFFFFFFF:
@@ -74,26 +93,32 @@ def seal_report(
 
     enc_key, mac_key, keystream = _keys(secret)
     plaintext = json.dumps(report_to_dict(report)).encode("utf-8")
-    header = _FIXED.pack(_MAGIC, nonce, key_epoch)
+    if trace_context is None:
+        header = _FIXED.pack(_MAGIC, nonce, key_epoch)
+    else:
+        header = _FIXED_V2.pack(
+            _MAGIC_V2, nonce, key_epoch, trace_context.to_bytes()
+        )
     stream = keystream(enc_key, nonce, len(plaintext))
     ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
     tag = hmac_mod.new(mac_key, header + ciphertext, hashlib.sha256).digest()
     return header + ciphertext + tag
 
 
-def open_report(
+def open_report_with_context(
     blob: Any,
     secret: bytes,
     observer: Any = NULL_OBSERVER,
     boundary: str = "phone",
-) -> PeakReport:
-    """Verify and open a sealed report.
+) -> Tuple[PeakReport, Optional[TraceContext]]:
+    """Verify and open a sealed report, returning its trace context.
 
     HMAC verification runs before any decryption or parsing; every
     failure — truncation, bad magic, a single flipped bit anywhere —
     raises :class:`EnvelopeError`, bumps ``guard.rejected`` /
     ``guard.envelope_rejected``, and emits a ``guard.envelope_rejected``
-    audit event.  Only an authentic envelope is decrypted.
+    audit event.  Only an authentic envelope is decrypted.  The second
+    element is the ``MSE2`` trace context, or ``None`` for ``MSE1``.
     """
     if not secret:
         raise ValidationError("envelope secret must be non-empty")
@@ -112,28 +137,58 @@ def open_report(
         refuse("envelope too short")
     if len(blob) > MAX_ENVELOPE_BYTES:
         refuse("envelope exceeds size cap")
-    header = blob[: _FIXED.size]
-    ciphertext = blob[_FIXED.size : -_TAG_BYTES]
+    if blob[:4] == _MAGIC_V2:
+        layout = _FIXED_V2
+        if len(blob) < layout.size + _TAG_BYTES:
+            refuse("v2 envelope too short for its header")
+    else:
+        layout = _FIXED
+    header = blob[: layout.size]
+    ciphertext = blob[layout.size : -_TAG_BYTES]
     tag = blob[-_TAG_BYTES:]
-    magic, nonce, _key_epoch = _FIXED.unpack(header)
-    if magic != _MAGIC:
+    fields = layout.unpack(header)
+    magic, nonce = fields[0], fields[1]
+    if magic not in (_MAGIC, _MAGIC_V2):
         refuse(f"bad envelope magic {magic!r}")
     enc_key, mac_key, keystream = _keys(secret)
     expected = hmac_mod.new(mac_key, header + ciphertext, hashlib.sha256).digest()
     if not hmac_mod.compare_digest(tag, expected):
         refuse("envelope failed authentication")
+    context: Optional[TraceContext] = None
+    if layout is _FIXED_V2:
+        try:
+            context = TraceContext.from_bytes(fields[3])
+        except ValidationError as error:
+            refuse(f"authentic envelope carries a bad trace context: {error}")
     stream = keystream(enc_key, nonce, len(ciphertext))
     plaintext = bytes(c ^ s for c, s in zip(ciphertext, stream))
     from repro.cloud.api import report_from_dict
 
     try:
         payload = json.loads(plaintext.decode("utf-8"))
-        return report_from_dict(payload)
+        return report_from_dict(payload), context
     except (ValidationError, ValueError, UnicodeDecodeError) as error:
         # Authenticated but undecodable: the *peer* is broken, not the
         # network — still refuse through the same typed funnel.
         refuse(f"authentic envelope decodes to garbage: {error}")
     raise AssertionError("unreachable")  # refuse() always raises
+
+
+def open_report(
+    blob: Any,
+    secret: bytes,
+    observer: Any = NULL_OBSERVER,
+    boundary: str = "phone",
+) -> PeakReport:
+    """Verify and open a sealed report (either header version).
+
+    See :func:`open_report_with_context` for the refusal contract; this
+    form discards the trace context for callers that only want data.
+    """
+    report, _context = open_report_with_context(
+        blob, secret, observer=observer, boundary=boundary
+    )
+    return report
 
 
 def envelope_epoch(blob: Any) -> int:
@@ -144,7 +199,7 @@ def envelope_epoch(blob: Any) -> int:
         if len(blob) < _FIXED.size:
             raise EnvelopeError("envelope too short for a header")
         magic, _nonce, key_epoch = _FIXED.unpack(blob[: _FIXED.size])
-        if magic != _MAGIC:
+        if magic not in (_MAGIC, _MAGIC_V2):
             raise EnvelopeError(f"bad envelope magic {magic!r}")
         return int(key_epoch)
     except EnvelopeError:
@@ -178,6 +233,7 @@ class SecureChannel:
         self.minter = TokenMinter(secret, key_epoch=key_epoch, clock=clock)
         self.opened = 0
         self.refused = 0
+        self.last_context: Optional[TraceContext] = None
 
     @property
     def key_epoch(self) -> int:
@@ -188,24 +244,38 @@ class SecureChannel:
         """Rotate the channel's key epoch (with controller rotation)."""
         return self.minter.advance_epoch()
 
-    def new_token(self) -> bytes:
-        """A fresh token for one upload attempt."""
-        return self.minter.mint()
+    def new_token(self, trace_context: Optional[TraceContext] = None) -> bytes:
+        """A fresh token for one upload attempt.
 
-    def seal(self, report: PeakReport) -> bytes:
+        When the caller is inside a live span, passing its context (or
+        ``observer.current_context()``) mints an MSF2 token so the
+        cloud's spans stitch to the phone's trace.
+        """
+        return self.minter.mint(trace_context=trace_context)
+
+    def seal(
+        self, report: PeakReport, trace_context: Optional[TraceContext] = None
+    ) -> bytes:
         """Cloud side: seal an outbound report under this channel."""
-        return seal_report(report, self.secret, key_epoch=self.key_epoch)
+        return seal_report(
+            report, self.secret, key_epoch=self.key_epoch, trace_context=trace_context
+        )
 
     def receive(self, blob: Any, boundary: str = "phone") -> PeakReport:
-        """Phone side: verify-then-open one sealed report."""
+        """Phone side: verify-then-open one sealed report.
+
+        The sender's trace context (if the envelope carried one) is
+        kept on :attr:`last_context` for the caller to link against.
+        """
         try:
-            report = open_report(
+            report, context = open_report_with_context(
                 blob, self.secret, observer=self.observer, boundary=boundary
             )
         except EnvelopeError:
             self.refused += 1
             raise
         self.opened += 1
+        self.last_context = context
         return report
 
     def guard(self, **kwargs: Any) -> FreshnessGuard:

@@ -17,6 +17,17 @@ token unique, so a *replayed* token — identical bytes, any claimed
 server refuse exchanges minted under retired epochs
 (:class:`~repro._util.errors.StaleEpochError`) without any clock
 agreement between the parties.
+
+A second, versioned format carries a distributed-trace context inside
+the authenticated body (see :mod:`repro.obs.context`):
+
+``token = MSF2 || nonce(16) || key_epoch(u32) || minted_at(f64)
+          || trace_context(29) || HMAC``
+
+Both formats stay admissible — the parser dispatches on the exact
+serialized length, so a truncated/extended blob of either shape is
+still a typed refusal.  The context rides *inside* the HMAC'd body, so
+an attacker cannot re-route a trace without failing authentication.
 """
 
 import hmac as hmac_mod
@@ -34,20 +45,27 @@ from repro._util.errors import (
     ValidationError,
 )
 from repro.obs import (
+    CONTEXT_BYTES,
     GUARD_REJECTED,
     NULL_OBSERVER,
     REPLAY_DETECTED,
     STALE_EPOCH_REJECTED,
+    TraceContext,
 )
 
 _MAGIC = b"MSF1"
+_MAGIC_V2 = b"MSF2"
 _NONCE_BYTES = 16
 _TAG_BYTES = 32
 _FIXED = struct.Struct("<4s16sId")
+_FIXED_V2 = struct.Struct(f"<4s16sId{CONTEXT_BYTES}s")
 _MAC_LABEL = b"medsen-freshness-mac"
 
-#: Serialized token size: fixed fields + HMAC-SHA256 tag.
+#: Serialized v1 token size: fixed fields + HMAC-SHA256 tag.
 TOKEN_BYTES = _FIXED.size + _TAG_BYTES
+
+#: Serialized v2 (context-carrying) token size.
+TOKEN_V2_BYTES = _FIXED_V2.size + _TAG_BYTES
 
 
 @dataclass(frozen=True)
@@ -57,6 +75,7 @@ class FreshnessToken:
     nonce: bytes
     key_epoch: int
     minted_at_s: float
+    context: Optional[TraceContext] = None
 
 
 def _tag(secret: bytes, body: bytes) -> bytes:
@@ -72,8 +91,14 @@ def mint_token(
     key_epoch: int,
     nonce: Optional[bytes] = None,
     minted_at_s: float = 0.0,
+    trace_context: Optional[TraceContext] = None,
 ) -> bytes:
-    """Mint one authenticated freshness token."""
+    """Mint one authenticated freshness token.
+
+    Without ``trace_context`` this emits the legacy ``MSF1`` layout;
+    with one, the ``MSF2`` layout whose authenticated body carries the
+    29-byte trace context.
+    """
     if not secret:
         raise ValidationError("freshness secret must be non-empty")
     if key_epoch < 0 or key_epoch > 0xFFFFFFFF:
@@ -81,7 +106,16 @@ def mint_token(
     nonce = os.urandom(_NONCE_BYTES) if nonce is None else bytes(nonce)
     if len(nonce) != _NONCE_BYTES:
         raise ValidationError(f"nonce must be {_NONCE_BYTES} bytes")
-    body = _FIXED.pack(_MAGIC, nonce, key_epoch, float(minted_at_s))
+    if trace_context is None:
+        body = _FIXED.pack(_MAGIC, nonce, key_epoch, float(minted_at_s))
+    else:
+        body = _FIXED_V2.pack(
+            _MAGIC_V2,
+            nonce,
+            key_epoch,
+            float(minted_at_s),
+            trace_context.to_bytes(),
+        )
     return body + _tag(secret, body)
 
 
@@ -100,17 +134,37 @@ def parse_token(blob: Any, secret: bytes) -> FreshnessToken:
         raise MalformedPayloadError(
             f"freshness token is not bytes-like: {error}"
         ) from error
-    if len(blob) != TOKEN_BYTES:
+    if len(blob) == TOKEN_BYTES:
+        layout, expected_magic = _FIXED, _MAGIC
+    elif len(blob) == TOKEN_V2_BYTES:
+        layout, expected_magic = _FIXED_V2, _MAGIC_V2
+    else:
         raise MalformedPayloadError(
-            f"freshness token has {len(blob)} bytes; expected {TOKEN_BYTES}"
+            f"freshness token has {len(blob)} bytes; expected "
+            f"{TOKEN_BYTES} (MSF1) or {TOKEN_V2_BYTES} (MSF2)"
         )
-    body, tag = blob[: _FIXED.size], blob[_FIXED.size :]
-    magic, nonce, key_epoch, minted_at = _FIXED.unpack(body)
-    if magic != _MAGIC:
-        raise MalformedPayloadError(f"bad freshness magic {magic!r}")
+    body, tag = blob[: layout.size], blob[layout.size :]
+    fields = layout.unpack(body)
+    if fields[0] != expected_magic:
+        raise MalformedPayloadError(f"bad freshness magic {fields[0]!r}")
     if not hmac_mod.compare_digest(tag, _tag(secret, body)):
         raise MalformedPayloadError("freshness token failed authentication")
-    return FreshnessToken(nonce=nonce, key_epoch=key_epoch, minted_at_s=minted_at)
+    context: Optional[TraceContext] = None
+    if layout is _FIXED_V2:
+        try:
+            context = TraceContext.from_bytes(fields[4])
+        except ValidationError as error:
+            # Authenticated but garbled context: the peer is broken —
+            # refuse through the same typed funnel as forgery.
+            raise MalformedPayloadError(
+                f"authentic token carries a bad trace context: {error}"
+            ) from error
+    return FreshnessToken(
+        nonce=fields[1],
+        key_epoch=fields[2],
+        minted_at_s=fields[3],
+        context=context,
+    )
 
 
 class TokenMinter:
@@ -130,11 +184,17 @@ class TokenMinter:
         self._clock = clock
         self.minted = 0
 
-    def mint(self) -> bytes:
-        """A new token for one transmission attempt."""
+    def mint(self, trace_context: Optional[TraceContext] = None) -> bytes:
+        """A new token for one transmission attempt.
+
+        Passing ``trace_context`` mints the MSF2 layout so the caller's
+        trace identity rides inside the authenticated body.
+        """
         self.minted += 1
         now = float(self._clock()) if self._clock is not None else 0.0
-        return mint_token(self._secret, self.key_epoch, minted_at_s=now)
+        return mint_token(
+            self._secret, self.key_epoch, minted_at_s=now, trace_context=trace_context
+        )
 
     def advance_epoch(self) -> int:
         """Move to the next key epoch (mirrors controller key rotation)."""

@@ -221,18 +221,23 @@ def _make_journal_lines(report) -> Tuple[bytes, ...]:
 
 
 def default_targets(secret: bytes = b"fuzz-shared-secret") -> Tuple[ParserTarget, ...]:
-    """The seven wire formats an attacker can reach, with honest seeds."""
+    """The eight wire formats an attacker can reach, with honest seeds."""
     from repro.cloud.api import AnalysisRequest, AnalysisResponse, StoreRequest
     from repro.crypto.keyshare import open_plan, seal_plan
     from repro.crypto.serialization import plan_from_bytes, plan_to_bytes
     from repro.dsp.recording import CsvRecordingModel
     from repro.guard.envelope import open_report, seal_report
     from repro.guard.freshness import mint_token, parse_token
+    from repro.obs.context import TraceContext, derive_trace_context
     from repro.resilience.journal import decode_entry
 
     plans = _make_plans()
     report = _make_report()
     nonce = bytes(range(16))
+    contexts = (
+        derive_trace_context(0, "fuzz-tenant", 0),
+        derive_trace_context(1, "fuzz-tenant", 7),
+    )
     recorder = CsvRecordingModel()
     trace = np.linspace(0.0, 1.0, 64).reshape(2, 32)
     csv_payload = recorder.encode(trace, sampling_rate_hz=450.0)
@@ -269,6 +274,10 @@ def default_targets(secret: bytes = b"fuzz-shared-secret") -> Tuple[ParserTarget
             seeds=(
                 mint_token(secret, key_epoch=0, nonce=nonce),
                 mint_token(secret, key_epoch=7, nonce=nonce[::-1]),
+                # MSF2: context-carrying layout under the same parser.
+                mint_token(
+                    secret, key_epoch=2, nonce=nonce, trace_context=contexts[0]
+                ),
             ),
             parse=lambda blob: parse_token(blob, secret),
             allowed_errors=(AdmissionError,),
@@ -278,9 +287,23 @@ def default_targets(secret: bytes = b"fuzz-shared-secret") -> Tuple[ParserTarget
             seeds=(
                 seal_report(report, secret, key_epoch=0, nonce=nonce),
                 seal_report(report, secret, key_epoch=3, nonce=nonce[::-1]),
+                # MSE2: context-carrying header under the same opener.
+                seal_report(
+                    report,
+                    secret,
+                    key_epoch=1,
+                    nonce=nonce,
+                    trace_context=contexts[1],
+                ),
             ),
             parse=lambda blob: open_report(blob, secret),
             allowed_errors=(AdmissionError,),
+        ),
+        ParserTarget(
+            name="trace_context",
+            seeds=tuple(context.to_bytes() for context in contexts),
+            parse=TraceContext.from_bytes,
+            allowed_errors=(ValidationError,),
         ),
         ParserTarget(
             name="journal_decode_entry",

@@ -112,7 +112,7 @@ class Smartphone:
             admit_trace(
                 trace, self.admission, observer=self.observer, boundary="relay"
             )
-        with self.observer.span("relay") as relay_span:
+        with self.observer.span("relay", service="phone") as relay_span:
             total_samples = trace.n_channels * trace.n_samples
             payload = self.recording.encode(trace.voltages, trace.sampling_rate_hz)
             raw_bytes = len(payload)
@@ -152,10 +152,18 @@ class Smartphone:
                 uploaded_bytes=float(compressed),
             )
             if self.channel is not None:
+                # The MSF2 token carries this relay span's identity so
+                # the cloud's span becomes a child of this trace; the
+                # MSE2 response carries the cloud span back as a link.
                 sealed = server.analyze_sealed(
-                    trace, freshness_token=self.channel.new_token()
+                    trace,
+                    freshness_token=self.channel.new_token(
+                        trace_context=relay_span.context()
+                    ),
                 )
                 report = self.channel.receive(sealed, boundary="relay")
+                if self.channel.last_context is not None:
+                    relay_span.add_link(self.channel.last_context)
             else:
                 report = server.analyze(trace)
             response_bytes = _REPORT_BYTES_BASE + _REPORT_BYTES_PER_PEAK * report.count

@@ -19,6 +19,13 @@ Quickstart
 """
 
 from repro.obs.clock import MONOTONIC_CLOCK, WALL_CLOCK, Clock, ManualClock
+from repro.obs.context import (
+    CONTEXT_BYTES,
+    CONTEXT_MAGIC,
+    TraceContext,
+    context_or_none,
+    derive_trace_context,
+)
 from repro.obs.events import (
     AUTH_ACCEPTED,
     AUTH_LOCKED_OUT,
@@ -84,6 +91,11 @@ __all__ = [
     "ManualClock",
     "MONOTONIC_CLOCK",
     "WALL_CLOCK",
+    "TraceContext",
+    "CONTEXT_BYTES",
+    "CONTEXT_MAGIC",
+    "context_or_none",
+    "derive_trace_context",
     "AuditEvent",
     "EventLog",
     "JsonlFileSink",

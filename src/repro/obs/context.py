@@ -1,0 +1,156 @@
+"""Distributed trace context: identity that crosses process boundaries.
+
+A :class:`TraceContext` is the W3C-traceparent-shaped triple
+``(trace_id, span_id, sampled)`` that lets spans recorded on different
+sides of a wire boundary — device, phone relay, cloud ingest — stitch
+into one trace.  It travels in two forms:
+
+* **text** — the ``00-<trace_id>-<span_id>-<flags>`` traceparent line,
+  for logs and CLI output;
+* **wire** — a fixed 29-byte ``MST1`` record embedded inside the
+  authenticated regions of the MSF2 freshness token and MSE2 envelope,
+  so the context is integrity-protected alongside the payload it
+  describes (see ``docs/security.md``).
+
+Parsing is *total*: any input that is not a well-formed context raises
+:class:`~repro._util.errors.ValidationError`, never an untyped
+exception, which keeps the guard fuzzer's containment property.
+
+Context identifiers are **never** drawn from the pipeline RNG or from
+``os.urandom`` — fleet code derives them deterministically from the
+request coordinates (:func:`derive_trace_context`) and tracers allocate
+child span ids from a counter, so enabling telemetry cannot perturb any
+honest numeric output.
+"""
+
+import hashlib
+import re
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._util.errors import ValidationError
+
+#: Wire magic for a serialized trace context.
+CONTEXT_MAGIC = b"MST1"
+
+_WIRE = struct.Struct("<4s16s8sB")
+
+#: Exact size of the wire form: magic + trace_id + span_id + flags.
+CONTEXT_BYTES = _WIRE.size
+
+_SAMPLED_FLAG = 0x01
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable trace identity: 32-hex trace id, 16-hex span id."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[0-9a-f]{32}", self.trace_id):
+            raise ValidationError(
+                f"trace_id must be 32 lowercase hex chars, got {self.trace_id!r}"
+            )
+        if not re.fullmatch(r"[0-9a-f]{16}", self.span_id):
+            raise ValidationError(
+                f"span_id must be 16 lowercase hex chars, got {self.span_id!r}"
+            )
+        if int(self.trace_id, 16) == 0:
+            raise ValidationError("trace_id must be non-zero")
+        if int(self.span_id, 16) == 0:
+            raise ValidationError("span_id must be non-zero")
+
+    # ------------------------------------------------------------------
+    def child(self, span_id: str) -> "TraceContext":
+        """Same trace, new span id (for a child allocated locally)."""
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+    # ------------------------------------------------------------------
+    # Text (traceparent) form
+    # ------------------------------------------------------------------
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-<flags>`` per W3C Trace Context."""
+        flags = _SAMPLED_FLAG if self.sampled else 0
+        return f"00-{self.trace_id}-{self.span_id}-{flags:02x}"
+
+    @classmethod
+    def from_traceparent(cls, text: str) -> "TraceContext":
+        """Parse the text form; typed rejection on anything else."""
+        if not isinstance(text, str):
+            raise ValidationError(
+                f"traceparent must be str, got {type(text).__name__}"
+            )
+        match = _TRACEPARENT_RE.match(text)
+        if match is None:
+            raise ValidationError(f"malformed traceparent: {text!r}")
+        trace_id, span_id, flags_hex = match.groups()
+        return cls(trace_id, span_id, bool(int(flags_hex, 16) & _SAMPLED_FLAG))
+
+    # ------------------------------------------------------------------
+    # Wire (MST1) form
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Fixed 29-byte wire record (``MST1`` magic, little-endian)."""
+        return _WIRE.pack(
+            CONTEXT_MAGIC,
+            bytes.fromhex(self.trace_id),
+            bytes.fromhex(self.span_id),
+            _SAMPLED_FLAG if self.sampled else 0,
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TraceContext":
+        """Parse the wire record; raises ``ValidationError`` on garbage."""
+        if not isinstance(blob, (bytes, bytearray, memoryview)):
+            raise ValidationError(
+                f"trace context must be bytes, got {type(blob).__name__}"
+            )
+        blob = bytes(blob)
+        if len(blob) != CONTEXT_BYTES:
+            raise ValidationError(
+                f"trace context must be {CONTEXT_BYTES} bytes, got {len(blob)}"
+            )
+        magic, trace_raw, span_raw, flags = _WIRE.unpack(blob)
+        if magic != CONTEXT_MAGIC:
+            raise ValidationError(f"bad trace-context magic {magic!r}")
+        if flags & ~_SAMPLED_FLAG:
+            raise ValidationError(f"unknown trace-context flags 0x{flags:02x}")
+        return cls(trace_raw.hex(), span_raw.hex(), bool(flags & _SAMPLED_FLAG))
+
+
+def derive_trace_context(
+    seed: int, tenant_id: str, sequence: int, sampled: bool = True
+) -> TraceContext:
+    """Deterministic root context for one fleet request.
+
+    Hashes the request coordinates with BLAKE2b so a replayed fleet run
+    (same seed, same tenants, same ordering) reproduces identical trace
+    ids without touching any RNG stream the pipeline consumes.
+    """
+    digest = hashlib.blake2b(
+        f"medsen-trace:{seed}:{tenant_id}:{sequence}".encode(), digest_size=24
+    ).digest()
+    trace_id = digest[:16].hex()
+    span_id = digest[16:24].hex()
+    # The all-zero id is reserved as "absent" by the W3C spec; the hash
+    # of a fixed-prefix string never produces it in practice, but a
+    # deterministic fallback keeps the constructor total.
+    if int(trace_id, 16) == 0:  # pragma: no cover - astronomically rare
+        trace_id = "1" + trace_id[1:]
+    if int(span_id, 16) == 0:  # pragma: no cover - astronomically rare
+        span_id = "1" + span_id[1:]
+    return TraceContext(trace_id, span_id, sampled)
+
+
+def context_or_none(blob: Optional[bytes]) -> Optional[TraceContext]:
+    """Lenient helper: ``None``/empty passes through as ``None``."""
+    if blob is None or len(blob) == 0:
+        return None
+    return TraceContext.from_bytes(blob)

@@ -160,23 +160,38 @@ class Histogram:
             raise ConfigurationError("percentile q must be within [0, 100]")
         with self._lock:
             samples = list(self._samples)
-        if not samples:
-            return 0.0
-        ordered = sorted(samples)
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[int(rank)]
+        return _nearest_rank(sorted(samples), q)
 
     def summary(self) -> Dict[str, float]:
-        """count / mean / min / p50 / p95 / p99 / max snapshot."""
+        """count / mean / min / p50 / p95 / p99 / max snapshot.
+
+        The whole summary is taken under one lock acquisition so a
+        snapshot observed mid-``observe`` from another thread is still
+        internally consistent (count, sum and percentiles agree).
+        """
+        with self._lock:
+            count = self._count
+            total = self._sum
+            low = self._min if self._min is not None else 0.0
+            high = self._max if self._max is not None else 0.0
+            ordered = sorted(self._samples)
         return {
-            "count": self._count,
-            "mean": self.mean,
-            "min": self.min,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
-            "max": self.max,
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": low,
+            "p50": _nearest_rank(ordered, 50.0),
+            "p95": _nearest_rank(ordered, 95.0),
+            "p99": _nearest_rank(ordered, 99.0),
+            "max": high,
         }
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
 
 
 class MetricsRegistry:

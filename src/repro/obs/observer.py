@@ -14,9 +14,10 @@ implementations exist:
   off.
 """
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.context import TraceContext
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Span, Tracer
@@ -41,6 +42,13 @@ class NullSpan:
     def set_attribute(self, key: str, value: Any) -> None:
         """Discarded."""
 
+    def context(self) -> Optional["TraceContext"]:
+        """No identity: a null span never propagates."""
+        return None
+
+    def add_link(self, context: "TraceContext") -> None:
+        """Discarded."""
+
     def __enter__(self) -> "NullSpan":
         self._start_s = self._clock()
         return self
@@ -57,9 +65,19 @@ class NullObserver:
     def __init__(self, clock: Clock = MONOTONIC_CLOCK) -> None:
         self._clock = clock
 
-    def span(self, name: str, **attributes: Any) -> NullSpan:
+    def span(
+        self,
+        name: str,
+        remote_parent: Optional["TraceContext"] = None,
+        links: Iterable["TraceContext"] = (),
+        **attributes: Any,
+    ) -> NullSpan:
         """A measure-only span; nothing is recorded."""
         return NullSpan(self._clock)
+
+    def current_context(self) -> Optional["TraceContext"]:
+        """No trace identity when observability is off."""
+        return None
 
     def event(self, kind: str, **fields: Any) -> None:
         """Discarded."""
@@ -107,9 +125,26 @@ class Observer:
         )
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attributes: Any) -> Span:
-        """Open a named span under the current one (context manager)."""
-        return self.tracer.span(name, **attributes)
+    def span(
+        self,
+        name: str,
+        remote_parent: Optional[TraceContext] = None,
+        links: Iterable[TraceContext] = (),
+        **attributes: Any,
+    ) -> Span:
+        """Open a named span under the current one (context manager).
+
+        ``remote_parent`` stitches this span to a trace from another
+        process (a wire-carried :class:`TraceContext`); ``links``
+        attach additional related contexts.
+        """
+        return self.tracer.span(
+            name, remote_parent=remote_parent, links=links, **attributes
+        )
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost open span's context, for wire propagation."""
+        return self.tracer.current_context()
 
     def event(self, kind: str, **fields: Any) -> None:
         """Emit one audit event."""

@@ -116,23 +116,28 @@ def figure12_13_calibration(rng: RngLike = 12) -> str:
     return canvas.to_svg()
 
 
-def figure14_processing_time(rng: RngLike = 14) -> str:
-    """Figure 14: analysis time vs sample size, computer vs phone."""
-    import time as time_module
+def figure14_processing_time(rng: RngLike = 14, clock=None) -> str:
+    """Figure 14: analysis time vs sample size, computer vs phone.
 
+    ``clock`` is the duration source (defaults to the obs monotonic
+    clock); inject a :class:`~repro.obs.clock.ManualClock` to render a
+    deterministic figure.
+    """
     from repro.dsp.peakdetect import PeakDetector
     from repro.experiments import make_fig14_capture as make_capture
     from repro.mobile.perf import FIG14_SAMPLE_SIZES, NEXUS5
+    from repro.obs import MONOTONIC_CLOCK
 
     FS = 450.0
+    clock = clock or MONOTONIC_CLOCK
 
     detector = PeakDetector()
     measured = []
     for n_samples in FIG14_SAMPLE_SIZES:
         capture = make_capture(n_samples)
-        start = time_module.perf_counter()
+        start = clock()
         detector.detect(capture, FS)
-        measured.append(time_module.perf_counter() - start)
+        measured.append(clock() - start)
     phone = [NEXUS5.processing_time_s(n) for n in FIG14_SAMPLE_SIZES]
 
     canvas = SvgCanvas(width=680, height=420)

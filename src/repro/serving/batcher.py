@@ -15,26 +15,34 @@ batching changes throughput and amortised latency, never results.
 
 import threading
 from time import monotonic as _monotonic
-from time import perf_counter as _perf_counter
 from typing import List, Optional, Sequence
 
 from repro.cloud.server import AnalysisServer
 from repro.dsp.peakdetect import PeakReport
 from repro.hardware.acquisition import AcquiredTrace
-from repro.obs import BATCH_FLUSHED, NULL_OBSERVER
+from repro.obs import (
+    BATCH_FLUSHED,
+    MONOTONIC_CLOCK,
+    NULL_OBSERVER,
+    Clock,
+    TraceContext,
+)
 
 
 class _Slot:
     """One rider's place in the pending batch."""
 
-    __slots__ = ("trace", "report", "error", "done", "share_s")
+    __slots__ = ("trace", "report", "error", "done", "share_s", "context")
 
-    def __init__(self, trace: AcquiredTrace) -> None:
+    def __init__(
+        self, trace: AcquiredTrace, context: Optional[TraceContext] = None
+    ) -> None:
         self.trace = trace
         self.report: Optional[PeakReport] = None
         self.error: Optional[BaseException] = None
         self.done = False
         self.share_s = 0.0
+        self.context = context
 
 
 class BatchingAnalysisServer:
@@ -50,6 +58,12 @@ class BatchingAnalysisServer:
     max_linger_s:
         Flush a partial batch once its oldest rider has waited this
         long — bounds the latency cost of batching under light load.
+    clock:
+        Monotonic source for the flush-duration measurement (amortised
+        ``share_s`` per rider); inject a
+        :class:`~repro.obs.clock.ManualClock` for deterministic replay.
+        The *linger* deadline stays on real monotonic time because it
+        bounds actual condition-variable blocking, not a measurement.
     """
 
     def __init__(
@@ -58,6 +72,7 @@ class BatchingAnalysisServer:
         max_batch_size: int = 8,
         max_linger_s: float = 0.02,
         observer=NULL_OBSERVER,
+        clock: Clock = MONOTONIC_CLOCK,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -67,6 +82,7 @@ class BatchingAnalysisServer:
         self.max_batch_size = max_batch_size
         self.max_linger_s = max_linger_s
         self.observer = observer
+        self.clock = clock
         self._cond = threading.Condition()
         self._pending: List[_Slot] = []
         self._batches_flushed = 0
@@ -131,12 +147,20 @@ class BatchingAnalysisServer:
         one rider's garbage or replayed exchange is refused alone
         instead of failing its batch-mates.
         """
-        self.server.admit_ingress(trace, freshness_token, boundary="batch")
+        admitted = self.server.admit_ingress(trace, freshness_token, boundary="batch")
         if request_id is not None:
             cached = self.server._check_duplicate(request_id)
             if cached is not None:
                 return cached
-        slot = _Slot(trace)
+        # Remember the rider's trace identity (from its MSF2 token, or
+        # the calling thread's live span) so the leader's flush span can
+        # link every rider it carried.
+        context = admitted.context if admitted is not None else None
+        if context is None:
+            current = getattr(self.observer, "current_context", None)
+            if current is not None:
+                context = current()
+        slot = _Slot(trace, context=context)
         batch: Optional[List[_Slot]] = None
         with self._cond:
             self._pending.append(slot)
@@ -178,9 +202,19 @@ class BatchingAnalysisServer:
 
     # ------------------------------------------------------------------
     def _flush(self, batch: List[_Slot], reason: str) -> None:
-        started = _perf_counter()
+        links = tuple(slot.context for slot in batch if slot.context is not None)
+        started = self.clock()
         try:
-            reports = self.server.analyze_batch([slot.trace for slot in batch])
+            with self.observer.span(
+                "batch_flush",
+                links=links,
+                service="batcher",
+                batch_size=len(batch),
+                reason=reason,
+            ):
+                reports = self.server.analyze_batch(
+                    [slot.trace for slot in batch]
+                )
         except BaseException as error:  # propagate to every rider
             with self._cond:
                 for slot in batch:
@@ -188,7 +222,7 @@ class BatchingAnalysisServer:
                     slot.done = True
                 self._cond.notify_all()
             raise
-        share_s = (_perf_counter() - started) / len(batch)
+        share_s = (self.clock() - started) / len(batch)
         with self._cond:
             for slot, report in zip(batch, reports):
                 slot.report = report

@@ -239,7 +239,16 @@ class ResilientAnalysisClient:
 
     # ------------------------------------------------------------------
     def _mint(self) -> Optional[bytes]:
-        return self.token_minter.mint() if self.token_minter is not None else None
+        if self.token_minter is None:
+            return None
+        # Attach the caller's live span context (if any) so the token
+        # carries the trace across the wire (MSF2); context comes from
+        # the tracer's counter, never from ``rng``, so replay holds.
+        context = None
+        current = getattr(self.observer, "current_context", None)
+        if current is not None:
+            context = current()
+        return self.token_minter.mint(trace_context=context)
 
     def _attempt_backend(self, trace: AcquiredTrace, token: Optional[bytes] = None):
         kwargs = {}

@@ -52,6 +52,7 @@ from repro.mobile.phone import Smartphone
 from repro.obs import (
     GUARD_REJECTED,
     NULL_OBSERVER,
+    derive_trace_context,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
     REQUEST_QUARANTINED,
@@ -606,7 +607,30 @@ class FleetScheduler:
         future._resolve(result)
 
     def _execute(self, request: SessionRequest):
-        """Run one session with fresh per-request stateful components."""
+        """Run one session with fresh per-request stateful components.
+
+        The whole session runs inside a ``fleet_request`` root span
+        whose trace id derives deterministically from
+        ``(seed, tenant, tenant_sequence)`` — the same coordinates as
+        the request RNG, but via a separate BLAKE2b hash, so tracing
+        never touches a pipeline random stream.  Every downstream span
+        (device capture, relay, cloud analysis, batching) nests under
+        or links to this trace, stitching the fleet run together.
+        """
+        root = derive_trace_context(
+            self.config.seed, request.tenant_id, request.tenant_sequence
+        )
+        with self.observer.span(
+            "fleet_request",
+            remote_parent=root,
+            service="scheduler",
+            tenant=request.tenant_id,
+            sequence=request.sequence,
+            tenant_sequence=request.tenant_sequence,
+        ):
+            return self._execute_in_span(request)
+
+    def _execute_in_span(self, request: SessionRequest):
         rng = derive_request_rng(
             self.config.seed, request.tenant_id, request.tenant_sequence
         )

@@ -1,0 +1,93 @@
+"""Fleet telemetry: quantile sketches, SLOs, profiling, benchmarks.
+
+Builds on :mod:`repro.obs` (which stays dependency-free and
+behaviour-neutral) with the operator-facing layer:
+
+* :mod:`repro.telemetry.quantiles` — mergeable exponential-bucket
+  histograms with bounded quantile error, rolling windows, and a
+  cross-worker roll-up;
+* :mod:`repro.telemetry.slo` — declarative SLO rules with
+  multi-window burn-rate alerting;
+* :mod:`repro.telemetry.dashboard` — the :class:`TelemetryObserver`
+  drop-in and the pure-text ``repro top`` frame renderer;
+* :mod:`repro.telemetry.profiler` — deterministic stage profiler with
+  folded-stack (flamegraph) output and the pipeline profile driver;
+* :mod:`repro.telemetry.bench` — the ``BENCH_*.json`` benchmark
+  trajectory runner and its CI regression gate.
+"""
+
+from repro.telemetry.bench import (
+    DEFAULT_AREAS,
+    SCHEMA,
+    Regression,
+    compare_artifacts,
+    load_artifact,
+    make_artifact,
+    run_area,
+    run_benchmarks,
+    write_artifact,
+)
+from repro.telemetry.dashboard import (
+    TelemetryObserver,
+    render_dashboard,
+    render_observer,
+    rollup_quantiles,
+)
+from repro.telemetry.profiler import (
+    CPU_CLOCK,
+    PipelineProfile,
+    StageProfiler,
+    StageStat,
+    folded_from_tracer,
+    profile_pipeline,
+)
+from repro.telemetry.quantiles import (
+    ExponentialHistogram,
+    QuantileRegistry,
+    RollingHistogram,
+    merge_registries,
+)
+from repro.telemetry.slo import (
+    DEFAULT_RULES,
+    LONG_WINDOW_S,
+    PAGE_BURN,
+    SHORT_WINDOW_S,
+    WARN_BURN,
+    SloEngine,
+    SloRule,
+    SloStatus,
+)
+
+__all__ = [
+    "ExponentialHistogram",
+    "RollingHistogram",
+    "QuantileRegistry",
+    "merge_registries",
+    "SloRule",
+    "SloEngine",
+    "SloStatus",
+    "DEFAULT_RULES",
+    "PAGE_BURN",
+    "WARN_BURN",
+    "SHORT_WINDOW_S",
+    "LONG_WINDOW_S",
+    "TelemetryObserver",
+    "render_dashboard",
+    "render_observer",
+    "rollup_quantiles",
+    "StageProfiler",
+    "StageStat",
+    "PipelineProfile",
+    "CPU_CLOCK",
+    "profile_pipeline",
+    "folded_from_tracer",
+    "SCHEMA",
+    "DEFAULT_AREAS",
+    "Regression",
+    "make_artifact",
+    "load_artifact",
+    "write_artifact",
+    "compare_artifacts",
+    "run_area",
+    "run_benchmarks",
+]

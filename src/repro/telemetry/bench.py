@@ -1,0 +1,244 @@
+"""Benchmark trajectory: versioned artifacts and a regression gate.
+
+``python -m repro bench`` runs the ``collect()`` entry points of the
+area benchmarks under ``benchmarks/`` and writes one
+``BENCH_<area>.json`` artifact per area at the repository root.  The
+committed artifacts form the *benchmark trajectory*: every commit
+that moves a number re-generates them, so the repo's history doubles
+as a performance record, and CI compares a fresh run against the
+committed baseline and fails on regressions beyond each metric's
+tolerance band.
+
+Artifact schema (``medsen-bench/v1``)::
+
+    {
+      "schema": "medsen-bench/v1",
+      "area": "throughput",
+      "quick": true,
+      "metrics": {
+        "speedup_8x": {
+          "value": 3.4,
+          "unit": "ratio",
+          "direction": "higher",   # higher | lower | near
+          "tolerance": 0.35,       # relative band
+          "gate": true             # participates in the CI gate
+        }
+      }
+    }
+
+Gating policy: host-dependent wall-clock metrics are recorded for the
+trajectory but **not** gated (``gate: false``) — CI machines are too
+noisy.  Gated metrics are dimensionless ratios and deterministic
+counts, which a code change can move but a slow runner cannot.
+Artifacts deliberately carry no timestamps or hostnames, so
+regenerating on an identical tree yields an identical file.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro._util.errors import ConfigurationError, ValidationError
+
+SCHEMA = "medsen-bench/v1"
+
+#: Areas with ``collect()`` entry points, run by default.
+DEFAULT_AREAS = ("throughput", "end_to_end", "scaling")
+
+_DIRECTIONS = ("higher", "lower", "near")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric outside its tolerance band."""
+
+    area: str
+    metric: str
+    baseline: float
+    measured: float
+    direction: str
+    tolerance: float
+
+    def format(self) -> str:
+        return (
+            f"{self.area}.{self.metric}: measured {self.measured:.4g} vs "
+            f"baseline {self.baseline:.4g} (direction {self.direction}, "
+            f"tolerance {self.tolerance:.0%})"
+        )
+
+
+def _check_metric(name: str, spec: Dict) -> None:
+    if not isinstance(spec, dict):
+        raise ValidationError(f"metric {name!r}: spec must be a dict")
+    for key in ("value", "unit", "direction", "tolerance", "gate"):
+        if key not in spec:
+            raise ValidationError(f"metric {name!r}: missing {key!r}")
+    if spec["direction"] not in _DIRECTIONS:
+        raise ValidationError(
+            f"metric {name!r}: direction must be one of {_DIRECTIONS}, "
+            f"got {spec['direction']!r}"
+        )
+    if not isinstance(spec["value"], (int, float)) or isinstance(spec["value"], bool):
+        raise ValidationError(f"metric {name!r}: value must be a number")
+    if not isinstance(spec["tolerance"], (int, float)) or spec["tolerance"] < 0:
+        raise ValidationError(f"metric {name!r}: tolerance must be >= 0")
+    if not isinstance(spec["gate"], bool):
+        raise ValidationError(f"metric {name!r}: gate must be a bool")
+
+
+def make_artifact(area: str, metrics: Dict[str, Dict], quick: bool) -> Dict:
+    """Wrap collected metrics into a schema-checked artifact dict."""
+    if not area or not area.replace("_", "").isalnum():
+        raise ValidationError(f"bad area name {area!r}")
+    if not metrics:
+        raise ValidationError(f"area {area!r} collected no metrics")
+    for name, spec in metrics.items():
+        _check_metric(name, spec)
+    return {"schema": SCHEMA, "area": area, "quick": bool(quick), "metrics": metrics}
+
+
+def load_artifact(path: str) -> Dict:
+    """Read and validate one ``BENCH_*.json`` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise ValidationError(
+            f"{path}: not a {SCHEMA} artifact "
+            f"(schema={payload.get('schema') if isinstance(payload, dict) else None!r})"
+        )
+    for key in ("area", "quick", "metrics"):
+        if key not in payload:
+            raise ValidationError(f"{path}: missing {key!r}")
+    for name, spec in payload["metrics"].items():
+        _check_metric(name, spec)
+    return payload
+
+
+def write_artifact(artifact: Dict, out_dir: str) -> str:
+    """Write ``BENCH_<area>.json`` (stable key order); returns the path."""
+    path = os.path.join(out_dir, f"BENCH_{artifact['area']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Comparison / gate
+# ---------------------------------------------------------------------------
+def compare_artifacts(baseline: Dict, measured: Dict) -> List[Regression]:
+    """Gated regressions of ``measured`` against ``baseline``.
+
+    Only metrics marked ``gate: true`` *in the baseline* participate —
+    the committed trajectory decides what is load-bearing.  A gated
+    baseline metric missing from the fresh run is itself a regression
+    (a silently dropped benchmark must not pass the gate).
+    """
+    if baseline.get("area") != measured.get("area"):
+        raise ValidationError(
+            f"area mismatch: baseline {baseline.get('area')!r} "
+            f"vs measured {measured.get('area')!r}"
+        )
+    area = baseline["area"]
+    regressions: List[Regression] = []
+    for name, spec in baseline["metrics"].items():
+        if not spec["gate"]:
+            continue
+        fresh = measured["metrics"].get(name)
+        reference = float(spec["value"])
+        direction = spec["direction"]
+        tolerance = float(spec["tolerance"])
+        if fresh is None:
+            regressions.append(
+                Regression(area, name, reference, float("nan"), direction, tolerance)
+            )
+            continue
+        value = float(fresh["value"])
+        band = tolerance * max(abs(reference), 1e-12)
+        if direction == "higher":
+            failed = value < reference - band
+        elif direction == "lower":
+            failed = value > reference + band
+        else:  # near
+            failed = abs(value - reference) > band
+        if failed:
+            regressions.append(
+                Regression(area, name, reference, value, direction, tolerance)
+            )
+    return regressions
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+def _load_bench_module(area: str, bench_dir: str):
+    """Import ``bench_<area>.py`` from ``bench_dir``.
+
+    Loads by file path under a private module name so the runner works
+    from any CWD, while making sure ``bench_dir``'s parent is on
+    ``sys.path`` (the bench modules import ``benchmarks._harness``).
+    """
+    path = os.path.join(bench_dir, f"bench_{area}.py")
+    if not os.path.isfile(path):
+        raise ConfigurationError(f"no benchmark for area {area!r} at {path}")
+    parent = os.path.dirname(os.path.abspath(bench_dir))
+    if parent not in sys.path:
+        sys.path.insert(0, parent)
+    module_name = f"_medsen_bench_{area}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def default_bench_dir() -> str:
+    """``benchmarks/`` at the repository root (package-relative)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/telemetry -> src/repro -> src -> repo root
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks")
+
+
+def run_area(area: str, quick: bool, bench_dir: Optional[str] = None) -> Dict:
+    """Run one area's ``collect()`` and return its artifact dict."""
+    module = _load_bench_module(area, bench_dir or default_bench_dir())
+    collect = getattr(module, "collect", None)
+    if collect is None:
+        raise ConfigurationError(
+            f"bench_{area}.py has no collect(quick) entry point"
+        )
+    metrics = collect(quick=quick)
+    return make_artifact(area, metrics, quick)
+
+
+def run_benchmarks(
+    areas: Sequence[str] = DEFAULT_AREAS,
+    quick: bool = True,
+    bench_dir: Optional[str] = None,
+    out_dir: Optional[str] = None,
+    baseline_dir: Optional[str] = None,
+) -> Dict:
+    """Run areas, write artifacts, and optionally gate against baselines.
+
+    Returns ``{"artifacts": {area: path}, "regressions": [Regression]}``.
+    When ``baseline_dir`` is given, each area with a committed
+    ``BENCH_<area>.json`` there is compared *before* anything is
+    overwritten; areas without a baseline just produce a fresh
+    artifact (first commit of a new trajectory).
+    """
+    out = out_dir or os.getcwd()
+    artifacts: Dict[str, str] = {}
+    regressions: List[Regression] = []
+    for area in areas:
+        artifact = run_area(area, quick=quick, bench_dir=bench_dir)
+        if baseline_dir is not None:
+            baseline_path = os.path.join(baseline_dir, f"BENCH_{area}.json")
+            if os.path.isfile(baseline_path):
+                baseline = load_artifact(baseline_path)
+                regressions.extend(compare_artifacts(baseline, artifact))
+        artifacts[area] = write_artifact(artifact, out)
+    return {"artifacts": artifacts, "regressions": regressions}

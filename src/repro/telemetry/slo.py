@@ -1,0 +1,307 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloRule` names a service-level objective over instruments
+that already exist in a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* ``ratio`` rules divide a *good*-event counter by a total (either an
+  explicit total counter, or ``good + bad``) — availability,
+  auth-rejection rate;
+* ``latency`` rules count an observation as good when it lands at or
+  under ``threshold_s`` — ingest latency.
+
+The :class:`SloEngine` turns those rules into alerting state the way
+site reliability practice does it: the **burn rate** is the observed
+error rate divided by the error budget ``1 - objective`` (burn 1.0
+exhausts the budget exactly at the window's end), evaluated over a
+short and a long window simultaneously so a page needs both a real
+spike *and* sustained damage.  Default thresholds follow the classic
+multi-window table: page at burn >= 14.4, warn at >= 6.0.
+
+Time is injectable; under a :class:`~repro.obs.clock.ManualClock` the
+whole alerting history is a pure function of the observation stream.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util.errors import ConfigurationError
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.metrics import MetricsRegistry
+
+#: Multi-window burn thresholds (error-budget multiples).
+PAGE_BURN = 14.4
+WARN_BURN = 6.0
+
+#: Default evaluation windows (seconds).
+SHORT_WINDOW_S = 300.0
+LONG_WINDOW_S = 3600.0
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One objective over existing instruments.
+
+    Parameters
+    ----------
+    name:
+        Rule identifier (``availability``, ``ingest_latency`` ...).
+    kind:
+        ``"ratio"`` or ``"latency"``.
+    objective:
+        Target good fraction in (0, 1), e.g. ``0.99``.
+    good, total, bad:
+        Counter names for ratio rules.  Give ``total`` *or* ``bad``
+        (total is then ``good + bad``), never both.
+    histogram, threshold_s:
+        For latency rules: the histogram observations are judged
+        against, and the latency at or under which one counts as good.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    good: str = ""
+    total: str = ""
+    bad: str = ""
+    histogram: str = ""
+    threshold_s: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "latency"):
+            raise ConfigurationError(
+                f"rule {self.name!r}: kind must be 'ratio' or 'latency', "
+                f"got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ConfigurationError(
+                f"rule {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+        if self.kind == "ratio":
+            if not self.good:
+                raise ConfigurationError(f"rule {self.name!r}: good counter required")
+            if bool(self.total) == bool(self.bad):
+                raise ConfigurationError(
+                    f"rule {self.name!r}: give exactly one of total= or bad="
+                )
+        else:
+            if not self.histogram:
+                raise ConfigurationError(
+                    f"rule {self.name!r}: histogram name required"
+                )
+            if self.threshold_s <= 0:
+                raise ConfigurationError(
+                    f"rule {self.name!r}: threshold_s must be > 0"
+                )
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed bad fraction, ``1 - objective``."""
+        return 1.0 - self.objective
+
+
+#: The fleet's stock objectives, over instruments the serving and auth
+#: layers already emit.
+DEFAULT_RULES: Tuple[SloRule, ...] = (
+    SloRule(
+        name="availability",
+        kind="ratio",
+        objective=0.99,
+        good="serve.completed",
+        total="serve.submitted",
+        description="fleet requests that complete",
+    ),
+    SloRule(
+        name="ingest_latency",
+        kind="latency",
+        objective=0.95,
+        histogram="serve.e2e_s",
+        threshold_s=2.5,
+        description="end-to-end request latency <= 2.5 s",
+    ),
+    SloRule(
+        name="auth_acceptance",
+        kind="ratio",
+        objective=0.90,
+        good="auth.accepted",
+        bad="auth.rejected",
+        description="authentication attempts that match a registered identity",
+    ),
+)
+
+
+@dataclass
+class SloStatus:
+    """One rule's evaluated state at a point in time."""
+
+    rule: SloRule
+    good: float
+    total: float
+    compliance: float
+    short_burn: float
+    long_burn: float
+    state: str  # "ok" | "warn" | "page" | "no_data"
+
+    def format(self) -> str:
+        """One dashboard line."""
+        return (
+            f"{self.rule.name:<16} {self.state:<7} "
+            f"slo={self.rule.objective:.2%} met={self.compliance:.2%} "
+            f"burn {self.short_burn:5.1f}/{self.long_burn:5.1f} "
+            f"({self.good:.0f}/{self.total:.0f})"
+        )
+
+
+class SloEngine:
+    """Evaluates :class:`SloRule` objectives against live metrics.
+
+    The engine never scrapes instruments it doesn't own for latency
+    rules — instead :meth:`observe_hook` is called in-line by the
+    telemetry observer for every histogram observation, and the engine
+    keeps its own good/total counters per rule.  Ratio rules read the
+    named counters from ``registry`` at :meth:`tick` time.
+
+    ``tick()`` appends one (time, good, total) snapshot row per rule;
+    burn rates difference two snapshots, so the engine needs periodic
+    ticks (the fleet scheduler's poll loop, or a test's manual clock)
+    but no background thread.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        rules: Sequence[SloRule] = DEFAULT_RULES,
+        clock: Clock = MONOTONIC_CLOCK,
+        max_snapshots: int = 4096,
+    ) -> None:
+        if max_snapshots < 2:
+            raise ConfigurationError("max_snapshots must be >= 2")
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate rule names in {names}")
+        self.registry = registry
+        self.rules = tuple(rules)
+        self.clock = clock
+        self.max_snapshots = max_snapshots
+        #: rule -> [(t, good, total)] rings, oldest first.
+        self._snapshots: Dict[str, List[Tuple[float, float, float]]] = {
+            rule.name: [] for rule in self.rules
+        }
+        #: latency rules' own good/total tallies, fed by observe_hook.
+        self._latency_counts: Dict[str, Tuple[float, float]] = {
+            rule.name: (0.0, 0.0) for rule in self.rules if rule.kind == "latency"
+        }
+
+    # ------------------------------------------------------------------
+    def observe_hook(self, name: str, value: float) -> None:
+        """Judge one histogram observation against the latency rules.
+
+        Called by :class:`~repro.telemetry.dashboard.TelemetryObserver`
+        for every ``observe()``; cheap no-op for unrelated histograms.
+        """
+        for rule in self.rules:
+            if rule.kind == "latency" and rule.histogram == name:
+                good, total = self._latency_counts[rule.name]
+                self._latency_counts[rule.name] = (
+                    good + (1.0 if value <= rule.threshold_s else 0.0),
+                    total + 1.0,
+                )
+
+    # ------------------------------------------------------------------
+    def _current_counts(self, rule: SloRule) -> Tuple[float, float]:
+        if rule.kind == "latency":
+            return self._latency_counts[rule.name]
+        good = self.registry.counter(rule.good).value
+        if rule.total:
+            total = self.registry.counter(rule.total).value
+        else:
+            total = good + self.registry.counter(rule.bad).value
+        return good, total
+
+    def tick(self, now_s: Optional[float] = None) -> None:
+        """Record one snapshot row per rule (call periodically)."""
+        now = self.clock() if now_s is None else float(now_s)
+        for rule in self.rules:
+            good, total = self._current_counts(rule)
+            ring = self._snapshots[rule.name]
+            ring.append((now, good, total))
+            if len(ring) > self.max_snapshots:
+                del ring[: len(ring) - self.max_snapshots]
+
+    # ------------------------------------------------------------------
+    def burn_rate(
+        self, rule_name: str, window_s: float, now_s: Optional[float] = None
+    ) -> float:
+        """Error budget consumption speed over the trailing window.
+
+        0.0 when the window saw no traffic (an idle service is not
+        burning budget); snapshots older than the window are ignored,
+        falling back to the oldest in-window row as the baseline.
+        """
+        rule = self._rule(rule_name)
+        ring = self._snapshots[rule_name]
+        if not ring:
+            return 0.0
+        now = self.clock() if now_s is None else float(now_s)
+        horizon = now - window_s
+        newest = ring[-1]
+        baseline = None
+        for row in ring:
+            if row[0] >= horizon:
+                baseline = row
+                break
+        if baseline is None or baseline is newest:
+            # One in-window snapshot: treat the window as starting cold.
+            baseline = (horizon, 0.0, 0.0)
+        d_good = newest[1] - baseline[1]
+        d_total = newest[2] - baseline[2]
+        if d_total <= 0.0:
+            return 0.0
+        error_rate = 1.0 - d_good / d_total
+        return error_rate / rule.error_budget
+
+    def status(self, now_s: Optional[float] = None) -> List[SloStatus]:
+        """Evaluate every rule: compliance, burn rates, alert state."""
+        now = self.clock() if now_s is None else float(now_s)
+        out = []
+        for rule in self.rules:
+            good, total = self._current_counts(rule)
+            compliance = good / total if total > 0 else 1.0
+            short = self.burn_rate(rule.name, SHORT_WINDOW_S, now_s=now)
+            long = self.burn_rate(rule.name, LONG_WINDOW_S, now_s=now)
+            if total <= 0:
+                state = "no_data"
+            elif short >= PAGE_BURN and long >= PAGE_BURN / 4:
+                # A page needs the long window damaged too, or a single
+                # bad minute after a quiet hour would wake someone.
+                state = "page"
+            elif short >= WARN_BURN:
+                state = "warn"
+            else:
+                state = "ok"
+            out.append(
+                SloStatus(
+                    rule=rule,
+                    good=good,
+                    total=total,
+                    compliance=compliance,
+                    short_burn=short,
+                    long_burn=long,
+                    state=state,
+                )
+            )
+        return out
+
+    def worst_state(self, now_s: Optional[float] = None) -> str:
+        """The most severe rule state (for exit codes / banners)."""
+        severity = {"no_data": 0, "ok": 1, "warn": 2, "page": 3}
+        states = [status.state for status in self.status(now_s=now_s)]
+        return max(states, key=lambda s: severity[s]) if states else "no_data"
+
+    # ------------------------------------------------------------------
+    def _rule(self, rule_name: str) -> SloRule:
+        for rule in self.rules:
+            if rule.name == rule_name:
+                return rule
+        raise ConfigurationError(f"unknown SLO rule {rule_name!r}")

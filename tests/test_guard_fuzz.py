@@ -102,8 +102,8 @@ class TestRunFuzz:
     def test_all_default_targets_contained(self):
         report = run_fuzz(seed=0, n_per_parser=300)
         assert report.contained, report.format()
-        assert len(report.results) == 7
-        assert report.n_mutations == 7 * 300
+        assert len(report.results) == 8
+        assert report.n_mutations == 8 * 300
 
     def test_digest_stable_and_seed_sensitive(self):
         assert run_fuzz(seed=4, n_per_parser=60).digest() == run_fuzz(
@@ -176,6 +176,17 @@ def test_open_report_total(blob):
     try:
         open_report(blob, SECRET)
     except AdmissionError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(blob=st.binary(max_size=64))
+def test_trace_context_total(blob):
+    from repro.obs.context import TraceContext
+
+    try:
+        TraceContext.from_bytes(blob)
+    except ValidationError:
         pass
 
 

@@ -1,0 +1,189 @@
+"""Benchmark trajectory: artifact schema, gate semantics, runner."""
+
+import json
+import math
+import os
+import textwrap
+
+import pytest
+
+from repro._util.errors import ConfigurationError, ValidationError
+from repro.telemetry import (
+    SCHEMA,
+    compare_artifacts,
+    load_artifact,
+    make_artifact,
+    run_area,
+    run_benchmarks,
+    write_artifact,
+)
+
+
+def metric(value, direction="near", tolerance=0.1, gate=True, unit="x"):
+    return {
+        "value": value, "unit": unit, "direction": direction,
+        "tolerance": tolerance, "gate": gate,
+    }
+
+
+class TestArtifactSchema:
+    def test_make_and_write_round_trip(self, tmp_path):
+        artifact = make_artifact("demo", {"m": metric(1.0)}, quick=True)
+        assert artifact["schema"] == SCHEMA
+        path = write_artifact(artifact, str(tmp_path))
+        assert os.path.basename(path) == "BENCH_demo.json"
+        assert load_artifact(path) == artifact
+
+    def test_write_is_deterministic(self, tmp_path):
+        artifact = make_artifact("demo", {"m": metric(1.0)}, quick=True)
+        a = open(write_artifact(artifact, str(tmp_path))).read()
+        b = open(write_artifact(artifact, str(tmp_path))).read()
+        assert a == b
+
+    def test_empty_metrics_refused(self):
+        with pytest.raises(ValidationError):
+            make_artifact("demo", {}, quick=True)
+
+    def test_bad_direction_refused(self):
+        with pytest.raises(ValidationError):
+            make_artifact("demo", {"m": metric(1.0, direction="up")}, quick=True)
+
+    def test_missing_keys_refused(self):
+        with pytest.raises(ValidationError):
+            make_artifact("demo", {"m": {"value": 1.0}}, quick=True)
+
+    def test_non_numeric_value_refused(self):
+        with pytest.raises(ValidationError):
+            make_artifact("demo", {"m": metric("fast")}, quick=True)
+        with pytest.raises(ValidationError):
+            make_artifact("demo", {"m": metric(True)}, quick=True)
+
+    def test_wrong_schema_refused(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "other/v9", "area": "x"}))
+        with pytest.raises(ValidationError):
+            load_artifact(str(path))
+
+
+class TestGate:
+    def baseline(self, **metrics):
+        return make_artifact("demo", metrics, quick=True)
+
+    def test_within_tolerance_passes(self):
+        base = self.baseline(m=metric(100.0, direction="higher", tolerance=0.1))
+        fresh = self.baseline(m=metric(95.0, direction="higher", tolerance=0.1))
+        assert compare_artifacts(base, fresh) == []
+
+    def test_higher_direction_regression(self):
+        base = self.baseline(m=metric(100.0, direction="higher", tolerance=0.1))
+        fresh = self.baseline(m=metric(80.0, direction="higher", tolerance=0.1))
+        (r,) = compare_artifacts(base, fresh)
+        assert r.metric == "m" and "regression" not in r.format().lower()
+        assert r.measured == 80.0
+
+    def test_lower_direction_regression(self):
+        base = self.baseline(m=metric(1.0, direction="lower", tolerance=0.2))
+        assert compare_artifacts(
+            base, self.baseline(m=metric(1.1, direction="lower", tolerance=0.2))
+        ) == []
+        assert len(compare_artifacts(
+            base, self.baseline(m=metric(1.5, direction="lower", tolerance=0.2))
+        )) == 1
+
+    def test_near_direction_both_sides(self):
+        base = self.baseline(m=metric(50.0, direction="near", tolerance=0.1))
+        for bad in (40.0, 60.0):
+            assert len(compare_artifacts(
+                base, self.baseline(m=metric(bad, direction="near", tolerance=0.1))
+            )) == 1
+
+    def test_ungated_metric_ignored(self):
+        base = self.baseline(m=metric(100.0, direction="higher", gate=False))
+        fresh = self.baseline(m=metric(1.0, direction="higher", gate=False))
+        assert compare_artifacts(base, fresh) == []
+
+    def test_dropped_gated_metric_is_a_regression(self):
+        base = self.baseline(m=metric(1.0), other=metric(2.0))
+        fresh = self.baseline(other=metric(2.0))
+        (r,) = compare_artifacts(base, fresh)
+        assert r.metric == "m" and math.isnan(r.measured)
+
+    def test_area_mismatch_refused(self):
+        base = self.baseline(m=metric(1.0))
+        fresh = make_artifact("elsewhere", {"m": metric(1.0)}, quick=True)
+        with pytest.raises(ValidationError):
+            compare_artifacts(base, fresh)
+
+
+FAKE_BENCH = textwrap.dedent(
+    """
+    def collect(quick=True):
+        return {
+            "answer": {
+                "value": 42.0 if quick else 43.0,
+                "unit": "x",
+                "direction": "near",
+                "tolerance": 0.0,
+                "gate": True,
+            }
+        }
+    """
+)
+
+
+class TestRunner:
+    @pytest.fixture
+    def bench_dir(self, tmp_path):
+        d = tmp_path / "benchmarks"
+        d.mkdir()
+        (d / "bench_fake.py").write_text(FAKE_BENCH)
+        (d / "bench_broken.py").write_text("x = 1\n")
+        return str(d)
+
+    def test_run_area(self, bench_dir):
+        artifact = run_area("fake", quick=True, bench_dir=bench_dir)
+        assert artifact["metrics"]["answer"]["value"] == 42.0
+        assert artifact["quick"] is True
+
+    def test_missing_area_refused(self, bench_dir):
+        with pytest.raises(ConfigurationError):
+            run_area("absent", quick=True, bench_dir=bench_dir)
+
+    def test_module_without_collect_refused(self, bench_dir):
+        with pytest.raises(ConfigurationError):
+            run_area("broken", quick=True, bench_dir=bench_dir)
+
+    def test_full_cycle_with_gate(self, bench_dir, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        first = run_benchmarks(
+            areas=("fake",), quick=True, bench_dir=bench_dir,
+            out_dir=str(out), baseline_dir=str(out),
+        )
+        assert first["regressions"] == []  # no baseline yet: first commit
+        # identical re-run gates clean
+        second = run_benchmarks(
+            areas=("fake",), quick=True, bench_dir=bench_dir,
+            out_dir=str(out), baseline_dir=str(out),
+        )
+        assert second["regressions"] == []
+        # a changed result trips the gate against the committed baseline
+        third = run_benchmarks(
+            areas=("fake",), quick=False, bench_dir=bench_dir,
+            out_dir=str(out), baseline_dir=str(out),
+        )
+        (r,) = third["regressions"]
+        assert (r.baseline, r.measured) == (42.0, 43.0)
+
+
+class TestCommittedBaselines:
+    """The repo-root BENCH_*.json artifacts stay schema-valid."""
+
+    @pytest.mark.parametrize("area", ["throughput", "end_to_end", "scaling"])
+    def test_committed_artifact_valid(self, area):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(root, f"BENCH_{area}.json")
+        artifact = load_artifact(path)
+        assert artifact["area"] == area
+        gated = [n for n, m in artifact["metrics"].items() if m["gate"]]
+        assert gated, f"{area}: no gated metrics — the CI gate would be vacuous"

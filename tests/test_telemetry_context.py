@@ -1,0 +1,159 @@
+"""Trace context: wire format, traceparent, and guarded propagation."""
+
+import pytest
+
+from repro._util.errors import (
+    EnvelopeError,
+    MalformedPayloadError,
+    ValidationError,
+)
+from repro.dsp.peakdetect import PeakReport
+from repro.guard.envelope import open_report, open_report_with_context, seal_report
+from repro.guard.freshness import (
+    TOKEN_BYTES,
+    TOKEN_V2_BYTES,
+    mint_token,
+    parse_token,
+)
+from repro.obs import (
+    CONTEXT_BYTES,
+    TraceContext,
+    context_or_none,
+    derive_trace_context,
+)
+
+SECRET = b"context-test-secret"
+CTX = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=True)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        blob = CTX.to_bytes()
+        assert len(blob) == CONTEXT_BYTES
+        assert TraceContext.from_bytes(blob) == CTX
+
+    def test_unsampled_round_trip(self):
+        ctx = TraceContext(trace_id="11" * 16, span_id="22" * 8, sampled=False)
+        assert TraceContext.from_bytes(ctx.to_bytes()) == ctx
+
+    def test_every_bitflip_refused_or_decodes_differently(self):
+        blob = bytearray(CTX.to_bytes())
+        for byte in range(len(blob)):
+            for bit in range(8):
+                mutated = bytearray(blob)
+                mutated[byte] ^= 1 << bit
+                try:
+                    decoded = TraceContext.from_bytes(bytes(mutated))
+                except ValidationError:
+                    continue
+                assert decoded != CTX
+
+    @pytest.mark.parametrize(
+        "blob",
+        [b"", b"MST1", b"\x00" * CONTEXT_BYTES, b"MST2" + b"\x00" * 25, None, 42],
+    )
+    def test_garbage_refused_typed(self, blob):
+        with pytest.raises(ValidationError):
+            TraceContext.from_bytes(blob)
+
+    def test_zero_ids_refused(self):
+        with pytest.raises(ValidationError):
+            TraceContext(trace_id="0" * 32, span_id="cd" * 8)
+        with pytest.raises(ValidationError):
+            TraceContext(trace_id="ab" * 16, span_id="0" * 16)
+
+    def test_context_or_none(self):
+        assert context_or_none(None) is None
+        assert context_or_none(b"") is None
+        assert context_or_none(CTX.to_bytes()) == CTX
+        # lenient only about *absence* — garbage still refuses
+        with pytest.raises(ValidationError):
+            context_or_none(b"junk")
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        text = CTX.to_traceparent()
+        assert text == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        assert TraceContext.from_traceparent(text) == CTX
+
+    def test_unsampled_flag(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=False)
+        assert ctx.to_traceparent().endswith("-00")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "00-xyz-abc-01", "01-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+         "00-" + "AB" * 16 + "-" + "cd" * 8 + "-01"],
+    )
+    def test_bad_traceparent_refused(self, text):
+        with pytest.raises(ValidationError):
+            TraceContext.from_traceparent(text)
+
+
+class TestDerivation:
+    def test_deterministic_and_distinct(self):
+        a = derive_trace_context(0, "clinic-a", 1)
+        b = derive_trace_context(0, "clinic-a", 1)
+        c = derive_trace_context(0, "clinic-a", 2)
+        d = derive_trace_context(0, "clinic-b", 1)
+        assert a == b
+        assert len({a.trace_id, c.trace_id, d.trace_id}) == 3
+
+    def test_child_keeps_trace(self):
+        child = CTX.child("ef" * 8)
+        assert child.trace_id == CTX.trace_id
+        assert child.span_id == "ef" * 8
+
+
+class TestTokenPropagation:
+    def test_v2_token_carries_context(self):
+        blob = mint_token(SECRET, key_epoch=3, trace_context=CTX)
+        assert len(blob) == TOKEN_V2_BYTES
+        token = parse_token(blob, SECRET)
+        assert token.context == CTX
+        assert token.key_epoch == 3
+
+    def test_v1_token_still_64_bytes_no_context(self):
+        blob = mint_token(SECRET, key_epoch=3)
+        assert len(blob) == TOKEN_BYTES
+        assert parse_token(blob, SECRET).context is None
+
+    def test_v2_every_bitflip_refused(self):
+        blob = mint_token(SECRET, key_epoch=1, nonce=b"\x07" * 16, trace_context=CTX)
+        for byte in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[byte] ^= 0x10
+            with pytest.raises(MalformedPayloadError):
+                parse_token(bytes(mutated), SECRET)
+
+
+class TestEnvelopePropagation:
+    def _report(self):
+        return PeakReport(
+            peaks=(), duration_s=1.0, sampling_rate_hz=450.0, detection_channel=0
+        )
+
+    def test_v2_envelope_carries_context(self):
+        blob = seal_report(self._report(), SECRET, key_epoch=2, trace_context=CTX)
+        report, context = open_report_with_context(blob, SECRET)
+        assert context == CTX
+        assert report.duration_s == 1.0
+
+    def test_v1_envelope_context_is_none(self):
+        blob = seal_report(self._report(), SECRET, key_epoch=2)
+        report, context = open_report_with_context(blob, SECRET)
+        assert context is None
+        # legacy accessor agrees
+        assert open_report(blob, SECRET).duration_s == report.duration_s
+
+    def test_v2_header_tamper_refused(self):
+        blob = seal_report(
+            self._report(), SECRET, key_epoch=2, nonce=b"\x01" * 16,
+            trace_context=CTX,
+        )
+        # flip one byte inside the embedded context region of the header
+        mutated = bytearray(blob)
+        mutated[30] ^= 0x01
+        with pytest.raises(EnvelopeError):
+            open_report_with_context(bytes(mutated), SECRET)

@@ -1,0 +1,165 @@
+"""SLO engine: rule validation, burn rates, multi-window alert states."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.obs import ManualClock, MetricsRegistry
+from repro.telemetry import (
+    DEFAULT_RULES,
+    PAGE_BURN,
+    SloEngine,
+    SloRule,
+)
+
+AVAIL = SloRule(
+    name="availability", kind="ratio", objective=0.99,
+    good="serve.completed", total="serve.submitted",
+)
+LATENCY = SloRule(
+    name="latency", kind="latency", objective=0.95,
+    histogram="serve.e2e_s", threshold_s=1.0,
+)
+AUTH = SloRule(
+    name="auth", kind="ratio", objective=0.9,
+    good="auth.accepted", bad="auth.rejected",
+)
+
+
+def make_engine(rules=(AVAIL, LATENCY, AUTH)):
+    clock = ManualClock()
+    registry = MetricsRegistry()
+    return SloEngine(registry, rules=rules, clock=clock), registry, clock
+
+
+class TestRuleValidation:
+    def test_kind_checked(self):
+        with pytest.raises(ConfigurationError):
+            SloRule(name="x", kind="weird", objective=0.9, good="g", total="t")
+
+    def test_objective_bounds(self):
+        for bad in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ConfigurationError):
+                SloRule(name="x", kind="ratio", objective=bad, good="g", total="t")
+
+    def test_ratio_needs_exactly_one_denominator(self):
+        with pytest.raises(ConfigurationError):
+            SloRule(name="x", kind="ratio", objective=0.9, good="g")
+        with pytest.raises(ConfigurationError):
+            SloRule(name="x", kind="ratio", objective=0.9, good="g",
+                    total="t", bad="b")
+
+    def test_latency_needs_histogram_and_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SloRule(name="x", kind="latency", objective=0.9)
+        with pytest.raises(ConfigurationError):
+            SloRule(name="x", kind="latency", objective=0.9,
+                    histogram="h", threshold_s=0.0)
+
+    def test_duplicate_rule_names_refused(self):
+        with pytest.raises(ConfigurationError):
+            SloEngine(MetricsRegistry(), rules=(AVAIL, AVAIL))
+
+    def test_default_rules_valid(self):
+        engine = SloEngine(MetricsRegistry(), rules=DEFAULT_RULES)
+        assert {r.name for r in engine.rules} == {
+            "availability", "ingest_latency", "auth_acceptance",
+        }
+
+
+class TestBurnRates:
+    def test_no_traffic_no_burn(self):
+        engine, _, clock = make_engine()
+        engine.tick()
+        clock.advance(300.0)
+        engine.tick()
+        assert engine.burn_rate("availability", 300.0) == 0.0
+
+    def test_burn_is_error_rate_over_budget(self):
+        engine, registry, clock = make_engine()
+        engine.tick()
+        registry.counter("serve.submitted").inc(100)
+        registry.counter("serve.completed").inc(98)  # 2% errors, 1% budget
+        clock.advance(300.0)
+        engine.tick()
+        assert engine.burn_rate("availability", 300.0) == pytest.approx(2.0)
+
+    def test_burn_windows_differ(self):
+        engine, registry, clock = make_engine()
+        engine.tick()
+        # an old clean hour...
+        registry.counter("serve.submitted").inc(1000)
+        registry.counter("serve.completed").inc(1000)
+        clock.advance(3400.0)
+        engine.tick()
+        # ...then a bad five minutes
+        registry.counter("serve.submitted").inc(100)
+        registry.counter("serve.completed").inc(50)
+        clock.advance(200.0)
+        engine.tick()
+        short = engine.burn_rate("availability", 300.0)
+        long = engine.burn_rate("availability", 3600.0)
+        assert short == pytest.approx(50.0)
+        # the long window dilutes the incident with the clean hour
+        assert long == pytest.approx(50.0 / 1100.0 / 0.01)
+        assert long < short
+
+    def test_latency_rule_counts_through_hook(self):
+        engine, _, clock = make_engine()
+        engine.tick()
+        for value in (0.5, 0.5, 0.5, 2.0):  # 25% slow vs 5% budget
+            engine.observe_hook("serve.e2e_s", value)
+        engine.observe_hook("unrelated", 99.0)  # ignored
+        clock.advance(300.0)
+        engine.tick()
+        assert engine.burn_rate("latency", 300.0) == pytest.approx(5.0)
+
+    def test_unknown_rule_refused(self):
+        engine, _, _ = make_engine()
+        with pytest.raises(ConfigurationError):
+            engine.burn_rate("nope", 300.0)
+
+
+class TestStates:
+    def test_no_data_state(self):
+        engine, _, _ = make_engine()
+        engine.tick()
+        states = {s.rule.name: s.state for s in engine.status()}
+        assert states["availability"] == "no_data"
+
+    def test_ok_state(self):
+        engine, registry, clock = make_engine()
+        engine.tick()
+        registry.counter("serve.submitted").inc(100)
+        registry.counter("serve.completed").inc(100)
+        clock.advance(300.0)
+        engine.tick()
+        status = {s.rule.name: s for s in engine.status()}
+        assert status["availability"].state == "ok"
+        assert status["availability"].compliance == pytest.approx(1.0)
+
+    def test_page_needs_sustained_burn(self):
+        engine, registry, clock = make_engine()
+        engine.tick()
+        # catastrophic short AND long windows: page
+        registry.counter("serve.submitted").inc(100)
+        registry.counter("serve.completed").inc(50)
+        clock.advance(60.0)
+        engine.tick()
+        status = {s.rule.name: s for s in engine.status()}
+        assert status["availability"].short_burn >= PAGE_BURN
+        assert status["availability"].state == "page"
+
+    def test_worst_state(self):
+        engine, registry, clock = make_engine()
+        engine.tick()
+        registry.counter("serve.submitted").inc(100)
+        registry.counter("serve.completed").inc(50)
+        clock.advance(60.0)
+        engine.tick()
+        assert engine.worst_state() == "page"
+
+    def test_format_mentions_rule(self):
+        engine, _, _ = make_engine()
+        engine.tick()
+        for status in engine.status():
+            assert status.rule.name in status.format()
