@@ -1,18 +1,35 @@
-"""Scaling benchmarks: analysis and decryption cost vs capture length.
+"""Scaling benchmarks: capture-length cost and shard-process throughput.
 
-Not a paper figure — a systems check that the pipeline scales the way a
-deployment needs: cloud detection and controller decryption should both
-grow roughly linearly in capture duration (peak count), so multi-hour
-§VII-B captures stay tractable and the controller's "light computation"
-claim (§IV-A) holds at scale.
+Not a paper figure — two systems checks behind deployment claims:
+
+* **duration series** — cloud detection and controller decryption grow
+  roughly linearly in capture duration (peak count), so multi-hour
+  §VII-B captures stay tractable and the controller's "light
+  computation" claim (§IV-A) holds at scale;
+* **shard series** — the same traffic through 1, 2, and 4 shard
+  *processes* (``repro.fleet``) over a slow realtime uplink: wall-clock
+  is dominated by modelled transfer waits, so shard processes must
+  overlap them for **at least 3x throughput at 4 shards vs 1** — while
+  every session outcome stays bit-identical across shard counts (the
+  fleet determinism contract; the headline metric would be meaningless
+  if sharding changed the numbers it serves faster).
 """
 
+import asyncio
+import hashlib
 import time
+from time import monotonic
 
 import numpy as np
 import pytest
 
 from benchmarks._harness import print_table
+from repro.auth.identifier import CytoIdentifier
+from repro.cloud.network import NetworkModel
+from repro.core.config import MedSenConfig
+from repro.fleet import AsyncFrontDoor, FleetCluster, FleetTierConfig
+from repro.fleet.loadgen import tenant_blood
+from repro.serving import FleetConfig
 from repro.attacks.scenarios import encrypted_capture
 from repro.crypto.decryptor import SignalDecryptor
 from repro.crypto.encryptor import EncryptionPlan, SignalEncryptor
@@ -28,6 +45,117 @@ from repro.physics.lockin import LockInAmplifier
 
 DURATIONS_S = (30.0, 60.0, 120.0)
 CARRIERS = (500e3, 2500e3)
+
+# --------------------------------------------------------------------------
+# Shard-process series
+# --------------------------------------------------------------------------
+#: Shard counts swept by the process-scaling series.
+SHARD_COUNTS = (1, 2, 4)
+
+SHARD_SPEEDUP_FLOOR = 3.0
+
+#: A congested clinic uplink (slower than bench_throughput's): the
+#: modelled transfer dwarfs compute, so shard processes that overlap
+#: the waits — not parallel arithmetic — are what scales throughput.
+SHARD_UPLINK = NetworkModel(
+    round_trip_latency_s=0.08,
+    uplink_bytes_per_s=2.5e4,
+    downlink_bytes_per_s=2.5e5,
+)
+
+#: Bench tenants chosen (once, deterministically — the ring is a pure
+#: function of shard ids) so the consistent-hash ring balances them
+#: exactly: 2 per shard at 4 shards and 4 per shard at 2 shards.  The
+#: series measures *process scaling*; statistical ring balance over
+#: large populations is property-tested in tests/test_fleet_ring.py.
+SHARD_TENANTS = (
+    "user-0000001",
+    "user-0000002",
+    "user-0000004",
+    "user-0000005",
+    "user-0000006",
+    "user-0000008",
+    "user-0000011",
+    "user-0000024",
+)
+
+SHARD_SEED = 2016
+SHARD_SESSION_DURATION_S = 8.0
+
+
+def _shard_identifiers():
+    """Distinct cyto-coded passwords, enumerated not drawn.
+
+    The demo alphabet admits nine robust passwords (both bead types
+    present); assigning them in enumeration order sidesteps the
+    birthday collisions a random draw would hit at eight tenants.
+    """
+    alphabet = MedSenConfig().alphabet
+    robust = [
+        CytoIdentifier(alphabet, (first, second))
+        for first in range(1, alphabet.n_levels)
+        for second in range(1, alphabet.n_levels)
+    ]
+    return dict(zip(SHARD_TENANTS, robust))
+
+
+def run_shard_fleet(n_shards: int, requests_per_tenant: int):
+    """One fleet run; returns (sessions/sec, sorted outcome digests)."""
+    shard = FleetConfig(
+        seed=SHARD_SEED,
+        n_workers=1,
+        queue_capacity=len(SHARD_TENANTS) * requests_per_tenant,
+        network=SHARD_UPLINK,
+        realtime_network=True,
+    )
+    tier = FleetTierConfig(
+        n_shards=n_shards,
+        shard=shard,
+        max_inflight=len(SHARD_TENANTS) * requests_per_tenant,
+    )
+    identifiers = _shard_identifiers()
+    with FleetCluster(tier) as cluster:
+        door = AsyncFrontDoor(cluster)
+
+        async def drive():
+            for tenant, identifier in identifiers.items():
+                await door.register_tenant(tenant, identifier)
+            started = monotonic()
+            coros = []
+            for sequence in range(requests_per_tenant):
+                for rank, tenant in enumerate(SHARD_TENANTS):
+                    coros.append(
+                        door.submit(
+                            tenant,
+                            tenant_blood(SHARD_SEED, tenant, rank, sequence),
+                            identifiers[tenant],
+                            duration_s=SHARD_SESSION_DURATION_S,
+                        )
+                    )
+            outcomes = await asyncio.gather(*coros, return_exceptions=True)
+            return outcomes, monotonic() - started
+
+        outcomes, elapsed = asyncio.run(drive())
+    digests = []
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            digests.append(f"error:{type(outcome).__name__}")
+        else:
+            digests.append(outcome.digest())
+    n_sessions = len(SHARD_TENANTS) * requests_per_tenant
+    return n_sessions / elapsed, sorted(digests)
+
+
+def shard_series(requests_per_tenant: int):
+    """Sweep SHARD_COUNTS; returns {n_shards: (sessions/s, digest)}."""
+    series = {}
+    for n_shards in SHARD_COUNTS:
+        throughput, digests = run_shard_fleet(n_shards, requests_per_tenant)
+        fingerprint = hashlib.blake2b(
+            "\n".join(digests).encode("utf-8"), digest_size=12
+        ).hexdigest()
+        series[n_shards] = (throughput, fingerprint)
+    return series
 
 
 def build_capture(duration_s, seed=5):
@@ -55,9 +183,11 @@ def build_capture(duration_s, seed=5):
 def collect(quick: bool = True) -> dict:
     """``medsen-bench/v1`` metrics for ``python -m repro bench``.
 
-    The gated metric is the deterministic peak count at the base
-    duration; detect/decrypt cost and the duration-scaling ratio ride
-    along ungated (host-speed dependent).
+    Gated: the deterministic peak count at the base duration, the
+    4-shard process speedup (dimensionless — both runs share the host,
+    so a slow CI machine cancels out), its ≥3x floor, and outcome
+    bit-identity across shard counts.  Absolute costs ride along
+    ungated (host-speed dependent).
     """
     durations = (30.0, 60.0) if quick else DURATIONS_S
     detector = PeakDetector()
@@ -73,7 +203,7 @@ def collect(quick: bool = True) -> dict:
         rows.append((duration, report.count, detect_s, decrypt_s))
     base, longest = rows[0], rows[-1]
     duration_ratio = longest[0] / base[0]
-    return {
+    metrics = {
         "peaks_at_base_duration": {
             "value": float(base[1]),
             "unit": "peaks",
@@ -112,6 +242,52 @@ def collect(quick: bool = True) -> dict:
             "gate": False,
         },
     }
+    series = shard_series(requests_per_tenant=2 if quick else 3)
+    speedup_4 = series[4][0] / series[1][0]
+    speedup_2 = series[2][0] / series[1][0]
+    fingerprints = {fingerprint for _, fingerprint in series.values()}
+    metrics.update(
+        {
+            "shard_speedup_4x": {
+                "value": round(speedup_4, 3),
+                "unit": "ratio",
+                "direction": "higher",
+                "tolerance": 0.40,
+                "gate": True,
+            },
+            "shard_speedup_floor_met": {
+                "value": 1.0 if speedup_4 >= SHARD_SPEEDUP_FLOOR else 0.0,
+                "unit": "bool",
+                "direction": "near",
+                "tolerance": 0.0,
+                "gate": True,
+            },
+            "shard_outcomes_bit_identical": {
+                # One fingerprint across 1/2/4 shards: sharding changed
+                # wall-clock, never a number.
+                "value": 1.0 if len(fingerprints) == 1 else 0.0,
+                "unit": "bool",
+                "direction": "near",
+                "tolerance": 0.0,
+                "gate": True,
+            },
+            "shard_speedup_2x": {
+                "value": round(speedup_2, 3),
+                "unit": "ratio",
+                "direction": "higher",
+                "tolerance": 0.60,
+                "gate": False,
+            },
+            "single_shard_sessions_per_s": {
+                "value": round(series[1][0], 4),
+                "unit": "sessions/s",
+                "direction": "higher",
+                "tolerance": 0.5,
+                "gate": False,
+            },
+        }
+    )
+    return metrics
 
 
 def test_detection_and_decryption_scale_linearly(benchmark):
@@ -158,3 +334,22 @@ def test_decryption_benchmark(benchmark):
     decryptor = SignalDecryptor(plan=plan)
     result = benchmark(lambda: decryptor.decrypt(report))
     assert result.total_count > 0
+
+
+def test_shard_processes_scale_throughput(benchmark):
+    series = benchmark.pedantic(
+        lambda: shard_series(requests_per_tenant=2), rounds=1, iterations=1
+    )
+    baseline = series[1][0]
+    print_table(
+        "Fleet scaling vs shard processes "
+        f"({len(SHARD_TENANTS)} tenants, realtime uplink)",
+        ["shards", "sessions/s", "speedup", "outcome fingerprint"],
+        [
+            [n, f"{throughput:.2f}", f"{throughput / baseline:.2f}x", fingerprint]
+            for n, (throughput, fingerprint) in sorted(series.items())
+        ],
+    )
+    fingerprints = {fingerprint for _, fingerprint in series.values()}
+    assert len(fingerprints) == 1, "sharding must never change an outcome"
+    assert series[4][0] / baseline >= SHARD_SPEEDUP_FLOOR

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Thirteen subcommands cover the workflows a bench scientist or security
+Fourteen subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -17,14 +17,24 @@ reviewer would reach for first:
   workload: worker pool, fair queue, dynamic batching, retry/breaker
   (``--smoke`` runs the small CI check).
 * ``chaos``     — seeded fault-injection campaign across every layer,
-  checking the resilience invariants (``--smoke`` is the CI gate).
+  checking the resilience invariants (``--smoke`` is the CI gate;
+  ``--fleet`` runs the kill/restart drill against the sharded tier).
 * ``harden``    — adversarial hardening campaign: protocol fuzzing,
   garbage admission, replay/freshness, envelope tampering, and auth
-  lockout invariants (``--smoke`` is the CI gate).
+  lockout invariants (``--smoke`` is the CI gate; ``--fleet`` runs the
+  garbage-frame and shedding drills against the sharded tier).
+* ``fleet``     — multi-process sharded cloud tier campaign:
+  bit-identity vs the single-process scheduler, telemetry roll-up,
+  shard kill/restart with journal recovery, garbage-frame containment,
+  typed load shedding, and a heavy-tailed load replay (``--smoke`` is
+  the CI gate, ``--drill`` the long variant).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
 * ``top``       — run an instrumented fleet and render the telemetry
-  dashboard: SLO burn rates, counters, and quantile sketches.
+  dashboard: SLO burn rates, counters, and quantile sketches
+  (``--shards N`` runs the traffic through N shard processes and
+  renders the cross-shard roll-up: summed counters, bucket-merged
+  quantile sketches — never averaged percentiles).
 * ``profile``   — stage-by-stage pipeline profile (demodulate /
   detrend / threshold / classify / authenticate) with optional
   folded-stack flamegraph output.
@@ -276,10 +286,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet_campaign(args: argparse.Namespace, phases, smoke: bool) -> int:
+    """Shared driver for ``fleet`` and the ``--fleet`` drill variants."""
+    from repro.fleet import run_fleet
+    from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
+
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    report = run_fleet(
+        seed=args.seed,
+        n_shards=args.shards,
+        smoke=smoke,
+        phases=phases,
+        observer=observer,
+    )
+    print(report.format())
+    if getattr(args, "metrics", False):
+        print()
+        print(format_metrics_table(observer.metrics))
+    _export_observability(
+        observer,
+        getattr(args, "trace_out", None),
+        getattr(args, "events_out", None),
+    )
+    return 0 if report.passed else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
     from repro.resilience import run_campaign
 
+    if args.fleet:
+        # The sharded-tier kill/restart drill: the determinism round
+        # provides the bit-identity baseline the recovery check needs.
+        return _run_fleet_campaign(
+            args, phases=("determinism", "chaos"), smoke=True
+        )
     campaign = "smoke" if args.smoke else args.campaign
     observer = Observer(metrics=MetricsRegistry(), events=EventLog())
     report = run_campaign(seed=args.seed, campaign=campaign, observer=observer)
@@ -295,6 +336,11 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     from repro.guard.campaign import run_hardening
     from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
 
+    if args.fleet:
+        # The sharded-tier trust-boundary drill: raw garbage frames
+        # must be refused and counted, saturation must shed typed, and
+        # the guard must refuse malformed submissions at the front door.
+        return _run_fleet_campaign(args, phases=("harden", "shedding"), smoke=True)
     observer = Observer(metrics=MetricsRegistry(), events=EventLog())
     report = run_hardening(
         seed=args.seed,
@@ -310,11 +356,104 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import ALL_PHASES
+
+    phases = tuple(args.phases) if args.phases else ALL_PHASES
+    return _run_fleet_campaign(args, phases=phases, smoke=not args.drill)
+
+
+def _cmd_top_sharded(args: argparse.Namespace) -> int:
+    """``top --shards N``: clinic traffic through N shard processes,
+    then the cross-shard telemetry roll-up.
+
+    Counters sum; quantile sketches merge bucket-by-bucket via
+    :func:`~repro.telemetry.merge_registries` — the fleet p99 is the
+    true cross-shard p99, never an average of per-shard percentiles.
+    Per-shard gauges stay namespaced (a gauge is a point-in-time value;
+    summing gauges across shards would fabricate a number no shard
+    ever reported).
+    """
+    import asyncio
+    import time
+
+    from repro.core.config import MedSenConfig
+    from repro.fleet import AsyncFrontDoor, FleetCluster, FleetTierConfig
+    from repro.obs import MetricsRegistry
+    from repro.serving import ClinicWorkload, FleetConfig
+    from repro.telemetry import QuantileRegistry, merge_registries, render_dashboard
+
+    workload = ClinicWorkload(
+        n_tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    shard_config = FleetConfig(
+        seed=args.seed,
+        n_workers=args.workers,
+        queue_capacity=max(8, workload.n_requests),
+        batch_size=args.batch_size,
+    )
+    tier = FleetTierConfig(
+        n_shards=args.shards,
+        shard=shard_config,
+        max_inflight=max(8, workload.n_requests),
+    )
+    started = time.monotonic()
+    with FleetCluster(tier) as cluster:
+        door = AsyncFrontDoor(cluster)
+
+        async def run() -> None:
+            identifiers = workload.identifiers(MedSenConfig())
+            for tenant, identifier in identifiers.items():
+                await door.register_tenant(tenant, identifier)
+            coros = []
+            for sequence in range(workload.requests_per_tenant):
+                for tenant_index, tenant in enumerate(workload.tenant_ids()):
+                    coros.append(
+                        door.submit(
+                            tenant,
+                            workload.blood_sample(tenant_index, sequence),
+                            identifiers[tenant],
+                            duration_s=workload.duration_s,
+                        )
+                    )
+            await asyncio.gather(*coros, return_exceptions=True)
+
+        asyncio.run(run())
+        snapshots = cluster.telemetry()
+        healths = cluster.health()
+    elapsed = time.monotonic() - started
+    rollup = MetricsRegistry()
+    for snapshot in snapshots:
+        for name, value in sorted(snapshot.counters.items()):
+            rollup.counter(name).inc(value)
+        for name, value in sorted(snapshot.gauges.items()):
+            rollup.gauge(f"{name}[{snapshot.shard_id}]").set(value)
+    merged = merge_registries(
+        [QuantileRegistry.from_state(s.quantiles) for s in snapshots]
+    )
+    print(render_dashboard(rollup, merged, None, now_s=elapsed))
+    print()
+    lane = ", ".join(
+        f"{sid}:{health.completed}" for sid, health in sorted(healths.items())
+    )
+    print(
+        f"fleet: {door.completed}/{workload.n_requests} completed over "
+        f"{args.shards} shards ({lane}), "
+        f"{door.completed / elapsed:.2f} sessions/s"
+    )
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import EventLog, MetricsRegistry
     from repro.serving import ClinicWorkload, FleetConfig, FleetScheduler, run_clinic
     from repro.telemetry import TelemetryObserver, render_observer
 
+    if args.shards > 0:
+        return _cmd_top_sharded(args)
     observer = TelemetryObserver(metrics=MetricsRegistry(), events=EventLog())
     config = FleetConfig(
         seed=args.seed,
@@ -487,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the metrics table after the run")
     chaos.add_argument("--smoke", action="store_true",
                        help="shorthand for --campaign smoke (CI gate)")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="run the kill/restart drill against the sharded tier")
+    chaos.add_argument("--shards", type=int, default=2,
+                       help="shard processes for --fleet")
     chaos.add_argument("--trace-out", type=str, default=None,
                        help="write Chrome-trace JSON of the campaign's spans")
     chaos.add_argument("--events-out", type=str, default=None,
@@ -503,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the metrics table after the run")
     harden.add_argument("--smoke", action="store_true",
                         help="reduced fuzz budget; exit 1 on any violation (CI)")
+    harden.add_argument("--fleet", action="store_true",
+                        help="run garbage-frame + shedding drills on the sharded tier")
+    harden.add_argument("--shards", type=int, default=2,
+                        help="shard processes for --fleet")
     harden.add_argument("--trace-out", type=str, default=None,
                         help="write Chrome-trace JSON of the campaign's spans")
     harden.add_argument("--events-out", type=str, default=None,
@@ -531,9 +678,32 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--duration", type=float, default=8.0,
                      help="capture duration per session (s)")
     top.add_argument("--batch-size", type=int, default=1)
+    top.add_argument("--shards", type=int, default=0,
+                     help="run the traffic through N shard processes and "
+                          "render the merged cross-shard roll-up (0 = off)")
     top.add_argument("--strict", action="store_true",
                      help="exit 1 if any SLO is in the page state")
     top.set_defaults(handler=_cmd_top)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="sharded cloud tier campaign: determinism, recovery, shedding"
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="worker shard processes")
+    fleet.add_argument("--smoke", action="store_true",
+                       help="small fixed campaign; exit 1 on any violation (CI)")
+    fleet.add_argument("--drill", action="store_true",
+                       help="long campaign: bigger workload + paced load replay")
+    fleet.add_argument("--phases", type=str, nargs="*", default=None,
+                       help="phase subset (default: all; see repro.fleet.ALL_PHASES)")
+    fleet.add_argument("--metrics", action="store_true",
+                       help="print the parent-side metrics table after the run")
+    fleet.add_argument("--trace-out", type=str, default=None,
+                       help="write Chrome-trace JSON of the campaign's spans")
+    fleet.add_argument("--events-out", type=str, default=None,
+                       help="write the audit event log as JSONL")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     profile = subparsers.add_parser(
         "profile", help="stage-by-stage pipeline profile (flamegraph-ready)"

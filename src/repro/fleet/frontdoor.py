@@ -1,0 +1,198 @@
+"""The asyncio ingest front door of the sharded cloud tier.
+
+:class:`AsyncFrontDoor` is the single admission point for fleet
+traffic.  For each submission it
+
+1. **admits** — the same
+   :func:`~repro.guard.admission.admit_session_params` total-parsing
+   gate the thread-pool scheduler uses, so a malformed tenant id or an
+   absurd duration is refused with a typed
+   :class:`~repro._util.errors.AdmissionError` (counted under
+   ``guard.rejected``) before any sequence number is spent;
+2. **sheds** — at most ``max_inflight`` sessions may be outstanding;
+   one more is refused with :class:`FleetSaturatedError` (the
+   ``fleet.shed`` counter and a ``fleet.load_shed`` event record it)
+   rather than queued without bound — bounded memory is the contract
+   that lets the tier face a million-user arrival process;
+3. **sequences** — assigns the tenant's next submission sequence, the
+   second coordinate of the deterministic request RNG;
+4. **routes** — consistent-hash ring → owning shard, MST1 trace
+   context attached so the shard's span stitches to the ingress trace;
+5. **awaits** — the shard handle's :class:`concurrent.futures.Future`
+   is bridged onto the event loop with :func:`asyncio.wrap_future`, so
+   thousands of outstanding sessions cost one coroutine each, not one
+   thread each.
+
+Because the front door runs on one event loop, its inflight counter
+and sequence table need no locks — every mutation happens between
+awaits.
+"""
+
+import asyncio
+from typing import Dict, Optional
+
+from repro._util.errors import MedSenError
+from repro.fleet.cluster import FleetCluster, ShardCrashedError
+from repro.fleet.messages import SessionOutcome, SubmitRequest, SubmitResponse
+from repro.obs import FLEET_SHED, NULL_OBSERVER, derive_trace_context
+
+
+class FleetSaturatedError(MedSenError):
+    """Typed load-shed: the inflight bound is full; retry with backoff."""
+
+
+class FleetRequestFailedError(MedSenError):
+    """A routed session failed on its shard (typed, with provenance)."""
+
+    def __init__(self, shard_id: str, error_type: str, error_message: str) -> None:
+        super().__init__(f"[{shard_id}] {error_type}: {error_message}")
+        self.shard_id = shard_id
+        self.error_type = error_type
+        self.error_message = error_message
+
+
+class AsyncFrontDoor:
+    """Admission, backpressure, sequencing, and routing for the fleet."""
+
+    def __init__(
+        self,
+        cluster: FleetCluster,
+        max_inflight: Optional[int] = None,
+        observer=NULL_OBSERVER,
+    ) -> None:
+        self.cluster = cluster
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else cluster.config.max_inflight
+        )
+        if self.max_inflight < 1:
+            raise MedSenError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        self.observer = observer
+        self._sequences: Dict[str, int] = {}
+        self.inflight = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.retried = 0
+
+    # ------------------------------------------------------------------
+    async def register_tenant(self, tenant_id: str, identifier) -> None:
+        """Enrol a tenant without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, self.cluster.register_tenant, tenant_id, identifier
+        )
+
+    # ------------------------------------------------------------------
+    def _admit(self, tenant_id: str, duration_s: float, pipette_volume_ul: float):
+        shard_cfg = self.cluster.config.shard
+        from repro.guard.admission import admit_session_params
+
+        admit_session_params(
+            tenant_id,
+            duration_s,
+            pipette_volume_ul,
+            max_duration_s=shard_cfg.max_duration_s,
+            max_pipette_volume_ul=shard_cfg.max_pipette_volume_ul,
+            observer=self.observer,
+            boundary="fleet",
+        )
+
+    async def submit(
+        self,
+        tenant_id: str,
+        blood,
+        identifier,
+        duration_s: float = 20.0,
+        pipette_volume_ul: float = 2.0,
+        timeout: Optional[float] = None,
+        retries_on_crash: int = 0,
+    ) -> SessionOutcome:
+        """Admit, route, and await one diagnostic session.
+
+        ``retries_on_crash`` replays the submission — with the *same*
+        tenant sequence, so the request RNG coordinates are unchanged —
+        after a shard crash, once the supervisor has restarted the
+        shard.  The shard-side dedup cache makes the replay idempotent
+        if the original actually completed.
+        """
+        # Admission before sequencing: a refused submission must not
+        # burn a sequence number (replay determinism).
+        self._admit(tenant_id, duration_s, pipette_volume_ul)
+        if self.inflight >= self.max_inflight:
+            self.shed += 1
+            self.observer.incr("fleet.shed")
+            self.observer.event(
+                FLEET_SHED, tenant=tenant_id, inflight=self.inflight
+            )
+            raise FleetSaturatedError(
+                f"fleet saturated: {self.inflight} sessions in flight "
+                f"(bound {self.max_inflight})"
+            )
+        sequence = self._sequences.get(tenant_id, 0)
+        self._sequences[tenant_id] = sequence + 1
+        context = derive_trace_context(
+            self.cluster.config.shard.seed, tenant_id, sequence
+        )
+        message = SubmitRequest(
+            tenant_id=tenant_id,
+            tenant_sequence=sequence,
+            blood=blood,
+            identifier=identifier,
+            duration_s=duration_s,
+            pipette_volume_ul=pipette_volume_ul,
+            trace_context=context.to_bytes(),
+        )
+        timeout = (
+            timeout if timeout is not None else self.cluster.config.request_timeout_s
+        )
+        self.inflight += 1
+        self.submitted += 1
+        self.observer.incr("fleet.submitted")
+        try:
+            attempts = 0
+            while True:
+                handle = self.cluster.handle_for(tenant_id)
+                with self.observer.span(
+                    "fleet_ingress",
+                    remote_parent=context,
+                    service="frontdoor",
+                    tenant=tenant_id,
+                    shard=handle.shard_id,
+                ):
+                    future = handle.request(message)
+                try:
+                    response = await asyncio.wait_for(
+                        asyncio.wrap_future(future), timeout=timeout
+                    )
+                    break
+                except ShardCrashedError:
+                    if attempts >= retries_on_crash:
+                        raise
+                    attempts += 1
+                    self.retried += 1
+                    self.observer.incr("fleet.retries")
+                    # Give the supervisor a beat to restart the shard;
+                    # handle_for() re-resolves to the new process.
+                    await asyncio.sleep(0.05 * attempts)
+        except Exception:
+            self.failed += 1
+            self.observer.incr("fleet.failed")
+            raise
+        finally:
+            self.inflight -= 1
+        assert isinstance(response, SubmitResponse)
+        if not response.ok:
+            self.failed += 1
+            self.observer.incr("fleet.failed")
+            raise FleetRequestFailedError(
+                response.shard_id,
+                response.error_type or "SessionFailed",
+                response.error_message or "session failed",
+            )
+        if response.duplicate:
+            self.observer.incr("fleet.duplicates_answered")
+        self.completed += 1
+        self.observer.incr("fleet.completed")
+        assert response.outcome is not None
+        return response.outcome

@@ -1,0 +1,375 @@
+"""Heavy-tailed, million-user load generation in bounded memory.
+
+The sharded tier exists for population scale, so its load generator
+must model *population-scale arrival statistics* without holding a
+population in memory:
+
+* **arrivals** — a nonhomogeneous Poisson process thinned from its
+  peak rate (Lewis & Shedler): a diurnal sinusoid (clinic hours) plus
+  Gaussian *flash crowds* (an outbreak screening day).  Thinning keeps
+  generation O(1) per event and exactly seeded.
+* **tenants** — a Zipf-like draw over ``population`` ranks via the
+  log-uniform trick: ``rank = int(population ** U)`` for uniform ``U``
+  has density ∝ 1/rank, so a handful of tenants dominate while the
+  long tail keeps producing first-time visitors.  Memory is bounded by
+  the tenants actually *seen*, never by the population.
+* **heavy hitters** — a Space-Saving sketch tracks the top-K tenants
+  with bounded counters and a per-key error bound, so the report can
+  name the whales without a full frequency table.
+* **slow tenants** — a deterministic hash of the tenant id marks a
+  fraction of the population as slow (longer capture durations), the
+  classic head-of-line-blocking stressor for the shard worker pools.
+
+Every draw derives from the profile seed, so a load run is replayable:
+the same profile produces the identical arrival tape, tenant sequence,
+and therefore — by the fleet determinism contract — the identical
+session outcomes.
+"""
+
+import asyncio
+import hashlib
+import math
+from dataclasses import dataclass, field
+from time import monotonic as _monotonic
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util.errors import AdmissionError, MedSenError
+from repro.auth.identifier import CytoIdentifier
+from repro.core.config import MedSenConfig
+from repro.fleet.frontdoor import AsyncFrontDoor, FleetSaturatedError
+from repro.particles.library import get_particle_type
+from repro.particles.sample import Sample
+from repro.serving.request import derive_request_rng
+
+#: Disease-stage baselines cycled over tenant ranks (same staging
+#: spread the clinic workload uses).
+MARKER_BASELINES_PER_UL = (700.0, 450.0, 300.0, 150.0)
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of one synthetic arrival tape.
+
+    Parameters
+    ----------
+    population:
+        Addressable tenant universe (ranks ``1..population``); memory
+        use scales with tenants *seen*, not with this number.
+    duration_s:
+        Virtual length of the tape.
+    base_rate_per_s, diurnal_amplitude, diurnal_period_s:
+        Sinusoidal arrival intensity (amplitude in ``[0, 1)``).
+    flash_crowds:
+        ``(center_s, width_s, rate_per_s)`` Gaussian intensity bumps.
+    slow_tenant_fraction, slow_duration_s:
+        A deterministic slice of tenants always submits long captures.
+    session_duration_s:
+        Capture duration for everyone else.
+    seed:
+        Drives arrivals, ranks, and per-session sample draws.
+    """
+
+    population: int = 1_000_000
+    duration_s: float = 60.0
+    base_rate_per_s: float = 4.0
+    diurnal_amplitude: float = 0.6
+    diurnal_period_s: float = 240.0
+    flash_crowds: Tuple[Tuple[float, float, float], ...] = ()
+    slow_tenant_fraction: float = 0.05
+    slow_duration_s: float = 12.0
+    session_duration_s: float = 6.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise MedSenError(f"population must be >= 1, got {self.population}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise MedSenError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+
+    # ------------------------------------------------------------------
+    def rate(self, t_s: float) -> float:
+        """Arrival intensity (events/s) at virtual time ``t_s``."""
+        value = self.base_rate_per_s * (
+            1.0
+            + self.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t_s / self.diurnal_period_s)
+        )
+        for center_s, width_s, rate_per_s in self.flash_crowds:
+            value += rate_per_s * math.exp(
+                -0.5 * ((t_s - center_s) / max(width_s, 1e-9)) ** 2
+            )
+        return max(value, 0.0)
+
+    @property
+    def peak_rate(self) -> float:
+        """Analytic upper bound on :meth:`rate` (the thinning envelope)."""
+        return self.base_rate_per_s * (1.0 + self.diurnal_amplitude) + sum(
+            rate for _, _, rate in self.flash_crowds
+        )
+
+    # ------------------------------------------------------------------
+    def is_slow_tenant(self, tenant_id: str) -> bool:
+        """Stable per-tenant attribute (hash slice, not a draw)."""
+        digest = hashlib.blake2b(
+            b"medsen-slow:" + tenant_id.encode("utf-8"), digest_size=8
+        ).digest()
+        u = int.from_bytes(digest, "big") / float(1 << 64)
+        return u < self.slow_tenant_fraction
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One event on the arrival tape."""
+
+    at_s: float
+    tenant_id: str
+    rank: int
+    duration_s: float
+
+
+def generate_arrivals(profile: LoadProfile) -> Iterator[Arrival]:
+    """Seeded lazy arrival tape (Lewis–Shedler thinning).
+
+    Candidate events come from a homogeneous Poisson process at the
+    peak rate; each is kept with probability ``rate(t)/peak``, which
+    yields exactly the nonhomogeneous intensity without discretising
+    time.  O(1) memory, O(1) work per candidate.
+    """
+    rng = np.random.default_rng([profile.seed, 0xF1EE7])
+    peak = profile.peak_rate
+    if peak <= 0.0:
+        return
+    t = 0.0
+    log_pop = math.log(profile.population) if profile.population > 1 else 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= profile.duration_s:
+            return
+        if float(rng.random()) * peak > profile.rate(t):
+            continue  # thinned away
+        # Log-uniform rank: P(rank = r) ∝ 1/r over 1..population.
+        rank = int(math.exp(float(rng.random()) * log_pop)) if log_pop else 1
+        rank = min(max(rank, 1), profile.population)
+        tenant_id = f"user-{rank:07d}"
+        duration_s = (
+            profile.slow_duration_s
+            if profile.is_slow_tenant(tenant_id)
+            else profile.session_duration_s
+        )
+        yield Arrival(at_s=t, tenant_id=tenant_id, rank=rank, duration_s=duration_s)
+
+
+class SpaceSaving:
+    """Bounded-memory heavy-hitter counters (Metwally et al.).
+
+    At most ``capacity`` keys are tracked; a new key evicts the current
+    minimum and inherits its count as the key's *error bound*, so
+    reported counts overestimate by at most that bound.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise MedSenError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+
+    def offer(self, key: str) -> None:
+        if key in self._counts:
+            self._counts[key] += 1
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = 1
+            self._errors[key] = 0
+            return
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + 1
+        self._errors[key] = floor
+
+    def top(self, n: int = 10) -> List[Tuple[str, int, int]]:
+        """``(key, count, error)`` triples, heaviest first."""
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(key, count, self._errors[key]) for key, count in ranked[:n]]
+
+
+#: Enrolment attempts per tenant before giving up: the demo alphabet's
+#: password space is tiny (two bead characters), so duplicate draws are
+#: common and the enrolment station refuses them; alternate draws let a
+#: tenant claim any password still free.
+ENROLL_ATTEMPTS = 9
+
+
+def tenant_identifier(seed: int, tenant_id: str, attempt: int = 0) -> CytoIdentifier:
+    """Deterministic cyto-coded password for a synthetic tenant.
+
+    ``attempt`` selects an alternate draw for enrolment retries after a
+    duplicate-password refusal.
+    """
+    config = MedSenConfig()
+    rng = derive_request_rng(seed, tenant_id + "#identifier", attempt)
+    while True:
+        identifier = CytoIdentifier.random(config.alphabet, rng=rng)
+        # Every bead type present: fragile passwords (a missing level)
+        # fail decoding on short captures; a real enrolment station
+        # would reject them, so the load generator does too.
+        if min(identifier.levels) >= 1:
+            return identifier
+
+
+def tenant_blood(seed: int, tenant_id: str, rank: int, sequence: int) -> Sample:
+    """The tenant's blood draw for one visit (deterministic)."""
+    baseline = MARKER_BASELINES_PER_UL[rank % len(MARKER_BASELINES_PER_UL)]
+    rng = derive_request_rng(seed, tenant_id + "#blood", sequence)
+    concentration = baseline * float(rng.uniform(0.9, 1.1))
+    return Sample.from_concentrations(
+        {get_particle_type("blood_cell"): concentration},
+        volume_ul=10.0,
+        rng=rng,
+    )
+
+
+@dataclass
+class LoadReport:
+    """What one load replay achieved."""
+
+    n_arrivals: int = 0
+    n_distinct_tenants: int = 0
+    n_slow_sessions: int = 0
+    n_completed: int = 0
+    n_shed: int = 0
+    n_rejected: int = 0
+    n_failed: int = 0
+    peak_rate_per_s: float = 0.0
+    wall_time_s: float = 0.0
+    heavy_hitters: List[Tuple[str, int, int]] = field(default_factory=list)
+    failures_by_type: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sessions_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_completed / self.wall_time_s
+
+    def format(self) -> str:
+        lines = [
+            f"arrivals      {self.n_arrivals} over {self.n_distinct_tenants} tenants "
+            f"({self.n_slow_sessions} slow sessions, peak {self.peak_rate_per_s:.1f}/s)",
+            f"sessions      {self.n_completed} completed, {self.n_shed} shed, "
+            f"{self.n_rejected} rejected, {self.n_failed} failed",
+            f"throughput    {self.sessions_per_second:.2f} sessions/s "
+            f"({self.wall_time_s:.2f} s wall)",
+        ]
+        if self.heavy_hitters:
+            hitters = ", ".join(
+                f"{key}×{count}" for key, count, _ in self.heavy_hitters[:5]
+            )
+            lines.append(f"heavy hitters {hitters}")
+        if self.failures_by_type:
+            summary = ", ".join(
+                f"{name}×{count}"
+                for name, count in sorted(self.failures_by_type.items())
+            )
+            lines.append(f"failures      {summary}")
+        return "\n".join(lines)
+
+
+async def replay(
+    door: AsyncFrontDoor,
+    profile: LoadProfile,
+    time_scale: float = 0.0,
+    heavy_hitter_capacity: int = 64,
+    max_arrivals: Optional[int] = None,
+) -> LoadReport:
+    """Replay the profile's arrival tape through a front door.
+
+    ``time_scale=0`` runs closed-loop: the generator waits for an
+    inflight slot before each submit, measuring sustained throughput
+    with zero shedding.  ``time_scale>0`` runs open-loop at scaled
+    arrival times — a flash crowd then genuinely saturates the front
+    door, and the typed sheds show up in the report.
+
+    Memory stays bounded by (tenants seen) + (inflight sessions); the
+    tape itself is never materialised.
+    """
+    report = LoadReport(peak_rate_per_s=profile.peak_rate)
+    hitters = SpaceSaving(heavy_hitter_capacity)
+    sequences: Dict[str, int] = {}
+    enrolled: Dict[str, CytoIdentifier] = {}
+    refused: set = set()
+    tasks: set = set()
+    started = _monotonic()
+
+    async def run_one(arrival: Arrival, sequence: int) -> None:
+        try:
+            await door.submit(
+                arrival.tenant_id,
+                tenant_blood(profile.seed, arrival.tenant_id, arrival.rank, sequence),
+                enrolled[arrival.tenant_id],
+                duration_s=arrival.duration_s,
+            )
+            report.n_completed += 1
+        except FleetSaturatedError:
+            report.n_shed += 1
+        except AdmissionError:
+            report.n_rejected += 1
+        except Exception as error:  # typed fleet/shard failures
+            report.n_failed += 1
+            name = type(error).__name__
+            report.failures_by_type[name] = report.failures_by_type.get(name, 0) + 1
+
+    for arrival in generate_arrivals(profile):
+        if max_arrivals is not None and report.n_arrivals >= max_arrivals:
+            break
+        report.n_arrivals += 1
+        hitters.offer(arrival.tenant_id)
+        if arrival.duration_s > profile.session_duration_s:
+            report.n_slow_sessions += 1
+        if arrival.tenant_id in refused:
+            report.n_rejected += 1
+            continue
+        if arrival.tenant_id not in sequences:
+            for attempt in range(ENROLL_ATTEMPTS):
+                identifier = tenant_identifier(
+                    profile.seed, arrival.tenant_id, attempt
+                )
+                try:
+                    await door.register_tenant(arrival.tenant_id, identifier)
+                except MedSenError:
+                    # Password already enrolled to someone else — the
+                    # station refuses it; try an alternate draw.
+                    continue
+                enrolled[arrival.tenant_id] = identifier
+                sequences[arrival.tenant_id] = 0
+                break
+            else:
+                # Password space exhausted for this tenant: a typed,
+                # counted rejection (the demo alphabet's capacity cap).
+                refused.add(arrival.tenant_id)
+                report.n_rejected += 1
+                continue
+        sequence = sequences[arrival.tenant_id]
+        sequences[arrival.tenant_id] = sequence + 1
+        if time_scale > 0.0:
+            target = started + arrival.at_s * time_scale
+            delay = target - _monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        else:
+            while door.inflight >= door.max_inflight:
+                await asyncio.sleep(0.002)
+        task = asyncio.ensure_future(run_one(arrival, sequence))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    if tasks:
+        await asyncio.gather(*tasks)
+    report.n_distinct_tenants = len(sequences)
+    report.heavy_hitters = hitters.top(10)
+    report.wall_time_s = _monotonic() - started
+    return report

@@ -1,0 +1,146 @@
+"""Consistent-hash ring: tenants → shard processes.
+
+The sharded cloud tier partitions tenants across worker processes so
+each tenant's records, lockout state, and submission sequence live on
+exactly one shard.  A :class:`HashRing` places ``vnodes`` virtual
+points per shard on a 64-bit circle (BLAKE2b over ``shard_id#replica``
+— never Python's per-process-salted ``hash``) and assigns a tenant to
+the first shard point at or after the tenant's own hash.
+
+Two properties matter for the fleet and are property-tested
+(``tests/test_fleet_ring.py``):
+
+* **balance** — with the default 128 virtual nodes per shard, the load
+  over many tenants stays within a modest factor of the fair share;
+* **minimal movement** — adding or draining one shard only moves the
+  keys that land on (or leave) that shard's arcs; every other tenant
+  keeps its assignment, so a scale-out does not reshuffle the fleet's
+  record partitioning.
+
+The ring is deterministic: the same shard ids produce the identical
+assignment in every process, so the front door, a restarted shard, and
+an offline replay all agree on who owns a tenant.
+"""
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro._util.errors import ConfigurationError
+
+#: Virtual points per shard; more points = tighter balance, slower build.
+DEFAULT_VNODES = 128
+
+_SPACE = 1 << 64
+
+
+def _point(key: str) -> int:
+    """Deterministic 64-bit ring position for a key."""
+    digest = hashlib.blake2b(
+        b"medsen-ring:" + key.encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards.
+
+    Parameters
+    ----------
+    shard_ids:
+        Initial shard names (order-insensitive: the ring layout is a
+        pure function of the *set* of ids).
+    vnodes:
+        Virtual points per shard.
+    """
+
+    def __init__(
+        self, shard_ids: Sequence[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._shards: List[str] = []
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Shards currently on the ring, sorted."""
+        return tuple(sorted(self._shards))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: str) -> None:
+        """Place one shard's virtual points on the ring."""
+        if not shard_id or not isinstance(shard_id, str):
+            raise ConfigurationError(f"shard id must be a non-empty str, got {shard_id!r}")
+        if shard_id in self._shards:
+            raise ConfigurationError(f"shard {shard_id!r} already on the ring")
+        self._shards.append(shard_id)
+        for replica in range(self.vnodes):
+            point = _point(f"{shard_id}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            # 64-bit BLAKE2b collisions between distinct vnode labels
+            # are effectively impossible; ties break by owner name so
+            # even that case stays deterministic.
+            if index < len(self._points) and self._points[index] == point:
+                if self._owners[index] <= shard_id:
+                    continue
+                self._owners[index] = shard_id
+                continue
+            self._points.insert(index, point)
+            self._owners.insert(index, shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Drain one shard off the ring (its arcs fall to successors)."""
+        if shard_id not in self._shards:
+            raise ConfigurationError(f"shard {shard_id!r} not on the ring")
+        self._shards.remove(shard_id)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    # ------------------------------------------------------------------
+    def assign(self, tenant_id: str) -> str:
+        """The shard owning ``tenant_id`` (first point clockwise)."""
+        if not self._points:
+            raise ConfigurationError("cannot assign on an empty ring")
+        point = _point("tenant:" + tenant_id)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignment(self, tenant_ids: Sequence[str]) -> Dict[str, str]:
+        """Bulk :meth:`assign` (tenant → shard)."""
+        return {tenant: self.assign(tenant) for tenant in tenant_ids}
+
+    def load(self, tenant_ids: Sequence[str]) -> Dict[str, int]:
+        """Tenants per shard over a concrete population (all shards
+        present, including empty ones)."""
+        counts = {shard: 0 for shard in self._shards}
+        for tenant in tenant_ids:
+            counts[self.assign(tenant)] += 1
+        return counts
+
+    def imbalance(self, tenant_ids: Sequence[str]) -> float:
+        """Max shard load over the fair share (1.0 = perfectly even)."""
+        if not tenant_ids or not self._shards:
+            return 1.0
+        counts = self.load(tenant_ids)
+        fair = len(tenant_ids) / len(self._shards)
+        return max(counts.values()) / fair

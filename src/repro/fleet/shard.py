@@ -1,0 +1,375 @@
+"""The shard worker process: one partition of the sharded cloud tier.
+
+:func:`shard_main` is the entry point a
+:class:`~repro.fleet.cluster.FleetCluster` spawns into each worker
+**process**.  A shard owns a full vertical slice of the single-process
+serving stack — its own :class:`~repro.serving.scheduler.FleetScheduler`
+(thread pool, batcher, authenticator, circuit breaker), its own
+:class:`~repro.cloud.server.AnalysisServer`, and its own *partition* of
+the record store, optionally journaled for crash recovery — and drains
+framed messages (:mod:`repro.fleet.transport`) from the parent.
+
+Determinism: the scheduler inside every shard is built from the same
+fleet seed, and each request's RNG derives from ``(seed, tenant,
+tenant_sequence)`` with the sequence assigned by the front door, so a
+session produces bit-identical honest outputs whether it runs on shard
+3 of 8 or on the single-process tier (``tests/test_fleet_cluster.py``).
+After a crash the shard replays its journal
+(:func:`~repro.resilience.journal.recover_store`) and *resumes* tenant
+sequence counters from the front door's numbers
+(:meth:`~repro.serving.scheduler.FleetScheduler.resume_tenant_sequence`),
+so recovery preserves both the store partition and the RNG coordinates.
+
+Containment: a garbage frame, an unknown message type, or a refused
+submission never kills the shard — each becomes a typed
+:class:`~repro.fleet.messages.ErrorReply` (or a counted drop for
+unparsable frames) and the loop keeps serving, mirroring the guard
+layer's total-parsing contract.
+"""
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro._util.errors import MedSenError, OversizedPayloadError, ValidationError
+from repro.cloud.storage import RecordStore
+from repro.fleet.messages import (
+    Ack,
+    Drain,
+    ErrorReply,
+    HealthCheck,
+    RegisterTenant,
+    SessionOutcome,
+    ShardHealth,
+    ShardStoreDigest,
+    ShardTelemetry,
+    Shutdown,
+    SnapshotRequest,
+    StoreDigest,
+    SubmitRequest,
+    SubmitResponse,
+)
+from repro.fleet.transport import FrameChannel
+from repro.obs import SHARD_RECOVERED, context_or_none
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.journal import RecordJournal, recover_store
+from repro.serving.queue import QueueFull
+from repro.serving.scheduler import FleetConfig, FleetScheduler
+
+#: How many recently answered (tenant, sequence) submissions a shard
+#: remembers, so a transport-level duplicate re-delivery is answered
+#: from cache instead of re-run (idempotent ingest across the process
+#: boundary, same contract as the in-process request-id dedup).
+DEDUP_CAPACITY = 4096
+
+#: Main-loop poll interval while idle (seconds).
+POLL_S = 0.005
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to (re)build one shard process.
+
+    The spec is immutable and picklable: a restart after a crash spawns
+    a fresh process from the *same* spec, and the journal path is where
+    bit-identical recovery comes from.
+    """
+
+    shard_id: str
+    fleet: FleetConfig
+    journal_path: Optional[str] = None
+
+
+def record_content_hash(record) -> str:
+    """Interleaving-independent content hash of one stored record.
+
+    Matches the chaos campaign's convention: sequence numbers and
+    timestamps are excluded (commit order depends on worker
+    interleaving) so the hash is a pure function of the fleet seed.
+    """
+    from repro.cloud.api import report_to_dict
+
+    payload = {
+        "identifier": record.identifier_key,
+        "metadata": [[k, v] for k, v in record.metadata],
+        "report": report_to_dict(record.report),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def store_content_hashes(store: RecordStore) -> Tuple[str, ...]:
+    """Sorted content hashes of every record in a store partition."""
+    hashes = []
+    for identifier_key in store.identifiers():
+        for record in store.fetch(identifier_key):
+            hashes.append(record_content_hash(record))
+    return tuple(sorted(hashes))
+
+
+class _ShardRuntime:
+    """Mutable state of one running shard (wrapped for testability)."""
+
+    def __init__(self, spec: ShardSpec, channel: FrameChannel) -> None:
+        self.spec = spec
+        self.channel = channel
+        # Fresh per-process sinks: the parent merges shard telemetry
+        # explicitly; sharing the process-default registry would alias
+        # instruments if a test drives shard_main in-process.
+        from repro.telemetry import TelemetryObserver
+
+        self.observer = TelemetryObserver(metrics=MetricsRegistry(), events=EventLog())
+        self.journal = (
+            RecordJournal(spec.journal_path) if spec.journal_path else None
+        )
+        self.recovered_records = 0
+        self.quarantined_entries = 0
+        if spec.journal_path and os.path.exists(spec.journal_path):
+            store, replay = recover_store(
+                spec.journal_path, observer=self.observer, journal=self.journal
+            )
+            self.recovered_records = replay.n_recovered
+            self.quarantined_entries = replay.n_quarantined
+            self.observer.event(
+                SHARD_RECOVERED,
+                shard=spec.shard_id,
+                records=self.recovered_records,
+                quarantined=self.quarantined_entries,
+            )
+            self.observer.incr("fleet.shard_recoveries")
+        else:
+            store = RecordStore(observer=self.observer, journal=self.journal)
+        self.store = store
+        self.scheduler = FleetScheduler(
+            spec.fleet, observer=self.observer, store=store
+        ).start()
+        #: msg_id -> in-flight SessionFuture
+        self.pending: Dict[int, object] = {}
+        #: (tenant, sequence) -> answered outcome, for duplicate replies.
+        self.answered: "OrderedDict[Tuple[str, int], SessionOutcome]" = OrderedDict()
+        self.accepting = True
+        self.drain_reply: Optional[int] = None
+        self.shutdown_reply: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def health(self) -> ShardHealth:
+        return ShardHealth(
+            shard_id=self.spec.shard_id,
+            completed=self.scheduler.completed,
+            failed=self.scheduler.failed,
+            rejected=self.scheduler.rejected,
+            inflight=len(self.pending),
+            store_records=self.store.n_records,
+            journal_entries=self.journal.entries_written if self.journal else 0,
+            recovered_records=self.recovered_records,
+            quarantined_entries=self.quarantined_entries,
+            garbage_frames=self.channel.garbage_frames,
+        )
+
+    def telemetry(self) -> ShardTelemetry:
+        snapshot = self.observer.metrics.snapshot()
+        return ShardTelemetry(
+            shard_id=self.spec.shard_id,
+            counters=dict(snapshot["counters"]),
+            gauges=dict(snapshot["gauges"]),
+            quantiles=self.observer.quantiles.state(),
+        )
+
+    # ------------------------------------------------------------------
+    def handle_submit(self, msg_id: int, msg: SubmitRequest) -> None:
+        if not self.accepting:
+            self.channel.send(
+                msg_id,
+                ErrorReply(
+                    shard_id=self.spec.shard_id,
+                    error_type="ShardDraining",
+                    error_message=f"shard {self.spec.shard_id} is draining",
+                ),
+            )
+            return
+        key = (msg.tenant_id, msg.tenant_sequence)
+        cached = self.answered.get(key)
+        if cached is not None:
+            self.observer.incr("fleet.duplicates_dropped")
+            self.channel.send(
+                msg_id,
+                SubmitResponse(
+                    shard_id=self.spec.shard_id,
+                    tenant_id=msg.tenant_id,
+                    tenant_sequence=msg.tenant_sequence,
+                    ok=True,
+                    outcome=cached,
+                    duplicate=True,
+                ),
+            )
+            return
+        try:
+            # Front-door sequence numbers are authoritative; resuming
+            # forward keeps RNG coordinates stable across a restart,
+            # and a rewind (a replayed old submission) is refused.
+            self.scheduler.resume_tenant_sequence(
+                msg.tenant_id, msg.tenant_sequence
+            )
+            remote = context_or_none(msg.trace_context)
+            with self.observer.span(
+                "shard_ingress",
+                remote_parent=remote,
+                service=self.spec.shard_id,
+                tenant=msg.tenant_id,
+                tenant_sequence=msg.tenant_sequence,
+            ):
+                future = self.scheduler.submit(
+                    msg.tenant_id,
+                    msg.blood,
+                    msg.identifier,
+                    duration_s=msg.duration_s,
+                    pipette_volume_ul=msg.pipette_volume_ul,
+                    block=False,
+                )
+        except (MedSenError, QueueFull, ValidationError) as error:
+            self.channel.send(
+                msg_id,
+                ErrorReply(
+                    shard_id=self.spec.shard_id,
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                ),
+            )
+            return
+        assert future.request.tenant_sequence == msg.tenant_sequence
+        self.pending[msg_id] = future
+
+    def sweep(self) -> None:
+        """Send terminal replies for every finished in-flight session."""
+        for msg_id in list(self.pending):
+            future = self.pending[msg_id]
+            if not future.done():
+                continue
+            del self.pending[msg_id]
+            request = future.request
+            error = future.exception()
+            if error is None:
+                outcome = SessionOutcome.from_result(
+                    future.result(),
+                    request.tenant_id,
+                    request.tenant_sequence,
+                    shard_id=self.spec.shard_id,
+                )
+                self.answered[(request.tenant_id, request.tenant_sequence)] = outcome
+                while len(self.answered) > DEDUP_CAPACITY:
+                    self.answered.popitem(last=False)
+                response = SubmitResponse(
+                    shard_id=self.spec.shard_id,
+                    tenant_id=request.tenant_id,
+                    tenant_sequence=request.tenant_sequence,
+                    ok=True,
+                    outcome=outcome,
+                )
+            else:
+                response = SubmitResponse(
+                    shard_id=self.spec.shard_id,
+                    tenant_id=request.tenant_id,
+                    tenant_sequence=request.tenant_sequence,
+                    ok=False,
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                )
+            self.channel.send(msg_id, response)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, msg_id: int, msg: object) -> None:
+        if isinstance(msg, SubmitRequest):
+            self.handle_submit(msg_id, msg)
+        elif isinstance(msg, RegisterTenant):
+            self.scheduler.register_tenant(msg.tenant_id, msg.identifier)
+            self.channel.send(msg_id, Ack(shard_id=self.spec.shard_id))
+        elif isinstance(msg, HealthCheck):
+            self.channel.send(msg_id, self.health())
+        elif isinstance(msg, SnapshotRequest):
+            self.channel.send(msg_id, self.telemetry())
+        elif isinstance(msg, StoreDigest):
+            hashes = store_content_hashes(self.store)
+            self.channel.send(
+                msg_id,
+                ShardStoreDigest(
+                    shard_id=self.spec.shard_id,
+                    record_hashes=hashes,
+                    n_records=len(hashes),
+                ),
+            )
+        elif isinstance(msg, Drain):
+            self.accepting = False
+            self.drain_reply = msg_id
+        elif isinstance(msg, Shutdown):
+            self.accepting = False
+            self.shutdown_reply = msg_id
+        else:
+            self.channel.send(
+                msg_id,
+                ErrorReply(
+                    shard_id=self.spec.shard_id,
+                    error_type="UnknownMessage",
+                    error_message=f"unhandled message type {type(msg).__name__}",
+                ),
+            )
+
+
+def shard_main(spec: ShardSpec, conn) -> None:
+    """Run one shard process until shutdown (or the pipe dies).
+
+    The loop alternates between sweeping finished sessions out to the
+    parent and draining inbound frames; drain/shutdown requests are
+    acknowledged only once every in-flight session has been answered,
+    so a clean drain never loses accepted work.
+    """
+    channel = FrameChannel(conn)
+    runtime = _ShardRuntime(spec, channel)
+    try:
+        while True:
+            runtime.sweep()
+            if not runtime.pending:
+                if runtime.drain_reply is not None:
+                    channel.send(runtime.drain_reply, runtime.health())
+                    runtime.drain_reply = None
+                if runtime.shutdown_reply is not None:
+                    runtime.scheduler.shutdown()
+                    if runtime.journal is not None:
+                        runtime.journal.close()
+                    channel.send(runtime.shutdown_reply, Ack(shard_id=spec.shard_id))
+                    return
+            if not channel.poll(POLL_S):
+                continue
+            try:
+                msg_id, msg = channel.recv()
+            except (EOFError, OSError):
+                # Parent is gone; nothing left to serve.
+                return
+            except (ValidationError, OversizedPayloadError):
+                # Garbage frame: counted by the channel, refused, and
+                # the shard keeps serving (hardening containment).
+                runtime.observer.incr("fleet.garbage_frames")
+                continue
+            try:
+                runtime.dispatch(msg_id, msg)
+            except (EOFError, OSError, BrokenPipeError):
+                return
+            except BaseException as error:  # noqa: BLE001 - containment
+                channel.send(
+                    msg_id,
+                    ErrorReply(
+                        shard_id=spec.shard_id,
+                        error_type=type(error).__name__,
+                        error_message=str(error),
+                    ),
+                )
+    finally:
+        try:
+            runtime.scheduler.shutdown(wait=False)
+            if runtime.journal is not None:
+                runtime.journal.close()
+        except Exception:
+            pass

@@ -216,6 +216,58 @@ def admit_identifier_key(
     return key
 
 
+def admit_session_params(
+    tenant_id: Any,
+    duration_s: Any,
+    pipette_volume_ul: Any,
+    max_duration_s: float = 3600.0,
+    max_pipette_volume_ul: float = 1000.0,
+    observer: Any = NULL_OBSERVER,
+    boundary: str = "submit",
+) -> str:
+    """Refuse a diagnostic-session submission with garbage parameters.
+
+    The single admission path shared by the thread-pool scheduler's
+    ``submit`` and the sharded tier's asyncio front door: a malformed
+    tenant id, a non-finite or non-positive capture duration, or an
+    absurd pipette volume is refused with a typed
+    :class:`~repro._util.errors.AdmissionError` (and ``guard.rejected``
+    accounting) before the request can occupy a queue slot on either
+    tier.  Returns the validated tenant id.
+    """
+    key = admit_identifier_key(tenant_id, observer=observer, boundary=boundary)
+    for name, value in (
+        ("duration_s", duration_s),
+        ("pipette_volume_ul", pipette_volume_ul),
+    ):
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            _refuse(observer, boundary, f"{name} is not a number")
+        if not math.isfinite(value) or value <= 0:
+            _refuse(
+                observer,
+                boundary,
+                f"{name} must be finite and positive, got {value!r}",
+            )
+    if float(duration_s) > max_duration_s:
+        _refuse(
+            observer,
+            boundary,
+            f"duration_s {float(duration_s)} exceeds the {max_duration_s} s cap",
+            OversizedPayloadError,
+        )
+    if float(pipette_volume_ul) > max_pipette_volume_ul:
+        _refuse(
+            observer,
+            boundary,
+            f"pipette_volume_ul {float(pipette_volume_ul)} exceeds the "
+            f"{max_pipette_volume_ul} µL cap",
+            OversizedPayloadError,
+        )
+    return key
+
+
 def admit_metadata(
     metadata: Any,
     observer: Any = NULL_OBSERVER,

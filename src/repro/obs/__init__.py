@@ -42,6 +42,7 @@ from repro.obs.events import (
     EPOCH_RESYNCED,
     EPOCH_ROTATED,
     FAULT_INJECTED,
+    FLEET_SHED,
     GUARD_REJECTED,
     HEALTH_CHANGED,
     KEY_DERIVED,
@@ -58,6 +59,11 @@ from repro.obs.events import (
     REQUEST_QUARANTINED,
     REQUEST_QUEUED,
     REQUEST_REJECTED,
+    SHARD_DRAINED,
+    SHARD_EXITED,
+    SHARD_RECOVERED,
+    SHARD_RESTARTED,
+    SHARD_SPAWNED,
     STALE_EPOCH_REJECTED,
     TRACE_RELAYED,
     WORKER_CRASHED,
@@ -136,6 +142,12 @@ __all__ = [
     "RECORD_CORRUPTED",
     "RECORD_QUARANTINED",
     "EPOCH_RESYNCED",
+    "SHARD_SPAWNED",
+    "SHARD_EXITED",
+    "SHARD_RESTARTED",
+    "SHARD_DRAINED",
+    "SHARD_RECOVERED",
+    "FLEET_SHED",
     "Counter",
     "Gauge",
     "Histogram",

@@ -66,6 +66,14 @@ RECORD_CORRUPTED = "record.corrupted"
 RECORD_QUARANTINED = "record.quarantined"
 EPOCH_RESYNCED = "epoch.resynced"
 
+# Sharded fleet tier (repro.fleet).
+SHARD_SPAWNED = "fleet.shard_spawned"
+SHARD_EXITED = "fleet.shard_exited"
+SHARD_RESTARTED = "fleet.shard_restarted"
+SHARD_DRAINED = "fleet.shard_drained"
+SHARD_RECOVERED = "fleet.shard_recovered"
+FLEET_SHED = "fleet.load_shed"
+
 #: Every kind the pipeline emits (open vocabulary: custom kinds allowed).
 KNOWN_KINDS = frozenset(
     {
@@ -103,6 +111,12 @@ KNOWN_KINDS = frozenset(
         RECORD_CORRUPTED,
         RECORD_QUARANTINED,
         EPOCH_RESYNCED,
+        SHARD_SPAWNED,
+        SHARD_EXITED,
+        SHARD_RESTARTED,
+        SHARD_DRAINED,
+        SHARD_RECOVERED,
+        FLEET_SHED,
     }
 )
 

@@ -23,18 +23,13 @@ the modelled transfer time, and the pool overlaps those waits exactly
 as a real fleet overlaps its uplinks.
 """
 
-import math
 import threading
 from dataclasses import dataclass, field
 from time import monotonic as _monotonic
 from time import sleep as _sleep
 from typing import Dict, List, Optional
 
-from repro._util.errors import (
-    MalformedPayloadError,
-    MedSenError,
-    OversizedPayloadError,
-)
+from repro._util.errors import MedSenError
 from repro.auth.authenticator import ServerAuthenticator
 from repro.auth.enrollment import enroll_classifier
 from repro.auth.identifier import CytoIdentifier
@@ -45,12 +40,11 @@ from repro.core.config import MedSenConfig
 from repro.core.device import MedSenDevice
 from repro.core.diagnosis import CD4_STAGING, ThresholdDiagnostic
 from repro.core.protocol import MedSenSession
-from repro.guard.admission import admit_identifier_key
+from repro.guard.admission import admit_session_params
 from repro.guard.freshness import FreshnessGuard
 from repro.guard.lockout import LockoutPolicy
 from repro.mobile.phone import Smartphone
 from repro.obs import (
-    GUARD_REJECTED,
     NULL_OBSERVER,
     derive_trace_context,
     REQUEST_COMPLETED,
@@ -430,36 +424,37 @@ class FleetScheduler:
         self, tenant_id: str, duration_s: float, pipette_volume_ul: float
     ) -> None:
         """Typed refusal of garbage submissions at the fleet front door."""
+        admit_session_params(
+            tenant_id,
+            duration_s,
+            pipette_volume_ul,
+            max_duration_s=self.config.max_duration_s,
+            max_pipette_volume_ul=self.config.max_pipette_volume_ul,
+            observer=self.observer,
+            boundary="submit",
+        )
 
-        def refuse(reason: str, error=MalformedPayloadError) -> None:
-            self.observer.incr("guard.rejected")
-            self.observer.incr("guard.rejected.submit")
-            self.observer.event(GUARD_REJECTED, boundary="submit", reason=reason)
-            raise error(f"[submit] {reason}")
+    def resume_tenant_sequence(self, tenant_id: str, next_sequence: int) -> None:
+        """Fast-forward a tenant's submission counter after recovery.
 
-        admit_identifier_key(tenant_id, observer=self.observer, boundary="submit")
-        for name, value in (
-            ("duration_s", duration_s),
-            ("pipette_volume_ul", pipette_volume_ul),
-        ):
-            try:
-                value = float(value)
-            except (TypeError, ValueError):
-                refuse(f"{name} is not a number")
-            if not math.isfinite(value) or value <= 0:
-                refuse(f"{name} must be finite and positive, got {value!r}")
-        if float(duration_s) > self.config.max_duration_s:
-            refuse(
-                f"duration_s {float(duration_s)} exceeds the "
-                f"{self.config.max_duration_s} s cap",
-                error=OversizedPayloadError,
-            )
-        if float(pipette_volume_ul) > self.config.max_pipette_volume_ul:
-            refuse(
-                f"pipette_volume_ul {float(pipette_volume_ul)} exceeds the "
-                f"{self.config.max_pipette_volume_ul} µL cap",
-                error=OversizedPayloadError,
-            )
+        A restarted shard process rebuilds its scheduler with counters
+        at zero while the fleet front door keeps routing with the
+        pre-crash sequence numbers; resuming keeps the per-request RNG
+        coordinates ``(seed, tenant, tenant_sequence)`` — and therefore
+        every honest numeric output — bit-identical across the restart.
+        Counters only move forward: rewinding would let a replayed
+        submission re-derive an already-spent request RNG.
+        """
+        if next_sequence < 0:
+            raise MedSenError(f"next_sequence must be >= 0, got {next_sequence}")
+        with self._submit_lock:
+            current = self._tenant_sequences.get(tenant_id, 0)
+            if next_sequence < current:
+                raise MedSenError(
+                    f"tenant {tenant_id!r} sequence cannot rewind from "
+                    f"{current} to {next_sequence}"
+                )
+            self._tenant_sequences[tenant_id] = next_sequence
 
     # ------------------------------------------------------------------
     # Stats

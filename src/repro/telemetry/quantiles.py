@@ -209,6 +209,54 @@ class ExponentialHistogram:
             clone._max = self._max
         return clone
 
+    # ------------------------------------------------------------------
+    # Wire state (cross-process roll-up)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Plain-dict dump of the full sketch state.
+
+        Unlike :meth:`summary` (which keeps only derived quantiles),
+        the state is *lossless*: a shard process ships it over the
+        message transport and :meth:`from_state` rebuilds a sketch that
+        merges exactly as the original would — the cross-shard p99 is
+        computed from real bucket counts, never from per-shard
+        percentiles.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "growth": self.growth,
+                "min_value": self.min_value,
+                "buckets": dict(self._buckets),
+                "zero_count": self._zero_count,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ExponentialHistogram":
+        """Rebuild a sketch from :meth:`state` output (typed refusal)."""
+        try:
+            sketch = cls(
+                str(state["name"]),
+                growth=float(state["growth"]),  # type: ignore[arg-type]
+                min_value=float(state["min_value"]),  # type: ignore[arg-type]
+            )
+            sketch._buckets = {
+                int(index): int(n)
+                for index, n in dict(state["buckets"]).items()  # type: ignore[call-overload]
+            }
+            sketch._zero_count = int(state["zero_count"])  # type: ignore[arg-type]
+            sketch._count = int(state["count"])  # type: ignore[arg-type]
+            sketch._sum = float(state["sum"])  # type: ignore[arg-type]
+            sketch._min = None if state["min"] is None else float(state["min"])  # type: ignore[arg-type]
+            sketch._max = None if state["max"] is None else float(state["max"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed histogram state: {exc}") from exc
+        return sketch
+
 
 class RollingHistogram:
     """An :class:`ExponentialHistogram` windowed over recent time.
@@ -331,6 +379,39 @@ class QuantileRegistry:
         with self._lock:
             items = sorted(self._histograms.items())
         return {name: sketch.summary() for name, sketch in items}
+
+    def state(self) -> Dict[str, object]:
+        """Lossless plain-dict dump of every sketch (wire-friendly)."""
+        with self._lock:
+            items = sorted(self._histograms.items())
+        return {
+            "growth": self.growth,
+            "min_value": self.min_value,
+            "histograms": {name: sketch.state() for name, sketch in items},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "QuantileRegistry":
+        """Rebuild a registry from :meth:`state` output.
+
+        The inverse of :meth:`state`; a rebuilt registry merges through
+        :func:`merge_registries` exactly as the in-process original
+        would, which is how per-shard telemetry crosses the process
+        boundary for the fleet-wide roll-up.
+        """
+        try:
+            registry = cls(
+                growth=float(state["growth"]),  # type: ignore[arg-type]
+                min_value=float(state["min_value"]),  # type: ignore[arg-type]
+            )
+            histograms = dict(state["histograms"])  # type: ignore[call-overload]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed registry state: {exc}") from exc
+        for name, sketch_state in histograms.items():
+            registry._histograms[str(name)] = ExponentialHistogram.from_state(
+                sketch_state
+            )
+        return registry
 
 
 def merge_registries(registries: Sequence[QuantileRegistry]) -> QuantileRegistry:

@@ -68,3 +68,28 @@ class TestDemo:
         assert "decrypted count" in out
         assert "diagnosis" in out
         assert "notification" in out
+
+
+class TestFleet:
+    def test_parser_wires_fleet_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fleet", "--smoke", "--shards", "4", "--phases", "harden"]
+        )
+        assert callable(args.handler)
+        assert args.shards == 4 and args.phases == ["harden"]
+        assert parser.parse_args(["chaos", "--fleet"]).fleet
+        assert parser.parse_args(["harden", "--fleet"]).fleet
+        assert parser.parse_args(["top", "--shards", "2"]).shards == 2
+
+    def test_unknown_phase_is_typed_error(self, capsys):
+        assert main(["fleet", "--smoke", "--phases", "nonsense"]) == 2
+        assert "unknown fleet phases" in capsys.readouterr().err
+
+    def test_harden_phase_smoke(self, capsys):
+        # The cheapest real-cluster phase: spawns 2 shard processes,
+        # feeds one garbage frames, checks containment.
+        assert main(["fleet", "--smoke", "--phases", "harden"]) == 0
+        out = capsys.readouterr().out
+        assert "garbage_frames_refused_and_shard_survives" in out
+        assert "PASS" in out

@@ -1,0 +1,273 @@
+"""Front-door admission, backpressure, and accounting.
+
+These tests drive :class:`~repro.fleet.frontdoor.AsyncFrontDoor`
+against an in-process stub cluster whose futures resolve on command, so
+the shed/accounting invariants are checked exactly — no real shard
+processes, no timing races.
+"""
+
+import asyncio
+from concurrent.futures import Future
+
+import pytest
+
+from repro._util.errors import AdmissionError, MedSenError
+from repro.fleet.cluster import FleetTierConfig, ShardCrashedError
+from repro.fleet.frontdoor import (
+    AsyncFrontDoor,
+    FleetRequestFailedError,
+    FleetSaturatedError,
+)
+from repro.fleet.messages import SessionOutcome, SubmitResponse
+from repro.serving.scheduler import FleetConfig
+
+
+def make_outcome(tenant_id, sequence):
+    return SessionOutcome(
+        tenant_id=tenant_id,
+        tenant_sequence=sequence,
+        diagnosis_label="healthy",
+        concentration_per_ul=100.0,
+        auth_accepted=True,
+        auth_user_id="user",
+        record_key=f"{tenant_id}#{sequence}",
+        report_count=10,
+        decrypted_count=10.0,
+        marker_count=10.0,
+        shard_id="shard-00",
+    )
+
+
+class StubHandle:
+    """Shard handle double: every request returns a held-open future."""
+
+    def __init__(self, shard_id="shard-00"):
+        self.shard_id = shard_id
+        self.pending = []
+
+    def request(self, message):
+        future = Future()
+        self.pending.append((message, future))
+        return future
+
+    def resolve_all(self, *, ok=True, duplicate=False):
+        for message, future in self.pending:
+            if ok:
+                future.set_result(
+                    SubmitResponse(
+                        shard_id=self.shard_id,
+                        tenant_id=message.tenant_id,
+                        tenant_sequence=message.tenant_sequence,
+                        ok=True,
+                        duplicate=duplicate,
+                        outcome=make_outcome(
+                            message.tenant_id, message.tenant_sequence
+                        ),
+                    )
+                )
+            else:
+                future.set_result(
+                    SubmitResponse(
+                        shard_id=self.shard_id,
+                        tenant_id=message.tenant_id,
+                        tenant_sequence=message.tenant_sequence,
+                        ok=False,
+                        error_type="AuthenticationError",
+                        error_message="no match",
+                    )
+                )
+        self.pending = []
+
+    def crash_all(self):
+        for _, future in self.pending:
+            future.set_exception(ShardCrashedError("shard-00 died"))
+        self.pending = []
+
+
+class StubCluster:
+    def __init__(self, max_inflight=2):
+        self.config = FleetTierConfig(
+            n_shards=1,
+            shard=FleetConfig(seed=0),
+            max_inflight=max_inflight,
+            request_timeout_s=5.0,
+        )
+        self.handle = StubHandle()
+        self.registered = {}
+
+    def handle_for(self, tenant_id):
+        return self.handle
+
+    def register_tenant(self, tenant_id, identifier):
+        self.registered[tenant_id] = identifier
+
+
+async def settle():
+    """Let submit coroutines run up to their awaits."""
+    for _ in range(5):
+        await asyncio.sleep(0)
+
+
+class TestBoundedInflight:
+    def test_excess_submissions_shed_typed_and_none_lost_below_bound(self):
+        async def scenario():
+            cluster = StubCluster(max_inflight=2)
+            door = AsyncFrontDoor(cluster)
+            tasks = [
+                asyncio.ensure_future(
+                    door.submit(f"tenant-{i:02d}", object(), object())
+                )
+                for i in range(6)
+            ]
+            await settle()
+            assert door.inflight == 2
+            assert len(cluster.handle.pending) == 2
+            cluster.handle.resolve_all()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            completed = [r for r in results if isinstance(r, SessionOutcome)]
+            shed = [r for r in results if isinstance(r, FleetSaturatedError)]
+            # Exactly the bound completes; every refusal is typed.
+            assert len(completed) == 2
+            assert len(shed) == 4
+            assert door.completed == 2
+            assert door.shed == 4
+            assert door.failed == 0
+            assert door.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_slots_freed_by_completion_are_reusable(self):
+        async def scenario():
+            cluster = StubCluster(max_inflight=1)
+            door = AsyncFrontDoor(cluster)
+            first = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.handle.resolve_all()
+            assert isinstance(await first, SessionOutcome)
+            second = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.handle.resolve_all()
+            assert isinstance(await second, SessionOutcome)
+            assert door.completed == 2 and door.shed == 0
+
+        asyncio.run(scenario())
+
+    def test_shed_burns_no_sequence_number(self):
+        async def scenario():
+            cluster = StubCluster(max_inflight=1)
+            door = AsyncFrontDoor(cluster)
+            blocker = asyncio.ensure_future(
+                door.submit("tenant-00", object(), object())
+            )
+            await settle()
+            with pytest.raises(FleetSaturatedError):
+                await door.submit("tenant-01", object(), object())
+            cluster.handle.resolve_all()
+            await blocker
+            # The shed tenant's next submission still gets sequence 0.
+            replay = asyncio.ensure_future(
+                door.submit("tenant-01", object(), object())
+            )
+            await settle()
+            (message, _), = cluster.handle.pending
+            assert message.tenant_sequence == 0
+            cluster.handle.resolve_all()
+            await replay
+
+        asyncio.run(scenario())
+
+    def test_bad_bound_refused(self):
+        with pytest.raises(MedSenError):
+            AsyncFrontDoor(StubCluster(), max_inflight=0)
+
+
+class TestGuardAccounting:
+    @pytest.mark.parametrize(
+        "tenant, duration",
+        [
+            ("", 20.0),
+            (" padded ", 20.0),
+            ("tenant-00", float("nan")),
+            ("tenant-00", -4.0),
+        ],
+    )
+    def test_malformed_submissions_refused_before_sequencing(self, tenant, duration):
+        async def scenario():
+            cluster = StubCluster()
+            door = AsyncFrontDoor(cluster)
+            with pytest.raises(AdmissionError):
+                await door.submit(tenant, object(), object(), duration_s=duration)
+            # Refused before any state changed: nothing submitted,
+            # nothing inflight, no sequence assigned, no shard traffic.
+            assert door.submitted == 0
+            assert door.inflight == 0
+            assert door._sequences == {}
+            assert cluster.handle.pending == []
+
+        asyncio.run(scenario())
+
+
+class TestSequencesAndFailures:
+    def test_sequences_increase_per_tenant(self):
+        async def scenario():
+            cluster = StubCluster(max_inflight=8)
+            door = AsyncFrontDoor(cluster)
+            tasks = [
+                asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+                for _ in range(3)
+            ]
+            await settle()
+            sequences = [m.tenant_sequence for m, _ in cluster.handle.pending]
+            assert sequences == [0, 1, 2]
+            cluster.handle.resolve_all()
+            await asyncio.gather(*tasks)
+
+        asyncio.run(scenario())
+
+    def test_shard_failure_is_typed_with_provenance(self):
+        async def scenario():
+            cluster = StubCluster()
+            door = AsyncFrontDoor(cluster)
+            task = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.handle.resolve_all(ok=False)
+            with pytest.raises(FleetRequestFailedError) as info:
+                await task
+            assert info.value.shard_id == "shard-00"
+            assert info.value.error_type == "AuthenticationError"
+            assert door.failed == 1 and door.completed == 0
+            assert door.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_crash_without_retry_budget_propagates(self):
+        async def scenario():
+            cluster = StubCluster()
+            door = AsyncFrontDoor(cluster)
+            task = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.handle.crash_all()
+            with pytest.raises(ShardCrashedError):
+                await task
+            assert door.failed == 1
+
+        asyncio.run(scenario())
+
+    def test_crash_retry_replays_same_sequence(self):
+        async def scenario():
+            cluster = StubCluster()
+            door = AsyncFrontDoor(cluster)
+            task = asyncio.ensure_future(
+                door.submit("tenant-00", object(), object(), retries_on_crash=1)
+            )
+            await settle()
+            cluster.handle.crash_all()
+            await asyncio.sleep(0.1)  # past the retry backoff
+            (message, _), = cluster.handle.pending
+            assert message.tenant_sequence == 0  # identical RNG coordinates
+            cluster.handle.resolve_all()
+            outcome = await task
+            assert isinstance(outcome, SessionOutcome)
+            assert door.retried == 1 and door.completed == 1
+
+        asyncio.run(scenario())

@@ -1,0 +1,159 @@
+"""Seeded heavy-tailed load generation: determinism, tails, bounded memory."""
+
+import itertools
+
+import pytest
+
+from repro._util.errors import MedSenError
+from repro.fleet.loadgen import (
+    Arrival,
+    LoadProfile,
+    SpaceSaving,
+    generate_arrivals,
+    tenant_blood,
+    tenant_identifier,
+)
+
+PROFILE = LoadProfile(
+    population=1_000_000,
+    duration_s=120.0,
+    base_rate_per_s=6.0,
+    flash_crowds=((60.0, 5.0, 30.0),),
+    seed=7,
+)
+
+
+def take(profile, n=None):
+    tape = generate_arrivals(profile)
+    return list(tape if n is None else itertools.islice(tape, n))
+
+
+class TestArrivalTape:
+    def test_tape_is_deterministic(self):
+        assert take(PROFILE) == take(PROFILE)
+
+    def test_different_seed_different_tape(self):
+        other = LoadProfile(
+            population=PROFILE.population,
+            duration_s=PROFILE.duration_s,
+            base_rate_per_s=PROFILE.base_rate_per_s,
+            flash_crowds=PROFILE.flash_crowds,
+            seed=8,
+        )
+        assert take(PROFILE, 50) != take(other, 50)
+
+    def test_times_increase_within_duration(self):
+        tape = take(PROFILE)
+        times = [arrival.at_s for arrival in tape]
+        assert times == sorted(times)
+        assert all(0.0 < t < PROFILE.duration_s for t in times)
+
+    def test_total_volume_tracks_integrated_rate(self):
+        # Poisson counts concentrate around the integrated intensity;
+        # a factor-of-2 window is a deliberately loose sanity band.
+        tape = take(PROFILE)
+        expected = PROFILE.base_rate_per_s * PROFILE.duration_s + 30.0 * 5.0 * 2.5
+        assert 0.5 * expected < len(tape) < 2.0 * expected
+
+    def test_flash_crowd_concentrates_arrivals(self):
+        tape = take(PROFILE)
+        in_crowd = sum(1 for a in tape if 50.0 <= a.at_s <= 70.0)
+        elsewhere = sum(1 for a in tape if 90.0 <= a.at_s <= 110.0)
+        assert in_crowd > 2 * max(elsewhere, 1)
+
+    def test_ranks_are_heavy_tailed(self):
+        tape = take(PROFILE)
+        head = sum(1 for a in tape if a.rank <= 100)
+        # Log-uniform ranks: P(rank <= 100) = ln(100)/ln(1e6) ≈ 1/3 of
+        # arrivals hit the top 0.01% of a million-tenant population.
+        assert head > len(tape) // 5
+        assert max(a.rank for a in tape) > 10_000
+
+    def test_slow_tenants_get_slow_durations(self):
+        tape = take(PROFILE)
+        for arrival in tape:
+            expected = (
+                PROFILE.slow_duration_s
+                if PROFILE.is_slow_tenant(arrival.tenant_id)
+                else PROFILE.session_duration_s
+            )
+            assert arrival.duration_s == expected
+
+    def test_zero_rate_yields_empty_tape(self):
+        silent = LoadProfile(base_rate_per_s=0.0, diurnal_amplitude=0.0, seed=1)
+        assert take(silent) == []
+
+    def test_bad_profiles_refused(self):
+        with pytest.raises(MedSenError):
+            LoadProfile(population=0)
+        with pytest.raises(MedSenError):
+            LoadProfile(diurnal_amplitude=1.5)
+
+
+class TestRateEnvelope:
+    def test_peak_rate_bounds_rate_everywhere(self):
+        peak = PROFILE.peak_rate
+        assert all(
+            PROFILE.rate(t * PROFILE.duration_s / 500.0) <= peak + 1e-9
+            for t in range(501)
+        )
+
+    def test_rate_never_negative(self):
+        profile = LoadProfile(base_rate_per_s=1.0, diurnal_amplitude=0.99)
+        assert all(profile.rate(t / 10.0) >= 0.0 for t in range(2400))
+
+
+class TestSpaceSaving:
+    def test_exact_within_capacity(self):
+        sketch = SpaceSaving(capacity=8)
+        for key, times in (("a", 5), ("b", 3), ("c", 1)):
+            for _ in range(times):
+                sketch.offer(key)
+        assert sketch.top(2) == [("a", 5, 0), ("b", 3, 0)]
+
+    def test_bounded_memory_and_error_bound(self):
+        sketch = SpaceSaving(capacity=4)
+        for index in range(200):
+            sketch.offer(f"tail-{index}")
+            sketch.offer("whale")
+        top = sketch.top(1)[0]
+        assert top[0] == "whale"
+        assert len(sketch.top(100)) <= 4
+        # Counts overestimate by at most the recorded error bound.
+        assert top[1] - top[2] <= 201
+
+    def test_bad_capacity_refused(self):
+        with pytest.raises(MedSenError):
+            SpaceSaving(capacity=0)
+
+
+class TestTenantFactories:
+    def test_identifier_deterministic_per_attempt(self):
+        a = tenant_identifier(3, "user-0000001", attempt=0)
+        b = tenant_identifier(3, "user-0000001", attempt=0)
+        assert a.as_string() == b.as_string()
+
+    def test_alternate_attempts_reach_other_passwords(self):
+        draws = {
+            tenant_identifier(3, "user-0000001", attempt=k).as_string()
+            for k in range(9)
+        }
+        assert len(draws) > 1
+
+    def test_identifiers_have_every_bead_type(self):
+        identifier = tenant_identifier(0, "user-0000042")
+        assert min(identifier.levels) >= 1
+
+    def test_blood_deterministic_and_sequence_varied(self):
+        first = tenant_blood(5, "user-0000002", rank=2, sequence=0)
+        again = tenant_blood(5, "user-0000002", rank=2, sequence=0)
+        later = tenant_blood(5, "user-0000002", rank=2, sequence=1)
+        assert first.counts == again.counts
+        assert first.counts != later.counts
+
+
+class TestArrivalRecord:
+    def test_frozen(self):
+        arrival = Arrival(at_s=1.0, tenant_id="user-0000001", rank=1, duration_s=6.0)
+        with pytest.raises(AttributeError):
+            arrival.rank = 2

@@ -1,0 +1,106 @@
+"""Property tests for the consistent-hash ring (tenant → shard)."""
+
+import pytest
+
+from repro._util.errors import ConfigurationError
+from repro.fleet.ring import DEFAULT_VNODES, HashRing
+
+TENANTS = [f"user-{index:07d}" for index in range(10_000)]
+
+
+class TestRingDeterminism:
+    def test_same_shards_same_assignment(self):
+        a = HashRing(["shard-00", "shard-01", "shard-02"])
+        b = HashRing(["shard-02", "shard-00", "shard-01"])  # order-insensitive
+        assert a.assignment(TENANTS[:500]) == b.assignment(TENANTS[:500])
+
+    def test_assignment_is_stable_across_instances(self):
+        first = HashRing(["shard-00", "shard-01"]).assign("clinic-00")
+        second = HashRing(["shard-00", "shard-01"]).assign("clinic-00")
+        assert first == second
+
+    def test_shard_ids_sorted(self):
+        ring = HashRing(["shard-02", "shard-00"])
+        assert ring.shard_ids == ("shard-00", "shard-02")
+        assert "shard-00" in ring and "shard-07" not in ring
+
+
+class TestRingBalance:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_balance_within_bound_over_10k_tenants(self, n_shards):
+        ring = HashRing([f"shard-{i:02d}" for i in range(n_shards)])
+        # With 128 vnodes per shard the max load stays within 25% of
+        # the fair share over a 10k-tenant population.
+        assert ring.imbalance(TENANTS) <= 1.25
+
+    def test_every_shard_gets_tenants(self):
+        ring = HashRing([f"shard-{i:02d}" for i in range(4)])
+        counts = ring.load(TENANTS)
+        assert set(counts) == set(ring.shard_ids)
+        assert all(count > 0 for count in counts.values())
+
+    def test_more_vnodes_tightens_balance(self):
+        shards = [f"shard-{i:02d}" for i in range(4)]
+        coarse = HashRing(shards, vnodes=4).imbalance(TENANTS)
+        fine = HashRing(shards, vnodes=DEFAULT_VNODES).imbalance(TENANTS)
+        assert fine < coarse
+
+
+class TestRingMovement:
+    def test_add_moves_only_to_new_shard(self):
+        ring = HashRing([f"shard-{i:02d}" for i in range(4)])
+        before = ring.assignment(TENANTS)
+        ring.add_shard("shard-04")
+        after = ring.assignment(TENANTS)
+        moved = [t for t in TENANTS if before[t] != after[t]]
+        # Minimal movement: every moved tenant lands on the new shard,
+        # and roughly (not more than 1.5x) the new fair share moves.
+        assert moved, "a new shard must take some load"
+        assert all(after[t] == "shard-04" for t in moved)
+        fair = len(TENANTS) / 5
+        assert 0.5 * fair <= len(moved) <= 1.5 * fair
+
+    def test_drain_moves_only_drained_shards_tenants(self):
+        ring = HashRing([f"shard-{i:02d}" for i in range(4)])
+        before = ring.assignment(TENANTS)
+        ring.remove_shard("shard-01")
+        after = ring.assignment(TENANTS)
+        moved = [t for t in TENANTS if before[t] != after[t]]
+        assert moved
+        assert all(before[t] == "shard-01" for t in moved)
+        assert all(after[t] != "shard-01" for t in TENANTS)
+
+    def test_add_then_drain_restores_assignment(self):
+        ring = HashRing([f"shard-{i:02d}" for i in range(3)])
+        before = ring.assignment(TENANTS[:1000])
+        ring.add_shard("shard-99")
+        ring.remove_shard("shard-99")
+        assert ring.assignment(TENANTS[:1000]) == before
+
+
+class TestRingRefusals:
+    def test_empty_ring_refuses_assign(self):
+        with pytest.raises(ConfigurationError):
+            HashRing().assign("clinic-00")
+
+    def test_duplicate_shard_refused(self):
+        ring = HashRing(["shard-00"])
+        with pytest.raises(ConfigurationError):
+            ring.add_shard("shard-00")
+
+    def test_remove_unknown_shard_refused(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(["shard-00"]).remove_shard("shard-01")
+
+    def test_bad_vnodes_refused(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+
+    def test_bad_shard_id_refused(self):
+        ring = HashRing()
+        with pytest.raises(ConfigurationError):
+            ring.add_shard("")
+
+    def test_imbalance_degenerate_inputs(self):
+        assert HashRing(["shard-00"]).imbalance([]) == 1.0
+        assert HashRing().imbalance(TENANTS[:5]) == 1.0
