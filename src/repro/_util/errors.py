@@ -84,3 +84,43 @@ class LockoutError(AuthenticationError):
     """Authentication was refused without examining the sample because
     the source exceeded its attempt budget and is in exponential
     backoff (see :class:`repro.guard.lockout.AttemptThrottle`)."""
+
+
+class StreamSessionError(MedSenError):
+    """A streaming-session protocol violation (see :mod:`repro.stream`).
+
+    Like :class:`AdmissionError`, these are *typed, non-crashing*
+    refusals: whatever a disconnecting, lagging, or replaying device
+    sends at the streaming lane, the gateway answers with a subclass of
+    this — never a raw ``KeyError`` / ``IndexError``.
+    """
+
+
+class UnknownSessionError(StreamSessionError):
+    """A chunk or control message referenced a session id the gateway
+    has never opened (or whose state was already reaped away)."""
+
+
+class SessionStateError(StreamSessionError):
+    """The session exists but is in the wrong state for the request
+    (e.g. a chunk arriving on a SUSPENDED session before resume)."""
+
+
+class SessionReapedError(SessionStateError):
+    """The watchdog reaped the session past its deadline; its windowed
+    carry-over state is gone and the stream cannot be resumed."""
+
+
+class SequenceGapError(StreamSessionError):
+    """A chunk arrived *ahead* of the session cursor: one or more
+    chunks were lost in flight.  Carries ``expected_seq`` so the device
+    knows exactly where to resume."""
+
+    def __init__(self, message: str, expected_seq: int = 0) -> None:
+        super().__init__(message)
+        self.expected_seq = int(expected_seq)
+
+
+class ResumeAuthError(StreamSessionError):
+    """A resume attempt presented the wrong ``resume_token`` — an
+    attacker cannot hijack a suspended stream by guessing its id."""

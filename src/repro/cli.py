@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Fourteen subcommands cover the workflows a bench scientist or security
+Fifteen subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -28,6 +28,10 @@ reviewer would reach for first:
   shard kill/restart with journal recovery, garbage-frame containment,
   typed load shedding, and a heavy-tailed load replay (``--smoke`` is
   the CI gate, ``--drill`` the long variant).
+* ``stream``    — disconnection-tolerance drill for the streaming
+  lane: chunked bit-identity, disconnect/resume, mid-stream key
+  rotation, congestion backoff, and watchdog reaping (``--smoke`` is
+  the CI gate).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
 * ``top``       — run an instrumented fleet and render the telemetry
@@ -42,7 +46,8 @@ reviewer would reach for first:
   ``BENCH_<area>.json`` artifacts (``--check`` gates against the
   committed baseline).
 
-``serve``, ``chaos`` and ``harden`` all accept ``--trace-out`` /
+``serve``, ``chaos``, ``harden``, ``fleet`` and ``stream`` share one
+observability parent parser: all accept ``--trace-out`` /
 ``--events-out`` to export their runs as Chrome-trace JSON and JSONL
 audit events.
 """
@@ -363,6 +368,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return _run_fleet_campaign(args, phases=phases, smoke=not args.drill)
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
+    from repro.stream import run_stream
+
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    report = run_stream(seed=args.seed, smoke=args.smoke, observer=observer)
+    print(report.format())
+    if args.metrics:
+        print()
+        print(format_metrics_table(observer.metrics))
+    _export_observability(observer, args.trace_out, args.events_out)
+    return 0 if report.passed else 1
+
+
 def _cmd_top_sharded(args: argparse.Namespace) -> int:
     """``top --shards N``: clinic traffic through N shard processes,
     then the cross-shard telemetry roll-up.
@@ -530,6 +549,22 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace-out`` / ``--events-out`` flags for observed runs.
+
+    One parent parser instead of four hand-rolled copies, so every
+    campaign subcommand exports its run the same way with the same help
+    text (``demo`` keeps its bespoke trace-only flag, ``stats`` its own
+    wording — they predate the observed-campaign family).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace-out", type=str, default=None,
+                        help="write Chrome-trace JSON of the run's spans")
+    parent.add_argument("--events-out", type=str, default=None,
+                        help="write the audit event log as JSONL")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -537,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="MedSen reproduction: secure point-of-care diagnostics",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    obs_parent = _observability_parent()
 
     demo = subparsers.add_parser("demo", help="run one full secure session")
     demo.add_argument("--seed", type=int, default=42)
@@ -584,7 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     selftest.set_defaults(handler=_cmd_selftest)
 
     serve = subparsers.add_parser(
-        "serve", help="run a multi-tenant serving fleet over a clinic workload"
+        "serve",
+        parents=[obs_parent],
+        help="run a multi-tenant serving fleet over a clinic workload",
     )
     serve.add_argument("--seed", type=int, default=2016)
     serve.add_argument("--workers", type=int, default=4)
@@ -610,14 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the metrics table after the run")
     serve.add_argument("--smoke", action="store_true",
                        help="small fixed workload; exit 1 on anomalies (CI)")
-    serve.add_argument("--trace-out", type=str, default=None,
-                       help="write Chrome-trace JSON of the fleet's spans")
-    serve.add_argument("--events-out", type=str, default=None,
-                       help="write the audit event log as JSONL")
     serve.set_defaults(handler=_cmd_serve)
 
     chaos = subparsers.add_parser(
-        "chaos", help="seeded fault-injection campaign with resilience invariants"
+        "chaos",
+        parents=[obs_parent],
+        help="seeded fault-injection campaign with resilience invariants",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--campaign", type=str, default="smoke",
@@ -630,14 +666,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the kill/restart drill against the sharded tier")
     chaos.add_argument("--shards", type=int, default=2,
                        help="shard processes for --fleet")
-    chaos.add_argument("--trace-out", type=str, default=None,
-                       help="write Chrome-trace JSON of the campaign's spans")
-    chaos.add_argument("--events-out", type=str, default=None,
-                       help="write the audit event log as JSONL")
     chaos.set_defaults(handler=_cmd_chaos)
 
     harden = subparsers.add_parser(
-        "harden", help="adversarial hardening campaign: fuzz + trust boundaries"
+        "harden",
+        parents=[obs_parent],
+        help="adversarial hardening campaign: fuzz + trust boundaries",
     )
     harden.add_argument("--seed", type=int, default=0)
     harden.add_argument("--mutations", type=int, default=10_000,
@@ -650,10 +684,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run garbage-frame + shedding drills on the sharded tier")
     harden.add_argument("--shards", type=int, default=2,
                         help="shard processes for --fleet")
-    harden.add_argument("--trace-out", type=str, default=None,
-                        help="write Chrome-trace JSON of the campaign's spans")
-    harden.add_argument("--events-out", type=str, default=None,
-                        help="write the audit event log as JSONL")
     harden.set_defaults(handler=_cmd_harden)
 
     figures = subparsers.add_parser(
@@ -686,7 +716,9 @@ def build_parser() -> argparse.ArgumentParser:
     top.set_defaults(handler=_cmd_top)
 
     fleet = subparsers.add_parser(
-        "fleet", help="sharded cloud tier campaign: determinism, recovery, shedding"
+        "fleet",
+        parents=[obs_parent],
+        help="sharded cloud tier campaign: determinism, recovery, shedding",
     )
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument("--shards", type=int, default=2,
@@ -699,11 +731,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="phase subset (default: all; see repro.fleet.ALL_PHASES)")
     fleet.add_argument("--metrics", action="store_true",
                        help="print the parent-side metrics table after the run")
-    fleet.add_argument("--trace-out", type=str, default=None,
-                       help="write Chrome-trace JSON of the campaign's spans")
-    fleet.add_argument("--events-out", type=str, default=None,
-                       help="write the audit event log as JSONL")
     fleet.set_defaults(handler=_cmd_fleet)
+
+    stream = subparsers.add_parser(
+        "stream",
+        parents=[obs_parent],
+        help="disconnection-tolerance drill: streaming resume, rotation, congestion",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--smoke", action="store_true",
+                        help="reduced drill; exit 1 on any violation (CI gate)")
+    stream.add_argument("--metrics", action="store_true",
+                        help="print the metrics table after the run")
+    stream.set_defaults(handler=_cmd_stream)
 
     profile = subparsers.add_parser(
         "profile", help="stage-by-stage pipeline profile (flamegraph-ready)"

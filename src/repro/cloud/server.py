@@ -110,6 +110,7 @@ class AnalysisServer:
         self._total_processing_time_s = 0.0
         self._seen_requests: "OrderedDict[str, PeakReport]" = OrderedDict()
         self._duplicates_dropped = 0
+        self._dedup_evicted = 0
         self._lock = threading.Lock()
         self._thread = threading.local()
 
@@ -200,15 +201,24 @@ class AnalysisServer:
             cached = self._seen_requests.get(request_id)
             if cached is None:
                 return None
+            # True LRU: a hit refreshes the entry, so a request id that
+            # keeps being retried is not evicted by colder traffic.
+            self._seen_requests.move_to_end(request_id)
             self._duplicates_dropped += 1
         self.observer.incr("serve.duplicates_dropped")
         return cached
 
     def _remember_request(self, request_id: str, report: PeakReport) -> None:
+        evicted = 0
         with self._lock:
             self._seen_requests[request_id] = report
+            self._seen_requests.move_to_end(request_id)
             while len(self._seen_requests) > self.dedup_capacity:
                 self._seen_requests.popitem(last=False)
+                evicted += 1
+                self._dedup_evicted += 1
+        for _ in range(evicted):
+            self.observer.incr("dedup.evicted")
 
     def analyze_sealed(
         self,
@@ -356,6 +366,11 @@ class AnalysisServer:
     def duplicates_dropped(self) -> int:
         """Re-delivered request ids answered from the dedup cache."""
         return self._duplicates_dropped
+
+    @property
+    def dedup_evicted(self) -> int:
+        """Entries pushed out of the LRU-bounded dedup cache so far."""
+        return self._dedup_evicted
 
     @property
     def last_processing_time_s(self) -> Optional[float]:

@@ -15,6 +15,9 @@ can legitimately do is here:
   carrier frequencies (the Figure 16 scatter axes).
 * :mod:`~repro.dsp.recording` — CSV capture-size and zip-compression
   model for the §VII-B data-volume accounting.
+* :mod:`~repro.dsp.windowed` — chunked windowed detrend + peak
+  detection with explicit carry-over state, bit-identical to the
+  one-shot path (the streaming workload's DSP core).
 """
 
 from repro.dsp.detrend import (
@@ -26,9 +29,17 @@ from repro.dsp.features import FeatureExtractor, PeakFeatures
 from repro.dsp.peakdetect import DetectedPeak, PeakDetector, PeakReport
 from repro.dsp.recording import CsvRecordingModel, compressed_size_bytes
 from repro.dsp.streaming import StreamingPeakDetector
+from repro.dsp.windowed import (
+    ExactPeakStream,
+    StreamingDetrender,
+    WindowedPeakDetector,
+)
 
 __all__ = [
     "StreamingPeakDetector",
+    "StreamingDetrender",
+    "ExactPeakStream",
+    "WindowedPeakDetector",
     "DetrendConfig",
     "global_polynomial_detrend",
     "piecewise_polynomial_detrend",

@@ -31,9 +31,21 @@ awaits.
 import asyncio
 from typing import Dict, Optional
 
-from repro._util.errors import MedSenError
-from repro.fleet.cluster import FleetCluster, ShardCrashedError
-from repro.fleet.messages import SessionOutcome, SubmitRequest, SubmitResponse
+from repro._util.errors import MedSenError, UnknownSessionError
+from repro.fleet.cluster import FleetCluster, ShardCrashedError, ShardRequestError
+from repro.fleet.messages import (
+    SessionOutcome,
+    StreamChunkAck,
+    StreamChunkMsg,
+    StreamClose,
+    StreamClosed,
+    StreamOpen,
+    StreamOpened,
+    StreamResume,
+    StreamResumed,
+    SubmitRequest,
+    SubmitResponse,
+)
 from repro.obs import FLEET_SHED, NULL_OBSERVER, derive_trace_context
 
 
@@ -74,6 +86,11 @@ class AsyncFrontDoor:
         self.failed = 0
         self.shed = 0
         self.retried = 0
+        # Streaming lane: session routing + per-session send ordering.
+        self._stream_tenants: Dict[str, str] = {}
+        self._stream_locks: Dict[str, asyncio.Lock] = {}
+        self.streams_opened = 0
+        self.stream_chunks = 0
 
     # ------------------------------------------------------------------
     async def register_tenant(self, tenant_id: str, identifier) -> None:
@@ -196,3 +213,121 @@ class AsyncFrontDoor:
         self.observer.incr("fleet.completed")
         assert response.outcome is not None
         return response.outcome
+
+    # ------------------------------------------------------------------
+    # Streaming lane: a session is pinned to its tenant's shard; chunk
+    # sends for one session are serialised by a per-session lock so the
+    # gateway's cursor never sees a racing out-of-order pair from us
+    # (re-ordering *on the link* is the gateway's job to refuse).
+    # ------------------------------------------------------------------
+    async def _stream_request(
+        self, tenant_id: str, message, timeout: Optional[float] = None
+    ):
+        timeout = (
+            timeout if timeout is not None else self.cluster.config.request_timeout_s
+        )
+        handle = self.cluster.handle_for(tenant_id)
+        future = handle.request(message)
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(future), timeout=timeout
+            )
+        except ShardRequestError as refusal:
+            # The receiver thread has already unpacked the shard's
+            # typed ErrorReply; re-raise in the front door's own
+            # failure vocabulary, provenance intact.
+            raise FleetRequestFailedError(
+                refusal.shard_id, refusal.error_type, refusal.error_message
+            ) from refusal
+
+    def _stream_tenant(self, session_id: str) -> str:
+        tenant_id = self._stream_tenants.get(session_id)
+        if tenant_id is None:
+            raise UnknownSessionError(
+                f"front door has no open stream {session_id!r}"
+            )
+        return tenant_id
+
+    async def open_stream(
+        self,
+        tenant_id: str,
+        n_channels: int,
+        sampling_rate_hz: float,
+        token_blob: bytes,
+        timeout: Optional[float] = None,
+    ) -> StreamOpened:
+        """Open a streaming session on the tenant's owning shard."""
+        response = await self._stream_request(
+            tenant_id,
+            StreamOpen(
+                tenant_id=tenant_id,
+                n_channels=int(n_channels),
+                sampling_rate_hz=float(sampling_rate_hz),
+                token_blob=bytes(token_blob),
+            ),
+            timeout,
+        )
+        assert isinstance(response, StreamOpened)
+        self._stream_tenants[response.session_id] = tenant_id
+        self._stream_locks[response.session_id] = asyncio.Lock()
+        self.streams_opened += 1
+        self.observer.incr("fleet.streams_opened")
+        return response
+
+    async def stream_chunk(
+        self, session_id: str, blob: bytes, timeout: Optional[float] = None
+    ) -> StreamChunkAck:
+        """Forward one sealed chunk to its session's shard, in order."""
+        tenant_id = self._stream_tenant(session_id)
+        async with self._stream_locks[session_id]:
+            response = await self._stream_request(
+                tenant_id,
+                StreamChunkMsg(
+                    tenant_id=tenant_id,
+                    session_id=session_id,
+                    blob=bytes(blob),
+                ),
+                timeout,
+            )
+        assert isinstance(response, StreamChunkAck)
+        self.stream_chunks += 1
+        self.observer.incr("fleet.stream_chunks")
+        return response
+
+    async def resume_stream(
+        self,
+        session_id: str,
+        resume_token: str,
+        timeout: Optional[float] = None,
+    ) -> StreamResumed:
+        """Re-attach to a session after a device-side disconnect."""
+        tenant_id = self._stream_tenant(session_id)
+        response = await self._stream_request(
+            tenant_id,
+            StreamResume(
+                tenant_id=tenant_id,
+                session_id=session_id,
+                resume_token=resume_token,
+            ),
+            timeout,
+        )
+        assert isinstance(response, StreamResumed)
+        self.observer.incr("fleet.streams_resumed")
+        return response
+
+    async def close_stream(
+        self, session_id: str, timeout: Optional[float] = None
+    ) -> StreamClosed:
+        """Close a session and collect its terminal streamed outcome."""
+        tenant_id = self._stream_tenant(session_id)
+        async with self._stream_locks[session_id]:
+            response = await self._stream_request(
+                tenant_id,
+                StreamClose(tenant_id=tenant_id, session_id=session_id),
+                timeout,
+            )
+        assert isinstance(response, StreamClosed)
+        self._stream_tenants.pop(session_id, None)
+        self._stream_locks.pop(session_id, None)
+        self.observer.incr("fleet.streams_closed")
+        return response

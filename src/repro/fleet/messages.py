@@ -117,6 +117,47 @@ class SubmitRequest:
 
 
 @dataclass(frozen=True)
+class StreamOpen:
+    """Open one streaming session on the tenant's owning shard.
+
+    ``token_blob`` is the device's MSF1/MSF2 freshness token; the
+    shard's stream gateway admits it (replay- and epoch-checked)
+    before any session state exists.
+    """
+
+    tenant_id: str
+    n_channels: int
+    sampling_rate_hz: float
+    token_blob: bytes
+
+
+@dataclass(frozen=True)
+class StreamChunkMsg:
+    """One sealed MSS1 chunk in transit to its session's shard."""
+
+    tenant_id: str
+    session_id: str
+    blob: bytes
+
+
+@dataclass(frozen=True)
+class StreamResume:
+    """Re-attach to a session after a disconnect (token-authenticated)."""
+
+    tenant_id: str
+    session_id: str
+    resume_token: str
+
+
+@dataclass(frozen=True)
+class StreamClose:
+    """Finish a session's detector and return its terminal outcome."""
+
+    tenant_id: str
+    session_id: str
+
+
+@dataclass(frozen=True)
 class HealthCheck:
     """Liveness + progress probe."""
 
@@ -163,6 +204,63 @@ class SubmitResponse:
     error_type: Optional[str] = None
     error_message: Optional[str] = None
     duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class StreamOpened:
+    """Reply to :class:`StreamOpen`: the session's credentials."""
+
+    shard_id: str
+    session_id: str
+    session_key: bytes
+    resume_token: str
+    chunk_samples: int
+    key_epoch: int
+
+
+@dataclass(frozen=True)
+class StreamChunkAck:
+    """Reply to one :class:`StreamChunkMsg` (accepted or duplicate)."""
+
+    shard_id: str
+    session_id: str
+    seq: int
+    cursor: int
+    duplicate: bool
+    backpressure: bool
+    peaks_so_far: int
+
+
+@dataclass(frozen=True)
+class StreamResumed:
+    """Reply to :class:`StreamResume`: where to pick up."""
+
+    shard_id: str
+    session_id: str
+    cursor: int
+    chunk_samples: int
+    key_epoch: int
+
+
+@dataclass(frozen=True)
+class StreamClosed:
+    """Reply to :class:`StreamClose`: the terminal streamed outcome.
+
+    Carries the scalar projection of the session (counts + the
+    canonical report digest) rather than the full report object graph —
+    the digest is what the bit-identity checks compare.
+    """
+
+    shard_id: str
+    session_id: str
+    tenant_id: str
+    n_chunks: int
+    n_samples: int
+    n_duplicates: int
+    peak_count: int
+    report_digest: str
+    degraded: bool = False
+    degraded_reason: str = ""
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro._util.errors import MedSenError, OversizedPayloadError, ValidationError
+from repro._util.errors import (
+    ConfigurationError,
+    MedSenError,
+    OversizedPayloadError,
+    ValidationError,
+)
 from repro.cloud.storage import RecordStore
 from repro.fleet.messages import (
     Ack,
@@ -49,6 +54,14 @@ from repro.fleet.messages import (
     Shutdown,
     SnapshotRequest,
     StoreDigest,
+    StreamChunkAck,
+    StreamChunkMsg,
+    StreamClose,
+    StreamClosed,
+    StreamOpen,
+    StreamOpened,
+    StreamResume,
+    StreamResumed,
     SubmitRequest,
     SubmitResponse,
 )
@@ -154,6 +167,31 @@ class _ShardRuntime:
         self.accepting = True
         self.drain_reply: Optional[int] = None
         self.shutdown_reply: Optional[int] = None
+        self._stream_gateway = None
+
+    # ------------------------------------------------------------------
+    @property
+    def stream_gateway(self):
+        """The shard's streaming lane, built lazily on first use.
+
+        Sessions are shard-local (a tenant's stream lives where its
+        one-shot requests route), keyed off the fleet's shared
+        freshness secret — a fleet without one has no streaming lane,
+        and the typed refusal reaches the device as an ErrorReply.
+        """
+        if self._stream_gateway is None:
+            secret = self.spec.fleet.freshness_secret
+            if not secret:
+                raise ConfigurationError(
+                    "fleet has no freshness_secret; the streaming lane "
+                    "requires one (set FleetConfig.freshness_secret)"
+                )
+            from repro.stream.session import StreamGateway
+
+            self._stream_gateway = StreamGateway(
+                secret, observer=self.observer
+            )
+        return self._stream_gateway
 
     # ------------------------------------------------------------------
     def health(self) -> ShardHealth:
@@ -299,6 +337,67 @@ class _ShardRuntime:
                     shard_id=self.spec.shard_id,
                     record_hashes=hashes,
                     n_records=len(hashes),
+                ),
+            )
+        elif isinstance(msg, StreamOpen):
+            opened = self.stream_gateway.open_session(
+                msg.tenant_id,
+                msg.n_channels,
+                msg.sampling_rate_hz,
+                msg.token_blob,
+            )
+            self.channel.send(
+                msg_id,
+                StreamOpened(
+                    shard_id=self.spec.shard_id,
+                    session_id=opened.session_id,
+                    session_key=opened.session_key,
+                    resume_token=opened.resume_token,
+                    chunk_samples=opened.chunk_samples,
+                    key_epoch=opened.key_epoch,
+                ),
+            )
+        elif isinstance(msg, StreamChunkMsg):
+            ack = self.stream_gateway.ingest_chunk(msg.blob)
+            self.channel.send(
+                msg_id,
+                StreamChunkAck(
+                    shard_id=self.spec.shard_id,
+                    session_id=ack.session_id,
+                    seq=ack.seq,
+                    cursor=ack.cursor,
+                    duplicate=ack.duplicate,
+                    backpressure=ack.backpressure,
+                    peaks_so_far=ack.peaks_so_far,
+                ),
+            )
+        elif isinstance(msg, StreamResume):
+            info = self.stream_gateway.resume(msg.session_id, msg.resume_token)
+            self.channel.send(
+                msg_id,
+                StreamResumed(
+                    shard_id=self.spec.shard_id,
+                    session_id=info.session_id,
+                    cursor=info.cursor,
+                    chunk_samples=info.chunk_samples,
+                    key_epoch=info.key_epoch,
+                ),
+            )
+        elif isinstance(msg, StreamClose):
+            outcome = self.stream_gateway.close_session(msg.session_id)
+            self.channel.send(
+                msg_id,
+                StreamClosed(
+                    shard_id=self.spec.shard_id,
+                    session_id=outcome.session_id,
+                    tenant_id=outcome.tenant_id,
+                    n_chunks=outcome.n_chunks,
+                    n_samples=outcome.n_samples,
+                    n_duplicates=outcome.n_duplicates,
+                    peak_count=len(outcome.report.peaks),
+                    report_digest=outcome.digest,
+                    degraded=outcome.degraded,
+                    degraded_reason=outcome.degraded_reason,
                 ),
             )
         elif isinstance(msg, Drain):

@@ -245,15 +245,30 @@ class FreshnessGuard:
         self.max_age_s = max_age_s
         self.capacity = int(capacity)
         self._clock = clock
-        self._seen: "OrderedDict[bytes, None]" = OrderedDict()
+        self._seen: "OrderedDict[bytes, int]" = OrderedDict()
         self.admitted = 0
         self.replays_refused = 0
         self.stale_refused = 0
+        self.pruned = 0
 
     # ------------------------------------------------------------------
     def advance_epoch(self) -> int:
-        """Rotate to the next expected key epoch."""
+        """Rotate to the next expected key epoch.
+
+        Rolling over also prunes the seen-nonce registry: a nonce whose
+        recorded epoch just fell outside the admissible window can
+        never be replayed successfully (the epoch check refuses it
+        first), so retaining it only burns registry capacity that live
+        epochs need for genuine replay protection.
+        """
         self.key_epoch += 1
+        floor = self.key_epoch - self.epoch_window
+        stale = [
+            nonce for nonce, epoch in self._seen.items() if epoch < floor
+        ]
+        for nonce in stale:
+            del self._seen[nonce]
+        self.pruned += len(stale)
         return self.key_epoch
 
     def minter(self, clock: Any = None) -> TokenMinter:
@@ -318,7 +333,7 @@ class FreshnessGuard:
                 REPLAY_DETECTED, boundary=boundary, token_epoch=token.key_epoch
             )
             raise ReplayError("freshness nonce already consumed: replay refused")
-        self._seen[token.nonce] = None
+        self._seen[token.nonce] = token.key_epoch
         while len(self._seen) > self.capacity:
             self._seen.popitem(last=False)
         self.admitted += 1

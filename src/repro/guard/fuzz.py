@@ -4,7 +4,8 @@ The admission contract (:mod:`repro.guard.admission`) is only as
 strong as the parsers behind it.  This module deterministically mutates
 honest serialized artifacts — key plans, sealed plans, freshness
 tokens, report envelopes, journal lines, protocol messages, CSV trace
-payloads — with the classic corruption operators (truncate, bit-flip,
+payloads, sealed stream chunks — with the classic corruption operators
+(truncate, bit-flip,
 splice, resize) and asserts the corresponding parser either accepts
 the payload or raises inside its *declared* error hierarchy.  Anything
 else — a raw ``struct.error``, ``IndexError``, ``KeyError``,
@@ -221,7 +222,7 @@ def _make_journal_lines(report) -> Tuple[bytes, ...]:
 
 
 def default_targets(secret: bytes = b"fuzz-shared-secret") -> Tuple[ParserTarget, ...]:
-    """The eight wire formats an attacker can reach, with honest seeds."""
+    """The nine wire formats an attacker can reach, with honest seeds."""
     from repro.cloud.api import AnalysisRequest, AnalysisResponse, StoreRequest
     from repro.crypto.keyshare import open_plan, seal_plan
     from repro.crypto.serialization import plan_from_bytes, plan_to_bytes
@@ -230,6 +231,7 @@ def default_targets(secret: bytes = b"fuzz-shared-secret") -> Tuple[ParserTarget
     from repro.guard.freshness import mint_token, parse_token
     from repro.obs.context import TraceContext, derive_trace_context
     from repro.resilience.journal import decode_entry
+    from repro.stream.envelope import seal_chunk
 
     plans = _make_plans()
     report = _make_report()
@@ -325,7 +327,38 @@ def default_targets(secret: bytes = b"fuzz-shared-secret") -> Tuple[ParserTarget
             parse=recorder.decode,
             allowed_errors=(ValidationError,),
         ),
+        ParserTarget(
+            name="open_chunk",
+            seeds=(
+                seal_chunk(
+                    trace,
+                    secret,
+                    session_key=nonce,
+                    seq=0,
+                    key_epoch=0,
+                    sampling_rate_hz=450.0,
+                    nonce=nonce,
+                ),
+                seal_chunk(
+                    trace,
+                    secret,
+                    session_key=nonce[::-1],
+                    seq=7,
+                    key_epoch=3,
+                    sampling_rate_hz=1000.0,
+                    nonce=nonce[::-1],
+                ),
+            ),
+            parse=lambda blob: _parse_chunk(blob, secret),
+            allowed_errors=(AdmissionError,),
+        ),
     )
+
+
+def _parse_chunk(blob: bytes, secret: bytes):
+    from repro.stream.envelope import open_chunk
+
+    return open_chunk(blob, secret)
 
 
 def _parse_any_message(text: str):

@@ -74,6 +74,16 @@ SHARD_DRAINED = "fleet.shard_drained"
 SHARD_RECOVERED = "fleet.shard_recovered"
 FLEET_SHED = "fleet.load_shed"
 
+# Streaming session lane (repro.stream; see docs/streaming.md).
+STREAM_SESSION_OPENED = "stream.session_opened"
+STREAM_SESSION_RESUMED = "stream.session_resumed"
+STREAM_SESSION_SUSPENDED = "stream.session_suspended"
+STREAM_SESSION_REAPED = "stream.session_reaped"
+STREAM_SESSION_CLOSED = "stream.session_closed"
+STREAM_CHUNK_REFUSED = "stream.chunk_refused"
+STREAM_EPOCH_ROTATED = "stream.epoch_rotated"
+STREAM_DEGRADED = "stream.degraded"
+
 #: Every kind the pipeline emits (open vocabulary: custom kinds allowed).
 KNOWN_KINDS = frozenset(
     {
@@ -117,6 +127,14 @@ KNOWN_KINDS = frozenset(
         SHARD_DRAINED,
         SHARD_RECOVERED,
         FLEET_SHED,
+        STREAM_SESSION_OPENED,
+        STREAM_SESSION_RESUMED,
+        STREAM_SESSION_SUSPENDED,
+        STREAM_SESSION_REAPED,
+        STREAM_SESSION_CLOSED,
+        STREAM_CHUNK_REFUSED,
+        STREAM_EPOCH_ROTATED,
+        STREAM_DEGRADED,
     }
 )
 

@@ -87,6 +87,9 @@ CAMPAIGNS: Dict[str, Campaign] = {
             worker_crash_rate=0.5,
             poison_tenants=("clinic-01",),
             duplicate_probability=1.0,
+            chunk_drop_rate=0.4,
+            disconnect_rate=0.3,
+            congestion_rate=1.0,
         ),
         n_sensor_trials=2,
         n_desync_trials=1,
@@ -157,6 +160,7 @@ class ChaosReport:
     n_records_committed: int = 0
     n_records_recovered: int = 0
     n_records_quarantined: int = 0
+    stream_digest: str = ""
     digest: str = ""
 
     @property
@@ -181,6 +185,10 @@ class ChaosReport:
             f"records recovered, {self.n_records_quarantined} quarantined",
             f"digest            {self.digest}",
         ]
+        if self.stream_digest:
+            lines.insert(
+                len(lines) - 1, f"stream outcome    {self.stream_digest}"
+            )
         for state in self.health:
             lines.append(
                 f"health            {state.component}: {state.status.upper()}"
@@ -524,6 +532,74 @@ def run_campaign(
             own_tmp.cleanup()
 
     # ------------------------------------------------------------------
+    # Phase D — streaming lane: disconnect/resume + congestion drill
+    # ------------------------------------------------------------------
+    if spec.plan.any_stream_faults:
+        from repro.dsp.peakdetect import PeakDetector
+        from repro.stream.campaign import synthetic_stream_trace
+        from repro.stream.session import (
+            DeviceStreamer,
+            StreamGateway,
+            StreamSessionConfig,
+            report_digest,
+        )
+
+        stream_label = f"{campaign}#stream"
+        stream_rng = derive_request_rng(seed, stream_label, 0)
+        stream_fs = 1000.0
+        stream_trace = synthetic_stream_trace(
+            stream_rng, n_samples=3000, sampling_rate_hz=stream_fs
+        )
+        stream_config = StreamSessionConfig(
+            chunk_samples=512, min_chunk_samples=64, max_chunk_samples=512
+        )
+        stream_secret = b"chaos-stream-secret"
+        gateway = StreamGateway(
+            stream_secret, config=stream_config, observer=observer
+        )
+        streamer = DeviceStreamer(
+            stream_trace,
+            stream_fs,
+            "clinic-stream",
+            stream_secret,
+            config=stream_config,
+            observer=observer,
+            rng=stream_rng,
+        )
+        outcome = streamer.run(gateway, injector=injector, label=stream_label)
+        report.stream_digest = outcome.digest
+        expected = report_digest(
+            PeakDetector().detect(stream_trace, stream_fs)
+        )
+        identical = outcome.digest == expected
+        replayed_nothing = gateway.chunks_analyzed == streamer.chunks_sent
+        checks.append(
+            InvariantResult(
+                name="stream-resume-bit-identical",
+                ok=identical and replayed_nothing,
+                detail=(
+                    f"{streamer.disconnects} disconnects, "
+                    f"{streamer.retransmits} retransmits, "
+                    f"{streamer.duplicate_acks} duplicate acks; "
+                    f"{gateway.chunks_analyzed} chunks analysed of "
+                    f"{streamer.chunks_sent} sent"
+                    + ("" if identical else "; DIGEST MISMATCH")
+                ),
+            )
+        )
+        if spec.plan.congestion_rate:
+            checks.append(
+                InvariantResult(
+                    name="stream-congestion-degrades",
+                    ok=outcome.degraded and streamer.controller.floored,
+                    detail=outcome.degraded_reason
+                    or "congested stream never hit the floor",
+                )
+            )
+            if outcome.degraded:
+                health.degrade("network", outcome.degraded_reason)
+
+    # ------------------------------------------------------------------
     # Final report: explicit health, deterministic digest
     # ------------------------------------------------------------------
     report.health = health.snapshot()
@@ -558,6 +634,7 @@ def run_campaign(
                     report.n_records_recovered,
                     report.n_records_quarantined,
                 ],
+                "stream": report.stream_digest,
             }
         ).encode("utf-8"),
         digest_size=16,

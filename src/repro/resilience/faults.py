@@ -71,6 +71,10 @@ class FaultPlan:
     drop_probability: float = 0.0
     timeout_probability: float = 0.0
     duplicate_probability: float = 0.0
+    # Streaming lane: chunk loss, mid-stream disconnects, congestion.
+    chunk_drop_rate: float = 0.0
+    disconnect_rate: float = 0.0
+    congestion_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -84,6 +88,9 @@ class FaultPlan:
             "drop_probability",
             "timeout_probability",
             "duplicate_probability",
+            "chunk_drop_rate",
+            "disconnect_rate",
+            "congestion_rate",
         ):
             check_in_range(name, getattr(self, name), 0.0, 1.0)
         check_in_range(
@@ -107,6 +114,16 @@ class FaultPlan:
             or self.drop_probability
             or self.timeout_probability
             or self.duplicate_probability
+            or self.chunk_drop_rate
+            or self.disconnect_rate
+            or self.congestion_rate
+        )
+
+    @property
+    def any_stream_faults(self) -> bool:
+        """Whether the plan exercises the streaming lane at all."""
+        return bool(
+            self.chunk_drop_rate or self.disconnect_rate or self.congestion_rate
         )
 
 
@@ -332,6 +349,51 @@ class FaultInjector:
             raise WorkerCrash(
                 f"injected crash while serving {tenant_id}:{sequence}"
             )
+
+    # ------------------------------------------------------------------
+    # Streaming lane (DeviceStreamer injector protocol; network site)
+    # ------------------------------------------------------------------
+    def should_drop_chunk(self, label: str, seq: int, attempt: int) -> bool:
+        """Whether a chunk's *first* transmission vanishes on the link.
+
+        Retransmits always land, so one drop costs exactly one retry —
+        the streaming analogue of the transient worker crash.
+        """
+        if self.plan.chunk_drop_rate <= 0 or attempt > 0:
+            return False
+        hit = (
+            self._rng(SITE_NETWORK, f"{label}#drop", seq).random()
+            < self.plan.chunk_drop_rate
+        )
+        if hit:
+            self._record(SITE_NETWORK, label, seq, f"stream chunk {seq} dropped")
+        return hit
+
+    def disconnect_mode(self, label: str, seq: int) -> Optional[str]:
+        """Disconnect before this chunk: ``None``, ``"chunk-lost"``, or
+        ``"ack-lost"`` (the gateway analysed it but the ack died)."""
+        if self.plan.disconnect_rate <= 0:
+            return None
+        rng = self._rng(SITE_NETWORK, f"{label}#disconnect", seq)
+        if rng.random() >= self.plan.disconnect_rate:
+            return None
+        mode = "ack-lost" if rng.random() < 0.5 else "chunk-lost"
+        self._record(
+            SITE_NETWORK, label, seq, f"stream disconnect ({mode}) at chunk {seq}"
+        )
+        return mode
+
+    def congestion_signal(self, label: str, seq: int) -> bool:
+        """Whether the link backpressures this chunk's ack."""
+        if self.plan.congestion_rate <= 0:
+            return False
+        hit = (
+            self._rng(SITE_NETWORK, f"{label}#congestion", seq).random()
+            < self.plan.congestion_rate
+        )
+        if hit:
+            self._record(SITE_NETWORK, label, seq, f"stream congestion at chunk {seq}")
+        return hit
 
 
 # ---------------------------------------------------------------------------

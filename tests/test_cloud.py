@@ -50,6 +50,46 @@ class TestAnalysisServer:
             server.last_job()
 
 
+class TestDedupCache:
+    def test_capacity_bounds_cache_and_counts_evictions(self):
+        from repro.obs import EventLog, MetricsRegistry, Observer
+
+        observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+        server = AnalysisServer(dedup_capacity=3, observer=observer)
+        for i in range(5):
+            server.analyze(make_trace(), request_id=f"req-{i}")
+        assert server.dedup_evicted == 2
+        assert observer.metrics.counter("dedup.evicted").value == 2
+        # The evicted ids re-analyse (no stale cache hit); the retained
+        # ones still dedup.
+        jobs_before = server.jobs_processed
+        server.analyze(make_trace(), request_id="req-4")
+        assert server.jobs_processed == jobs_before
+        assert server.duplicates_dropped == 1
+        server.analyze(make_trace(), request_id="req-0")
+        assert server.jobs_processed == jobs_before + 1
+
+    def test_lru_hit_refreshes_against_eviction(self):
+        server = AnalysisServer(dedup_capacity=2)
+        server.analyze(make_trace(), request_id="hot")
+        server.analyze(make_trace(), request_id="cold")
+        # A duplicate of the oldest entry refreshes it...
+        server.analyze(make_trace(), request_id="hot")
+        assert server.duplicates_dropped == 1
+        # ...so the next insertion evicts "cold", not "hot".
+        server.analyze(make_trace(), request_id="new")
+        jobs_before = server.jobs_processed
+        server.analyze(make_trace(), request_id="hot")
+        assert server.jobs_processed == jobs_before  # still cached
+        server.analyze(make_trace(), request_id="cold")
+        assert server.jobs_processed == jobs_before + 1  # was evicted
+        assert server.dedup_evicted == 2
+
+    def test_bad_capacity_refused(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisServer(dedup_capacity=0)
+
+
 class TestRecordStore:
     def report(self):
         return PeakReport((), 1.0, 450.0, 0)

@@ -1,0 +1,102 @@
+"""Streaming lane through the sharded tier: front door → shard gateway.
+
+One real two-shard cluster carries a full chunked session end to end;
+the terminal ``StreamClosed`` digest must equal the single-process
+one-shot digest — the same bit-identity contract the in-process drill
+enforces, now across a process boundary.  Error paths stay typed:
+a fleet without a freshness secret has no streaming lane, and chunk
+sends for unknown sessions are refused at the front door.
+"""
+
+import asyncio
+
+import pytest
+
+from repro._util.errors import UnknownSessionError
+from repro._util.rng import ensure_rng
+from repro.dsp import PeakDetector
+from repro.fleet import FleetCluster, FleetTierConfig
+from repro.fleet.frontdoor import AsyncFrontDoor, FleetRequestFailedError
+from repro.guard.freshness import TokenMinter
+from repro.serving.scheduler import FleetConfig
+from repro.stream import report_digest, seal_chunk, synthetic_stream_trace
+
+SECRET = b"fleet-stream-test-secret"
+FS = 1000.0
+
+
+def make_tier(secret=SECRET, n_shards=2):
+    return FleetTierConfig(
+        n_shards=n_shards,
+        shard=FleetConfig(seed=0, n_workers=1, freshness_secret=secret),
+    )
+
+
+class TestFleetStreamLane:
+    def test_streamed_session_bit_identical_across_processes(self):
+        trace = synthetic_stream_trace(
+            ensure_rng(11), n_channels=3, n_samples=2600
+        )
+
+        async def scenario(cluster):
+            door = AsyncFrontDoor(cluster)
+            minter = TokenMinter(SECRET)
+            opened = await door.open_stream("clinic-00", 3, FS, minter.mint())
+            assert opened.session_id == "clinic-00/s0"
+            seq, pos = 0, 0
+            while pos < trace.shape[1]:
+                samples = trace[:, pos : pos + opened.chunk_samples]
+                blob = seal_chunk(
+                    samples, SECRET, opened.session_key, seq,
+                    key_epoch=opened.key_epoch, sampling_rate_hz=FS,
+                )
+                ack = await door.stream_chunk(opened.session_id, blob)
+                assert ack.seq == seq and ack.cursor == seq + 1
+                assert not ack.duplicate
+                pos += samples.shape[1]
+                seq += 1
+            # A mid-stream resume round-trip reports the cursor without
+            # replaying anything.
+            info = await door.resume_stream(
+                opened.session_id, opened.resume_token
+            )
+            assert info.cursor == seq
+            closed = await door.close_stream(opened.session_id)
+            assert closed.n_chunks == seq
+            assert closed.n_samples == trace.shape[1]
+            assert door.streams_opened == 1 and door.stream_chunks == seq
+            return closed
+
+        with FleetCluster(make_tier()) as cluster:
+            closed = asyncio.run(scenario(cluster))
+        one_shot = PeakDetector().detect(trace, FS)
+        assert closed.report_digest == report_digest(one_shot)
+
+    def test_typed_refusals_cross_the_process_boundary(self):
+        async def scenario(cluster):
+            door = AsyncFrontDoor(cluster)
+            # Unknown session: refused at the front door, no shard trip.
+            with pytest.raises(UnknownSessionError):
+                await door.stream_chunk("clinic-00/s99", b"junk")
+            # A forged token is refused by the shard's gateway and
+            # surfaces as a typed, provenance-carrying failure.
+            forged = TokenMinter(b"wrong-secret")
+            with pytest.raises(FleetRequestFailedError) as excinfo:
+                await door.open_stream("clinic-00", 2, FS, forged.mint())
+            assert excinfo.value.error_type == "MalformedPayloadError"
+            assert excinfo.value.shard_id
+
+        with FleetCluster(make_tier()) as cluster:
+            asyncio.run(scenario(cluster))
+
+    def test_fleet_without_secret_has_no_streaming_lane(self):
+        async def scenario(cluster):
+            door = AsyncFrontDoor(cluster)
+            minter = TokenMinter(SECRET)
+            with pytest.raises(FleetRequestFailedError) as excinfo:
+                await door.open_stream("clinic-00", 2, FS, minter.mint())
+            assert excinfo.value.error_type == "ConfigurationError"
+            assert "freshness_secret" in excinfo.value.error_message
+
+        with FleetCluster(make_tier(secret=None)) as cluster:
+            asyncio.run(scenario(cluster))

@@ -39,7 +39,7 @@ class TestRunHardening:
 
     def test_fuzz_ran_all_parsers(self, smoke_report):
         assert smoke_report.fuzz is not None
-        assert len(smoke_report.fuzz.results) == 8
+        assert len(smoke_report.fuzz.results) == 9
         assert smoke_report.fuzz.contained
 
     def test_digest_deterministic(self, smoke_report):

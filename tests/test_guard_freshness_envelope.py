@@ -151,6 +151,38 @@ class TestFreshnessGuard:
             guard.admit(minter.mint())
         assert guard.n_seen == 8
 
+    def test_rollover_prunes_unreachable_nonces(self):
+        # Epoch rollover is a natural purge point: a nonce minted below
+        # the admission window can never replay again, so keeping it
+        # only wastes registry capacity.
+        guard = FreshnessGuard(SECRET, epoch_window=1)
+        minter = guard.minter()
+        for _ in range(5):
+            guard.admit(minter.mint())
+        assert guard.n_seen == 5 and guard.pruned == 0
+        guard.advance_epoch()  # epoch-0 nonces still inside the window
+        assert guard.n_seen == 5 and guard.pruned == 0
+        minter.advance_epoch()
+        for _ in range(3):
+            guard.admit(minter.mint())
+        guard.advance_epoch()  # now epoch 2: the 5 epoch-0 nonces fall out
+        assert guard.pruned == 5
+        assert guard.n_seen == 3
+        guard.advance_epoch()  # and the epoch-1 batch follows
+        assert guard.pruned == 8
+        assert guard.n_seen == 0
+
+    def test_prune_keeps_window_replay_protection(self):
+        guard = FreshnessGuard(SECRET, epoch_window=1)
+        minter = guard.minter()
+        token = minter.mint()
+        guard.admit(token)
+        guard.advance_epoch()
+        # The old-epoch token is still inside the admission window, so
+        # its nonce must still be held against replay.
+        with pytest.raises(ReplayError):
+            guard.admit(token)
+
 
 class TestEnvelopes:
     def test_seal_open_round_trip(self):

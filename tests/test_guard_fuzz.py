@@ -102,8 +102,8 @@ class TestRunFuzz:
     def test_all_default_targets_contained(self):
         report = run_fuzz(seed=0, n_per_parser=300)
         assert report.contained, report.format()
-        assert len(report.results) == 8
-        assert report.n_mutations == 8 * 300
+        assert len(report.results) == 9
+        assert report.n_mutations == 9 * 300
 
     def test_digest_stable_and_seed_sensitive(self):
         assert run_fuzz(seed=4, n_per_parser=60).digest() == run_fuzz(

@@ -41,6 +41,16 @@ class TestSmokeCampaign:
         assert "no-deadlock" in text
         assert smoke.digest in text
 
+    def test_stream_drill_folded_in(self, smoke):
+        # The disconnect/resume drill rides the smoke campaign: both
+        # streaming invariants must be present and green, and the
+        # streamed outcome digest participates in the campaign digest.
+        names = {inv.name for inv in smoke.invariants}
+        assert "stream-resume-bit-identical" in names
+        assert "stream-congestion-degrades" in names
+        assert smoke.stream_digest
+        assert "stream outcome" in smoke.format()
+
 
 class TestDeterminism:
     def test_same_seed_same_digest(self):

@@ -1,0 +1,150 @@
+"""Streamed peak detection is bit-identical to one-shot detection.
+
+The contract under test: ``WindowedPeakDetector`` fed any chunking of a
+trace — including adversarial splits that cut straight through a peak —
+must produce a :class:`PeakReport` whose canonical digest equals the
+one-shot ``PeakDetector.detect`` digest.  Hypothesis drives the split
+geometry; deterministic cases pin boundary-straddling peaks, plateau
+ties, and degenerate (short/empty-chunk) streams.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.rng import ensure_rng
+from repro.dsp import PeakDetector, WindowedPeakDetector
+from repro.stream import report_digest, synthetic_stream_trace
+
+FS = 1000.0
+
+
+def one_shot_digest(trace):
+    return report_digest(PeakDetector().detect(trace, FS))
+
+
+def streamed_digest(trace, sizes):
+    """Feed ``trace`` in chunks cycling through ``sizes``; digest it."""
+    windowed = WindowedPeakDetector(trace.shape[0], FS)
+    pos, i = 0, 0
+    while pos < trace.shape[1]:
+        k = sizes[i % len(sizes)]
+        windowed.feed(trace[:, pos : pos + k])
+        pos += min(k, trace.shape[1] - pos)
+        i += 1
+    return report_digest(windowed.finish())
+
+
+def dip_trace(n_samples, centers, n_channels=2, width=6.0, depth=0.5):
+    """A flat baseline with Gaussian dips at exactly ``centers``."""
+    t = np.arange(n_samples, dtype=float)
+    v = np.ones(n_samples)
+    for c in centers:
+        v = v - depth * np.exp(-0.5 * ((t - c) / width) ** 2)
+    return np.vstack([v * (1.0 - 0.05 * ch) for ch in range(n_channels)])
+
+
+class TestRandomSplits:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=701), min_size=1, max_size=8
+        ),
+    )
+    def test_any_chunking_bit_identical(self, seed, sizes):
+        rng = ensure_rng(seed)
+        trace = synthetic_stream_trace(rng, n_channels=2, n_samples=1800)
+        assert streamed_digest(trace, sizes) == one_shot_digest(trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_single_sample_chunks(self, seed):
+        rng = ensure_rng(seed)
+        trace = synthetic_stream_trace(rng, n_channels=2, n_samples=600)
+        assert streamed_digest(trace, [1]) == one_shot_digest(trace)
+
+
+class TestBoundaryStraddlingPeaks:
+    def test_peak_centred_on_chunk_boundary(self):
+        # A dip whose minimum sits exactly on the split point: the left
+        # half arrives in one chunk, the right half in the next.
+        trace = dip_trace(1024, centers=(512.0,))
+        assert streamed_digest(trace, [512]) == one_shot_digest(trace)
+
+    def test_every_offset_through_one_peak(self):
+        # Slide a fixed-size split across a single peak so every sample
+        # of its support becomes a chunk boundary at least once.
+        trace = dip_trace(400, centers=(200.0,))
+        expected = one_shot_digest(trace)
+        for cut in range(170, 231, 5):
+            assert streamed_digest(trace, [cut, trace.shape[1]]) == expected, cut
+
+    def test_adjacent_peaks_split_between_and_through(self):
+        # Two dips closer than 3 widths: one split lands between them,
+        # one lands inside each; min-separation pruning must agree.
+        trace = dip_trace(900, centers=(290.0, 310.0, 640.0))
+        expected = one_shot_digest(trace)
+        for sizes in ([300], [295], [311], [7, 640], [289, 22]):
+            assert streamed_digest(trace, sizes) == expected, sizes
+
+
+class TestDegenerateStreams:
+    def test_plateau_ties_agree_with_one_shot(self):
+        # Quantising the voltages makes flat-topped dips and repeated
+        # prominences — the tie-breaking cases where a streaming
+        # rewrite most easily diverges from scipy's batch answer.
+        rng = ensure_rng(99)
+        trace = np.round(
+            synthetic_stream_trace(rng, n_channels=2, n_samples=1500), 2
+        )
+        expected = one_shot_digest(trace)
+        for sizes in ([1], [173], [512], [40, 7, 333]):
+            assert streamed_digest(trace, sizes) == expected, sizes
+
+    def test_trace_shorter_than_one_chunk(self):
+        trace = dip_trace(37, centers=(18.0,), width=3.0)
+        assert streamed_digest(trace, [512]) == one_shot_digest(trace)
+
+    def test_empty_chunks_are_noops(self):
+        trace = dip_trace(600, centers=(300.0,))
+        windowed = WindowedPeakDetector(trace.shape[0], FS)
+        windowed.feed(trace[:, :0])
+        windowed.feed(trace[:, :300])
+        windowed.feed(trace[:, 300:300])
+        windowed.feed(trace[:, 300:])
+        assert report_digest(windowed.finish()) == one_shot_digest(trace)
+
+
+class TestBoundedCarry:
+    def test_carry_state_stays_bounded_on_long_stream(self):
+        # The whole point of the windowed rewrite: memory must not grow
+        # with stream length.  Feed ~20 chunks and check every
+        # carry-over component stays far below the fed total.
+        rng = ensure_rng(7)
+        trace = synthetic_stream_trace(rng, n_channels=2, n_samples=10_000)
+        windowed = WindowedPeakDetector(2, FS)
+        high_water = {}
+        for pos in range(0, trace.shape[1], 512):
+            windowed.feed(trace[:, pos : pos + 512])
+            for name, size in windowed.carry_state().items():
+                high_water[name] = max(high_water.get(name, 0), size)
+        report = windowed.finish()
+        assert report_digest(report) == one_shot_digest(trace)
+        assert high_water["retained_columns"] < 4096
+        assert high_water["stack_entries"] < 4096
+        assert high_water["open_peaks"] < 256
+        assert high_water["pending_candidates"] < 256
+
+    def test_peaks_emitted_monotone_and_final(self):
+        trace = dip_trace(2000, centers=(250.0, 750.0, 1250.0, 1750.0))
+        windowed = WindowedPeakDetector(2, FS)
+        emitted = 0
+        for pos in range(0, 2000, 500):
+            newly = windowed.feed(trace[:, pos : pos + 500])
+            assert newly >= 0
+            emitted += newly
+            assert windowed.peaks_emitted == emitted
+        report = windowed.finish()
+        assert len(report.peaks) >= emitted
+        assert report_digest(report) == one_shot_digest(trace)
