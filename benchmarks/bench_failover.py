@@ -1,0 +1,226 @@
+"""Failover benchmarks: MTTR, shedding, and replication overhead.
+
+Not a paper figure — the robustness economics behind the replicated
+serving tier (:mod:`repro.fleet.replication`):
+
+* **drill series** — one seeded SIGKILL failover drill
+  (:func:`repro.fleet.run_failover`): a loaded primary dies
+  mid-campaign, the standby promotes after the lease lapses, a
+  partitioned stale primary is fenced.  The gated metrics are the
+  deterministic ones — every invariant holds, exactly the expected
+  sessions ack, exactly one stale reply is fenced — while MTTR and
+  handoff volume ride along ungated (host-speed dependent);
+* **overhead series** — the same steady-state traffic through a plain
+  single-copy cluster and a replicated cluster on the same host: the
+  wall-clock ratio prices journal shipping + standby ack, and the
+  outcome fingerprints must be identical (replication must never
+  change a number, only survive losing a copy of it).
+"""
+
+import asyncio
+import hashlib
+from time import monotonic
+
+from benchmarks._harness import print_table
+from repro.fleet import (
+    AsyncFrontDoor,
+    FleetCluster,
+    FleetRequestFailedError,
+    FleetTierConfig,
+    ReplicatedCluster,
+    ReplicationConfig,
+    run_failover,
+)
+from repro.serving import ClinicWorkload, FleetConfig
+
+DRILL_SEED = 0
+OVERHEAD_SEED = 2016
+
+
+def _overhead_workload(quick: bool) -> ClinicWorkload:
+    return ClinicWorkload(
+        n_tenants=4,
+        requests_per_tenant=2 if quick else 4,
+        duration_s=6.0,
+        seed=OVERHEAD_SEED,
+    )
+
+
+def _steady_state(workload: ClinicWorkload, replicated: bool):
+    """One steady-state run; returns (elapsed_s, outcome fingerprint)."""
+    from repro.fleet.campaign import _fleet_identifiers
+
+    fleet = FleetConfig(
+        seed=OVERHEAD_SEED,
+        n_workers=2,
+        queue_capacity=max(16, workload.n_requests),
+    )
+    tier = FleetTierConfig(
+        n_shards=2,
+        shard=fleet,
+        max_inflight=max(16, workload.n_requests),
+    )
+    cluster = (
+        ReplicatedCluster(tier, ReplicationConfig())
+        if replicated
+        else FleetCluster(tier)
+    )
+    with cluster:
+        door = AsyncFrontDoor(cluster)
+
+        async def drive():
+            identifiers = _fleet_identifiers(workload)
+            for tenant, identifier in identifiers.items():
+                await door.register_tenant(tenant, identifier)
+            started = monotonic()
+            coros = [
+                door.submit(
+                    tenant,
+                    workload.blood_sample(tenant_index, sequence),
+                    identifiers[tenant],
+                    duration_s=workload.duration_s,
+                )
+                for sequence in range(workload.requests_per_tenant)
+                for tenant_index, tenant in enumerate(workload.tenant_ids())
+            ]
+            outcomes = await asyncio.gather(*coros, return_exceptions=True)
+            return outcomes, monotonic() - started
+
+        outcomes, elapsed = asyncio.run(drive())
+    digests = []
+    for outcome in outcomes:
+        if isinstance(outcome, FleetRequestFailedError):
+            digests.append(f"error:{outcome.error_type}")
+        elif isinstance(outcome, BaseException):
+            digests.append(f"error:{type(outcome).__name__}")
+        else:
+            digests.append(outcome.digest())
+    fingerprint = hashlib.blake2b(
+        "\n".join(sorted(digests)).encode("utf-8"), digest_size=12
+    ).hexdigest()
+    return elapsed, fingerprint
+
+
+def collect(quick: bool = True) -> dict:
+    """``medsen-bench/v1`` metrics for ``python -m repro bench``.
+
+    Gated: the drill's invariants, its deterministic counts (acked
+    sessions, fenced replies, zero shed), and outcome bit-identity
+    between the plain and replicated clusters.  MTTR, handoff volume,
+    shipped-line count and the replication overhead ratio ride along
+    ungated (host-speed or interleaving dependent).
+    """
+    report = run_failover(seed=DRILL_SEED, n_partitions=2, smoke=quick)
+    workload = _overhead_workload(quick)
+    plain_s, plain_fingerprint = _steady_state(workload, replicated=False)
+    replicated_s, replicated_fingerprint = _steady_state(
+        workload, replicated=True
+    )
+    return {
+        "failover_invariants_pass": {
+            "value": 1.0 if report.passed else 0.0,
+            "unit": "bool",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "acked_sessions": {
+            "value": float(report.n_acked),
+            "unit": "sessions",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "stale_replies_fenced": {
+            "value": float(report.n_fenced),
+            "unit": "replies",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "requests_shed_during_failover": {
+            # The handoff queue is sized for the drill, so shedding
+            # anything means bounded queueing broke.
+            "value": float(report.n_shed_during_failover),
+            "unit": "requests",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "replicated_outcomes_bit_identical": {
+            "value": 1.0 if plain_fingerprint == replicated_fingerprint else 0.0,
+            "unit": "bool",
+            "direction": "near",
+            "tolerance": 0.0,
+            "gate": True,
+        },
+        "failover_mttr_s": {
+            "value": round(report.mttr_s, 4),
+            "unit": "s",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "handoff_queued": {
+            "value": float(report.n_handoff_queued),
+            "unit": "requests",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "shipped_journal_lines": {
+            "value": float(report.replog_lines),
+            "unit": "lines",
+            "direction": "higher",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+        "replication_overhead_ratio": {
+            "value": round(replicated_s / max(plain_s, 1e-6), 3),
+            "unit": "ratio",
+            "direction": "lower",
+            "tolerance": 1.0,
+            "gate": False,
+        },
+    }
+
+
+def test_failover_drill_holds_invariants(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_failover(seed=DRILL_SEED, n_partitions=2, smoke=True),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Failover drill",
+        ["invariant", "verdict", "detail"],
+        [
+            [inv.name, "ok" if inv.ok else "FAIL", inv.detail]
+            for inv in report.invariants
+        ],
+    )
+    assert report.passed, report.format()
+    assert report.n_fenced >= 1
+    assert report.n_shed_during_failover == 0
+
+
+def test_replication_never_changes_an_outcome(benchmark):
+    workload = _overhead_workload(quick=True)
+
+    def sweep():
+        plain = _steady_state(workload, replicated=False)
+        replicated = _steady_state(workload, replicated=True)
+        return plain, replicated
+
+    (plain_s, plain_fp), (replicated_s, replicated_fp) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print_table(
+        "Steady-state replication overhead",
+        ["cluster", "elapsed (s)", "outcome fingerprint"],
+        [
+            ["single-copy", f"{plain_s:.2f}", plain_fp],
+            ["replicated", f"{replicated_s:.2f}", replicated_fp],
+        ],
+    )
+    assert plain_fp == replicated_fp, "replication changed an outcome"

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Fifteen subcommands cover the workflows a bench scientist or security
+Sixteen subcommands cover the workflows a bench scientist or security
 reviewer would reach for first:
 
 * ``demo``      — one full secure diagnostic session, verbose
@@ -18,7 +18,8 @@ reviewer would reach for first:
   (``--smoke`` runs the small CI check).
 * ``chaos``     — seeded fault-injection campaign across every layer,
   checking the resilience invariants (``--smoke`` is the CI gate;
-  ``--fleet`` runs the kill/restart drill against the sharded tier).
+  ``--fleet`` runs the kill/restart drill against the sharded tier
+  followed by the lease-fenced failover drill).
 * ``harden``    — adversarial hardening campaign: protocol fuzzing,
   garbage admission, replay/freshness, envelope tampering, and auth
   lockout invariants (``--smoke`` is the CI gate; ``--fleet`` runs the
@@ -32,6 +33,10 @@ reviewer would reach for first:
   lane: chunked bit-identity, disconnect/resume, mid-stream key
   rotation, congestion backoff, and watchdog reaping (``--smoke`` is
   the CI gate).
+* ``failover``  — replicated-partition drill: journal-shipped
+  standbys, SIGKILL of a loaded primary, lease-fenced promotion with
+  zero acked loss, stale-epoch fencing, stream resume on the promoted
+  standby, and anti-entropy rejoin (``--smoke`` is the CI gate).
 * ``figures``   — regenerate the paper's evaluation figures as SVG.
 * ``alphabet``  — password-space statistics for the default alphabet.
 * ``top``       — run an instrumented fleet and render the telemetry
@@ -46,8 +51,8 @@ reviewer would reach for first:
   ``BENCH_<area>.json`` artifacts (``--check`` gates against the
   committed baseline).
 
-``serve``, ``chaos``, ``harden``, ``fleet`` and ``stream`` share one
-observability parent parser: all accept ``--trace-out`` /
+``serve``, ``chaos``, ``harden``, ``fleet``, ``stream`` and
+``failover`` share one observability parent parser: all accept ``--trace-out`` /
 ``--events-out`` to export their runs as Chrome-trace JSON and JSONL
 audit events.
 """
@@ -323,9 +328,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.fleet:
         # The sharded-tier kill/restart drill: the determinism round
         # provides the bit-identity baseline the recovery check needs.
-        return _run_fleet_campaign(
+        # The replicated-partition failover drill rides along so the
+        # same gate covers lease fencing and zero acked loss.
+        code = _run_fleet_campaign(
             args, phases=("determinism", "chaos"), smoke=True
         )
+        from repro.fleet import run_failover
+
+        print()
+        failover_report = run_failover(
+            seed=args.seed, n_partitions=args.shards, smoke=True
+        )
+        print(failover_report.format())
+        return code or (0 if failover_report.passed else 1)
     campaign = "smoke" if args.smoke else args.campaign
     observer = Observer(metrics=MetricsRegistry(), events=EventLog())
     report = run_campaign(seed=args.seed, campaign=campaign, observer=observer)
@@ -374,6 +389,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     observer = Observer(metrics=MetricsRegistry(), events=EventLog())
     report = run_stream(seed=args.seed, smoke=args.smoke, observer=observer)
+    print(report.format())
+    if args.metrics:
+        print()
+        print(format_metrics_table(observer.metrics))
+    _export_observability(observer, args.trace_out, args.events_out)
+    return 0 if report.passed else 1
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    from repro.fleet import run_failover
+    from repro.obs import EventLog, MetricsRegistry, Observer, format_metrics_table
+
+    observer = Observer(metrics=MetricsRegistry(), events=EventLog())
+    report = run_failover(
+        seed=args.seed,
+        n_partitions=args.partitions,
+        smoke=args.smoke,
+        lease_ttl_s=args.lease_ttl,
+        observer=observer,
+    )
     print(report.format())
     if args.metrics:
         print()
@@ -745,6 +780,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the metrics table after the run")
     stream.set_defaults(handler=_cmd_stream)
 
+    failover = subparsers.add_parser(
+        "failover",
+        parents=[obs_parent],
+        help="replicated-partition drill: SIGKILL failover, fencing, rejoin",
+    )
+    failover.add_argument("--seed", type=int, default=0)
+    failover.add_argument("--partitions", type=int, default=2,
+                          help="replicated partitions (one primary+standby pair each)")
+    failover.add_argument("--lease-ttl", type=float, default=0.3,
+                          help="primary lease TTL (s); bounds promotion MTTR")
+    failover.add_argument("--smoke", action="store_true",
+                          help="small fixed workload; exit 1 on any violation (CI gate)")
+    failover.add_argument("--metrics", action="store_true",
+                          help="print the metrics table after the run")
+    failover.set_defaults(handler=_cmd_failover)
+
     profile = subparsers.add_parser(
         "profile", help="stage-by-stage pipeline profile (flamegraph-ready)"
     )
@@ -761,7 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark trajectory; write BENCH_<area>.json"
     )
     bench.add_argument("--areas", type=str, nargs="*",
-                       default=["throughput", "end_to_end", "scaling"],
+                       default=["throughput", "end_to_end", "scaling", "failover"],
                        help="bench areas (bench_<area>.py with a collect())")
     bench.add_argument("--quick", action="store_true",
                        help="reduced workloads (CI)")

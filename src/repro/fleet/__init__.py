@@ -20,7 +20,14 @@ Layers, bottom up:
   health, drain, kill, restart-with-recovery;
 * :mod:`~repro.fleet.frontdoor` — the asyncio ingest path: guard
   admission, bounded inflight with typed shedding, sequencing,
-  routing, trace propagation;
+  routing, trace propagation, epoch fencing and hinted handoff;
+* :mod:`~repro.fleet.replication` — replicated partitions: a
+  primary + synchronous standby per hash-ring partition, journal
+  shipping before ack, lease-based failover with stale-epoch fencing,
+  anti-entropy rejoin from the shipped history;
+* :mod:`~repro.fleet.failover` — the ``python -m repro failover``
+  drill: SIGKILL a loaded primary and assert zero acked loss, bounded
+  MTTR, fencing, and bit-identical honest outcomes;
 * :mod:`~repro.fleet.loadgen` — heavy-tailed million-user arrival
   replay in bounded memory;
 * :mod:`~repro.fleet.campaign` — the ``python -m repro fleet``
@@ -35,6 +42,7 @@ from repro.fleet.cluster import (
     ShardHandle,
     ShardRequestError,
 )
+from repro.fleet.failover import FailoverReport, run_failover
 from repro.fleet.frontdoor import (
     AsyncFrontDoor,
     FleetRequestFailedError,
@@ -47,7 +55,20 @@ from repro.fleet.loadgen import (
     generate_arrivals,
     replay,
 )
-from repro.fleet.messages import SessionOutcome, ShardHealth, ShardTelemetry
+from repro.fleet.messages import (
+    JournalShip,
+    LeaseGrant,
+    SessionOutcome,
+    ShardHealth,
+    ShardTelemetry,
+    ShipAck,
+)
+from repro.fleet.replication import (
+    Lease,
+    LeaseTable,
+    ReplicatedCluster,
+    ReplicationConfig,
+)
 from repro.fleet.ring import DEFAULT_VNODES, HashRing
 from repro.fleet.shard import ShardSpec, shard_main, store_content_hashes
 from repro.fleet.transport import (
@@ -63,6 +84,7 @@ __all__ = [
     "AsyncFrontDoor",
     "DEFAULT_VNODES",
     "FRAME_MAGIC",
+    "FailoverReport",
     "FleetCluster",
     "FleetReport",
     "FleetRequestFailedError",
@@ -70,9 +92,15 @@ __all__ = [
     "FleetTierConfig",
     "FrameChannel",
     "HashRing",
+    "JournalShip",
+    "Lease",
+    "LeaseGrant",
+    "LeaseTable",
     "LoadProfile",
     "LoadReport",
     "MAX_FRAME_BYTES",
+    "ReplicatedCluster",
+    "ReplicationConfig",
     "SessionOutcome",
     "ShardCrashedError",
     "ShardHandle",
@@ -80,11 +108,13 @@ __all__ = [
     "ShardRequestError",
     "ShardSpec",
     "ShardTelemetry",
+    "ShipAck",
     "SpaceSaving",
     "decode_frame",
     "encode_frame",
     "generate_arrivals",
     "replay",
+    "run_failover",
     "run_fleet",
     "shard_main",
     "store_content_hashes",

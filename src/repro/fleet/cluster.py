@@ -209,9 +209,11 @@ class ShardHandle:
                 self.channel.send(msg_id, payload)
             except (OSError, ValueError, BrokenPipeError) as exc:
                 self._pending.pop(msg_id, None)
-                future.set_exception(
-                    ShardCrashedError(f"shard {self.shard_id} pipe is gone: {exc}")
+                error = ShardCrashedError(
+                    f"shard {self.shard_id} pipe is gone: {exc}"
                 )
+                error.__cause__ = exc  # provenance survives the Future hop
+                future.set_exception(error)
         return future
 
     def call(self, payload, timeout: Optional[float] = None):

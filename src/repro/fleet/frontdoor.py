@@ -46,7 +46,14 @@ from repro.fleet.messages import (
     SubmitRequest,
     SubmitResponse,
 )
-from repro.obs import FLEET_SHED, NULL_OBSERVER, derive_trace_context
+from repro.obs import (
+    EPOCH_FENCED,
+    FLEET_SHED,
+    HANDOFF_QUEUED,
+    HANDOFF_SHED,
+    NULL_OBSERVER,
+    derive_trace_context,
+)
 
 
 class FleetSaturatedError(MedSenError):
@@ -91,6 +98,16 @@ class AsyncFrontDoor:
         self._stream_locks: Dict[str, asyncio.Lock] = {}
         self.streams_opened = 0
         self.stream_chunks = 0
+        # Replication lane (repro.fleet.replication) — opt-in: plain
+        # clusters (and test stubs) have no `replicated` attribute and
+        # keep the single-copy behaviour bit-for-bit.
+        self._replicated = bool(getattr(cluster, "replicated", False))
+        self._promotions: Dict[str, asyncio.Future] = {}
+        self._handoff_waiters: Dict[str, int] = {}
+        self._open_locks: Dict[str, asyncio.Lock] = {}
+        self.fenced = 0
+        self.handoff_queued = 0
+        self.handoff_shed = 0
 
     # ------------------------------------------------------------------
     async def register_tenant(self, tenant_id: str, identifier) -> None:
@@ -168,6 +185,8 @@ class AsyncFrontDoor:
         self.observer.incr("fleet.submitted")
         try:
             attempts = 0
+            handoffs = 0
+            fences = 0
             while True:
                 handle = self.cluster.handle_for(tenant_id)
                 with self.observer.span(
@@ -182,8 +201,18 @@ class AsyncFrontDoor:
                     response = await asyncio.wait_for(
                         asyncio.wrap_future(future), timeout=timeout
                     )
-                    break
-                except ShardCrashedError:
+                except ShardCrashedError as crash:
+                    if self._replicated:
+                        # Hinted handoff: queue (bounded) behind the
+                        # partition's promotion, then re-route to the
+                        # promoted standby with the same sequence.
+                        if handoffs >= 2:
+                            raise
+                        handoffs += 1
+                        await self._handoff(
+                            self.cluster.partition_of(tenant_id), crash
+                        )
+                        continue
                     if attempts >= retries_on_crash:
                         raise
                     attempts += 1
@@ -192,6 +221,46 @@ class AsyncFrontDoor:
                     # Give the supervisor a beat to restart the shard;
                     # handle_for() re-resolves to the new process.
                     await asyncio.sleep(0.05 * attempts)
+                    continue
+                except ShardRequestError as refusal:
+                    # The shard's typed ErrorReply, re-raised in the
+                    # front door's vocabulary with provenance intact.
+                    raise FleetRequestFailedError(
+                        refusal.shard_id,
+                        refusal.error_type,
+                        refusal.error_message,
+                    ) from refusal
+                if self._replicated:
+                    partition = self.cluster.partition_of(tenant_id)
+                    if self.cluster.is_stale(partition, response.epoch):
+                        # A superseded primary answered: never ack its
+                        # word — fence it and re-run on the current
+                        # primary (same RNG coordinates, so the client
+                        # sees the bit-identical outcome exactly once).
+                        self.fenced += 1
+                        self.observer.incr("fleet.fenced_responses")
+                        self.observer.event(
+                            EPOCH_FENCED,
+                            partition=partition,
+                            shard=response.shard_id,
+                            stale_epoch=response.epoch,
+                            current_epoch=self.cluster.partition_epoch(partition),
+                        )
+                        fences += 1
+                        if fences >= 3:
+                            raise FleetRequestFailedError(
+                                response.shard_id,
+                                "StaleEpoch",
+                                f"partition {partition} kept answering with "
+                                f"superseded epoch {response.epoch}",
+                            )
+                        continue
+                    if response.ok and response.journal_entry:
+                        # Synchronous replication: the standby holds the
+                        # committed record's journal line before the
+                        # client ever sees the ack.
+                        await self._ship(partition, response.journal_entry, timeout)
+                break
         except Exception:
             self.failed += 1
             self.observer.incr("fleet.failed")
@@ -215,18 +284,102 @@ class AsyncFrontDoor:
         return response.outcome
 
     # ------------------------------------------------------------------
+    # Replication lane (only active over a ReplicatedCluster).
+    # ------------------------------------------------------------------
+    async def _ship(
+        self, partition: str, journal_entry: str, timeout: Optional[float]
+    ) -> None:
+        """Ship a committed record's journal lines to the standby and
+        wait for its apply ack — the synchronous half of replication.
+
+        A standby that is down mid-failover does not fail the client:
+        the supervisor's replication log already holds the lines and
+        the rejoin pass reconciles them (counted, never silent).
+        """
+        future = self.cluster.ship(partition, journal_entry)
+        if future is None:
+            return
+        try:
+            ack = await asyncio.wait_for(
+                asyncio.wrap_future(future), timeout=timeout
+            )
+        except (ShardCrashedError, asyncio.TimeoutError):
+            self.observer.incr("fleet.ship_failed")
+            return
+        except ShardRequestError:
+            self.observer.incr("fleet.ship_failed")
+            return
+        if ack.quarantined:
+            self.observer.incr("fleet.ship_quarantined", ack.quarantined)
+
+    async def _handoff(self, partition: str, crash: Exception) -> None:
+        """Queue (bounded) behind the partition's standby promotion.
+
+        The first waiter kicks :meth:`ReplicatedCluster.fail_over` onto
+        an executor thread; later waiters share the same promotion.
+        Beyond ``handoff_capacity`` waiters — or past the
+        ``handoff_window_s`` deadline — the request is shed with the
+        same typed refusal as steady-state overload, so failover
+        pressure never buffers without bound.
+        """
+        replication = self.cluster.replication
+        waiters = self._handoff_waiters.get(partition, 0)
+        if waiters >= replication.handoff_capacity:
+            self.handoff_shed += 1
+            self.observer.incr("fleet.handoff_shed")
+            self.observer.event(
+                HANDOFF_SHED, partition=partition, waiters=waiters
+            )
+            raise FleetSaturatedError(
+                f"partition {partition} failover queue full "
+                f"({waiters}/{replication.handoff_capacity})"
+            ) from crash
+        self._handoff_waiters[partition] = waiters + 1
+        self.handoff_queued += 1
+        self.observer.incr("fleet.handoff_queued")
+        self.observer.event(
+            HANDOFF_QUEUED, partition=partition, waiters=waiters + 1
+        )
+        promotion = self._promotions.get(partition)
+        if promotion is None:
+            loop = asyncio.get_running_loop()
+            promotion = loop.run_in_executor(
+                None, self.cluster.fail_over, partition
+            )
+            self._promotions[partition] = promotion
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(promotion),
+                timeout=replication.handoff_window_s,
+            )
+        except asyncio.TimeoutError:
+            self.handoff_shed += 1
+            self.observer.incr("fleet.handoff_shed")
+            self.observer.event(
+                HANDOFF_SHED, partition=partition, waiters=waiters + 1
+            )
+            raise FleetSaturatedError(
+                f"partition {partition} failover exceeded "
+                f"{replication.handoff_window_s}s handoff window"
+            ) from crash
+        finally:
+            self._handoff_waiters[partition] -= 1
+            if promotion.done():
+                self._promotions.pop(partition, None)
+
+    # ------------------------------------------------------------------
     # Streaming lane: a session is pinned to its tenant's shard; chunk
     # sends for one session are serialised by a per-session lock so the
     # gateway's cursor never sees a racing out-of-order pair from us
     # (re-ordering *on the link* is the gateway's job to refuse).
+    # Over a replicated cluster every stream message is **mirrored** to
+    # the partition's standby: session ids and HMAC resume tokens are
+    # deterministic functions of (secret, open order), so a standby that
+    # sees the same messages in the same order holds an identical
+    # gateway — which is what lets a session resume on the promoted
+    # standby after its primary dies.
     # ------------------------------------------------------------------
-    async def _stream_request(
-        self, tenant_id: str, message, timeout: Optional[float] = None
-    ):
-        timeout = (
-            timeout if timeout is not None else self.cluster.config.request_timeout_s
-        )
-        handle = self.cluster.handle_for(tenant_id)
+    async def _await_reply(self, handle, message, timeout: Optional[float]):
         future = handle.request(message)
         try:
             return await asyncio.wait_for(
@@ -239,6 +392,46 @@ class AsyncFrontDoor:
             raise FleetRequestFailedError(
                 refusal.shard_id, refusal.error_type, refusal.error_message
             ) from refusal
+
+    async def _mirror_to_standby(
+        self, partition: str, message, timeout: Optional[float]
+    ) -> None:
+        standby = self.cluster.standby_handle(partition)
+        if standby is None or not standby.alive:
+            self.observer.incr("fleet.stream_mirror_skipped")
+            return
+        try:
+            await self._await_reply(standby, message, timeout)
+        except (
+            FleetRequestFailedError,
+            ShardCrashedError,
+            asyncio.TimeoutError,
+        ):
+            self.observer.incr("fleet.stream_mirror_failed")
+
+    async def _stream_request(
+        self, tenant_id: str, message, timeout: Optional[float] = None
+    ):
+        timeout = (
+            timeout if timeout is not None else self.cluster.config.request_timeout_s
+        )
+        handle = self.cluster.handle_for(tenant_id)
+        try:
+            response = await self._await_reply(handle, message, timeout)
+        except ShardCrashedError as crash:
+            if not self._replicated:
+                raise
+            partition = self.cluster.partition_of(tenant_id)
+            await self._handoff(partition, crash)
+            # The promoted standby mirrors the session's gateway state;
+            # re-issue on it (resume/chunk replay is gateway-idempotent).
+            handle = self.cluster.handle_for(tenant_id)
+            response = await self._await_reply(handle, message, timeout)
+            return response
+        if self._replicated:
+            partition = self.cluster.partition_of(tenant_id)
+            await self._mirror_to_standby(partition, message, timeout)
+        return response
 
     def _stream_tenant(self, session_id: str) -> str:
         tenant_id = self._stream_tenants.get(session_id)
@@ -257,16 +450,23 @@ class AsyncFrontDoor:
         timeout: Optional[float] = None,
     ) -> StreamOpened:
         """Open a streaming session on the tenant's owning shard."""
-        response = await self._stream_request(
-            tenant_id,
-            StreamOpen(
-                tenant_id=tenant_id,
-                n_channels=int(n_channels),
-                sampling_rate_hz=float(sampling_rate_hz),
-                token_blob=bytes(token_blob),
-            ),
-            timeout,
+        message = StreamOpen(
+            tenant_id=tenant_id,
+            n_channels=int(n_channels),
+            sampling_rate_hz=float(sampling_rate_hz),
+            token_blob=bytes(token_blob),
         )
+        if self._replicated:
+            # Session ids are per-gateway open counters, so opens must
+            # hit the primary and its mirror in one serialised order —
+            # otherwise two concurrent opens could swap identities on
+            # the standby and resume-after-failover would cross wires.
+            partition = self.cluster.partition_of(tenant_id)
+            lock = self._open_locks.setdefault(partition, asyncio.Lock())
+            async with lock:
+                response = await self._stream_request(tenant_id, message, timeout)
+        else:
+            response = await self._stream_request(tenant_id, message, timeout)
         assert isinstance(response, StreamOpened)
         self._stream_tenants[response.session_id] = tenant_id
         self._stream_locks[response.session_id] = asyncio.Lock()

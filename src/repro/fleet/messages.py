@@ -158,6 +158,39 @@ class StreamClose:
 
 
 @dataclass(frozen=True)
+class LeaseGrant:
+    """Assign a shard its replication role under an epoch-numbered lease.
+
+    The cluster supervisor is the only lease authority; a shard never
+    invents an epoch.  ``epoch`` tags every subsequent
+    :class:`SubmitResponse` the shard produces, which is what lets the
+    front door *fence* a stale primary after a failover — a response
+    carrying a superseded epoch is refused, never acknowledged to the
+    client (no split-brain double-acks).
+    """
+
+    partition: str
+    epoch: int
+    role: str  # "primary" | "standby"
+    ttl_s: float
+
+
+@dataclass(frozen=True)
+class JournalShip:
+    """Ship checksummed journal lines to a partition's standby.
+
+    ``entries`` are verbatim :func:`~repro.resilience.journal.encode_entry`
+    lines — the exact bytes the primary journaled — so the standby
+    verifies the same CRCs the crash-recovery path does and quarantines
+    (never applies) a damaged or torn line.
+    """
+
+    partition: str
+    epoch: int
+    entries: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
 class HealthCheck:
     """Liveness + progress probe."""
 
@@ -194,7 +227,15 @@ class Ack:
 
 @dataclass(frozen=True)
 class SubmitResponse:
-    """Terminal reply for one :class:`SubmitRequest`."""
+    """Terminal reply for one :class:`SubmitRequest`.
+
+    ``epoch`` is the lease epoch the shard held when it answered
+    (0 = unleased, the single-copy tier); the front door compares it
+    against the partition's current epoch and fences stale answers.
+    ``journal_entry`` carries the committed record's checksummed
+    journal line on replicated partitions, so the front door can ship
+    it to the standby *before* acknowledging the client.
+    """
 
     shard_id: str
     tenant_id: str
@@ -204,6 +245,20 @@ class SubmitResponse:
     error_type: Optional[str] = None
     error_message: Optional[str] = None
     duplicate: bool = False
+    epoch: int = 0
+    journal_entry: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShipAck:
+    """Reply to one :class:`JournalShip`: what the standby did with it."""
+
+    shard_id: str
+    partition: str
+    applied: int
+    duplicates: int
+    quarantined: int
+    store_records: int
 
 
 @dataclass(frozen=True)
@@ -277,6 +332,11 @@ class ShardHealth:
     recovered_records: int = 0
     quarantined_entries: int = 0
     garbage_frames: int = 0
+    epoch: int = 0
+    role: str = "primary"
+    replica_applied: int = 0
+    replica_duplicates: int = 0
+    replica_quarantined: int = 0
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,518 @@
+"""Replicated partitions: primary/standby pairs under epoch leases.
+
+The single-copy fleet (:class:`~repro.fleet.cluster.FleetCluster`)
+treats a dead shard as an outage for its key range until a restart
+replays the journal.  This module upgrades each hash-ring partition to
+a **primary + synchronous standby** pair:
+
+* every committed record's checksummed journal line (the exact
+  :func:`~repro.resilience.journal.encode_entry` bytes the primary
+  journaled) is **shipped** to the standby — and applied, CRC-verified,
+  through the same quarantine gate crash recovery uses — *before* the
+  front door acknowledges the client;
+* failover is **lease-based**: the cluster supervisor is the only
+  epoch authority (:class:`LeaseTable`).  A standby promotes only
+  after the primary's lease has *lapsed*, and every promotion bumps the
+  partition epoch;
+* stale primaries are **fenced**, not trusted: a shard tags every
+  reply with the epoch it holds, and the front door refuses replies
+  carrying a superseded epoch — a partitioned old primary can keep
+  computing, but nothing it says after promotion is ever acknowledged
+  (no split-brain double-acks);
+* **anti-entropy**: the supervisor keeps a per-partition replication
+  log of every shipped line.  A dead or fenced shard rejoins by having
+  its journal overwritten with that log and recovering from it —
+  divergent post-fence commits are discarded, and the rejoined standby
+  is bit-identical to the shipped history.
+
+Determinism is what makes fencing safe: a fenced reply's session is
+re-run on the promoted primary with the *same* ``(seed, tenant,
+tenant_sequence)`` RNG coordinates, so the client-visible outcome is
+bit-identical to what the stale primary computed and the honest-output
+fingerprint matches a no-fault run (``docs/replication.md``).
+"""
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro._util.errors import ConfigurationError, MedSenError
+from repro.fleet.cluster import (
+    FleetCluster,
+    FleetTierConfig,
+    ShardHandle,
+)
+from repro.fleet.messages import Ack, JournalShip, LeaseGrant
+from repro.fleet.shard import ShardSpec
+from repro.obs import (
+    LEASE_EXPIRED,
+    LEASE_GRANTED,
+    MONOTONIC_CLOCK,
+    NULL_OBSERVER,
+    REPLICA_PROMOTED,
+    REPLICA_REJOINED,
+    SHARD_SPAWNED,
+    Clock,
+)
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Knobs of the primary/standby lane.
+
+    Parameters
+    ----------
+    lease_ttl_s:
+        How long a primary's lease lasts without renewal.  Failover
+        waits out the *remaining* TTL before promoting, so the window
+        bounds both split-brain exposure and MTTR.
+    handoff_capacity:
+        How many requests may queue (per partition) for the promoted
+        standby during a failover; one more is shed with a typed
+        refusal rather than buffered without bound.
+    handoff_window_s:
+        Ceiling on how long a queued request waits for promotion.
+    """
+
+    lease_ttl_s: float = 0.75
+    handoff_capacity: int = 16
+    handoff_window_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if not self.lease_ttl_s > 0:
+            raise ConfigurationError(
+                f"lease_ttl_s must be > 0, got {self.lease_ttl_s}"
+            )
+        if self.handoff_capacity < 1:
+            raise ConfigurationError(
+                f"handoff_capacity must be >= 1, got {self.handoff_capacity}"
+            )
+        if not self.handoff_window_s > 0:
+            raise ConfigurationError(
+                f"handoff_window_s must be > 0, got {self.handoff_window_s}"
+            )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One epoch-numbered primary lease over a partition."""
+
+    partition: str
+    holder: str
+    epoch: int
+    granted_at_s: float
+    ttl_s: float
+
+    @property
+    def expires_at_s(self) -> float:
+        return self.granted_at_s + self.ttl_s
+
+    def expired(self, now_s: float) -> bool:
+        return now_s >= self.expires_at_s
+
+    def remaining_s(self, now_s: float) -> float:
+        return max(0.0, self.expires_at_s - now_s)
+
+
+class LeaseTable:
+    """The supervisor's lease ledger: the only source of epochs.
+
+    Epochs are monotone per partition — every grant bumps them — and a
+    shard never invents one; it only adopts what a
+    :class:`~repro.fleet.messages.LeaseGrant` message delivers.  The
+    table is thread-safe: the asyncio front door reads epochs for
+    fencing while a failover thread grants the next one.
+    """
+
+    def __init__(
+        self,
+        default_ttl_s: float = 0.75,
+        clock: Clock = MONOTONIC_CLOCK,
+        observer=NULL_OBSERVER,
+    ) -> None:
+        if not default_ttl_s > 0:
+            raise ConfigurationError(
+                f"default_ttl_s must be > 0, got {default_ttl_s}"
+            )
+        self.default_ttl_s = default_ttl_s
+        self.clock = clock
+        self.observer = observer
+        self._leases: Dict[str, Lease] = {}
+        self._epochs: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def grant(
+        self, partition: str, holder: str, ttl_s: Optional[float] = None
+    ) -> Lease:
+        """Grant the partition's next-epoch primary lease to ``holder``."""
+        if not partition or not holder:
+            raise ConfigurationError("partition and holder must be non-empty")
+        ttl_s = ttl_s if ttl_s is not None else self.default_ttl_s
+        if not ttl_s > 0:
+            raise ConfigurationError(f"ttl_s must be > 0, got {ttl_s}")
+        with self._lock:
+            epoch = self._epochs.get(partition, 0) + 1
+            self._epochs[partition] = epoch
+            lease = Lease(
+                partition=partition,
+                holder=holder,
+                epoch=epoch,
+                granted_at_s=self.clock(),
+                ttl_s=ttl_s,
+            )
+            self._leases[partition] = lease
+        self.observer.event(
+            LEASE_GRANTED,
+            partition=partition,
+            holder=holder,
+            epoch=epoch,
+            ttl_s=ttl_s,
+        )
+        self.observer.incr("fleet.leases_granted")
+        return lease
+
+    def current(self, partition: str) -> Optional[Lease]:
+        with self._lock:
+            return self._leases.get(partition)
+
+    def epoch(self, partition: str) -> int:
+        """The partition's current epoch (0 = never leased)."""
+        with self._lock:
+            return self._epochs.get(partition, 0)
+
+    def is_stale(self, partition: str, epoch: int) -> bool:
+        """Whether a reply tagged ``epoch`` must be fenced."""
+        return epoch < self.epoch(partition)
+
+    def expired(self, partition: str) -> bool:
+        lease = self.current(partition)
+        return lease is None or lease.expired(self.clock())
+
+    def wait_lapse(self, partition: str, poll_s: float = 0.01) -> float:
+        """Block until the partition's lease has lapsed.
+
+        This is the safety delay that makes promotion single-writer:
+        the standby takes over only once the old primary *cannot*
+        believe it still holds the lease.  Returns the seconds waited.
+        """
+        start = self.clock()
+        lease = self.current(partition)
+        if lease is not None:
+            while not lease.expired(self.clock()):
+                time.sleep(min(poll_s, max(1e-4, lease.remaining_s(self.clock()))))
+            self.observer.event(
+                LEASE_EXPIRED,
+                partition=partition,
+                holder=lease.holder,
+                epoch=lease.epoch,
+            )
+            self.observer.incr("fleet.leases_expired")
+        return self.clock() - start
+
+
+@dataclass
+class _Partition:
+    """Supervisor-side view of one replicated partition."""
+
+    name: str
+    primary: str
+    standby: Optional[str]
+    #: Every journal line ever shipped for this partition, in ship
+    #: order — the anti-entropy source a rejoining shard recovers from.
+    replog: List[str] = field(default_factory=list)
+
+
+class ReplicatedCluster(FleetCluster):
+    """A fleet whose ring points at partitions, each a primary+standby.
+
+    ``config.n_shards`` counts **partitions**; the cluster spawns two
+    shard processes per partition (``part-NN-a`` / ``part-NN-b``) and
+    keeps journaling on for every shard so a respawn always recovers.
+    The base class's tenant registration (auth directory on *every*
+    shard, standbys included) and shutdown lifecycles are inherited.
+    """
+
+    #: Front-door feature gate: plain clusters (and test stubs) lack it.
+    replicated = True
+
+    def __init__(
+        self,
+        config: FleetTierConfig = FleetTierConfig(),
+        replication: ReplicationConfig = ReplicationConfig(),
+        observer=NULL_OBSERVER,
+        clock: Clock = MONOTONIC_CLOCK,
+    ) -> None:
+        super().__init__(replace(config, journal=True), observer=observer)
+        self.replication = replication
+        self.clock = clock
+        self.leases = LeaseTable(
+            default_ttl_s=replication.lease_ttl_s,
+            clock=clock,
+            observer=observer,
+        )
+        self._partitions: Dict[str, _Partition] = {}
+        self._failover_lock = threading.Lock()
+        self.failovers = 0
+        self.rejoins = 0
+        self.ship_skipped = 0
+        self.last_mttr_s = 0.0
+
+    # ------------------------------------------------------------------
+    def _replica_spec(self, shard_id: str, partition: str) -> ShardSpec:
+        return ShardSpec(
+            shard_id=shard_id,
+            fleet=replace(self.config.shard),
+            journal_path=self._journal_path(shard_id),
+            partition=partition,
+            replicated=True,
+        )
+
+    def _spawn(self, shard_id: str, partition: str) -> ShardHandle:
+        handle = ShardHandle(
+            self._replica_spec(shard_id, partition), self.ctx, observer=self.observer
+        )
+        self._handles[shard_id] = handle
+        self.observer.event(SHARD_SPAWNED, shard=shard_id, partition=partition)
+        self.observer.incr("fleet.shards_spawned")
+        return handle
+
+    def _grant(self, partition: str) -> Lease:
+        """Grant the next lease and deliver it to both live replicas."""
+        part = self._partitions[partition]
+        lease = self.leases.grant(partition, part.primary)
+        for shard_id, role in ((part.primary, "primary"), (part.standby, "standby")):
+            if shard_id is None:
+                continue
+            handle = self._handles.get(shard_id)
+            if handle is None or not handle.alive:
+                continue
+            reply = handle.call(
+                LeaseGrant(
+                    partition=partition,
+                    epoch=lease.epoch,
+                    role=role,
+                    ttl_s=lease.ttl_s,
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+            assert isinstance(reply, Ack)
+        self.observer.gauge(f"fleet.epoch.{partition}", float(lease.epoch))
+        return lease
+
+    def start(self) -> "ReplicatedCluster":
+        """Spawn every partition's pair and grant epoch-1 leases."""
+        if self._started:
+            raise MedSenError("cluster already started")
+        for index in range(self.config.n_shards):
+            partition = f"part-{index:02d}"
+            primary = f"{partition}-a"
+            standby = f"{partition}-b"
+            self._spawn(primary, partition)
+            self._spawn(standby, partition)
+            self._partitions[partition] = _Partition(
+                name=partition, primary=primary, standby=standby
+            )
+            self.ring.add_shard(partition)
+            self._grant(partition)
+        self._started = True
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def partitions(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._partitions))
+
+    def partition_of(self, tenant_id: str) -> str:
+        """The partition owning a tenant (the ring maps to partitions)."""
+        return self.ring.assign(tenant_id)
+
+    def partition_epoch(self, partition: str) -> int:
+        return self.leases.epoch(partition)
+
+    def is_stale(self, partition: str, epoch: int) -> bool:
+        """Fencing predicate for one reply's epoch tag."""
+        return self.leases.is_stale(partition, epoch)
+
+    def primary_id(self, partition: str) -> str:
+        try:
+            return self._partitions[partition].primary
+        except KeyError:
+            raise MedSenError(f"no such partition {partition!r}") from None
+
+    def standby_id(self, partition: str) -> Optional[str]:
+        try:
+            return self._partitions[partition].standby
+        except KeyError:
+            raise MedSenError(f"no such partition {partition!r}") from None
+
+    def handle_for(self, tenant_id: str) -> ShardHandle:
+        """The *primary* handle of the tenant's partition."""
+        return self._handles[self.primary_id(self.partition_of(tenant_id))]
+
+    def standby_handle(self, partition: str) -> Optional[ShardHandle]:
+        standby = self.standby_id(partition)
+        if standby is None:
+            return None
+        return self._handles.get(standby)
+
+    def renew(self, partition: str) -> Lease:
+        """Re-grant the sitting primary's lease (epoch bump, fresh TTL).
+
+        Renewal *is* a grant: the supervisor bumps the epoch and both
+        replicas adopt it, so a renewed primary always answers with the
+        latest epoch and fencing stays monotone.
+        """
+        return self._grant(partition)
+
+    # ------------------------------------------------------------------
+    def ship(self, partition: str, journal_entry: str):
+        """Ship one response's journal lines to the partition's standby.
+
+        The lines land in the supervisor's replication log first (the
+        durable anti-entropy source), then go to the live standby as a
+        :class:`~repro.fleet.messages.JournalShip`; the returned future
+        resolves with the standby's
+        :class:`~repro.fleet.messages.ShipAck`.  With no live standby
+        (mid-failover) the ship is counted as skipped and ``None`` is
+        returned — the replog still has the lines, and the rejoin pass
+        reconciles them.
+        """
+        part = self._partitions[partition]
+        lines = tuple(journal_entry.split("\n"))
+        part.replog.extend(lines)
+        handle = self.standby_handle(partition)
+        if handle is None or not handle.alive:
+            self.ship_skipped += 1
+            self.observer.incr("fleet.ship_skipped")
+            return None
+        self.observer.incr("fleet.entries_shipped", len(lines))
+        return handle.request(
+            JournalShip(
+                partition=partition,
+                epoch=self.leases.epoch(partition),
+                entries=lines,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def fail_over(self, partition: str) -> int:
+        """Promote the partition's standby; returns the new epoch.
+
+        Safe to call from any thread (the front door runs it in an
+        executor).  The promotion sequence is: wait out the old
+        primary's lease (it can no longer believe it holds the
+        partition), swap roles, grant the next epoch to the promoted
+        standby, and leave the old primary — dead or merely partitioned
+        — as an *unleased* ex-holder whose replies the front door
+        fences.  Concurrent callers for the same partition coalesce:
+        the second caller observes the already-bumped epoch and returns.
+        """
+        start = self.clock()
+        with self._failover_lock:
+            part = self._partitions[partition]
+            lease = self.leases.current(partition)
+            if lease is not None and lease.holder != part.primary:
+                # Someone already promoted while we waited on the lock.
+                return lease.epoch
+            standby = self.standby_handle(partition)
+            if standby is None or not standby.alive:
+                raise MedSenError(
+                    f"partition {partition!r} has no live standby to promote"
+                )
+            self.leases.wait_lapse(partition)
+            old_primary = part.primary
+            part.primary = part.standby  # type: ignore[assignment]
+            part.standby = old_primary
+            lease = self.leases.grant(partition, part.primary)
+            reply = standby.call(
+                LeaseGrant(
+                    partition=partition,
+                    epoch=lease.epoch,
+                    role="primary",
+                    ttl_s=lease.ttl_s,
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+            assert isinstance(reply, Ack)
+            self.failovers += 1
+            self.last_mttr_s = self.clock() - start
+        self.observer.event(
+            REPLICA_PROMOTED,
+            partition=partition,
+            promoted=part.primary,
+            demoted=old_primary,
+            epoch=lease.epoch,
+            mttr_s=self.last_mttr_s,
+        )
+        self.observer.incr("fleet.failovers")
+        self.observer.gauge("fleet.failover_mttr_s", self.last_mttr_s)
+        self.observer.gauge(f"fleet.epoch.{partition}", float(lease.epoch))
+        return lease.epoch
+
+    def rejoin(self, partition: str, grant_lease: bool = True) -> ShardHandle:
+        """Anti-entropy rejoin of the partition's demoted ex-primary.
+
+        The shard's journal file is **overwritten with the replication
+        log** — the shipped history every acknowledged result went
+        through — so any divergent records the fenced primary committed
+        after promotion are discarded, and the respawned process
+        recovers to exactly the replicated state.  It comes back as the
+        partition's standby; with ``grant_lease=False`` it is left
+        holding epoch 0 (useful to demonstrate fencing of a rejoined
+        stale primary).
+        """
+        with self._failover_lock:
+            part = self._partitions[partition]
+            shard_id = part.standby
+            if shard_id is None:
+                raise MedSenError(f"partition {partition!r} has no shard to rejoin")
+            old = self._handles.get(shard_id)
+            if old is not None and old.process.is_alive():
+                old.kill()
+            spec = self._replica_spec(shard_id, partition)
+            assert spec.journal_path is not None
+            with open(spec.journal_path, "w", encoding="utf-8") as handle_file:
+                for line in part.replog:
+                    handle_file.write(line + "\n")
+            handle = self._spawn(shard_id, partition)
+        reenrolled = self._reenroll(shard_id)
+        if grant_lease:
+            epoch = self.leases.epoch(partition)
+            reply = handle.call(
+                LeaseGrant(
+                    partition=partition,
+                    epoch=epoch,
+                    role="standby",
+                    ttl_s=self.replication.lease_ttl_s,
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+            assert isinstance(reply, Ack)
+        self.rejoins += 1
+        self.observer.event(
+            REPLICA_REJOINED,
+            partition=partition,
+            shard=shard_id,
+            reenrolled=reenrolled,
+            replog_lines=len(self._partitions[partition].replog),
+        )
+        self.observer.incr("fleet.rejoins")
+        return handle
+
+    # ------------------------------------------------------------------
+    def fleet_record_hashes(self, timeout: Optional[float] = None) -> List[str]:
+        """Sorted record hashes over **primaries only** — the standby
+        holds a replica of the same records, so the base class's
+        all-shards union would double-count every committed record."""
+        timeout = timeout if timeout is not None else self.config.request_timeout_s
+        primaries = {part.primary for part in self._partitions.values()}
+        merged: List[str] = []
+        for shard_id, digest in self.store_digests(timeout=timeout).items():
+            if shard_id in primaries:
+                merged.extend(digest.record_hashes)
+        return sorted(merged)
+
+    def replog_lines(self, partition: str) -> Tuple[str, ...]:
+        """The partition's shipped journal history (drill introspection)."""
+        return tuple(self._partitions[partition].replog)

@@ -46,11 +46,14 @@ from repro.fleet.messages import (
     Drain,
     ErrorReply,
     HealthCheck,
+    JournalShip,
+    LeaseGrant,
     RegisterTenant,
     SessionOutcome,
     ShardHealth,
     ShardStoreDigest,
     ShardTelemetry,
+    ShipAck,
     Shutdown,
     SnapshotRequest,
     StoreDigest,
@@ -66,10 +69,15 @@ from repro.fleet.messages import (
     SubmitResponse,
 )
 from repro.fleet.transport import FrameChannel
-from repro.obs import SHARD_RECOVERED, context_or_none
+from repro.obs import RECORD_QUARANTINED, SHARD_RECOVERED, context_or_none
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
-from repro.resilience.journal import RecordJournal, recover_store
+from repro.resilience.journal import (
+    RecordJournal,
+    decode_entry,
+    encode_entry,
+    recover_store,
+)
 from repro.serving.queue import QueueFull
 from repro.serving.scheduler import FleetConfig, FleetScheduler
 
@@ -95,6 +103,12 @@ class ShardSpec:
     shard_id: str
     fleet: FleetConfig
     journal_path: Optional[str] = None
+    #: Replication partition this shard serves ("" = unreplicated tier).
+    partition: str = ""
+    #: When True the shard stamps replies with its lease epoch and
+    #: attaches the committed record's journal line so the front door
+    #: can ship it to the partition's standby before acking.
+    replicated: bool = False
 
 
 def record_content_hash(record) -> str:
@@ -168,6 +182,24 @@ class _ShardRuntime:
         self.drain_reply: Optional[int] = None
         self.shutdown_reply: Optional[int] = None
         self._stream_gateway = None
+        # Replication lane (repro.fleet.replication): the lease the
+        # supervisor granted (epoch 0 = never leased, which is what a
+        # freshly restarted stale primary holds until re-granted — the
+        # front door fences its answers) and the standby apply state.
+        self.epoch = 0
+        self.role = "primary"
+        self.replica_applied = 0
+        self.replica_duplicates = 0
+        self.replica_quarantined = 0
+        # Content hashes of every record already in the store: shipped
+        # dedup on the primary side, apply dedup on the standby side.
+        # Seeded from recovery so a respawned shard never re-ships or
+        # re-applies what its journal already holds.
+        self._known_hashes = {
+            record_content_hash(record)
+            for identifier_key in store.identifiers()
+            for record in store.fetch(identifier_key)
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -206,6 +238,11 @@ class _ShardRuntime:
             recovered_records=self.recovered_records,
             quarantined_entries=self.quarantined_entries,
             garbage_frames=self.channel.garbage_frames,
+            epoch=self.epoch,
+            role=self.role,
+            replica_applied=self.replica_applied,
+            replica_duplicates=self.replica_duplicates,
+            replica_quarantined=self.replica_quarantined,
         )
 
     def telemetry(self) -> ShardTelemetry:
@@ -229,6 +266,22 @@ class _ShardRuntime:
                 ),
             )
             return
+        if self.spec.replicated and self.role == "standby":
+            # Standbys apply shipped journal lines; they never run
+            # sessions, so a misrouted submission is a typed refusal
+            # rather than a silent double execution.
+            self.channel.send(
+                msg_id,
+                ErrorReply(
+                    shard_id=self.spec.shard_id,
+                    error_type="NotPrimary",
+                    error_message=(
+                        f"shard {self.spec.shard_id} is the standby for "
+                        f"partition {self.spec.partition!r}"
+                    ),
+                ),
+            )
+            return
         key = (msg.tenant_id, msg.tenant_sequence)
         cached = self.answered.get(key)
         if cached is not None:
@@ -242,6 +295,7 @@ class _ShardRuntime:
                     ok=True,
                     outcome=cached,
                     duplicate=True,
+                    epoch=self.epoch,
                 ),
             )
             return
@@ -306,6 +360,8 @@ class _ShardRuntime:
                     tenant_sequence=request.tenant_sequence,
                     ok=True,
                     outcome=outcome,
+                    epoch=self.epoch,
+                    journal_entry=self._entry_for_shipping(outcome.record_key),
                 )
             else:
                 response = SubmitResponse(
@@ -315,8 +371,99 @@ class _ShardRuntime:
                     ok=False,
                     error_type=type(error).__name__,
                     error_message=str(error),
+                    epoch=self.epoch,
                 )
             self.channel.send(msg_id, response)
+
+    def _entry_for_shipping(self, record_key: str) -> Optional[str]:
+        """Journal lines for records committed since the last sweep.
+
+        Replicated primaries attach the exact :func:`encode_entry`
+        lines of every not-yet-shipped record under the session's key
+        (newline-joined; normally exactly one), so the front door can
+        forward verbatim journal bytes to the standby before acking.
+        """
+        if not self.spec.replicated or not record_key:
+            return None
+        lines = []
+        for record in self.store.fetch(record_key):
+            content_hash = record_content_hash(record)
+            if content_hash in self._known_hashes:
+                continue
+            self._known_hashes.add(content_hash)
+            lines.append(encode_entry(record))
+        return "\n".join(lines) if lines else None
+
+    # ------------------------------------------------------------------
+    def handle_lease(self, msg_id: int, msg: LeaseGrant) -> None:
+        """Adopt the supervisor's lease: epoch + role, never invented."""
+        if msg.epoch < self.epoch:
+            self.channel.send(
+                msg_id,
+                ErrorReply(
+                    shard_id=self.spec.shard_id,
+                    error_type="StaleLease",
+                    error_message=(
+                        f"refusing lease epoch {msg.epoch} < held {self.epoch}"
+                    ),
+                ),
+            )
+            return
+        self.epoch = msg.epoch
+        self.role = msg.role
+        self.observer.gauge("fleet.epoch", float(self.epoch))
+        self.observer.incr("fleet.leases_adopted")
+        self.channel.send(msg_id, Ack(shard_id=self.spec.shard_id))
+
+    def handle_ship(self, msg_id: int, msg: JournalShip) -> None:
+        """Apply shipped journal lines to the standby's partition.
+
+        Each line goes through the same :func:`decode_entry`
+        verification crash recovery uses: a torn or corrupted line is
+        quarantined (counted + audited), never applied; an intact line
+        is restored with its original sequence number/timestamp and
+        re-journaled locally so a promoted standby recovers
+        bit-identically after its own crash.
+        """
+        applied = duplicates = quarantined = 0
+        for line in msg.entries:
+            try:
+                record = decode_entry(line)
+            except ValueError as exc:
+                quarantined += 1
+                self.observer.incr("replica.quarantined")
+                self.observer.event(
+                    RECORD_QUARANTINED,
+                    shard=self.spec.shard_id,
+                    partition=msg.partition,
+                    reason=str(exc),
+                )
+                continue
+            content_hash = record_content_hash(record)
+            if content_hash in self._known_hashes:
+                duplicates += 1
+                continue
+            self._known_hashes.add(content_hash)
+            self.store._restore(record)
+            if self.journal is not None:
+                self.journal.append(record)
+            applied += 1
+        self.replica_applied += applied
+        self.replica_duplicates += duplicates
+        self.replica_quarantined += quarantined
+        self.observer.incr("replica.applied", applied)
+        self.observer.incr("replica.duplicates", duplicates)
+        self.channel.send(
+            msg_id,
+            ShipAck(
+                shard_id=self.spec.shard_id,
+                partition=msg.partition,
+                applied=applied,
+                duplicates=duplicates,
+                quarantined=quarantined,
+                store_records=self.store.n_records,
+            ),
+        )
 
     # ------------------------------------------------------------------
     def dispatch(self, msg_id: int, msg: object) -> None:
@@ -325,6 +472,10 @@ class _ShardRuntime:
         elif isinstance(msg, RegisterTenant):
             self.scheduler.register_tenant(msg.tenant_id, msg.identifier)
             self.channel.send(msg_id, Ack(shard_id=self.spec.shard_id))
+        elif isinstance(msg, LeaseGrant):
+            self.handle_lease(msg_id, msg)
+        elif isinstance(msg, JournalShip):
+            self.handle_ship(msg_id, msg)
         elif isinstance(msg, HealthCheck):
             self.channel.send(msg_id, self.health())
         elif isinstance(msg, SnapshotRequest):

@@ -74,6 +74,16 @@ SHARD_DRAINED = "fleet.shard_drained"
 SHARD_RECOVERED = "fleet.shard_recovered"
 FLEET_SHED = "fleet.load_shed"
 
+# Replicated partitions and lease-fenced failover (repro.fleet.replication;
+# see docs/replication.md).
+LEASE_GRANTED = "fleet.lease_granted"
+LEASE_EXPIRED = "fleet.lease_expired"
+REPLICA_PROMOTED = "fleet.replica_promoted"
+REPLICA_REJOINED = "fleet.replica_rejoined"
+EPOCH_FENCED = "fleet.epoch_fenced"
+HANDOFF_QUEUED = "fleet.handoff_queued"
+HANDOFF_SHED = "fleet.handoff_shed"
+
 # Streaming session lane (repro.stream; see docs/streaming.md).
 STREAM_SESSION_OPENED = "stream.session_opened"
 STREAM_SESSION_RESUMED = "stream.session_resumed"
@@ -127,6 +137,13 @@ KNOWN_KINDS = frozenset(
         SHARD_DRAINED,
         SHARD_RECOVERED,
         FLEET_SHED,
+        LEASE_GRANTED,
+        LEASE_EXPIRED,
+        REPLICA_PROMOTED,
+        REPLICA_REJOINED,
+        EPOCH_FENCED,
+        HANDOFF_QUEUED,
+        HANDOFF_SHED,
         STREAM_SESSION_OPENED,
         STREAM_SESSION_RESUMED,
         STREAM_SESSION_SUSPENDED,

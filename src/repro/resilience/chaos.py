@@ -18,6 +18,16 @@ in three phases and checks the system-wide resilience invariants:
   (deterministically) corrupted and replayed.  Invariants: every
   intact committed record recovers **bit-identically**, every damaged
   line is quarantined with an audit event, never loaded.
+* **Phase D — streaming lane.**  Chunk loss, mid-stream disconnects
+  and congestion against the windowed streaming session.  Invariants:
+  resume is bit-identical and congestion degrades explicitly.
+* **Phase E — replicated partition.**  The committed records are
+  journal-shipped to an in-process standby (torn tail quarantined, not
+  applied), a primary lease lapses under a manual clock and the
+  standby promotes at the next epoch, and a crashed ex-primary rejoins
+  from the shipped history alone.  Invariants: standby convergence,
+  stale-epoch fencing, rejoin convergence.  (The multiprocess SIGKILL
+  failover drill lives in ``python -m repro failover``.)
 
 Determinism: the same ``(seed, campaign)`` produces the identical fault
 schedule, health report, record contents, and hence the identical
@@ -42,7 +52,13 @@ from repro.particles.sample import Sample
 from repro.resilience.degraded import evaluate_degraded
 from repro.resilience.faults import FaultInjector, FaultPlan, trace_quality
 from repro.resilience.health import DEGRADED, FAILED, OK, HealthRegistry
-from repro.resilience.journal import RecordJournal, recover_store, replay_journal
+from repro.resilience.journal import (
+    RecordJournal,
+    decode_entry,
+    encode_entry,
+    recover_store,
+    replay_journal,
+)
 from repro.serving.request import derive_request_rng
 from repro.serving.scheduler import FleetConfig, FleetScheduler
 from repro.serving.workload import ClinicWorkload
@@ -90,6 +106,9 @@ CAMPAIGNS: Dict[str, Campaign] = {
             chunk_drop_rate=0.4,
             disconnect_rate=0.3,
             congestion_rate=1.0,
+            partition_rate=1.0,
+            lease_expiry_rate=1.0,
+            primary_crash_rate=1.0,
         ),
         n_sensor_trials=2,
         n_desync_trials=1,
@@ -121,6 +140,9 @@ CAMPAIGNS: Dict[str, Campaign] = {
             duplicate_probability=0.5,
             drop_probability=0.1,
             storage_corruption_rate=1.0,
+            partition_rate=1.0,
+            lease_expiry_rate=1.0,
+            primary_crash_rate=1.0,
         ),
         n_sensor_trials=0,
         n_desync_trials=0,
@@ -160,6 +182,9 @@ class ChaosReport:
     n_records_committed: int = 0
     n_records_recovered: int = 0
     n_records_quarantined: int = 0
+    n_replica_applied: int = 0
+    n_replica_quarantined: int = 0
+    replication_epoch: int = 0
     stream_digest: str = ""
     digest: str = ""
 
@@ -188,6 +213,13 @@ class ChaosReport:
         if self.stream_digest:
             lines.insert(
                 len(lines) - 1, f"stream outcome    {self.stream_digest}"
+            )
+        if self.n_replica_applied or self.n_replica_quarantined:
+            lines.insert(
+                len(lines) - 1,
+                f"replication       {self.n_replica_applied} records applied "
+                f"on the standby, {self.n_replica_quarantined} torn lines "
+                f"quarantined, epoch {self.replication_epoch}",
             )
         for state in self.health:
             lines.append(
@@ -600,6 +632,110 @@ def run_campaign(
                 health.degrade("network", outcome.degraded_reason)
 
     # ------------------------------------------------------------------
+    # Phase E — replicated partition: shipped-journal convergence,
+    # lease-fenced promotion, anti-entropy rejoin (all in-process; the
+    # multiprocess SIGKILL drill is ``python -m repro failover``)
+    # ------------------------------------------------------------------
+    if spec.plan.any_replication_faults:
+        from repro.fleet.replication import LeaseTable
+
+        replication_label = f"{campaign}#replication"
+        partition = "part-00"
+        shipped = [encode_entry(record) for record in committed]
+        torn = bool(shipped) and injector.should_partition(replication_label, 0)
+        if torn:
+            # The pair partitions mid-ship: the last line lands torn,
+            # exactly like a journal tail cut off mid-record.
+            shipped[-1] = shipped[-1][: max(len(shipped[-1]) // 2, 1)]
+        standby = RecordStore(clock=ManualClock(), observer=observer)
+        torn_quarantined = 0
+        for line in shipped:
+            try:
+                standby._restore(decode_entry(line))
+            except ValueError:
+                torn_quarantined += 1
+        report.n_replica_applied = standby.n_records
+        report.n_replica_quarantined = torn_quarantined
+        expected_hashes = sorted(
+            _record_content_hash(record)
+            for record in (committed[:-1] if torn else committed)
+        )
+        standby_hashes = sorted(
+            _record_content_hash(record)
+            for identifier in standby.identifiers()
+            for record in standby.fetch(identifier)
+        )
+        checks.append(
+            InvariantResult(
+                name="replication-standby-converges",
+                ok=standby_hashes == expected_hashes
+                and torn_quarantined == (1 if torn else 0),
+                detail=(
+                    f"{standby.n_records} applied / {torn_quarantined} "
+                    f"quarantined of {len(shipped)} shipped lines"
+                ),
+            )
+        )
+        if torn:
+            health.degrade(
+                "replication", "torn shipped line quarantined on the standby"
+            )
+
+        lease_clock = ManualClock()
+        lease_table = LeaseTable(
+            default_ttl_s=0.5, clock=lease_clock, observer=observer
+        )
+        first = lease_table.grant(partition, f"{partition}-a")
+        if injector.should_expire_lease(replication_label, 0):
+            lease_clock.advance(first.ttl_s)
+            lapsed = lease_table.expired(partition)
+            promoted = lease_table.grant(partition, f"{partition}-b")
+            report.replication_epoch = promoted.epoch
+            checks.append(
+                InvariantResult(
+                    name="replication-stale-epoch-fenced",
+                    ok=(
+                        lapsed
+                        and promoted.epoch == first.epoch + 1
+                        and lease_table.is_stale(partition, first.epoch)
+                        and not lease_table.is_stale(partition, promoted.epoch)
+                    ),
+                    detail=(
+                        f"epoch {first.epoch} fenced after promotion to "
+                        f"epoch {promoted.epoch}"
+                    ),
+                )
+            )
+            health.degrade(
+                "replication",
+                "primary lease lapsed; standby promoted at the next epoch",
+            )
+        if injector.should_crash_primary(replication_label, 0):
+            # Anti-entropy: the crashed ex-primary rejoins from the
+            # shipped history alone and must match the standby exactly.
+            rejoined = RecordStore(clock=ManualClock(), observer=observer)
+            for line in shipped:
+                try:
+                    rejoined._restore(decode_entry(line))
+                except ValueError:
+                    pass
+            rejoined_hashes = sorted(
+                _record_content_hash(record)
+                for identifier in rejoined.identifiers()
+                for record in rejoined.fetch(identifier)
+            )
+            checks.append(
+                InvariantResult(
+                    name="replication-rejoin-converges",
+                    ok=rejoined_hashes == standby_hashes,
+                    detail=(
+                        f"{rejoined.n_records} rejoined records vs "
+                        f"{standby.n_records} on the standby"
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
     # Final report: explicit health, deterministic digest
     # ------------------------------------------------------------------
     report.health = health.snapshot()
@@ -635,6 +771,11 @@ def run_campaign(
                     report.n_records_quarantined,
                 ],
                 "stream": report.stream_digest,
+                "replication": [
+                    report.n_replica_applied,
+                    report.n_replica_quarantined,
+                    report.replication_epoch,
+                ],
             }
         ).encode("utf-8"),
         digest_size=16,

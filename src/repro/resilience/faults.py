@@ -39,6 +39,7 @@ SITE_CRYPTO = "crypto"
 SITE_STORAGE = "storage"
 SITE_NETWORK = "network"
 SITE_SCHEDULER = "scheduler"
+SITE_REPLICATION = "replication"
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,10 @@ class FaultPlan:
     chunk_drop_rate: float = 0.0
     disconnect_rate: float = 0.0
     congestion_rate: float = 0.0
+    # Replication layer: partitions, lease expiry, primary crashes.
+    partition_rate: float = 0.0
+    lease_expiry_rate: float = 0.0
+    primary_crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -91,6 +96,9 @@ class FaultPlan:
             "chunk_drop_rate",
             "disconnect_rate",
             "congestion_rate",
+            "partition_rate",
+            "lease_expiry_rate",
+            "primary_crash_rate",
         ):
             check_in_range(name, getattr(self, name), 0.0, 1.0)
         check_in_range(
@@ -117,6 +125,9 @@ class FaultPlan:
             or self.chunk_drop_rate
             or self.disconnect_rate
             or self.congestion_rate
+            or self.partition_rate
+            or self.lease_expiry_rate
+            or self.primary_crash_rate
         )
 
     @property
@@ -124,6 +135,15 @@ class FaultPlan:
         """Whether the plan exercises the streaming lane at all."""
         return bool(
             self.chunk_drop_rate or self.disconnect_rate or self.congestion_rate
+        )
+
+    @property
+    def any_replication_faults(self) -> bool:
+        """Whether the plan exercises the replicated-partition layer."""
+        return bool(
+            self.partition_rate
+            or self.lease_expiry_rate
+            or self.primary_crash_rate
         )
 
 
@@ -349,6 +369,46 @@ class FaultInjector:
             raise WorkerCrash(
                 f"injected crash while serving {tenant_id}:{sequence}"
             )
+
+    # ------------------------------------------------------------------
+    # Replication layer (replicated partitions / lease-fenced failover)
+    # ------------------------------------------------------------------
+    def should_partition(self, label: str, index: int) -> bool:
+        """Whether to partition this replica pair's primary (SIGSTOP-
+        style: the process stays alive but becomes unreachable)."""
+        if self.plan.partition_rate <= 0:
+            return False
+        hit = (
+            self._rng(SITE_REPLICATION, f"{label}#partition", index).random()
+            < self.plan.partition_rate
+        )
+        if hit:
+            self._record(SITE_REPLICATION, label, index, "primary partitioned")
+        return hit
+
+    def should_expire_lease(self, label: str, index: int) -> bool:
+        """Whether to let this partition's lease lapse without renewal."""
+        if self.plan.lease_expiry_rate <= 0:
+            return False
+        hit = (
+            self._rng(SITE_REPLICATION, f"{label}#lease", index).random()
+            < self.plan.lease_expiry_rate
+        )
+        if hit:
+            self._record(SITE_REPLICATION, label, index, "lease expired")
+        return hit
+
+    def should_crash_primary(self, label: str, index: int) -> bool:
+        """Whether to hard-kill this partition's primary (SIGKILL)."""
+        if self.plan.primary_crash_rate <= 0:
+            return False
+        hit = (
+            self._rng(SITE_REPLICATION, f"{label}#crash", index).random()
+            < self.plan.primary_crash_rate
+        )
+        if hit:
+            self._record(SITE_REPLICATION, label, index, "primary crashed")
+        return hit
 
     # ------------------------------------------------------------------
     # Streaming lane (DeviceStreamer injector protocol; network site)

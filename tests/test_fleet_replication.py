@@ -1,0 +1,157 @@
+"""Replicated partitions: lease ledger semantics + pair lifecycle.
+
+The :class:`~repro.fleet.replication.LeaseTable` is exercised against a
+manual clock (epochs are the fencing authority, so their semantics get
+unit coverage); the process-spawning lifecycle test runs one partition
+through grant → renew → SIGKILL → lease-lapsed promotion → anti-entropy
+rejoin.  The loaded end-to-end drill (zero acked loss, fencing through
+the front door, stream continuity) lives in ``test_fleet_failover.py``.
+"""
+
+import pytest
+
+from repro._util.errors import ConfigurationError, MedSenError
+from repro.fleet import (
+    FleetTierConfig,
+    LeaseTable,
+    ReplicatedCluster,
+    ReplicationConfig,
+)
+from repro.obs import ManualClock
+from repro.serving.scheduler import FleetConfig
+
+
+class TestReplicationConfig:
+    def test_defaults_valid(self):
+        config = ReplicationConfig()
+        assert config.lease_ttl_s > 0
+        assert config.handoff_capacity >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_ttl_s": 0.0},
+            {"lease_ttl_s": -1.0},
+            {"handoff_capacity": 0},
+            {"handoff_window_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_refused(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(**kwargs)
+
+
+class TestLeaseTable:
+    def make(self, ttl=1.0):
+        clock = ManualClock()
+        return LeaseTable(default_ttl_s=ttl, clock=clock), clock
+
+    def test_epochs_are_monotone_per_partition(self):
+        table, _ = self.make()
+        assert table.epoch("part-00") == 0  # never leased
+        first = table.grant("part-00", "part-00-a")
+        second = table.grant("part-00", "part-00-b")
+        other = table.grant("part-01", "part-01-a")
+        assert (first.epoch, second.epoch) == (1, 2)
+        assert other.epoch == 1  # partitions count independently
+        assert table.epoch("part-00") == 2
+
+    def test_stale_epoch_is_fenced_current_is_not(self):
+        table, _ = self.make()
+        first = table.grant("part-00", "part-00-a")
+        promoted = table.grant("part-00", "part-00-b")
+        assert table.is_stale("part-00", first.epoch)
+        assert not table.is_stale("part-00", promoted.epoch)
+        # Epoch 0 (a fresh, never-leased respawn) is always stale.
+        assert table.is_stale("part-00", 0)
+
+    def test_expiry_follows_the_clock(self):
+        table, clock = self.make(ttl=2.0)
+        lease = table.grant("part-00", "part-00-a")
+        assert not table.expired("part-00")
+        assert lease.remaining_s(clock()) == 2.0
+        clock.advance(1.0)
+        assert not lease.expired(clock())
+        clock.advance(1.0)
+        assert lease.expired(clock())
+        assert table.expired("part-00")
+        assert lease.remaining_s(clock()) == 0.0
+
+    def test_unleased_partition_counts_as_expired(self):
+        table, _ = self.make()
+        assert table.expired("part-99")
+        assert table.current("part-99") is None
+
+    def test_wait_lapse_waits_out_the_remaining_ttl(self):
+        table = LeaseTable(default_ttl_s=0.05)  # real monotonic clock
+        table.grant("part-00", "part-00-a")
+        waited = table.wait_lapse("part-00")
+        assert waited >= 0.04
+        assert table.expired("part-00")
+
+    def test_grant_validation(self):
+        table, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            table.grant("", "holder")
+        with pytest.raises(ConfigurationError):
+            table.grant("part-00", "")
+        with pytest.raises(ConfigurationError):
+            table.grant("part-00", "part-00-a", ttl_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LeaseTable(default_ttl_s=0.0)
+
+
+def replicated_cluster(lease_ttl_s=0.15):
+    tier = FleetTierConfig(n_shards=1, shard=FleetConfig(seed=0, n_workers=1))
+    return ReplicatedCluster(
+        tier, ReplicationConfig(lease_ttl_s=lease_ttl_s)
+    )
+
+
+class TestReplicatedClusterLifecycle:
+    def test_pair_grant_renew_failover_rejoin(self):
+        with replicated_cluster() as cluster:
+            assert cluster.partitions == ("part-00",)
+            assert cluster.primary_id("part-00") == "part-00-a"
+            assert cluster.standby_id("part-00") == "part-00-b"
+            assert cluster.partition_epoch("part-00") == 1
+            healths = cluster.health()
+            assert healths["part-00-a"].role == "primary"
+            assert healths["part-00-a"].epoch == 1
+            assert healths["part-00-b"].role == "standby"
+            # The ring routes tenants to the partition's primary.
+            assert cluster.partition_of("clinic-00") == "part-00"
+            assert cluster.handle_for("clinic-00").shard_id == "part-00-a"
+            # Renewal *is* a grant: the epoch bumps, both replicas adopt.
+            lease = cluster.renew("part-00")
+            assert lease.epoch == 2
+            assert cluster.health()["part-00-b"].epoch == 2
+            # SIGKILL the primary; promotion waits out the live lease.
+            cluster.kill("part-00-a")
+            epoch = cluster.fail_over("part-00")
+            assert epoch == 3
+            assert cluster.primary_id("part-00") == "part-00-b"
+            assert cluster.is_stale("part-00", 2)
+            assert not cluster.is_stale("part-00", 3)
+            assert cluster.health()["part-00-b"].role == "primary"
+            # Anti-entropy rejoin respawns the ex-primary as standby at
+            # the current epoch.
+            cluster.rejoin("part-00")
+            healths = cluster.health()
+            assert healths["part-00-a"].role == "standby"
+            assert healths["part-00-a"].epoch == 3
+            assert cluster.failovers == 1
+            assert cluster.rejoins == 1
+
+    def test_fail_over_requires_a_live_standby(self):
+        with replicated_cluster() as cluster:
+            cluster.kill("part-00-b")
+            with pytest.raises(MedSenError, match="no live standby"):
+                cluster.fail_over("part-00")
+
+    def test_unknown_partition_refused(self):
+        with replicated_cluster() as cluster:
+            with pytest.raises(MedSenError):
+                cluster.primary_id("part-99")
+            with pytest.raises(MedSenError):
+                cluster.standby_id("part-99")

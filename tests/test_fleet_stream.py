@@ -15,7 +15,12 @@ import pytest
 from repro._util.errors import UnknownSessionError
 from repro._util.rng import ensure_rng
 from repro.dsp import PeakDetector
-from repro.fleet import FleetCluster, FleetTierConfig
+from repro.fleet import (
+    FleetCluster,
+    FleetTierConfig,
+    ReplicatedCluster,
+    ReplicationConfig,
+)
 from repro.fleet.frontdoor import AsyncFrontDoor, FleetRequestFailedError
 from repro.guard.freshness import TokenMinter
 from repro.serving.scheduler import FleetConfig
@@ -88,6 +93,66 @@ class TestFleetStreamLane:
 
         with FleetCluster(make_tier()) as cluster:
             asyncio.run(scenario(cluster))
+
+    def test_stream_resumes_on_promoted_standby_after_failover(self):
+        """Regression: a session opened on a doomed primary survives a
+        SIGKILL failover.  Stream state is mirrored to the standby and
+        the session key / resume token are HMAC-derived from ``(secret,
+        session_id)`` alone, so the original token verifies on the
+        promoted standby and the closed digest stays bit-identical to
+        the one-shot detector."""
+        trace = synthetic_stream_trace(
+            ensure_rng(23), n_channels=2, n_samples=2200
+        )
+        tier = FleetTierConfig(
+            n_shards=1,
+            shard=FleetConfig(seed=0, n_workers=1, freshness_secret=SECRET),
+            journal=True,
+        )
+        replication = ReplicationConfig(lease_ttl_s=0.15, handoff_window_s=10.0)
+
+        async def scenario(cluster):
+            loop = asyncio.get_running_loop()
+            door = AsyncFrontDoor(cluster)
+            minter = TokenMinter(SECRET)
+            opened = await door.open_stream("clinic-00", 2, FS, minter.mint())
+            seq, pos = 0, 0
+            while seq < 2:
+                samples = trace[:, pos : pos + opened.chunk_samples]
+                blob = seal_chunk(
+                    samples, SECRET, opened.session_key, seq,
+                    key_epoch=opened.key_epoch, sampling_rate_hz=FS,
+                )
+                await door.stream_chunk(opened.session_id, blob)
+                pos += samples.shape[1]
+                seq += 1
+            await loop.run_in_executor(
+                None, cluster.kill, cluster.primary_id("part-00")
+            )
+            # The resume request crashes on the dead primary, hands off
+            # to the promoted standby, and the original token verifies.
+            info = await door.resume_stream(
+                opened.session_id, opened.resume_token
+            )
+            seq = info.cursor
+            pos = seq * opened.chunk_samples
+            while pos < trace.shape[1]:
+                samples = trace[:, pos : pos + opened.chunk_samples]
+                blob = seal_chunk(
+                    samples, SECRET, opened.session_key, seq,
+                    key_epoch=opened.key_epoch, sampling_rate_hz=FS,
+                )
+                await door.stream_chunk(opened.session_id, blob)
+                pos += samples.shape[1]
+                seq += 1
+            return await door.close_stream(opened.session_id)
+
+        with ReplicatedCluster(tier, replication) as cluster:
+            closed = asyncio.run(scenario(cluster))
+            assert cluster.failovers == 1
+        assert closed.n_samples == trace.shape[1]
+        one_shot = PeakDetector().detect(trace, FS)
+        assert closed.report_digest == report_digest(one_shot)
 
     def test_fleet_without_secret_has_no_streaming_lane(self):
         async def scenario(cluster):

@@ -24,6 +24,7 @@ class TestSmokeCampaign:
             "storage",
             "network",
             "scheduler",
+            "replication",
         }
 
     def test_explicit_health_alarms(self, smoke):

@@ -110,6 +110,41 @@ class TestQuarantine:
         assert replay.n_recovered == 1
         assert replay.n_quarantined == 1
 
+    def test_truncated_tail_mid_record_spares_standby_state(self, journal_path):
+        """A ship torn mid-record quarantines the partial line only:
+        the standby applies the intact prefix, stays internally
+        consistent, and accepts the retransmitted full line later (the
+        ``repro.fleet.replication`` apply path)."""
+        store = self.fill(journal_path, n=3)
+        originals = [
+            record
+            for identifier in store.identifiers()
+            for record in store.fetch(identifier)
+        ]
+        lines = [encode_entry(record) for record in originals]
+        torn = lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]
+        standby = RecordStore(clock=ManualClock(200.0))
+        quarantined = 0
+        for line in torn:
+            try:
+                standby._restore(decode_entry(line))
+            except ValueError:
+                quarantined += 1
+        assert quarantined == 1
+        assert standby.n_records == len(originals) - 1
+        for record in originals[:-1]:
+            stored = standby.fetch(record.identifier_key)
+            assert any(r.payload() == record.payload() for r in stored)
+            assert all(r.verify() for r in stored)
+        # The retransmitted intact line applies cleanly afterwards.
+        standby._restore(decode_entry(lines[-1]))
+        assert standby.n_records == len(originals)
+        assert all(
+            r.verify()
+            for identifier in standby.identifiers()
+            for r in standby.fetch(identifier)
+        )
+
     def test_garbage_line_quarantined(self, journal_path):
         self.fill(journal_path, n=1)
         with open(journal_path, "a") as handle:
