@@ -47,6 +47,7 @@ from repro.fleet.messages import (
     SubmitResponse,
 )
 from repro.obs import (
+    DEGRADED_ACK,
     EPOCH_FENCED,
     FLEET_SHED,
     HANDOFF_QUEUED,
@@ -108,6 +109,7 @@ class AsyncFrontDoor:
         self.fenced = 0
         self.handoff_queued = 0
         self.handoff_shed = 0
+        self.degraded_acks = 0
 
     # ------------------------------------------------------------------
     async def register_tenant(self, tenant_id: str, identifier) -> None:
@@ -189,6 +191,13 @@ class AsyncFrontDoor:
             fences = 0
             while True:
                 handle = self.cluster.handle_for(tenant_id)
+                if self._replicated:
+                    # Capture the routing-time epoch: a failover kicked
+                    # off for a crash observed *at this epoch* coalesces
+                    # with (never re-runs after) a promotion that
+                    # already advanced it.
+                    partition = self.cluster.partition_of(tenant_id)
+                    routed_epoch = self.cluster.partition_epoch(partition)
                 with self.observer.span(
                     "fleet_ingress",
                     remote_parent=context,
@@ -209,9 +218,7 @@ class AsyncFrontDoor:
                         if handoffs >= 2:
                             raise
                         handoffs += 1
-                        await self._handoff(
-                            self.cluster.partition_of(tenant_id), crash
-                        )
+                        await self._handoff(partition, routed_epoch, crash)
                         continue
                     if attempts >= retries_on_crash:
                         raise
@@ -231,7 +238,6 @@ class AsyncFrontDoor:
                         refusal.error_message,
                     ) from refusal
                 if self._replicated:
-                    partition = self.cluster.partition_of(tenant_id)
                     if self.cluster.is_stale(partition, response.epoch):
                         # A superseded primary answered: never ack its
                         # word — fence it and re-run on the current
@@ -286,40 +292,82 @@ class AsyncFrontDoor:
     # ------------------------------------------------------------------
     # Replication lane (only active over a ReplicatedCluster).
     # ------------------------------------------------------------------
+    def _degraded_ack(self, partition: str, reason: str) -> None:
+        """Audit an ack whose only durable copies are the primary's
+        journal and the supervisor's replication log (no live standby
+        held the record when the client was acknowledged)."""
+        self.degraded_acks += 1
+        self.observer.incr("fleet.degraded_acks")
+        self.observer.event(DEGRADED_ACK, partition=partition, reason=reason)
+
     async def _ship(
         self, partition: str, journal_entry: str, timeout: Optional[float]
     ) -> None:
         """Ship a committed record's journal lines to the standby and
         wait for its apply ack — the synchronous half of replication.
 
-        A standby that is down mid-failover does not fail the client:
-        the supervisor's replication log already holds the lines and
-        the rejoin pass reconciles them (counted, never silent).
+        The two-copy ack invariant is enforced, not hoped for: a ship
+        the standby does not acknowledge is retried once (against the
+        possibly-respawned standby, without re-recording lines the
+        replication log already holds), and if the retry fails too the
+        *submit* fails with a typed ``ReplicationFailed`` — the client
+        is never told a result is durable when it is single-copy.  The
+        one deliberate exception is a partition with **no live
+        standby** (mid-failover): the supervisor's replication log
+        already holds the lines, the rejoin pass reconciles them, and
+        the degraded-durability ack is surfaced explicitly — counted
+        (``degraded_acks``) and audited (``fleet.degraded_ack``) — so
+        the window is visible, never silent.
         """
         future = self.cluster.ship(partition, journal_entry)
         if future is None:
+            self._degraded_ack(partition, "no-live-standby")
             return
-        try:
-            ack = await asyncio.wait_for(
-                asyncio.wrap_future(future), timeout=timeout
-            )
-        except (ShardCrashedError, asyncio.TimeoutError):
-            self.observer.incr("fleet.ship_failed")
+        for retry in (False, True):
+            try:
+                ack = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=timeout
+                )
+            except (
+                ShardCrashedError,
+                ShardRequestError,
+                asyncio.TimeoutError,
+            ) as error:
+                self.observer.incr("fleet.ship_failed")
+                if not retry:
+                    # The replog already recorded the lines; a second
+                    # append would replay as a duplicate on rejoin.
+                    future = self.cluster.ship(
+                        partition, journal_entry, record=False
+                    )
+                    if future is None:
+                        self._degraded_ack(partition, "standby-died-mid-ship")
+                        return
+                    continue
+                raise FleetRequestFailedError(
+                    self.cluster.standby_id(partition) or partition,
+                    "ReplicationFailed",
+                    f"standby for partition {partition} did not acknowledge "
+                    f"the shipped journal lines; refusing to acknowledge a "
+                    f"single-copy result",
+                ) from error
+            if ack.quarantined:
+                self.observer.incr("fleet.ship_quarantined", ack.quarantined)
             return
-        except ShardRequestError:
-            self.observer.incr("fleet.ship_failed")
-            return
-        if ack.quarantined:
-            self.observer.incr("fleet.ship_quarantined", ack.quarantined)
 
-    async def _handoff(self, partition: str, crash: Exception) -> None:
+    async def _handoff(
+        self, partition: str, observed_epoch: int, crash: Exception
+    ) -> None:
         """Queue (bounded) behind the partition's standby promotion.
 
         The first waiter kicks :meth:`ReplicatedCluster.fail_over` onto
-        an executor thread; later waiters share the same promotion.
-        Beyond ``handoff_capacity`` waiters — or past the
-        ``handoff_window_s`` deadline — the request is shed with the
-        same typed refusal as steady-state overload, so failover
+        an executor thread, passing the epoch this request was routed
+        under — a straggling crash report whose epoch a promotion has
+        already superseded coalesces inside ``fail_over`` instead of
+        demoting the freshly promoted primary.  Later waiters share the
+        same promotion.  Beyond ``handoff_capacity`` waiters — or past
+        the ``handoff_window_s`` deadline — the request is shed with
+        the same typed refusal as steady-state overload, so failover
         pressure never buffers without bound.
         """
         replication = self.cluster.replication
@@ -344,7 +392,7 @@ class AsyncFrontDoor:
         if promotion is None:
             loop = asyncio.get_running_loop()
             promotion = loop.run_in_executor(
-                None, self.cluster.fail_over, partition
+                None, self.cluster.fail_over, partition, observed_epoch
             )
             self._promotions[partition] = promotion
         try:
@@ -416,20 +464,21 @@ class AsyncFrontDoor:
             timeout if timeout is not None else self.cluster.config.request_timeout_s
         )
         handle = self.cluster.handle_for(tenant_id)
+        if self._replicated:
+            partition = self.cluster.partition_of(tenant_id)
+            routed_epoch = self.cluster.partition_epoch(partition)
         try:
             response = await self._await_reply(handle, message, timeout)
         except ShardCrashedError as crash:
             if not self._replicated:
                 raise
-            partition = self.cluster.partition_of(tenant_id)
-            await self._handoff(partition, crash)
+            await self._handoff(partition, routed_epoch, crash)
             # The promoted standby mirrors the session's gateway state;
             # re-issue on it (resume/chunk replay is gateway-idempotent).
             handle = self.cluster.handle_for(tenant_id)
             response = await self._await_reply(handle, message, timeout)
             return response
         if self._replicated:
-            partition = self.cluster.partition_of(tenant_id)
             await self._mirror_to_standby(partition, message, timeout)
         return response
 

@@ -13,15 +13,23 @@ a **primary + synchronous standby** pair:
 * failover is **lease-based**: the cluster supervisor is the only
   epoch authority (:class:`LeaseTable`).  A standby promotes only
   after the primary's lease has *lapsed*, and every promotion bumps the
-  partition epoch;
+  partition epoch.  Renewal is the heartbeat, not a change of
+  authority: it refreshes the sitting holder's TTL at the *same*
+  epoch, so a primary's own heartbeat never fences replies it already
+  computed.  Failovers of one partition never block another — the
+  promote/rejoin critical section is a per-partition lock — and
+  concurrent or straggling failover calls coalesce on the epoch the
+  caller observed at crash time;
 * stale primaries are **fenced**, not trusted: a shard tags every
   reply with the epoch it holds, and the front door refuses replies
   carrying a superseded epoch — a partitioned old primary can keep
   computing, but nothing it says after promotion is ever acknowledged
   (no split-brain double-acks);
-* **anti-entropy**: the supervisor keeps a per-partition replication
-  log of every shipped line.  A dead or fenced shard rejoins by having
-  its journal overwritten with that log and recovering from it —
+* **anti-entropy**: the supervisor keeps a per-partition **on-disk**
+  replication log of every shipped line (append-only, same policy as
+  the shards' own journals, so supervisor memory stays O(1) under
+  sustained load).  A dead or fenced shard rejoins by having its
+  journal overwritten with that log and recovering from it —
   divergent post-fence commits are discarded, and the rejoined standby
   is bit-identical to the shipped history.
 
@@ -32,6 +40,8 @@ bit-identical to what the stale primary computed and the honest-output
 fingerprint matches a no-fault run (``docs/replication.md``).
 """
 
+import os
+import shutil
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -48,6 +58,7 @@ from repro.fleet.shard import ShardSpec
 from repro.obs import (
     LEASE_EXPIRED,
     LEASE_GRANTED,
+    LEASE_RENEWED,
     MONOTONIC_CLOCK,
     NULL_OBSERVER,
     REPLICA_PROMOTED,
@@ -118,11 +129,15 @@ class Lease:
 class LeaseTable:
     """The supervisor's lease ledger: the only source of epochs.
 
-    Epochs are monotone per partition — every grant bumps them — and a
-    shard never invents one; it only adopts what a
-    :class:`~repro.fleet.messages.LeaseGrant` message delivers.  The
-    table is thread-safe: the asyncio front door reads epochs for
-    fencing while a failover thread grants the next one.
+    Epochs are monotone per partition — every **grant** bumps them —
+    and a shard never invents one; it only adopts what a
+    :class:`~repro.fleet.messages.LeaseGrant` message delivers.  A
+    :meth:`renew` is *not* a grant: it refreshes the sitting holder's
+    TTL window at the same epoch, because an epoch that changed hands
+    is what fencing means and a heartbeat must never fence the
+    heartbeater's own in-flight replies.  The table is thread-safe:
+    the asyncio front door reads epochs for fencing while a failover
+    thread grants the next one.
     """
 
     def __init__(
@@ -172,6 +187,35 @@ class LeaseTable:
         self.observer.incr("fleet.leases_granted")
         return lease
 
+    def renew(self, partition: str, ttl_s: Optional[float] = None) -> Lease:
+        """Refresh the sitting holder's lease TTL at the *same* epoch.
+
+        Renewal is the primary's heartbeat, not a change of authority:
+        the epoch moves only when the holder does (a grant), so
+        responses the sitting primary computed under its current epoch
+        are never fenced as stale by its own heartbeat.
+        """
+        ttl_s = ttl_s if ttl_s is not None else self.default_ttl_s
+        if not ttl_s > 0:
+            raise ConfigurationError(f"ttl_s must be > 0, got {ttl_s}")
+        with self._lock:
+            lease = self._leases.get(partition)
+            if lease is None:
+                raise MedSenError(
+                    f"partition {partition!r} has no lease to renew"
+                )
+            lease = replace(lease, granted_at_s=self.clock(), ttl_s=ttl_s)
+            self._leases[partition] = lease
+        self.observer.event(
+            LEASE_RENEWED,
+            partition=partition,
+            holder=lease.holder,
+            epoch=lease.epoch,
+            ttl_s=ttl_s,
+        )
+        self.observer.incr("fleet.leases_renewed")
+        return lease
+
     def current(self, partition: str) -> Optional[Lease]:
         with self._lock:
             return self._leases.get(partition)
@@ -218,9 +262,19 @@ class _Partition:
     name: str
     primary: str
     standby: Optional[str]
-    #: Every journal line ever shipped for this partition, in ship
-    #: order — the anti-entropy source a rejoining shard recovers from.
-    replog: List[str] = field(default_factory=list)
+    #: On-disk replication log: every journal line ever shipped for
+    #: this partition, in ship order — the anti-entropy source a
+    #: rejoining shard recovers from.  Disk-backed (append-only, the
+    #: same policy as the shards' own journals) so the supervisor's
+    #: memory footprint stays O(1) under sustained load.
+    replog_path: str = ""
+    replog_count: int = 0
+    #: Serialises this partition's promote/rejoin critical section;
+    #: failovers of unrelated partitions never queue behind each other.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Guards the replog file: ship() appends from the event-loop
+    #: thread while rejoin() snapshots it from an executor thread.
+    replog_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class ReplicatedCluster(FleetCluster):
@@ -252,8 +306,8 @@ class ReplicatedCluster(FleetCluster):
             observer=observer,
         )
         self._partitions: Dict[str, _Partition] = {}
-        self._failover_lock = threading.Lock()
         self.failovers = 0
+        self.failovers_coalesced = 0
         self.rejoins = 0
         self.ship_skipped = 0
         self.last_mttr_s = 0.0
@@ -310,8 +364,14 @@ class ReplicatedCluster(FleetCluster):
             standby = f"{partition}-b"
             self._spawn(primary, partition)
             self._spawn(standby, partition)
+            # _spawn resolved the journal dir; the replog lives beside
+            # the shard journals and is reaped with them on shutdown.
+            assert self._journal_dir is not None
             self._partitions[partition] = _Partition(
-                name=partition, primary=primary, standby=standby
+                name=partition,
+                primary=primary,
+                standby=standby,
+                replog_path=os.path.join(self._journal_dir, f"{partition}.replog"),
             )
             self.ring.add_shard(partition)
             self._grant(partition)
@@ -357,30 +417,42 @@ class ReplicatedCluster(FleetCluster):
         return self._handles.get(standby)
 
     def renew(self, partition: str) -> Lease:
-        """Re-grant the sitting primary's lease (epoch bump, fresh TTL).
+        """Heartbeat the sitting primary's lease: fresh TTL, same epoch.
 
-        Renewal *is* a grant: the supervisor bumps the epoch and both
-        replicas adopt it, so a renewed primary always answers with the
-        latest epoch and fencing stays monotone.
+        Only a holder-changing *grant* (start, failover) moves the
+        epoch; a renewal merely extends the TTL window, so replies the
+        primary already computed — or has queued — under its current
+        epoch are never fenced as stale by its own heartbeat.  The
+        shards' adopted epoch is unchanged, so no message is needed.
         """
-        return self._grant(partition)
+        if partition not in self._partitions:
+            raise MedSenError(f"no such partition {partition!r}")
+        return self.leases.renew(partition)
 
     # ------------------------------------------------------------------
-    def ship(self, partition: str, journal_entry: str):
+    def ship(self, partition: str, journal_entry: str, record: bool = True):
         """Ship one response's journal lines to the partition's standby.
 
-        The lines land in the supervisor's replication log first (the
-        durable anti-entropy source), then go to the live standby as a
-        :class:`~repro.fleet.messages.JournalShip`; the returned future
-        resolves with the standby's
+        The lines land in the supervisor's on-disk replication log
+        first (the durable anti-entropy source), then go to the live
+        standby as a :class:`~repro.fleet.messages.JournalShip`; the
+        returned future resolves with the standby's
         :class:`~repro.fleet.messages.ShipAck`.  With no live standby
         (mid-failover) the ship is counted as skipped and ``None`` is
         returned — the replog still has the lines, and the rejoin pass
-        reconciles them.
+        reconciles them.  ``record=False`` re-sends lines the replog
+        already holds (a front-door retry after a failed ship) without
+        appending them a second time — a duplicated replog line would
+        replay as a duplicate record on rejoin.
         """
         part = self._partitions[partition]
         lines = tuple(journal_entry.split("\n"))
-        part.replog.extend(lines)
+        if record:
+            with part.replog_lock:
+                with open(part.replog_path, "a", encoding="utf-8") as replog:
+                    for line in lines:
+                        replog.write(line + "\n")
+                part.replog_count += len(lines)
         handle = self.standby_handle(partition)
         if handle is None or not handle.alive:
             self.ship_skipped += 1
@@ -396,25 +468,57 @@ class ReplicatedCluster(FleetCluster):
         )
 
     # ------------------------------------------------------------------
-    def fail_over(self, partition: str) -> int:
-        """Promote the partition's standby; returns the new epoch.
+    def _coalesce(self, partition: str, epoch: int) -> int:
+        self.failovers_coalesced += 1
+        self.observer.incr("fleet.failovers_coalesced")
+        return epoch
+
+    def fail_over(
+        self, partition: str, observed_epoch: Optional[int] = None
+    ) -> int:
+        """Promote the partition's standby; returns the current epoch.
 
         Safe to call from any thread (the front door runs it in an
-        executor).  The promotion sequence is: wait out the old
-        primary's lease (it can no longer believe it holds the
-        partition), swap roles, grant the next epoch to the promoted
-        standby, and leave the old primary — dead or merely partitioned
-        — as an *unleased* ex-holder whose replies the front door
-        fences.  Concurrent callers for the same partition coalesce:
-        the second caller observes the already-bumped epoch and returns.
+        executor).  ``observed_epoch`` is the partition epoch the
+        caller saw when it witnessed the crash; concurrent *and
+        straggling* callers coalesce on it — if the epoch has already
+        advanced past what the caller observed, someone else promoted
+        in the meantime and the current epoch is returned without
+        touching roles (re-promoting here would demote the freshly
+        promoted primary, and could re-trust a partitioned stale one
+        with a newer epoch, defeating fencing).  Without an observed
+        epoch the guard falls back to observed state: a live primary
+        under an unexpired lease needs no failover.
+
+        The promotion sequence is: wait out the old primary's lease
+        (it can no longer believe it holds the partition), swap roles,
+        grant the next epoch to the promoted standby, and leave the
+        old primary — dead or merely partitioned — as an *unleased*
+        ex-holder whose replies the front door fences.  The critical
+        section is per-partition, so failovers of unrelated partitions
+        proceed in parallel.
         """
         start = self.clock()
-        with self._failover_lock:
+        try:
             part = self._partitions[partition]
-            lease = self.leases.current(partition)
-            if lease is not None and lease.holder != part.primary:
-                # Someone already promoted while we waited on the lock.
-                return lease.epoch
+        except KeyError:
+            raise MedSenError(f"no such partition {partition!r}") from None
+        with part.lock:
+            current_epoch = self.leases.epoch(partition)
+            if observed_epoch is not None and current_epoch > observed_epoch:
+                # The crash the caller saw predates a promotion that
+                # already happened — its failover is already done.
+                return self._coalesce(partition, current_epoch)
+            if observed_epoch is None:
+                primary = self._handles.get(part.primary)
+                if (
+                    primary is not None
+                    and primary.alive
+                    and not self.leases.expired(partition)
+                ):
+                    # The sitting primary is live and still leased:
+                    # nothing to fail over from.
+                    return self._coalesce(partition, current_epoch)
             standby = self.standby_handle(partition)
             if standby is None or not standby.alive:
                 raise MedSenError(
@@ -462,8 +566,11 @@ class ReplicatedCluster(FleetCluster):
         holding epoch 0 (useful to demonstrate fencing of a rejoined
         stale primary).
         """
-        with self._failover_lock:
+        try:
             part = self._partitions[partition]
+        except KeyError:
+            raise MedSenError(f"no such partition {partition!r}") from None
+        with part.lock:
             shard_id = part.standby
             if shard_id is None:
                 raise MedSenError(f"partition {partition!r} has no shard to rejoin")
@@ -472,9 +579,14 @@ class ReplicatedCluster(FleetCluster):
                 old.kill()
             spec = self._replica_spec(shard_id, partition)
             assert spec.journal_path is not None
-            with open(spec.journal_path, "w", encoding="utf-8") as handle_file:
-                for line in part.replog:
-                    handle_file.write(line + "\n")
+            with part.replog_lock:
+                # Snapshot the shipped history atomically w.r.t.
+                # concurrent ships: the rejoined journal is a clean
+                # prefix of the replog, never a torn interleaving.
+                if os.path.exists(part.replog_path):
+                    shutil.copyfile(part.replog_path, spec.journal_path)
+                else:
+                    open(spec.journal_path, "w", encoding="utf-8").close()
             handle = self._spawn(shard_id, partition)
         reenrolled = self._reenroll(shard_id)
         if grant_lease:
@@ -495,7 +607,7 @@ class ReplicatedCluster(FleetCluster):
             partition=partition,
             shard=shard_id,
             reenrolled=reenrolled,
-            replog_lines=len(self._partitions[partition].replog),
+            replog_lines=part.replog_count,
         )
         self.observer.incr("fleet.rejoins")
         return handle
@@ -515,4 +627,9 @@ class ReplicatedCluster(FleetCluster):
 
     def replog_lines(self, partition: str) -> Tuple[str, ...]:
         """The partition's shipped journal history (drill introspection)."""
-        return tuple(self._partitions[partition].replog)
+        part = self._partitions[partition]
+        with part.replog_lock:
+            if not os.path.exists(part.replog_path):
+                return ()
+            with open(part.replog_path, "r", encoding="utf-8") as replog:
+                return tuple(replog.read().splitlines())

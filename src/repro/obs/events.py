@@ -77,12 +77,14 @@ FLEET_SHED = "fleet.load_shed"
 # Replicated partitions and lease-fenced failover (repro.fleet.replication;
 # see docs/replication.md).
 LEASE_GRANTED = "fleet.lease_granted"
+LEASE_RENEWED = "fleet.lease_renewed"
 LEASE_EXPIRED = "fleet.lease_expired"
 REPLICA_PROMOTED = "fleet.replica_promoted"
 REPLICA_REJOINED = "fleet.replica_rejoined"
 EPOCH_FENCED = "fleet.epoch_fenced"
 HANDOFF_QUEUED = "fleet.handoff_queued"
 HANDOFF_SHED = "fleet.handoff_shed"
+DEGRADED_ACK = "fleet.degraded_ack"
 
 # Streaming session lane (repro.stream; see docs/streaming.md).
 STREAM_SESSION_OPENED = "stream.session_opened"
@@ -138,12 +140,14 @@ KNOWN_KINDS = frozenset(
         SHARD_RECOVERED,
         FLEET_SHED,
         LEASE_GRANTED,
+        LEASE_RENEWED,
         LEASE_EXPIRED,
         REPLICA_PROMOTED,
         REPLICA_REJOINED,
         EPOCH_FENCED,
         HANDOFF_QUEUED,
         HANDOFF_SHED,
+        DEGRADED_ACK,
         STREAM_SESSION_OPENED,
         STREAM_SESSION_RESUMED,
         STREAM_SESSION_SUSPENDED,

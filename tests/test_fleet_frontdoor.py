@@ -102,6 +102,57 @@ class StubCluster:
         self.registered[tenant_id] = identifier
 
 
+class ReplicatedStubCluster(StubCluster):
+    """Replication-lane double: one partition, scriptable ship futures."""
+
+    replicated = True
+
+    def __init__(self, max_inflight=2):
+        super().__init__(max_inflight=max_inflight)
+        from repro.fleet.replication import ReplicationConfig
+
+        self.replication = ReplicationConfig()
+        self.epoch = 1
+        self.ships = []  # (journal_entry, record, future)
+        self.standby_down = False
+
+    def partition_of(self, tenant_id):
+        return "part-00"
+
+    def partition_epoch(self, partition):
+        return self.epoch
+
+    def is_stale(self, partition, epoch):
+        return epoch < self.epoch
+
+    def standby_id(self, partition):
+        return "part-00-b"
+
+    def ship(self, partition, journal_entry, record=True):
+        if self.standby_down:
+            return None
+        future = Future()
+        self.ships.append((journal_entry, record, future))
+        return future
+
+    def resolve_primary(self, *, journal_entry="journal-line"):
+        for message, future in self.handle.pending:
+            future.set_result(
+                SubmitResponse(
+                    shard_id=self.handle.shard_id,
+                    tenant_id=message.tenant_id,
+                    tenant_sequence=message.tenant_sequence,
+                    ok=True,
+                    outcome=make_outcome(
+                        message.tenant_id, message.tenant_sequence
+                    ),
+                    epoch=self.epoch,
+                    journal_entry=journal_entry,
+                )
+            )
+        self.handle.pending = []
+
+
 async def settle():
     """Let submit coroutines run up to their awaits."""
     for _ in range(5):
@@ -250,6 +301,81 @@ class TestSequencesAndFailures:
             with pytest.raises(ShardCrashedError):
                 await task
             assert door.failed == 1
+
+        asyncio.run(scenario())
+
+    def test_unacked_ship_retries_once_then_fails_the_submit(self):
+        async def scenario():
+            from repro.fleet.messages import ShipAck
+
+            cluster = ReplicatedStubCluster()
+            door = AsyncFrontDoor(cluster)
+            task = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.resolve_primary()
+            await settle()
+            # First ship crashes; the front door must retry without
+            # re-recording the lines in the replication log.
+            (entry, record, future), = cluster.ships
+            assert record is True
+            future.set_exception(ShardCrashedError("standby died"))
+            await settle()
+            assert len(cluster.ships) == 2
+            retry_entry, retry_record, retry_future = cluster.ships[1]
+            assert retry_entry == entry and retry_record is False
+            # The retry acks: the record is on two processes, so the
+            # client is acknowledged (never before).
+            retry_future.set_result(
+                ShipAck(
+                    shard_id="part-00-b",
+                    partition="part-00",
+                    applied=1,
+                    duplicates=0,
+                    quarantined=0,
+                    store_records=1,
+                )
+            )
+            outcome = await task
+            assert isinstance(outcome, SessionOutcome)
+            assert door.completed == 1 and door.degraded_acks == 0
+
+        asyncio.run(scenario())
+
+    def test_twice_unacked_ship_fails_the_submit_typed(self):
+        async def scenario():
+            cluster = ReplicatedStubCluster()
+            door = AsyncFrontDoor(cluster)
+            task = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.resolve_primary()
+            await settle()
+            cluster.ships[0][2].set_exception(ShardCrashedError("standby died"))
+            await settle()
+            cluster.ships[1][2].set_exception(ShardCrashedError("still dead"))
+            # Single-copy durability must not be acked as a result: the
+            # submit fails with typed replication provenance instead.
+            with pytest.raises(FleetRequestFailedError) as info:
+                await task
+            assert info.value.error_type == "ReplicationFailed"
+            assert info.value.shard_id == "part-00-b"
+            assert door.failed == 1 and door.completed == 0
+
+        asyncio.run(scenario())
+
+    def test_no_live_standby_ack_is_surfaced_as_degraded(self):
+        async def scenario():
+            cluster = ReplicatedStubCluster()
+            cluster.standby_down = True
+            door = AsyncFrontDoor(cluster)
+            task = asyncio.ensure_future(door.submit("tenant-00", object(), object()))
+            await settle()
+            cluster.resolve_primary()
+            outcome = await task
+            # Mid-failover there is no standby to ship to: the ack goes
+            # through (the replog holds the lines) but the degraded
+            # durability window is counted, never silent.
+            assert isinstance(outcome, SessionOutcome)
+            assert door.degraded_acks == 1
 
         asyncio.run(scenario())
 

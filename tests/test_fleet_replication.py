@@ -82,6 +82,29 @@ class TestLeaseTable:
         assert table.expired("part-99")
         assert table.current("part-99") is None
 
+    def test_renew_keeps_the_epoch_and_refreshes_the_ttl(self):
+        table, clock = self.make(ttl=2.0)
+        granted = table.grant("part-00", "part-00-a")
+        clock.advance(1.5)
+        renewed = table.renew("part-00")
+        # Same epoch, same holder, fresh window: the heartbeat never
+        # fences the heartbeater's own in-flight replies.
+        assert renewed.epoch == granted.epoch == 1
+        assert renewed.holder == "part-00-a"
+        assert renewed.remaining_s(clock()) == 2.0
+        assert table.epoch("part-00") == 1
+        assert not table.is_stale("part-00", granted.epoch)
+        clock.advance(1.5)
+        assert not table.expired("part-00")  # old window would have lapsed
+
+    def test_renew_without_a_lease_refused(self):
+        table, _ = self.make()
+        with pytest.raises(MedSenError):
+            table.renew("part-99")
+        table.grant("part-00", "part-00-a")
+        with pytest.raises(ConfigurationError):
+            table.renew("part-00", ttl_s=0.0)
+
     def test_wait_lapse_waits_out_the_remaining_ttl(self):
         table = LeaseTable(default_ttl_s=0.05)  # real monotonic clock
         table.grant("part-00", "part-00-a")
@@ -122,32 +145,83 @@ class TestReplicatedClusterLifecycle:
             # The ring routes tenants to the partition's primary.
             assert cluster.partition_of("clinic-00") == "part-00"
             assert cluster.handle_for("clinic-00").shard_id == "part-00-a"
-            # Renewal *is* a grant: the epoch bumps, both replicas adopt.
+            # Renewal is a heartbeat, not a grant: fresh TTL, same
+            # epoch — in-flight replies are never fenced by it.
             lease = cluster.renew("part-00")
-            assert lease.epoch == 2
-            assert cluster.health()["part-00-b"].epoch == 2
+            assert lease.epoch == 1
+            assert cluster.partition_epoch("part-00") == 1
+            assert cluster.health()["part-00-b"].epoch == 1
             # SIGKILL the primary; promotion waits out the live lease.
             cluster.kill("part-00-a")
             epoch = cluster.fail_over("part-00")
-            assert epoch == 3
+            assert epoch == 2
             assert cluster.primary_id("part-00") == "part-00-b"
-            assert cluster.is_stale("part-00", 2)
-            assert not cluster.is_stale("part-00", 3)
+            assert cluster.is_stale("part-00", 1)
+            assert not cluster.is_stale("part-00", 2)
             assert cluster.health()["part-00-b"].role == "primary"
             # Anti-entropy rejoin respawns the ex-primary as standby at
             # the current epoch.
             cluster.rejoin("part-00")
             healths = cluster.health()
             assert healths["part-00-a"].role == "standby"
-            assert healths["part-00-a"].epoch == 3
+            assert healths["part-00-a"].epoch == 2
             assert cluster.failovers == 1
             assert cluster.rejoins == 1
 
     def test_fail_over_requires_a_live_standby(self):
         with replicated_cluster() as cluster:
             cluster.kill("part-00-b")
+            cluster.kill("part-00-a")
             with pytest.raises(MedSenError, match="no live standby"):
                 cluster.fail_over("part-00")
+
+    def test_fail_over_of_a_live_leased_primary_coalesces(self):
+        with replicated_cluster(lease_ttl_s=30.0) as cluster:
+            # Both replicas healthy, lease fresh: there is nothing to
+            # fail over from, so the call is a no-op at the same epoch.
+            assert cluster.fail_over("part-00") == 1
+            assert cluster.failovers == 0
+            assert cluster.failovers_coalesced == 1
+            assert cluster.primary_id("part-00") == "part-00-a"
+
+    def test_straggling_fail_over_coalesces_on_observed_epoch(self):
+        with replicated_cluster(lease_ttl_s=0.3) as cluster:
+            observed = cluster.partition_epoch("part-00")
+            cluster.kill("part-00-a")
+            assert cluster.fail_over("part-00", observed_epoch=observed) == 2
+            assert cluster.failovers == 1
+            # A straggling crash report that observed the pre-promotion
+            # epoch must NOT demote the freshly promoted primary (its
+            # ex-primary standby is dead — re-promoting would fail a
+            # request the live primary could serve).
+            assert cluster.fail_over("part-00", observed_epoch=observed) == 2
+            assert cluster.failovers == 1
+            assert cluster.failovers_coalesced == 1
+            assert cluster.primary_id("part-00") == "part-00-b"
+            # Without an observed epoch, a live primary under an
+            # unexpired lease is equally nothing to fail over from.
+            cluster.renew("part-00")
+            assert cluster.fail_over("part-00") == 2
+            assert cluster.failovers == 1
+            assert cluster.failovers_coalesced == 2
+
+    def test_replog_is_disk_backed_and_retries_do_not_duplicate(self):
+        with replicated_cluster() as cluster:
+            part = cluster._partitions["part-00"]
+            assert part.replog_path.endswith("part-00.replog")
+            assert cluster.replog_lines("part-00") == ()
+            # A garbage line still lands in the replog (ship order is
+            # the anti-entropy history) and the standby quarantines it.
+            future = cluster.ship("part-00", "not-a-journal-line")
+            ack = future.result(timeout=5.0)
+            assert ack.quarantined == 1
+            assert cluster.replog_lines("part-00") == ("not-a-journal-line",)
+            assert part.replog_count == 1
+            # A front-door retry re-sends without re-recording.
+            retry = cluster.ship("part-00", "not-a-journal-line", record=False)
+            retry.result(timeout=5.0)
+            assert cluster.replog_lines("part-00") == ("not-a-journal-line",)
+            assert part.replog_count == 1
 
     def test_unknown_partition_refused(self):
         with replicated_cluster() as cluster:
