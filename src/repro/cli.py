@@ -62,6 +62,7 @@ import sys
 from typing import List, Optional
 
 from repro._util.errors import MedSenError
+from repro.telemetry.bench import DEFAULT_AREAS as _BENCH_DEFAULT_AREAS
 
 
 def _run_instrumented_session(seed: int, duration_s: float, concentration: float):
@@ -812,7 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark trajectory; write BENCH_<area>.json"
     )
     bench.add_argument("--areas", type=str, nargs="*",
-                       default=["throughput", "end_to_end", "scaling", "failover"],
+                       default=list(_BENCH_DEFAULT_AREAS),
                        help="bench areas (bench_<area>.py with a collect())")
     bench.add_argument("--quick", action="store_true",
                        help="reduced workloads (CI)")

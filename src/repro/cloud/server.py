@@ -253,9 +253,11 @@ class AnalysisServer:
         )
 
     def analyze_batch(self, traces: Sequence[AcquiredTrace]) -> List[PeakReport]:
-        """Analyse several traces in one vectorised pass.
+        """Analyse several traces in one fused columnar pass.
 
-        Same-shape traces are stacked and detrended together
+        Same-shape traces are stacked into a columnar
+        :class:`~repro.dsp.fused.TraceBatch` and carried through
+        detrend → invert → threshold → measure in one pass
         (:meth:`PeakDetector.detect_batch`), amortising the window
         bookkeeping across the whole batch; reports are bit-identical
         to calling :meth:`analyze` per trace.  Per-job accounting

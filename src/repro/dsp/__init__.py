@@ -18,15 +18,29 @@ can legitimately do is here:
 * :mod:`~repro.dsp.windowed` — chunked windowed detrend + peak
   detection with explicit carry-over state, bit-identical to the
   one-shot path (the streaming workload's DSP core).
+* :mod:`~repro.dsp.fused` — the columnar :class:`TraceBatch` layout
+  and the fused detrend → invert → threshold → measure pass that
+  :meth:`PeakDetector.detect`/:meth:`~PeakDetector.detect_batch` run
+  on (see ``docs/dsp.md``; proven bit-identical to the staged
+  formulation by ``tests/test_dsp_fused_differential.py``).
 """
 
 from repro.dsp.detrend import (
     DetrendConfig,
+    fit_baseline_rows,
     global_polynomial_detrend,
     piecewise_polynomial_detrend,
 )
 from repro.dsp.features import FeatureExtractor, PeakFeatures
 from repro.dsp.peakdetect import DetectedPeak, PeakDetector, PeakReport
+from repro.dsp.fused import (
+    TraceBatch,
+    fused_detect,
+    fused_detect_batch,
+    fused_detect_many,
+    fused_dips,
+    partition_traces,
+)
 from repro.dsp.recording import CsvRecordingModel, compressed_size_bytes
 from repro.dsp.streaming import StreamingPeakDetector
 from repro.dsp.windowed import (
@@ -41,6 +55,7 @@ __all__ = [
     "ExactPeakStream",
     "WindowedPeakDetector",
     "DetrendConfig",
+    "fit_baseline_rows",
     "global_polynomial_detrend",
     "piecewise_polynomial_detrend",
     "FeatureExtractor",
@@ -48,6 +63,12 @@ __all__ = [
     "DetectedPeak",
     "PeakDetector",
     "PeakReport",
+    "TraceBatch",
+    "fused_detect",
+    "fused_detect_batch",
+    "fused_detect_many",
+    "fused_dips",
+    "partition_traces",
     "CsvRecordingModel",
     "compressed_size_bytes",
 ]

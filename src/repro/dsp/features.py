@@ -88,21 +88,43 @@ class FeatureExtractor:
     # ------------------------------------------------------------------
     def features_for_peak(self, peak: DetectedPeak) -> PeakFeatures:
         """Feature vector of a single detected peak."""
+        self._check_channels(peak)
+        vector = peak.amplitudes[list(self._channel_indices)]
+        return PeakFeatures(time_s=peak.time_s, vector=vector, width_s=peak.width_s)
+
+    def _check_channels(self, peak: DetectedPeak) -> None:
         for channel in self._channel_indices:
             if channel >= peak.amplitudes.shape[0]:
                 raise ConfigurationError(
                     f"peak has {peak.amplitudes.shape[0]} channels, "
                     f"feature needs channel {channel}"
                 )
-        vector = peak.amplitudes[list(self._channel_indices)]
-        return PeakFeatures(time_s=peak.time_s, vector=vector, width_s=peak.width_s)
+
+    def _amplitude_matrix(self, report: PeakReport) -> np.ndarray:
+        """One ``(n_peaks, n_features)`` gather across the whole report.
+
+        Stacking every peak's amplitude vector and selecting the
+        feature channels as a single fancy-index replaces the old
+        peak-at-a-time loop; each output row is the same elements the
+        per-peak ``amplitudes[channels]`` gather would copy.
+        """
+        for peak in report.peaks:
+            self._check_channels(peak)
+        stacked = np.stack([peak.amplitudes for peak in report.peaks])
+        return stacked[:, list(self._channel_indices)]
 
     def features_for_report(self, report: PeakReport) -> List[PeakFeatures]:
         """Feature vectors for every peak in a report."""
-        return [self.features_for_peak(peak) for peak in report.peaks]
+        if not report.peaks:
+            return []
+        matrix = self._amplitude_matrix(report)
+        return [
+            PeakFeatures(time_s=peak.time_s, vector=matrix[row], width_s=peak.width_s)
+            for row, peak in enumerate(report.peaks)
+        ]
 
     def feature_matrix(self, report: PeakReport) -> np.ndarray:
         """(n_peaks, n_features) matrix for vectorised classification."""
         if not report.peaks:
             return np.empty((0, self.n_features))
-        return np.vstack([self.features_for_peak(p).vector for p in report.peaks])
+        return self._amplitude_matrix(report)

@@ -1,0 +1,377 @@
+"""Fused columnar DSP hot path (the Fig 14 bottleneck, vectorised).
+
+The staged pipeline the paper describes — lock-in demod output →
+piecewise detrend → ``1 - x`` → threshold → per-peak measurement —
+historically ran stage-at-a-time over per-object traces, materialising
+a fresh array at every stage and measuring each detected peak in a
+Python loop.  This module is the same pipeline as *one fused pass over
+a columnar batch*:
+
+* :class:`TraceBatch` — traces of one shape stacked into a single
+  contiguous ``(n_traces * n_channels, n_samples)`` matrix.  Per-trace
+  rows, and the per-channel "column" across the batch, are zero-copy
+  views; nothing is re-packed downstream.
+* :func:`fused_detect_batch` — detrend, invert, threshold and measure
+  the whole batch while materialising exactly one ``(rows, samples)``
+  dips buffer: the detrend blend accumulates into the output buffer,
+  the normalisation and ``1 - x`` inversion run in place on it, and
+  per-peak depth/width/amplitude measurement is replaced by
+  vectorised :func:`scipy.signal.peak_widths` plus one clipped
+  window-max gather per trace (no per-peak Python loop).
+* :func:`fused_detect` / :func:`fused_detect_many` — the single-trace
+  hot path and the mixed-shape front door used by
+  :meth:`~repro.dsp.peakdetect.PeakDetector.detect` /
+  :meth:`~repro.dsp.peakdetect.PeakDetector.detect_batch`, and
+  therefore by the serving batcher, the windowed streaming tier and
+  the sharded fleet.
+
+Bit-identity contract
+---------------------
+
+The fused pass must be *exactly* equal — same ``PeakReport`` tuples,
+bit-identical amplitudes — to the retained staged pipeline
+(:func:`~repro.dsp.detrend.piecewise_polynomial_detrend_rows` followed
+by :meth:`~repro.dsp.peakdetect.PeakDetector._report_from_dips`).
+That holds by construction:
+
+* both paths fit window baselines with the shared, per-row-independent
+  :func:`~repro.dsp.detrend.fit_baseline_rows` kernel;
+* the fused blend applies the same elementwise ufuncs to the same
+  operands, merely writing into a pre-allocated buffer instead of
+  allocating per stage (IEEE elementwise results do not depend on the
+  destination);
+* the window-max amplitude gather clamps its index window to the trace
+  edges, so each peak's gathered multiset equals the staged slice's
+  (duplicated edge samples cannot change a max).
+
+``tests/test_dsp_fused_differential.py`` enforces the contract against
+the staged oracle (``tests/_dsp_oracle.py``) over seeded trace
+families and hypothesis-generated shapes; ``benchmarks/bench_dsp.py``
+records the speedup in the ``BENCH_dsp.json`` trajectory.
+"""
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro._util.validation import check_positive
+from repro.dsp.detrend import DetrendConfig, fit_baseline_rows
+from repro.dsp.peakdetect import DetectedPeak, PeakReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.dsp.peakdetect import PeakDetector
+
+__all__ = [
+    "TraceBatch",
+    "fused_detect",
+    "fused_detect_batch",
+    "fused_detect_many",
+    "fused_dips",
+    "partition_traces",
+]
+
+#: Per-length cache of the triangular blend taper (values identical to
+#: the staged path's per-window recomputation).
+_TAPER_CACHE: Dict[int, np.ndarray] = {}
+_TAPER_CACHE_MAX = 128
+
+
+def _taper(length: int) -> np.ndarray:
+    taper = _TAPER_CACHE.get(length)
+    if taper is None:
+        taper = np.minimum(
+            np.arange(1, length + 1), np.arange(length, 0, -1)
+        ).astype(float)
+        if len(_TAPER_CACHE) >= _TAPER_CACHE_MAX:
+            _TAPER_CACHE.pop(next(iter(_TAPER_CACHE)))
+        _TAPER_CACHE[length] = taper
+    return taper
+
+
+@dataclass(frozen=True)
+class TraceBatch:
+    """A shape-homogeneous batch in columnar layout.
+
+    ``data`` holds every trace's channels stacked trace-major into one
+    contiguous ``(n_traces * n_channels, n_samples)`` matrix; trace
+    ``i`` occupies rows ``[i * n_channels, (i + 1) * n_channels)``.
+    All accessors are zero-copy views into that one allocation.
+    """
+
+    data: np.ndarray
+    n_traces: int
+    n_channels: int
+    sampling_rate_hz: float
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data, dtype=float)
+        if not data.flags.c_contiguous:
+            data = np.ascontiguousarray(data)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if self.n_traces < 0 or self.n_channels < 1:
+            raise ValueError(
+                f"bad batch geometry: {self.n_traces} traces x "
+                f"{self.n_channels} channels"
+            )
+        if data.shape[0] != self.n_traces * self.n_channels:
+            raise ValueError(
+                f"data has {data.shape[0]} rows, expected "
+                f"{self.n_traces} traces x {self.n_channels} channels"
+            )
+        check_positive("sampling_rate_hz", self.sampling_rate_hz)
+        object.__setattr__(self, "data", data)
+
+    @classmethod
+    def from_traces(
+        cls, traces: Sequence[np.ndarray], sampling_rate_hz: float
+    ) -> "TraceBatch":
+        """Stack ``(n_channels, n_samples)`` traces of one shape."""
+        if not traces:
+            raise ValueError("from_traces needs at least one trace")
+        first = np.asarray(traces[0], dtype=float)
+        if first.ndim != 2:
+            raise ValueError(f"traces must be 2-D, got shape {first.shape}")
+        for trace in traces[1:]:
+            if np.asarray(trace).shape != first.shape:
+                raise ValueError(
+                    f"mixed shapes in one batch: {np.asarray(trace).shape} "
+                    f"vs {first.shape}; use partition_traces"
+                )
+        if len(traces) == 1:
+            data = first
+        else:
+            data = np.concatenate(
+                [np.asarray(trace, dtype=float) for trace in traces], axis=0
+            )
+        return cls(
+            data=data,
+            n_traces=len(traces),
+            n_channels=first.shape[0],
+            sampling_rate_hz=float(sampling_rate_hz),
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return self.data.shape[1]
+
+    def trace(self, index: int) -> np.ndarray:
+        """Zero-copy ``(n_channels, n_samples)`` view of one trace."""
+        if not 0 <= index < self.n_traces:
+            raise IndexError(f"trace {index} out of range for {self.n_traces}")
+        lo = index * self.n_channels
+        return self.data[lo : lo + self.n_channels]
+
+    def channel_rows(self, channel: int) -> np.ndarray:
+        """Zero-copy ``(n_traces, n_samples)`` view of one channel."""
+        if not 0 <= channel < self.n_channels:
+            raise IndexError(
+                f"channel {channel} out of range for {self.n_channels}"
+            )
+        return self.data[channel :: self.n_channels]
+
+
+def partition_traces(
+    traces: Sequence[np.ndarray], sampling_rates_hz: Sequence[float]
+) -> List[Tuple[TraceBatch, List[int]]]:
+    """Group mixed-shape traces into columnar batches.
+
+    Traces sharing ``(n_channels, n_samples, rate)`` are stacked into
+    one :class:`TraceBatch`; each group carries the input positions of
+    its members so callers can reassemble results in submission order.
+    Groups appear in order of first member.
+    """
+    if len(traces) != len(sampling_rates_hz):
+        raise ValueError(
+            f"{len(traces)} traces but {len(sampling_rates_hz)} sampling rates"
+        )
+    groups: Dict[Tuple[int, int, float], List[int]] = {}
+    arrays = [np.asarray(trace, dtype=float) for trace in traces]
+    for position, (trace, rate) in enumerate(zip(arrays, sampling_rates_hz)):
+        if trace.ndim != 2:
+            raise ValueError(
+                f"trace {position} must be 2-D (channels, samples), "
+                f"got {trace.shape}"
+            )
+        groups.setdefault((*trace.shape, float(rate)), []).append(position)
+    return [
+        (
+            TraceBatch.from_traces([arrays[p] for p in members], rate),
+            members,
+        )
+        for (_, _, rate), members in groups.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fused pass
+# ---------------------------------------------------------------------------
+def fused_dips(
+    data: np.ndarray, sampling_rate_hz: float, config: DetrendConfig
+) -> np.ndarray:
+    """Detrend + invert every row into one buffer (``1 - detrended``).
+
+    Identical arithmetic to the staged
+    ``1.0 - piecewise_polynomial_detrend_rows(...)`` — the same
+    baseline fits, taper blend, normalisation and inversion — but the
+    blend accumulates directly into the returned buffer and the final
+    two stages run in place on it, so the whole detrend→invert chain
+    materialises exactly one ``(rows, samples)`` array.
+    """
+    data = np.asarray(data, dtype=float)
+    check_positive("sampling_rate_hz", sampling_rate_hz)
+    n_rows, n = data.shape
+    if n == 0 or n_rows == 0:
+        return 1.0 - data.copy()
+    window = max(
+        int(round(config.window_s * sampling_rate_hz)), config.order + 2
+    )
+    window = min(window, n)
+    step = max(int(round(window * (1.0 - config.overlap_fraction))), 1)
+
+    dips = np.zeros((n_rows, n))
+    weights = np.zeros(n)
+    start = 0
+    while True:
+        stop = min(start + window, n)
+        segments = data[:, start:stop]
+        baselines = fit_baseline_rows(segments, config.order)
+        safe = np.where(np.abs(baselines) > 1e-12, baselines, 1e-12)
+        detrended = segments / safe
+        taper = _taper(stop - start)
+        np.multiply(detrended, taper, out=detrended)
+        dips[:, start:stop] += detrended
+        weights[start:stop] += taper
+        if stop >= n:
+            break
+        start += step
+    np.divide(dips, weights, out=dips)
+    np.subtract(1.0, dips, out=dips)
+    return dips
+
+
+def _empty_report(sampling_rate_hz: float, detection_channel: int) -> PeakReport:
+    return PeakReport((), 0.0, sampling_rate_hz, detection_channel)
+
+
+def _measure_trace(
+    dips: np.ndarray,
+    sampling_rate_hz: float,
+    depth_threshold: float,
+    distance: int,
+    detection_channel: int,
+) -> PeakReport:
+    """Threshold one trace's dips and measure every peak, vectorised.
+
+    Mirrors :meth:`PeakDetector._report_from_dips` exactly, with the
+    per-peak Python loop replaced by one clipped window-max gather:
+    peak ``p``'s staged amplitude is ``dips[:, max(p-h,0):min(p+h+1,n)]
+    .max(axis=1)``; gathering ``clip(p-h .. p+h, 0, n-1)`` instead
+    yields the same multiset per channel (edge clamping only repeats
+    samples), hence a bit-identical max.
+    """
+    n_samples = dips.shape[1]
+    duration_s = n_samples / sampling_rate_hz
+    detection = dips[detection_channel]
+    indices, properties = sp_signal.find_peaks(
+        detection, height=depth_threshold, distance=distance
+    )
+    if indices.size == 0:
+        return PeakReport((), duration_s, sampling_rate_hz, detection_channel)
+    widths_samples = sp_signal.peak_widths(detection, indices, rel_height=0.5)[0]
+    half_window = max(distance // 2, 1)
+    offsets = np.arange(-half_window, half_window + 1)[:, np.newaxis]
+    gather = np.clip(indices[np.newaxis, :] + offsets, 0, n_samples - 1)
+    # (n_channels, window, n_peaks) -> max over the window axis.
+    amplitudes = dips[:, gather].max(axis=1)
+    times_s = indices / sampling_rate_hz
+    widths_s = widths_samples / sampling_rate_hz
+    heights = properties["peak_heights"]
+    peaks = tuple(
+        DetectedPeak(
+            time_s=times_s[j],
+            depth=float(heights[j]),
+            width_s=float(widths_s[j]),
+            amplitudes=amplitudes[:, j].copy(),
+            sample_index=int(indices[j]),
+        )
+        for j in range(indices.shape[0])
+    )
+    return PeakReport(peaks, duration_s, sampling_rate_hz, detection_channel)
+
+
+def fused_detect_batch(
+    detector: "PeakDetector", batch: TraceBatch
+) -> List[PeakReport]:
+    """One fused pass over a columnar batch; reports in batch order.
+
+    Bit-identical to running the staged pipeline on each trace alone
+    (see the module docstring for why), which is the guarantee the
+    serving batcher, the windowed streaming tier and the sharded fleet
+    all inherit.
+    """
+    if detector.detection_channel >= batch.n_channels:
+        raise ValueError(
+            f"detection_channel {detector.detection_channel} out of range "
+            f"for {batch.n_channels}-channel batch"
+        )
+    if batch.n_samples == 0:
+        return [
+            _empty_report(batch.sampling_rate_hz, detector.detection_channel)
+            for _ in range(batch.n_traces)
+        ]
+    dips = fused_dips(batch.data, batch.sampling_rate_hz, detector.detrend)
+    distance = max(
+        int(round(detector.min_separation_s * batch.sampling_rate_hz)), 1
+    )
+    reports = []
+    for index in range(batch.n_traces):
+        lo = index * batch.n_channels
+        reports.append(
+            _measure_trace(
+                dips[lo : lo + batch.n_channels],
+                batch.sampling_rate_hz,
+                detector.depth_threshold,
+                distance,
+                detector.detection_channel,
+            )
+        )
+    return reports
+
+
+def fused_detect(
+    detector: "PeakDetector", trace: np.ndarray, sampling_rate_hz: float
+) -> PeakReport:
+    """Single-trace hot path: a one-trace columnar batch, one pass."""
+    trace = np.asarray(trace, dtype=float)
+    batch = TraceBatch(
+        data=trace,
+        n_traces=1,
+        n_channels=trace.shape[0],
+        sampling_rate_hz=float(sampling_rate_hz),
+    )
+    return fused_detect_batch(detector, batch)[0]
+
+
+def fused_detect_many(
+    detector: "PeakDetector",
+    traces: Sequence[np.ndarray],
+    sampling_rates_hz: Sequence[float],
+) -> List[PeakReport]:
+    """Mixed-shape batch front door: partition, fuse, reassemble.
+
+    Results come back in submission order regardless of how the shape
+    groups interleave; every position is filled exactly once (no
+    placeholder sentinels anywhere in the assembly).
+    """
+    ordered: Dict[int, PeakReport] = {}
+    for batch, positions in partition_traces(traces, sampling_rates_hz):
+        for report, position in zip(fused_detect_batch(detector, batch), positions):
+            ordered[position] = report
+    if len(ordered) != len(traces):
+        raise AssertionError(
+            f"assembled {len(ordered)} reports for {len(traces)} traces"
+        )
+    return [ordered[position] for position in range(len(traces))]

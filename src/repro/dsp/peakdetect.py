@@ -7,16 +7,22 @@ channel, form ``1 - detrended`` (dips become positive peaks), and apply
 separation.  Each detected peak records its timestamp, depth, FWHM and
 its per-carrier amplitude vector, which is everything the decryptor and
 the authentication classifier consume.
+
+:meth:`PeakDetector.detect` and :meth:`PeakDetector.detect_batch` run
+on the fused columnar pass in :mod:`repro.dsp.fused`; the staged
+formulation is retained here (:meth:`PeakDetector._report_from_dips`)
+as the differential-test oracle (``tests/_dsp_oracle.py``) and for the
+stage profiler, which needs per-stage boundaries to time.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import signal as sp_signal
 
 from repro._util.validation import check_positive
-from repro.dsp.detrend import DetrendConfig, piecewise_polynomial_detrend_rows
+from repro.dsp.detrend import DetrendConfig
 
 
 @dataclass(frozen=True)
@@ -103,32 +109,30 @@ class PeakDetector:
 
     # ------------------------------------------------------------------
     def detect(self, trace: np.ndarray, sampling_rate_hz: float) -> PeakReport:
-        """Find peaks in a ``(n_channels, n_samples)`` voltage trace."""
+        """Find peaks in a ``(n_channels, n_samples)`` voltage trace.
+
+        Runs the fused columnar pass (:func:`repro.dsp.fused.fused_detect`),
+        which is bit-identical to the staged detrend → ``1 - x`` →
+        :meth:`_report_from_dips` formulation it replaced.
+        """
         trace = self._validate(trace, sampling_rate_hz)
-        n_samples = trace.shape[1]
-        if n_samples == 0:
-            return PeakReport(
-                (), 0.0, sampling_rate_hz, self.detection_channel
-            )
-        dips = 1.0 - piecewise_polynomial_detrend_rows(
-            trace, sampling_rate_hz, self.detrend
-        )
-        return self._report_from_dips(dips, sampling_rate_hz)
+        return _fused.fused_detect(self, trace, sampling_rate_hz)
 
     def detect_batch(
         self,
         traces: Sequence[np.ndarray],
         sampling_rates_hz: Union[float, Sequence[float]],
     ) -> List[PeakReport]:
-        """Find peaks in many traces with one vectorised detrend pass.
+        """Find peaks in many traces with one fused columnar pass.
 
-        Traces sharing a shape and sampling rate are stacked into a
-        single ``(batch * channels, samples)`` matrix and detrended
-        together (:func:`piecewise_polynomial_detrend_rows`), amortising
-        the window bookkeeping over the whole batch; thresholding then
-        runs per trace.  Reports come back in input order and are
-        bit-identical to calling :meth:`detect` on each trace alone —
-        the serving stack's batcher depends on that equivalence.
+        Traces sharing a shape and sampling rate are stacked into one
+        columnar :class:`~repro.dsp.fused.TraceBatch` and carried
+        through detrend → ``1 - x`` → threshold → measurement in a
+        single pass (:func:`repro.dsp.fused.fused_detect_many`),
+        amortising the window bookkeeping over the whole batch.
+        Reports come back in input order and are bit-identical to
+        calling :meth:`detect` on each trace alone — the serving
+        stack's batcher depends on that equivalence.
         """
         if np.isscalar(sampling_rates_hz):
             rates = [float(sampling_rates_hz)] * len(traces)
@@ -141,24 +145,7 @@ class PeakDetector:
         validated = [
             self._validate(trace, rate) for trace, rate in zip(traces, rates)
         ]
-        groups: Dict[Tuple[int, int, float], List[int]] = {}
-        for position, (trace, rate) in enumerate(zip(validated, rates)):
-            groups.setdefault((*trace.shape, rate), []).append(position)
-
-        reports: List[PeakReport] = [None] * len(validated)  # type: ignore[list-item]
-        for (n_channels, n_samples, rate), members in groups.items():
-            if n_samples == 0:
-                for position in members:
-                    reports[position] = PeakReport(
-                        (), 0.0, rate, self.detection_channel
-                    )
-                continue
-            stacked = np.concatenate([validated[p] for p in members], axis=0)
-            dips = 1.0 - piecewise_polynomial_detrend_rows(stacked, rate, self.detrend)
-            for slot, position in enumerate(members):
-                rows = dips[slot * n_channels : (slot + 1) * n_channels]
-                reports[position] = self._report_from_dips(rows, rate)
-        return reports
+        return _fused.fused_detect_many(self, validated, rates)
 
     # ------------------------------------------------------------------
     def _validate(self, trace: np.ndarray, sampling_rate_hz: float) -> np.ndarray:
@@ -202,3 +189,9 @@ class PeakDetector:
                 )
             )
         return PeakReport(tuple(peaks), duration_s, sampling_rate_hz, self.detection_channel)
+
+
+# Imported at the bottom: repro.dsp.fused needs DetectedPeak/PeakReport
+# from this module, so the cycle is broken by binding the fused module
+# only after those classes exist.
+import repro.dsp.fused as _fused  # noqa: E402

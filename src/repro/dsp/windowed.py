@@ -58,7 +58,7 @@ import numpy as np
 from repro._util.validation import check_positive
 from repro.dsp.detrend import (
     DetrendConfig,
-    _fit_baseline,
+    fit_baseline_rows,
     piecewise_polynomial_detrend_rows,
 )
 from repro.dsp.peakdetect import DetectedPeak, PeakDetector, PeakReport
@@ -147,12 +147,7 @@ class StreamingDetrender:
         lo = start - self._base
         hi = stop - self._base
         segments = self._buffer[:, lo:hi]
-        baselines = np.vstack(
-            [
-                _fit_baseline(segments[row], self.config.order)
-                for row in range(self.n_channels)
-            ]
-        )
+        baselines = fit_baseline_rows(segments, self.config.order)
         safe = np.where(np.abs(baselines) > 1e-12, baselines, 1e-12)
         detrended = segments / safe
         length = stop - start

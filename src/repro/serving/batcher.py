@@ -8,9 +8,11 @@ arrival that fills the batch, or the waiter whose linger expires
 first) performs the flush on its own thread and wakes the followers
 (leader/follower pattern), so an idle batcher costs nothing.
 
-The flush runs :meth:`AnalysisServer.analyze_batch`, whose vectorised
-detrend+threshold pass is bit-identical to per-trace analysis — so
-batching changes throughput and amortised latency, never results.
+The flush runs :meth:`AnalysisServer.analyze_batch`, whose fused
+columnar pass (:mod:`repro.dsp.fused`, via
+:meth:`PeakDetector.detect_batch`) is bit-identical to per-trace
+analysis — so batching changes throughput and amortised latency,
+never results.
 """
 
 import threading

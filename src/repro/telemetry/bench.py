@@ -46,7 +46,7 @@ from repro._util.errors import ConfigurationError, ValidationError
 SCHEMA = "medsen-bench/v1"
 
 #: Areas with ``collect()`` entry points, run by default.
-DEFAULT_AREAS = ("throughput", "end_to_end", "scaling", "failover")
+DEFAULT_AREAS = ("throughput", "end_to_end", "scaling", "failover", "dsp")
 
 _DIRECTIONS = ("higher", "lower", "near")
 

@@ -5,6 +5,9 @@ import pytest
 
 from repro.dsp.detrend import (
     DetrendConfig,
+    _fit_baseline,
+    _solve_rows,
+    fit_baseline_rows,
     global_polynomial_detrend,
     piecewise_polynomial_detrend,
     residual_drift,
@@ -133,3 +136,76 @@ class TestResidualDrift:
     def test_positive_for_drifting(self):
         t = np.linspace(0, 1, 4500)
         assert residual_drift(1.0 + 0.01 * t, 450.0) > 1e-3
+
+
+class TestFitBaselineRows:
+    """The shared per-row-independent kernel behind every detect path."""
+
+    def test_agrees_with_legacy_polyfit_reference(self):
+        # Same robust recipe through masked normal equations vs polyfit:
+        # the two agree to floating-point reconstruction error.
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            n = int(rng.integers(30, 3000))
+            segments = 1.0 + 0.01 * rng.standard_normal((3, n))
+            segments[:, n // 2 : n // 2 + 5] -= 0.05
+            kernel = fit_baseline_rows(segments, 2)
+            legacy = np.vstack([_fit_baseline(segments[r], 2) for r in range(3)])
+            np.testing.assert_allclose(kernel, legacy, rtol=1e-9, atol=1e-12)
+
+    def test_rows_independent_of_batch_composition(self):
+        # The bit-identity keystone: a row's baseline must not depend
+        # on which other rows share the call (or how many).
+        rng = np.random.default_rng(11)
+        segments = 1.0 + 0.01 * rng.standard_normal((20, 500))
+        segments[:, 100:110] -= 0.04
+        full = fit_baseline_rows(segments, 2)
+        for row in (0, 7, 19):
+            alone = fit_baseline_rows(segments[row : row + 1], 2)
+            assert alone[0].tobytes() == full[row].tobytes()
+        halves = np.vstack(
+            [fit_baseline_rows(segments[:11], 2), fit_baseline_rows(segments[11:], 2)]
+        )
+        assert halves.tobytes() == full.tobytes()
+
+    def test_strided_input_matches_contiguous(self):
+        rng = np.random.default_rng(3)
+        wide = 1.0 + 0.01 * rng.standard_normal((4, 1000))
+        view = wide[::2]  # non-contiguous rows
+        assert not view.flags.c_contiguous
+        assert (
+            fit_baseline_rows(view, 2).tobytes()
+            == fit_baseline_rows(np.ascontiguousarray(view), 2).tobytes()
+        )
+
+    def test_degenerate_shapes(self):
+        assert fit_baseline_rows(np.empty((0, 10)), 2).shape == (0, 10)
+        assert fit_baseline_rows(np.empty((3, 0)), 2).shape == (3, 0)
+        short = fit_baseline_rows(np.full((2, 2), 5.0), 2)
+        np.testing.assert_array_equal(short, np.full((2, 2), 5.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_baseline_rows(np.ones(10), 2)
+        with pytest.raises(ValueError):
+            fit_baseline_rows(np.ones((2, 10)), -1)
+
+    def test_solve_rows_singular_fallback(self):
+        # A singular system in the stack must not raise, and must not
+        # change its batch-mates' answers (per-row independence).
+        good = np.array([[2.0, 0.0], [0.0, 3.0]])
+        singular = np.zeros((2, 2))
+        rhs = np.array([[4.0, 9.0], [1.0, 1.0]])
+        gram = np.stack([good, singular])
+        out = _solve_rows(gram, rhs)
+        alone = _solve_rows(good[np.newaxis], rhs[0][np.newaxis])
+        assert out[0].tobytes() == alone[0].tobytes()
+        assert np.isfinite(out[1]).all()  # lstsq fallback, not an exception
+
+    def test_many_distinct_lengths_bound_the_grid_cache(self):
+        from repro.dsp.detrend import _GRID_CACHE, _GRID_CACHE_MAX
+
+        rng = np.random.default_rng(9)
+        for n in range(10, 10 + _GRID_CACHE_MAX + 20):
+            fit_baseline_rows(1.0 + 0.01 * rng.standard_normal((1, n)), 2)
+        assert len(_GRID_CACHE) <= _GRID_CACHE_MAX

@@ -1,0 +1,158 @@
+"""Golden pins: paper-figure traces must produce these exact bits.
+
+The differential suites prove the fused path equals the *current*
+staged oracle; these pins additionally freeze the absolute output for
+three paper-figure trace families, so any future DSP change that moves
+even one output bit fails loudly with the figure's name.  If a change
+is *intended* to move the numbers (a new baseline-fit algorithm, a
+different blend), re-pin the digests in the same PR and say so.
+
+The traces are synthesised with pure IEEE-754 arithmetic — polynomial
+drift, parabolic dips, noise from integer draws — no ``exp``/``sin``/
+``**`` library calls, so the inputs are bit-identical on every
+platform and the digests only depend on the DSP arithmetic itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp import PeakDetector
+
+from tests._dsp_oracle import report_digest
+
+
+def _uniform_noise(rng: np.random.Generator, shape, sigma: float) -> np.ndarray:
+    """Zero-mean noise from integer draws (exact on every platform)."""
+    draws = rng.integers(0, 2**53, size=shape).astype(float)
+    return sigma * (draws * 2.0**-52 - 1.0)
+
+
+def _arith_trace(
+    n_channels: int,
+    n_samples: int,
+    fs: float,
+    dips,
+    drift_slope: float,
+    drift_curve: float,
+    noise_sigma: float,
+    seed: int,
+) -> np.ndarray:
+    """Baseline + parabolic dips + integer-derived noise, all arithmetic.
+
+    Each dip is ``depth * (1 - u^2)`` on its support (``u`` the scaled
+    offset from the centre), rolled off 30% across channels.
+    """
+    rng = np.random.default_rng(seed)
+    u = np.arange(n_samples) / max(n_samples - 1, 1)
+    baseline = 1.0 + drift_slope * u + drift_curve * u * u
+    trace = np.repeat(baseline[np.newaxis, :], n_channels, axis=0)
+    for center_s, width_s, depth in dips:
+        center = center_s * fs
+        half = width_s * fs / 2.0
+        lo = max(int(center - half), 0)
+        hi = min(int(center + half) + 1, n_samples)
+        if hi <= lo:
+            continue
+        offsets = (np.arange(lo, hi) - center) / half
+        pulse = depth * np.maximum(1.0 - offsets * offsets, 0.0)
+        rolloff = 1.0 - 0.3 * np.arange(n_channels) / max(n_channels - 1, 1)
+        trace[:, lo:hi] -= rolloff[:, np.newaxis] * pulse[np.newaxis, :]
+    trace += _uniform_noise(rng, trace.shape, noise_sigma)
+    return trace
+
+
+FS = 450.0
+
+
+def fig7_single_cell_trace() -> np.ndarray:
+    """Fig 7: one blood-cell transit on a gently drifting baseline."""
+    return _arith_trace(
+        n_channels=5,
+        n_samples=int(4.0 * FS),
+        fs=FS,
+        dips=[(2.0, 0.03, 0.012)],
+        drift_slope=0.01,
+        drift_curve=-0.004,
+        noise_sigma=1e-4,
+        seed=7,
+    )
+
+
+def fig12_small_bead_population() -> np.ndarray:
+    """Fig 12: a 3.58 µm bead dilution run — many shallow dips."""
+    rng = np.random.default_rng(12)
+    n_dips = 40
+    centers = np.sort(rng.integers(225, int(29.5 * FS), size=n_dips)) / FS
+    depth_draws = rng.integers(0, 2**53, size=n_dips).astype(float)
+    depths = 1.2e-3 + 2.4e-3 * depth_draws * 2.0**-53
+    dips = [(c, 0.02, d) for c, d in zip(centers, depths)]
+    return _arith_trace(
+        n_channels=5,
+        n_samples=int(30.0 * FS),
+        fs=FS,
+        dips=dips,
+        drift_slope=0.03,
+        drift_curve=0.008,
+        noise_sigma=8e-5,
+        seed=112,
+    )
+
+
+def fig13_large_bead_population() -> np.ndarray:
+    """Fig 13: a 7.8 µm bead dilution run — fewer, deeper dips."""
+    rng = np.random.default_rng(13)
+    n_dips = 15
+    centers = np.sort(rng.integers(225, int(29.5 * FS), size=n_dips)) / FS
+    depth_draws = rng.integers(0, 2**53, size=n_dips).astype(float)
+    depths = 8e-3 + 1.2e-2 * depth_draws * 2.0**-53
+    dips = [(c, 0.035, d) for c, d in zip(centers, depths)]
+    return _arith_trace(
+        n_channels=5,
+        n_samples=int(30.0 * FS),
+        fs=FS,
+        dips=dips,
+        drift_slope=-0.02,
+        drift_curve=0.01,
+        noise_sigma=8e-5,
+        seed=113,
+    )
+
+
+#: (figure name, trace factory, pinned peak count, pinned digest).
+GOLDEN = [
+    (
+        "Fig 7 single blood-cell transit",
+        fig7_single_cell_trace,
+        1,
+        "73df5e563fa58373bd60aa34463c37db954755d297a7146921384d9f4d190957",
+    ),
+    (
+        "Fig 12 3.58um bead population",
+        fig12_small_bead_population,
+        39,
+        "5a05c897532613e93f21de662322208677a4f63c03238fb61ad7ae35550f3c56",
+    ),
+    (
+        "Fig 13 7.8um bead population",
+        fig13_large_bead_population,
+        15,
+        "51825a391e542cd59fa1e7d189846a217f22eefc7279fffa27f80ce0178503a3",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "figure,factory,count,digest", GOLDEN, ids=[g[0] for g in GOLDEN]
+)
+def test_golden_digest(figure, factory, count, digest):
+    report = PeakDetector().detect(factory(), FS)
+    assert report.count == count, (
+        f"{figure}: peak count changed ({report.count} != pinned {count}) — "
+        f"a DSP change moved the detection outcome for this paper figure"
+    )
+    measured = report_digest(report)
+    assert measured == digest, (
+        f"{figure}: PeakReport digest changed ({measured} != pinned "
+        f"{digest}) — some output bit moved for this paper figure; if the "
+        f"change is intentional, re-pin the digest in this test"
+    )
